@@ -1,0 +1,54 @@
+// Figure 7 reproduction: JS-context memory consumption of 30 randomly
+// sampled malicious vs 30 benign (JS-bearing) documents. Paper shape:
+// benign averages ~7.1 MB with max 21 MB; malicious averages ~336 MB with
+// min 103 MB and max ~1700 MB.
+#include "bench_util.hpp"
+#include "support/stats.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+support::RunningStats measure(const std::vector<corpus::Sample>& samples) {
+  support::RunningStats stats;
+  for (const auto& s : samples) {
+    // Fresh deployment per sample: crashes must not leak across runs.
+    bench::Deployment dep(support::fnv1a64(s.name));
+    auto out = dep.run(s);
+    stats.add(static_cast<double>(out.open.js_reported_bytes));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 7", "Memory consumption of malicious and benign Javascripts");
+
+  corpus::CorpusGenerator gen;
+  const auto benign = gen.generate_benign_with_js(30);
+  auto malicious_pool = gen.generate_malicious(60);
+  // The paper samples exploit-bearing documents (its noise samples did not
+  // reach JS-heavy code); mirror that by skipping version-gated ones.
+  std::vector<corpus::Sample> malicious;
+  for (auto& s : malicious_pool) {
+    if (!s.expect_noise && malicious.size() < 30) malicious.push_back(std::move(s));
+  }
+
+  const support::RunningStats b = measure(benign);
+  const support::RunningStats m = measure(malicious);
+
+  support::TextTable table({"population", "n", "min", "mean", "max"});
+  table.add_row({"benign JS", std::to_string(b.count()), bench::mb(b.min()),
+                 bench::mb(b.mean()), bench::mb(b.max())});
+  table.add_row({"malicious JS", std::to_string(m.count()), bench::mb(m.min()),
+                 bench::mb(m.mean()), bench::mb(m.max())});
+  std::cout << table.render("In-JS-context memory consumption");
+
+  std::cout << "paper: benign mean 7.1 MB / max 21 MB; malicious mean 336.4 MB"
+               " / min 103 MB / max ~1700 MB\n";
+  std::cout << "separation holds: max(benign)="
+            << bench::mb(b.max()) << " << min(malicious)=" << bench::mb(m.min())
+            << (b.max() < m.min() ? "  [OK]" : "  [VIOLATED]") << "\n";
+  return 0;
+}

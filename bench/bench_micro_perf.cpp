@@ -1,0 +1,125 @@
+// Micro performance suite (google-benchmark): throughput of the hot
+// substrate paths. These are regression guards, not paper reproductions —
+// the table/figure benches above own those.
+#include <benchmark/benchmark.h>
+
+#include "core/jschain.hpp"
+#include "core/monitor_codegen.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "flate/zlib.hpp"
+#include "js/interp.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+support::Bytes sample_pdf(std::size_t pages) {
+  support::Rng rng(1);
+  corpus::DocumentBuilder builder(rng);
+  builder.add_pages(static_cast<int>(pages), 1500);
+  builder.set_open_action_js("var v = 1 + 2;");
+  return builder.build();
+}
+
+void BM_FlateCompress(benchmark::State& state) {
+  support::Rng rng(2);
+  const std::string text = corpus::lorem_text(rng, static_cast<std::size_t>(state.range(0)));
+  const support::Bytes data = support::to_bytes(text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flate::zlib_compress(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FlateCompress)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_FlateDecompress(benchmark::State& state) {
+  support::Rng rng(3);
+  const support::Bytes data =
+      support::to_bytes(corpus::lorem_text(rng, static_cast<std::size_t>(state.range(0))));
+  const support::Bytes packed = flate::zlib_compress(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flate::zlib_decompress(packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FlateDecompress)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_PdfParse(benchmark::State& state) {
+  const support::Bytes file = sample_pdf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdf::parse_document(file));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(file.size()));
+}
+BENCHMARK(BM_PdfParse)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PdfWrite(benchmark::State& state) {
+  const pdf::Document doc =
+      pdf::parse_document(sample_pdf(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdf::write_document(doc));
+  }
+}
+BENCHMARK(BM_PdfWrite)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_JsChainAnalysis(benchmark::State& state) {
+  const pdf::Document doc = pdf::parse_document(sample_pdf(200));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze_js_chains(doc));
+  }
+}
+BENCHMARK(BM_JsChainAnalysis);
+
+void BM_JsInterpreterArithmetic(benchmark::State& state) {
+  for (auto _ : state) {
+    js::Interpreter in;
+    in.run_source("var t = 0; for (var i = 0; i < 5000; i++) t += i * 3 % 7;");
+    benchmark::DoNotOptimize(in.globals()->lookup("t"));
+  }
+}
+BENCHMARK(BM_JsInterpreterArithmetic);
+
+void BM_JsSprayLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    js::Interpreter in;
+    in.run_source(
+        "var s = unescape('%u9090%u9090');"
+        "while (s.length < 262144) s += s;");
+    benchmark::DoNotOptimize(in.allocated_bytes());
+  }
+}
+BENCHMARK(BM_JsSprayLoop);
+
+void BM_MonitorCodegen(benchmark::State& state) {
+  support::Rng rng(4);
+  const core::InstrumentationKey key =
+      core::generate_document_key(rng, core::generate_detector_id(rng));
+  const std::string script(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_monitor_wrapper(
+        script, key, core::EnvelopeRole::kFull, rng));
+  }
+}
+BENCHMARK(BM_MonitorCodegen)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FullFrontEnd(benchmark::State& state) {
+  const support::Bytes file = sample_pdf(static_cast<std::size_t>(state.range(0)));
+  support::Rng rng(5);
+  core::FrontEnd frontend(rng, core::generate_detector_id(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontend.process(file));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(file.size()));
+}
+BENCHMARK(BM_FullFrontEnd)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

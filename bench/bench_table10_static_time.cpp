@@ -1,0 +1,115 @@
+// Table X reproduction: execution time of static analysis &
+// instrumentation by document size (the paper's 2 KB ... 19.7 MB ladder),
+// broken into parse+decompress / feature extraction / instrumentation.
+// Shape targets: totals grow roughly linearly; parse+decompress dominates
+// (>95%) for large files; instrumentation cost tracks the script count,
+// not the file size.
+#include "bench_util.hpp"
+#include "corpus/builders.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+support::Bytes doc_of_size(std::size_t target_bytes, int scripts,
+                           std::uint64_t seed) {
+  support::Rng rng(seed);
+  corpus::DocumentBuilder builder(rng);
+  const int pages = std::max<int>(1, static_cast<int>(target_bytes / 1060));
+  builder.add_pages(pages, 3000);
+  for (int i = 0; i < scripts; ++i) {
+    builder.add_named_js("s" + std::to_string(i),
+                         "var v" + std::to_string(i) + " = " +
+                             std::to_string(i) + ";");
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table X", "Execution time of static analysis & instrumentation");
+
+  struct Case {
+    const char* label;
+    std::size_t bytes;
+    int scripts;
+  };
+  const Case cases[] = {
+      {"~2 KB", 2u << 10, 2},     {"~9 KB", 9u << 10, 1},
+      {"~24 KB", 24u << 10, 1},   {"~325 KB", 325u << 10, 1},
+      {"~7.0 MB", 7u << 20, 1},   {"~19.7 MB", (19u << 20) + (7u << 16), 1},
+  };
+
+  support::TextTable table({"PDF Size", "actual", "Parse & Decompress",
+                            "Feature Extraction", "Instrumentation", "Total"});
+  support::Rng rng(5);
+  core::FrontEnd frontend(rng, core::generate_detector_id(rng));
+
+  double small_total = 0, large_total = 0, large_parse = 0;
+  for (const Case& c : cases) {
+    const support::Bytes file = doc_of_size(c.bytes, c.scripts, c.bytes);
+    // Median of 3 runs for stability.
+    core::PhaseTimings best{};
+    double best_total = 1e18;
+    for (int run = 0; run < 3; ++run) {
+      core::FrontEndResult r = frontend.process(file);
+      if (!r.ok) return 1;
+      if (r.timings.total_s() < best_total) {
+        best_total = r.timings.total_s();
+        best = r.timings;
+      }
+    }
+    table.add_row({c.label, bench::mb(static_cast<double>(file.size())),
+                   bench::fmt(best.parse_decompress_s, 4) + " s",
+                   bench::fmt(best.feature_extraction_s, 4) + " s",
+                   bench::fmt(best.instrumentation_s, 4) + " s",
+                   bench::fmt(best.total_s(), 4) + " s"});
+    if (c.bytes <= (24u << 10)) small_total += best.total_s();
+    if (c.bytes >= (7u << 20)) {
+      large_total += best.total_s();
+      large_parse += best.parse_decompress_s;
+    }
+  }
+  std::cout << table.render("Per-phase timings (best of 3, full-rewrite serialization)");
+
+  // The incremental-update fast path (append-only, like the paper's
+  // in-place patcher) against the same ladder.
+  support::TextTable inc({"PDF Size", "full rewrite", "incremental update",
+                          "speedup"});
+  core::FrontEndOptions inc_opts;
+  inc_opts.incremental_update = true;
+  core::FrontEnd inc_frontend(rng, core::generate_detector_id(rng), inc_opts);
+  for (const Case& c : cases) {
+    const support::Bytes file = doc_of_size(c.bytes, c.scripts, c.bytes);
+    double full = 1e18, fast = 1e18;
+    for (int run = 0; run < 3; ++run) {
+      core::FrontEndResult a = frontend.process(file);
+      full = std::min(full, a.timings.total_s());
+      core::FrontEndResult b = inc_frontend.process(file);
+      fast = std::min(fast, b.timings.total_s());
+    }
+    inc.add_row({c.label, bench::fmt(full, 4) + " s", bench::fmt(fast, 4) + " s",
+                 bench::fmt(full / std::max(fast, 1e-9), 1) + "x"});
+  }
+  std::cout << inc.render("Full rewrite vs incremental update (Sec 3.4.5)");
+
+  std::cout << "parse+decompress share of large-file cost: "
+            << bench::fmt(100 * large_parse / large_total, 1)
+            << "%  (paper: >95%; our phase 3 additionally re-serializes the"
+               " whole document, which the paper's in-place patcher avoided,"
+               " so its share is structurally larger)\n";
+  std::cout << "paper absolute anchors: 0.04 s average per malicious sample,"
+               " ~5.5 s for a 20 MB file on 2009-era hardware.\n";
+
+  // Average per-sample cost over the malicious corpus (the 0.04 s anchor).
+  corpus::CorpusGenerator gen;
+  auto mal = gen.generate_malicious(100);
+  bench::Timer timer;
+  for (const auto& s : mal) frontend.process(s.data);
+  std::cout << "average front-end time over " << mal.size()
+            << " malicious samples: "
+            << bench::fmt(timer.seconds() / static_cast<double>(mal.size()), 4)
+            << " s\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table XI reproduction: memory overhead of the static front-end by
+// document size. The paper counted live Python objects and RSS of its
+// Python front-end; our analogue counts pdfshield objects allocated during
+// the pipeline plus the transient byte volume handled. Shape target: flat
+// for small documents, then roughly linear in document size.
+#include "bench_util.hpp"
+#include "corpus/builders.hpp"
+#include "support/alloc_stats.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+support::Bytes doc_of_size(std::size_t target_bytes, std::uint64_t seed) {
+  support::Rng rng(seed);
+  corpus::DocumentBuilder builder(rng);
+  const int pages = std::max<int>(1, static_cast<int>(target_bytes / 1060));
+  builder.add_pages(pages, 3000);
+  builder.add_named_js("s", "var probe = 1;");
+  return builder.build();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table XI", "Memory overhead of static analysis & instrumentation");
+
+  struct Case {
+    const char* label;
+    std::size_t bytes;
+  };
+  const Case cases[] = {
+      {"~2 KB", 2u << 10},   {"~9 KB", 9u << 10},   {"~24 KB", 24u << 10},
+      {"~325 KB", 325u << 10}, {"~7.0 MB", 7u << 20}, {"~19.7 MB", (19u << 20) + (7u << 16)},
+  };
+
+  support::Rng rng(6);
+  core::FrontEnd frontend(rng, core::generate_detector_id(rng));
+
+  support::TextTable table(
+      {"PDF Size", "actual", "# of pdfshield objects", "approx working bytes"});
+  for (const Case& c : cases) {
+    const support::Bytes file = doc_of_size(c.bytes, c.bytes + 1);
+    support::AllocStats::reset();
+    support::AllocScope scope;
+    core::FrontEndResult r = frontend.process(file);
+    if (!r.ok) return 1;
+    // Objects parsed + the document/output buffers currently held.
+    const std::uint64_t objects = scope.objects();
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(file.size()) +
+        static_cast<std::uint64_t>(r.output.size());
+    table.add_row({c.label, bench::mb(static_cast<double>(file.size())),
+                   std::to_string(objects), bench::mb(static_cast<double>(bytes))});
+  }
+  std::cout << table.render("Front-end allocation profile per document");
+  std::cout << "paper shape: ~74k Python objects / 5.3 MB flat for small"
+               " documents, 1.08M objects / 130 MB at 19.7 MB — growth is"
+               " linear in document size once parsing dominates.\n";
+  return 0;
+}

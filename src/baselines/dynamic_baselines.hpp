@@ -1,0 +1,47 @@
+// Dynamic / hybrid baselines of Table IX:
+//   MdscanBaseline  — extract-and-emulate [9]: pulls Javascript out of the
+//                     document and executes it in a bare engine with stub
+//                     Acrobat objects; flags heap-spray memory pressure or
+//                     exploit-shaped API calls. Inherits the approach's
+//                     documented weaknesses: document-context references
+//                     (this.info.title payloads) break extraction-based
+//                     execution, and version-gated samples stay dormant.
+//   WepawetBaseline — JSAND-style lexical/statistical heuristics [14][18]
+//                     on the extracted Javascript, no execution.
+//   OursBaseline    — the full pdfshield pipeline (front-end + reader +
+//                     runtime detector) behind the same interface.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace pdfshield::baselines {
+
+class MdscanBaseline : public Baseline {
+ public:
+  std::string name() const override { return "MDScan [9]"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+  /// Spray-memory threshold (physical engine bytes).
+  std::size_t spray_threshold_bytes = 1u << 20;
+};
+
+class WepawetBaseline : public Baseline {
+ public:
+  std::string name() const override { return "Wepawet [18]"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+  double threshold = 3.0;  ///< suspicion score cutoff
+};
+
+class OursBaseline : public Baseline {
+ public:
+  std::string name() const override { return "Ours (pdfshield)"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+  std::string reader_version = "9.0";
+};
+
+}  // namespace pdfshield::baselines

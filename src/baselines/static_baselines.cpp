@@ -1,0 +1,304 @@
+#include "baselines/static_baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/jschain.hpp"
+#include "js/lexer.hpp"
+#include "pdf/filters.hpp"
+#include "pdf/graph.hpp"
+#include "pdf/parser.hpp"
+
+namespace pdfshield::baselines {
+
+using support::BytesView;
+
+namespace {
+
+/// Tolerant parse; nullopt when the bytes are not PDF at all.
+std::optional<pdf::Document> try_parse(BytesView file) {
+  try {
+    return pdf::parse_document(file);
+  } catch (const support::Error&) {
+    return std::nullopt;
+  }
+}
+
+/// Concatenated Javascript from every chain site.
+std::string extract_all_js(const pdf::Document& doc) {
+  std::string out;
+  for (const auto& site : core::analyze_js_chains(doc).sites) {
+    out += site.source;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NgramBaseline
+// ---------------------------------------------------------------------------
+
+ml::FeatureVector NgramBaseline::features(BytesView file) {
+  // Byte bigrams hashed into 128 buckets, frequency-normalized.
+  constexpr std::size_t kBuckets = 128;
+  ml::FeatureVector v(kBuckets, 0.0);
+  for (std::size_t i = 0; i + 1 < file.size(); ++i) {
+    const std::size_t h =
+        (static_cast<std::size_t>(file[i]) * 257 + file[i + 1]) % kBuckets;
+    v[h] += 1.0;
+  }
+  const double total = std::max<double>(1.0, static_cast<double>(file.size()));
+  for (double& x : v) x /= total;
+  return v;
+}
+
+void NgramBaseline::train(const std::vector<corpus::Sample>& samples) {
+  ml::Dataset data;
+  for (const auto& s : samples) {
+    data.add(features(s.data), s.malicious ? 1 : 0);
+  }
+  ml::NaiveBayes::Config cfg;
+  cfg.presence_threshold = 0.002;  // bucket carries >0.2% of bigram mass
+  model_ = ml::NaiveBayes(cfg);
+  model_.train(data);
+}
+
+int NgramBaseline::predict(BytesView file) {
+  return model_.predict(features(file));
+}
+
+// ---------------------------------------------------------------------------
+// PjscanBaseline
+// ---------------------------------------------------------------------------
+
+bool PjscanBaseline::features(BytesView file, ml::FeatureVector* out) {
+  auto doc = try_parse(file);
+  if (!doc) return false;
+  const std::string js = extract_all_js(*doc);
+  if (js.empty()) return false;
+
+  std::vector<js::JsToken> tokens;
+  try {
+    tokens = js::tokenize_js(js);
+  } catch (const support::Error&) {
+    // Unlexable Javascript is itself a signal, but PJScan gives up here.
+    return false;
+  }
+
+  double identifiers = 0, keywords = 0, numbers = 0, strings = 0, puncts = 0;
+  double max_string_len = 0, long_strings = 0, total_string_len = 0;
+  double suspicious_names = 0;
+  for (const auto& t : tokens) {
+    switch (t.kind) {
+      case js::JsTokenKind::kIdentifier:
+        identifiers += 1;
+        if (t.text == "unescape" || t.text == "eval" ||
+            t.text == "fromCharCode") {
+          suspicious_names += 1;
+        }
+        break;
+      case js::JsTokenKind::kKeyword: keywords += 1; break;
+      case js::JsTokenKind::kNumber: numbers += 1; break;
+      case js::JsTokenKind::kString: {
+        strings += 1;
+        const double len = static_cast<double>(t.text.size());
+        total_string_len += len;
+        max_string_len = std::max(max_string_len, len);
+        if (len > 128) long_strings += 1;
+        break;
+      }
+      case js::JsTokenKind::kPunct: puncts += 1; break;
+      default: break;
+    }
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(tokens.size()));
+  *out = {identifiers / n,
+          keywords / n,
+          numbers / n,
+          strings / n,
+          puncts / n,
+          std::log1p(max_string_len),
+          long_strings,
+          std::log1p(total_string_len),
+          suspicious_names,
+          std::log1p(n)};
+  return true;
+}
+
+void PjscanBaseline::train(const std::vector<corpus::Sample>& samples) {
+  // One-class training on the malicious population only.
+  std::vector<ml::FeatureVector> target;
+  for (const auto& s : samples) {
+    if (!s.malicious) continue;
+    ml::FeatureVector v;
+    if (features(s.data, &v)) target.push_back(std::move(v));
+  }
+  ml::OneClassCentroid::Config cfg;
+  cfg.radius_sigmas = 2.0;
+  model_ = ml::OneClassCentroid(cfg);
+  model_.train(target);
+}
+
+int PjscanBaseline::predict(BytesView file) {
+  ml::FeatureVector v;
+  if (!features(file, &v)) return 0;  // no extractable JS: benign verdict
+  return model_.predict(v);
+}
+
+// ---------------------------------------------------------------------------
+// StructuralBaseline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void collect_paths(const pdf::Document& doc, const pdf::Object& obj,
+                   const std::string& prefix, int depth,
+                   std::set<int>& visited_objects,
+                   std::set<std::string>& paths) {
+  if (depth > 6) return;
+  paths.insert(prefix);
+  const pdf::Object& r = doc.resolve(obj);
+  // Cycle guard on indirect objects.
+  if (obj.is_ref()) {
+    if (!visited_objects.insert(obj.as_ref().num).second) return;
+  }
+  if (r.is_array()) {
+    // Arrays contribute their element structure under the same component
+    // (the hierarchical-path flattening of [5]).
+    for (const pdf::Object& item : r.as_array()) {
+      collect_paths(doc, item, prefix, depth + 1, visited_objects, paths);
+    }
+  } else if (r.is_dict() || r.is_stream()) {
+    for (const auto& e : r.dict_or_stream_dict().entries()) {
+      collect_paths(doc, e.value, prefix + "/" + e.key, depth + 1,
+                    visited_objects, paths);
+    }
+  }
+  if (obj.is_ref()) visited_objects.erase(obj.as_ref().num);
+}
+
+std::set<std::string> structural_paths(BytesView file) {
+  std::set<std::string> paths;
+  auto doc = try_parse(file);
+  if (!doc) return paths;
+  const pdf::Object* root = doc->trailer().find("Root");
+  if (root) {
+    std::set<int> visited;
+    collect_paths(*doc, *root, "", 0, visited, paths);
+  }
+  return paths;
+}
+
+}  // namespace
+
+void StructuralBaseline::train(const std::vector<corpus::Sample>& samples) {
+  // Vocabulary: every path seen in training, most frequent first, capped.
+  std::map<std::string, std::size_t> counts;
+  std::vector<std::set<std::string>> per_sample;
+  per_sample.reserve(samples.size());
+  for (const auto& s : samples) {
+    per_sample.push_back(structural_paths(s.data));
+    for (const auto& p : per_sample.back()) ++counts[p];
+  }
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (auto& [path, c] : counts) ranked.emplace_back(c, path);
+  std::sort(ranked.rbegin(), ranked.rend());
+  vocabulary_.clear();
+  for (const auto& [c, path] : ranked) {
+    vocabulary_.push_back(path);
+    if (vocabulary_.size() >= 256) break;
+  }
+
+  ml::Dataset data;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ml::FeatureVector v(vocabulary_.size(), 0.0);
+    for (std::size_t j = 0; j < vocabulary_.size(); ++j) {
+      if (per_sample[i].count(vocabulary_[j])) v[j] = 1.0;
+    }
+    data.add(std::move(v), samples[i].malicious ? 1 : 0);
+  }
+  support::Rng rng(0x57u);
+  model_.train(data, rng);
+}
+
+ml::FeatureVector StructuralBaseline::vectorize(BytesView file) const {
+  const std::set<std::string> paths = structural_paths(file);
+  ml::FeatureVector v(vocabulary_.size(), 0.0);
+  for (std::size_t j = 0; j < vocabulary_.size(); ++j) {
+    if (paths.count(vocabulary_[j])) v[j] = 1.0;
+  }
+  return v;
+}
+
+int StructuralBaseline::predict(BytesView file) {
+  return model_.predict(vectorize(file));
+}
+
+// ---------------------------------------------------------------------------
+// PdfrateBaseline
+// ---------------------------------------------------------------------------
+
+ml::FeatureVector PdfrateBaseline::features(BytesView file) {
+  auto doc = try_parse(file);
+  if (!doc) {
+    return ml::FeatureVector(14, 0.0);
+  }
+  double objects = 0, streams = 0, pages = 0, fonts = 0, js_entries = 0;
+  double open_action = 0, aa = 0, acroform = 0, embedded = 0;
+  double total_stream_bytes = 0, filters = 0;
+  for (const auto& [num, obj] : doc->objects()) {
+    ++objects;
+    if (obj.is_stream()) {
+      ++streams;
+      total_stream_bytes += static_cast<double>(obj.as_stream().data.size());
+      filters += static_cast<double>(
+          pdf::filter_chain(obj.as_stream().dict).size());
+    }
+    if (!obj.is_dict() && !obj.is_stream()) continue;
+    const pdf::Dict& d = obj.dict_or_stream_dict();
+    if (const pdf::Object* t = d.find("Type"); t && t->is_name()) {
+      const std::string& type = t->as_name().value;
+      if (type == "Page") ++pages;
+      if (type == "Font") ++fonts;
+      if (type == "EmbeddedFile") ++embedded;
+    }
+    if (d.contains("JS")) ++js_entries;
+    if (d.contains("OpenAction")) ++open_action;
+    if (d.contains("AA")) ++aa;
+    if (d.contains("AcroForm")) ++acroform;
+  }
+  const double size = static_cast<double>(file.size());
+  return {std::log1p(size),
+          objects,
+          streams,
+          pages,
+          fonts,
+          js_entries,
+          open_action,
+          aa,
+          acroform,
+          embedded,
+          std::log1p(total_stream_bytes),
+          filters,
+          pages > 0 ? objects / pages : objects,
+          static_cast<double>(doc->header().offset)};
+}
+
+void PdfrateBaseline::train(const std::vector<corpus::Sample>& samples) {
+  ml::Dataset data;
+  for (const auto& s : samples) {
+    data.add(features(s.data), s.malicious ? 1 : 0);
+  }
+  support::Rng rng(0x4Au);
+  model_.train(data, rng);
+}
+
+int PdfrateBaseline::predict(BytesView file) {
+  return model_.predict(features(file));
+}
+
+}  // namespace pdfshield::baselines

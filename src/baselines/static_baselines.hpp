@@ -1,0 +1,73 @@
+// Fully static baselines of Table IX:
+//   NgramBaseline       — embedded-malware byte n-grams [16][17]
+//   PjscanBaseline      — lexical Javascript tokens + one-class model [7]
+//   StructuralBaseline  — hierarchical structural paths + linear SVM [5]
+//   PdfrateBaseline     — metadata/structural features + random forest [4]
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "ml/dataset.hpp"
+#include "ml/linear_svm.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/one_class.hpp"
+#include "ml/random_forest.hpp"
+
+namespace pdfshield::baselines {
+
+/// Hashed byte-bigram frequencies -> Bernoulli naive Bayes.
+class NgramBaseline : public Baseline {
+ public:
+  std::string name() const override { return "N-grams [17]"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+  static ml::FeatureVector features(support::BytesView file);
+
+ private:
+  ml::NaiveBayes model_;
+};
+
+/// Lexical token statistics of extracted Javascript, one-class model
+/// trained on the malicious class (PJScan's OCSVM design).
+class PjscanBaseline : public Baseline {
+ public:
+  std::string name() const override { return "PJScan [7]"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+  /// Token-statistics vector of a document's concatenated Javascript;
+  /// empty optional when no Javascript can be extracted.
+  static bool features(support::BytesView file, ml::FeatureVector* out);
+
+ private:
+  ml::OneClassCentroid model_;
+};
+
+/// Structural paths (root-to-key sequences) as binary features -> SVM.
+class StructuralBaseline : public Baseline {
+ public:
+  std::string name() const override { return "Structural [5]"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+ private:
+  ml::FeatureVector vectorize(support::BytesView file) const;
+
+  std::vector<std::string> vocabulary_;
+  ml::LinearSvm model_;
+};
+
+/// Metadata + structural summary features -> random forest.
+class PdfrateBaseline : public Baseline {
+ public:
+  std::string name() const override { return "PDFRate [4]"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+  static ml::FeatureVector features(support::BytesView file);
+
+ private:
+  ml::RandomForest model_;
+};
+
+}  // namespace pdfshield::baselines

@@ -1,0 +1,38 @@
+#include "core/deinstrumentation.hpp"
+
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+
+namespace pdfshield::core {
+
+bool DeinstrumentationManager::note_benign_open(const std::string& doc_key,
+                                                support::Rng& rng) {
+  int& streak = streaks_[doc_key];
+  ++streak;
+  if (streak < policy_.benign_opens_required) return false;
+  if (policy_.keep_probability > 0.0 && rng.chance(policy_.keep_probability)) {
+    // Randomized retention: the attacker cannot rely on monitoring
+    // vanishing after a fixed number of clean opens.
+    return false;
+  }
+  streaks_.erase(doc_key);
+  return true;
+}
+
+void DeinstrumentationManager::note_suspicious(const std::string& doc_key) {
+  streaks_.erase(doc_key);
+}
+
+int DeinstrumentationManager::benign_streak(const std::string& doc_key) const {
+  auto it = streaks_.find(doc_key);
+  return it == streaks_.end() ? 0 : it->second;
+}
+
+support::Bytes deinstrument_file(support::BytesView instrumented_file,
+                                 const InstrumentationRecord& record) {
+  pdf::Document doc = pdf::parse_document(instrumented_file);
+  Instrumenter::deinstrument(doc, record);
+  return pdf::write_document(doc);
+}
+
+}  // namespace pdfshield::core

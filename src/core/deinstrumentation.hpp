@@ -1,0 +1,56 @@
+// De-instrumentation policy (§III-F): once a document has been classified
+// benign, monitoring it again on every open is wasted overhead — the
+// system removes the context monitoring code in the background after the
+// reader closes. The paper notes that de-instrumenting at once is a simple
+// heuristic and suggests a configurable open count plus randomization
+// (so an attacker cannot count on monitoring disappearing after exactly
+// one clean open); both knobs are implemented here.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/instrumenter.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::core {
+
+struct DeinstrumentationPolicy {
+  /// Consecutive benign opens required before de-instrumenting.
+  int benign_opens_required = 1;
+  /// Randomization: probability of keeping the monitoring code for one
+  /// more open even after the threshold is met.
+  double keep_probability = 0.0;
+};
+
+/// Tracks per-document benign-open streaks and applies the policy.
+class DeinstrumentationManager {
+ public:
+  explicit DeinstrumentationManager(DeinstrumentationPolicy policy = {})
+      : policy_(policy) {}
+
+  /// Records a clean open/close cycle for `doc_key`. Returns true when the
+  /// document should now be de-instrumented.
+  bool note_benign_open(const std::string& doc_key, support::Rng& rng);
+
+  /// Any suspicious signal resets the streak (and the document obviously
+  /// stays instrumented).
+  void note_suspicious(const std::string& doc_key);
+
+  /// Current clean streak for a document (0 if unknown).
+  int benign_streak(const std::string& doc_key) const;
+
+  const DeinstrumentationPolicy& policy() const { return policy_; }
+
+ private:
+  DeinstrumentationPolicy policy_;
+  std::map<std::string, int> streaks_;
+};
+
+/// Convenience: parses `instrumented_file`, restores the original scripts
+/// recorded in `record`, and re-serializes. This is the background
+/// de-instrumentation job the paper schedules after the reader closes.
+support::Bytes deinstrument_file(support::BytesView instrumented_file,
+                                 const InstrumentationRecord& record);
+
+}  // namespace pdfshield::core

@@ -1,0 +1,421 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+namespace pdfshield::core {
+
+using js::Value;
+
+std::string feature_name(Feature f) {
+  switch (f) {
+    case Feature::kF1_JsChainRatio: return "F1:js-chain-ratio";
+    case Feature::kF2_HeaderObfuscation: return "F2:header-obfuscation";
+    case Feature::kF3_HexCode: return "F3:hex-code-in-keyword";
+    case Feature::kF4_EmptyObjects: return "F4:empty-objects";
+    case Feature::kF5_EncodingLevels: return "F5:encoding-levels";
+    case Feature::kF6_OutJsProcessCreation: return "F6:outjs-process-creation";
+    case Feature::kF7_OutJsDllInjection: return "F7:outjs-dll-injection";
+    case Feature::kF8_MemoryConsumption: return "F8:js-memory-consumption";
+    case Feature::kF9_NetworkAccess: return "F9:js-network-access";
+    case Feature::kF10_MappedMemorySearch: return "F10:js-mapped-memory-search";
+    case Feature::kF11_MalwareDropping: return "F11:js-malware-dropping";
+    case Feature::kF12_ProcessCreation: return "F12:js-process-creation";
+    case Feature::kF13_DllInjection: return "F13:js-dll-injection";
+  }
+  return "F?:unknown";
+}
+
+namespace {
+
+bool is_drop_api(const std::string& api) {
+  return api == "NtCreateFile" || api == "URLDownloadToFile" ||
+         api == "URLDownloadToCacheFile";
+}
+bool is_network_api(const std::string& api) {
+  return api == "connect" || api == "listen";
+}
+bool is_hunt_api(const std::string& api) {
+  return api == "NtAccessCheckAndAuditAlarm" || api == "IsBadReadPtr" ||
+         api == "NtDisplayString" || api == "NtAddAtom";
+}
+bool is_process_api(const std::string& api) {
+  return api == "NtCreateProcess" || api == "NtCreateProcessEx" ||
+         api == "NtCreateUserProcess";
+}
+bool is_inject_api(const std::string& api) {
+  return api == "CreateRemoteThread";
+}
+
+bool looks_like_executable(const std::string& path) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::string(suffix).size();
+    return path.size() >= n &&
+           path.compare(path.size() - n, n, suffix) == 0;
+  };
+  return ends_with(".exe") || ends_with(".dll") || ends_with(".scr") ||
+         ends_with(".com") || ends_with(".bat");
+}
+
+}  // namespace
+
+RuntimeDetector::RuntimeDetector(sys::Kernel& kernel, support::Rng& rng,
+                                 DetectorConfig config)
+    : kernel_(kernel),
+      config_(std::move(config)),
+      detector_id_(generate_detector_id(rng)) {}
+
+void RuntimeDetector::register_document(const InstrumentationKey& key,
+                                        const std::string& name,
+                                        const StaticFeatures& features) {
+  DocumentState state;
+  state.name = name;
+  state.static_features = features;
+  docs_[key.combined()] = std::move(state);
+}
+
+void RuntimeDetector::attach(reader::ReaderSim& reader) {
+  reader_pid_ = reader.pid();
+  // AppInit trampoline has already run (the reader process exists); install
+  // the hook set — one hook per monitored API. Kernel-mode hooks are
+  // system-wide but the decision logic only reacts to the reader's pid.
+  for (const std::string& api : sys::Kernel::api_surface()) {
+    auto hook = [this](const sys::ApiEvent& event) {
+      if (event.pid != reader_pid_) return sys::ApiOutcome::kAllow;
+      return hook_decision(event);
+    };
+    if (config_.hook_mode == DetectorConfig::HookMode::kKernelMode) {
+      kernel_.install_kernel_hook(api, hook);
+    } else {
+      kernel_.install_hook(reader_pid_, api, hook);
+    }
+  }
+  const std::string prefix =
+      config_.soap_url.substr(0, config_.soap_url.rfind('/') + 1);
+  reader.set_soap_endpoint(prefix,
+                           [this](const Value& payload) { return handle_soap(payload); });
+  reader.on_crash = [this] { on_reader_crash(); };
+}
+
+void RuntimeDetector::on_reader_crash() {
+  if (DocumentState* doc = current_in_js_doc()) {
+    check_memory(*doc);
+    doc->in_js = false;
+    evaluate(current_js_key_, *doc);
+  }
+  current_js_key_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// SOAP server
+// ---------------------------------------------------------------------------
+
+Value RuntimeDetector::handle_soap(const Value& payload) {
+  auto respond = [](const std::string& status) {
+    auto obj = js::make_object();
+    obj->set("status", Value(status));
+    return Value(obj);
+  };
+
+  std::string op;
+  std::string key_text;
+  if (payload.is_object()) {
+    const Value op_v = payload.as_object()->get("op");
+    const Value key_v = payload.as_object()->get("key");
+    if (op_v.is_string()) op = op_v.as_string();
+    if (key_v.is_string()) key_text = key_v.as_string();
+  }
+
+  const std::optional<InstrumentationKey> key = InstrumentationKey::parse(key_text);
+
+  // Foreign instrumentation: a well-formed key minted by a different
+  // installation. Filtered out silently (§III-C: the Detector ID field
+  // exists exactly for this), NOT treated as an attack.
+  if (key && key->detector_id != detector_id_) {
+    return respond("rejected");
+  }
+
+  const bool authenticated = key && docs_.count(key->combined()) > 0 &&
+                             (op == "enter" || op == "exit");
+  if (!authenticated) {
+    // Zero tolerance (§IV): a malformed message, an unknown document key
+    // under OUR detector id, or a bogus op is a forgery attempt. It
+    // convicts the active document — PDF readers are single-threaded, so
+    // the currently-in-JS document is the sender.
+    if (DocumentState* doc = current_in_js_doc()) {
+      doc->fake_message = true;
+      doc->evidence.push_back("fake or malformed SOAP message");
+      evaluate(current_js_key_, *doc);
+    }
+    return respond("rejected");
+  }
+
+  DocumentState& doc = docs_[key->combined()];
+  sys::Process* proc = kernel_.process(reader_pid_);
+  const std::uint64_t mem = proc ? proc->memory_bytes() : 0;
+
+  if (op == "enter") {
+    doc.in_js = true;
+    doc.memory_at_enter = mem;
+    current_js_key_ = key->combined();
+  } else {
+    check_memory(doc);
+    doc.in_js = false;
+    if (current_js_key_ == key->combined()) current_js_key_.clear();
+    evaluate(key->combined(), doc);
+  }
+  return respond("ok");
+}
+
+// ---------------------------------------------------------------------------
+// Hook channel
+// ---------------------------------------------------------------------------
+
+DocumentState* RuntimeDetector::current_in_js_doc() {
+  if (current_js_key_.empty()) return nullptr;
+  auto it = docs_.find(current_js_key_);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+sys::ApiOutcome RuntimeDetector::hook_decision(const sys::ApiEvent& event) {
+  DocumentState* js_doc = current_in_js_doc();
+  const bool in_js = js_doc != nullptr;
+
+  if (event.post) {
+    // Post-call phase: the native API has run. For drops by an alerted
+    // document, isolate the file now that it actually exists (Table III:
+    // "before alert, call original API; when alert, isolate").
+    if (is_drop_api(event.api) && in_js && js_doc->alerted) {
+      const std::string path = event.api == "NtCreateFile"
+                                   ? (event.args.empty() ? "" : event.args[0])
+                                   : (event.args.size() > 1 ? event.args[1] : "");
+      if (!path.empty() && kernel_.fs().exists(path)) {
+        kernel_.fs().quarantine(path);
+      }
+    }
+    return sys::ApiOutcome::kAllow;
+  }
+
+  // --- DLL injection: always rejected (Table III). ------------------------
+  if (is_inject_api(event.api)) {
+    const std::string dll = event.args.size() > 1 ? event.args[1] : "";
+    if (in_js) {
+      js_doc->injected_dlls.push_back(dll);
+      record_in_js(*js_doc, Feature::kF13_DllInjection,
+                   "CreateRemoteThread(" + dll + ")");
+      check_memory(*js_doc);
+      evaluate(current_js_key_, *js_doc);
+    } else {
+      record_out_js(Feature::kF7_OutJsDllInjection,
+                    "CreateRemoteThread(" + dll + ")");
+    }
+    // Isolate the DLL file if it exists on disk.
+    if (!dll.empty() && kernel_.fs().exists(dll)) kernel_.fs().quarantine(dll);
+    return sys::ApiOutcome::kBlock;
+  }
+
+  // --- Process creation (Table III). ---------------------------------------
+  if (is_process_api(event.api)) {
+    const std::string image = event.args.empty() ? "" : event.args[0];
+    const bool whitelisted =
+        std::any_of(config_.process_whitelist.begin(),
+                    config_.process_whitelist.end(),
+                    [&](const std::string& w) {
+                      return image.size() >= w.size() &&
+                             image.compare(image.size() - w.size(), w.size(), w) == 0;
+                    });
+    if (!in_js && whitelisted) return sys::ApiOutcome::kAllow;
+
+    if (in_js) {
+      record_in_js(*js_doc, Feature::kF12_ProcessCreation, "spawn " + image);
+      // Cross-document linking: executing a file some document downloaded
+      // in JS context implicates both ends (§III-E).
+      if (executable_list_.count(image)) {
+        record_in_js(*js_doc, Feature::kF11_MalwareDropping,
+                     "executes previously dropped " + image);
+        for (auto& [other_key, other] : docs_) {
+          if (&other != js_doc &&
+              std::find(other.dropped_files.begin(), other.dropped_files.end(),
+                        image) != other.dropped_files.end()) {
+            record_in_js(other, Feature::kF12_ProcessCreation,
+                         "its dropped file " + image + " was executed");
+            evaluate(other_key, other);
+          }
+        }
+      }
+      check_memory(*js_doc);
+    } else {
+      record_out_js(Feature::kF6_OutJsProcessCreation, "spawn " + image);
+    }
+
+    // Reject the original call; the detector itself launches the target in
+    // the sandbox so execution can be observed and undone.
+    if (in_js) evaluate(current_js_key_, *js_doc);
+    if (!image.empty()) {
+      sys::Process& jailed = kernel_.create_process(image, /*sandboxed=*/true);
+      if (in_js) {
+        js_doc->sandboxed_children.push_back(jailed.pid());
+        if (js_doc->alerted) {
+          // Already convicted: terminate immediately and isolate the image.
+          kernel_.terminate(jailed.pid());
+          if (kernel_.fs().exists(image)) kernel_.fs().quarantine(image);
+        }
+      }
+    }
+    return sys::ApiOutcome::kBlock;
+  }
+
+  // --- Malware dropping: allow the original API, remember the file. -------
+  if (is_drop_api(event.api)) {
+    const std::string path = event.api == "NtCreateFile"
+                                 ? (event.args.empty() ? "" : event.args[0])
+                                 : (event.args.size() > 1 ? event.args[1] : "");
+    if (in_js) {
+      record_in_js(*js_doc, Feature::kF11_MalwareDropping, "drops " + path);
+      js_doc->dropped_files.push_back(path);
+      if (looks_like_executable(path) || event.api != "NtCreateFile") {
+        executable_list_.insert(path);
+      }
+      if (event.api != "NtCreateFile") {
+        // URLDownload* also touches the network.
+        record_in_js(*js_doc, Feature::kF9_NetworkAccess,
+                     "download from " + (event.args.empty() ? "" : event.args[0]));
+      }
+      check_memory(*js_doc);
+      evaluate(current_js_key_, *js_doc);
+    }
+    return sys::ApiOutcome::kAllow;
+  }
+
+  // --- Network access. ------------------------------------------------------
+  if (is_network_api(event.api)) {
+    if (in_js) {
+      record_in_js(*js_doc, Feature::kF9_NetworkAccess,
+                   event.api + "(" + (event.args.empty() ? "" : event.args[0]) + ")");
+      check_memory(*js_doc);
+      evaluate(current_js_key_, *js_doc);
+    }
+    return sys::ApiOutcome::kAllow;
+  }
+
+  // --- Mapped memory search (egg-hunt). -------------------------------------
+  if (is_hunt_api(event.api)) {
+    if (in_js) {
+      record_in_js(*js_doc, Feature::kF10_MappedMemorySearch, event.api);
+      check_memory(*js_doc);
+      evaluate(current_js_key_, *js_doc);
+    }
+    return sys::ApiOutcome::kAllow;
+  }
+
+  return sys::ApiOutcome::kAllow;
+}
+
+// ---------------------------------------------------------------------------
+// Scoring
+// ---------------------------------------------------------------------------
+
+void RuntimeDetector::record_in_js(DocumentState& doc, Feature f,
+                                   const std::string& why) {
+  doc.active = true;
+  if (doc.runtime_features.insert(f).second) {
+    doc.evidence.push_back(feature_name(f) + ": " + why);
+  }
+}
+
+void RuntimeDetector::record_out_js(Feature f, const std::string& why) {
+  // Out-of-JS operations contribute to every active malscore (§III-E).
+  for (auto& [key_text, doc] : docs_) {
+    if (!doc.active || doc.alerted) continue;
+    if (doc.runtime_features.insert(f).second) {
+      doc.evidence.push_back(feature_name(f) + " (out-JS): " + why);
+    }
+    evaluate(key_text, doc);
+  }
+}
+
+void RuntimeDetector::check_memory(DocumentState& doc) {
+  sys::Process* proc = kernel_.process(reader_pid_);
+  if (!proc) return;
+  const std::uint64_t now = proc->memory_bytes();
+  if (now >= doc.memory_at_enter &&
+      now - doc.memory_at_enter >= config_.memory_threshold) {
+    record_in_js(doc, Feature::kF8_MemoryConsumption,
+                 "in-JS memory delta " +
+                     std::to_string((now - doc.memory_at_enter) >> 20) + " MB");
+  }
+}
+
+double RuntimeDetector::malscore(const DocumentState& doc) const {
+  // Forged SOAP traffic convicts unconditionally (§IV zero tolerance).
+  if (doc.fake_message) return config_.threshold + config_.w2;
+  // Eq. 1. Documents with no in-JS feature score zero regardless of static
+  // features (workflow step 1: everything is ignored until an in-JS
+  // operation activates the document).
+  if (!doc.active) return 0.0;
+
+  int static_and_outjs = doc.static_features.binary_sum();
+  int in_js = 0;
+  for (Feature f : doc.runtime_features) {
+    if (f == Feature::kF6_OutJsProcessCreation ||
+        f == Feature::kF7_OutJsDllInjection) {
+      ++static_and_outjs;
+    } else {
+      ++in_js;
+    }
+  }
+  return config_.w1 * static_and_outjs + config_.w2 * in_js;
+}
+
+void RuntimeDetector::evaluate(const std::string& key_text, DocumentState& doc) {
+  if (doc.alerted) return;
+  if (malscore(doc) >= config_.threshold) raise_alert(key_text, doc);
+}
+
+void RuntimeDetector::raise_alert(const std::string& /*key_text*/,
+                                  DocumentState& doc) {
+  doc.alerted = true;
+  alerts_.push_back(doc.name);
+  // Confinement on alert (Table III): quarantine what it dropped and kill
+  // what it started.
+  for (const std::string& path : doc.dropped_files) {
+    if (kernel_.fs().exists(path)) kernel_.fs().quarantine(path);
+  }
+  for (int pid : doc.sandboxed_children) {
+    if (sys::Process* child = kernel_.process(pid)) {
+      kernel_.terminate(pid);
+      if (kernel_.fs().exists(child->image())) {
+        kernel_.fs().quarantine(child->image());
+      }
+    }
+  }
+}
+
+Verdict RuntimeDetector::verdict(const InstrumentationKey& key) const {
+  Verdict v;
+  auto it = docs_.find(key.combined());
+  if (it == docs_.end()) return v;
+  v.malscore = malscore(it->second);
+  v.malicious = it->second.alerted || v.malscore >= config_.threshold;
+  v.evidence = it->second.evidence;
+  return v;
+}
+
+Verdict RuntimeDetector::verdict_by_name(const std::string& name) const {
+  for (const auto& [key_text, doc] : docs_) {
+    if (doc.name == name) {
+      Verdict v;
+      v.malscore = malscore(doc);
+      v.malicious = doc.alerted || v.malscore >= config_.threshold;
+      v.evidence = doc.evidence;
+      return v;
+    }
+  }
+  return {};
+}
+
+const DocumentState* RuntimeDetector::state(const InstrumentationKey& key) const {
+  auto it = docs_.find(key.combined());
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pdfshield::core

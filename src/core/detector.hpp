@@ -1,0 +1,156 @@
+// Runtime detection and lightweight confinement (paper §III-D/E, Fig. 4).
+//
+// The detector is a stand-alone component that
+//   * installs IAT hooks on PDF-reader processes through an AppInit-style
+//     trampoline (hook events arrive over the simulated hook channel);
+//   * runs the tiny SOAP server the in-document context monitoring code
+//     reports JS-context ENTER/EXIT to, authenticated by the two-part key;
+//   * keeps one malscore per open unknown document: in-JS operations feed
+//     only the current document, out-of-JS operations feed every active
+//     one; malscore = w1 * Σ(F1..F7) + w2 * Σ(F8..F13)   (Eq. 1);
+//   * enforces the Table-III confinement rules: dropped files tracked and
+//     quarantined on alert, process creation vetoed and re-run inside a
+//     Sandboxie-style jail, DLL injection always vetoed;
+//   * maintains the persistent cross-document executable list that links
+//     cooperating malicious documents;
+//   * treats any malformed/unauthenticated SOAP message as an attack
+//     (zero tolerance, §IV "Mimicry Attack").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/keys.hpp"
+#include "core/static_features.hpp"
+#include "js/value.hpp"
+#include "reader/reader_sim.hpp"
+#include "sys/kernel.hpp"
+
+namespace pdfshield::core {
+
+/// The thirteen features of Eq. 1. F1–F5 static, F6/F7 out-of-JS-context,
+/// F8–F13 in-JS-context (Table II order).
+enum class Feature {
+  kF1_JsChainRatio = 1,
+  kF2_HeaderObfuscation,
+  kF3_HexCode,
+  kF4_EmptyObjects,
+  kF5_EncodingLevels,
+  kF6_OutJsProcessCreation,
+  kF7_OutJsDllInjection,
+  kF8_MemoryConsumption,
+  kF9_NetworkAccess,
+  kF10_MappedMemorySearch,
+  kF11_MalwareDropping,
+  kF12_ProcessCreation,
+  kF13_DllInjection,
+};
+
+std::string feature_name(Feature f);
+
+struct DetectorConfig {
+  /// How the detector hooks the reader's API surface. The paper's
+  /// prototype uses IAT hooks (simple, bypassable via GetProcAddress /
+  /// direct syscalls); kernel-mode hooks are its stated future hardening.
+  enum class HookMode { kIat, kKernelMode };
+  HookMode hook_mode = HookMode::kIat;
+
+  double w1 = 1.0;
+  double w2 = 9.0;
+  double threshold = 10.0;
+  std::uint64_t memory_threshold = 100ull * 1024 * 1024;  ///< F8: 100 MB
+  std::string soap_url = "http://127.0.0.1:8777/pdfshield";
+  /// Benign helper programs commonly spawned by readers (whitelist for
+  /// out-of-JS process creation).
+  std::vector<std::string> process_whitelist = {"WerFault.exe", "AdobeARM.exe",
+                                                "acrotray.exe"};
+};
+
+/// Everything the detector knows about one instrumented document.
+struct DocumentState {
+  std::string name;
+  StaticFeatures static_features;
+  std::set<Feature> runtime_features;
+  bool active = false;       ///< >= 1 in-JS operation observed
+  bool in_js = false;        ///< currently inside a JS context envelope
+  bool alerted = false;
+  bool fake_message = false; ///< unauthenticated SOAP traffic seen
+  std::uint64_t memory_at_enter = 0;
+  std::vector<std::string> dropped_files;      ///< paths dropped in-JS
+  std::vector<int> sandboxed_children;         ///< pids detector confined
+  std::vector<std::string> injected_dlls;      ///< blocked injection targets
+  std::vector<std::string> evidence;           ///< human-readable trail
+};
+
+struct Verdict {
+  bool malicious = false;
+  double malscore = 0.0;
+  std::vector<std::string> evidence;
+};
+
+class RuntimeDetector {
+ public:
+  RuntimeDetector(sys::Kernel& kernel, support::Rng& rng,
+                  DetectorConfig config = {});
+
+  const std::string& detector_id() const { return detector_id_; }
+  const DetectorConfig& config() const { return config_; }
+
+  /// Front-end hand-off: associates a per-document key with its name and
+  /// static features.
+  void register_document(const InstrumentationKey& key, const std::string& name,
+                         const StaticFeatures& features);
+
+  /// Attaches to a reader: installs the API hooks on its process and
+  /// registers the SOAP endpoint.
+  void attach(reader::ReaderSim& reader);
+
+  /// SOAP entry point (wired into the reader by attach()).
+  js::Value handle_soap(const js::Value& payload);
+
+  /// Hook-channel disconnect: the reader crashed. Finalizes the document
+  /// that was in JS context (its EXIT message will never arrive) — this is
+  /// how spray-then-crash samples still get their memory feature scored.
+  void on_reader_crash();
+
+  /// Current verdict for a document key (Eq. 1 against current state).
+  Verdict verdict(const InstrumentationKey& key) const;
+  /// Verdict by document name (first match).
+  Verdict verdict_by_name(const std::string& name) const;
+
+  const DocumentState* state(const InstrumentationKey& key) const;
+
+  /// Persistent list of executables downloaded in JS context (survives
+  /// document closes; links cross-document attacks).
+  const std::set<std::string>& downloaded_executables() const {
+    return executable_list_;
+  }
+
+  /// Alerts raised so far (document names).
+  const std::vector<std::string>& alerts() const { return alerts_; }
+
+ private:
+  void on_api_event(const sys::ApiEvent& event, bool blocked);
+  sys::ApiOutcome hook_decision(const sys::ApiEvent& event);
+  void record_in_js(DocumentState& doc, Feature f, const std::string& why);
+  void record_out_js(Feature f, const std::string& why);
+  void check_memory(DocumentState& doc);
+  void evaluate(const std::string& key_text, DocumentState& doc);
+  void raise_alert(const std::string& key_text, DocumentState& doc);
+  double malscore(const DocumentState& doc) const;
+  DocumentState* current_in_js_doc();
+
+  sys::Kernel& kernel_;
+  DetectorConfig config_;
+  std::string detector_id_;
+  std::map<std::string, DocumentState> docs_;  ///< by combined key text
+  std::string current_js_key_;                 ///< combined key, "" if none
+  std::set<std::string> executable_list_;      ///< persistent
+  std::vector<std::string> alerts_;
+  int reader_pid_ = 0;
+};
+
+}  // namespace pdfshield::core

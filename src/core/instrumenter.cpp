@@ -1,0 +1,324 @@
+#include "core/instrumenter.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <algorithm>
+#include <map>
+
+#include "support/encoding.hpp"
+#include "support/strings.hpp"
+
+namespace pdfshield::core {
+
+Instrumenter::Instrumenter(support::Rng& rng, std::string detector_id,
+                           InstrumenterOptions options)
+    : rng_(rng), detector_id_(std::move(detector_id)), options_(std::move(options)) {}
+
+namespace {
+
+/// Escapes a JS source string into a single-quoted literal (used when
+/// embedding a wrapper as a method argument).
+std::string js_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    switch (c) {
+      case '\'': out += "\\'"; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('\'');
+  return out;
+}
+
+/// Finds the extent of a string literal starting at `pos` (which must be a
+/// quote character). Returns one past the closing quote, or npos.
+std::size_t literal_end(const std::string& src, std::size_t pos) {
+  const char quote = src[pos];
+  for (std::size_t i = pos + 1; i < src.size(); ++i) {
+    if (src[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (src[i] == quote) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Methods whose literal script argument must be instrumented, with the
+/// argument index carrying the script (Table IV + delayed execution).
+struct DynamicMethod {
+  const char* name;
+  int script_arg;  ///< 0-based index; -1 = last argument
+};
+
+constexpr DynamicMethod kDynamicMethods[] = {
+    {"addScript", 1},   {"setAction", -1}, {"setPageAction", -1},
+    {"setTimeOut", 0},  {"setInterval", 0},
+};
+
+}  // namespace
+
+std::string Instrumenter::instrument_dynamic_literals(
+    const std::string& source, const InstrumentationKey& key) {
+  std::string out = source;
+  // Iterate until fixpoint-free single pass per method: we scan left to
+  // right, replacing literal arguments; replacements are themselves
+  // wrappers whose payloads are encrypted, so they are never re-matched.
+  for (const DynamicMethod& method : kDynamicMethods) {
+    std::size_t search_from = 0;
+    while (true) {
+      const std::size_t at = out.find(std::string(method.name) + "(", search_from);
+      if (at == std::string::npos) break;
+      const std::size_t open = at + std::string(method.name).size();
+      // Collect top-level argument boundaries inside the parentheses.
+      int depth = 0;
+      std::vector<std::pair<std::size_t, std::size_t>> args;  // [start, end)
+      std::size_t arg_start = open + 1;
+      std::size_t close = std::string::npos;
+      for (std::size_t i = open; i < out.size(); ++i) {
+        const char c = out[i];
+        if (c == '\'' || c == '"') {
+          const std::size_t end = literal_end(out, i);
+          if (end == std::string::npos) break;
+          i = end - 1;
+          continue;
+        }
+        if (c == '(') {
+          if (depth++ == 0) arg_start = i + 1;
+          continue;
+        }
+        if (c == ')') {
+          if (--depth == 0) {
+            args.emplace_back(arg_start, i);
+            close = i;
+            break;
+          }
+          continue;
+        }
+        if (c == ',' && depth == 1) {
+          args.emplace_back(arg_start, i);
+          arg_start = i + 1;
+        }
+      }
+      if (close == std::string::npos) break;  // unbalanced; stop rewriting
+      search_from = at + 1;
+      if (args.empty()) continue;
+
+      const std::size_t idx =
+          method.script_arg < 0
+              ? args.size() - 1
+              : static_cast<std::size_t>(method.script_arg);
+      if (idx >= args.size()) continue;
+      auto [s, e] = args[idx];
+      // Trim whitespace.
+      while (s < e && std::isspace(static_cast<unsigned char>(out[s]))) ++s;
+      while (e > s && std::isspace(static_cast<unsigned char>(out[e - 1]))) --e;
+      if (s >= e) continue;
+      if (out[s] != '\'' && out[s] != '"') continue;  // not a literal
+      const std::size_t lit_end = literal_end(out, s);
+      if (lit_end == std::string::npos || lit_end != e) continue;
+
+      // Decode the literal (we only handle the escapes js_quote produces
+      // plus the common ones; unknown escapes pass through verbatim).
+      std::string script;
+      for (std::size_t i = s + 1; i + 1 < e; ++i) {
+        if (out[i] == '\\' && i + 1 < e - 1) {
+          const char n = out[i + 1];
+          if (n == 'n') {
+            script.push_back('\n');
+          } else if (n == 'r') {
+            script.push_back('\r');
+          } else if (n == 't') {
+            script.push_back('\t');
+          } else {
+            script.push_back(n);
+          }
+          ++i;
+        } else {
+          script.push_back(out[i]);
+        }
+      }
+      // Skip literals that already carry one of our wrappers (they embed a
+      // key minted under our detector id).
+      if (support::contains(script, key.detector_id + "-")) continue;
+
+      const std::string wrapped = generate_monitor_wrapper(
+          script, key, EnvelopeRole::kFull, rng_, options_.codegen);
+      const std::string literal = js_quote(wrapped);
+      out.replace(s, e - s, literal);
+      search_from = at + 1;  // re-scan conservatively after mutation
+    }
+  }
+  return out;
+}
+
+InstrumentationRecord Instrumenter::instrument(pdf::Document& doc) {
+  InstrumentationRecord record;
+  record.key = generate_document_key(rng_, detector_id_);
+
+  const JsChainAnalysis analysis = analyze_js_chains(doc);
+
+  // Duplicate-instrumentation guard: a script carrying a key minted by
+  // THIS installation (the detector id is a per-install secret) was
+  // already instrumented here. Documents instrumented elsewhere — or
+  // attacker text that merely mentions our public SOAP endpoint — do not
+  // trip the guard and get (re-)instrumented normally; the Detector ID in
+  // the key sorts their stale monitoring traffic out at runtime.
+  for (const JsSite& site : analysis.sites) {
+    if (support::contains(site.source, detector_id_ + "-")) {
+      record.already_instrumented = true;
+      return record;
+    }
+  }
+
+  // Group sites by sequence so each sequence gets one envelope.
+  std::map<int, std::vector<const JsSite*>> sequences;
+  for (const JsSite& site : analysis.sites) {
+    if (!site.triggered && !options_.include_untriggered) continue;
+    if (site.source.empty()) continue;
+    sequences[site.sequence_id].push_back(&site);
+  }
+
+  for (auto& [seq_id, sites] : sequences) {
+    std::sort(sites.begin(), sites.end(),
+              [](const JsSite* a, const JsSite* b) {
+                return a->sequence_pos < b->sequence_pos;
+              });
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      const JsSite& site = *sites[i];
+      EnvelopeRole role;
+      if (sites.size() == 1) {
+        role = EnvelopeRole::kFull;
+      } else if (i == 0) {
+        role = EnvelopeRole::kEnterOnly;
+      } else if (i + 1 == sites.size()) {
+        role = EnvelopeRole::kExitOnly;
+      } else {
+        role = EnvelopeRole::kMiddle;
+      }
+
+      const std::string staged_safe =
+          instrument_dynamic_literals(site.source, record.key);
+      const std::string replacement = generate_monitor_wrapper(
+          staged_safe, record.key, role, rng_, options_.codegen);
+
+      InstrumentationRecord::Entry entry;
+      entry.object_num = site.object_num;
+      entry.in_stream = site.code_in_stream;
+      entry.code_object = site.code_object;
+      entry.original = site.source;
+      record.entries.push_back(std::move(entry));
+
+      replace_script(doc, site, replacement);
+    }
+  }
+  return record;
+}
+
+void Instrumenter::replace_script(pdf::Document& doc, const JsSite& site,
+                                  const std::string& replacement) {
+  pdf::Object* holder = doc.object({site.object_num, 0});
+  if (!holder) return;
+  pdf::Dict& dict = holder->dict_or_stream_dict();
+  pdf::Object* js = dict.find("JS");
+  if (!js) return;
+
+  if (js->is_ref()) {
+    pdf::Object* target = doc.object(js->as_ref());
+    if (!target) return;
+    if (target->is_stream()) {
+      pdf::Stream& s = target->as_stream();
+      s.data = support::to_bytes(replacement);
+      s.dict.erase("Filter");
+      s.dict.erase("DecodeParms");
+      s.dict.set("Length", pdf::Object(static_cast<std::int64_t>(s.data.size())));
+    } else if (target->is_string()) {
+      *target = pdf::Object::string(replacement);
+    }
+    return;
+  }
+  if (js->is_stream()) {
+    pdf::Stream& s = js->as_stream();
+    s.data = support::to_bytes(replacement);
+    s.dict.erase("Filter");
+    s.dict.set("Length", pdf::Object(static_cast<std::int64_t>(s.data.size())));
+    return;
+  }
+  *js = pdf::Object::string(replacement);
+}
+
+std::string serialize_record(const InstrumentationRecord& record) {
+  std::string out = "pdfshield-record v1\n";
+  out += "key " + record.key.combined() + "\n";
+  for (const auto& e : record.entries) {
+    out += "entry " + std::to_string(e.object_num) + " " +
+           std::to_string(e.code_object) + " " +
+           (e.in_stream ? std::string("stream") : std::string("string")) + " " +
+           support::base64_encode(support::to_bytes(e.original)) + "\n";
+  }
+  return out;
+}
+
+std::optional<InstrumentationRecord> parse_record(const std::string& text) {
+  InstrumentationRecord record;
+  bool have_header = false, have_key = false;
+  for (const std::string& line : support::split(text, '\n')) {
+    if (line.empty()) continue;
+    const auto fields = support::split(line, ' ');
+    if (!have_header) {
+      if (line != "pdfshield-record v1") return std::nullopt;
+      have_header = true;
+      continue;
+    }
+    if (fields[0] == "key" && fields.size() == 2) {
+      auto key = InstrumentationKey::parse(fields[1]);
+      if (!key) return std::nullopt;
+      record.key = *key;
+      have_key = true;
+      continue;
+    }
+    if (fields[0] == "entry" && fields.size() == 5) {
+      InstrumentationRecord::Entry entry;
+      entry.object_num = std::atoi(fields[1].c_str());
+      entry.code_object = std::atoi(fields[2].c_str());
+      entry.in_stream = fields[3] == "stream";
+      try {
+        const support::Bytes original = support::base64_decode(fields[4]);
+        entry.original.assign(original.begin(), original.end());
+      } catch (const support::Error&) {
+        return std::nullopt;
+      }
+      record.entries.push_back(std::move(entry));
+      continue;
+    }
+    return std::nullopt;  // unknown directive
+  }
+  if (!have_header || !have_key) return std::nullopt;
+  return record;
+}
+
+void Instrumenter::deinstrument(pdf::Document& doc,
+                                const InstrumentationRecord& record) {
+  for (const auto& entry : record.entries) {
+    pdf::Object* holder = doc.object({entry.object_num, 0});
+    if (!holder) continue;
+    pdf::Dict& dict = holder->dict_or_stream_dict();
+    pdf::Object* js = dict.find("JS");
+    if (!js) continue;
+
+    pdf::Object* target = js->is_ref() ? doc.object(js->as_ref()) : js;
+    if (!target) continue;
+    if (target->is_stream()) {
+      pdf::Stream& s = target->as_stream();
+      s.data = support::to_bytes(entry.original);
+      s.dict.set("Length", pdf::Object(static_cast<std::int64_t>(s.data.size())));
+    } else {
+      *target = pdf::Object::string(entry.original);
+    }
+  }
+}
+
+}  // namespace pdfshield::core

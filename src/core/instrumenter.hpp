@@ -1,0 +1,82 @@
+// Static document instrumentation (paper §III-C) and de-instrumentation
+// (§III-F).
+//
+// For every trigger-associated Javascript chain, the original script is
+// replaced in place by a context monitoring wrapper (see monitor_codegen).
+// Sequentially invoked scripts (/Next, /Names) share a single envelope.
+// Literal script arguments of the Table-IV methods (Doc.addScript,
+// Doc.setAction, Doc.setPageAction, Field.setAction, Bookmark.setAction)
+// and of app.setTimeOut/setInterval are instrumented recursively, closing
+// the staged-attack and delayed-execution holes of §IV.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/jschain.hpp"
+#include "core/keys.hpp"
+#include "core/monitor_codegen.hpp"
+#include "pdf/document.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::core {
+
+/// De-instrumentation specification: enough to restore the document
+/// byte-for-byte at the Javascript level once it is classified benign.
+struct InstrumentationRecord {
+  InstrumentationKey key;
+  struct Entry {
+    int object_num = 0;      ///< Object whose /JS was replaced.
+    bool in_stream = false;  ///< Replacement stored into a stream's data.
+    int code_object = 0;     ///< Object holding the code.
+    std::string original;    ///< Original Javascript source.
+  };
+  std::vector<Entry> entries;
+  bool already_instrumented = false;  ///< Duplicate-instrumentation guard hit.
+};
+
+/// Serializes a record to the sidecar format the de-instrumentation job
+/// consumes ("de-instrumentation specifications", §III-F). Line-based,
+/// originals base64-encoded.
+std::string serialize_record(const InstrumentationRecord& record);
+
+/// Parses a serialized record; nullopt on malformed input.
+std::optional<InstrumentationRecord> parse_record(const std::string& text);
+
+struct InstrumenterOptions {
+  MonitorCodegenOptions codegen;
+  /// Instrument non-triggered chains too (off by default, as in the paper:
+  /// only chains tied to a triggering action can execute).
+  bool include_untriggered = false;
+};
+
+class Instrumenter {
+ public:
+  /// `detector_id` is the per-installation half of every key.
+  Instrumenter(support::Rng& rng, std::string detector_id,
+               InstrumenterOptions options = {});
+
+  /// Instruments `doc` in place. The per-document key is generated here and
+  /// returned in the record (the caller registers it with the detector).
+  InstrumentationRecord instrument(pdf::Document& doc);
+
+  /// Restores the original scripts.
+  static void deinstrument(pdf::Document& doc,
+                           const InstrumentationRecord& record);
+
+  /// Rewrites literal script arguments of dynamic-script methods inside a
+  /// Javascript source (exposed for tests).
+  std::string instrument_dynamic_literals(const std::string& source,
+                                          const InstrumentationKey& key);
+
+ private:
+  void replace_script(pdf::Document& doc, const JsSite& site,
+                      const std::string& replacement);
+
+  support::Rng& rng_;
+  std::string detector_id_;
+  InstrumenterOptions options_;
+};
+
+}  // namespace pdfshield::core

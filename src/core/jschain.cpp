@@ -1,0 +1,185 @@
+#include "core/jschain.hpp"
+
+#include <map>
+
+#include "pdf/filters.hpp"
+
+namespace pdfshield::core {
+
+namespace {
+
+/// Reads the Javascript text behind a /JS entry (string or stream).
+std::string js_source_of(const pdf::Document& doc, const pdf::Object& js_value,
+                         bool* in_stream, int* code_object) {
+  *in_stream = false;
+  if (js_value.is_ref()) *code_object = js_value.as_ref().num;
+  const pdf::Object& resolved = doc.resolve(js_value);
+  if (resolved.is_string()) {
+    return support::to_string(resolved.as_string().data);
+  }
+  if (resolved.is_stream()) {
+    *in_stream = true;
+    try {
+      return support::to_string(pdf::decode_stream(resolved.as_stream()));
+    } catch (const support::Error&) {
+      return support::to_string(resolved.as_stream().data);
+    }
+  }
+  return {};
+}
+
+/// Object numbers directly referenced from a trigger entry point of the
+/// catalog or a page (/OpenAction, /AA, /Names).
+std::set<int> trigger_roots(const pdf::Document& doc) {
+  std::set<int> roots;
+  auto add_refs_from = [&](const pdf::Object& obj) {
+    for (const pdf::Ref& r : pdf::collect_refs(obj)) roots.insert(r.num);
+  };
+
+  const pdf::Object* catalog = doc.catalog();
+  if (catalog && (catalog->is_dict() || catalog->is_stream())) {
+    const pdf::Dict& cat = catalog->dict_or_stream_dict();
+    // The catalog itself is a root when it hosts trigger keys: a chain
+    // that reaches it is trigger-associated.
+    for (const char* key : {"OpenAction", "AA", "Names"}) {
+      if (const pdf::Object* v = cat.find(key)) {
+        // Inline action dictionaries: their refs are roots too.
+        add_refs_from(*v);
+        if (const pdf::Object* root_ref = doc.trailer().find("Root");
+            root_ref && root_ref->is_ref()) {
+          roots.insert(root_ref->as_ref().num);
+        }
+      }
+    }
+  }
+  for (const auto& [num, obj] : doc.objects()) {
+    if (!obj.is_dict()) continue;
+    const pdf::Object* type = obj.as_dict().find("Type");
+    const bool is_page = type && type->is_name() && type->as_name().value == "Page";
+    const bool is_annot = type && type->is_name() && type->as_name().value == "Annot";
+    if ((is_page || is_annot) &&
+        (obj.as_dict().contains("AA") || obj.as_dict().contains("A"))) {
+      roots.insert(num);
+    }
+  }
+  return roots;
+}
+
+}  // namespace
+
+JsChainAnalysis analyze_js_chains(const pdf::Document& doc) {
+  JsChainAnalysis out;
+  out.total_objects = doc.object_count();
+  const pdf::ObjectGraph graph(doc);
+  const std::set<int> roots = trigger_roots(doc);
+
+  // Pass 1: find Javascript carriers (keyword scan for /JS and /JavaScript,
+  // which the spec requires to be plain text).
+  for (const auto& [num, obj] : doc.objects()) {
+    if (!obj.is_dict() && !obj.is_stream()) continue;
+    const pdf::Dict& dict = obj.dict_or_stream_dict();
+    const pdf::Object* js = dict.find("JS");
+    if (!js) continue;
+
+    JsSite site;
+    site.object_num = num;
+    site.code_object = num;
+    site.source = js_source_of(doc, *js, &site.code_in_stream, &site.code_object);
+    out.sites.push_back(std::move(site));
+  }
+
+  // Pass 2: chains = ancestors + self + descendants.
+  for (JsSite& site : out.sites) {
+    site.chain = graph.ancestors(site.object_num);
+    site.chain.insert(site.object_num);
+    for (int d : graph.descendants(site.object_num)) site.chain.insert(d);
+    for (int n : site.chain) out.chain_objects.insert(n);
+
+    // Trigger association: chain touches a trigger root.
+    for (int n : site.chain) {
+      if (roots.count(n)) {
+        site.triggered = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 3: sequence grouping. /Next chains: site A whose object references
+  // site B through /Next shares a sequence. /Names lists: all entries of
+  // the catalog's /JavaScript name tree share one sequence.
+  std::map<int, std::size_t> site_by_num;
+  for (std::size_t i = 0; i < out.sites.size(); ++i) {
+    site_by_num[out.sites[i].object_num] = i;
+  }
+  std::map<std::size_t, int> assigned;
+  int next_sequence = 0;
+
+  auto assign = [&](std::size_t idx, int seq, int pos) {
+    if (assigned.count(idx)) return;
+    assigned[idx] = seq;
+    out.sites[idx].sequence_id = seq;
+    out.sites[idx].sequence_pos = pos;
+  };
+
+  // /Next chains.
+  for (std::size_t i = 0; i < out.sites.size(); ++i) {
+    if (assigned.count(i)) continue;
+    const pdf::Object* obj = doc.object({out.sites[i].object_num, 0});
+    if (!obj) continue;
+    const pdf::Dict& dict = obj->dict_or_stream_dict();
+    if (!dict.contains("Next")) continue;
+    // Walk the chain from here; only start a sequence at heads (no /Next
+    // pointing to us handled implicitly — duplicates are fine because
+    // assign() is first-write-wins and we scan in object order).
+    const int seq = next_sequence++;
+    int pos = 0;
+    int cur = out.sites[i].object_num;
+    std::set<int> seen;
+    while (seen.insert(cur).second) {
+      auto it = site_by_num.find(cur);
+      if (it != site_by_num.end()) assign(it->second, seq, pos++);
+      const pdf::Object* cur_obj = doc.object({cur, 0});
+      if (!cur_obj || (!cur_obj->is_dict() && !cur_obj->is_stream())) break;
+      const pdf::Object* next = cur_obj->dict_or_stream_dict().find("Next");
+      if (!next || !next->is_ref()) break;
+      cur = next->as_ref().num;
+    }
+  }
+
+  // /Names tree entries.
+  const pdf::Object* catalog = doc.catalog();
+  if (catalog && (catalog->is_dict() || catalog->is_stream())) {
+    if (const pdf::Object* names =
+            doc.resolved_find(catalog->dict_or_stream_dict(), "Names");
+        names && names->is_dict()) {
+      if (const pdf::Object* jstree = doc.resolved_find(names->as_dict(), "JavaScript");
+          jstree && jstree->is_dict()) {
+        if (const pdf::Object* list = doc.resolved_find(jstree->as_dict(), "Names");
+            list && list->is_array()) {
+          const int seq = next_sequence++;
+          int pos = 0;
+          bool used = false;
+          for (std::size_t i = 1; i < list->as_array().size(); i += 2) {
+            const pdf::Object& entry = list->as_array()[i];
+            if (!entry.is_ref()) continue;
+            auto it = site_by_num.find(entry.as_ref().num);
+            if (it != site_by_num.end()) {
+              assign(it->second, seq, pos++);
+              used = true;
+            }
+          }
+          if (!used) --next_sequence;
+        }
+      }
+    }
+  }
+
+  // Singletons get their own sequence ids.
+  for (std::size_t i = 0; i < out.sites.size(); ++i) {
+    if (!assigned.count(i)) assign(i, next_sequence++, 0);
+  }
+  out.sequence_count = next_sequence;
+  return out;
+}
+
+}  // namespace pdfshield::core

@@ -1,0 +1,53 @@
+// Javascript-chain reconstruction (paper §III-C, Figure 2).
+//
+// A *Javascript chain* is every indirect object on a reference path through
+// an object that carries Javascript (/JS value, /S /JavaScript action, or
+// the /Names /JavaScript tree). Reconstruction scans for Javascript
+// carriers, then backtracks to ancestors and forward-searches descendants
+// over the reference graph. Chains reachable from a triggering action
+// (/OpenAction, /AA, /Names) are the ones the instrumenter rewrites.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pdf/document.hpp"
+#include "pdf/graph.hpp"
+
+namespace pdfshield::core {
+
+/// One Javascript occurrence in a document.
+struct JsSite {
+  int object_num = 0;          ///< Object whose dict has the /JS entry.
+  bool code_in_stream = false; ///< /JS points at (or is) a stream.
+  int code_object = 0;         ///< Object holding the code text (may equal
+                               ///< object_num when the string is inline).
+  std::string source;          ///< Decoded Javascript source.
+  bool triggered = false;      ///< Reachable from a triggering action.
+  int sequence_id = -1;        ///< Group id for /Next- or /Names-sequences.
+  int sequence_pos = 0;        ///< Position within the sequence.
+  std::set<int> chain;         ///< Every object on this site's chain.
+};
+
+struct JsChainAnalysis {
+  std::vector<JsSite> sites;
+  std::set<int> chain_objects;  ///< Union of all chains.
+  std::size_t total_objects = 0;
+  int sequence_count = 0;
+
+  /// F1 numerator/denominator: |chain objects| / |document objects|.
+  double chain_ratio() const {
+    return total_objects == 0
+               ? 0.0
+               : static_cast<double>(chain_objects.size()) /
+                     static_cast<double>(total_objects);
+  }
+
+  bool has_javascript() const { return !sites.empty(); }
+};
+
+/// Reconstructs all Javascript chains in `doc`.
+JsChainAnalysis analyze_js_chains(const pdf::Document& doc);
+
+}  // namespace pdfshield::core

@@ -1,0 +1,44 @@
+#include "core/keys.hpp"
+
+#include <cctype>
+
+namespace pdfshield::core {
+
+namespace {
+constexpr std::size_t kPartLength = 16;
+
+bool is_hex_part(const std::string& s) {
+  if (s.size() != kPartLength) return false;
+  for (char c : s) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::optional<InstrumentationKey> InstrumentationKey::parse(
+    const std::string& text) {
+  const std::size_t dash = text.find('-');
+  if (dash == std::string::npos) return std::nullopt;
+  InstrumentationKey key;
+  key.detector_id = text.substr(0, dash);
+  key.document_key = text.substr(dash + 1);
+  if (!is_hex_part(key.detector_id) || !is_hex_part(key.document_key)) {
+    return std::nullopt;
+  }
+  return key;
+}
+
+std::string generate_detector_id(support::Rng& rng) {
+  return rng.hex_string(kPartLength);
+}
+
+InstrumentationKey generate_document_key(support::Rng& rng,
+                                         const std::string& detector_id) {
+  InstrumentationKey key;
+  key.detector_id = detector_id;
+  key.document_key = rng.hex_string(kPartLength);
+  return key;
+}
+
+}  // namespace pdfshield::core

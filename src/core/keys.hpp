@@ -1,0 +1,34 @@
+// The two-part random key protecting the SOAP channel (paper §III-C):
+// Detector ID (fixed per installation, filters out foreign instrumented
+// documents) ∥ Instrumentation Key (fresh per document, identifies which
+// open document is speaking).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace pdfshield::core {
+
+struct InstrumentationKey {
+  std::string detector_id;   ///< 16 hex chars, per installation.
+  std::string document_key;  ///< 16 hex chars, per instrumented document.
+
+  std::string combined() const { return detector_id + "-" + document_key; }
+
+  /// Parses "detector-document"; nullopt when malformed.
+  static std::optional<InstrumentationKey> parse(const std::string& text);
+
+  friend bool operator==(const InstrumentationKey&,
+                         const InstrumentationKey&) = default;
+};
+
+/// Generates a fresh per-installation detector id.
+std::string generate_detector_id(support::Rng& rng);
+
+/// Generates a fresh per-document key under a detector id.
+InstrumentationKey generate_document_key(support::Rng& rng,
+                                         const std::string& detector_id);
+
+}  // namespace pdfshield::core

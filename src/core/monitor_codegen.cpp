@@ -1,0 +1,157 @@
+#include "core/monitor_codegen.hpp"
+
+#include "support/encoding.hpp"
+
+namespace pdfshield::core {
+
+std::string encrypt_script(const std::string& plain, const std::string& key) {
+  support::Bytes data(plain.begin(), plain.end());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= static_cast<std::uint8_t>(key[i % key.size()]);
+  }
+  return support::base64_encode(data);
+}
+
+std::string decrypt_script(const std::string& encoded, const std::string& key) {
+  support::Bytes data = support::base64_decode(encoded);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= static_cast<std::uint8_t>(key[i % key.size()]);
+  }
+  return std::string(data.begin(), data.end());
+}
+
+namespace {
+
+/// Escapes a string into a single-quoted JS literal.
+std::string js_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    switch (c) {
+      case '\'': out += "\\'"; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\x";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('\'');
+  return out;
+}
+
+/// The base64+XOR decryptor with randomized identifiers. Written against
+/// the ES3 subset every Acrobat version (and our engine) supports.
+/// Characters accumulate in an array joined once at the end — linear
+/// allocation, so the monitoring code itself never trips the detector's
+/// own memory-consumption feature.
+std::string decryptor_source(const std::string& fn_name, support::Rng& rng) {
+  const std::string alpha = rng.identifier(6);
+  const std::string input = rng.identifier(5);
+  const std::string keyv = rng.identifier(5);
+  const std::string outv = rng.identifier(5);
+  const std::string buf = rng.identifier(5);
+  const std::string bits = rng.identifier(5);
+  const std::string idx = rng.identifier(4);
+  const std::string code = rng.identifier(5);
+  const std::string res = rng.identifier(5);
+  const std::string plain = rng.identifier(5);
+
+  std::string src;
+  src += "function " + fn_name + "(" + input + ", " + keyv + ") {\n";
+  src += "  var " + alpha +
+         " = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+         "+/';\n";
+  src += "  var " + outv + " = []; var " + buf + " = 0; var " + bits +
+         " = 0; var " + idx + ";\n";
+  src += "  for (" + idx + " = 0; " + idx + " < " + input + ".length; " + idx +
+         "++) {\n";
+  src += "    var " + code + " = " + alpha + ".indexOf(" + input + ".charAt(" +
+         idx + "));\n";
+  src += "    if (" + code + " < 0) continue;\n";
+  src += "    " + buf + " = (" + buf + " << 6) | " + code + "; " + bits +
+         " += 6;\n";
+  src += "    if (" + bits + " >= 8) { " + bits + " -= 8; " + outv + "[" +
+         outv + ".length] = String.fromCharCode((" + buf + " >> " + bits +
+         ") & 255); }\n";
+  src += "  }\n";
+  src += "  var " + plain + " = " + outv + ".join('');\n";
+  src += "  var " + res + " = [];\n";
+  src += "  for (" + idx + " = 0; " + idx + " < " + plain + ".length; " + idx +
+         "++) {\n";
+  src += "    " + res + "[" + res + ".length] = String.fromCharCode(" + plain +
+         ".charCodeAt(" + idx + ") ^ " + keyv + ".charCodeAt(" + idx + " % " +
+         keyv + ".length));\n";
+  src += "  }\n";
+  src += "  return " + res + ".join('');\n";
+  src += "}\n";
+  return src;
+}
+
+std::string soap_call(const std::string& url, const std::string& op,
+                      const std::string& key_var) {
+  return "SOAP.request({cURL: " + js_quote(url) + ", oRequest: {op: '" + op +
+         "', key: " + key_var + "}});\n";
+}
+
+std::string junk_statement(support::Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:
+      return "var " + rng.identifier(7) + " = " +
+             std::to_string(rng.below(100000)) + ";\n";
+    case 1:
+      return "var " + rng.identifier(7) + " = '" + rng.hex_string(8) + "';\n";
+    default:
+      return "var " + rng.identifier(7) + " = [" +
+             std::to_string(rng.below(100)) + ", " +
+             std::to_string(rng.below(100)) + "];\n";
+  }
+}
+
+}  // namespace
+
+std::string generate_monitor_wrapper(const std::string& original_source,
+                                     const InstrumentationKey& key,
+                                     EnvelopeRole role, support::Rng& rng,
+                                     const MonitorCodegenOptions& options) {
+  const std::string combined = key.combined();
+  const std::string key_var = rng.identifier(8);
+  const std::string dec_fn = rng.identifier(8);
+  const std::string err_var = rng.identifier(6);
+  const std::string payload = encrypt_script(original_source, combined);
+
+  const bool enter = role == EnvelopeRole::kFull || role == EnvelopeRole::kEnterOnly;
+  const bool exit = role == EnvelopeRole::kFull || role == EnvelopeRole::kExitOnly;
+
+  std::string src;
+  if (options.junk_statements) src += junk_statement(rng);
+  src += "var " + key_var + " = " + js_quote(combined) + ";\n";
+  src += decryptor_source(dec_fn, rng);
+
+  // Decoy copies: same shape, fresh names, fake keys — a memory scan for
+  // "the function near the key" finds several equally plausible candidates.
+  for (int i = 0; i < options.decoy_count; ++i) {
+    const std::string decoy_key_var = rng.identifier(8);
+    src += "var " + decoy_key_var + " = " +
+           js_quote(rng.hex_string(16) + "-" + rng.hex_string(16)) + ";\n";
+    src += decryptor_source(rng.identifier(8), rng);
+  }
+  if (options.junk_statements) src += junk_statement(rng);
+
+  if (enter) src += soap_call(options.detector_url, "enter", key_var);
+  // The epilogue must run even when the payload throws; a try/catch is the
+  // portable finally here (rethrow is deliberately omitted: the detector,
+  // not the document, decides what an error means).
+  src += "try { eval(" + dec_fn + "(" + js_quote(payload) + ", " + key_var +
+         ")); } catch (" + err_var + ") {}\n";
+  if (exit) src += soap_call(options.detector_url, "exit", key_var);
+  return src;
+}
+
+}  // namespace pdfshield::core

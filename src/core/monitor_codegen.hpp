@@ -1,0 +1,55 @@
+// Context-monitoring code generation (paper §III-C, Figure 3, §IV).
+//
+// For each Javascript snippet the instrumenter produces a replacement
+// script that:
+//   1. announces JS-context ENTER to the runtime detector over SOAP,
+//      authenticated by the two-part random key;
+//   2. decrypts the XOR+base64-encrypted original script and runs it via
+//      eval() — the encryption enforces control retention against runtime
+//      patching attacks (§IV), and eval() leaves no static signature;
+//   3. announces EXIT, in a finally-style epilogue that runs even when the
+//      original script throws.
+//
+// Anti-signature measures (§IV "Mimicry Attack"): every identifier is
+// freshly randomized per document, statement order is shuffled where
+// dataflow allows, junk declarations are interleaved, and decoy copies of
+// the monitoring function with fake keys are emitted.
+#pragma once
+
+#include <string>
+
+#include "core/keys.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::core {
+
+/// Position of a script inside a sequentially-invoked chain: sequential
+/// scripts share ONE monitoring envelope (enter before the first, exit
+/// after the last) to keep overhead low (§III-C).
+enum class EnvelopeRole {
+  kFull,       ///< enter + exit (singleton script)
+  kEnterOnly,  ///< first script of a sequence
+  kMiddle,     ///< interior script (encrypted eval only)
+  kExitOnly,   ///< last script of a sequence
+};
+
+struct MonitorCodegenOptions {
+  std::string detector_url = "http://127.0.0.1:8777/pdfshield";
+  int decoy_count = 2;        ///< fake monitoring-code copies
+  bool junk_statements = true;
+};
+
+/// XOR-encrypts `plain` with the key string and base64-encodes the result.
+/// The inverse of the generated JS decryptor.
+std::string encrypt_script(const std::string& plain, const std::string& key);
+
+/// Reference C++ decryption (tests + de-instrumentation verification).
+std::string decrypt_script(const std::string& encoded, const std::string& key);
+
+/// Generates the full replacement script wrapping `original_source`.
+std::string generate_monitor_wrapper(const std::string& original_source,
+                                     const InstrumentationKey& key,
+                                     EnvelopeRole role, support::Rng& rng,
+                                     const MonitorCodegenOptions& options = {});
+
+}  // namespace pdfshield::core

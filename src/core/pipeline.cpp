@@ -1,0 +1,127 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+
+#include <set>
+
+#include "pdf/crypto.hpp"
+#include "pdf/writer.hpp"
+
+namespace pdfshield::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+FrontEnd::FrontEnd(support::Rng& rng, std::string detector_id,
+                   FrontEndOptions options)
+    : rng_(rng), detector_id_(std::move(detector_id)), options_(std::move(options)) {}
+
+FrontEndResult FrontEnd::process(support::BytesView input) {
+  return process_impl(input, 0);
+}
+
+FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth) {
+  FrontEndResult result;
+
+  // Phase 1: parse + decompress.
+  auto t0 = std::chrono::steady_clock::now();
+  EncodingLevels levels;
+  try {
+    result.document = pdf::parse_document(input, &result.parse_stats);
+    // Owner-password protection (§III-A): the document opens with an empty
+    // user password but refuses modification — remove it so instrumentation
+    // can proceed.
+    if (pdf::is_encrypted(result.document)) {
+      result.password_removed =
+          pdf::decrypt_document(result.document, /*user_password=*/"");
+      if (!result.password_removed) {
+        result.error = "encrypted document: user password required";
+        result.timings.parse_decompress_s = seconds_since(t0);
+        return result;
+      }
+    }
+    levels = snapshot_encoding_levels(result.document);
+    result.streams_decompressed = result.document.decompress_all();
+  } catch (const support::Error& e) {
+    result.error = e.what();
+    result.timings.parse_decompress_s = seconds_since(t0);
+    return result;
+  }
+  result.timings.parse_decompress_s = seconds_since(t0);
+
+  // Phase 2: static feature extraction.
+  t0 = std::chrono::steady_clock::now();
+  const JsChainAnalysis chains = analyze_js_chains(result.document);
+  result.features = extract_static_features(result.document, chains, &levels);
+  result.has_javascript = chains.has_javascript();
+  result.timings.feature_extraction_s = seconds_since(t0);
+
+  // Phase 3: instrumentation (+ serialization). Embedded PDF documents
+  // are instrumented recursively before the host is serialized (§VI).
+  t0 = std::chrono::steady_clock::now();
+  Instrumenter instrumenter(rng_, detector_id_, options_.instrumenter);
+  result.record = instrumenter.instrument(result.document);
+  if (depth < 2) process_embedded_documents(result, depth);
+  if (options_.write_output) {
+    // Incremental mode appends only the instrumented objects to the
+    // original bytes — the paper's fast path for large documents.
+    if (options_.incremental_update && !result.password_removed &&
+        !result.record.already_instrumented) {
+      std::set<int> changed;
+      for (const auto& entry : result.record.entries) {
+        changed.insert(entry.object_num);
+        changed.insert(entry.code_object);
+      }
+      for (const auto& emb : result.embedded) changed.insert(emb.host_object);
+      changed.erase(0);
+      if (!changed.empty()) {
+        result.output =
+            pdf::write_incremental_update(input, result.document, changed);
+        result.incremental_used = true;
+      }
+    }
+    if (result.output.empty()) {
+      result.output = pdf::write_document(result.document);
+    }
+  }
+  result.timings.instrumentation_s = seconds_since(t0);
+
+  result.ok = true;
+  return result;
+}
+
+void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth) {
+  for (auto& [num, obj] : result.document.objects()) {
+    if (!obj.is_stream()) continue;
+    pdf::Stream& stream = obj.as_stream();
+    const pdf::Object* type = stream.dict.find("Type");
+    if (!type || !type->is_name() || type->as_name().value != "EmbeddedFile") {
+      continue;
+    }
+    // Only payloads that are themselves PDFs are instrumented.
+    if (support::as_view(stream.data).find("%PDF") == std::string_view::npos) {
+      continue;
+    }
+    FrontEndResult sub = process_impl(stream.data, depth + 1);
+    if (!sub.ok) continue;
+    FrontEndResult::EmbeddedResult embedded;
+    embedded.name = "embedded-" + std::to_string(num);
+    embedded.host_object = num;
+    embedded.features = sub.features;
+    embedded.record = sub.record;
+    result.embedded.push_back(std::move(embedded));
+    for (auto& nested : sub.embedded) result.embedded.push_back(std::move(nested));
+    stream.data = std::move(sub.output);
+    stream.dict.set("Length",
+                    pdf::Object(static_cast<std::int64_t>(stream.data.size())));
+    result.has_javascript = result.has_javascript || sub.has_javascript;
+  }
+}
+
+}  // namespace pdfshield::core

@@ -1,0 +1,83 @@
+// Front-end pipeline (paper Fig. 1, left half): parse & decompress ->
+// static feature extraction -> document instrumentation -> serialize.
+// Phase timings are recorded to reproduce Table X; parse statistics and
+// allocation counters feed Table XI.
+#pragma once
+
+#include <string>
+
+#include "core/instrumenter.hpp"
+#include "core/static_features.hpp"
+#include "pdf/parser.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::core {
+
+struct PhaseTimings {
+  double parse_decompress_s = 0;
+  double feature_extraction_s = 0;
+  double instrumentation_s = 0;
+  double total_s() const {
+    return parse_decompress_s + feature_extraction_s + instrumentation_s;
+  }
+};
+
+struct FrontEndResult {
+  bool ok = false;                 ///< false: input was not parseable PDF
+  std::string error;
+  pdf::Document document;          ///< instrumented document
+  support::Bytes output;           ///< serialized instrumented file
+  StaticFeatures features;
+  InstrumentationRecord record;
+  PhaseTimings timings;
+  pdf::ParseStats parse_stats;
+  std::size_t streams_decompressed = 0;
+  bool has_javascript = false;
+  bool password_removed = false;  ///< owner-password protection stripped
+  bool incremental_used = false;  ///< output is an incremental update
+
+  /// Embedded PDF documents found inside this one, instrumented in place
+  /// (§VI: features and instrumentation cover host and embedded files).
+  struct EmbeddedResult {
+    std::string name;            ///< "embedded-<object number>"
+    int host_object = 0;         ///< stream object in the host document
+    StaticFeatures features;
+    InstrumentationRecord record;
+  };
+  std::vector<EmbeddedResult> embedded;
+};
+
+struct FrontEndOptions {
+  InstrumenterOptions instrumenter;
+  /// Skip serialization (feature-only scans, e.g. for the baselines).
+  bool write_output = true;
+  /// Serialize as an incremental update (original bytes + appended
+  /// instrumented objects, §3.4.5) instead of a full rewrite. Falls back
+  /// to a full rewrite for owner-password-encrypted inputs (the base
+  /// revision would stay ciphertext).
+  bool incremental_update = false;
+};
+
+/// The static analysis & instrumentation component. One instance per
+/// installation (it owns the detector-id half of every key).
+class FrontEnd {
+ public:
+  FrontEnd(support::Rng& rng, std::string detector_id,
+           FrontEndOptions options = {});
+
+  /// Full pipeline over a candidate document.
+  FrontEndResult process(support::BytesView input);
+
+  const std::string& detector_id() const { return detector_id_; }
+
+ private:
+  FrontEndResult process_impl(support::BytesView input, int depth);
+  void process_embedded_documents(FrontEndResult& result, int depth);
+
+  support::Rng& rng_;
+  std::string detector_id_;
+  FrontEndOptions options_;
+};
+
+}  // namespace pdfshield::core

@@ -1,0 +1,79 @@
+#include "core/report.hpp"
+
+namespace pdfshield::core {
+
+using support::Json;
+
+Json document_report(const RuntimeDetector& detector,
+                     const InstrumentationKey& key) {
+  Json report = Json::object();
+  const DocumentState* state = detector.state(key);
+  if (!state) {
+    report["known"] = false;
+    return report;
+  }
+  const Verdict verdict = detector.verdict(key);
+  report["known"] = true;
+  report["document"] = state->name;
+  report["verdict"] = verdict.malicious ? "malicious" : "benign";
+  report["malscore"] = verdict.malscore;
+  report["threshold"] = detector.config().threshold;
+  report["alerted"] = state->alerted;
+  report["forged_soap_traffic"] = state->fake_message;
+
+  Json statics = Json::object();
+  statics["F1_js_chain_ratio"] = state->static_features.js_chain_ratio;
+  statics["F2_header_obfuscation"] = state->static_features.f2();
+  statics["F3_hex_code_in_keyword"] = state->static_features.f3();
+  statics["F4_empty_objects"] = state->static_features.empty_object_count;
+  statics["F5_encoding_levels"] = state->static_features.max_encoding_levels;
+  report["static_features"] = std::move(statics);
+
+  Json runtime = Json::array();
+  for (Feature f : state->runtime_features) runtime.push_back(feature_name(f));
+  report["runtime_features"] = std::move(runtime);
+
+  Json evidence = Json::array();
+  for (const auto& line : state->evidence) evidence.push_back(line);
+  report["evidence"] = std::move(evidence);
+
+  Json dropped = Json::array();
+  for (const auto& path : state->dropped_files) dropped.push_back(path);
+  report["dropped_files"] = std::move(dropped);
+  return report;
+}
+
+Json session_report(const RuntimeDetector& detector, const sys::Kernel& kernel) {
+  Json report = Json::object();
+  report["detector_id"] = detector.detector_id();
+
+  Json alerts = Json::array();
+  for (const auto& name : detector.alerts()) alerts.push_back(name);
+  report["alerts"] = std::move(alerts);
+
+  Json executables = Json::array();
+  for (const auto& exe : detector.downloaded_executables()) {
+    executables.push_back(exe);
+  }
+  report["tracked_executables"] = std::move(executables);
+
+  Json quarantined = Json::array();
+  Json sandboxed = Json::array();
+  for (const auto& path : kernel.fs().list()) {
+    if (sys::VirtualFileSystem::is_quarantined(path)) quarantined.push_back(path);
+  }
+  for (const auto& [pid, proc] : kernel.processes()) {
+    if (proc->sandboxed()) {
+      Json p = Json::object();
+      p["pid"] = pid;
+      p["image"] = proc->image();
+      p["terminated"] = proc->terminated();
+      sandboxed.push_back(std::move(p));
+    }
+  }
+  report["quarantined_files"] = std::move(quarantined);
+  report["sandboxed_processes"] = std::move(sandboxed);
+  return report;
+}
+
+}  // namespace pdfshield::core

@@ -1,0 +1,23 @@
+// User-facing alert reporting (§III-E: "When an alert is raised, we report
+// the malscore, associated features, and the detected malicious PDFs to
+// users"). Builds a structured JSON report from detector state plus the
+// kernel's confinement record.
+#pragma once
+
+#include <string>
+
+#include "core/detector.hpp"
+#include "support/json.hpp"
+
+namespace pdfshield::core {
+
+/// Report for one document (any verdict).
+support::Json document_report(const RuntimeDetector& detector,
+                              const InstrumentationKey& key);
+
+/// Session report: every alert plus the confinement ledger (quarantined
+/// files, sandboxed processes, persistent executable list).
+support::Json session_report(const RuntimeDetector& detector,
+                             const sys::Kernel& kernel);
+
+}  // namespace pdfshield::core

@@ -1,0 +1,94 @@
+#include "core/static_features.hpp"
+
+#include "pdf/filters.hpp"
+
+namespace pdfshield::core {
+
+namespace {
+
+/// True when `obj` is "empty" in the Figure-2 sense: a junk object that
+/// carries no data (a chain terminator used to mislead analyzers).
+bool is_empty_object(const pdf::Object& obj) {
+  if (obj.is_null()) return true;
+  if (obj.is_dict()) return obj.as_dict().empty();
+  if (obj.is_array()) return obj.as_array().empty();
+  if (obj.is_string()) return obj.as_string().data.empty();
+  if (obj.is_stream()) return obj.as_stream().data.empty();
+  return false;
+}
+
+/// True when any name (key or value) in `obj` used a #xx escape.
+bool has_hex_escaped_name(const pdf::Object& obj) {
+  switch (obj.value().index()) {
+    case 5:  // name
+      return obj.as_name().has_hex_escape();
+    case 6:  // array
+      for (const pdf::Object& item : obj.as_array()) {
+        if (has_hex_escaped_name(item)) return true;
+      }
+      return false;
+    case 7:    // dict
+    case 8: {  // stream
+      const pdf::Dict& d = obj.dict_or_stream_dict();
+      if (d.has_hex_escaped_key()) return true;
+      for (const auto& e : d.entries()) {
+        if (has_hex_escaped_name(e.value)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+EncodingLevels snapshot_encoding_levels(const pdf::Document& doc) {
+  EncodingLevels out;
+  for (const auto& [num, obj] : doc.objects()) {
+    if (obj.is_stream()) {
+      out[num] = static_cast<int>(pdf::filter_chain(obj.as_stream().dict).size());
+    }
+  }
+  return out;
+}
+
+StaticFeatures extract_static_features(const pdf::Document& doc,
+                                       const JsChainAnalysis& chains,
+                                       const EncodingLevels* encoding_levels) {
+  StaticFeatures out;
+
+  // F1: ratio of objects on Javascript chains.
+  out.js_chain_ratio = chains.chain_ratio();
+
+  // F2: header obfuscation — absent header, non-zero offset, or a version
+  // number outside the published set.
+  const pdf::HeaderInfo& h = doc.header();
+  out.header_obfuscated = !h.found || h.offset != 0 || !h.version_valid;
+
+  // F3/F4/F5 are checked for objects on Javascript chains only (§III-B).
+  for (int num : chains.chain_objects) {
+    const pdf::Object* obj = doc.object({num, 0});
+    if (!obj) continue;
+
+    if (!out.hex_code_in_keyword && has_hex_escaped_name(*obj)) {
+      out.hex_code_in_keyword = true;
+    }
+    if (is_empty_object(*obj)) ++out.empty_object_count;
+    int levels = 0;
+    if (encoding_levels) {
+      auto it = encoding_levels->find(num);
+      if (it != encoding_levels->end()) levels = it->second;
+    } else if (obj->is_stream()) {
+      levels = static_cast<int>(pdf::filter_chain(obj->as_stream().dict).size());
+    }
+    out.max_encoding_levels = std::max(out.max_encoding_levels, levels);
+  }
+  return out;
+}
+
+StaticFeatures extract_static_features(const pdf::Document& doc) {
+  return extract_static_features(doc, analyze_js_chains(doc));
+}
+
+}  // namespace pdfshield::core

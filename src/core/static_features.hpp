@@ -1,0 +1,55 @@
+// The five novel static features of §III-B, plus the Table VII
+// normalization rules that binarize them for the malscore.
+//
+//   F1  ratio of PDF objects on Javascript chains
+//   F2  PDF header obfuscation (offset / invalid version / missing)
+//   F3  hexadecimal (#xx) code in keywords on Javascript chains
+//   F4  count of empty objects on Javascript chains
+//   F5  maximum encoding (filter) levels on Javascript chains
+#pragma once
+
+#include <map>
+
+#include "core/jschain.hpp"
+#include "pdf/document.hpp"
+
+namespace pdfshield::core {
+
+struct StaticFeatures {
+  double js_chain_ratio = 0.0;   ///< F1 raw value.
+  bool header_obfuscated = false;  ///< F2.
+  bool hex_code_in_keyword = false;  ///< F3.
+  int empty_object_count = 0;    ///< F4 raw value.
+  int max_encoding_levels = 0;   ///< F5 raw value.
+
+  // Table VII normalization.
+  bool f1() const { return js_chain_ratio >= 0.2; }
+  bool f2() const { return header_obfuscated; }
+  bool f3() const { return hex_code_in_keyword; }
+  bool f4() const { return empty_object_count >= 1; }
+  bool f5() const { return max_encoding_levels >= 2; }
+
+  /// Number of positive static features (first summand of Eq. 1).
+  int binary_sum() const {
+    return static_cast<int>(f1()) + static_cast<int>(f2()) +
+           static_cast<int>(f3()) + static_cast<int>(f4()) +
+           static_cast<int>(f5());
+  }
+};
+
+/// Snapshot of per-object filter-chain depths, taken before
+/// decompress_all() strips /Filter entries (F5 needs the original chains).
+using EncodingLevels = std::map<int, int>;
+EncodingLevels snapshot_encoding_levels(const pdf::Document& doc);
+
+/// Extracts F1–F5. Must run on the document *before* decompress_all()
+/// normalizes streams away, or be given a pre-decompression
+/// `encoding_levels` snapshot for F5.
+StaticFeatures extract_static_features(const pdf::Document& doc,
+                                       const JsChainAnalysis& chains,
+                                       const EncodingLevels* encoding_levels = nullptr);
+
+/// Convenience overload that analyzes chains itself.
+StaticFeatures extract_static_features(const pdf::Document& doc);
+
+}  // namespace pdfshield::core

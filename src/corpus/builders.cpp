@@ -1,0 +1,383 @@
+#include "corpus/builders.hpp"
+
+#include "pdf/filters.hpp"
+#include "pdf/lexer.hpp"
+#include "pdf/writer.hpp"
+
+namespace pdfshield::corpus {
+
+using pdf::Array;
+using pdf::Dict;
+using pdf::Object;
+using pdf::Ref;
+using pdf::Stream;
+
+namespace {
+
+const char* kWords[] = {"system",   "analysis", "report",   "quarter",
+                        "security", "network",  "document", "figure",
+                        "table",    "method",   "result",   "process",
+                        "section",  "appendix", "summary",  "review",
+                        "policy",   "client",   "project",  "update"};
+
+}  // namespace
+
+std::string lorem_text(support::Rng& rng, std::size_t bytes) {
+  std::string out;
+  out.reserve(bytes + 16);
+  while (out.size() < bytes) {
+    out += kWords[rng.below(sizeof(kWords) / sizeof(kWords[0]))];
+    out.push_back(rng.chance(0.1) ? '.' : ' ');
+  }
+  return out;
+}
+
+DocumentBuilder::DocumentBuilder(support::Rng& rng) : rng_(rng) {
+  doc_.header().found = true;
+  doc_.header().offset = 0;
+  doc_.header().version = "1.7";
+  doc_.header().version_valid = true;
+  ensure_catalog();
+}
+
+void DocumentBuilder::ensure_catalog() {
+  if (catalog_ref_.num != 0) return;
+  Dict pages;
+  pages.set("Type", Object::name("Pages"));
+  pages.set("Kids", Object(Array{}));
+  pages.set("Count", Object(0));
+  pages_ref_ = doc_.add_object(Object(pages));
+
+  Dict catalog;
+  catalog.set("Type", Object::name("Catalog"));
+  catalog.set("Pages", Object(pages_ref_));
+  catalog_ref_ = doc_.add_object(Object(catalog));
+  doc_.trailer().set("Root", Object(catalog_ref_));
+}
+
+DocumentBuilder& DocumentBuilder::add_pages(int count, std::size_t text_bytes) {
+  for (int i = 0; i < count; ++i) {
+    const std::string text = "BT /F1 11 Tf 72 720 Td (" +
+                             lorem_text(rng_, text_bytes) + ") Tj ET";
+    pdf::EncodedStream enc =
+        pdf::encode_stream(support::to_bytes(text), {"FlateDecode"});
+    Stream content;
+    content.dict.set("Filter", enc.filter);
+    content.dict.set("Length", Object(static_cast<std::int64_t>(enc.data.size())));
+    content.data = enc.data;
+    const Ref content_ref = doc_.add_object(Object(content));
+
+    Dict page;
+    page.set("Type", Object::name("Page"));
+    page.set("Parent", Object(pages_ref_));
+    page.set("Contents", Object(content_ref));
+    page.set("MediaBox", Object(Array{Object(0), Object(0), Object(612), Object(792)}));
+    const Ref page_ref = doc_.add_object(Object(page));
+    page_refs_.push_back(page_ref);
+  }
+  Dict& pages = doc_.object(pages_ref_)->as_dict();
+  Array kids;
+  for (const Ref& r : page_refs_) kids.push_back(Object(r));
+  pages.set("Kids", Object(kids));
+  pages.set("Count", Object(static_cast<std::int64_t>(page_refs_.size())));
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::add_blank_page() {
+  Dict page;
+  page.set("Type", Object::name("Page"));
+  page.set("Parent", Object(pages_ref_));
+  const Ref page_ref = doc_.add_object(Object(page));
+  page_refs_.push_back(page_ref);
+  Dict& pages = doc_.object(pages_ref_)->as_dict();
+  Array kids;
+  for (const Ref& r : page_refs_) kids.push_back(Object(r));
+  pages.set("Kids", Object(kids));
+  pages.set("Count", Object(static_cast<std::int64_t>(page_refs_.size())));
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::add_padding_objects(int count) {
+  for (int i = 0; i < count; ++i) {
+    switch (rng_.below(3)) {
+      case 0: {
+        Dict font;
+        font.set("Type", Object::name("Font"));
+        font.set("Subtype", Object::name("Type1"));
+        font.set("BaseFont", Object::name("Helvetica"));
+        doc_.add_object(Object(font));
+        break;
+      }
+      case 1: {
+        Stream xobj;
+        xobj.dict.set("Type", Object::name("XObject"));
+        xobj.dict.set("Subtype", Object::name("Image"));
+        xobj.data = rng_.bytes(64 + rng_.below(256));
+        xobj.dict.set("Length", Object(static_cast<std::int64_t>(xobj.data.size())));
+        doc_.add_object(Object(xobj));
+        break;
+      }
+      default: {
+        Dict meta;
+        meta.set("Type", Object::name("Metadata"));
+        meta.set("Subtype", Object::name("XML"));
+        meta.set("Tag", Object::string(rng_.hex_string(12)));
+        doc_.add_object(Object(meta));
+      }
+    }
+  }
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::set_info(const std::string& key,
+                                           const std::string& value) {
+  const Object* info_obj = doc_.trailer().find("Info");
+  Ref info_ref;
+  if (info_obj && info_obj->is_ref()) {
+    info_ref = info_obj->as_ref();
+  } else {
+    info_ref = doc_.add_object(Object(Dict{}));
+    doc_.trailer().set("Info", Object(info_ref));
+  }
+  doc_.object(info_ref)->as_dict().set(key, Object::string(value));
+  return *this;
+}
+
+pdf::Ref DocumentBuilder::js_action(const std::string& script, bool in_stream) {
+  Object js_value = Object::string(script);
+  if (in_stream) {
+    Stream s;
+    s.data = support::to_bytes(script);
+    s.dict.set("Length", Object(static_cast<std::int64_t>(s.data.size())));
+    const Ref sref = doc_.add_object(Object(s));
+    js_stream_refs_.push_back(sref);
+    js_value = Object(sref);
+  }
+  Dict action;
+  action.set("Type", Object::name("Action"));
+  action.set("S", Object::name("JavaScript"));
+  action.set("JS", js_value);
+  return doc_.add_object(Object(action));
+}
+
+DocumentBuilder& DocumentBuilder::set_open_action_js(const std::string& script,
+                                                     bool in_stream) {
+  open_action_ref_ = js_action(script, in_stream);
+  doc_.object(catalog_ref_)->as_dict().set("OpenAction", Object(open_action_ref_));
+  return *this;
+}
+
+pdf::Dict& DocumentBuilder::names_dict() {
+  if (names_dict_ref_.num == 0) {
+    names_dict_ref_ = doc_.add_object(Object(Dict{}));
+    doc_.object(catalog_ref_)->as_dict().set("Names", Object(names_dict_ref_));
+  }
+  return doc_.object(names_dict_ref_)->as_dict();
+}
+
+DocumentBuilder& DocumentBuilder::add_named_js(const std::string& name,
+                                               const std::string& script,
+                                               bool in_stream) {
+  const Ref action = js_action(script, in_stream);
+  open_action_ref_ = open_action_ref_.num ? open_action_ref_ : action;
+  if (names_tree_ref_.num == 0) {
+    Dict jstree;
+    jstree.set("Names", Object(Array{}));
+    names_tree_ref_ = doc_.add_object(Object(jstree));
+    names_dict().set("JavaScript", Object(names_tree_ref_));
+  }
+  Dict& jstree = doc_.object(names_tree_ref_)->as_dict();
+  Array list = jstree.at("Names").as_array();
+  list.push_back(Object::string(name));
+  list.push_back(Object(action));
+  jstree.set("Names", Object(list));
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::add_embedded_file(
+    const std::string& name, const support::Bytes& contents) {
+  Stream ef;
+  ef.dict.set("Type", Object::name("EmbeddedFile"));
+  ef.data = contents;
+  ef.dict.set("Length", Object(static_cast<std::int64_t>(ef.data.size())));
+  const Ref ef_ref = doc_.add_object(Object(ef));
+
+  Dict filespec;
+  filespec.set("Type", Object::name("Filespec"));
+  filespec.set("F", Object::string(name));
+  Dict ef_entry;
+  ef_entry.set("F", Object(ef_ref));
+  filespec.set("EF", Object(ef_entry));
+  const Ref fs_ref = doc_.add_object(Object(filespec));
+
+  if (embedded_tree_ref_.num == 0) {
+    Dict tree;
+    tree.set("Names", Object(Array{}));
+    embedded_tree_ref_ = doc_.add_object(Object(tree));
+    names_dict().set("EmbeddedFiles", Object(embedded_tree_ref_));
+  }
+  Dict& tree = doc_.object(embedded_tree_ref_)->as_dict();
+  Array list = tree.at("Names").as_array();
+  list.push_back(Object::string(name));
+  list.push_back(Object(fs_ref));
+  tree.set("Names", Object(list));
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::chain_next_js(const std::string& script) {
+  const Ref next = js_action(script, /*in_stream=*/false);
+  // Walk the /Next chain from the open action to its tail.
+  Ref cur = open_action_ref_;
+  while (true) {
+    Dict& d = doc_.object(cur)->dict_or_stream_dict();
+    const Object* n = d.find("Next");
+    if (!n || !n->is_ref()) {
+      d.set("Next", Object(next));
+      return *this;
+    }
+    cur = n->as_ref();
+  }
+}
+
+DocumentBuilder& DocumentBuilder::set_page_aa_js(const std::string& script,
+                                                 bool in_stream) {
+  if (page_refs_.empty()) add_blank_page();
+  const Ref action = js_action(script, in_stream);
+  open_action_ref_ = action;  // obfuscation transforms target this action
+  Dict aa;
+  aa.set("O", Object(action));  // page-open trigger
+  doc_.object(page_refs_[0])->as_dict().set("AA", Object(aa));
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::add_form_field(const std::string& name,
+                                                 const std::string& value) {
+  Dict field;
+  field.set("FT", Object::name("Tx"));
+  field.set("T", Object::string(name));
+  field.set("V", Object::string(value));
+  const Ref field_ref = doc_.add_object(Object(field));
+  form_field_refs_.push_back(field_ref);
+
+  Dict& catalog = doc_.object(catalog_ref_)->as_dict();
+  Dict form;
+  if (const Object* existing = catalog.find("AcroForm");
+      existing && existing->is_dict()) {
+    form = existing->as_dict();
+  }
+  Array fields;
+  if (const Object* f = form.find("Fields"); f && f->is_array()) {
+    fields = f->as_array();
+  }
+  fields.push_back(Object(field_ref));
+  form.set("Fields", Object(fields));
+  catalog.set("AcroForm", Object(form));
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::add_render_exploit(const std::string& cve,
+                                                     const std::string& subtype) {
+  Stream payload;
+  payload.dict.set("Type", Object::name("EmbeddedFile"));
+  payload.dict.set("Subtype", Object::name(subtype));
+  payload.dict.set("CVE", Object::string(cve));
+  payload.data = rng_.bytes(128 + rng_.below(512));
+  payload.dict.set("Length", Object(static_cast<std::int64_t>(payload.data.size())));
+  const Ref payload_ref = doc_.add_object(Object(payload));
+  // Reference it from the first page (or the catalog) so it renders.
+  if (!page_refs_.empty()) {
+    doc_.object(page_refs_[0])->as_dict().set("Annots",
+                                              Object(Array{Object(payload_ref)}));
+  } else {
+    doc_.object(catalog_ref_)->as_dict().set("Media", Object(payload_ref));
+  }
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::hexify_js_keywords() {
+  // /JavaScript -> /JavaScr#69pt, /JS -> /J#53 (values and keys).
+  for (auto& [num, obj] : doc_.objects()) {
+    if (!obj.is_dict() && !obj.is_stream()) continue;
+    Dict& d = obj.dict_or_stream_dict();
+    for (auto& e : d.entries()) {
+      if (e.key == "JS") e.raw_key = "/J#53";
+      if (e.value.is_name() && e.value.as_name().value == "JavaScript") {
+        e.value = Object(pdf::Name("JavaScript", "/JavaScr#69pt"));
+      }
+    }
+  }
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::add_empty_objects_on_chain(int count) {
+  if (open_action_ref_.num == 0) return *this;
+  Array extras;
+  for (int i = 0; i < count; ++i) {
+    const Ref empty_ref = doc_.add_object(Object(Dict{}));
+    extras.push_back(Object(empty_ref));
+  }
+  doc_.object(open_action_ref_)->dict_or_stream_dict().set("Aux", Object(extras));
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::set_js_encoding_levels(int levels) {
+  static const std::vector<std::string> kFilters = {
+      "FlateDecode", "ASCIIHexDecode", "RunLengthDecode", "ASCII85Decode"};
+  for (const Ref& sref : js_stream_refs_) {
+    Stream& s = doc_.object(sref)->as_stream();
+    // Current data is plain (builders store JS unencoded initially).
+    std::vector<std::string> chain;
+    for (int i = 0; i < levels; ++i) chain.push_back(kFilters[static_cast<std::size_t>(i) % kFilters.size()]);
+    pdf::EncodedStream enc = pdf::encode_stream(s.data, chain);
+    s.data = enc.data;
+    if (enc.filter.is_null()) {
+      s.dict.erase("Filter");
+    } else {
+      s.dict.set("Filter", enc.filter);
+    }
+    s.dict.set("Length", Object(static_cast<std::int64_t>(s.data.size())));
+  }
+  return *this;
+}
+
+DocumentBuilder& DocumentBuilder::pack_js_into_object_stream() {
+  if (open_action_ref_.num == 0) return *this;
+  Object* action = doc_.object(open_action_ref_);
+  if (!action || !action->is_dict()) return *this;
+
+  // Serialize the action into the ObjStm body.
+  const std::string body = pdf::write_object(*action);
+  std::string payload = std::to_string(open_action_ref_.num) + " 0\n";
+  const std::size_t first = payload.size();
+  payload += body;
+
+  pdf::EncodedStream enc =
+      pdf::encode_stream(support::to_bytes(payload), {"FlateDecode"});
+  Stream objstm;
+  objstm.dict.set("Type", Object::name("ObjStm"));
+  objstm.dict.set("N", Object(1));
+  objstm.dict.set("First", Object(static_cast<std::int64_t>(first)));
+  objstm.dict.set("Filter", enc.filter);
+  objstm.data = enc.data;
+  objstm.dict.set("Length", Object(static_cast<std::int64_t>(objstm.data.size())));
+  doc_.add_object(Object(objstm));
+
+  // Remove the plain copy: the only definition now lives inside the
+  // compressed container.
+  doc_.objects().erase(open_action_ref_.num);
+  return *this;
+}
+
+support::Bytes DocumentBuilder::build(bool header_obfuscation) {
+  pdf::WriteOptions opts;
+  if (header_obfuscation) {
+    if (rng_.chance(0.5)) {
+      opts.junk_prefix_bytes = 32 + rng_.below(700);
+    } else {
+      opts.force_version = "9." + std::to_string(rng_.below(10));  // invalid
+    }
+  }
+  return pdf::write_document(doc_, opts);
+}
+
+}  // namespace pdfshield::corpus

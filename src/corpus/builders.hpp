@@ -1,0 +1,116 @@
+// Low-level document builders shared by the corpus generator: page trees,
+// content streams, Javascript actions, AcroForm fields, and the
+// obfuscation transforms whose population marginals Table VI reports
+// (header obfuscation, #xx keyword hex-escapes, empty objects on the JS
+// chain, multi-level stream encodings).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdf/document.hpp"
+#include "pdf/writer.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::corpus {
+
+/// Incrementally builds a realistic document. All randomness comes from
+/// the provided Rng, so corpora are reproducible.
+class DocumentBuilder {
+ public:
+  explicit DocumentBuilder(support::Rng& rng);
+
+  /// Adds `count` pages each holding a Flate-compressed text content
+  /// stream of roughly `text_bytes` of prose.
+  DocumentBuilder& add_pages(int count, std::size_t text_bytes = 800);
+
+  /// Adds a blank page (the classic malicious one-pager).
+  DocumentBuilder& add_blank_page();
+
+  /// Adds non-JS padding objects (metadata, font descriptors, xobjects) to
+  /// dilute the Javascript-chain ratio (benign documents are object-rich).
+  DocumentBuilder& add_padding_objects(int count);
+
+  /// Sets /Info metadata (Title etc). Payload smuggling via the title is a
+  /// documented extraction-evasion trick, so the value is caller-chosen.
+  DocumentBuilder& set_info(const std::string& key, const std::string& value);
+
+  /// Attaches Javascript to the document's /OpenAction.
+  DocumentBuilder& set_open_action_js(const std::string& script,
+                                      bool in_stream = false);
+
+  /// Appends a script to the catalog /Names /JavaScript tree.
+  DocumentBuilder& add_named_js(const std::string& name,
+                                const std::string& script,
+                                bool in_stream = false);
+
+  /// Chains a script after the current /OpenAction via /Next.
+  DocumentBuilder& chain_next_js(const std::string& script);
+
+  /// Attaches Javascript to the first page's /AA (page-open action) —
+  /// an alternative trigger surface malicious documents use.
+  DocumentBuilder& set_page_aa_js(const std::string& script,
+                                  bool in_stream = false);
+
+  /// Adds an AcroForm text field (name/value), optionally with JS actions.
+  DocumentBuilder& add_form_field(const std::string& name,
+                                  const std::string& value);
+
+  /// Adds an embedded non-JS exploit carrier (Flash/font/image stream
+  /// tagged with the CVE the reader model understands).
+  DocumentBuilder& add_render_exploit(const std::string& cve,
+                                      const std::string& subtype);
+
+  /// Attaches a file under /Names /EmbeddedFiles (PDF attachments; used by
+  /// the embedded-PDF attack family and §VI handling).
+  DocumentBuilder& add_embedded_file(const std::string& name,
+                                     const support::Bytes& contents);
+
+  /// --- obfuscation transforms (Table VI) --------------------------------
+
+  /// Re-spells /JavaScript and /JS keys with #xx hex escapes.
+  DocumentBuilder& hexify_js_keywords();
+
+  /// Hangs `count` empty objects off the Javascript chain.
+  DocumentBuilder& add_empty_objects_on_chain(int count);
+
+  /// Re-encodes the Javascript stream with an n-deep filter chain
+  /// (requires set_open_action_js(..., /*in_stream=*/true)).
+  DocumentBuilder& set_js_encoding_levels(int levels);
+
+  /// Hides the Javascript action dictionary inside a compressed object
+  /// stream (/Type /ObjStm) — a PDF-1.5 evasion against scanners that do
+  /// not open object streams. Requires a string-valued /JS (object
+  /// streams cannot contain stream objects).
+  DocumentBuilder& pack_js_into_object_stream();
+
+  /// Serialization. `header_obfuscation` pads junk before %PDF and/or
+  /// writes an invalid version.
+  support::Bytes build(bool header_obfuscation = false);
+
+  pdf::Document& document() { return doc_; }
+
+ private:
+  void ensure_catalog();
+  pdf::Ref js_action(const std::string& script, bool in_stream);
+
+  support::Rng& rng_;
+  pdf::Document doc_;
+  pdf::Ref catalog_ref_{0, 0};
+  pdf::Ref pages_ref_{0, 0};
+  std::vector<pdf::Ref> page_refs_;
+  pdf::Ref open_action_ref_{0, 0};
+  pdf::Ref names_tree_ref_{0, 0};
+  pdf::Ref names_dict_ref_{0, 0};
+  pdf::Ref embedded_tree_ref_{0, 0};
+
+  /// The catalog /Names dictionary object (created on demand).
+  pdf::Dict& names_dict();
+  std::vector<pdf::Ref> js_stream_refs_;  ///< streams holding JS code
+  std::vector<pdf::Ref> form_field_refs_;
+};
+
+/// Random prose of roughly `bytes` characters (compresses like real text).
+std::string lorem_text(support::Rng& rng, std::size_t bytes);
+
+}  // namespace pdfshield::corpus

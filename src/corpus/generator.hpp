@@ -1,0 +1,114 @@
+// Synthetic corpus generator reproducing the paper's evaluation dataset
+// (Table V) distributionally: benign documents (a fraction carrying
+// Javascript, like the 994 / 18623 in the paper), and malicious documents
+// whose static-feature marginals match Table VI, whose chain-ratio
+// distribution matches Fig. 6, and whose runtime-behaviour mix yields the
+// Table VIII structure (noise samples that do nothing on Acrobat 8/9,
+// crash samples, render-context exploits, droppers, egg-hunts, staged and
+// delayed attacks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::corpus {
+
+/// One generated document plus its ground truth.
+struct Sample {
+  std::string name;
+  support::Bytes data;
+  bool malicious = false;
+  std::string family;       ///< generator family tag
+  std::string cve;          ///< exploited CVE (malicious only)
+  bool has_javascript = false;
+  bool expect_noise = false;  ///< version-gated: does nothing on 8/9
+  bool expect_crash = false;  ///< hijack crashes the reader
+  bool expect_detectable = true;  ///< ground-truth expectation for Table VIII
+};
+
+/// Knobs, defaulted to the paper's measured proportions.
+struct CorpusConfig {
+  std::uint64_t seed = 0xC0FFEE;
+
+  // Table V scale (generate_* take explicit counts; these are defaults).
+  double benign_js_fraction = 994.0 / 18623.0;
+
+  // Table VI marginals over malicious samples.
+  double frac_header_obf = 578.0 / 7370.0;
+  double frac_hex_code = 543.0 / 7370.0;
+  double frac_empty_objects = 13.0 / 7370.0;
+  double frac_encoding_none = 233.0 / 7370.0;   ///< 0 levels
+  double frac_encoding_multi2 = 40.0 / 7370.0;  ///< 2 levels
+  double frac_encoding_multi3 = 31.0 / 7370.0;  ///< 3 levels
+
+  // Fig. 6: ~5% of malicious documents keep their ratio below 0.2.
+  double frac_low_ratio = 0.05;
+  // ~64/7370 sparse one-object-chain samples with ratio exactly 1.
+  double frac_ratio_one = 64.0 / 7370.0;
+
+  // Table VIII behaviour mix.
+  double frac_noise = 58.0 / 1000.0;        ///< CVE-2009-1492 / CVE-2013-0640
+  double frac_crash_plain = 25.0 / 1000.0;  ///< crash, no static features (FN)
+  double frac_crash_obfuscated = 10.0 / 1000.0;  ///< crash but still caught
+  double frac_render_context = 0.18;        ///< Flash/CoolType/U3D/TIFF/JBIG2
+  double frac_staged = 0.05;
+  double frac_delayed = 0.05;
+  double frac_egghunt = 0.08;
+  double frac_inject = 0.06;
+  double frac_shell = 0.08;
+
+  // Owner-password-encrypted malicious documents (anti-analysis; readable
+  // with an empty user password). The front-end strips the protection.
+  double frac_owner_encrypted = 0.02;
+
+  // Spray *target length* in physical bytes. The doubling loop allocates
+  // ~4x the target cumulatively, and reported memory is 64x physical, so
+  // 0.4-6.5 MB targets land on Fig. 7's 103-1700 MB reported range.
+  std::size_t spray_min_bytes = 850u << 10;
+  std::size_t spray_max_bytes = 6600u << 10;
+};
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusConfig config = CorpusConfig());
+
+  /// Generates `count` benign documents (JS-bearing per config fraction).
+  std::vector<Sample> generate_benign(std::size_t count);
+
+  /// Benign documents that all carry Javascript (the 994-population used
+  /// for feature validation and FP measurement).
+  std::vector<Sample> generate_benign_with_js(std::size_t count);
+
+  /// Generates `count` malicious documents with the configured mix.
+  std::vector<Sample> generate_malicious(std::size_t count);
+
+  /// A cooperating pair: the first drops an executable, the second runs it
+  /// (§III-E cross-document attack).
+  std::pair<Sample, Sample> generate_cross_document_pair();
+
+  /// A benign-looking host whose Javascript launches a malicious PDF
+  /// attachment (embedded-document attack, §VI).
+  Sample generate_embedded_attack_sample(std::size_t index);
+
+  /// Structural-mimicry variant of a malicious sample (the [8]-style
+  /// attack on static detectors): identical runtime behaviour, but the
+  /// document is padded and cleaned so static features look benign.
+  Sample make_mimicry_variant(std::size_t index);
+
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  Sample benign_sample(std::size_t index, bool force_js);
+  Sample malicious_sample(std::size_t index);
+
+  std::string spray_script(const std::string& shellcode, std::size_t bytes,
+                           const std::string& obfuscation_style);
+
+  CorpusConfig config_;
+  support::Rng rng_;
+};
+
+}  // namespace pdfshield::corpus

@@ -1,0 +1,91 @@
+#include "flate/bitstream.hpp"
+
+namespace pdfshield::flate {
+
+using support::DecodeError;
+
+void BitReader::refill() {
+  while (nbits_ <= 56 && pos_ < data_.size()) {
+    acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+    nbits_ += 8;
+  }
+}
+
+std::uint32_t BitReader::read_bits(int n) {
+  if (n < 0 || n > 32) throw support::LogicError("BitReader::read_bits bad n");
+  if (n == 0) return 0;
+  if (nbits_ < n) refill();
+  if (nbits_ < n) throw DecodeError("deflate stream truncated");
+  const std::uint32_t v = static_cast<std::uint32_t>(acc_ & ((1ull << n) - 1));
+  acc_ >>= n;
+  nbits_ -= n;
+  return v;
+}
+
+void BitReader::align_to_byte() {
+  const int drop = nbits_ % 8;
+  acc_ >>= drop;
+  nbits_ -= drop;
+}
+
+support::Bytes BitReader::read_aligned_bytes(std::size_t n) {
+  align_to_byte();
+  support::Bytes out;
+  out.reserve(n);
+  // Drain buffered whole bytes first, then copy directly from input.
+  while (n > 0 && nbits_ >= 8) {
+    out.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
+    acc_ >>= 8;
+    nbits_ -= 8;
+    --n;
+  }
+  if (n > data_.size() - pos_) throw DecodeError("stored block truncated");
+  out.insert(out.end(), data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void BitWriter::write_bits(std::uint32_t value, int n) {
+  if (n < 0 || n > 32) throw support::LogicError("BitWriter::write_bits bad n");
+  if (n == 0) return;
+  const std::uint64_t masked =
+      (n < 32) ? (value & ((1u << n) - 1)) : static_cast<std::uint64_t>(value);
+  acc_ |= masked << nbits_;
+  nbits_ += n;
+  while (nbits_ >= 8) {
+    out_.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
+    acc_ >>= 8;
+    nbits_ -= 8;
+  }
+}
+
+void BitWriter::write_huffman_code(std::uint32_t code, int len) {
+  // Reverse the code's bit order; DEFLATE transmits Huffman codes MSB-first
+  // within the LSB-first bit stream.
+  std::uint32_t rev = 0;
+  for (int i = 0; i < len; ++i) {
+    rev = (rev << 1) | ((code >> i) & 1);
+  }
+  write_bits(rev, len);
+}
+
+void BitWriter::align_to_byte() {
+  if (nbits_ > 0) {
+    out_.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
+    acc_ = 0;
+    nbits_ = 0;
+  }
+}
+
+void BitWriter::write_aligned_bytes(support::BytesView bytes) {
+  if (nbits_ != 0) throw support::LogicError("write_aligned_bytes while unaligned");
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+support::Bytes BitWriter::take() {
+  align_to_byte();
+  return std::move(out_);
+}
+
+}  // namespace pdfshield::flate

@@ -1,0 +1,69 @@
+// LSB-first bit streams as used by DEFLATE (RFC 1951 §3.1.1).
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::flate {
+
+/// Reads bits least-significant-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(support::BytesView data) : data_(data) {}
+
+  /// Reads `n` bits (0..32). Throws DecodeError past end of input.
+  std::uint32_t read_bits(int n);
+
+  /// Reads a single bit.
+  std::uint32_t read_bit() { return read_bits(1); }
+
+  /// Discards bits up to the next byte boundary (for stored blocks).
+  void align_to_byte();
+
+  /// Reads `n` whole bytes after aligning. Throws DecodeError past end.
+  support::Bytes read_aligned_bytes(std::size_t n);
+
+  /// Bytes fully or partially consumed so far.
+  std::size_t byte_position() const { return pos_; }
+
+  bool at_end() const { return pos_ >= data_.size() && nbits_ == 0; }
+
+ private:
+  void refill();
+
+  support::BytesView data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// Writes bits least-significant-first into a byte buffer.
+class BitWriter {
+ public:
+  /// Appends the low `n` bits of `value` (LSB-first order).
+  void write_bits(std::uint32_t value, int n);
+
+  /// Writes a Huffman code: DEFLATE codes are packed MSB-first, so the
+  /// `len`-bit code is bit-reversed before emission.
+  void write_huffman_code(std::uint32_t code, int len);
+
+  /// Pads with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Appends raw bytes; requires byte alignment.
+  void write_aligned_bytes(support::BytesView bytes);
+
+  /// Flushes any partial byte and returns the buffer.
+  support::Bytes take();
+
+  std::size_t bit_count() const { return out_.size() * 8 + static_cast<std::size_t>(nbits_); }
+
+ private:
+  support::Bytes out_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+}  // namespace pdfshield::flate

@@ -1,0 +1,197 @@
+#include "flate/deflate.hpp"
+
+#include <array>
+
+#include "flate/bitstream.hpp"
+#include "flate/huffman.hpp"
+
+namespace pdfshield::flate {
+
+using support::Bytes;
+using support::BytesView;
+
+namespace {
+
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr std::size_t kWindowSize = 32768;
+constexpr int kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+// Same tables as the decoder (RFC 1951 §3.2.5).
+constexpr std::array<int, 29> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLengthExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                              1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                              4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<int, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                            4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int length_code(int length) {
+  for (int i = static_cast<int>(kLengthBase.size()) - 1; i >= 0; --i) {
+    if (length >= kLengthBase[static_cast<std::size_t>(i)]) return i;
+  }
+  return 0;
+}
+
+int distance_code(std::size_t distance) {
+  for (int i = static_cast<int>(kDistBase.size()) - 1; i >= 0; --i) {
+    if (distance >= static_cast<std::size_t>(kDistBase[static_cast<std::size_t>(i)])) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+std::vector<std::uint8_t> fixed_literal_lengths() {
+  std::vector<std::uint8_t> lens(288);
+  for (int i = 0; i <= 143; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) lens[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) lens[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  return lens;
+}
+
+Bytes deflate_stored(BytesView data) {
+  BitWriter out;
+  std::size_t pos = 0;
+  do {
+    const std::size_t chunk = std::min<std::size_t>(65535, data.size() - pos);
+    const bool last = pos + chunk == data.size();
+    out.write_bits(last ? 1 : 0, 1);
+    out.write_bits(0, 2);  // stored
+    out.align_to_byte();
+    out.write_bits(static_cast<std::uint32_t>(chunk), 16);
+    out.write_bits(static_cast<std::uint32_t>(chunk ^ 0xffffu), 16);
+    out.align_to_byte();
+    out.write_aligned_bytes(data.subspan(pos, chunk));
+    pos += chunk;
+  } while (pos < data.size());
+  return out.take();
+}
+
+std::uint32_t hash3(BytesView data, std::size_t i) {
+  const std::uint32_t v = static_cast<std::uint32_t>(data[i]) |
+                          (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                          (static_cast<std::uint32_t>(data[i + 2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+Bytes deflate_fixed(BytesView data) {
+  static const std::vector<HuffmanCode> kLitCodes =
+      assign_canonical_codes(fixed_literal_lengths());
+  static const std::vector<HuffmanCode> kDistCodes =
+      assign_canonical_codes(std::vector<std::uint8_t>(30, 5));
+
+  BitWriter out;
+  out.write_bits(1, 1);  // single final block
+  out.write_bits(1, 2);  // fixed Huffman
+
+  auto emit_literal = [&](std::uint8_t byte) {
+    const HuffmanCode& c = kLitCodes[byte];
+    out.write_huffman_code(c.code, c.length);
+  };
+  auto emit_match = [&](int length, std::size_t distance) {
+    const int lc = length_code(length);
+    const HuffmanCode& c = kLitCodes[static_cast<std::size_t>(257 + lc)];
+    out.write_huffman_code(c.code, c.length);
+    out.write_bits(
+        static_cast<std::uint32_t>(length - kLengthBase[static_cast<std::size_t>(lc)]),
+        kLengthExtra[static_cast<std::size_t>(lc)]);
+    const int dc = distance_code(distance);
+    const HuffmanCode& d = kDistCodes[static_cast<std::size_t>(dc)];
+    out.write_huffman_code(d.code, d.length);
+    out.write_bits(
+        static_cast<std::uint32_t>(distance -
+                                   static_cast<std::size_t>(
+                                       kDistBase[static_cast<std::size_t>(dc)])),
+        kDistExtra[static_cast<std::size_t>(dc)]);
+  };
+
+  // Hash-chain LZ77: head[h] is the most recent position with hash h,
+  // prev[i % window] chains back through earlier positions.
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(kWindowSize, -1);
+  constexpr int kMaxChain = 64;
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    int best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= data.size()) {
+      const std::uint32_t h = hash3(data, i);
+      std::int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && chain < kMaxChain &&
+             i - static_cast<std::size_t>(cand) <= kWindowSize) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        int len = 0;
+        const int limit =
+            static_cast<int>(std::min<std::size_t>(kMaxMatch, data.size() - i));
+        while (len < limit && data[c + static_cast<std::size_t>(len)] ==
+                                  data[i + static_cast<std::size_t>(len)]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[c % kWindowSize];
+        ++chain;
+      }
+      prev[i % kWindowSize] = head[h];
+      head[h] = static_cast<std::int64_t>(i);
+    }
+
+    if (best_len >= kMinMatch) {
+      emit_match(best_len, best_dist);
+      // Insert the skipped positions into the hash chains so later matches
+      // can reference them.
+      for (int k = 1; k < best_len && i + static_cast<std::size_t>(k) + kMinMatch <= data.size(); ++k) {
+        const std::size_t p = i + static_cast<std::size_t>(k);
+        const std::uint32_t h = hash3(data, p);
+        prev[p % kWindowSize] = head[h];
+        head[h] = static_cast<std::int64_t>(p);
+      }
+      i += static_cast<std::size_t>(best_len);
+    } else {
+      emit_literal(data[i]);
+      ++i;
+    }
+  }
+
+  const HuffmanCode& eob = kLitCodes[256];
+  out.write_huffman_code(eob.code, eob.length);
+  return out.take();
+}
+
+}  // namespace
+
+Bytes deflate(BytesView data, DeflateStrategy strategy) {
+  switch (strategy) {
+    case DeflateStrategy::kStored:
+      if (data.empty()) {
+        // An empty payload still needs one (final, empty) stored block.
+        BitWriter out;
+        out.write_bits(1, 1);
+        out.write_bits(0, 2);
+        out.align_to_byte();
+        out.write_bits(0, 16);
+        out.write_bits(0xffff, 16);
+        return out.take();
+      }
+      return deflate_stored(data);
+    case DeflateStrategy::kFixedHuffman:
+      return deflate_fixed(data);
+  }
+  throw support::LogicError("unknown deflate strategy");
+}
+
+}  // namespace pdfshield::flate

@@ -1,0 +1,21 @@
+// Raw DEFLATE compression. Two strategies:
+//  * Stored  — no compression; used for incompressible payloads and as a
+//              baseline in filter tests.
+//  * Fixed   — LZ77 (hash-chain greedy matching) over the fixed Huffman
+//              alphabet; the common path for PDF stream encoding.
+#pragma once
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::flate {
+
+enum class DeflateStrategy {
+  kStored,
+  kFixedHuffman,
+};
+
+/// Compresses `data` into a raw DEFLATE stream decodable by inflate().
+support::Bytes deflate(support::BytesView data,
+                       DeflateStrategy strategy = DeflateStrategy::kFixedHuffman);
+
+}  // namespace pdfshield::flate

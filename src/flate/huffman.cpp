@@ -1,0 +1,81 @@
+#include "flate/huffman.hpp"
+
+#include "support/error.hpp"
+
+namespace pdfshield::flate {
+
+using support::DecodeError;
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
+  for (std::uint8_t l : lengths) max_len_ = std::max<int>(max_len_, l);
+  if (max_len_ > 15) throw DecodeError("huffman code length > 15");
+  counts_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  for (std::uint8_t l : lengths) {
+    if (l > 0) ++counts_[l];
+  }
+
+  // Kraft inequality check: reject over-subscribed codes.
+  long long remaining = 1;
+  for (int l = 1; l <= max_len_; ++l) {
+    remaining <<= 1;
+    remaining -= counts_[l];
+    if (remaining < 0) throw DecodeError("over-subscribed huffman code");
+  }
+
+  first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  offsets_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  std::uint32_t code = 0;
+  int offset = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code + static_cast<std::uint32_t>(counts_[l - 1])) << 1;
+    first_code_[l] = code;
+    offsets_[l] = offset;
+    offset += counts_[l];
+  }
+
+  sorted_.resize(static_cast<std::size_t>(offset));
+  std::vector<int> next(offsets_);
+  for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+    const int l = lengths[sym];
+    if (l > 0) sorted_[static_cast<std::size_t>(next[l]++)] = static_cast<int>(sym);
+  }
+}
+
+int HuffmanDecoder::decode(BitReader& in) const {
+  std::uint32_t code = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code << 1) | in.read_bit();
+    const int count = counts_[l];
+    if (count > 0 && code < first_code_[l] + static_cast<std::uint32_t>(count)) {
+      if (code >= first_code_[l]) {
+        return sorted_[static_cast<std::size_t>(
+            offsets_[l] + static_cast<int>(code - first_code_[l]))];
+      }
+    }
+  }
+  throw DecodeError("invalid huffman code");
+}
+
+std::vector<HuffmanCode> assign_canonical_codes(
+    const std::vector<std::uint8_t>& lengths) {
+  int max_len = 0;
+  for (std::uint8_t l : lengths) max_len = std::max<int>(max_len, l);
+  std::vector<int> counts(static_cast<std::size_t>(max_len) + 1, 0);
+  for (std::uint8_t l : lengths) {
+    if (l > 0) ++counts[l];
+  }
+  std::vector<std::uint32_t> next(static_cast<std::size_t>(max_len) + 1, 0);
+  std::uint32_t code = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    code = (code + static_cast<std::uint32_t>(counts[l - 1])) << 1;
+    next[l] = code;
+  }
+  std::vector<HuffmanCode> out(lengths.size());
+  for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+    const std::uint8_t l = lengths[sym];
+    if (l > 0) out[sym] = {next[l]++, l};
+  }
+  return out;
+}
+
+}  // namespace pdfshield::flate

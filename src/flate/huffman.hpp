@@ -1,0 +1,47 @@
+// Canonical Huffman coding for DEFLATE: build decode tables from code
+// lengths (RFC 1951 §3.2.2) and assign canonical codes for encoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flate/bitstream.hpp"
+
+namespace pdfshield::flate {
+
+/// Decoder over a canonical Huffman code described by per-symbol lengths.
+class HuffmanDecoder {
+ public:
+  /// `lengths[sym]` is the code length for symbol `sym` (0 = unused).
+  /// Throws DecodeError if the lengths describe an over-subscribed code.
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+
+  /// Decodes the next symbol from `in`. Throws DecodeError on a code not in
+  /// the table or truncated input.
+  int decode(BitReader& in) const;
+
+  int max_length() const { return max_len_; }
+
+ private:
+  // counts_[l]  = number of codes of length l
+  // offsets_[l] = index into sorted_ of the first symbol of length l
+  // first_code_[l] = canonical code value of the first code of length l
+  std::vector<int> counts_;
+  std::vector<int> offsets_;
+  std::vector<std::uint32_t> first_code_;
+  std::vector<int> sorted_;
+  int max_len_ = 0;
+};
+
+/// One symbol's canonical code for encoding.
+struct HuffmanCode {
+  std::uint32_t code = 0;  ///< MSB-first canonical code value.
+  std::uint8_t length = 0; ///< 0 means the symbol is unused.
+};
+
+/// Assigns canonical codes from lengths (the encoder-side dual of
+/// HuffmanDecoder). Unused symbols get length 0.
+std::vector<HuffmanCode> assign_canonical_codes(
+    const std::vector<std::uint8_t>& lengths);
+
+}  // namespace pdfshield::flate

@@ -1,0 +1,175 @@
+#include "flate/inflate.hpp"
+
+#include <array>
+
+#include "flate/bitstream.hpp"
+#include "flate/huffman.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::flate {
+
+using support::Bytes;
+using support::DecodeError;
+
+namespace {
+
+// RFC 1951 §3.2.5: length codes 257..285.
+constexpr std::array<int, 29> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLengthExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                              1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                              4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// Distance codes 0..29.
+constexpr std::array<int, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                            4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+// Order in which code-length code lengths are transmitted (§3.2.7).
+constexpr std::array<int, 19> kClOrder = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                          11, 4,  12, 3, 13, 2, 14, 1, 15};
+
+std::vector<std::uint8_t> fixed_literal_lengths() {
+  std::vector<std::uint8_t> lens(288);
+  for (int i = 0; i <= 143; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) lens[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) lens[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  return lens;
+}
+
+std::vector<std::uint8_t> fixed_distance_lengths() {
+  return std::vector<std::uint8_t>(30, 5);
+}
+
+void inflate_block(BitReader& in, const HuffmanDecoder& lit,
+                   const HuffmanDecoder* dist, Bytes& out,
+                   std::size_t max_output) {
+  while (true) {
+    const int sym = lit.decode(in);
+    if (sym == 256) return;  // end of block
+    if (sym < 256) {
+      if (out.size() >= max_output) throw DecodeError("inflate output limit exceeded");
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    const int li = sym - 257;
+    if (li < 0 || li >= static_cast<int>(kLengthBase.size())) {
+      throw DecodeError("invalid length symbol");
+    }
+    const int length =
+        kLengthBase[static_cast<std::size_t>(li)] +
+        static_cast<int>(in.read_bits(kLengthExtra[static_cast<std::size_t>(li)]));
+    if (dist == nullptr) throw DecodeError("length code without distance table");
+    const int dsym = dist->decode(in);
+    if (dsym < 0 || dsym >= static_cast<int>(kDistBase.size())) {
+      throw DecodeError("invalid distance symbol");
+    }
+    const std::size_t distance =
+        static_cast<std::size_t>(kDistBase[static_cast<std::size_t>(dsym)]) +
+        in.read_bits(kDistExtra[static_cast<std::size_t>(dsym)]);
+    if (distance > out.size()) throw DecodeError("distance beyond window start");
+    if (out.size() + static_cast<std::size_t>(length) > max_output) {
+      throw DecodeError("inflate output limit exceeded");
+    }
+    // Byte-at-a-time copy: overlapping copies (distance < length) must
+    // replicate the just-written bytes, which this does naturally.
+    std::size_t from = out.size() - distance;
+    for (int i = 0; i < length; ++i) out.push_back(out[from + static_cast<std::size_t>(i)]);
+  }
+}
+
+void inflate_dynamic(BitReader& in, Bytes& out, std::size_t max_output) {
+  const int hlit = static_cast<int>(in.read_bits(5)) + 257;
+  const int hdist = static_cast<int>(in.read_bits(5)) + 1;
+  const int hclen = static_cast<int>(in.read_bits(4)) + 4;
+
+  std::vector<std::uint8_t> cl_lengths(19, 0);
+  for (int i = 0; i < hclen; ++i) {
+    cl_lengths[static_cast<std::size_t>(kClOrder[static_cast<std::size_t>(i)])] =
+        static_cast<std::uint8_t>(in.read_bits(3));
+  }
+  const HuffmanDecoder cl_decoder(cl_lengths);
+
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(static_cast<std::size_t>(hlit + hdist));
+  while (lengths.size() < static_cast<std::size_t>(hlit + hdist)) {
+    const int sym = cl_decoder.decode(in);
+    if (sym < 16) {
+      lengths.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == 16) {
+      if (lengths.empty()) throw DecodeError("repeat with no previous length");
+      const int count = 3 + static_cast<int>(in.read_bits(2));
+      for (int i = 0; i < count; ++i) lengths.push_back(lengths.back());
+    } else if (sym == 17) {
+      const int count = 3 + static_cast<int>(in.read_bits(3));
+      lengths.insert(lengths.end(), static_cast<std::size_t>(count), 0);
+    } else {  // 18
+      const int count = 11 + static_cast<int>(in.read_bits(7));
+      lengths.insert(lengths.end(), static_cast<std::size_t>(count), 0);
+    }
+  }
+  if (lengths.size() != static_cast<std::size_t>(hlit + hdist)) {
+    throw DecodeError("code length run overflows table");
+  }
+
+  std::vector<std::uint8_t> lit_lengths(lengths.begin(),
+                                        lengths.begin() + hlit);
+  std::vector<std::uint8_t> dist_lengths(lengths.begin() + hlit, lengths.end());
+  const HuffmanDecoder lit(lit_lengths);
+  // A block can legitimately have no distance codes (all literals): a single
+  // 0-length entry signals that.
+  bool has_dist = false;
+  for (std::uint8_t l : dist_lengths) {
+    if (l > 0) has_dist = true;
+  }
+  if (has_dist) {
+    const HuffmanDecoder dist(dist_lengths);
+    inflate_block(in, lit, &dist, out, max_output);
+  } else {
+    inflate_block(in, lit, nullptr, out, max_output);
+  }
+}
+
+}  // namespace
+
+Bytes inflate(support::BytesView compressed, std::size_t max_output) {
+  BitReader in(compressed);
+  Bytes out;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = in.read_bit() != 0;
+    const std::uint32_t type = in.read_bits(2);
+    switch (type) {
+      case 0: {  // stored
+        in.align_to_byte();
+        const std::uint32_t len = in.read_bits(16);
+        const std::uint32_t nlen = in.read_bits(16);
+        if ((len ^ 0xffffu) != nlen) throw DecodeError("stored block LEN/NLEN mismatch");
+        if (out.size() + len > max_output) throw DecodeError("inflate output limit exceeded");
+        Bytes raw = in.read_aligned_bytes(len);
+        out.insert(out.end(), raw.begin(), raw.end());
+        break;
+      }
+      case 1: {  // fixed Huffman
+        static const HuffmanDecoder lit(fixed_literal_lengths());
+        static const HuffmanDecoder dist(fixed_distance_lengths());
+        inflate_block(in, lit, &dist, out, max_output);
+        break;
+      }
+      case 2:  // dynamic Huffman
+        inflate_dynamic(in, out, max_output);
+        break;
+      default:
+        throw DecodeError("reserved deflate block type");
+    }
+  }
+  return out;
+}
+
+}  // namespace pdfshield::flate

@@ -1,0 +1,14 @@
+// Raw DEFLATE decompression (RFC 1951): stored, fixed-Huffman and
+// dynamic-Huffman blocks.
+#pragma once
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::flate {
+
+/// Decompresses a raw DEFLATE stream. Throws DecodeError on malformed
+/// input. `max_output` guards against decompression bombs.
+support::Bytes inflate(support::BytesView compressed,
+                       std::size_t max_output = 1u << 30);
+
+}  // namespace pdfshield::flate

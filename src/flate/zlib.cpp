@@ -1,0 +1,52 @@
+#include "flate/zlib.hpp"
+
+#include "flate/inflate.hpp"
+#include "support/checksum.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::flate {
+
+using support::Bytes;
+using support::BytesView;
+using support::DecodeError;
+
+Bytes zlib_compress(BytesView data, DeflateStrategy strategy) {
+  Bytes out;
+  // CMF: method 8 (deflate), 32K window. FLG chosen so (CMF*256+FLG) % 31 == 0.
+  const std::uint8_t cmf = 0x78;
+  std::uint8_t flg = 0x9c;
+  out.push_back(cmf);
+  out.push_back(flg);
+  Bytes body = deflate(data, strategy);
+  out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t a = support::adler32(data);
+  out.push_back(static_cast<std::uint8_t>(a >> 24));
+  out.push_back(static_cast<std::uint8_t>(a >> 16));
+  out.push_back(static_cast<std::uint8_t>(a >> 8));
+  out.push_back(static_cast<std::uint8_t>(a));
+  return out;
+}
+
+Bytes zlib_decompress(BytesView stream, std::size_t max_output) {
+  if (stream.size() < 6) throw DecodeError("zlib stream too short");
+  const std::uint8_t cmf = stream[0];
+  const std::uint8_t flg = stream[1];
+  if ((cmf & 0x0f) != 8) throw DecodeError("zlib: unsupported compression method");
+  if ((static_cast<unsigned>(cmf) * 256 + flg) % 31 != 0) {
+    throw DecodeError("zlib: header check failed");
+  }
+  if (flg & 0x20) throw DecodeError("zlib: preset dictionary not supported");
+
+  const BytesView body = stream.subspan(2, stream.size() - 6);
+  Bytes out = inflate(body, max_output);
+
+  const std::size_t t = stream.size() - 4;
+  const std::uint32_t expect = (static_cast<std::uint32_t>(stream[t]) << 24) |
+                               (static_cast<std::uint32_t>(stream[t + 1]) << 16) |
+                               (static_cast<std::uint32_t>(stream[t + 2]) << 8) |
+                               static_cast<std::uint32_t>(stream[t + 3]);
+  if (support::adler32(out) != expect) throw DecodeError("zlib: adler32 mismatch");
+  return out;
+}
+
+}  // namespace pdfshield::flate

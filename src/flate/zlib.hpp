@@ -1,0 +1,20 @@
+// zlib container (RFC 1950) around raw DEFLATE — the exact format PDF's
+// /FlateDecode filter consumes.
+#pragma once
+
+#include "flate/deflate.hpp"
+#include "support/bytes.hpp"
+
+namespace pdfshield::flate {
+
+/// Wraps `data` in a zlib stream (CMF/FLG header + deflate + Adler-32).
+support::Bytes zlib_compress(
+    support::BytesView data,
+    DeflateStrategy strategy = DeflateStrategy::kFixedHuffman);
+
+/// Unwraps and inflates a zlib stream; verifies the Adler-32 checksum.
+/// Throws DecodeError on bad header, checksum mismatch or malformed body.
+support::Bytes zlib_decompress(support::BytesView stream,
+                               std::size_t max_output = 1u << 30);
+
+}  // namespace pdfshield::flate

@@ -1,0 +1,135 @@
+// AST for the ECMAScript subset. Nodes are immutable after parsing;
+// function bodies are shared (shared_ptr) between the parser output and
+// closures created at runtime.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdfshield::js {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind {
+  kNumber,
+  kString,
+  kBool,
+  kNull,
+  kUndefined,
+  kIdentifier,
+  kThis,
+  kArrayLiteral,
+  kObjectLiteral,
+  kFunction,      // function expression
+  kMember,        // obj.name or obj[expr]
+  kCall,
+  kNew,
+  kUnary,         // ! - + ~ typeof void delete
+  kUpdate,        // ++ -- (prefix/postfix)
+  kBinary,        // arithmetic/relational/bitwise
+  kLogical,       // && ||
+  kConditional,   // ?:
+  kAssign,        // = += -= *= /= %= &= |= ^= <<= >>=
+  kComma,
+};
+
+struct FunctionNode {
+  std::string name;  ///< Empty for anonymous functions.
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+};
+
+struct ObjectProperty {
+  std::string key;
+  ExprPtr value;
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // Literals.
+  double number = 0;
+  std::string string_value;  ///< string literal / identifier / member name
+  bool bool_value = false;
+
+  // Operators.
+  std::string op;      ///< binary/unary/assign operator spelling
+  bool prefix = true;  ///< for kUpdate
+
+  // Children.
+  ExprPtr a;  ///< object / callee / lhs / condition / operand
+  ExprPtr b;  ///< rhs / computed member index / then-branch
+  ExprPtr c;  ///< else-branch (kConditional)
+  std::vector<ExprPtr> args;              ///< call args / array elements
+  std::vector<ObjectProperty> props;      ///< object literal
+  std::shared_ptr<FunctionNode> function; ///< kFunction
+
+  bool computed_member = false;  ///< true for obj[expr]
+};
+
+enum class StmtKind {
+  kExpr,
+  kVarDecl,
+  kFunctionDecl,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kForIn,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+  kTry,
+  kThrow,
+  kSwitch,
+  kEmpty,
+};
+
+struct VarDeclarator {
+  std::string name;
+  ExprPtr init;  ///< May be null.
+};
+
+struct SwitchCase {
+  ExprPtr test;  ///< Null for `default:`.
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+
+  ExprPtr expr;   ///< kExpr / kReturn value / kThrow value / conditions
+  ExprPtr expr2;  ///< kFor condition
+  ExprPtr expr3;  ///< kFor step
+
+  std::vector<VarDeclarator> decls;        ///< kVarDecl
+  std::shared_ptr<FunctionNode> function;  ///< kFunctionDecl
+  std::vector<StmtPtr> body;               ///< kBlock / loop body (single entry)
+  StmtPtr init;                            ///< kFor init statement
+  StmtPtr alt;                             ///< kIf else-branch
+
+  // kForIn
+  std::string for_in_var;
+  bool for_in_declares = false;
+
+  // kTry
+  std::string catch_param;
+  std::vector<StmtPtr> catch_body;
+  bool has_catch = false;
+  std::vector<StmtPtr> finally_body;
+  bool has_finally = false;
+
+  std::vector<SwitchCase> cases;  ///< kSwitch
+};
+
+/// A parsed program (top-level statement list).
+struct Program {
+  std::vector<StmtPtr> body;
+};
+
+}  // namespace pdfshield::js

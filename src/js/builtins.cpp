@@ -1,0 +1,552 @@
+// Standard-library surface of the embedded engine: string and array
+// methods, Math, global conversion functions, eval and unescape — the
+// toolkit real-world malicious PDF Javascript is written against.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "js/interp.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::js {
+
+namespace {
+
+Value arg_or_undef(const std::vector<Value>& args, std::size_t i) {
+  return i < args.size() ? args[i] : Value();
+}
+
+std::int64_t clamp_index(double raw, std::size_t len) {
+  if (std::isnan(raw)) return 0;
+  std::int64_t i = static_cast<std::int64_t>(raw);
+  if (i < 0) i += static_cast<std::int64_t>(len);
+  if (i < 0) i = 0;
+  if (i > static_cast<std::int64_t>(len)) i = static_cast<std::int64_t>(len);
+  return i;
+}
+
+std::string unescape_impl(const std::string& s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '%' && i + 5 < s.size() && (s[i + 1] == 'u' || s[i + 1] == 'U')) {
+      int v = 0;
+      bool ok = true;
+      for (int k = 0; k < 4; ++k) {
+        const int h = hex(s[i + 2 + static_cast<std::size_t>(k)]);
+        if (h < 0) {
+          ok = false;
+          break;
+        }
+        v = v * 16 + h;
+      }
+      if (ok) {
+        // Little-endian layout mirrors how %uXXXX shellcode lands in the
+        // process heap; single byte when it fits (keeps ASCII round-trips).
+        if (v < 256) {
+          out.push_back(static_cast<char>(v));
+        } else {
+          out.push_back(static_cast<char>(v & 0xff));
+          out.push_back(static_cast<char>((v >> 8) & 0xff));
+        }
+        i += 6;
+        continue;
+      }
+    }
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 3;
+        continue;
+      }
+    }
+    out.push_back(s[i++]);
+  }
+  return out;
+}
+
+std::string escape_impl(const std::string& s) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  for (char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c) || c == '@' || c == '*' || c == '_' || c == '+' ||
+        c == '-' || c == '.' || c == '/') {
+      out.push_back(ch);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// String members
+// ---------------------------------------------------------------------------
+
+Value Interpreter::string_member(const std::string& s, const std::string& key) {
+  if (key == "length") return Value(static_cast<double>(s.size()));
+
+  // Numeric index -> one-character string.
+  {
+    char* end = nullptr;
+    const long idx = std::strtol(key.c_str(), &end, 10);
+    if (end && *end == '\0' && !key.empty() &&
+        (std::isdigit(static_cast<unsigned char>(key[0])))) {
+      if (idx >= 0 && static_cast<std::size_t>(idx) < s.size()) {
+        return Value(std::string(1, s[static_cast<std::size_t>(idx)]));
+      }
+      return Value();
+    }
+  }
+
+  // Methods close over a copy of the string (strings are immutable).
+  if (key == "charAt") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const auto i = static_cast<std::int64_t>(in.to_number(arg_or_undef(args, 0)));
+          if (i < 0 || static_cast<std::size_t>(i) >= s.size()) return Value("");
+          return Value(std::string(1, s[static_cast<std::size_t>(i)]));
+        }));
+  }
+  if (key == "charCodeAt") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          double d = in.to_number(arg_or_undef(args, 0));
+          if (std::isnan(d)) d = 0;
+          const auto i = static_cast<std::int64_t>(d);
+          if (i < 0 || static_cast<std::size_t>(i) >= s.size()) {
+            return Value(std::nan(""));
+          }
+          return Value(static_cast<double>(
+              static_cast<unsigned char>(s[static_cast<std::size_t>(i)])));
+        }));
+  }
+  if (key == "indexOf") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const std::string needle = in.to_js_string(arg_or_undef(args, 0));
+          std::size_t from = 0;
+          if (args.size() > 1) {
+            from = static_cast<std::size_t>(
+                std::max(0.0, in.to_number(args[1])));
+          }
+          const std::size_t pos = s.find(needle, from);
+          return Value(pos == std::string::npos ? -1.0 : static_cast<double>(pos));
+        }));
+  }
+  if (key == "lastIndexOf") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const std::string needle = in.to_js_string(arg_or_undef(args, 0));
+          const std::size_t pos = s.rfind(needle);
+          return Value(pos == std::string::npos ? -1.0 : static_cast<double>(pos));
+        }));
+  }
+  if (key == "substring") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          std::int64_t a = clamp_index(in.to_number(arg_or_undef(args, 0)), s.size());
+          std::int64_t b = args.size() > 1
+                               ? clamp_index(in.to_number(args[1]), s.size())
+                               : static_cast<std::int64_t>(s.size());
+          // substring: negative args clamp to 0 (not relative) and swap.
+          if (in.to_number(arg_or_undef(args, 0)) < 0) a = 0;
+          if (args.size() > 1 && in.to_number(args[1]) < 0) b = 0;
+          if (a > b) std::swap(a, b);
+          return in.make_string(s.substr(static_cast<std::size_t>(a),
+                                         static_cast<std::size_t>(b - a)));
+        }));
+  }
+  if (key == "substr") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const std::int64_t a = clamp_index(in.to_number(arg_or_undef(args, 0)), s.size());
+          std::size_t len = s.size() - static_cast<std::size_t>(a);
+          if (args.size() > 1) {
+            const double want = in.to_number(args[1]);
+            if (want < 0) {
+              len = 0;
+            } else {
+              len = std::min<std::size_t>(len, static_cast<std::size_t>(want));
+            }
+          }
+          return in.make_string(s.substr(static_cast<std::size_t>(a), len));
+        }));
+  }
+  if (key == "slice") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const std::int64_t a = clamp_index(in.to_number(arg_or_undef(args, 0)), s.size());
+          const std::int64_t b = args.size() > 1
+                                     ? clamp_index(in.to_number(args[1]), s.size())
+                                     : static_cast<std::int64_t>(s.size());
+          if (a >= b) return in.make_string("");
+          return in.make_string(s.substr(static_cast<std::size_t>(a),
+                                         static_cast<std::size_t>(b - a)));
+        }));
+  }
+  if (key == "split") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          std::vector<Value> parts;
+          if (args.empty() || args[0].is_undefined()) {
+            parts.emplace_back(s);
+            return Value(make_array(std::move(parts)));
+          }
+          const std::string sep = in.to_js_string(args[0]);
+          if (sep.empty()) {
+            for (char c : s) parts.emplace_back(std::string(1, c));
+            return Value(make_array(std::move(parts)));
+          }
+          std::size_t start = 0;
+          while (true) {
+            const std::size_t pos = s.find(sep, start);
+            if (pos == std::string::npos) {
+              parts.emplace_back(s.substr(start));
+              break;
+            }
+            parts.emplace_back(s.substr(start, pos - start));
+            start = pos + sep.size();
+          }
+          return Value(make_array(std::move(parts)));
+        }));
+  }
+  if (key == "replace") {
+    // String-pattern semantics: replaces the FIRST occurrence only.
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const std::string from = in.to_js_string(arg_or_undef(args, 0));
+          const std::string to = in.to_js_string(arg_or_undef(args, 1));
+          const std::size_t pos = s.find(from);
+          if (pos == std::string::npos || from.empty()) return in.make_string(std::string(s));
+          std::string out = s;
+          out.replace(pos, from.size(), to);
+          return in.make_string(std::move(out));
+        }));
+  }
+  if (key == "toUpperCase" || key == "toLowerCase") {
+    const bool upper = key == "toUpperCase";
+    return Value(make_native_function(
+        [s, upper](Interpreter& in, const Value&, const std::vector<Value>&) {
+          std::string out = s;
+          for (char& c : out) {
+            c = upper ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                      : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+          }
+          return in.make_string(std::move(out));
+        }));
+  }
+  if (key == "concat") {
+    return Value(make_native_function(
+        [s](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          std::string out = s;
+          for (const Value& a : args) out += in.to_js_string(a);
+          return in.make_string(std::move(out));
+        }));
+  }
+  if (key == "toString" || key == "valueOf") {
+    return Value(make_native_function(
+        [s](Interpreter&, const Value&, const std::vector<Value>&) {
+          return Value(std::string(s));
+        }));
+  }
+  return Value();
+}
+
+// ---------------------------------------------------------------------------
+// Array members
+// ---------------------------------------------------------------------------
+
+Value Interpreter::array_member(const ObjectPtr& arr, const std::string& key) {
+  if (key == "length") return Value(static_cast<double>(arr->elements().size()));
+
+  {
+    char* end = nullptr;
+    const long idx = std::strtol(key.c_str(), &end, 10);
+    if (end && *end == '\0' && !key.empty() &&
+        std::isdigit(static_cast<unsigned char>(key[0]))) {
+      if (idx >= 0 && static_cast<std::size_t>(idx) < arr->elements().size()) {
+        return arr->elements()[static_cast<std::size_t>(idx)];
+      }
+      return Value();
+    }
+  }
+
+  if (key == "push") {
+    return Value(make_native_function(
+        [arr](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          for (const Value& a : args) arr->elements().push_back(a);
+          if (in.on_alloc) in.on_alloc(args.size() * sizeof(Value));
+          return Value(static_cast<double>(arr->elements().size()));
+        }));
+  }
+  if (key == "pop") {
+    return Value(make_native_function(
+        [arr](Interpreter&, const Value&, const std::vector<Value>&) {
+          if (arr->elements().empty()) return Value();
+          Value v = arr->elements().back();
+          arr->elements().pop_back();
+          return v;
+        }));
+  }
+  if (key == "shift") {
+    return Value(make_native_function(
+        [arr](Interpreter&, const Value&, const std::vector<Value>&) {
+          if (arr->elements().empty()) return Value();
+          Value v = arr->elements().front();
+          arr->elements().erase(arr->elements().begin());
+          return v;
+        }));
+  }
+  if (key == "join") {
+    return Value(make_native_function(
+        [arr](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const std::string sep =
+              args.empty() || args[0].is_undefined() ? "," : in.to_js_string(args[0]);
+          std::string out;
+          for (std::size_t i = 0; i < arr->elements().size(); ++i) {
+            if (i) out += sep;
+            const Value& e = arr->elements()[i];
+            if (!e.is_nullish()) out += in.to_js_string(e);
+          }
+          return in.make_string(std::move(out));
+        }));
+  }
+  if (key == "concat") {
+    return Value(make_native_function(
+        [arr](Interpreter&, const Value&, const std::vector<Value>& args) {
+          std::vector<Value> out = arr->elements();
+          for (const Value& a : args) {
+            if (a.is_object() && a.as_object()->is_array()) {
+              const auto& other = a.as_object()->elements();
+              out.insert(out.end(), other.begin(), other.end());
+            } else {
+              out.push_back(a);
+            }
+          }
+          return Value(make_array(std::move(out)));
+        }));
+  }
+  if (key == "slice") {
+    return Value(make_native_function(
+        [arr](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          const std::size_t n = arr->elements().size();
+          const std::int64_t a = clamp_index(in.to_number(arg_or_undef(args, 0)), n);
+          const std::int64_t b = args.size() > 1
+                                     ? clamp_index(in.to_number(args[1]), n)
+                                     : static_cast<std::int64_t>(n);
+          std::vector<Value> out;
+          for (std::int64_t i = a; i < b; ++i) {
+            out.push_back(arr->elements()[static_cast<std::size_t>(i)]);
+          }
+          return Value(make_array(std::move(out)));
+        }));
+  }
+  if (key == "indexOf") {
+    return Value(make_native_function(
+        [arr](Interpreter&, const Value&, const std::vector<Value>& args) {
+          const Value target = arg_or_undef(args, 0);
+          for (std::size_t i = 0; i < arr->elements().size(); ++i) {
+            if (Interpreter::strict_equals(arr->elements()[i], target)) {
+              return Value(static_cast<double>(i));
+            }
+          }
+          return Value(-1.0);
+        }));
+  }
+  if (key == "reverse") {
+    return Value(make_native_function(
+        [arr](Interpreter&, const Value&, const std::vector<Value>&) {
+          std::reverse(arr->elements().begin(), arr->elements().end());
+          return Value(ObjectPtr(arr));
+        }));
+  }
+  if (key == "sort") {
+    return Value(make_native_function(
+        [arr](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          auto& elems = arr->elements();
+          if (!args.empty() && args[0].is_object() &&
+              args[0].as_object()->is_function()) {
+            const Value cmp = args[0];
+            std::stable_sort(elems.begin(), elems.end(),
+                             [&](const Value& a, const Value& b) {
+                               return in.call_function(cmp, Value(), {a, b})
+                                          .is_number() &&
+                                      in.call_function(cmp, Value(), {a, b})
+                                              .as_number() < 0;
+                             });
+          } else {
+            std::stable_sort(elems.begin(), elems.end(),
+                             [&](const Value& a, const Value& b) {
+                               return in.to_js_string(a) < in.to_js_string(b);
+                             });
+          }
+          return Value(ObjectPtr(arr));
+        }));
+  }
+  if (key == "toString") {
+    return Value(make_native_function(
+        [arr](Interpreter& in, const Value&, const std::vector<Value>&) {
+          return in.make_string(in.to_js_string(Value(ObjectPtr(arr))));
+        }));
+  }
+  return arr->get(key);
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+void install_builtins(Interpreter& interp) {
+  auto def_fn = [&](const std::string& name, NativeFn fn) {
+    interp.set_global(name, Value(make_native_function(std::move(fn))));
+  };
+
+  interp.set_global("NaN", Value(std::nan("")));
+  interp.set_global("Infinity", Value(HUGE_VAL));
+
+  def_fn("eval", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    const Value src = arg_or_undef(args, 0);
+    if (!src.is_string()) return src;
+    return in.eval_in_current_scope(src.as_string());
+  });
+
+  def_fn("unescape", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    return in.make_string(unescape_impl(in.to_js_string(arg_or_undef(args, 0))));
+  });
+  def_fn("escape", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    return in.make_string(escape_impl(in.to_js_string(arg_or_undef(args, 0))));
+  });
+  def_fn("parseInt", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    const std::string s = in.to_js_string(arg_or_undef(args, 0));
+    int base = 10;
+    if (args.size() > 1 && args[1].is_number()) {
+      base = static_cast<int>(args[1].as_number());
+    } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+      base = 16;
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, base);
+    if (end == s.c_str()) return Value(std::nan(""));
+    return Value(static_cast<double>(v));
+  });
+  def_fn("parseFloat", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    const std::string s = in.to_js_string(arg_or_undef(args, 0));
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str()) return Value(std::nan(""));
+    return Value(v);
+  });
+  def_fn("isNaN", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    return Value(std::isnan(in.to_number(arg_or_undef(args, 0))));
+  });
+
+  // String: callable converter with fromCharCode.
+  {
+    auto string_obj = make_native_function(
+        [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          return in.make_string(args.empty() ? "" : in.to_js_string(args[0]));
+        });
+    string_obj->set("fromCharCode",
+                    Value(make_native_function(
+                        [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                          std::string out;
+                          out.reserve(args.size());
+                          for (const Value& a : args) {
+                            const int code = static_cast<int>(in.to_number(a));
+                            if (code < 256) {
+                              out.push_back(static_cast<char>(code & 0xff));
+                            } else {
+                              out.push_back(static_cast<char>(code & 0xff));
+                              out.push_back(static_cast<char>((code >> 8) & 0xff));
+                            }
+                          }
+                          return in.make_string(std::move(out));
+                        })));
+    interp.set_global("String", Value(ObjectPtr(string_obj)));
+  }
+
+  def_fn("Number", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    return Value(args.empty() ? 0.0 : in.to_number(args[0]));
+  });
+  def_fn("Boolean", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    (void)in;
+    return Value(!args.empty() && Interpreter::to_boolean(args[0]));
+  });
+  def_fn("Array", [](Interpreter&, const Value&, const std::vector<Value>& args) {
+    if (args.size() == 1 && args[0].is_number()) {
+      return Value(make_array(std::vector<Value>(
+          static_cast<std::size_t>(args[0].as_number()))));
+    }
+    return Value(make_array(args));
+  });
+  def_fn("Object", [](Interpreter&, const Value&, const std::vector<Value>&) {
+    return Value(make_object());
+  });
+  def_fn("Error", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+    auto err = make_object();
+    err->class_name = "Error";
+    err->set("message", Value(args.empty() ? "" : in.to_js_string(args[0])));
+    return Value(err);
+  });
+
+  // Math.
+  {
+    auto math = make_object();
+    math->class_name = "Math";
+    auto m1 = [&](const std::string& name, double (*fn)(double)) {
+      math->set(name, Value(make_native_function(
+                          [fn](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                            return Value(fn(in.to_number(arg_or_undef(args, 0))));
+                          })));
+    };
+    m1("floor", std::floor);
+    m1("ceil", std::ceil);
+    m1("sqrt", std::sqrt);
+    m1("abs", std::fabs);
+    math->set("round", Value(make_native_function(
+                           [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                             return Value(std::floor(in.to_number(arg_or_undef(args, 0)) + 0.5));
+                           })));
+    math->set("pow", Value(make_native_function(
+                         [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                           return Value(std::pow(in.to_number(arg_or_undef(args, 0)),
+                                                 in.to_number(arg_or_undef(args, 1))));
+                         })));
+    math->set("min", Value(make_native_function(
+                         [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                           double best = HUGE_VAL;
+                           for (const Value& a : args) best = std::min(best, in.to_number(a));
+                           return Value(best);
+                         })));
+    math->set("max", Value(make_native_function(
+                         [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                           double best = -HUGE_VAL;
+                           for (const Value& a : args) best = std::max(best, in.to_number(a));
+                           return Value(best);
+                         })));
+    math->set("random", Value(make_native_function(
+                            [](Interpreter& in, const Value&, const std::vector<Value>&) {
+                              // Deterministic: drawn from the engine's seeded RNG.
+                              return Value(in.rng().uniform01());
+                            })));
+    math->set("PI", Value(3.14159265358979323846));
+    interp.set_global("Math", Value(math));
+  }
+}
+
+}  // namespace pdfshield::js

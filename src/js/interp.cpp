@@ -1,0 +1,755 @@
+#include "js/interp.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "js/parser.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::js {
+
+using support::JsError;
+
+// ---------------------------------------------------------------------------
+// Value helpers (free)
+// ---------------------------------------------------------------------------
+
+Value JsObject::get(const std::string& key) const {
+  auto it = props_.find(key);
+  return it == props_.end() ? Value() : it->second;
+}
+
+ObjectPtr make_native_function(NativeFn fn) {
+  auto obj = std::make_shared<JsObject>(JsObject::Kind::kFunction);
+  obj->native = std::move(fn);
+  return obj;
+}
+
+ObjectPtr make_array(std::vector<Value> elements) {
+  auto obj = std::make_shared<JsObject>(JsObject::Kind::kArray);
+  obj->elements() = std::move(elements);
+  return obj;
+}
+
+ObjectPtr make_object() {
+  return std::make_shared<JsObject>(JsObject::Kind::kPlain);
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+
+void Environment::define_var(const std::string& name, Value v) {
+  Environment* env = this;
+  while (!env->function_scope_ && env->parent_) env = env->parent_.get();
+  env->define(name, std::move(v));
+}
+
+Value* Environment::lookup(const std::string& name) {
+  for (Environment* env = this; env; env = env->parent_.get()) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+void Environment::assign(const std::string& name, Value v) {
+  for (Environment* env = this; env; env = env->parent_.get()) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) {
+      it->second = std::move(v);
+      return;
+    }
+  }
+  global()->define(name, std::move(v));
+}
+
+Environment* Environment::global() {
+  Environment* env = this;
+  while (env->parent_) env = env->parent_.get();
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter: conversions
+// ---------------------------------------------------------------------------
+
+bool Interpreter::to_boolean(const Value& v) {
+  if (v.is_undefined() || v.is_null()) return false;
+  if (v.is_bool()) return v.as_bool();
+  if (v.is_number()) {
+    const double d = v.as_number();
+    return d != 0.0 && !std::isnan(d);
+  }
+  if (v.is_string()) return !v.as_string().empty();
+  return true;  // objects are truthy
+}
+
+double Interpreter::to_number(const Value& v) {
+  if (v.is_number()) return v.as_number();
+  if (v.is_bool()) return v.as_bool() ? 1.0 : 0.0;
+  if (v.is_null()) return 0.0;
+  if (v.is_undefined()) return std::nan("");
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s.empty()) return 0.0;
+    char* end = nullptr;
+    // Hex literals convert too ("0x40" -> 64).
+    const double d = (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+                         ? static_cast<double>(std::strtoull(s.c_str(), &end, 16))
+                         : std::strtod(s.c_str(), &end);
+    if (end == s.c_str()) return std::nan("");
+    while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+    return *end == '\0' ? d : std::nan("");
+  }
+  return std::nan("");  // objects: skip valueOf protocol
+}
+
+std::string Interpreter::to_js_string(const Value& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_undefined()) return "undefined";
+  if (v.is_null()) return "null";
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  if (v.is_number()) {
+    const double d = v.as_number();
+    if (std::isnan(d)) return "NaN";
+    if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+    if (d == 0.0) return "0";
+    if (d == static_cast<double>(static_cast<long long>(d)) &&
+        std::abs(d) < 1e15) {
+      return std::to_string(static_cast<long long>(d));
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    return buf;
+  }
+  const ObjectPtr& obj = v.as_object();
+  if (obj->is_array()) {
+    std::string out;
+    for (std::size_t i = 0; i < obj->elements().size(); ++i) {
+      if (i) out.push_back(',');
+      const Value& e = obj->elements()[i];
+      if (!e.is_nullish()) out += to_js_string(e);
+    }
+    return out;
+  }
+  if (obj->is_function()) return "function";
+  return "[object " + (obj->class_name.empty() ? "Object" : obj->class_name) + "]";
+}
+
+bool Interpreter::strict_equals(const Value& a, const Value& b) {
+  if (a.repr().index() != b.repr().index()) return false;
+  if (a.is_undefined() || a.is_null()) return true;
+  if (a.is_bool()) return a.as_bool() == b.as_bool();
+  if (a.is_number()) return a.as_number() == b.as_number();
+  if (a.is_string()) return a.as_string() == b.as_string();
+  return a.as_object() == b.as_object();
+}
+
+bool Interpreter::loose_equals(const Value& a, const Value& b) {
+  if (a.repr().index() == b.repr().index()) return strict_equals(a, b);
+  if (a.is_nullish() && b.is_nullish()) return true;
+  if (a.is_nullish() || b.is_nullish()) return false;
+  // Numeric coercion covers number/string/bool mixes.
+  if (!a.is_object() && !b.is_object()) {
+    return to_number(a) == to_number(b);
+  }
+  // Object vs primitive: compare via string conversion.
+  return to_js_string(a) == to_js_string(b);
+}
+
+Value Interpreter::make_string(std::string s) {
+  const std::size_t n = s.size();
+  allocated_bytes_ += n;
+  if (on_alloc) on_alloc(n);
+  if (n >= large_string_threshold && on_large_string) on_large_string(s);
+  return Value(std::move(s));
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter: execution
+// ---------------------------------------------------------------------------
+
+Interpreter::Interpreter() {
+  global_env_ = std::make_shared<Environment>();
+  env_stack_.push_back(global_env_);
+  this_stack_.push_back(Value());
+  install_builtins(*this);
+}
+
+void Interpreter::step() {
+  if (++steps_ > step_limit_) {
+    throw JsError("step limit exceeded (runaway script)");
+  }
+}
+
+Value Interpreter::run_source(std::string_view source) {
+  auto program = parse_js(source);
+  return run(*program);
+}
+
+Value Interpreter::run(const Program& program) {
+  for (const auto& stmt : program.body) exec(*stmt, global_env_);
+  return Value();
+}
+
+Value Interpreter::eval_in_current_scope(std::string_view source) {
+  auto program = parse_js(source);
+  const auto env = env_stack_.back();
+  Value last;
+  for (const auto& stmt : program->body) {
+    if (stmt->kind == StmtKind::kExpr) {
+      last = eval(*stmt->expr, env);
+    } else {
+      exec(*stmt, env);
+    }
+  }
+  return last;
+}
+
+void Interpreter::exec_block(const std::vector<StmtPtr>& body,
+                             const std::shared_ptr<Environment>& env) {
+  for (const auto& stmt : body) exec(*stmt, env);
+}
+
+void Interpreter::exec(const Stmt& stmt, const std::shared_ptr<Environment>& env) {
+  step();
+  switch (stmt.kind) {
+    case StmtKind::kEmpty:
+      return;
+    case StmtKind::kExpr:
+      eval(*stmt.expr, env);
+      return;
+    case StmtKind::kVarDecl:
+      for (const auto& d : stmt.decls) {
+        env->define_var(d.name, d.init ? eval(*d.init, env) : Value());
+      }
+      return;
+    case StmtKind::kFunctionDecl: {
+      auto fn = std::make_shared<JsObject>(JsObject::Kind::kFunction);
+      fn->user = std::make_shared<UserFunction>();
+      fn->user->node = stmt.function;
+      fn->user->closure = env;
+      env->define_var(stmt.function->name, Value(ObjectPtr(fn)));
+      return;
+    }
+    case StmtKind::kIf:
+      if (to_boolean(eval(*stmt.expr, env))) {
+        exec(*stmt.body.front(), env);
+      } else if (stmt.alt) {
+        exec(*stmt.alt, env);
+      }
+      return;
+    case StmtKind::kWhile:
+      while (to_boolean(eval(*stmt.expr, env))) {
+        step();
+        try {
+          exec(*stmt.body.front(), env);
+        } catch (const BreakSignal&) {
+          return;
+        } catch (const ContinueSignal&) {
+        }
+      }
+      return;
+    case StmtKind::kDoWhile:
+      do {
+        step();
+        try {
+          exec(*stmt.body.front(), env);
+        } catch (const BreakSignal&) {
+          return;
+        } catch (const ContinueSignal&) {
+        }
+      } while (to_boolean(eval(*stmt.expr, env)));
+      return;
+    case StmtKind::kFor: {
+      auto scope = std::make_shared<Environment>(env);
+      if (stmt.init) exec(*stmt.init, scope);
+      while (!stmt.expr2 || to_boolean(eval(*stmt.expr2, scope))) {
+        step();
+        try {
+          exec(*stmt.body.front(), scope);
+        } catch (const BreakSignal&) {
+          return;
+        } catch (const ContinueSignal&) {
+        }
+        if (stmt.expr3) eval(*stmt.expr3, scope);
+      }
+      return;
+    }
+    case StmtKind::kForIn: {
+      const Value obj = eval(*stmt.expr, env);
+      auto scope = std::make_shared<Environment>(env);
+      if (stmt.for_in_declares) scope->define_var(stmt.for_in_var, Value());
+      std::vector<std::string> keys;
+      if (obj.is_object()) {
+        if (obj.as_object()->is_array()) {
+          for (std::size_t i = 0; i < obj.as_object()->elements().size(); ++i) {
+            keys.push_back(std::to_string(i));
+          }
+        }
+        for (const auto& [k, v] : obj.as_object()->props()) keys.push_back(k);
+      }
+      for (const auto& k : keys) {
+        step();
+        scope->assign(stmt.for_in_var, Value(k));
+        try {
+          exec(*stmt.body.front(), scope);
+        } catch (const BreakSignal&) {
+          return;
+        } catch (const ContinueSignal&) {
+        }
+      }
+      return;
+    }
+    case StmtKind::kReturn:
+      throw ReturnSignal{stmt.expr ? eval(*stmt.expr, env) : Value()};
+    case StmtKind::kBreak:
+      throw BreakSignal{};
+    case StmtKind::kContinue:
+      throw ContinueSignal{};
+    case StmtKind::kBlock: {
+      auto scope = std::make_shared<Environment>(env);
+      exec_block(stmt.body, scope);
+      return;
+    }
+    case StmtKind::kThrow:
+      throw JsException(eval(*stmt.expr, env));
+    case StmtKind::kTry: {
+      auto run_finally = [&] {
+        if (stmt.has_finally) {
+          auto fin = std::make_shared<Environment>(env);
+          exec_block(stmt.finally_body, fin);
+        }
+      };
+      try {
+        auto scope = std::make_shared<Environment>(env);
+        exec_block(stmt.body, scope);
+      } catch (const JsException& ex) {
+        if (stmt.has_catch) {
+          auto scope = std::make_shared<Environment>(env);
+          if (!stmt.catch_param.empty()) scope->define(stmt.catch_param, ex.value());
+          try {
+            exec_block(stmt.catch_body, scope);
+          } catch (...) {
+            run_finally();
+            throw;
+          }
+          run_finally();
+          return;
+        }
+        run_finally();
+        throw;
+      } catch (...) {
+        // Control-flow signals (return/break/continue) and host faults:
+        // finally still runs, then the signal continues outward.
+        run_finally();
+        throw;
+      }
+      run_finally();
+      return;
+    }
+    case StmtKind::kSwitch: {
+      const Value subject = eval(*stmt.expr, env);
+      auto scope = std::make_shared<Environment>(env);
+      bool matched = false;
+      try {
+        for (const auto& c : stmt.cases) {
+          if (!matched && c.test && strict_equals(subject, eval(*c.test, scope))) {
+            matched = true;
+          }
+          if (matched) exec_block(c.body, scope);
+        }
+        if (!matched) {
+          // Fall back to default (and fall through after it).
+          bool in_default = false;
+          for (const auto& c : stmt.cases) {
+            if (!c.test) in_default = true;
+            if (in_default) exec_block(c.body, scope);
+          }
+        }
+      } catch (const BreakSignal&) {
+      }
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter: expressions
+// ---------------------------------------------------------------------------
+
+Value Interpreter::eval(const Expr& expr, const std::shared_ptr<Environment>& env) {
+  step();
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      return Value(expr.number);
+    case ExprKind::kString:
+      return Value(expr.string_value);
+    case ExprKind::kBool:
+      return Value(expr.bool_value);
+    case ExprKind::kNull:
+      return Value(Null{});
+    case ExprKind::kUndefined:
+      return Value();
+    case ExprKind::kThis:
+      return this_stack_.back();
+    case ExprKind::kIdentifier: {
+      Value* v = env->lookup(expr.string_value);
+      if (!v) {
+        throw JsException(Value("ReferenceError: " + expr.string_value +
+                                " is not defined"));
+      }
+      return *v;
+    }
+    case ExprKind::kArrayLiteral: {
+      std::vector<Value> elems;
+      elems.reserve(expr.args.size());
+      for (const auto& e : expr.args) elems.push_back(eval(*e, env));
+      allocated_bytes_ += elems.size() * sizeof(Value);
+      if (on_alloc) on_alloc(elems.size() * sizeof(Value));
+      return Value(make_array(std::move(elems)));
+    }
+    case ExprKind::kObjectLiteral: {
+      auto obj = make_object();
+      for (const auto& p : expr.props) obj->set(p.key, eval(*p.value, env));
+      return Value(obj);
+    }
+    case ExprKind::kFunction: {
+      auto fn = std::make_shared<JsObject>(JsObject::Kind::kFunction);
+      fn->user = std::make_shared<UserFunction>();
+      fn->user->node = expr.function;
+      fn->user->closure = env;
+      if (!expr.function->name.empty()) {
+        // Named function expressions can self-reference.
+        auto scope = std::make_shared<Environment>(env);
+        scope->define(expr.function->name, Value(ObjectPtr(fn)));
+        fn->user->closure = scope;
+      }
+      return Value(ObjectPtr(fn));
+    }
+    case ExprKind::kMember: {
+      const Value obj = eval(*expr.a, env);
+      const std::string key = expr.computed_member
+                                  ? to_js_string(eval(*expr.b, env))
+                                  : expr.string_value;
+      return eval_member(obj, key);
+    }
+    case ExprKind::kCall:
+      return eval_call(expr, env);
+    case ExprKind::kNew: {
+      // Constructor call: create a fresh object as `this`.
+      const Value callee = eval(*expr.a, env);
+      std::vector<Value> args;
+      for (const auto& a : expr.args) args.push_back(eval(*a, env));
+      if (!callee.is_object() || !callee.as_object()->is_function()) {
+        throw JsException(Value("TypeError: not a constructor"));
+      }
+      auto obj = make_object();
+      const Value result = call_function(callee, Value(obj), args);
+      return result.is_object() ? result : Value(obj);
+    }
+    case ExprKind::kUnary: {
+      if (expr.op == "typeof") {
+        // typeof on an undeclared identifier must not throw.
+        if (expr.a->kind == ExprKind::kIdentifier &&
+            !env->lookup(expr.a->string_value)) {
+          return Value("undefined");
+        }
+        const Value v = eval(*expr.a, env);
+        if (v.is_undefined()) return Value("undefined");
+        if (v.is_null()) return Value("object");
+        if (v.is_bool()) return Value("boolean");
+        if (v.is_number()) return Value("number");
+        if (v.is_string()) return Value("string");
+        return Value(v.as_object()->is_function() ? "function" : "object");
+      }
+      if (expr.op == "delete") {
+        if (expr.a->kind == ExprKind::kMember) {
+          const Value obj = eval(*expr.a->a, env);
+          if (obj.is_object()) {
+            const std::string key = expr.a->computed_member
+                                        ? to_js_string(eval(*expr.a->b, env))
+                                        : expr.a->string_value;
+            return Value(obj.as_object()->erase(key));
+          }
+        }
+        return Value(true);
+      }
+      const Value v = eval(*expr.a, env);
+      if (expr.op == "!") return Value(!to_boolean(v));
+      if (expr.op == "-") return Value(-to_number(v));
+      if (expr.op == "+") return Value(to_number(v));
+      if (expr.op == "~") {
+        return Value(static_cast<double>(~static_cast<std::int32_t>(to_number(v))));
+      }
+      if (expr.op == "void") return Value();
+      throw JsError("unknown unary operator " + expr.op);
+    }
+    case ExprKind::kUpdate: {
+      // ++/-- on identifier or member.
+      const double delta = expr.op == "++" ? 1.0 : -1.0;
+      if (expr.a->kind == ExprKind::kIdentifier) {
+        Value* slot = env->lookup(expr.a->string_value);
+        if (!slot) {
+          throw JsException(Value("ReferenceError: " + expr.a->string_value));
+        }
+        const double old = to_number(*slot);
+        *slot = Value(old + delta);
+        return Value(expr.prefix ? old + delta : old);
+      }
+      if (expr.a->kind == ExprKind::kMember) {
+        const Value obj = eval(*expr.a->a, env);
+        const std::string key = expr.a->computed_member
+                                    ? to_js_string(eval(*expr.a->b, env))
+                                    : expr.a->string_value;
+        const double old = to_number(eval_member(obj, key));
+        assign_member(obj, key, Value(old + delta));
+        return Value(expr.prefix ? old + delta : old);
+      }
+      throw JsException(Value("SyntaxError: invalid update target"));
+    }
+    case ExprKind::kBinary: {
+      const Value l = eval(*expr.a, env);
+      const Value r = eval(*expr.b, env);
+      return eval_binary(expr.op, l, r);
+    }
+    case ExprKind::kLogical: {
+      const Value l = eval(*expr.a, env);
+      if (expr.op == "&&") return to_boolean(l) ? eval(*expr.b, env) : l;
+      return to_boolean(l) ? l : eval(*expr.b, env);
+    }
+    case ExprKind::kConditional:
+      return to_boolean(eval(*expr.a, env)) ? eval(*expr.b, env)
+                                            : eval(*expr.c, env);
+    case ExprKind::kAssign: {
+      Value rhs = eval(*expr.b, env);
+      if (expr.a->kind == ExprKind::kIdentifier) {
+        if (expr.op == "=") {
+          env->assign(expr.a->string_value, rhs);
+          return rhs;
+        }
+        Value* slot = env->lookup(expr.a->string_value);
+        if (!slot) {
+          throw JsException(Value("ReferenceError: " + expr.a->string_value));
+        }
+        Value result = apply_compound(expr.op, *slot, rhs);
+        *slot = result;
+        return result;
+      }
+      if (expr.a->kind == ExprKind::kMember) {
+        const Value obj = eval(*expr.a->a, env);
+        const std::string key = expr.a->computed_member
+                                    ? to_js_string(eval(*expr.a->b, env))
+                                    : expr.a->string_value;
+        if (expr.op == "=") {
+          assign_member(obj, key, rhs);
+          return rhs;
+        }
+        const Value old = eval_member(obj, key);
+        Value result = apply_compound(expr.op, old, rhs);
+        assign_member(obj, key, result);
+        return result;
+      }
+      throw JsException(Value("SyntaxError: invalid assignment target"));
+    }
+    case ExprKind::kComma:
+      eval(*expr.a, env);
+      return eval(*expr.b, env);
+  }
+  throw JsError("unhandled expression kind");
+}
+
+Value Interpreter::apply_compound(const std::string& op, const Value& old,
+                                  const Value& rhs) {
+  // "+=" etc: reuse the binary evaluator with the operator minus '='.
+  return eval_binary(op.substr(0, op.size() - 1), old, rhs);
+}
+
+Value Interpreter::eval_binary(const std::string& op, const Value& l,
+                               const Value& r) {
+  if (op == "+") {
+    if (l.is_string() || r.is_string() ||
+        (l.is_object() && !r.is_object()) || (!l.is_object() && r.is_object()) ||
+        (l.is_object() && r.is_object())) {
+      return make_string(to_js_string(l) + to_js_string(r));
+    }
+    return Value(to_number(l) + to_number(r));
+  }
+  if (op == "-") return Value(to_number(l) - to_number(r));
+  if (op == "*") return Value(to_number(l) * to_number(r));
+  if (op == "/") return Value(to_number(l) / to_number(r));
+  if (op == "%") return Value(std::fmod(to_number(l), to_number(r)));
+  if (op == "==") return Value(loose_equals(l, r));
+  if (op == "!=") return Value(!loose_equals(l, r));
+  if (op == "===") return Value(strict_equals(l, r));
+  if (op == "!==") return Value(!strict_equals(l, r));
+  if (op == "<" || op == ">" || op == "<=" || op == ">=") {
+    if (l.is_string() && r.is_string()) {
+      const int c = l.as_string().compare(r.as_string());
+      if (op == "<") return Value(c < 0);
+      if (op == ">") return Value(c > 0);
+      if (op == "<=") return Value(c <= 0);
+      return Value(c >= 0);
+    }
+    const double a = to_number(l), b = to_number(r);
+    if (std::isnan(a) || std::isnan(b)) return Value(false);
+    if (op == "<") return Value(a < b);
+    if (op == ">") return Value(a > b);
+    if (op == "<=") return Value(a <= b);
+    return Value(a >= b);
+  }
+  if (op == "&" || op == "|" || op == "^" || op == "<<" || op == ">>" ||
+      op == ">>>") {
+    const std::int32_t a = static_cast<std::int32_t>(to_number(l));
+    const std::int32_t b = static_cast<std::int32_t>(to_number(r));
+    if (op == "&") return Value(static_cast<double>(a & b));
+    if (op == "|") return Value(static_cast<double>(a | b));
+    if (op == "^") return Value(static_cast<double>(a ^ b));
+    const int shift = b & 31;
+    if (op == "<<") return Value(static_cast<double>(a << shift));
+    if (op == ">>") return Value(static_cast<double>(a >> shift));
+    return Value(static_cast<double>(static_cast<std::uint32_t>(a) >> shift));
+  }
+  if (op == "in") {
+    if (r.is_object()) {
+      const std::string key = l.is_string() ? l.as_string() : to_js_string(l);
+      if (r.as_object()->is_array()) {
+        const double idx = to_number(l);
+        if (idx >= 0 && idx < static_cast<double>(r.as_object()->elements().size())) {
+          return Value(true);
+        }
+      }
+      return Value(r.as_object()->has(key));
+    }
+    return Value(false);
+  }
+  if (op == "instanceof") {
+    // Class-name check is enough for the corpus (x instanceof Array).
+    return Value(l.is_object() && r.is_object());
+  }
+  throw JsError("unknown binary operator " + op);
+}
+
+Value Interpreter::eval_call(const Expr& expr, const std::shared_ptr<Environment>& env) {
+  Value this_value;
+  Value callee;
+  if (expr.a->kind == ExprKind::kMember) {
+    this_value = eval(*expr.a->a, env);
+    const std::string key = expr.a->computed_member
+                                ? to_js_string(eval(*expr.a->b, env))
+                                : expr.a->string_value;
+    callee = eval_member(this_value, key);
+    if (callee.is_undefined()) {
+      throw JsException(Value("TypeError: " + key + " is not a function"));
+    }
+  } else {
+    callee = eval(*expr.a, env);
+  }
+  std::vector<Value> args;
+  args.reserve(expr.args.size());
+  for (const auto& a : expr.args) args.push_back(eval(*a, env));
+
+  // eval() runs in the caller's scope, so push it before dispatch.
+  env_stack_.push_back(env);
+  struct PopEnv {
+    std::vector<std::shared_ptr<Environment>>& stack;
+    ~PopEnv() { stack.pop_back(); }
+  } pop{env_stack_};
+
+  return call_function(callee, this_value, args);
+}
+
+Value Interpreter::call_function(const Value& fn, const Value& this_value_in,
+                                 const std::vector<Value>& args) {
+  if (!fn.is_object() || !fn.as_object()->is_function()) {
+    throw JsException(Value("TypeError: value is not a function"));
+  }
+  // Sloppy-mode semantics: a plain call gets the global `this` (Acrobat
+  // binds it to the Doc), not undefined.
+  Value this_value = this_value_in;
+  if (this_value.is_undefined() && !this_stack_.empty()) {
+    this_value = this_stack_.front();
+  }
+  const ObjectPtr& obj = fn.as_object();
+  if (obj->native) {
+    this_stack_.push_back(this_value);
+    struct PopThis {
+      std::vector<Value>& stack;
+      ~PopThis() { stack.pop_back(); }
+    } pop{this_stack_};
+    return obj->native(*this, this_value, args);
+  }
+  if (!obj->user) throw JsError("function object has no implementation");
+
+  auto scope = std::make_shared<Environment>(obj->user->closure,
+                                             /*function_scope=*/true);
+  const auto& params = obj->user->node->params;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    scope->define(params[i], i < args.size() ? args[i] : Value());
+  }
+  // `arguments` array.
+  scope->define("arguments", Value(make_array(args)));
+
+  env_stack_.push_back(scope);
+  this_stack_.push_back(this_value);
+  struct PopBoth {
+    Interpreter& in;
+    ~PopBoth() {
+      in.env_stack_.pop_back();
+      in.this_stack_.pop_back();
+    }
+  } pop{*this};
+
+  try {
+    exec_block(obj->user->node->body, scope);
+  } catch (ReturnSignal& ret) {
+    return std::move(ret.value);
+  }
+  return Value();
+}
+
+Value Interpreter::eval_member(const Value& object, const std::string& key) {
+  if (object.is_string()) return string_member(object.as_string(), key);
+  if (object.is_number() || object.is_bool()) return Value();
+  if (object.is_nullish()) {
+    throw JsException(Value("TypeError: cannot read property '" + key +
+                            "' of " + (object.is_null() ? "null" : "undefined")));
+  }
+  const ObjectPtr& obj = object.as_object();
+  if (obj->is_array()) return array_member(obj, key);
+  return obj->get(key);
+}
+
+void Interpreter::assign_member(const Value& object, const std::string& key,
+                                Value v) {
+  if (!object.is_object()) {
+    if (object.is_nullish()) {
+      throw JsException(Value("TypeError: cannot set property of " +
+                              std::string(object.is_null() ? "null" : "undefined")));
+    }
+    return;  // writes to primitives are silently dropped
+  }
+  const ObjectPtr& obj = object.as_object();
+  if (obj->is_array()) {
+    if (key == "length") {
+      const auto n = static_cast<std::size_t>(to_number(v));
+      obj->elements().resize(n);
+      return;
+    }
+    char* end = nullptr;
+    const long idx = std::strtol(key.c_str(), &end, 10);
+    if (end && *end == '\0' && idx >= 0) {
+      if (static_cast<std::size_t>(idx) >= obj->elements().size()) {
+        obj->elements().resize(static_cast<std::size_t>(idx) + 1);
+        allocated_bytes_ += sizeof(Value);
+      }
+      obj->elements()[static_cast<std::size_t>(idx)] = std::move(v);
+      return;
+    }
+  }
+  obj->set(key, std::move(v));
+}
+
+}  // namespace pdfshield::js

@@ -1,0 +1,142 @@
+// Tree-walking interpreter for the ECMAScript subset, with the hooks the
+// detection pipeline needs:
+//   * allocation accounting  — heap-spray detection measures Javascript
+//     memory pressure (paper §III-D "Suspicious Memory Consumption");
+//   * large-string capture   — the reader simulator scans sprayed strings
+//     for shellcode when an exploit fires;
+//   * step limit             — runaway scripts terminate deterministically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "js/ast.hpp"
+#include "js/value.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::js {
+
+/// Lexical scope: name -> value map with a parent chain. A scope is either
+/// a *function* scope (global scope, function-call activation) or a block
+/// scope; `var` declarations hoist to the nearest function scope.
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr,
+                       bool function_scope = false)
+      : parent_(std::move(parent)),
+        function_scope_(function_scope || !parent_) {}
+
+  void define(const std::string& name, Value v) { vars_[name] = std::move(v); }
+
+  /// `var` semantics: defines on the nearest function (or global) scope.
+  void define_var(const std::string& name, Value v);
+
+  /// Finds the binding in this scope or an ancestor; nullptr if undeclared.
+  Value* lookup(const std::string& name);
+
+  /// Assigns to the nearest declaration, or defines on the global scope
+  /// (sloppy-mode implicit global) when undeclared.
+  void assign(const std::string& name, Value v);
+
+  Environment* global();
+
+ private:
+  std::map<std::string, Value> vars_;
+  std::shared_ptr<Environment> parent_;
+  bool function_scope_;
+};
+
+class Interpreter {
+ public:
+  Interpreter();
+
+  /// The global scope (pre-populated with builtins).
+  const std::shared_ptr<Environment>& globals() { return global_env_; }
+
+  /// Sets the value of `this` at top level (Acrobat binds it to the Doc).
+  void set_global_this(Value v) { this_stack_.front() = std::move(v); }
+  void set_global(const std::string& name, Value v) {
+    global_env_->define(name, std::move(v));
+  }
+
+  /// Parses and runs a script at global scope. Script-level `throw`s that
+  /// escape surface as JsException; host faults as JsError.
+  Value run_source(std::string_view source);
+
+  /// Runs an already-parsed program at global scope.
+  Value run(const Program& program);
+
+  /// `eval` semantics: runs in the *current* scope (callers of builtins).
+  Value eval_in_current_scope(std::string_view source);
+
+  /// Invokes a function value with explicit this/args.
+  Value call_function(const Value& fn, const Value& this_value,
+                      const std::vector<Value>& args);
+
+  // --- conversions (ES5-ish semantics, enough for the corpus) -------------
+  static bool to_boolean(const Value& v);
+  static double to_number(const Value& v);
+  std::string to_js_string(const Value& v);
+  static bool strict_equals(const Value& a, const Value& b);
+  bool loose_equals(const Value& a, const Value& b);
+
+  /// Creates a string value, metering the allocation.
+  Value make_string(std::string s);
+
+  // --- instrumentation hooks ----------------------------------------------
+  /// Called on every metered string/array allocation with its byte size.
+  std::function<void(std::size_t)> on_alloc;
+  /// Called when a single string of >= large_string_threshold bytes is
+  /// created (heap-spray payload capture).
+  std::function<void(const std::string&)> on_large_string;
+  std::size_t large_string_threshold = 256 * 1024;
+
+  std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+  std::uint64_t steps() const { return steps_; }
+  void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
+
+  support::Rng& rng() { return rng_; }
+
+ private:
+  friend void install_builtins(Interpreter& interp);
+
+  struct BreakSignal {};
+  struct ContinueSignal {};
+  struct ReturnSignal {
+    Value value;
+  };
+
+  void step();
+  void exec_block(const std::vector<StmtPtr>& body,
+                  const std::shared_ptr<Environment>& env);
+  void exec(const Stmt& stmt, const std::shared_ptr<Environment>& env);
+  Value eval(const Expr& expr, const std::shared_ptr<Environment>& env);
+  Value eval_call(const Expr& expr, const std::shared_ptr<Environment>& env);
+  Value eval_member(const Value& object, const std::string& key);
+  void assign_member(const Value& object, const std::string& key, Value v);
+  Value eval_binary(const std::string& op, const Value& l, const Value& r);
+  Value apply_compound(const std::string& op, const Value& old, const Value& rhs);
+
+  /// Property lookup for primitive strings (length + methods) and arrays.
+  Value string_member(const std::string& s, const std::string& key);
+  Value array_member(const ObjectPtr& arr, const std::string& key);
+
+  std::shared_ptr<Environment> global_env_;
+  // Scope/this stack so eval() and builtins see the caller's context.
+  std::vector<std::shared_ptr<Environment>> env_stack_;
+  std::vector<Value> this_stack_;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t step_limit_ = 50'000'000;
+  std::uint64_t allocated_bytes_ = 0;
+  support::Rng rng_{0xD0C5EEDull};
+};
+
+/// Installs the standard builtins (String, Math, parseInt, unescape, ...).
+/// Called by the Interpreter constructor; exposed for tests.
+void install_builtins(Interpreter& interp);
+
+}  // namespace pdfshield::js

@@ -1,0 +1,245 @@
+#include "js/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace pdfshield::js {
+
+using support::ParseError;
+
+bool is_js_keyword(std::string_view word) {
+  static const std::array<std::string_view, 22> kKeywords = {
+      "var",    "let",      "const",  "function", "return", "if",
+      "else",   "while",    "do",     "for",      "in",     "break",
+      "continue", "new",    "typeof", "void",     "delete", "try",
+      "catch",  "finally",  "throw",  "switch"};
+  for (auto k : kKeywords) {
+    if (k == word) return true;
+  }
+  // Literal keywords are classified as keywords too.
+  return word == "true" || word == "false" || word == "null" ||
+         word == "undefined" || word == "this" || word == "case" ||
+         word == "default" || word == "instanceof";
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_ident_part(char c) {
+  return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+const std::array<std::string_view, 29> kPuncts = {
+    ">>>=", "===", "!==", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=",
+    "&&",  "||",  "++",  "--",  "+=",  "-=",  "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "<<",  ">>",  "=>",  // => tolerated, parsed as error later
+    "**",  "?.",  "::",  "..",
+};
+
+}  // namespace
+
+std::vector<JsToken> tokenize_js(std::string_view src) {
+  std::vector<JsToken> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+
+  auto push = [&](JsTokenKind kind, std::string text, std::size_t offset,
+                  double num = 0) {
+    JsToken t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = num;
+    t.offset = offset;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < src.size()) {
+      if (src[i + 1] == '/') {
+        while (i < src.size() && src[i] != '\n') ++i;
+        continue;
+      }
+      if (src[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+          if (src[i] == '\n') ++line;
+          ++i;
+        }
+        if (i + 1 >= src.size()) throw ParseError("unterminated block comment");
+        i += 2;
+        continue;
+      }
+    }
+    // Identifiers / keywords.
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < src.size() && is_ident_part(src[i])) ++i;
+      std::string word(src.substr(start, i - start));
+      const JsTokenKind kind =
+          is_js_keyword(word) ? JsTokenKind::kKeyword : JsTokenKind::kIdentifier;
+      push(kind, std::move(word), start);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::size_t start = i;
+      double value = 0;
+      if (c == '0' && i + 1 < src.size() && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        i += 2;
+        std::uint64_t v = 0;
+        bool any = false;
+        while (i < src.size() && hex_value(src[i]) >= 0) {
+          v = v * 16 + static_cast<std::uint64_t>(hex_value(src[i]));
+          ++i;
+          any = true;
+        }
+        if (!any) throw ParseError("malformed hex literal");
+        value = static_cast<double>(v);
+      } else {
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        if (i < src.size() && src[i] == '.') {
+          ++i;
+          while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+        if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+          ++i;
+          if (i < src.size() && (src[i] == '+' || src[i] == '-')) ++i;
+          while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+        value = std::strtod(std::string(src.substr(start, i - start)).c_str(), nullptr);
+      }
+      push(JsTokenKind::kNumber, std::string(src.substr(start, i - start)), start,
+           value);
+      continue;
+    }
+    // Strings.
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      const std::size_t start = i;
+      ++i;
+      std::string value;
+      while (true) {
+        if (i >= src.size()) throw ParseError("unterminated string literal");
+        const char ch = src[i++];
+        if (ch == quote) break;
+        if (ch == '\n') throw ParseError("newline in string literal");
+        if (ch != '\\') {
+          value.push_back(ch);
+          continue;
+        }
+        if (i >= src.size()) throw ParseError("string ends in backslash");
+        const char e = src[i++];
+        switch (e) {
+          case 'n': value.push_back('\n'); break;
+          case 'r': value.push_back('\r'); break;
+          case 't': value.push_back('\t'); break;
+          case 'b': value.push_back('\b'); break;
+          case 'f': value.push_back('\f'); break;
+          case 'v': value.push_back('\v'); break;
+          case '0': value.push_back('\0'); break;
+          case 'x': {
+            if (i + 1 >= src.size() || hex_value(src[i]) < 0 || hex_value(src[i + 1]) < 0) {
+              throw ParseError("malformed \\x escape");
+            }
+            value.push_back(static_cast<char>((hex_value(src[i]) << 4) |
+                                              hex_value(src[i + 1])));
+            i += 2;
+            break;
+          }
+          case 'u': {
+            if (i + 3 >= src.size()) throw ParseError("malformed \\u escape");
+            int v = 0;
+            for (int k = 0; k < 4; ++k) {
+              const int h = hex_value(src[i + static_cast<std::size_t>(k)]);
+              if (h < 0) throw ParseError("malformed \\u escape");
+              v = v * 16 + h;
+            }
+            i += 4;
+            // Latin-1 engine: code points below 256 are one byte (so
+            // 'A' === 'A' holds); higher ones are stored as the two
+            // bytes little-endian, matching how unescape('%uXXXX') lays
+            // out shellcode in memory.
+            if (v < 256) {
+              value.push_back(static_cast<char>(v));
+            } else {
+              value.push_back(static_cast<char>(v & 0xff));
+              value.push_back(static_cast<char>((v >> 8) & 0xff));
+            }
+            break;
+          }
+          case '\n':
+            ++line;
+            break;  // line continuation
+          default:
+            value.push_back(e);
+        }
+      }
+      JsToken t;
+      t.kind = JsTokenKind::kString;
+      t.text = std::move(value);
+      t.offset = start;
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Punctuators.
+    {
+      const std::string_view rest = src.substr(i);
+      std::string_view matched;
+      for (auto p : kPuncts) {
+        if (rest.size() >= p.size() && rest.substr(0, p.size()) == p) {
+          matched = p;
+          break;
+        }
+      }
+      if (!matched.empty()) {
+        push(JsTokenKind::kPunct, std::string(matched), i);
+        i += matched.size();
+        continue;
+      }
+      static const std::string_view kSingle = "+-*/%=<>!&|^~?:;,.(){}[]";
+      if (kSingle.find(c) != std::string_view::npos) {
+        push(JsTokenKind::kPunct, std::string(1, c), i);
+        ++i;
+        continue;
+      }
+    }
+    throw ParseError("unexpected character '" + std::string(1, c) +
+                     "' at line " + std::to_string(line));
+  }
+
+  JsToken eof;
+  eof.kind = JsTokenKind::kEof;
+  eof.offset = src.size();
+  eof.line = line;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace pdfshield::js

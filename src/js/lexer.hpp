@@ -1,0 +1,39 @@
+// Tokenizer for the ECMAScript subset: identifiers/keywords, numeric
+// literals (decimal, hex, float, exponent), string literals with the full
+// escape set malicious scripts rely on (\xNN, \uNNNN, octal), operators,
+// and // and /* */ comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pdfshield::js {
+
+enum class JsTokenKind {
+  kEof,
+  kNumber,
+  kString,
+  kIdentifier,
+  kKeyword,
+  kPunct,
+};
+
+struct JsToken {
+  JsTokenKind kind = JsTokenKind::kEof;
+  std::string text;  ///< identifier/keyword/punct spelling, string value
+  double number = 0;
+  std::size_t offset = 0;
+  std::size_t line = 1;
+};
+
+/// Tokenizes a whole script up front. Throws ParseError on malformed input.
+std::vector<JsToken> tokenize_js(std::string_view source);
+
+/// True if `word` is a reserved keyword in our subset.
+bool is_js_keyword(std::string_view word);
+
+}  // namespace pdfshield::js

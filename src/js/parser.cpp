@@ -1,0 +1,669 @@
+#include "js/parser.hpp"
+
+#include <array>
+
+#include "js/lexer.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::js {
+
+using support::ParseError;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<JsToken> tokens) : toks_(std::move(tokens)) {}
+
+  std::shared_ptr<Program> parse_program() {
+    auto prog = std::make_shared<Program>();
+    while (!at_eof()) prog->body.push_back(parse_statement());
+    return prog;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const JsToken& cur() const { return toks_[pos_]; }
+  const JsToken& ahead(std::size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  bool at_eof() const { return cur().kind == JsTokenKind::kEof; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " at line " + std::to_string(cur().line));
+  }
+
+  const JsToken& advance() { return toks_[pos_++]; }
+
+  bool is_punct(std::string_view p) const {
+    return cur().kind == JsTokenKind::kPunct && cur().text == p;
+  }
+  bool is_keyword(std::string_view k) const {
+    return cur().kind == JsTokenKind::kKeyword && cur().text == k;
+  }
+
+  bool eat_punct(std::string_view p) {
+    if (!is_punct(p)) return false;
+    ++pos_;
+    return true;
+  }
+  bool eat_keyword(std::string_view k) {
+    if (!is_keyword(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect_punct(std::string_view p) {
+    if (!eat_punct(p)) fail("expected '" + std::string(p) + "'");
+  }
+
+  /// Consumes a statement-terminating semicolon, tolerating ASI before
+  /// `}`/EOF and at line breaks.
+  void expect_semicolon() {
+    if (eat_punct(";")) return;
+    if (is_punct("}") || at_eof()) return;
+    if (pos_ > 0 && toks_[pos_ - 1].line < cur().line) return;  // ASI
+    fail("expected ';'");
+  }
+
+  std::string expect_identifier(const char* what) {
+    if (cur().kind != JsTokenKind::kIdentifier) fail(std::string("expected ") + what);
+    return advance().text;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  StmtPtr parse_statement() {
+    if (is_punct("{")) return parse_block();
+    if (is_punct(";")) {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kEmpty;
+      return s;
+    }
+    if (is_keyword("var") || is_keyword("let") || is_keyword("const")) {
+      auto s = parse_var_decl();
+      expect_semicolon();
+      return s;
+    }
+    if (is_keyword("function")) return parse_function_decl();
+    if (is_keyword("if")) return parse_if();
+    if (is_keyword("while")) return parse_while();
+    if (is_keyword("do")) return parse_do_while();
+    if (is_keyword("for")) return parse_for();
+    if (is_keyword("return")) return parse_return();
+    if (is_keyword("break") || is_keyword("continue")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = cur().text == "break" ? StmtKind::kBreak : StmtKind::kContinue;
+      advance();
+      expect_semicolon();
+      return s;
+    }
+    if (is_keyword("try")) return parse_try();
+    if (is_keyword("throw")) {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kThrow;
+      s->expr = parse_expression();
+      expect_semicolon();
+      return s;
+    }
+    if (is_keyword("switch")) return parse_switch();
+
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kExpr;
+    s->expr = parse_expression();
+    expect_semicolon();
+    return s;
+  }
+
+  StmtPtr parse_block() {
+    expect_punct("{");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kBlock;
+    while (!is_punct("}")) {
+      if (at_eof()) fail("unterminated block");
+      s->body.push_back(parse_statement());
+    }
+    advance();
+    return s;
+  }
+
+  StmtPtr parse_var_decl() {
+    advance();  // var/let/const — all treated as function-scoped var
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kVarDecl;
+    while (true) {
+      VarDeclarator d;
+      d.name = expect_identifier("variable name");
+      if (eat_punct("=")) d.init = parse_assignment();
+      s->decls.push_back(std::move(d));
+      if (!eat_punct(",")) break;
+    }
+    return s;
+  }
+
+  std::shared_ptr<FunctionNode> parse_function_rest(bool require_name) {
+    auto fn = std::make_shared<FunctionNode>();
+    if (cur().kind == JsTokenKind::kIdentifier) {
+      fn->name = advance().text;
+    } else if (require_name) {
+      fail("expected function name");
+    }
+    expect_punct("(");
+    if (!is_punct(")")) {
+      while (true) {
+        fn->params.push_back(expect_identifier("parameter name"));
+        if (!eat_punct(",")) break;
+      }
+    }
+    expect_punct(")");
+    expect_punct("{");
+    while (!is_punct("}")) {
+      if (at_eof()) fail("unterminated function body");
+      fn->body.push_back(parse_statement());
+    }
+    advance();
+    return fn;
+  }
+
+  StmtPtr parse_function_decl() {
+    advance();  // function
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kFunctionDecl;
+    s->function = parse_function_rest(/*require_name=*/true);
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    advance();
+    expect_punct("(");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kIf;
+    s->expr = parse_expression();
+    expect_punct(")");
+    s->body.push_back(parse_statement());
+    if (eat_keyword("else")) s->alt = parse_statement();
+    return s;
+  }
+
+  StmtPtr parse_while() {
+    advance();
+    expect_punct("(");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kWhile;
+    s->expr = parse_expression();
+    expect_punct(")");
+    s->body.push_back(parse_statement());
+    return s;
+  }
+
+  StmtPtr parse_do_while() {
+    advance();
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kDoWhile;
+    s->body.push_back(parse_statement());
+    if (!eat_keyword("while")) fail("expected 'while' after do-body");
+    expect_punct("(");
+    s->expr = parse_expression();
+    expect_punct(")");
+    expect_semicolon();
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    advance();
+    expect_punct("(");
+
+    // for (var x in obj) / for (x in obj)
+    const bool var_form = is_keyword("var") || is_keyword("let") || is_keyword("const");
+    if (var_form && ahead().kind == JsTokenKind::kIdentifier &&
+        ahead(2).kind == JsTokenKind::kKeyword && ahead(2).text == "in") {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kForIn;
+      s->for_in_declares = true;
+      s->for_in_var = advance().text;
+      advance();  // in
+      s->expr = parse_expression();
+      expect_punct(")");
+      s->body.push_back(parse_statement());
+      return s;
+    }
+    if (cur().kind == JsTokenKind::kIdentifier &&
+        ahead().kind == JsTokenKind::kKeyword && ahead().text == "in") {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kForIn;
+      s->for_in_var = advance().text;
+      advance();  // in
+      s->expr = parse_expression();
+      expect_punct(")");
+      s->body.push_back(parse_statement());
+      return s;
+    }
+
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kFor;
+    if (!is_punct(";")) {
+      if (var_form) {
+        s->init = parse_var_decl();
+      } else {
+        s->init = std::make_unique<Stmt>();
+        s->init->kind = StmtKind::kExpr;
+        s->init->expr = parse_expression();
+      }
+    }
+    expect_punct(";");
+    if (!is_punct(";")) s->expr2 = parse_expression();
+    expect_punct(";");
+    if (!is_punct(")")) s->expr3 = parse_expression();
+    expect_punct(")");
+    s->body.push_back(parse_statement());
+    return s;
+  }
+
+  StmtPtr parse_return() {
+    advance();
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kReturn;
+    if (!is_punct(";") && !is_punct("}") && !at_eof() &&
+        toks_[pos_ - 1].line == cur().line) {
+      s->expr = parse_expression();
+    }
+    expect_semicolon();
+    return s;
+  }
+
+  StmtPtr parse_try() {
+    advance();
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kTry;
+    StmtPtr block = parse_block();
+    s->body = std::move(block->body);
+    if (eat_keyword("catch")) {
+      s->has_catch = true;
+      if (eat_punct("(")) {
+        s->catch_param = expect_identifier("catch parameter");
+        expect_punct(")");
+      }
+      StmtPtr cb = parse_block();
+      s->catch_body = std::move(cb->body);
+    }
+    if (eat_keyword("finally")) {
+      s->has_finally = true;
+      StmtPtr fb = parse_block();
+      s->finally_body = std::move(fb->body);
+    }
+    if (!s->has_catch && !s->has_finally) fail("try without catch or finally");
+    return s;
+  }
+
+  StmtPtr parse_switch() {
+    advance();
+    expect_punct("(");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kSwitch;
+    s->expr = parse_expression();
+    expect_punct(")");
+    expect_punct("{");
+    while (!is_punct("}")) {
+      if (at_eof()) fail("unterminated switch");
+      SwitchCase sc;
+      if (eat_keyword("case")) {
+        sc.test = parse_expression();
+      } else if (!eat_keyword("default")) {
+        fail("expected 'case' or 'default'");
+      }
+      expect_punct(":");
+      while (!is_punct("}") && !is_keyword("case") && !is_keyword("default")) {
+        if (at_eof()) fail("unterminated switch");
+        sc.body.push_back(parse_statement());
+      }
+      s->cases.push_back(std::move(sc));
+    }
+    advance();
+    return s;
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  ExprPtr parse_expression() {
+    ExprPtr e = parse_assignment();
+    while (is_punct(",")) {
+      advance();
+      auto comma = std::make_unique<Expr>();
+      comma->kind = ExprKind::kComma;
+      comma->a = std::move(e);
+      comma->b = parse_assignment();
+      e = std::move(comma);
+    }
+    return e;
+  }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_conditional();
+    static const std::array<std::string_view, 12> kAssignOps = {
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="};
+    for (auto op : kAssignOps) {
+      if (is_punct(op)) {
+        if (lhs->kind != ExprKind::kIdentifier && lhs->kind != ExprKind::kMember) {
+          fail("invalid assignment target");
+        }
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kAssign;
+        e->op = op;
+        e->a = std::move(lhs);
+        e->b = parse_assignment();
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_conditional() {
+    ExprPtr cond = parse_binary(0);
+    if (!is_punct("?")) return cond;
+    advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kConditional;
+    e->a = std::move(cond);
+    e->b = parse_assignment();
+    expect_punct(":");
+    e->c = parse_assignment();
+    return e;
+  }
+
+  struct OpInfo {
+    std::string_view op;
+    int prec;
+    bool logical;
+    bool keyword;
+  };
+
+  const OpInfo* peek_binary_op() const {
+    static const std::array<OpInfo, 22> kOps = {{
+        {"||", 1, true, false},  {"&&", 2, true, false},
+        {"|", 3, false, false},  {"^", 4, false, false},
+        {"&", 5, false, false},  {"==", 6, false, false},
+        {"!=", 6, false, false}, {"===", 6, false, false},
+        {"!==", 6, false, false},
+        {"<", 7, false, false},  {">", 7, false, false},
+        {"<=", 7, false, false}, {">=", 7, false, false},
+        {"in", 7, false, true},  {"instanceof", 7, false, true},
+        {"<<", 8, false, false}, {">>", 8, false, false},
+        {">>>", 8, false, false},
+        {"+", 9, false, false},  {"-", 9, false, false},
+        {"*", 10, false, false}, {"/", 10, false, false},
+    }};
+    static const OpInfo kMod = {"%", 10, false, false};
+    if (is_punct("%")) return &kMod;
+    for (const auto& info : kOps) {
+      if (info.keyword ? is_keyword(info.op) : is_punct(info.op)) return &info;
+    }
+    return nullptr;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      const OpInfo* info = peek_binary_op();
+      if (!info || info->prec < min_prec) return lhs;
+      advance();
+      ExprPtr rhs = parse_binary(info->prec + 1);
+      auto e = std::make_unique<Expr>();
+      e->kind = info->logical ? ExprKind::kLogical : ExprKind::kBinary;
+      e->op = info->op;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    static const std::array<std::string_view, 5> kUnaryPuncts = {"!", "-", "+", "~"};
+    for (auto op : kUnaryPuncts) {
+      if (!op.empty() && is_punct(op)) {
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kUnary;
+        e->op = op;
+        e->a = parse_unary();
+        return e;
+      }
+    }
+    if (is_keyword("typeof") || is_keyword("void") || is_keyword("delete")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = advance().text;
+      e->a = parse_unary();
+      return e;
+    }
+    if (is_punct("++") || is_punct("--")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUpdate;
+      e->op = advance().text;
+      e->prefix = true;
+      e->a = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_call_member(parse_primary());
+    if (is_punct("++") || is_punct("--")) {
+      // No-line-terminator rule is ignored: fine for our corpus.
+      auto u = std::make_unique<Expr>();
+      u->kind = ExprKind::kUpdate;
+      u->op = advance().text;
+      u->prefix = false;
+      u->a = std::move(e);
+      return u;
+    }
+    return e;
+  }
+
+  ExprPtr parse_call_member(ExprPtr base) {
+    while (true) {
+      if (eat_punct(".")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kMember;
+        e->a = std::move(base);
+        // Allow keywords as property names (x.in, x.delete appear in APIs).
+        if (cur().kind != JsTokenKind::kIdentifier &&
+            cur().kind != JsTokenKind::kKeyword) {
+          fail("expected property name");
+        }
+        e->string_value = advance().text;
+        base = std::move(e);
+        continue;
+      }
+      if (is_punct("[")) {
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kMember;
+        e->computed_member = true;
+        e->a = std::move(base);
+        e->b = parse_expression();
+        expect_punct("]");
+        base = std::move(e);
+        continue;
+      }
+      if (is_punct("(")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCall;
+        e->a = std::move(base);
+        e->args = parse_arguments();
+        base = std::move(e);
+        continue;
+      }
+      return base;
+    }
+  }
+
+  std::vector<ExprPtr> parse_arguments() {
+    expect_punct("(");
+    std::vector<ExprPtr> args;
+    if (!is_punct(")")) {
+      while (true) {
+        args.push_back(parse_assignment());
+        if (!eat_punct(",")) break;
+      }
+    }
+    expect_punct(")");
+    return args;
+  }
+
+  ExprPtr parse_primary() {
+    const JsToken& t = cur();
+    switch (t.kind) {
+      case JsTokenKind::kNumber: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kNumber;
+        e->number = t.number;
+        advance();
+        return e;
+      }
+      case JsTokenKind::kString: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kString;
+        e->string_value = t.text;
+        advance();
+        return e;
+      }
+      case JsTokenKind::kIdentifier: {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kIdentifier;
+        e->string_value = t.text;
+        advance();
+        return e;
+      }
+      case JsTokenKind::kKeyword: {
+        if (t.text == "true" || t.text == "false") {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kBool;
+          e->bool_value = t.text == "true";
+          advance();
+          return e;
+        }
+        if (t.text == "null") {
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kNull;
+          return e;
+        }
+        if (t.text == "undefined") {
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kUndefined;
+          return e;
+        }
+        if (t.text == "this") {
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kThis;
+          return e;
+        }
+        if (t.text == "function") {
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunction;
+          e->function = parse_function_rest(/*require_name=*/false);
+          return e;
+        }
+        if (t.text == "new") {
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kNew;
+          // new Callee(args): member access binds tighter than the call.
+          ExprPtr callee = parse_primary();
+          while (true) {
+            if (eat_punct(".")) {
+              auto m = std::make_unique<Expr>();
+              m->kind = ExprKind::kMember;
+              m->a = std::move(callee);
+              if (cur().kind != JsTokenKind::kIdentifier &&
+                  cur().kind != JsTokenKind::kKeyword) {
+                fail("expected property name");
+              }
+              m->string_value = advance().text;
+              callee = std::move(m);
+              continue;
+            }
+            break;
+          }
+          e->a = std::move(callee);
+          if (is_punct("(")) e->args = parse_arguments();
+          return e;
+        }
+        fail("unexpected keyword '" + t.text + "'");
+      }
+      case JsTokenKind::kPunct: {
+        if (t.text == "(") {
+          advance();
+          ExprPtr e = parse_expression();
+          expect_punct(")");
+          return e;
+        }
+        if (t.text == "[") {
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kArrayLiteral;
+          if (!is_punct("]")) {
+            while (true) {
+              e->args.push_back(parse_assignment());
+              if (!eat_punct(",")) break;
+              if (is_punct("]")) break;  // trailing comma
+            }
+          }
+          expect_punct("]");
+          return e;
+        }
+        if (t.text == "{") {
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kObjectLiteral;
+          if (!is_punct("}")) {
+            while (true) {
+              ObjectProperty p;
+              if (cur().kind == JsTokenKind::kIdentifier ||
+                  cur().kind == JsTokenKind::kKeyword) {
+                p.key = advance().text;
+              } else if (cur().kind == JsTokenKind::kString) {
+                p.key = advance().text;
+              } else if (cur().kind == JsTokenKind::kNumber) {
+                p.key = advance().text;
+              } else {
+                fail("expected property key");
+              }
+              expect_punct(":");
+              p.value = parse_assignment();
+              e->props.push_back(std::move(p));
+              if (!eat_punct(",")) break;
+              if (is_punct("}")) break;  // trailing comma
+            }
+          }
+          expect_punct("}");
+          return e;
+        }
+        fail("unexpected token '" + t.text + "'");
+      }
+      default:
+        fail("unexpected end of input");
+    }
+  }
+
+  std::vector<JsToken> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<Program> parse_js(std::string_view source) {
+  Parser parser(tokenize_js(source));
+  return parser.parse_program();
+}
+
+}  // namespace pdfshield::js

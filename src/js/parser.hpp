@@ -1,0 +1,17 @@
+// Recursive-descent / precedence-climbing parser for the ECMAScript
+// subset. Produces the AST in js/ast.hpp.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "js/ast.hpp"
+
+namespace pdfshield::js {
+
+/// Parses a full script. Throws ParseError with a line number on syntax
+/// errors. Automatic semicolon insertion is supported in the common cases
+/// (end of line before `}` / EOF and after return/break/continue).
+std::shared_ptr<Program> parse_js(std::string_view source);
+
+}  // namespace pdfshield::js

@@ -1,0 +1,133 @@
+// Javascript value model for the embedded ECMAScript-subset engine.
+// Strings are immutable byte strings (Latin-1 semantics — enough for the
+// exploit corpus, which manipulates binary shellcode via charCodeAt /
+// fromCharCode). Objects/arrays/functions share one heap cell type.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pdfshield::js {
+
+class Interpreter;
+class JsObject;
+struct FunctionNode;
+class Environment;
+
+using ObjectPtr = std::shared_ptr<JsObject>;
+
+struct Undefined {
+  friend bool operator==(const Undefined&, const Undefined&) { return true; }
+};
+struct Null {
+  friend bool operator==(const Null&, const Null&) { return true; }
+};
+
+/// A Javascript value.
+class Value {
+ public:
+  using Repr = std::variant<Undefined, Null, bool, double, std::string, ObjectPtr>;
+
+  Value() : v_(Undefined{}) {}
+  Value(Undefined) : v_(Undefined{}) {}
+  Value(Null) : v_(Null{}) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(std::size_t n) : v_(static_cast<double>(n)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(ObjectPtr o) : v_(std::move(o)) {}
+
+  bool is_undefined() const { return std::holds_alternative<Undefined>(v_); }
+  bool is_null() const { return std::holds_alternative<Null>(v_); }
+  bool is_nullish() const { return is_undefined() || is_null(); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_object() const { return std::holds_alternative<ObjectPtr>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const ObjectPtr& as_object() const { return std::get<ObjectPtr>(v_); }
+
+  const Repr& repr() const { return v_; }
+
+ private:
+  Repr v_;
+};
+
+/// Native function: (interpreter, this, args) -> value.
+using NativeFn =
+    std::function<Value(Interpreter&, const Value&, const std::vector<Value>&)>;
+
+/// User-defined function: parameters + body AST + captured scope.
+struct UserFunction {
+  std::shared_ptr<const FunctionNode> node;
+  std::shared_ptr<Environment> closure;
+};
+
+/// Heap cell: plain object, array, or function. One class keeps the
+/// interpreter simple; flags select behaviour.
+class JsObject : public std::enable_shared_from_this<JsObject> {
+ public:
+  enum class Kind { kPlain, kArray, kFunction };
+
+  explicit JsObject(Kind kind = Kind::kPlain) : kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_function() const { return kind_ == Kind::kFunction; }
+
+  /// Named properties.
+  bool has(const std::string& key) const { return props_.count(key) > 0; }
+  Value get(const std::string& key) const;
+  void set(const std::string& key, Value v) { props_[key] = std::move(v); }
+  bool erase(const std::string& key) { return props_.erase(key) > 0; }
+  const std::map<std::string, Value>& props() const { return props_; }
+
+  /// Array elements (Kind::kArray).
+  std::vector<Value>& elements() { return elements_; }
+  const std::vector<Value>& elements() const { return elements_; }
+
+  /// Function payload (Kind::kFunction): exactly one of these is set.
+  NativeFn native;
+  std::shared_ptr<UserFunction> user;
+
+  /// Class tag used by host objects ("Doc", "App", "SOAP", ...) so the
+  /// jsapi layer can identify its own objects.
+  std::string class_name;
+
+ private:
+  Kind kind_;
+  std::map<std::string, Value> props_;
+  std::vector<Value> elements_;
+};
+
+/// Script-level exception (thrown by `throw`, catchable by `try/catch`).
+class JsException {
+ public:
+  explicit JsException(Value v) : value_(std::move(v)) {}
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Makes a native function object.
+ObjectPtr make_native_function(NativeFn fn);
+
+/// Makes an array object from elements.
+ObjectPtr make_array(std::vector<Value> elements = {});
+
+/// Makes a plain object.
+ObjectPtr make_object();
+
+}  // namespace pdfshield::js

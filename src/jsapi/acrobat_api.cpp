@@ -1,0 +1,428 @@
+#include "jsapi/acrobat_api.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdfshield::jsapi {
+
+using js::make_native_function;
+using js::make_object;
+using js::ObjectPtr;
+using js::Value;
+
+namespace {
+
+Value arg_or_undef(const std::vector<Value>& args, std::size_t i) {
+  return i < args.size() ? args[i] : Value();
+}
+
+std::string value_prop_string(js::Interpreter& in, const Value& obj,
+                              const std::string& key) {
+  if (!obj.is_object()) return {};
+  const Value v = obj.as_object()->get(key);
+  return v.is_undefined() ? std::string() : in.to_js_string(v);
+}
+
+}  // namespace
+
+AcrobatApi::AcrobatApi(js::Interpreter& interp, sys::Kernel& kernel, int pid,
+                       HostHooks& hooks, DocFacts facts, ApiConfig config)
+    : interp_(interp),
+      kernel_(kernel),
+      pid_(pid),
+      hooks_(hooks),
+      facts_(std::move(facts)),
+      config_(config) {
+  wire_memory_accounting();
+  install_app();
+  install_doc();
+  install_util();
+  install_collab();
+  install_soap_and_net();
+}
+
+void AcrobatApi::wire_memory_accounting() {
+  sys::Process* proc = kernel_.process(pid_);
+  const std::uint64_t scale = config_.memory_scale;
+  const std::size_t capture = config_.spray_capture_bytes;
+  interp_.on_alloc = [this, proc, scale](std::size_t bytes) {
+    const std::uint64_t reported = static_cast<std::uint64_t>(bytes) * scale;
+    js_allocated_ += reported;
+    if (proc) proc->alloc(reported);
+  };
+  interp_.on_large_string = [proc, capture](const std::string& s) {
+    if (proc) proc->sprayed_payloads().push_back(s.substr(0, capture));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// app
+// ---------------------------------------------------------------------------
+
+void AcrobatApi::install_app() {
+  auto app = make_object();
+  app->class_name = "App";
+  app->set("viewerVersion", Value(config_.viewer_version));
+  app->set("viewerType", Value("Reader"));
+  app->set("platform", Value("WIN"));
+  app->set("language", Value("ENU"));
+
+  app->set("alert", Value(make_native_function(
+                        [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                          // Modal UI: invisible to the detector, no-op here.
+                          return Value(1.0);
+                        })));
+  app->set("beep", Value(make_native_function(
+                       [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                         return Value();
+                       })));
+
+  app->set("setTimeOut",
+           Value(make_native_function(
+               [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                 const std::string src = in.to_js_string(arg_or_undef(args, 0));
+                 const double ms = js::Interpreter::to_number(arg_or_undef(args, 1));
+                 hooks_.script_delayed(src, std::isnan(ms) ? 0 : ms);
+                 auto timer = make_object();
+                 timer->class_name = "Timeout";
+                 return Value(timer);
+               })));
+  app->set("setInterval",
+           Value(make_native_function(
+               [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                 const std::string src = in.to_js_string(arg_or_undef(args, 0));
+                 const double ms = js::Interpreter::to_number(arg_or_undef(args, 1));
+                 hooks_.script_delayed(src, std::isnan(ms) ? 0 : ms);
+                 auto timer = make_object();
+                 timer->class_name = "Interval";
+                 return Value(timer);
+               })));
+  app->set("clearTimeOut", Value(make_native_function(
+                               [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                                 return Value();
+                               })));
+
+  // launchURL / mailMsg open *third-party* applications (browser, mail
+  // client); the paper's detector explicitly does not monitor those.
+  app->set("launchURL", Value(make_native_function(
+                            [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                              return Value(true);
+                            })));
+  app->set("mailMsg", Value(make_native_function(
+                          [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                            return Value(true);
+                          })));
+
+  interp_.set_global("app", Value(app));
+}
+
+// ---------------------------------------------------------------------------
+// Doc ("this" at document level)
+// ---------------------------------------------------------------------------
+
+void AcrobatApi::install_doc() {
+  auto doc = make_object();
+  doc->class_name = "Doc";
+
+  // this.info.* — document metadata. Obfuscated samples stash payload
+  // fragments here precisely because extract-and-emulate tools lose them.
+  auto info = make_object();
+  info->class_name = "Info";
+  for (const auto& [k, v] : facts_.info) info->set(k, Value(v));
+  doc->set("info", Value(info));
+  if (facts_.info.count("Title")) doc->set("title", Value(facts_.info.at("Title")));
+  doc->set("numPages", Value(1.0));
+  doc->set("path", Value("/c/docs/" + facts_.name));
+  doc->set("documentFileName", Value(facts_.name));
+
+  doc->set("getField",
+           Value(make_native_function(
+               [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                 const std::string name = in.to_js_string(arg_or_undef(args, 0));
+                 auto it = facts_.fields.find(name);
+                 if (it == facts_.fields.end()) return Value(js::Null{});
+                 auto field = make_object();
+                 field->class_name = "Field";
+                 field->set("name", Value(it->first));
+                 field->set("value", Value(it->second));
+                 field->set("setAction",
+                            Value(make_native_function(
+                                [this](js::Interpreter& in2, const Value&,
+                                       const std::vector<Value>& a2) {
+                                  hooks_.script_added(
+                                      "field-action",
+                                      in2.to_js_string(arg_or_undef(a2, 1)));
+                                  return Value();
+                                })));
+                 return Value(field);
+               })));
+
+  doc->set("addScript",
+           Value(make_native_function(
+               [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                 hooks_.script_added(in.to_js_string(arg_or_undef(args, 0)),
+                                     in.to_js_string(arg_or_undef(args, 1)));
+                 return Value();
+               })));
+  auto set_action = make_native_function(
+      [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+        // setAction(trigger, script) / setPageAction(page, trigger, script):
+        // the script is the last argument.
+        const std::string src =
+            args.empty() ? std::string() : in.to_js_string(args.back());
+        hooks_.script_added("set-action", src);
+        return Value();
+      });
+  doc->set("setAction", Value(ObjectPtr(set_action)));
+  doc->set("setPageAction", Value(ObjectPtr(set_action)));
+
+  doc->set("getAnnots",
+           Value(make_native_function(
+               [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                 // CVE-2009-1492: crafted negative page index.
+                 if (!args.empty() &&
+                     js::Interpreter::to_number(args[0]) < 0) {
+                   hooks_.exploit_attempt("CVE-2009-1492");
+                 }
+                 (void)in;
+                 return Value(js::make_array());
+               })));
+  doc->set("syncAnnotScan", Value(make_native_function(
+                                [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                                  return Value();
+                                })));
+
+  // this.media.newPlayer(null) — CVE-2009-4324 use-after-free.
+  auto media = make_object();
+  media->class_name = "Media";
+  media->set("newPlayer",
+             Value(make_native_function(
+                 [this](js::Interpreter&, const Value&, const std::vector<Value>& args) {
+                   if (!args.empty() && args[0].is_null()) {
+                     hooks_.exploit_attempt("CVE-2009-4324");
+                   }
+                   return Value(js::Null{});
+                 })));
+  doc->set("media", Value(media));
+
+  // exportDataObject: legitimately saves an attachment; nLaunch >= 2 makes
+  // Acrobat launch it — the classic embedded-dropper path. PDF attachments
+  // are opened by the reader itself (embedded-document handling, §VI).
+  doc->set("exportDataObject",
+           Value(make_native_function(
+               [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                 const Value spec = arg_or_undef(args, 0);
+                 const std::string cname = value_prop_string(in, spec, "cName");
+                 const double launch =
+                     js::Interpreter::to_number(
+                         spec.is_object() ? spec.as_object()->get("nLaunch") : Value());
+                 auto it = facts_.attachments.find(cname);
+                 const std::string contents =
+                     it != facts_.attachments.end()
+                         ? support::to_string(it->second)
+                         : std::string("attachment");
+                 const std::string path = "c:/temp/" + (cname.empty() ? "export.bin" : cname);
+                 kernel_.call_api(pid_, "NtCreateFile", {path, contents});
+                 if (!std::isnan(launch) && launch >= 2) {
+                   if (it != facts_.attachments.end() &&
+                       contents.find("%PDF") != std::string::npos) {
+                     hooks_.open_embedded(cname, it->second);
+                   } else {
+                     kernel_.call_api(pid_, "NtCreateProcess", {path});
+                   }
+                 }
+                 return Value();
+               })));
+
+  doc->set("closeDoc", Value(make_native_function(
+                           [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                             return Value();
+                           })));
+
+  // Bookmark tree: the last Table-IV surface (Bookmark.setAction).
+  auto bookmark_root = make_object();
+  bookmark_root->class_name = "Bookmark";
+  bookmark_root->set("name", Value("root"));
+  bookmark_root->set("setAction",
+                     Value(make_native_function(
+                         [this](js::Interpreter& in, const Value&,
+                                const std::vector<Value>& args) {
+                           hooks_.script_added(
+                               "bookmark-action",
+                               in.to_js_string(arg_or_undef(args, 0)));
+                           return Value();
+                         })));
+  bookmark_root->set("children", Value(js::make_array()));
+  doc->set("bookmarkRoot", Value(bookmark_root));
+
+  // XFA entry point: crafted use triggers the (patched-here) CVE-2013-0640.
+  doc->set("xfa", Value(make_native_function(
+                      [this](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                        hooks_.exploit_attempt("CVE-2013-0640");
+                        return Value();
+                      })));
+
+  interp_.set_global("event", Value([&] {
+                       auto event = make_object();
+                       event->class_name = "Event";
+                       event->set("target", Value(doc));
+                       event->set("name", Value("Open"));
+                       return event;
+                     }()));
+  interp_.set_global_this(Value(doc));
+  // Scripts also reference the doc as "this.doc" via app.doc.
+  if (Value* app = interp_.globals()->lookup("app"); app && app->is_object()) {
+    app->as_object()->set("doc", Value(doc));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// util
+// ---------------------------------------------------------------------------
+
+void AcrobatApi::install_util() {
+  auto util = make_object();
+  util->class_name = "Util";
+
+  util->set("printf",
+            Value(make_native_function(
+                [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                  const std::string fmt = in.to_js_string(arg_or_undef(args, 0));
+                  // CVE-2008-2992: util.printf("%45000f", ...) stack overflow —
+                  // any conversion with an absurd width is an exploit attempt.
+                  std::size_t i = 0;
+                  while ((i = fmt.find('%', i)) != std::string::npos) {
+                    std::size_t j = i + 1;
+                    std::string width;
+                    while (j < fmt.size() &&
+                           std::isdigit(static_cast<unsigned char>(fmt[j]))) {
+                      width.push_back(fmt[j++]);
+                    }
+                    if (width.size() >= 4 && std::atol(width.c_str()) >= 1000) {
+                      hooks_.exploit_attempt("CVE-2008-2992");
+                      return Value("");
+                    }
+                    i = j;
+                  }
+                  // Benign path: minimal %s/%d/%f formatting.
+                  std::string out;
+                  std::size_t argi = 1;
+                  for (std::size_t k = 0; k < fmt.size(); ++k) {
+                    if (fmt[k] != '%' || k + 1 >= fmt.size()) {
+                      out.push_back(fmt[k]);
+                      continue;
+                    }
+                    const char conv = fmt[++k];
+                    if (conv == '%') {
+                      out.push_back('%');
+                    } else if (conv == 's') {
+                      out += in.to_js_string(arg_or_undef(args, argi++));
+                    } else if (conv == 'd') {
+                      out += std::to_string(static_cast<long long>(
+                          js::Interpreter::to_number(arg_or_undef(args, argi++))));
+                    } else if (conv == 'f') {
+                      char buf[32];
+                      std::snprintf(buf, sizeof(buf), "%f",
+                                    js::Interpreter::to_number(arg_or_undef(args, argi++)));
+                      out += buf;
+                    } else {
+                      out.push_back(conv);
+                    }
+                  }
+                  return in.make_string(std::move(out));
+                })));
+
+  util->set("printd", Value(make_native_function(
+                          [](js::Interpreter&, const Value&, const std::vector<Value>&) {
+                            return Value("2014-06-23");
+                          })));
+  util->set("byteToChar",
+            Value(make_native_function(
+                [](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                  const int code =
+                      static_cast<int>(in.to_number(arg_or_undef(args, 0))) & 0xff;
+                  return in.make_string(std::string(1, static_cast<char>(code)));
+                })));
+
+  interp_.set_global("util", Value(util));
+}
+
+// ---------------------------------------------------------------------------
+// Collab
+// ---------------------------------------------------------------------------
+
+void AcrobatApi::install_collab() {
+  auto collab = make_object();
+  collab->class_name = "Collab";
+  collab->set("getIcon",
+              Value(make_native_function(
+                  [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                    const std::string name = in.to_js_string(arg_or_undef(args, 0));
+                    // CVE-2009-0927: oversized icon-name buffer overflow.
+                    if (name.size() > 1024) hooks_.exploit_attempt("CVE-2009-0927");
+                    return Value(js::Null{});
+                  })));
+  collab->set("collectEmailInfo",
+              Value(make_native_function(
+                  [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                    const std::string msg = in.to_js_string(arg_or_undef(args, 0));
+                    // CVE-2007-5659-family: treated as the printf-era bug on v8.
+                    if (msg.size() > 1024) hooks_.exploit_attempt("CVE-2008-2992");
+                    return Value();
+                  })));
+  interp_.set_global("Collab", Value(collab));
+}
+
+// ---------------------------------------------------------------------------
+// SOAP / Net
+// ---------------------------------------------------------------------------
+
+void AcrobatApi::install_soap_and_net() {
+  auto soap = make_object();
+  soap->class_name = "SOAP";
+  soap->set("request",
+            Value(make_native_function(
+                [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                  const Value spec = arg_or_undef(args, 0);
+                  const std::string url = value_prop_string(in, spec, "cURL");
+                  const Value payload =
+                      spec.is_object() ? spec.as_object()->get("oRequest") : Value();
+                  Value response;
+                  if (hooks_.soap_request(url, payload, &response)) {
+                    return response;  // served by the local runtime detector
+                  }
+                  // External SOAP endpoint: a real, monitored connection.
+                  kernel_.call_api(pid_, "connect", {url, "80"});
+                  return Value(js::Null{});
+                })));
+  soap->set("connect",
+            Value(make_native_function(
+                [this](js::Interpreter& in, const Value&, const std::vector<Value>& args) {
+                  const std::string url = in.to_js_string(arg_or_undef(args, 0));
+                  Value response;
+                  if (hooks_.soap_request(url, Value(), &response)) return response;
+                  kernel_.call_api(pid_, "connect", {url, "80"});
+                  return Value(js::Null{});
+                })));
+  interp_.set_global("SOAP", Value(soap));
+
+  // Net.HTTP exists in the API reference but "can be invoked only outside
+  // of a document" — inside a document every call throws.
+  auto net = make_object();
+  net->class_name = "Net";
+  auto http = make_object();
+  http->class_name = "NetHTTP";
+  http->set("request",
+            Value(make_native_function(
+                [](js::Interpreter&, const Value&, const std::vector<Value>&) -> Value {
+                  throw js::JsException(
+                      Value("NotAllowedError: Net.HTTP is not available in "
+                            "this context"));
+                })));
+  net->set("HTTP", Value(http));
+  interp_.set_global("Net", Value(net));
+}
+
+}  // namespace pdfshield::jsapi

@@ -1,0 +1,77 @@
+// The Acrobat Javascript API surface ("JavaScript for Acrobat API
+// Reference"), bound to the simulated kernel and reader. This is what
+// document Javascript — benign form logic, the paper's context monitoring
+// code, and the exploit corpus — programs against:
+//
+//   app        alert, viewerVersion, setTimeOut/setInterval, launchURL, ...
+//   this (Doc) info.*, getField, addScript, setAction, getAnnots,
+//              exportDataObject, media.newPlayer, ...
+//   util       printf (CVE-2008-2992 path), printd, byteToChar
+//   Collab     getIcon (CVE-2009-0927 path)
+//   SOAP       request/connect — the channel the instrumented monitoring
+//              code uses to reach the runtime detector
+//   Net        HTTP (unavailable inside documents, per the reference)
+//
+// Memory wiring: every JS string/array allocation is charged to the host
+// process at `memory_scale`× so reported working-set numbers land on the
+// paper's MB scale while physical cost stays small (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "js/interp.hpp"
+#include "jsapi/host_hooks.hpp"
+#include "sys/kernel.hpp"
+
+namespace pdfshield::jsapi {
+
+/// Static facts about the hosting document, extracted from its /Info
+/// dictionary and form fields. Exploit corpora hide payload pieces here
+/// ("this.info.title" shellcode — the extraction-evasion trick of §II).
+struct DocFacts {
+  std::string name;  ///< File name, for reports.
+  std::map<std::string, std::string> info;    ///< Title, Author, ...
+  std::map<std::string, std::string> fields;  ///< field name -> value
+  /// Embedded file attachments (/Names /EmbeddedFiles), decoded contents.
+  std::map<std::string, support::Bytes> attachments;
+};
+
+struct ApiConfig {
+  double viewer_version = 9.0;
+  std::uint64_t memory_scale = 64;  ///< physical byte -> reported bytes
+  std::size_t spray_capture_bytes = 128 * 1024;  ///< payload prefix kept
+};
+
+/// Binds the full Acrobat API into an interpreter. One binding per open
+/// document (each document gets a fresh interpreter, matching Acrobat's
+/// per-document script contexts).
+class AcrobatApi {
+ public:
+  AcrobatApi(js::Interpreter& interp, sys::Kernel& kernel, int pid,
+             HostHooks& hooks, DocFacts facts, ApiConfig config = {});
+
+  /// Reported bytes this document's Javascript has allocated so far.
+  std::uint64_t js_allocated_reported() const { return js_allocated_; }
+
+  const DocFacts& facts() const { return facts_; }
+
+ private:
+  void install_app();
+  void install_doc();
+  void install_util();
+  void install_collab();
+  void install_soap_and_net();
+  void wire_memory_accounting();
+
+  js::Interpreter& interp_;
+  sys::Kernel& kernel_;
+  int pid_;
+  HostHooks& hooks_;
+  DocFacts facts_;
+  ApiConfig config_;
+  std::uint64_t js_allocated_ = 0;
+};
+
+}  // namespace pdfshield::jsapi

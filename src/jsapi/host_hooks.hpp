@@ -1,0 +1,43 @@
+// Interface the Acrobat JS API uses to talk back to its host (the reader
+// simulator). Keeps jsapi free of a dependency on the reader module.
+#pragma once
+
+#include <string>
+
+#include "js/value.hpp"
+#include "support/bytes.hpp"
+
+namespace pdfshield::jsapi {
+
+/// Callbacks from Javascript into the hosting reader.
+class HostHooks {
+ public:
+  virtual ~HostHooks() = default;
+
+  /// A Javascript API was invoked in a way that exploits `cve`
+  /// (e.g. util.printf with a huge width). The host decides whether the
+  /// exploit actually fires (version gating, spray checks, crash).
+  virtual void exploit_attempt(const std::string& cve) = 0;
+
+  /// Doc.addScript / Doc.setAction / Doc.setPageAction / Field.setAction /
+  /// Bookmark.setAction: a script was added at runtime (staged attacks,
+  /// paper §IV Table IV). The host queues it for later execution.
+  virtual void script_added(const std::string& name,
+                            const std::string& source) = 0;
+
+  /// app.setTimeOut / app.setInterval: delayed execution (paper §IV).
+  virtual void script_delayed(const std::string& source, double millis) = 0;
+
+  /// SOAP.request to `url`. Returns true and fills `response` when the URL
+  /// is served locally (the runtime detector's SOAP server); false means
+  /// the request goes to the (monitored) network.
+  virtual bool soap_request(const std::string& url, const js::Value& payload,
+                            js::Value* response) = 0;
+
+  /// Doc.exportDataObject with nLaunch >= 2 on a PDF attachment: the
+  /// reader opens the embedded document (§VI embedded-PDF handling).
+  virtual void open_embedded(const std::string& name,
+                             const support::Bytes& data) = 0;
+};
+
+}  // namespace pdfshield::jsapi

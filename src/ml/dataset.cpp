@@ -1,0 +1,62 @@
+#include "ml/dataset.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace pdfshield::ml {
+
+Split train_test_split(const Dataset& data, double train_fraction,
+                       support::Rng& rng) {
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::size_t train_n =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(data.size()));
+  Split split;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& dst = i < train_n ? split.train : split.test;
+    dst.add(data.x[order[i]], data.y[order[i]]);
+  }
+  return split;
+}
+
+void Standardizer::fit(const Dataset& data) {
+  const std::size_t d = data.feature_count();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 1.0);
+  if (data.size() == 0) return;
+  for (const auto& row : data.x) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(data.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : data.x) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    stddev_[j] = std::sqrt(var[j] / static_cast<double>(data.size()));
+    if (stddev_[j] < 1e-9) stddev_[j] = 1.0;  // constant feature
+  }
+}
+
+FeatureVector Standardizer::transform(const FeatureVector& x) const {
+  FeatureVector out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - (j < mean_.size() ? mean_[j] : 0.0)) /
+             (j < stddev_.size() ? stddev_[j] : 1.0);
+  }
+  return out;
+}
+
+Dataset Standardizer::transform(const Dataset& data) const {
+  Dataset out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.x[i]), data.y[i]);
+  }
+  return out;
+}
+
+}  // namespace pdfshield::ml

@@ -1,0 +1,52 @@
+// Dataset vocabulary for the baseline classifiers (Table IX): dense
+// feature vectors with binary labels (1 = malicious).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::ml {
+
+using FeatureVector = std::vector<double>;
+
+struct Dataset {
+  std::vector<FeatureVector> x;
+  std::vector<int> y;  ///< 0 = benign, 1 = malicious
+
+  std::size_t size() const { return x.size(); }
+  std::size_t feature_count() const { return x.empty() ? 0 : x[0].size(); }
+
+  void add(FeatureVector features, int label) {
+    if (!x.empty() && features.size() != x[0].size()) {
+      throw support::LogicError("dataset feature arity mismatch");
+    }
+    x.push_back(std::move(features));
+    y.push_back(label);
+  }
+};
+
+/// Shuffles and splits into train/test by `train_fraction`.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split train_test_split(const Dataset& data, double train_fraction,
+                       support::Rng& rng);
+
+/// Per-feature standardization (zero mean, unit variance) fitted on one
+/// dataset and applied to others.
+class Standardizer {
+ public:
+  void fit(const Dataset& data);
+  FeatureVector transform(const FeatureVector& x) const;
+  Dataset transform(const Dataset& data) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace pdfshield::ml

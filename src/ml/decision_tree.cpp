@@ -1,0 +1,130 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pdfshield::ml {
+
+namespace {
+
+double gini(std::size_t positives, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::train(const Dataset& data, support::Rng& rng) {
+  nodes_.clear();
+  if (data.size() == 0) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(indices, data, 0, rng);
+}
+
+int DecisionTree::build(const std::vector<std::size_t>& indices,
+                        const Dataset& data, int depth, support::Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  std::size_t positives = 0;
+  for (std::size_t i : indices) positives += static_cast<std::size_t>(data.y[i]);
+  nodes_[static_cast<std::size_t>(node_id)].malicious_fraction =
+      indices.empty() ? 0.0
+                      : static_cast<double>(positives) /
+                            static_cast<double>(indices.size());
+
+  const bool pure = positives == 0 || positives == indices.size();
+  if (pure || depth >= config_.max_depth ||
+      indices.size() < 2 * config_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  const std::size_t d = data.feature_count();
+  std::vector<std::size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  if (config_.feature_subsample > 0 && config_.feature_subsample < d) {
+    rng.shuffle(features);
+    features.resize(config_.feature_subsample);
+  }
+
+  double best_score = gini(positives, indices.size());
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  for (std::size_t f : features) {
+    // Sort indices by this feature; evaluate splits between distinct values.
+    std::vector<std::size_t> sorted = indices;
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return data.x[a][f] < data.x[b][f];
+    });
+    std::size_t left_pos = 0;
+    for (std::size_t k = 1; k < sorted.size(); ++k) {
+      left_pos += static_cast<std::size_t>(data.y[sorted[k - 1]]);
+      const double lo = data.x[sorted[k - 1]][f];
+      const double hi = data.x[sorted[k]][f];
+      if (lo == hi) continue;
+      if (k < config_.min_samples_leaf ||
+          sorted.size() - k < config_.min_samples_leaf) {
+        continue;
+      }
+      const double weighted =
+          (static_cast<double>(k) * gini(left_pos, k) +
+           static_cast<double>(sorted.size() - k) *
+               gini(positives - left_pos, sorted.size() - k)) /
+          static_cast<double>(sorted.size());
+      if (weighted + 1e-12 < best_score) {
+        best_score = weighted;
+        best_feature = static_cast<int>(f);
+        best_threshold = (lo + hi) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<std::size_t> left, right;
+  for (std::size_t i : indices) {
+    (data.x[i][static_cast<std::size_t>(best_feature)] <= best_threshold
+         ? left
+         : right)
+        .push_back(i);
+  }
+  if (left.empty() || right.empty()) return node_id;
+
+  const int left_id = build(left, data, depth + 1, rng);
+  const int right_id = build(right, data, depth + 1, rng);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left_id;
+  node.right = right_id;
+  return node_id;
+}
+
+const DecisionTree::Node& DecisionTree::leaf_for(const FeatureVector& x) const {
+  std::size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const std::size_t f = static_cast<std::size_t>(nodes_[cur].feature);
+    const double v = f < x.size() ? x[f] : 0.0;
+    cur = static_cast<std::size_t>(v <= nodes_[cur].threshold ? nodes_[cur].left
+                                                              : nodes_[cur].right);
+  }
+  return nodes_[cur];
+}
+
+int DecisionTree::predict(const FeatureVector& x) const {
+  return predict_proba(x) >= 0.5 ? 1 : 0;
+}
+
+double DecisionTree::predict_proba(const FeatureVector& x) const {
+  if (nodes_.empty()) return 0.0;
+  return leaf_for(x).malicious_fraction;
+}
+
+}  // namespace pdfshield::ml

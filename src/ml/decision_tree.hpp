@@ -1,0 +1,51 @@
+// CART decision tree (Gini impurity, axis-aligned threshold splits), the
+// other classifier family of the structural baseline [5] and the base
+// learner for the PDFRate-style random forest [4].
+#pragma once
+
+#include <memory>
+
+#include "ml/dataset.hpp"
+
+namespace pdfshield::ml {
+
+class DecisionTree {
+ public:
+  struct Config {
+    int max_depth = 12;
+    std::size_t min_samples_leaf = 2;
+    /// Features sampled per split; 0 = all (set by the forest).
+    std::size_t feature_subsample = 0;
+  };
+
+  DecisionTree();
+  explicit DecisionTree(Config config);
+
+  void train(const Dataset& data, support::Rng& rng);
+  int predict(const FeatureVector& x) const;
+  /// Fraction of malicious training samples at the reached leaf.
+  double predict_proba(const FeatureVector& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 for leaves
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    double malicious_fraction = 0.0;
+  };
+
+  int build(const std::vector<std::size_t>& indices, const Dataset& data,
+            int depth, support::Rng& rng);
+  const Node& leaf_for(const FeatureVector& x) const;
+
+  Config config_;
+  std::vector<Node> nodes_;
+};
+
+
+inline DecisionTree::DecisionTree() : DecisionTree(Config()) {}
+inline DecisionTree::DecisionTree(Config config) : config_(config) {}
+
+}  // namespace pdfshield::ml

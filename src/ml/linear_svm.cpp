@@ -1,0 +1,50 @@
+#include "ml/linear_svm.hpp"
+
+#include <numeric>
+
+namespace pdfshield::ml {
+
+void LinearSvm::train(const Dataset& data, support::Rng& rng) {
+  const std::size_t d = data.feature_count();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  if (data.size() == 0) return;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Pegasos: step size 1/(lambda * t).
+  std::size_t t = 1;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const FeatureVector& x = data.x[idx];
+      const double y = data.y[idx] == 1 ? 1.0 : -1.0;
+      const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+      double margin = b_;
+      for (std::size_t j = 0; j < d; ++j) margin += w_[j] * x[j];
+      margin *= y;
+
+      // L2 shrink (bias treated as an augmented, regularized weight —
+      // updating it unregularized makes the first huge Pegasos steps
+      // swing the intercept wildly).
+      const double shrink = 1.0 - eta * config_.lambda;
+      for (double& wj : w_) wj *= shrink;
+      b_ *= shrink;
+      if (margin < 1.0) {
+        for (std::size_t j = 0; j < d; ++j) w_[j] += eta * y * x[j];
+        b_ += eta * y * 0.1;  // damped intercept learning rate
+      }
+      ++t;
+    }
+  }
+}
+
+double LinearSvm::decision(const FeatureVector& x) const {
+  double v = b_;
+  const std::size_t d = std::min(x.size(), w_.size());
+  for (std::size_t j = 0; j < d; ++j) v += w_[j] * x[j];
+  return v;
+}
+
+}  // namespace pdfshield::ml

@@ -1,0 +1,42 @@
+// Linear soft-margin SVM trained with Pegasos-style stochastic subgradient
+// descent on the hinge loss. Used by the structural-path baseline [5],
+// which reported SVM among its best classifiers.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace pdfshield::ml {
+
+class LinearSvm {
+ public:
+  struct Config {
+    int epochs = 40;
+    double lambda = 1e-4;  ///< L2 regularization strength
+  };
+
+  LinearSvm();
+  explicit LinearSvm(Config config);
+
+  /// Trains on labels {0,1} (internally mapped to ±1).
+  void train(const Dataset& data, support::Rng& rng);
+
+  /// Signed distance to the separating hyperplane.
+  double decision(const FeatureVector& x) const;
+
+  /// 1 = malicious.
+  int predict(const FeatureVector& x) const { return decision(x) >= 0 ? 1 : 0; }
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  Config config_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+
+inline LinearSvm::LinearSvm() : LinearSvm(Config()) {}
+inline LinearSvm::LinearSvm(Config config) : config_(config) {}
+
+}  // namespace pdfshield::ml

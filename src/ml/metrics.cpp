@@ -1,0 +1,27 @@
+#include "ml/metrics.hpp"
+
+#include "support/strings.hpp"
+
+namespace pdfshield::ml {
+
+std::string Metrics::summary() const {
+  return "tpr=" + support::format_double(tpr(), 4) +
+         " fpr=" + support::format_double(fpr(), 4) +
+         " acc=" + support::format_double(accuracy(), 4);
+}
+
+Metrics evaluate(const std::function<int(const FeatureVector&)>& predict,
+                 const Dataset& data) {
+  Metrics m;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int guess = predict(data.x[i]);
+    if (data.y[i] == 1) {
+      guess == 1 ? ++m.tp : ++m.fn;
+    } else {
+      guess == 1 ? ++m.fp : ++m.tn;
+    }
+  }
+  return m;
+}
+
+}  // namespace pdfshield::ml

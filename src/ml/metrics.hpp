@@ -1,0 +1,41 @@
+// Binary-classification metrics as reported in Table IX (false positive
+// rate / true positive rate).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace pdfshield::ml {
+
+struct Metrics {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double accuracy() const {
+    const std::size_t total = tp + fp + tn + fn;
+    return total ? static_cast<double>(tp + tn) / static_cast<double>(total) : 0;
+  }
+  /// True positive rate (detection rate).
+  double tpr() const {
+    return (tp + fn) ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0;
+  }
+  /// False positive rate.
+  double fpr() const {
+    return (fp + tn) ? static_cast<double>(fp) / static_cast<double>(fp + tn) : 0;
+  }
+  double precision() const {
+    return (tp + fp) ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0;
+  }
+  double f1() const {
+    const double p = precision(), r = tpr();
+    return (p + r) > 0 ? 2 * p * r / (p + r) : 0;
+  }
+  std::string summary() const;
+};
+
+/// Evaluates a predict function (x -> 0/1) over a dataset.
+Metrics evaluate(const std::function<int(const FeatureVector&)>& predict,
+                 const Dataset& data);
+
+}  // namespace pdfshield::ml

@@ -1,0 +1,49 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+
+namespace pdfshield::ml {
+
+void NaiveBayes::train(const Dataset& data) {
+  features_ = data.feature_count();
+  std::size_t class_count[2] = {0, 0};
+  std::vector<double> present[2];
+  present[0].assign(features_, 0.0);
+  present[1].assign(features_, 0.0);
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int c = data.y[i] ? 1 : 0;
+    ++class_count[c];
+    for (std::size_t j = 0; j < features_; ++j) {
+      if (data.x[i][j] > config_.presence_threshold) present[c][j] += 1.0;
+    }
+  }
+
+  const double total = static_cast<double>(data.size());
+  for (int c = 0; c < 2; ++c) {
+    log_prior_[c] = std::log((static_cast<double>(class_count[c]) + 1.0) /
+                             (total + 2.0));
+    log_p_present_[c].resize(features_);
+    log_p_absent_[c].resize(features_);
+    const double denom =
+        static_cast<double>(class_count[c]) + 2.0 * config_.smoothing;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const double p = (present[c][j] + config_.smoothing) / denom;
+      log_p_present_[c][j] = std::log(p);
+      log_p_absent_[c][j] = std::log(1.0 - p);
+    }
+  }
+}
+
+double NaiveBayes::log_odds(const FeatureVector& x) const {
+  double score[2] = {log_prior_[0], log_prior_[1]};
+  for (std::size_t j = 0; j < features_ && j < x.size(); ++j) {
+    const bool on = x[j] > config_.presence_threshold;
+    for (int c = 0; c < 2; ++c) {
+      score[c] += on ? log_p_present_[c][j] : log_p_absent_[c][j];
+    }
+  }
+  return score[1] - score[0];
+}
+
+}  // namespace pdfshield::ml

@@ -1,0 +1,37 @@
+// Bernoulli naive Bayes over thresholded features — the classifier behind
+// the Markov-n-gram-style baseline [17] and Malware Slayer-style keyword
+// frequency detection [6].
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace pdfshield::ml {
+
+class NaiveBayes {
+ public:
+  struct Config {
+    double smoothing = 1.0;         ///< Laplace smoothing.
+    double presence_threshold = 0;  ///< feature > threshold counts as present
+  };
+
+  NaiveBayes();
+  explicit NaiveBayes(Config config);
+
+  void train(const Dataset& data);
+  /// Log-odds of the malicious class.
+  double log_odds(const FeatureVector& x) const;
+  int predict(const FeatureVector& x) const { return log_odds(x) >= 0 ? 1 : 0; }
+
+ private:
+  Config config_;
+  std::vector<double> log_p_present_[2];  ///< per class
+  std::vector<double> log_p_absent_[2];
+  double log_prior_[2] = {0, 0};
+  std::size_t features_ = 0;
+};
+
+
+inline NaiveBayes::NaiveBayes() : NaiveBayes(Config()) {}
+inline NaiveBayes::NaiveBayes(Config config) : config_(config) {}
+
+}  // namespace pdfshield::ml

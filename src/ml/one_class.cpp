@@ -1,0 +1,57 @@
+#include "ml/one_class.hpp"
+
+#include <cmath>
+
+namespace pdfshield::ml {
+
+void OneClassCentroid::train(const std::vector<FeatureVector>& target) {
+  if (target.empty()) {
+    centroid_.clear();
+    radius_ = 0.0;
+    return;
+  }
+  const std::size_t d = target[0].size();
+  centroid_.assign(d, 0.0);
+  for (const auto& x : target) {
+    for (std::size_t j = 0; j < d; ++j) centroid_[j] += x[j];
+  }
+  for (double& c : centroid_) c /= static_cast<double>(target.size());
+
+  // Per-dimension scale so no single feature dominates the distance.
+  scale_.assign(d, 0.0);
+  for (const auto& x : target) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = x[j] - centroid_[j];
+      scale_[j] += delta * delta;
+    }
+  }
+  for (double& s : scale_) {
+    s = std::sqrt(s / static_cast<double>(target.size()));
+    if (s < 1e-9) s = 1.0;
+  }
+
+  // Radius from the training distance distribution.
+  double mean = 0.0, m2 = 0.0;
+  std::size_t n = 0;
+  for (const auto& x : target) {
+    const double dist = distance(x);
+    ++n;
+    const double delta = dist - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (dist - mean);
+  }
+  const double stddev = n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+  radius_ = mean + config_.radius_sigmas * stddev;
+}
+
+double OneClassCentroid::distance(const FeatureVector& x) const {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < centroid_.size(); ++j) {
+    const double v = j < x.size() ? x[j] : 0.0;
+    const double delta = (v - centroid_[j]) / scale_[j];
+    sum += delta * delta;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace pdfshield::ml

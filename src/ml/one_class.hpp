@@ -1,0 +1,45 @@
+// One-class model (hypersphere around the target-class centroid in
+// standardized feature space) — the OCSVM stand-in behind the PJScan-style
+// lexical baseline [7], which trains on malicious samples only.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace pdfshield::ml {
+
+class OneClassCentroid {
+ public:
+  struct Config {
+    /// Radius = mean distance + k * stddev of training distances.
+    double radius_sigmas = 2.0;
+  };
+
+  OneClassCentroid();
+  explicit OneClassCentroid(Config config);
+
+  /// Trains on target-class vectors only (labels ignored).
+  void train(const std::vector<FeatureVector>& target);
+
+  /// Distance from the centroid (standardized space).
+  double distance(const FeatureVector& x) const;
+
+  /// 1 when `x` falls inside the learned sphere (i.e. looks like the
+  /// target class).
+  int predict(const FeatureVector& x) const {
+    return distance(x) <= radius_ ? 1 : 0;
+  }
+
+  double radius() const { return radius_; }
+
+ private:
+  Config config_;
+  std::vector<double> centroid_;
+  std::vector<double> scale_;
+  double radius_ = 0.0;
+};
+
+
+inline OneClassCentroid::OneClassCentroid() : OneClassCentroid(Config()) {}
+inline OneClassCentroid::OneClassCentroid(Config config) : config_(config) {}
+
+}  // namespace pdfshield::ml

@@ -1,0 +1,39 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+namespace pdfshield::ml {
+
+void RandomForest::train(const Dataset& data, support::Rng& rng) {
+  trees_.clear();
+  if (data.size() == 0) return;
+
+  DecisionTree::Config tree_config = config_.tree;
+  if (tree_config.feature_subsample == 0) {
+    // sqrt(d) features per split, the usual forest default.
+    tree_config.feature_subsample = static_cast<std::size_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(data.feature_count()))));
+  }
+
+  const std::size_t sample_n = static_cast<std::size_t>(
+      config_.sample_fraction * static_cast<double>(data.size()));
+  for (int t = 0; t < config_.n_trees; ++t) {
+    Dataset bootstrap;
+    for (std::size_t i = 0; i < sample_n; ++i) {
+      const std::size_t pick = static_cast<std::size_t>(rng.below(data.size()));
+      bootstrap.add(data.x[pick], data.y[pick]);
+    }
+    DecisionTree tree(tree_config);
+    tree.train(bootstrap, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict_proba(const FeatureVector& x) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.predict_proba(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace pdfshield::ml

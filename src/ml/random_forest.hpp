@@ -1,0 +1,38 @@
+// Bagged random forest over CART trees — the classifier family PDFRate [4]
+// uses over its metadata/structural features.
+#pragma once
+
+#include "ml/decision_tree.hpp"
+
+namespace pdfshield::ml {
+
+class RandomForest {
+ public:
+  struct Config {
+    int n_trees = 25;
+    DecisionTree::Config tree;
+    /// Bootstrap sample fraction per tree.
+    double sample_fraction = 1.0;
+  };
+
+  RandomForest();
+  explicit RandomForest(Config config);
+
+  void train(const Dataset& data, support::Rng& rng);
+  double predict_proba(const FeatureVector& x) const;
+  int predict(const FeatureVector& x) const {
+    return predict_proba(x) >= 0.5 ? 1 : 0;
+  }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  Config config_;
+  std::vector<DecisionTree> trees_;
+};
+
+
+inline RandomForest::RandomForest() : RandomForest(Config()) {}
+inline RandomForest::RandomForest(Config config) : config_(config) {}
+
+}  // namespace pdfshield::ml

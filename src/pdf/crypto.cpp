@@ -1,0 +1,270 @@
+#include "pdf/crypto.hpp"
+
+#include <algorithm>
+
+#include "support/md5.hpp"
+
+namespace pdfshield::pdf {
+
+using support::Bytes;
+using support::BytesView;
+
+namespace {
+
+// The 32-byte padding string of §3.5.2.
+constexpr std::uint8_t kPad[32] = {
+    0x28, 0xBF, 0x4E, 0x5E, 0x4E, 0x75, 0x8A, 0x41, 0x64, 0x00, 0x4E,
+    0x56, 0xFF, 0xFA, 0x01, 0x08, 0x2E, 0x2E, 0x00, 0xB6, 0xD0, 0x68,
+    0x3E, 0x80, 0x2F, 0x0C, 0xA9, 0xFE, 0x64, 0x53, 0x69, 0x7A};
+
+Bytes pad_password(const std::string& password) {
+  Bytes out;
+  out.reserve(32);
+  for (std::size_t i = 0; i < password.size() && i < 32; ++i) {
+    out.push_back(static_cast<std::uint8_t>(password[i]));
+  }
+  for (std::size_t i = out.size(); i < 32; ++i) out.push_back(kPad[i - password.size()]);
+  return out;
+}
+
+void append_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+Bytes md5_bytes(BytesView data) {
+  const support::Md5Digest d = support::md5(data);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+Bytes rc4(BytesView key, BytesView data) {
+  std::uint8_t s[256];
+  for (int i = 0; i < 256; ++i) s[i] = static_cast<std::uint8_t>(i);
+  if (!key.empty()) {
+    int j = 0;
+    for (int i = 0; i < 256; ++i) {
+      j = (j + s[i] + key[static_cast<std::size_t>(i) % key.size()]) & 0xff;
+      std::swap(s[i], s[j]);
+    }
+  }
+  Bytes out;
+  out.reserve(data.size());
+  int i = 0, j = 0;
+  for (std::uint8_t byte : data) {
+    i = (i + 1) & 0xff;
+    j = (j + s[i]) & 0xff;
+    std::swap(s[i], s[j]);
+    out.push_back(static_cast<std::uint8_t>(byte ^ s[(s[i] + s[j]) & 0xff]));
+  }
+  return out;
+}
+
+Bytes compute_file_key(const EncryptionParams& params,
+                       const std::string& user_password) {
+  // Algorithm 3.2.
+  Bytes input = pad_password(user_password);
+  input.insert(input.end(), params.o_entry.begin(), params.o_entry.end());
+  append_u32le(input, static_cast<std::uint32_t>(params.permissions));
+  input.insert(input.end(), params.file_id.begin(), params.file_id.end());
+  Bytes hash = md5_bytes(input);
+  if (params.revision >= 3) {
+    for (int i = 0; i < 50; ++i) {
+      hash = md5_bytes(BytesView(hash.data(),
+                                 static_cast<std::size_t>(params.key_length_bytes)));
+    }
+  }
+  hash.resize(static_cast<std::size_t>(params.key_length_bytes));
+  return hash;
+}
+
+Bytes compute_o_entry(const std::string& owner_password,
+                      const std::string& user_password, int revision,
+                      int key_length_bytes) {
+  // Algorithm 3.3. An empty owner password falls back to the user password.
+  const std::string& effective =
+      owner_password.empty() ? user_password : owner_password;
+  Bytes hash = md5_bytes(pad_password(effective));
+  if (revision >= 3) {
+    for (int i = 0; i < 50; ++i) hash = md5_bytes(hash);
+  }
+  Bytes key(hash.begin(), hash.begin() + key_length_bytes);
+  Bytes o = rc4(key, pad_password(user_password));
+  if (revision >= 3) {
+    for (int i = 1; i <= 19; ++i) {
+      Bytes round_key = key;
+      for (auto& b : round_key) b = static_cast<std::uint8_t>(b ^ i);
+      o = rc4(round_key, o);
+    }
+  }
+  return o;
+}
+
+Bytes compute_u_entry(const EncryptionParams& params,
+                      const std::string& user_password) {
+  const Bytes key = compute_file_key(params, user_password);
+  if (params.revision == 2) {
+    // Algorithm 3.4.
+    return rc4(key, BytesView(kPad, 32));
+  }
+  // Algorithm 3.5.
+  Bytes input(kPad, kPad + 32);
+  input.insert(input.end(), params.file_id.begin(), params.file_id.end());
+  Bytes u = rc4(key, md5_bytes(input));
+  for (int i = 1; i <= 19; ++i) {
+    Bytes round_key = key;
+    for (auto& b : round_key) b = static_cast<std::uint8_t>(b ^ i);
+    u = rc4(round_key, u);
+  }
+  u.resize(32, 0);  // pad to 32 with arbitrary (zero) bytes
+  return u;
+}
+
+bool verify_user_password(const EncryptionParams& params,
+                          const std::string& user_password) {
+  const Bytes expected = compute_u_entry(params, user_password);
+  if (params.u_entry.size() < 16 || expected.size() < 16) return false;
+  // R3 compares the first 16 bytes only; R2 compares all 32.
+  const std::size_t n = params.revision >= 3 ? 16 : 32;
+  if (params.u_entry.size() < n) return false;
+  return std::equal(expected.begin(), expected.begin() + static_cast<std::ptrdiff_t>(n),
+                    params.u_entry.begin());
+}
+
+Bytes crypt_object_data(const Bytes& file_key, int obj_num, int gen,
+                        BytesView data) {
+  // Algorithm 3.1.
+  Bytes input = file_key;
+  input.push_back(static_cast<std::uint8_t>(obj_num));
+  input.push_back(static_cast<std::uint8_t>(obj_num >> 8));
+  input.push_back(static_cast<std::uint8_t>(obj_num >> 16));
+  input.push_back(static_cast<std::uint8_t>(gen));
+  input.push_back(static_cast<std::uint8_t>(gen >> 8));
+  Bytes hash = md5_bytes(input);
+  hash.resize(std::min<std::size_t>(file_key.size() + 5, 16));
+  return rc4(hash, data);
+}
+
+namespace {
+
+void crypt_strings_in(Object& obj, const Bytes& file_key, int num, int gen) {
+  switch (obj.value().index()) {
+    case 4: {  // string
+      String& s = std::get<String>(obj.value());
+      s.data = crypt_object_data(file_key, num, gen, s.data);
+      return;
+    }
+    case 6:  // array
+      for (Object& item : obj.as_array()) crypt_strings_in(item, file_key, num, gen);
+      return;
+    case 7:  // dict
+      for (auto& e : obj.as_dict().entries()) {
+        crypt_strings_in(e.value, file_key, num, gen);
+      }
+      return;
+    case 8: {  // stream: dict strings + data
+      Stream& s = obj.as_stream();
+      for (auto& e : s.dict.entries()) crypt_strings_in(e.value, file_key, num, gen);
+      s.data = crypt_object_data(file_key, num, gen, s.data);
+      s.dict.set("Length", Object(static_cast<std::int64_t>(s.data.size())));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+std::optional<EncryptionParams> params_from_document(const Document& doc) {
+  const Object* enc = doc.trailer().find("Encrypt");
+  if (!enc) return std::nullopt;
+  const Object& resolved = doc.resolve(*enc);
+  if (!resolved.is_dict()) return std::nullopt;
+  const Dict& d = resolved.as_dict();
+
+  const Object* filter = d.find("Filter");
+  if (!filter || !filter->is_name() || filter->as_name().value != "Standard") {
+    return std::nullopt;
+  }
+  EncryptionParams params;
+  if (const Object* r = d.find("R"); r && r->is_int()) {
+    params.revision = static_cast<int>(r->as_int());
+  }
+  if (const Object* len = d.find("Length"); len && len->is_int()) {
+    params.key_length_bytes = static_cast<int>(len->as_int()) / 8;
+  }
+  if (const Object* p = d.find("P"); p && p->is_int()) {
+    params.permissions = static_cast<std::int32_t>(p->as_int());
+  }
+  if (const Object* o = d.find("O"); o && o->is_string()) {
+    params.o_entry = o->as_string().data;
+  }
+  if (const Object* u = d.find("U"); u && u->is_string()) {
+    params.u_entry = u->as_string().data;
+  }
+  if (const Object* id = doc.trailer().find("ID");
+      id && id->is_array() && !id->as_array().empty() &&
+      id->as_array()[0].is_string()) {
+    params.file_id = id->as_array()[0].as_string().data;
+  }
+  if (params.o_entry.size() != 32 || params.u_entry.size() != 32) {
+    return std::nullopt;
+  }
+  return params;
+}
+
+}  // namespace
+
+void encrypt_document(Document& doc, const std::string& owner_password,
+                      support::Rng& rng, int revision) {
+  EncryptionParams params;
+  params.revision = revision;
+  params.key_length_bytes = revision >= 3 ? 16 : 5;
+  params.file_id = rng.bytes(16);
+  params.o_entry = compute_o_entry(owner_password, /*user_password=*/"",
+                                   revision, params.key_length_bytes);
+  params.u_entry = compute_u_entry(params, /*user_password=*/"");
+
+  const Bytes file_key = compute_file_key(params, /*user_password=*/"");
+  for (auto& [num, obj] : doc.objects()) {
+    crypt_strings_in(obj, file_key, num, 0);
+  }
+
+  Dict enc;
+  enc.set("Filter", Object::name("Standard"));
+  enc.set("V", Object(revision >= 3 ? 2 : 1));
+  enc.set("R", Object(revision));
+  enc.set("Length", Object(params.key_length_bytes * 8));
+  enc.set("P", Object(static_cast<std::int64_t>(params.permissions)));
+  enc.set("O", Object(String{params.o_entry, /*hex=*/true}));
+  enc.set("U", Object(String{params.u_entry, /*hex=*/true}));
+  doc.trailer().set("Encrypt", Object(enc));
+  doc.trailer().set(
+      "ID", Object(Array{Object(String{params.file_id, true}),
+                         Object(String{params.file_id, true})}));
+}
+
+bool is_encrypted(const Document& doc) {
+  return params_from_document(doc).has_value();
+}
+
+bool decrypt_document(Document& doc, const std::string& user_password) {
+  const std::optional<EncryptionParams> params = params_from_document(doc);
+  if (!params) return false;
+  if (!verify_user_password(*params, user_password)) return false;
+
+  const Bytes file_key = compute_file_key(*params, user_password);
+  // Strings inside an *indirect* /Encrypt dictionary are exempt.
+  int encrypt_obj = -1;
+  if (const Object* enc = doc.trailer().find("Encrypt"); enc && enc->is_ref()) {
+    encrypt_obj = enc->as_ref().num;
+  }
+  for (auto& [num, obj] : doc.objects()) {
+    if (num == encrypt_obj) continue;
+    crypt_strings_in(obj, file_key, num, 0);  // RC4 is its own inverse
+  }
+  doc.trailer().erase("Encrypt");
+  if (encrypt_obj >= 0) doc.set_object({encrypt_obj, 0}, Object::null());
+  return true;
+}
+
+}  // namespace pdfshield::pdf

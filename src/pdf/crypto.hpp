@@ -1,0 +1,70 @@
+// PDF encryption (PDF Reference §3.5): RC4 and the Standard security
+// handler, revisions 2 and 3. Enough to (a) create owner-password-
+// protected documents in the corpus generator (a common anti-analysis
+// trick in malicious PDFs — readable with an empty user password, but
+// non-modifiable) and (b) let the front-end "remove the owner's password"
+// before instrumentation, as the paper's Phase I does (§III-A).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pdf/document.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield::pdf {
+
+/// RC4 stream cipher (symmetric: encrypt == decrypt).
+support::Bytes rc4(support::BytesView key, support::BytesView data);
+
+/// Parameters for the Standard security handler.
+struct EncryptionParams {
+  int revision = 3;            ///< /R (2 or 3)
+  int key_length_bytes = 5;    ///< 40-bit (R2) .. 16-byte (R3) keys
+  support::Bytes o_entry;      ///< /O, 32 bytes
+  support::Bytes u_entry;      ///< /U, 32 bytes
+  std::int32_t permissions = -44;  ///< /P (print/copy restricted)
+  support::Bytes file_id;      ///< first element of the trailer /ID
+};
+
+/// Derives the file encryption key from a (possibly empty) user password
+/// (Algorithm 3.2). Owner-password-only protection leaves the user
+/// password empty, which is why such documents open everywhere and why
+/// "password recovery" is trivial.
+support::Bytes compute_file_key(const EncryptionParams& params,
+                                const std::string& user_password);
+
+/// Computes the /O entry from the owner password (Algorithm 3.3).
+support::Bytes compute_o_entry(const std::string& owner_password,
+                               const std::string& user_password, int revision,
+                               int key_length_bytes);
+
+/// Computes the /U entry (Algorithms 3.4 / 3.5).
+support::Bytes compute_u_entry(const EncryptionParams& params,
+                               const std::string& user_password);
+
+/// Verifies a user password against /U. Empty string checks the
+/// owner-password-only case.
+bool verify_user_password(const EncryptionParams& params,
+                          const std::string& user_password);
+
+/// Per-object key (Algorithm 3.1) + RC4 of string/stream data.
+support::Bytes crypt_object_data(const support::Bytes& file_key, int obj_num,
+                                 int gen, support::BytesView data);
+
+/// Encrypts every string and stream of `doc` in place and installs the
+/// /Encrypt dictionary + /ID. Protection is owner-password-only (empty
+/// user password), the malicious-PDF norm.
+void encrypt_document(Document& doc, const std::string& owner_password,
+                      support::Rng& rng, int revision = 3);
+
+/// True when the document carries a Standard-handler /Encrypt dictionary.
+bool is_encrypted(const Document& doc);
+
+/// Removes the protection: verifies the (empty) user password, decrypts
+/// every string and stream in place, drops /Encrypt. Returns false when
+/// the password does not verify or the handler is unsupported.
+bool decrypt_document(Document& doc, const std::string& user_password = "");
+
+}  // namespace pdfshield::pdf

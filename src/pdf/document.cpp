@@ -1,0 +1,95 @@
+#include "pdf/document.hpp"
+
+#include <array>
+#include <set>
+
+#include "pdf/filters.hpp"
+
+namespace pdfshield::pdf {
+
+namespace {
+const Object kNull{};
+}
+
+bool is_known_pdf_version(std::string_view version) {
+  static const std::array<std::string_view, 9> kKnown = {
+      "1.0", "1.1", "1.2", "1.3", "1.4", "1.5", "1.6", "1.7", "2.0"};
+  for (auto v : kKnown) {
+    if (v == version) return true;
+  }
+  return false;
+}
+
+Ref Document::add_object(Object obj) {
+  const int num = max_object_number() + 1;
+  objects_.emplace(num, std::move(obj));
+  return Ref{num, 0};
+}
+
+void Document::set_object(Ref ref, Object obj) {
+  objects_[ref.num] = std::move(obj);
+}
+
+const Object* Document::object(Ref ref) const {
+  auto it = objects_.find(ref.num);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Object* Document::object(Ref ref) {
+  auto it = objects_.find(ref.num);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const Object& Document::resolve(const Object& obj) const {
+  const Object* cur = &obj;
+  std::set<int> seen;
+  while (cur->is_ref()) {
+    const Ref r = cur->as_ref();
+    if (!seen.insert(r.num).second) return kNull;  // reference cycle
+    const Object* next = object(r);
+    if (!next) return kNull;
+    cur = next;
+  }
+  return *cur;
+}
+
+const Object* Document::resolved_find(const Dict& dict,
+                                      std::string_view key) const {
+  const Object* v = dict.find(key);
+  if (!v) return nullptr;
+  return &resolve(*v);
+}
+
+int Document::max_object_number() const {
+  return objects_.empty() ? 0 : objects_.rbegin()->first;
+}
+
+const Object* Document::catalog() const {
+  const Object* root = trailer_.find("Root");
+  if (!root) return nullptr;
+  const Object& resolved = resolve(*root);
+  return resolved.is_null() ? nullptr : &resolved;
+}
+
+std::size_t Document::decompress_all() {
+  std::size_t decoded = 0;
+  for (auto& [num, obj] : objects_) {
+    if (!obj.is_stream()) continue;
+    Stream& s = obj.as_stream();
+    if (filter_chain(s.dict).empty()) continue;
+    try {
+      support::Bytes plain = decode_stream(s);
+      s.data = std::move(plain);
+      s.dict.erase("Filter");
+      s.dict.erase("DecodeParms");
+      s.dict.erase("DP");
+      s.dict.set("Length", Object(static_cast<std::int64_t>(s.data.size())));
+      ++decoded;
+    } catch (const support::Error&) {
+      // Undecodable stream (unsupported filter or corrupt data): keep raw.
+    }
+  }
+  return decoded;
+}
+
+}  // namespace pdfshield::pdf

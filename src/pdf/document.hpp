@@ -1,0 +1,72 @@
+// In-memory PDF document: indirect object store + trailer + header info.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "pdf/object.hpp"
+
+namespace pdfshield::pdf {
+
+/// Where and how the %PDF header was found (feature F2 input).
+struct HeaderInfo {
+  bool found = false;
+  std::size_t offset = 0;      ///< Byte offset of "%PDF" in the file.
+  std::string version;         ///< e.g. "1.7"; empty if malformed.
+  bool version_valid = false;  ///< Version is one of the published 1.0–2.0.
+};
+
+class Document {
+ public:
+  /// Adds an object under the next free number; returns its reference.
+  Ref add_object(Object obj);
+
+  /// Inserts/overwrites the object with a specific number.
+  void set_object(Ref ref, Object obj);
+
+  /// Looks up an object; nullptr when absent. Generation is ignored (the
+  /// store keeps the newest definition, as an incremental-update reader
+  /// would).
+  const Object* object(Ref ref) const;
+  Object* object(Ref ref);
+
+  /// Dereferences `obj` through any chain of indirect references, with a
+  /// cycle guard. Missing targets resolve to null.
+  const Object& resolve(const Object& obj) const;
+
+  /// Resolves a dictionary entry (key lookup + reference chasing); nullptr
+  /// when the key is absent.
+  const Object* resolved_find(const Dict& dict, std::string_view key) const;
+
+  std::size_t object_count() const { return objects_.size(); }
+  int max_object_number() const;
+  const std::map<int, Object>& objects() const { return objects_; }
+  std::map<int, Object>& objects() { return objects_; }
+
+  /// The document catalog (trailer /Root, resolved), or nullptr.
+  const Object* catalog() const;
+
+  Dict& trailer() { return trailer_; }
+  const Dict& trailer() const { return trailer_; }
+
+  HeaderInfo& header() { return header_; }
+  const HeaderInfo& header() const { return header_; }
+
+  /// Decodes every stream in place: data is replaced by its decoded form,
+  /// /Filter and /DecodeParms are dropped, /Length corrected. Streams whose
+  /// filters fail to decode are left untouched. Returns the number of
+  /// streams decoded.
+  std::size_t decompress_all();
+
+ private:
+  std::map<int, Object> objects_;
+  Dict trailer_;
+  HeaderInfo header_;
+  mutable const Object* null_singleton_ = nullptr;
+};
+
+/// The published PDF versions; used to validate headers.
+bool is_known_pdf_version(std::string_view version);
+
+}  // namespace pdfshield::pdf

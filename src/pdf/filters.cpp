@@ -1,0 +1,446 @@
+#include "pdf/filters.hpp"
+
+#include <array>
+#include <map>
+
+#include "flate/zlib.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::pdf {
+
+using support::Bytes;
+using support::BytesView;
+using support::DecodeError;
+
+namespace {
+
+int hex_value(std::uint8_t c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Bytes ascii_hex_decode(BytesView data) {
+  Bytes out;
+  int hi = -1;
+  for (std::uint8_t c : data) {
+    if (c == '>') break;  // EOD marker
+    if (c == 0x00 || c == 0x09 || c == 0x0a || c == 0x0c || c == 0x0d || c == 0x20) {
+      continue;
+    }
+    const int v = hex_value(c);
+    if (v < 0) throw DecodeError("ASCIIHexDecode: invalid character");
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) out.push_back(static_cast<std::uint8_t>(hi << 4));
+  return out;
+}
+
+Bytes ascii_hex_encode(BytesView data) {
+  static const char kHex[] = "0123456789ABCDEF";
+  Bytes out;
+  out.reserve(data.size() * 2 + 1);
+  for (std::uint8_t b : data) {
+    out.push_back(static_cast<std::uint8_t>(kHex[b >> 4]));
+    out.push_back(static_cast<std::uint8_t>(kHex[b & 0xf]));
+  }
+  out.push_back('>');
+  return out;
+}
+
+Bytes ascii85_decode(BytesView data) {
+  Bytes out;
+  std::uint32_t tuple = 0;
+  int count = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t c = data[i];
+    if (c == '~') break;  // "~>" EOD
+    if (c == 0x00 || c == 0x09 || c == 0x0a || c == 0x0c || c == 0x0d || c == 0x20) {
+      continue;
+    }
+    if (c == 'z' && count == 0) {
+      out.insert(out.end(), 4, 0);
+      continue;
+    }
+    if (c < '!' || c > 'u') throw DecodeError("ASCII85Decode: invalid character");
+    tuple = tuple * 85 + static_cast<std::uint32_t>(c - '!');
+    if (++count == 5) {
+      for (int k = 3; k >= 0; --k) out.push_back(static_cast<std::uint8_t>(tuple >> (8 * k)));
+      tuple = 0;
+      count = 0;
+    }
+  }
+  if (count == 1) throw DecodeError("ASCII85Decode: stray final digit");
+  if (count > 1) {
+    // Pad with 'u' (84) and emit count-1 bytes.
+    for (int k = count; k < 5; ++k) tuple = tuple * 85 + 84;
+    for (int k = 3; k >= 5 - count; --k) {
+      out.push_back(static_cast<std::uint8_t>(tuple >> (8 * k)));
+    }
+  }
+  return out;
+}
+
+Bytes ascii85_encode(BytesView data) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i + 4 <= data.size()) {
+    std::uint32_t tuple = (static_cast<std::uint32_t>(data[i]) << 24) |
+                          (static_cast<std::uint32_t>(data[i + 1]) << 16) |
+                          (static_cast<std::uint32_t>(data[i + 2]) << 8) |
+                          static_cast<std::uint32_t>(data[i + 3]);
+    if (tuple == 0) {
+      out.push_back('z');
+    } else {
+      std::array<std::uint8_t, 5> digits{};
+      for (int k = 4; k >= 0; --k) {
+        digits[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>('!' + tuple % 85);
+        tuple /= 85;
+      }
+      out.insert(out.end(), digits.begin(), digits.end());
+    }
+    i += 4;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem > 0) {
+    std::uint32_t tuple = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      tuple = (tuple << 8) | (k < rem ? data[i + k] : 0);
+    }
+    std::array<std::uint8_t, 5> digits{};
+    for (int k = 4; k >= 0; --k) {
+      digits[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>('!' + tuple % 85);
+      tuple /= 85;
+    }
+    // Emit rem+1 digits.
+    out.insert(out.end(), digits.begin(), digits.begin() + static_cast<std::ptrdiff_t>(rem + 1));
+  }
+  out.push_back('~');
+  out.push_back('>');
+  return out;
+}
+
+Bytes run_length_decode(BytesView data) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t len = data[i++];
+    if (len == 128) break;  // EOD
+    if (len < 128) {
+      const std::size_t count = static_cast<std::size_t>(len) + 1;
+      if (i + count > data.size()) throw DecodeError("RunLengthDecode: literal run truncated");
+      out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
+                 data.begin() + static_cast<std::ptrdiff_t>(i + count));
+      i += count;
+    } else {
+      if (i >= data.size()) throw DecodeError("RunLengthDecode: repeat run truncated");
+      out.insert(out.end(), static_cast<std::size_t>(257 - len), data[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Bytes run_length_encode(BytesView data) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // Find a run of identical bytes.
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == data[i] && run < 128) ++run;
+    if (run >= 2) {
+      out.push_back(static_cast<std::uint8_t>(257 - run));
+      out.push_back(data[i]);
+      i += run;
+    } else {
+      // Literal run up to the next repeat or 128 bytes.
+      std::size_t lit = 1;
+      while (i + lit < data.size() && lit < 128) {
+        if (i + lit + 1 < data.size() && data[i + lit] == data[i + lit + 1]) break;
+        ++lit;
+      }
+      out.push_back(static_cast<std::uint8_t>(lit - 1));
+      out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
+                 data.begin() + static_cast<std::ptrdiff_t>(i + lit));
+      i += lit;
+    }
+  }
+  out.push_back(128);
+  return out;
+}
+
+// LZW decode (§3.3.3): variable-width codes 9..12 bits, MSB-first, with
+// clear (256) and EOD (257) codes. EarlyChange handling defaults to 1.
+Bytes lzw_decode(BytesView data, int early_change) {
+  Bytes out;
+  std::vector<Bytes> table;
+  auto reset_table = [&]() {
+    table.clear();
+    table.reserve(4096);
+    for (int i = 0; i < 256; ++i) table.push_back(Bytes{static_cast<std::uint8_t>(i)});
+    table.push_back({});  // 256 clear
+    table.push_back({});  // 257 EOD
+  };
+  reset_table();
+
+  int code_width = 9;
+  std::uint32_t acc = 0;
+  int nbits = 0;
+  std::size_t pos = 0;
+  Bytes prev;
+  while (true) {
+    while (nbits < code_width && pos < data.size()) {
+      acc = (acc << 8) | data[pos++];
+      nbits += 8;
+    }
+    if (nbits < code_width) break;  // out of input: treat as end
+    const std::uint32_t code = (acc >> (nbits - code_width)) & ((1u << code_width) - 1);
+    nbits -= code_width;
+
+    if (code == 256) {
+      reset_table();
+      code_width = 9;
+      prev.clear();
+      continue;
+    }
+    if (code == 257) break;
+
+    Bytes entry;
+    if (code < table.size()) {
+      entry = table[code];
+    } else if (code == table.size() && !prev.empty()) {
+      entry = prev;
+      entry.push_back(prev[0]);
+    } else {
+      throw DecodeError("LZWDecode: invalid code");
+    }
+    out.insert(out.end(), entry.begin(), entry.end());
+    if (!prev.empty()) {
+      Bytes next = prev;
+      next.push_back(entry[0]);
+      table.push_back(std::move(next));
+    }
+    prev = std::move(entry);
+    const std::size_t limit = (1u << code_width) - static_cast<std::size_t>(early_change);
+    if (table.size() >= limit && code_width < 12) ++code_width;
+  }
+  return out;
+}
+
+// PNG predictors (§3.3.1 / RFC 2083) applied after Flate/LZW decoding.
+Bytes apply_png_predictor(BytesView data, int colors, int bpc, int columns) {
+  const int bpp = std::max(1, colors * bpc / 8);
+  const std::size_t row_len = static_cast<std::size_t>((columns * colors * bpc + 7) / 8);
+  const std::size_t stride = row_len + 1;  // +1 predictor tag byte
+  if (row_len == 0 || data.size() % stride != 0) {
+    throw DecodeError("predictor: data size not a multiple of row stride");
+  }
+  Bytes out;
+  out.reserve(data.size() / stride * row_len);
+  Bytes prior(row_len, 0);
+  for (std::size_t r = 0; r < data.size() / stride; ++r) {
+    const std::uint8_t tag = data[r * stride];
+    Bytes row(data.begin() + static_cast<std::ptrdiff_t>(r * stride + 1),
+              data.begin() + static_cast<std::ptrdiff_t>(r * stride + 1 + row_len));
+    for (std::size_t i = 0; i < row_len; ++i) {
+      const std::uint8_t a = i >= static_cast<std::size_t>(bpp) ? row[i - static_cast<std::size_t>(bpp)] : 0;
+      const std::uint8_t b = prior[i];
+      const std::uint8_t c =
+          i >= static_cast<std::size_t>(bpp) ? prior[i - static_cast<std::size_t>(bpp)] : 0;
+      switch (tag) {
+        case 0: break;
+        case 1: row[i] = static_cast<std::uint8_t>(row[i] + a); break;
+        case 2: row[i] = static_cast<std::uint8_t>(row[i] + b); break;
+        case 3: row[i] = static_cast<std::uint8_t>(row[i] + (a + b) / 2); break;
+        case 4: {
+          const int p = a + b - c;
+          const int pa = std::abs(p - a), pb = std::abs(p - b), pc = std::abs(p - c);
+          const std::uint8_t pred = (pa <= pb && pa <= pc) ? a : (pb <= pc ? b : c);
+          row[i] = static_cast<std::uint8_t>(row[i] + pred);
+          break;
+        }
+        default:
+          throw DecodeError("predictor: unknown PNG filter tag");
+      }
+    }
+    out.insert(out.end(), row.begin(), row.end());
+    prior = std::move(row);
+  }
+  return out;
+}
+
+// LZW encode (§3.3.3): the dual of lzw_decode, variable 9..12-bit codes
+// MSB-first with clear/EOD markers and EarlyChange=1 semantics. The
+// dictionary is the classic (prefix code, next byte) -> code map, so no
+// string keys are materialized.
+Bytes lzw_encode(BytesView data) {
+  Bytes out;
+  std::uint32_t acc = 0;
+  int nbits = 0;
+  int code_width = 9;
+  auto emit = [&](std::uint32_t code) {
+    acc = (acc << code_width) | code;
+    nbits += code_width;
+    while (nbits >= 8) {
+      out.push_back(static_cast<std::uint8_t>((acc >> (nbits - 8)) & 0xff));
+      nbits -= 8;
+    }
+  };
+
+  std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint32_t> table;
+  std::uint32_t next_code = 258;
+  auto reset_table = [&]() {
+    table.clear();
+    next_code = 258;
+    code_width = 9;
+  };
+
+  emit(256);  // initial clear, as most writers do
+  reset_table();
+  std::int64_t current = -1;  // current prefix code; -1 = none
+  for (std::uint8_t byte : data) {
+    if (current < 0) {
+      current = byte;
+      continue;
+    }
+    auto it = table.find({static_cast<std::uint32_t>(current), byte});
+    if (it != table.end()) {
+      current = it->second;
+      continue;
+    }
+    emit(static_cast<std::uint32_t>(current));
+    table[{static_cast<std::uint32_t>(current), byte}] = next_code++;
+    // EarlyChange=1: widen one code earlier than strictly necessary.
+    if (next_code + 1 > (1u << code_width) && code_width < 12) ++code_width;
+    if (next_code >= 4095) {
+      emit(256);
+      reset_table();
+    }
+    current = byte;
+  }
+  if (current >= 0) emit(static_cast<std::uint32_t>(current));
+  emit(257);  // EOD
+  if (nbits > 0) {
+    out.push_back(static_cast<std::uint8_t>((acc << (8 - nbits)) & 0xff));
+  }
+  return out;
+}
+
+int int_param(const Dict* params, std::string_view key, int fallback) {
+  if (!params) return fallback;
+  const Object* v = params->find(key);
+  if (!v || !v->is_int()) return fallback;
+  return static_cast<int>(v->as_int());
+}
+
+}  // namespace
+
+Bytes decode_filter(std::string_view filter_name, BytesView data,
+                    const Dict* params) {
+  if (filter_name == "FlateDecode" || filter_name == "Fl") {
+    Bytes plain = pdfshield::flate::zlib_decompress(data);
+    const int predictor = int_param(params, "Predictor", 1);
+    if (predictor >= 10) {
+      return apply_png_predictor(plain, int_param(params, "Colors", 1),
+                                 int_param(params, "BitsPerComponent", 8),
+                                 int_param(params, "Columns", 1));
+    }
+    if (predictor != 1) throw DecodeError("unsupported TIFF predictor");
+    return plain;
+  }
+  if (filter_name == "ASCIIHexDecode" || filter_name == "AHx") {
+    return ascii_hex_decode(data);
+  }
+  if (filter_name == "ASCII85Decode" || filter_name == "A85") {
+    return ascii85_decode(data);
+  }
+  if (filter_name == "RunLengthDecode" || filter_name == "RL") {
+    return run_length_decode(data);
+  }
+  if (filter_name == "LZWDecode" || filter_name == "LZW") {
+    return lzw_decode(data, int_param(params, "EarlyChange", 1));
+  }
+  throw DecodeError("unsupported filter: " + std::string(filter_name));
+}
+
+Bytes encode_filter(std::string_view filter_name, BytesView data) {
+  if (filter_name == "FlateDecode" || filter_name == "Fl") {
+    return pdfshield::flate::zlib_compress(data);
+  }
+  if (filter_name == "ASCIIHexDecode" || filter_name == "AHx") {
+    return ascii_hex_encode(data);
+  }
+  if (filter_name == "ASCII85Decode" || filter_name == "A85") {
+    return ascii85_encode(data);
+  }
+  if (filter_name == "RunLengthDecode" || filter_name == "RL") {
+    return run_length_encode(data);
+  }
+  if (filter_name == "LZWDecode" || filter_name == "LZW") {
+    return lzw_encode(data);
+  }
+  throw DecodeError("unsupported encode filter: " + std::string(filter_name));
+}
+
+std::vector<std::string> filter_chain(const Dict& stream_dict) {
+  std::vector<std::string> chain;
+  const Object* f = stream_dict.find("Filter");
+  if (!f) return chain;
+  if (f->is_name()) {
+    chain.push_back(f->as_name().value);
+  } else if (f->is_array()) {
+    for (const Object& item : f->as_array()) {
+      if (item.is_name()) chain.push_back(item.as_name().value);
+    }
+  }
+  return chain;
+}
+
+Bytes decode_stream(const Stream& stream) {
+  std::vector<std::string> chain = filter_chain(stream.dict);
+  Bytes data(stream.data);
+  const Object* parms = stream.dict.find("DecodeParms");
+  if (!parms) parms = stream.dict.find("DP");
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Dict* p = nullptr;
+    if (parms) {
+      if (parms->is_dict() && chain.size() == 1) {
+        p = &parms->as_dict();
+      } else if (parms->is_array() && i < parms->as_array().size() &&
+                 parms->as_array()[i].is_dict()) {
+        p = &parms->as_array()[i].as_dict();
+      }
+    }
+    data = decode_filter(chain[i], data, p);
+  }
+  return data;
+}
+
+EncodedStream encode_stream(BytesView plain,
+                            const std::vector<std::string>& chain) {
+  EncodedStream out;
+  out.data.assign(plain.begin(), plain.end());
+  // Encoding applies the chain innermost-first: the last decode step is the
+  // first encode step.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out.data = encode_filter(*it, out.data);
+  }
+  if (chain.empty()) {
+    out.filter = Object::null();
+  } else if (chain.size() == 1) {
+    out.filter = Object::name(chain[0]);
+  } else {
+    Array arr;
+    for (const auto& name : chain) arr.push_back(Object::name(name));
+    out.filter = Object(std::move(arr));
+  }
+  return out;
+}
+
+}  // namespace pdfshield::pdf

@@ -1,0 +1,44 @@
+// PDF stream filters (PDF Reference §3.3). Decode is implemented for the
+// filters that appear in real-world (and malicious) documents; encode is
+// implemented for the subset the corpus generator and instrumenter emit.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdf/object.hpp"
+#include "support/bytes.hpp"
+
+namespace pdfshield::pdf {
+
+/// Decodes one filter application. Supported: FlateDecode (+ PNG/TIFF
+/// predictors via `params`), ASCIIHexDecode, ASCII85Decode,
+/// RunLengthDecode, LZWDecode. Throws DecodeError for unsupported filters
+/// or corrupt data.
+support::Bytes decode_filter(std::string_view filter_name,
+                             support::BytesView data, const Dict* params);
+
+/// Encodes one filter application. Supported: FlateDecode, ASCIIHexDecode,
+/// ASCII85Decode, RunLengthDecode.
+support::Bytes encode_filter(std::string_view filter_name,
+                             support::BytesView data);
+
+/// The stream's filter chain in application order (first element is applied
+/// first when decoding). Empty when the stream is unfiltered.
+std::vector<std::string> filter_chain(const Dict& stream_dict);
+
+/// Fully decodes a stream's data by applying its /Filter chain.
+support::Bytes decode_stream(const Stream& stream);
+
+/// Re-encodes `plain` with the given chain (decode-order names; the first
+/// name is the outermost decode step) and returns the stored bytes plus the
+/// /Filter object to place in the stream dictionary.
+struct EncodedStream {
+  support::Bytes data;
+  Object filter;  ///< Name, Array of names, or null when chain is empty.
+};
+EncodedStream encode_stream(support::BytesView plain,
+                            const std::vector<std::string>& chain);
+
+}  // namespace pdfshield::pdf

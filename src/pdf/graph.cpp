@@ -1,0 +1,81 @@
+#include "pdf/graph.hpp"
+
+namespace pdfshield::pdf {
+
+namespace {
+
+void collect_into(const Object& obj, std::vector<Ref>& out) {
+  switch (obj.value().index()) {
+    case 6:  // array
+      for (const Object& item : obj.as_array()) collect_into(item, out);
+      return;
+    case 7:  // dict
+      for (const auto& e : obj.as_dict().entries()) collect_into(e.value, out);
+      return;
+    case 8:  // stream
+      for (const auto& e : obj.as_stream().dict.entries()) collect_into(e.value, out);
+      return;
+    case 9:  // ref
+      out.push_back(obj.as_ref());
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<Ref> collect_refs(const Object& obj) {
+  std::vector<Ref> out;
+  collect_into(obj, out);
+  return out;
+}
+
+ObjectGraph::ObjectGraph(const Document& doc) {
+  for (const auto& [num, obj] : doc.objects()) {
+    all_.push_back(num);
+    auto& kids = children_[num];
+    for (const Ref& r : collect_refs(obj)) {
+      kids.push_back(r.num);
+      parents_[r.num].push_back(num);
+    }
+  }
+}
+
+const std::vector<int>& ObjectGraph::children(int num) const {
+  auto it = children_.find(num);
+  return it == children_.end() ? empty_ : it->second;
+}
+
+const std::vector<int>& ObjectGraph::parents(int num) const {
+  auto it = parents_.find(num);
+  return it == parents_.end() ? empty_ : it->second;
+}
+
+namespace {
+
+std::set<int> closure(int start,
+                      const std::vector<int>& (ObjectGraph::*step)(int) const,
+                      const ObjectGraph& g) {
+  std::set<int> seen;
+  std::vector<int> work = (g.*step)(start);
+  while (!work.empty()) {
+    const int cur = work.back();
+    work.pop_back();
+    if (!seen.insert(cur).second) continue;
+    for (int next : (g.*step)(cur)) work.push_back(next);
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::set<int> ObjectGraph::descendants(int num) const {
+  return closure(num, &ObjectGraph::children, *this);
+}
+
+std::set<int> ObjectGraph::ancestors(int num) const {
+  return closure(num, &ObjectGraph::parents, *this);
+}
+
+}  // namespace pdfshield::pdf

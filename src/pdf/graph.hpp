@@ -1,0 +1,47 @@
+// Object-graph utilities over a Document: outgoing references, parent maps
+// and reachability. The core library's Javascript-chain reconstruction
+// (backtrack to ancestors, forward-search descendants — paper §III-C) is
+// built on these primitives.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "pdf/document.hpp"
+
+namespace pdfshield::pdf {
+
+/// All indirect references contained (recursively) in `obj`, in encounter
+/// order, duplicates preserved.
+std::vector<Ref> collect_refs(const Object& obj);
+
+/// Directed reference graph of a document.
+class ObjectGraph {
+ public:
+  explicit ObjectGraph(const Document& doc);
+
+  /// Object numbers `num` references directly.
+  const std::vector<int>& children(int num) const;
+
+  /// Object numbers that reference `num` directly.
+  const std::vector<int>& parents(int num) const;
+
+  /// Every object number reachable from `num` (excluding `num` itself
+  /// unless it participates in a cycle back to itself).
+  std::set<int> descendants(int num) const;
+
+  /// Every object number from which `num` is reachable.
+  std::set<int> ancestors(int num) const;
+
+  /// All object numbers in the document.
+  const std::vector<int>& all_objects() const { return all_; }
+
+ private:
+  std::map<int, std::vector<int>> children_;
+  std::map<int, std::vector<int>> parents_;
+  std::vector<int> all_;
+  std::vector<int> empty_;
+};
+
+}  // namespace pdfshield::pdf

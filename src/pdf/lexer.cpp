@@ -1,0 +1,310 @@
+#include "pdf/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pdfshield::pdf {
+
+using support::ParseError;
+
+bool is_pdf_whitespace(std::uint8_t c) {
+  return c == 0x00 || c == 0x09 || c == 0x0a || c == 0x0c || c == 0x0d ||
+         c == 0x20;
+}
+
+bool is_pdf_delimiter(std::uint8_t c) {
+  return c == '(' || c == ')' || c == '<' || c == '>' || c == '[' ||
+         c == ']' || c == '{' || c == '}' || c == '/' || c == '%';
+}
+
+namespace {
+
+bool is_regular(std::uint8_t c) {
+  return !is_pdf_whitespace(c) && !is_pdf_delimiter(c);
+}
+
+int hex_value(std::uint8_t c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string encode_name(std::string_view value) {
+  std::string out = "/";
+  for (char ch : value) {
+    const std::uint8_t c = static_cast<std::uint8_t>(ch);
+    if (c == '#' || c < 0x21 || c > 0x7e || is_pdf_delimiter(c)) {
+      static const char kHex[] = "0123456789ABCDEF";
+      out.push_back('#');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  while (!eof()) {
+    const std::uint8_t c = at(pos_);
+    if (is_pdf_whitespace(c)) {
+      ++pos_;
+    } else if (c == '%') {
+      // Comment runs to end of line.
+      while (!eof() && at(pos_) != '\n' && at(pos_) != '\r') ++pos_;
+    } else {
+      return;
+    }
+  }
+}
+
+const Token& Lexer::peek() {
+  if (!peeked_) {
+    peek_ = next();
+    peeked_ = true;
+  }
+  return peek_;
+}
+
+void Lexer::seek(std::size_t pos) {
+  pos_ = pos;
+  peeked_ = false;
+}
+
+void Lexer::skip_eol() {
+  if (peeked_) {
+    // Lookahead has already consumed whitespace; nothing to do.
+    return;
+  }
+  if (!eof() && at(pos_) == '\r') ++pos_;
+  if (!eof() && at(pos_) == '\n') ++pos_;
+}
+
+support::Bytes Lexer::read_raw(std::size_t n) {
+  if (peeked_) {
+    pos_ = peek_.offset;
+    peeked_ = false;
+  }
+  if (n > data_.size() - pos_) throw ParseError("raw read past end of data");
+  support::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                     data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::size_t Lexer::find_forward(std::string_view needle) const {
+  const std::size_t start = peeked_ ? peek_.offset : pos_;
+  if (needle.empty() || data_.size() < needle.size()) return std::string_view::npos;
+  const std::string_view hay = support::as_view(data_);
+  return hay.find(needle, start);
+}
+
+Token Lexer::next() {
+  if (peeked_) {
+    peeked_ = false;
+    return std::move(peek_);
+  }
+  skip_whitespace_and_comments();
+  Token t;
+  t.offset = pos_;
+  if (eof()) {
+    t.kind = TokenKind::kEof;
+    return t;
+  }
+  const std::uint8_t c = at(pos_);
+  if (c == '/') return lex_name();
+  if (c == '(') return lex_literal_string();
+  if (c == '<') return lex_hex_string_or_dict_open();
+  if (c == '>') {
+    if (pos_ + 1 < data_.size() && at(pos_ + 1) == '>') {
+      pos_ += 2;
+      t.kind = TokenKind::kDictClose;
+      return t;
+    }
+    throw ParseError("stray '>' in input");
+  }
+  if (c == '[') {
+    ++pos_;
+    t.kind = TokenKind::kArrayOpen;
+    return t;
+  }
+  if (c == ']') {
+    ++pos_;
+    t.kind = TokenKind::kArrayClose;
+    return t;
+  }
+  if (c == '{' || c == '}') {
+    // Postscript-calculator braces only appear in function streams; treat
+    // them as keywords so tolerant parsing can skip them.
+    ++pos_;
+    t.kind = TokenKind::kKeyword;
+    t.text = static_cast<char>(c);
+    return t;
+  }
+  if (c == '+' || c == '-' || c == '.' || std::isdigit(c)) return lex_number();
+  if (is_regular(c)) return lex_keyword();
+  throw ParseError("unexpected byte 0x" + std::to_string(c));
+}
+
+Token Lexer::lex_number() {
+  Token t;
+  t.offset = pos_;
+  const std::size_t start = pos_;
+  bool is_real = false;
+  if (at(pos_) == '+' || at(pos_) == '-') ++pos_;
+  while (!eof() && (std::isdigit(at(pos_)) || at(pos_) == '.')) {
+    if (at(pos_) == '.') is_real = true;
+    ++pos_;
+  }
+  const std::string text(
+      support::as_view(data_).substr(start, pos_ - start));
+  if (text.empty() || text == "+" || text == "-" || text == ".") {
+    throw ParseError("malformed number at offset " + std::to_string(start));
+  }
+  if (is_real) {
+    t.kind = TokenKind::kReal;
+    t.real_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    t.kind = TokenKind::kInteger;
+    t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+  }
+  return t;
+}
+
+Token Lexer::lex_name() {
+  Token t;
+  t.offset = pos_;
+  t.kind = TokenKind::kName;
+  ++pos_;  // skip '/'
+  std::string decoded;
+  std::string raw;
+  bool escaped = false;
+  while (!eof() && is_regular(at(pos_))) {
+    const std::uint8_t c = at(pos_);
+    if (c == '#' && pos_ + 2 < data_.size()) {
+      const int hi = hex_value(at(pos_ + 1));
+      const int lo = hex_value(at(pos_ + 2));
+      if (hi >= 0 && lo >= 0) {
+        decoded.push_back(static_cast<char>((hi << 4) | lo));
+        raw.append({static_cast<char>(c), static_cast<char>(at(pos_ + 1)),
+                    static_cast<char>(at(pos_ + 2))});
+        pos_ += 3;
+        escaped = true;
+        continue;
+      }
+    }
+    decoded.push_back(static_cast<char>(c));
+    raw.push_back(static_cast<char>(c));
+    ++pos_;
+  }
+  t.text = std::move(decoded);
+  if (escaped) t.raw = "/" + raw;
+  return t;
+}
+
+Token Lexer::lex_literal_string() {
+  Token t;
+  t.offset = pos_;
+  t.kind = TokenKind::kString;
+  ++pos_;  // skip '('
+  int depth = 1;
+  support::Bytes out;
+  while (!eof()) {
+    std::uint8_t c = at(pos_++);
+    if (c == '\\') {
+      if (eof()) throw ParseError("string ends in backslash");
+      const std::uint8_t e = at(pos_++);
+      switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case '(': out.push_back('('); break;
+        case ')': out.push_back(')'); break;
+        case '\\': out.push_back('\\'); break;
+        case '\r':
+          // Line continuation; swallow optional LF.
+          if (!eof() && at(pos_) == '\n') ++pos_;
+          break;
+        case '\n':
+          break;  // line continuation
+        default:
+          if (e >= '0' && e <= '7') {
+            // Up to three octal digits.
+            int v = e - '0';
+            for (int k = 0; k < 2 && !eof() && at(pos_) >= '0' && at(pos_) <= '7'; ++k) {
+              v = v * 8 + (at(pos_++) - '0');
+            }
+            out.push_back(static_cast<std::uint8_t>(v & 0xff));
+          } else {
+            // Unknown escape: PDF says drop the backslash.
+            out.push_back(e);
+          }
+      }
+      continue;
+    }
+    if (c == '(') {
+      ++depth;
+      out.push_back(c);
+    } else if (c == ')') {
+      if (--depth == 0) {
+        t.bytes = std::move(out);
+        return t;
+      }
+      out.push_back(c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  throw ParseError("unterminated literal string");
+}
+
+Token Lexer::lex_hex_string_or_dict_open() {
+  Token t;
+  t.offset = pos_;
+  if (pos_ + 1 < data_.size() && at(pos_ + 1) == '<') {
+    pos_ += 2;
+    t.kind = TokenKind::kDictOpen;
+    return t;
+  }
+  ++pos_;  // skip '<'
+  t.kind = TokenKind::kString;
+  t.hex_string = true;
+  support::Bytes out;
+  int hi = -1;
+  while (!eof()) {
+    const std::uint8_t c = at(pos_++);
+    if (c == '>') {
+      if (hi >= 0) out.push_back(static_cast<std::uint8_t>(hi << 4));  // odd digit: pad 0
+      t.bytes = std::move(out);
+      return t;
+    }
+    if (is_pdf_whitespace(c)) continue;
+    const int v = hex_value(c);
+    if (v < 0) throw ParseError("invalid character in hex string");
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  throw ParseError("unterminated hex string");
+}
+
+Token Lexer::lex_keyword() {
+  Token t;
+  t.offset = pos_;
+  t.kind = TokenKind::kKeyword;
+  const std::size_t start = pos_;
+  while (!eof() && is_regular(at(pos_))) ++pos_;
+  t.text = std::string(support::as_view(data_).substr(start, pos_ - start));
+  return t;
+}
+
+}  // namespace pdfshield::pdf

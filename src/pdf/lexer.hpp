@@ -1,0 +1,94 @@
+// Tokenizer for PDF syntax (PDF Reference §3.1): numbers, names with #xx
+// escapes, literal and hex strings, delimiters, keywords, comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::pdf {
+
+enum class TokenKind {
+  kEof,
+  kInteger,
+  kReal,
+  kName,        ///< text = decoded name, raw = original spelling if escaped
+  kString,      ///< bytes = decoded contents; hex=true for <...> strings
+  kArrayOpen,   // [
+  kArrayClose,  // ]
+  kDictOpen,    // <<
+  kDictClose,   // >>
+  kKeyword,     ///< obj, endobj, stream, R, true, false, null, xref, ...
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       ///< keyword text or decoded name value
+  std::string raw;        ///< original spelling for names with #xx escapes
+  support::Bytes bytes;   ///< decoded string contents
+  bool hex_string = false;
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  std::size_t offset = 0;  ///< byte offset of the token start
+};
+
+/// One-token-lookahead lexer over an in-memory document.
+class Lexer {
+ public:
+  explicit Lexer(support::BytesView data, std::size_t start = 0)
+      : data_(data), pos_(start) {}
+
+  /// Reads the next token. Throws ParseError on malformed constructs.
+  Token next();
+
+  /// Peeks without consuming.
+  const Token& peek();
+
+  /// Current byte offset (start of the next unread token when peeked).
+  std::size_t position() const { return peeked_ ? peek_.offset : pos_; }
+
+  /// Repositions the lexer (drops any lookahead).
+  void seek(std::size_t pos);
+
+  /// Reads `n` raw bytes from the current position (used for stream data).
+  /// Drops lookahead first. Throws ParseError past end.
+  support::Bytes read_raw(std::size_t n);
+
+  /// Skips an end-of-line sequence (CR, LF, or CRLF) if present.
+  void skip_eol();
+
+  /// Scans forward from the current position for `needle`, returning its
+  /// offset or npos. Does not move the lexer.
+  std::size_t find_forward(std::string_view needle) const;
+
+  support::BytesView data() const { return data_; }
+
+ private:
+  void skip_whitespace_and_comments();
+  Token lex_number();
+  Token lex_name();
+  Token lex_literal_string();
+  Token lex_hex_string_or_dict_open();
+  Token lex_keyword();
+
+  std::uint8_t at(std::size_t i) const { return data_[i]; }
+  bool eof() const { return pos_ >= data_.size(); }
+
+  support::BytesView data_;
+  std::size_t pos_ = 0;
+  bool peeked_ = false;
+  Token peek_;
+};
+
+/// True for PDF whitespace characters (§3.1.1).
+bool is_pdf_whitespace(std::uint8_t c);
+
+/// True for PDF delimiter characters.
+bool is_pdf_delimiter(std::uint8_t c);
+
+/// Encodes a decoded name for writing, escaping bytes that require #xx.
+std::string encode_name(std::string_view value);
+
+}  // namespace pdfshield::pdf

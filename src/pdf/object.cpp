@@ -1,0 +1,124 @@
+#include "pdf/object.hpp"
+
+namespace pdfshield::pdf {
+
+bool Dict::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+const Object* Dict::find(std::string_view key) const {
+  for (const auto& e : entries_) {
+    if (e.key == key) return &e.value;
+  }
+  return nullptr;
+}
+
+Object* Dict::find(std::string_view key) {
+  for (auto& e : entries_) {
+    if (e.key == key) return &e.value;
+  }
+  return nullptr;
+}
+
+const Object& Dict::at(std::string_view key) const {
+  const Object* p = find(key);
+  if (!p) throw support::LogicError("dict key not found: " + std::string(key));
+  return *p;
+}
+
+void Dict::set(std::string key, Object value) {
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.value = std::move(value);
+      return;
+    }
+  }
+  entries_.push_back({std::move(key), std::move(value), {}});
+}
+
+void Dict::set_with_raw(std::string key, std::string raw_key, Object value) {
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.value = std::move(value);
+      e.raw_key = std::move(raw_key);
+      return;
+    }
+  }
+  entries_.push_back({std::move(key), std::move(value), std::move(raw_key)});
+}
+
+bool Dict::has_hex_escaped_key() const {
+  for (const auto& e : entries_) {
+    if (!e.raw_key.empty()) return true;
+  }
+  return false;
+}
+
+bool Dict::erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const Dict& a, const Dict& b) {
+  if (a.entries_.size() != b.entries_.size()) return false;
+  // Key order and raw spelling are presentation, not identity.
+  for (const auto& e : a.entries_) {
+    const Object* other = b.find(e.key);
+    if (!other || !(*other == e.value)) return false;
+  }
+  return true;
+}
+
+bool operator==(const Stream& a, const Stream& b) {
+  return a.dict == b.dict && a.data == b.data;
+}
+
+bool operator==(const Object& a, const Object& b) {
+  return a.v_ == b.v_;
+}
+
+double Object::as_number() const {
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  throw support::LogicError("object is not a number");
+}
+
+const Dict& Object::dict_or_stream_dict() const {
+  if (const auto* d = std::get_if<Dict>(&v_)) return *d;
+  if (const auto* s = std::get_if<Stream>(&v_)) return s->dict;
+  throw support::LogicError("object has no dictionary");
+}
+
+Dict& Object::dict_or_stream_dict() {
+  if (auto* d = std::get_if<Dict>(&v_)) return *d;
+  if (auto* s = std::get_if<Stream>(&v_)) return s->dict;
+  throw support::LogicError("object has no dictionary");
+}
+
+std::optional<std::string_view> Object::name_value() const {
+  if (const auto* n = std::get_if<Name>(&v_)) return n->value;
+  return std::nullopt;
+}
+
+std::string_view type_name(const Object& obj) {
+  switch (obj.value().index()) {
+    case 0: return "null";
+    case 1: return "bool";
+    case 2: return "int";
+    case 3: return "real";
+    case 4: return "string";
+    case 5: return "name";
+    case 6: return "array";
+    case 7: return "dict";
+    case 8: return "stream";
+    case 9: return "ref";
+    default: return "unknown";
+  }
+}
+
+}  // namespace pdfshield::pdf

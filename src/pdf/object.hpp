@@ -1,0 +1,200 @@
+// PDF object model (PDF Reference, 6th ed. §3.2): the eight basic types
+// plus streams and indirect references, with value semantics throughout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::pdf {
+
+class Object;
+
+/// Indirect reference "N G R".
+struct Ref {
+  int num = 0;
+  int gen = 0;
+
+  friend bool operator==(const Ref&, const Ref&) = default;
+  friend auto operator<=>(const Ref&, const Ref&) = default;
+};
+
+/// PDF string object. `hex` records the written form (literal vs <...>)
+/// so round-trips keep the author's spelling.
+struct String {
+  support::Bytes data;
+  bool hex = false;
+
+  friend bool operator==(const String& a, const String& b) {
+    return a.data == b.data;  // spelling is presentation, not identity
+  }
+};
+
+/// PDF name object. `value` is the decoded name (no leading '/', #xx
+/// escapes resolved). `raw` preserves the exact spelling as written when it
+/// differs from the canonical form — malicious documents hide keywords as
+/// e.g. /JavaScr#69pt, and both features and corpus generation need that.
+struct Name {
+  std::string value;
+  std::string raw;  ///< Empty when the canonical spelling was used.
+
+  Name() = default;
+  explicit Name(std::string v) : value(std::move(v)) {}
+  Name(std::string v, std::string r) : value(std::move(v)), raw(std::move(r)) {}
+
+  bool has_hex_escape() const { return !raw.empty(); }
+
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.value == b.value;
+  }
+  friend bool operator<(const Name& a, const Name& b) {
+    return a.value < b.value;
+  }
+};
+
+/// Insertion-ordered dictionary. PDF dictionaries have unique keys; order
+/// is not semantically meaningful but keeping it makes written documents
+/// stable and diffable.
+struct DictEntry;
+
+class Dict {
+ public:
+  /// Alias for the entry type (defined after Object, which it contains).
+  using Entry = DictEntry;
+
+  bool contains(std::string_view key) const;
+  /// Returns the value or nullptr.
+  const Object* find(std::string_view key) const;
+  Object* find(std::string_view key);
+  /// Returns the value; throws LogicError if absent.
+  const Object& at(std::string_view key) const;
+  /// Inserts or overwrites.
+  void set(std::string key, Object value);
+  /// Inserts or overwrites, recording an obfuscated raw spelling for the
+  /// key (e.g. "/JavaScr#69pt"); the writer emits it verbatim.
+  void set_with_raw(std::string key, std::string raw_key, Object value);
+  /// True if any key was written with a #xx hex escape.
+  bool has_hex_escaped_key() const;
+  /// Removes a key if present; returns true if it was removed.
+  bool erase(std::string_view key);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& entries() { return entries_; }
+
+  friend bool operator==(const Dict&, const Dict&);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Stream object: a dictionary plus raw (still encoded) data.
+struct Stream {
+  Dict dict;
+  support::Bytes data;
+
+  friend bool operator==(const Stream&, const Stream&);
+};
+
+using Array = std::vector<Object>;
+
+/// A PDF object: tagged union over the spec's types.
+class Object {
+ public:
+  using Value = std::variant<std::monostate, bool, std::int64_t, double,
+                             String, Name, Array, Dict, Stream, Ref>;
+
+  Object() = default;  // null
+  Object(bool b) : v_(b) {}
+  Object(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Object(std::int64_t i) : v_(i) {}
+  Object(double d) : v_(d) {}
+  Object(String s) : v_(std::move(s)) {}
+  Object(Name n) : v_(std::move(n)) {}
+  Object(Array a) : v_(std::move(a)) {}
+  Object(Dict d) : v_(std::move(d)) {}
+  Object(Stream s) : v_(std::move(s)) {}
+  Object(Ref r) : v_(r) {}
+
+  /// Convenience factories.
+  static Object null() { return Object(); }
+  static Object name(std::string v) { return Object(Name(std::move(v))); }
+  static Object string(std::string_view text) {
+    return Object(String{support::to_bytes(text), false});
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_real(); }
+  bool is_string() const { return std::holds_alternative<String>(v_); }
+  bool is_name() const { return std::holds_alternative<Name>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_dict() const { return std::holds_alternative<Dict>(v_); }
+  bool is_stream() const { return std::holds_alternative<Stream>(v_); }
+  bool is_ref() const { return std::holds_alternative<Ref>(v_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  std::int64_t as_int() const { return get<std::int64_t>("integer"); }
+  double as_number() const;
+  const String& as_string() const { return get<String>("string"); }
+  const Name& as_name() const { return get<Name>("name"); }
+  const Array& as_array() const { return get<Array>("array"); }
+  Array& as_array() { return get<Array>("array"); }
+  const Dict& as_dict() const { return get<Dict>("dict"); }
+  Dict& as_dict() { return get<Dict>("dict"); }
+  const Stream& as_stream() const { return get<Stream>("stream"); }
+  Stream& as_stream() { return get<Stream>("stream"); }
+  Ref as_ref() const { return get<Ref>("ref"); }
+
+  /// For streams returns the stream dictionary, for dicts the dict itself;
+  /// throws otherwise.
+  const Dict& dict_or_stream_dict() const;
+  Dict& dict_or_stream_dict();
+
+  /// The name value if this is a name, else nullopt.
+  std::optional<std::string_view> name_value() const;
+
+  const Value& value() const { return v_; }
+  Value& value() { return v_; }
+
+  friend bool operator==(const Object&, const Object&);
+
+ private:
+  template <typename T>
+  const T& get(const char* what) const {
+    const T* p = std::get_if<T>(&v_);
+    if (!p) throw support::LogicError(std::string("object is not a ") + what);
+    return *p;
+  }
+  template <typename T>
+  T& get(const char* what) {
+    T* p = std::get_if<T>(&v_);
+    if (!p) throw support::LogicError(std::string("object is not a ") + what);
+    return *p;
+  }
+
+  Value v_;
+};
+
+/// One dictionary entry. `raw_key` preserves an obfuscated spelling (e.g.
+/// "/JavaScr#69pt") when the document used #xx escapes; empty otherwise.
+struct DictEntry {
+  std::string key;
+  Object value;
+  std::string raw_key;
+};
+
+/// A human-readable type tag ("null", "int", "stream", ...) for diagnostics.
+std::string_view type_name(const Object& obj);
+
+}  // namespace pdfshield::pdf

@@ -1,0 +1,328 @@
+#include "pdf/parser.hpp"
+
+#include <string>
+
+#include "pdf/filters.hpp"
+#include "pdf/lexer.hpp"
+#include "support/alloc_stats.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::pdf {
+
+using support::Bytes;
+using support::BytesView;
+using support::ParseError;
+
+namespace {
+
+class ObjectParser {
+ public:
+  ObjectParser(Lexer& lexer, ParseStats& stats) : lex_(lexer), stats_(stats) {}
+
+  /// Parses one object expression starting at the current token.
+  Object parse_value() {
+    Token t = take();
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        return parse_number_or_ref(t);
+      case TokenKind::kReal:
+        return Object(t.real_value);
+      case TokenKind::kName:
+        return Object(Name(std::move(t.text), std::move(t.raw)));
+      case TokenKind::kString:
+        return Object(String{std::move(t.bytes), t.hex_string});
+      case TokenKind::kArrayOpen:
+        return parse_array();
+      case TokenKind::kDictOpen:
+        return parse_dict_or_stream();
+      case TokenKind::kKeyword:
+        if (t.text == "true") return Object(true);
+        if (t.text == "false") return Object(false);
+        if (t.text == "null") return Object::null();
+        throw ParseError("unexpected keyword '" + t.text + "' in object");
+      default:
+        throw ParseError("unexpected token in object at offset " +
+                         std::to_string(t.offset));
+    }
+  }
+
+ private:
+  Token take() {
+    ++stats_.tokens;
+    return lex_.next();
+  }
+
+  Object parse_number_or_ref(const Token& first) {
+    // Possible "A B R" indirect reference: needs two tokens of lookahead.
+    const std::size_t mark = lex_.position();
+    const Token second = lex_.peek();
+    if (second.kind == TokenKind::kInteger) {
+      lex_.next();
+      const Token third = lex_.peek();
+      if (third.kind == TokenKind::kKeyword && third.text == "R") {
+        lex_.next();
+        stats_.tokens += 2;
+        return Object(Ref{static_cast<int>(first.int_value),
+                          static_cast<int>(second.int_value)});
+      }
+      lex_.seek(mark);  // not a reference; rewind past the consumed int
+    }
+    return Object(first.int_value);
+  }
+
+  Object parse_array() {
+    Array arr;
+    while (true) {
+      const Token& t = lex_.peek();
+      if (t.kind == TokenKind::kArrayClose) {
+        take();
+        return Object(std::move(arr));
+      }
+      if (t.kind == TokenKind::kEof) throw ParseError("unterminated array");
+      arr.push_back(parse_value());
+    }
+  }
+
+  Object parse_dict_or_stream() {
+    Dict dict;
+    while (true) {
+      Token t = take();
+      if (t.kind == TokenKind::kDictClose) break;
+      if (t.kind == TokenKind::kEof) throw ParseError("unterminated dictionary");
+      if (t.kind != TokenKind::kName) {
+        throw ParseError("dictionary key is not a name at offset " +
+                         std::to_string(t.offset));
+      }
+      std::string key = std::move(t.text);
+      std::string raw = std::move(t.raw);
+      dict.set_with_raw(std::move(key), std::move(raw), parse_value());
+    }
+    // A stream keyword directly after the dict turns it into a stream object.
+    const Token& after = lex_.peek();
+    if (after.kind == TokenKind::kKeyword && after.text == "stream") {
+      take();
+      return parse_stream_body(std::move(dict));
+    }
+    return Object(std::move(dict));
+  }
+
+  Object parse_stream_body(Dict dict) {
+    lex_.skip_eol();
+    ++stats_.streams;
+    const Object* len = dict.find("Length");
+    if (len && len->is_int() && len->as_int() >= 0) {
+      const auto n = static_cast<std::size_t>(len->as_int());
+      const std::size_t mark = lex_.position();
+      try {
+        Bytes data = lex_.read_raw(n);
+        // The spec requires "endstream" (after optional EOL) next; verify.
+        Token t = lex_.next();
+        if (t.kind == TokenKind::kKeyword && t.text == "endstream") {
+          return Object(Stream{std::move(dict), std::move(data)});
+        }
+      } catch (const support::Error&) {
+        // fall through to the scan below
+      }
+      lex_.seek(mark);
+    }
+    // /Length missing, indirect, or wrong: scan for the endstream keyword.
+    const std::size_t start = lex_.position();
+    const std::size_t end = lex_.find_forward("endstream");
+    if (end == std::string_view::npos) throw ParseError("unterminated stream");
+    std::size_t data_end = end;
+    // Trim the EOL that belongs to the endstream keyword, not the data.
+    const BytesView all = lex_.data();
+    if (data_end > start && all[data_end - 1] == '\n') --data_end;
+    if (data_end > start && all[data_end - 1] == '\r') --data_end;
+    lex_.seek(start);
+    Bytes data = lex_.read_raw(data_end - start);
+    lex_.seek(end);
+    Token t = lex_.next();  // consume "endstream"
+    (void)t;
+    dict.set("Length", Object(static_cast<std::int64_t>(data.size())));
+    return Object(Stream{std::move(dict), std::move(data)});
+  }
+
+  Lexer& lex_;
+  ParseStats& stats_;
+};
+
+HeaderInfo scan_header(BytesView data) {
+  HeaderInfo info;
+  const std::string_view text = support::as_view(data);
+  // The spec requires the header within the first 1024 bytes (§3.4.1).
+  const std::string_view window = text.substr(0, std::min<std::size_t>(1024, text.size()));
+  const std::size_t pos = window.find("%PDF-");
+  if (pos == std::string_view::npos) return info;
+  info.found = true;
+  info.offset = pos;
+  std::size_t v = pos + 5;
+  while (v < text.size() && (std::isdigit(static_cast<unsigned char>(text[v])) || text[v] == '.')) {
+    info.version.push_back(text[v]);
+    ++v;
+  }
+  info.version_valid = is_known_pdf_version(info.version);
+  return info;
+}
+
+}  // namespace
+
+void expand_object_streams(Document& doc, ParseStats& stats);
+
+Object parse_object_text(std::string_view text) {
+  const Bytes data = support::to_bytes(text);
+  Lexer lex(data);
+  ParseStats stats;
+  ObjectParser parser(lex, stats);
+  return parser.parse_value();
+}
+
+Document parse_document(BytesView data, ParseStats* stats_out) {
+  Document doc;
+  ParseStats stats;
+  doc.header() = scan_header(data);
+
+  Lexer lex(data);
+  ObjectParser parser(lex, stats);
+
+  // Sequential recovery scan: walk tokens; each "N G obj" begins an
+  // indirect object, "trailer" a trailer dictionary. Junk is skipped.
+  while (true) {
+    const std::size_t mark = lex.position();
+    Token t;
+    try {
+      t = lex.next();
+    } catch (const support::Error&) {
+      ++stats.skipped_junk;
+      lex.seek(mark + 1);
+      continue;
+    }
+    if (t.kind == TokenKind::kEof) break;
+
+    if (t.kind == TokenKind::kInteger) {
+      // Candidate "N G obj".
+      const std::size_t after_num = lex.position();
+      try {
+        const Token gen = lex.peek();
+        if (gen.kind == TokenKind::kInteger) {
+          lex.next();
+          const Token kw = lex.peek();
+          if (kw.kind == TokenKind::kKeyword && kw.text == "obj") {
+            lex.next();
+            Object obj = parser.parse_value();
+            // Consume an optional endobj.
+            const Token& end = lex.peek();
+            if (end.kind == TokenKind::kKeyword && end.text == "endobj") lex.next();
+            doc.set_object(Ref{static_cast<int>(t.int_value),
+                               static_cast<int>(gen.int_value)},
+                           std::move(obj));
+            ++stats.indirect_objects;
+            support::AllocStats::note_object();
+            continue;
+          }
+        }
+      } catch (const support::Error&) {
+        ++stats.skipped_junk;
+        lex.seek(after_num);
+        continue;
+      }
+      lex.seek(after_num);
+      continue;
+    }
+
+    if (t.kind == TokenKind::kKeyword && t.text == "trailer") {
+      try {
+        Object tr = parser.parse_value();
+        if (tr.is_dict()) {
+          // Merge in file order: later trailers overwrite earlier keys.
+          for (auto& e : tr.as_dict().entries()) {
+            doc.trailer().set(e.key, e.value);
+          }
+        }
+      } catch (const support::Error&) {
+        ++stats.skipped_junk;
+      }
+      continue;
+    }
+
+    // xref sections, startxref offsets, %%EOF and anything else: skip.
+  }
+
+  if (stats.indirect_objects == 0) {
+    throw ParseError("no PDF objects found in input");
+  }
+
+  // Expand object streams (/Type /ObjStm, PDF 1.5+): compressed containers
+  // holding further indirect objects. Malicious documents use them to hide
+  // Javascript from naive scanners, so the recovery parse must open them.
+  expand_object_streams(doc, stats);
+
+  if (stats_out) *stats_out = stats;
+  return doc;
+}
+
+void expand_object_streams(Document& doc, ParseStats& stats) {
+  // Collect first (expansion mutates the object table).
+  std::vector<Stream> object_streams;
+  for (const auto& [num, obj] : doc.objects()) {
+    if (!obj.is_stream()) continue;
+    const Object* type = obj.as_stream().dict.find("Type");
+    if (type && type->is_name() && type->as_name().value == "ObjStm") {
+      object_streams.push_back(obj.as_stream());
+    }
+  }
+
+  for (const Stream& stm : object_streams) {
+    support::Bytes plain;
+    try {
+      plain = decode_stream(stm);
+    } catch (const support::Error&) {
+      continue;  // undecodable container: skip
+    }
+    const Object* n_obj = stm.dict.find("N");
+    const Object* first_obj = stm.dict.find("First");
+    if (!n_obj || !n_obj->is_int() || !first_obj || !first_obj->is_int()) continue;
+    const auto n = static_cast<std::size_t>(std::max<std::int64_t>(0, n_obj->as_int()));
+    const auto first = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, first_obj->as_int()));
+    if (first > plain.size()) continue;
+
+    // Header: N pairs of "objnum offset".
+    Lexer header(plain);
+    std::vector<std::pair<int, std::size_t>> entries;
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Token num_tok = header.next();
+        const Token off_tok = header.next();
+        if (num_tok.kind != TokenKind::kInteger ||
+            off_tok.kind != TokenKind::kInteger) {
+          break;
+        }
+        entries.emplace_back(static_cast<int>(num_tok.int_value),
+                             static_cast<std::size_t>(off_tok.int_value));
+      }
+    } catch (const support::Error&) {
+      ++stats.skipped_junk;
+      continue;
+    }
+
+    for (const auto& [obj_num, offset] : entries) {
+      if (first + offset >= plain.size()) continue;
+      // Objects already defined by a later update win (first definition in
+      // the main scan has priority over the packed copy only if present).
+      if (doc.object({obj_num, 0})) continue;
+      try {
+        Lexer lex(plain, first + offset);
+        ParseStats sub;
+        ObjectParser parser(lex, sub);
+        doc.set_object({obj_num, 0}, parser.parse_value());
+        ++stats.indirect_objects;
+        support::AllocStats::note_object();
+      } catch (const support::Error&) {
+        ++stats.skipped_junk;
+      }
+    }
+  }
+}
+
+}  // namespace pdfshield::pdf

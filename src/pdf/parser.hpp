@@ -1,0 +1,32 @@
+// Robust PDF parser. Uses a sequential recovery scan (every "N G obj" in
+// token order) rather than trusting the cross-reference table: malicious
+// documents routinely ship broken or misleading xrefs, and the paper's
+// front-end must still see every object. Trailer dictionaries are merged in
+// file order so the newest /Root wins, mirroring incremental updates.
+#pragma once
+
+#include <cstdint>
+
+#include "pdf/document.hpp"
+#include "support/bytes.hpp"
+
+namespace pdfshield::pdf {
+
+/// Counters filled during parsing; feeds the Table XI analogue.
+struct ParseStats {
+  std::size_t indirect_objects = 0;
+  std::size_t tokens = 0;        ///< Tokens consumed (scan granularity).
+  std::size_t streams = 0;
+  std::size_t skipped_junk = 0;  ///< Unparseable regions skipped over.
+};
+
+/// Parses `data` into a Document. Never throws on malformed regions — it
+/// skips them (counting in stats) — but does throw ParseError when no PDF
+/// structure at all can be found.
+Document parse_document(support::BytesView data, ParseStats* stats = nullptr);
+
+/// Parses a single object expression (no "N G obj" wrapper) from text.
+/// Used by tests and by the corpus builder.
+Object parse_object_text(std::string_view text);
+
+}  // namespace pdfshield::pdf

@@ -1,0 +1,252 @@
+#include "pdf/writer.hpp"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstdio>
+#include <sstream>
+
+#include "pdf/lexer.hpp"
+#include "support/strings.hpp"
+
+namespace pdfshield::pdf {
+
+using support::Bytes;
+
+namespace {
+
+void write_string_object(std::string& out, const String& s) {
+  if (s.hex) {
+    static const char kHex[] = "0123456789ABCDEF";
+    out.push_back('<');
+    for (std::uint8_t b : s.data) {
+      out.push_back(kHex[b >> 4]);
+      out.push_back(kHex[b & 0xf]);
+    }
+    out.push_back('>');
+    return;
+  }
+  out.push_back('(');
+  for (std::uint8_t b : s.data) {
+    switch (b) {
+      case '(': out += "\\("; break;
+      case ')': out += "\\)"; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (b < 0x20 || b > 0x7e) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\%03o", b);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(b));
+        }
+    }
+  }
+  out.push_back(')');
+}
+
+void write_value(std::string& out, const Object& obj);
+
+void write_dict(std::string& out, const Dict& dict) {
+  out += "<< ";
+  for (const auto& e : dict.entries()) {
+    out += e.raw_key.empty() ? encode_name(e.key) : e.raw_key;
+    out.push_back(' ');
+    write_value(out, e.value);
+    out.push_back(' ');
+  }
+  out += ">>";
+}
+
+void write_value(std::string& out, const Object& obj) {
+  switch (obj.value().index()) {
+    case 0:
+      out += "null";
+      return;
+    case 1:
+      out += obj.as_bool() ? "true" : "false";
+      return;
+    case 2: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, obj.as_int());
+      out += buf;
+      return;
+    }
+    case 3: {
+      std::string num = support::format_double(obj.as_number(), 6);
+      // Keep the decimal point so a real stays a real when re-parsed.
+      if (num.find('.') == std::string::npos) num += ".0";
+      out += num;
+      return;
+    }
+    case 4:
+      write_string_object(out, obj.as_string());
+      return;
+    case 5: {
+      const Name& n = obj.as_name();
+      out += n.raw.empty() ? encode_name(n.value) : n.raw;
+      return;
+    }
+    case 6: {
+      out += "[ ";
+      for (const Object& item : obj.as_array()) {
+        write_value(out, item);
+        out.push_back(' ');
+      }
+      out += "]";
+      return;
+    }
+    case 7:
+      write_dict(out, obj.as_dict());
+      return;
+    case 8: {
+      // Stream body is handled by the document writer; standalone
+      // serialization emits only the dictionary part.
+      write_dict(out, obj.as_stream().dict);
+      return;
+    }
+    case 9: {
+      const Ref r = obj.as_ref();
+      out += std::to_string(r.num) + " " + std::to_string(r.gen) + " R";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+support::Bytes write_incremental_update(support::BytesView original,
+                                        const Document& updated,
+                                        const std::set<int>& changed) {
+  std::string body(support::as_view(original));
+  if (!body.empty() && body.back() != '\n') body += "\n";
+
+  // Locate the base revision's startxref offset for /Prev.
+  long long prev_xref = -1;
+  if (const std::size_t sx = body.rfind("startxref"); sx != std::string::npos) {
+    prev_xref = std::atoll(body.c_str() + sx + 9);
+  }
+
+  std::map<int, std::size_t> offsets;
+  for (int num : changed) {
+    const Object* obj = updated.object({num, 0});
+    if (!obj) continue;
+    offsets[num] = body.size();
+    body += std::to_string(num) + " 0 obj\n";
+    if (obj->is_stream()) {
+      const Stream& s = obj->as_stream();
+      Dict dict = s.dict;
+      dict.set("Length", Object(static_cast<std::int64_t>(s.data.size())));
+      write_dict(body, dict);
+      body += "\nstream\n";
+      body.append(reinterpret_cast<const char*>(s.data.data()), s.data.size());
+      body += "\nendstream";
+    } else {
+      write_value(body, *obj);
+    }
+    body += "\nendobj\n";
+  }
+
+  // Cross-reference section: one subsection per contiguous run.
+  const std::size_t xref_pos = body.size();
+  body += "xref\n";
+  auto it = offsets.begin();
+  while (it != offsets.end()) {
+    auto run_end = it;
+    int expect = it->first;
+    while (run_end != offsets.end() && run_end->first == expect) {
+      ++run_end;
+      ++expect;
+    }
+    body += std::to_string(it->first) + " " +
+            std::to_string(expect - it->first) + "\n";
+    for (; it != run_end; ++it) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%010zu 00000 n \n", it->second);
+      body += buf;
+    }
+  }
+
+  Dict trailer = updated.trailer();
+  trailer.set("Size", Object(static_cast<std::int64_t>(updated.max_object_number() + 1)));
+  if (prev_xref >= 0) {
+    trailer.set("Prev", Object(static_cast<std::int64_t>(prev_xref)));
+  }
+  body += "trailer\n";
+  write_dict(body, trailer);
+  body += "\nstartxref\n" + std::to_string(xref_pos) + "\n%%EOF\n";
+  return support::to_bytes(body);
+}
+
+std::string write_object(const Object& obj) {
+  std::string out;
+  write_value(out, obj);
+  return out;
+}
+
+Bytes write_document(const Document& doc, const WriteOptions& opts) {
+  std::string body;
+
+  if (opts.junk_prefix_bytes > 0) {
+    // Comment padding; keeps the file a valid PDF as long as the header
+    // still lands within the first 1024 bytes.
+    body += "%";
+    body.append(opts.junk_prefix_bytes, ' ');
+    body += "\n";
+  }
+
+  std::string version = opts.force_version;
+  if (version.empty()) {
+    version = doc.header().version.empty() ? "1.7" : doc.header().version;
+  }
+  body += "%PDF-" + version + "\n";
+  // Binary-content marker comment recommended by the spec.
+  body += "%\xe2\xe3\xcf\xd3\n";
+
+  std::map<int, std::size_t> offsets;
+  for (const auto& [num, obj] : doc.objects()) {
+    offsets[num] = body.size();
+    body += std::to_string(num) + " 0 obj\n";
+    if (obj.is_stream()) {
+      const Stream& s = obj.as_stream();
+      Dict dict = s.dict;  // ensure /Length matches the stored data
+      dict.set("Length", Object(static_cast<std::int64_t>(s.data.size())));
+      write_dict(body, dict);
+      body += "\nstream\n";
+      body.append(reinterpret_cast<const char*>(s.data.data()), s.data.size());
+      body += "\nendstream";
+    } else {
+      write_value(body, obj);
+    }
+    body += "\nendobj\n";
+  }
+
+  // Cross-reference table covering 0..max contiguously; unused numbers are
+  // written as free entries.
+  const int max_num = doc.max_object_number();
+  const std::size_t xref_pos = body.size();
+  body += "xref\n0 " + std::to_string(max_num + 1) + "\n";
+  body += "0000000000 65535 f \n";
+  for (int num = 1; num <= max_num; ++num) {
+    char buf[32];
+    auto it = offsets.find(num);
+    if (it != offsets.end()) {
+      std::snprintf(buf, sizeof(buf), "%010zu 00000 n \n", it->second);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%010d 65535 f \n", 0);
+    }
+    body += buf;
+  }
+
+  Dict trailer = doc.trailer();
+  trailer.set("Size", Object(static_cast<std::int64_t>(max_num + 1)));
+  body += "trailer\n";
+  write_dict(body, trailer);
+  body += "\nstartxref\n" + std::to_string(xref_pos) + "\n%%EOF\n";
+
+  return support::to_bytes(body);
+}
+
+}  // namespace pdfshield::pdf

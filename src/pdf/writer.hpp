@@ -1,0 +1,37 @@
+// Serializes a Document back to bytes: header, body, cross-reference table
+// and trailer. Produces spec-conformant output readable by any PDF tool and
+// by our own parser (round-trip property-tested).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "pdf/document.hpp"
+#include "support/bytes.hpp"
+
+namespace pdfshield::pdf {
+
+struct WriteOptions {
+  /// Overrides the header version; empty keeps the document's own (or 1.7).
+  std::string force_version;
+  /// Emits `junk_prefix_bytes` of comment padding before the %PDF header —
+  /// used by the corpus generator's header-obfuscation transform (F2).
+  std::size_t junk_prefix_bytes = 0;
+};
+
+/// Serializes the document.
+support::Bytes write_document(const Document& doc, const WriteOptions& opts = {});
+
+/// Incremental update (PDF Reference §3.4.5): appends only `changed`
+/// objects to the original bytes, followed by a cross-reference section
+/// for them and a trailer whose /Prev points at the original startxref.
+/// The base document's bytes are untouched — this is how the paper's
+/// front-end can instrument a 20 MB file without rewriting it.
+support::Bytes write_incremental_update(support::BytesView original,
+                                        const Document& updated,
+                                        const std::set<int>& changed);
+
+/// Serializes a single object expression (no "N G obj" wrapper).
+std::string write_object(const Object& obj);
+
+}  // namespace pdfshield::pdf

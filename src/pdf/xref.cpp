@@ -1,0 +1,125 @@
+#include "pdf/xref.hpp"
+
+#include <set>
+
+#include "pdf/lexer.hpp"
+#include "pdf/parser.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::pdf {
+
+using support::BytesView;
+using support::ParseError;
+
+std::optional<std::size_t> read_startxref(BytesView file) {
+  const std::string_view text = support::as_view(file);
+  const std::size_t pos = text.rfind("startxref");
+  if (pos == std::string_view::npos) return std::nullopt;
+  Lexer lex(file, pos);
+  Token kw = lex.next();
+  if (kw.kind != TokenKind::kKeyword || kw.text != "startxref") return std::nullopt;
+  Token value = lex.next();
+  if (value.kind != TokenKind::kInteger || value.int_value < 0) return std::nullopt;
+  return static_cast<std::size_t>(value.int_value);
+}
+
+XrefSection read_xref_section(BytesView file, std::size_t offset) {
+  XrefSection section;
+  section.position = offset;
+  Lexer lex(file, offset);
+
+  Token kw = lex.next();
+  if (kw.kind != TokenKind::kKeyword || kw.text != "xref") {
+    throw ParseError("xref keyword not found at offset " + std::to_string(offset));
+  }
+
+  // Subsections: "<first> <count>" followed by count 20-byte entries.
+  while (true) {
+    const Token first = lex.peek();
+    if (first.kind != TokenKind::kInteger) break;
+    lex.next();
+    const Token count = lex.next();
+    if (count.kind != TokenKind::kInteger) {
+      throw ParseError("xref subsection count missing");
+    }
+    for (std::int64_t i = 0; i < count.int_value; ++i) {
+      const Token off = lex.next();
+      const Token gen = lex.next();
+      const Token type = lex.next();
+      if (off.kind != TokenKind::kInteger || gen.kind != TokenKind::kInteger ||
+          type.kind != TokenKind::kKeyword ||
+          (type.text != "n" && type.text != "f")) {
+        throw ParseError("malformed xref entry");
+      }
+      XrefEntry entry;
+      entry.offset = static_cast<std::size_t>(off.int_value);
+      entry.generation = static_cast<int>(gen.int_value);
+      entry.in_use = type.text == "n";
+      section.entries[static_cast<int>(first.int_value + i)] = entry;
+    }
+  }
+
+  // Trailer: look for /Prev.
+  const Token trailer_kw = lex.peek();
+  if (trailer_kw.kind == TokenKind::kKeyword && trailer_kw.text == "trailer") {
+    lex.next();
+    // Minimal dict scan: reuse the object parser via parse_object_text on
+    // the remaining slice would lose offsets; a simple token walk finds
+    // /Prev without full parsing.
+    int depth = 0;
+    while (true) {
+      Token t = lex.next();
+      if (t.kind == TokenKind::kEof) break;
+      if (t.kind == TokenKind::kDictOpen) ++depth;
+      if (t.kind == TokenKind::kDictClose && --depth == 0) break;
+      if (t.kind == TokenKind::kName && t.text == "Prev" && depth == 1) {
+        Token v = lex.next();
+        if (v.kind == TokenKind::kInteger && v.int_value >= 0) {
+          section.prev = static_cast<std::size_t>(v.int_value);
+        }
+      }
+    }
+  }
+  return section;
+}
+
+std::vector<XrefSection> read_xref_chain(BytesView file) {
+  std::vector<XrefSection> chain;
+  std::optional<std::size_t> next = read_startxref(file);
+  std::set<std::size_t> seen;
+  while (next && chain.size() < 64) {
+    if (!seen.insert(*next).second) break;  // cycle
+    chain.push_back(read_xref_section(file, *next));
+    next = chain.back().prev;
+  }
+  return chain;
+}
+
+std::vector<int> verify_xref_offsets(BytesView file) {
+  std::vector<int> bad;
+  // Newest definition wins across the chain.
+  std::map<int, XrefEntry> effective;
+  const std::vector<XrefSection> chain = read_xref_chain(file);
+  // Chain is newest-first; fill oldest-first so newer overwrites.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const auto& [num, entry] : it->entries) effective[num] = entry;
+  }
+  for (const auto& [num, entry] : effective) {
+    if (!entry.in_use) continue;
+    Lexer lex(file, entry.offset);
+    try {
+      const Token n = lex.next();
+      const Token g = lex.next();
+      const Token kw = lex.next();
+      const bool ok = n.kind == TokenKind::kInteger && n.int_value == num &&
+                      g.kind == TokenKind::kInteger &&
+                      kw.kind == TokenKind::kKeyword && kw.text == "obj";
+      if (!ok) bad.push_back(num);
+    } catch (const support::Error&) {
+      bad.push_back(num);
+    }
+  }
+  return bad;
+}
+
+}  // namespace pdfshield::pdf

@@ -1,0 +1,45 @@
+// Cross-reference table reader (PDF Reference §3.4.3/§3.4.4). The
+// recovery parser deliberately ignores xref data (malicious files lie in
+// it), but spec-conformant tables are still required of our *writer* so
+// real tools can open instrumented output. This module reads them back
+// for conformance checking and exposes revision structure (incremental
+// updates chain through /Prev).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::pdf {
+
+struct XrefEntry {
+  std::size_t offset = 0;
+  int generation = 0;
+  bool in_use = false;  ///< 'n' entries; 'f' entries are free
+};
+
+struct XrefSection {
+  std::size_t position = 0;               ///< byte offset of the "xref" keyword
+  std::map<int, XrefEntry> entries;       ///< object number -> entry
+  std::optional<std::size_t> prev;        ///< trailer /Prev, if any
+};
+
+/// Reads the startxref value at the end of the file; nullopt if absent.
+std::optional<std::size_t> read_startxref(support::BytesView file);
+
+/// Parses the xref section at `offset` (must point at the "xref" keyword).
+/// Throws ParseError on malformed tables.
+XrefSection read_xref_section(support::BytesView file, std::size_t offset);
+
+/// Follows the /Prev chain from the final revision backwards. The first
+/// element is the newest revision. Stops on cycles or after 64 revisions.
+std::vector<XrefSection> read_xref_chain(support::BytesView file);
+
+/// Conformance check: every in-use entry of the newest revision chain must
+/// point at a matching "N G obj" header. Returns the object numbers whose
+/// offsets are wrong (empty = conformant).
+std::vector<int> verify_xref_offsets(support::BytesView file);
+
+}  // namespace pdfshield::pdf

@@ -1,0 +1,65 @@
+#include "reader/browser_sim.hpp"
+
+namespace pdfshield::reader {
+
+BrowserSim::BrowserSim(sys::Kernel& kernel, BrowserConfig config)
+    : kernel_(kernel), config_(std::move(config)) {
+  sys::Process& proc = kernel_.create_process(config_.browser_image);
+  pid_ = proc.pid();
+  proc.alloc(config_.base_memory);
+  ReaderConfig viewer_config = config_.viewer;
+  viewer_config.base_memory = 0;  // the browser already holds the baseline
+  viewer_ = std::make_unique<ReaderSim>(kernel_, viewer_config, pid_);
+}
+
+sys::Process& BrowserSim::process() {
+  sys::Process* p = kernel_.process(pid_);
+  if (!p) throw support::SysError("browser process vanished");
+  return *p;
+}
+
+void BrowserSim::open_web_page(const std::string& url) {
+  ++tabs_;
+  process().alloc(config_.page_memory);
+  // Ordinary page load: a handful of subresource fetches...
+  for (int i = 0; i < 3; ++i) {
+    kernel_.call_api(pid_, "connect", {url, "443"});
+  }
+  // ...and, every few tabs, a sandboxed renderer helper — the background
+  // process noise §VI warns about. Helpers are on the detector whitelist.
+  if (++helper_counter_ % 3 == 0) {
+    kernel_.call_api(pid_, "NtCreateProcess", {"browser-helper.exe"});
+  }
+}
+
+OpenResult BrowserSim::open_pdf(support::BytesView file, const std::string& name) {
+  ++tabs_;
+  return viewer_->open_document(file, name);
+}
+
+OpenResult BrowserSim::open_pdf_streaming(support::BytesView file,
+                                          const std::string& name, int chunks) {
+  ++tabs_;
+  if (chunks < 1) chunks = 1;
+  ReaderSim::StreamState state;
+  OpenResult merged;
+  merged.name = name;
+  for (int c = 1; c <= chunks; ++c) {
+    const std::size_t upto = file.size() * static_cast<std::size_t>(c) /
+                             static_cast<std::size_t>(chunks);
+    const bool final_chunk = c == chunks;
+    OpenResult r = viewer_->open_document_partial(file.subspan(0, upto), name,
+                                                  state, final_chunk);
+    merged.parsed = merged.parsed || r.parsed;
+    merged.js_ran = merged.js_ran || r.js_ran;
+    merged.crashed = merged.crashed || r.crashed;
+    merged.scripts_executed += r.scripts_executed;
+    merged.js_reported_bytes += r.js_reported_bytes;
+    for (auto& cve : r.fired_cves) merged.fired_cves.push_back(cve);
+    for (auto& cve : r.attempted_cves) merged.attempted_cves.push_back(cve);
+    if (merged.crashed) break;  // the tab (process) is gone
+  }
+  return merged;
+}
+
+}  // namespace pdfshield::reader

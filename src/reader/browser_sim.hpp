@@ -1,0 +1,72 @@
+// In-browser PDF viewer simulator — the paper's §VI future work, built
+// out. Two properties distinguish the browser environment from the
+// stand-alone reader and drive the design here:
+//
+//  1. *Progressive rendering*: in-browser viewers start rendering before
+//     the document finishes downloading. Documents are therefore fed in
+//     chunks; Javascript whose action objects are complete runs as soon as
+//     its chunk lands, not at end-of-download. Instrumentation still works
+//     because the monitoring wrapper travels inside the same object as the
+//     script it guards.
+//
+//  2. *Noisy host process*: the browser process spawns helper processes
+//     and talks to the network constantly. The detector copes via its
+//     whitelist (helpers) and because out-of-JS network traffic was never
+//     a feature — context attribution does the rest.
+//
+// Tabs share one browser process (memory, hooks), matching the
+// multi-tab/single-process worry in §VI.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "reader/reader_sim.hpp"
+
+namespace pdfshield::reader {
+
+struct BrowserConfig {
+  std::string browser_image = "browser.exe";
+  std::uint64_t base_memory = 180ull * 1024 * 1024;  ///< browsers are heavy
+  /// Per-tab web-page render memory.
+  std::uint64_t page_memory = 25ull * 1024 * 1024;
+  ReaderConfig viewer;  ///< plugin viewer configuration
+};
+
+class BrowserSim {
+ public:
+  BrowserSim(sys::Kernel& kernel, BrowserConfig config = {});
+
+  int pid() const { return pid_; }
+  sys::Process& process();
+
+  /// Opens an ordinary web page in a tab: allocates render memory, makes
+  /// the browser's characteristic background noise (network fetches and
+  /// an occasional helper process) — none of which may trip the detector.
+  void open_web_page(const std::string& url);
+
+  /// Opens a PDF in a tab, fully downloaded (plugin viewer path).
+  OpenResult open_pdf(support::BytesView file, const std::string& name);
+
+  /// Progressive path: feeds the document in `chunks` pieces, rendering
+  /// after each. Scripts run as soon as their objects are complete; each
+  /// runs at most once. Returns the merged result.
+  OpenResult open_pdf_streaming(support::BytesView file,
+                                const std::string& name, int chunks);
+
+  /// The plugin viewer (attach the detector to this).
+  ReaderSim& viewer() { return *viewer_; }
+
+  std::size_t tab_count() const { return tabs_; }
+
+ private:
+  sys::Kernel& kernel_;
+  BrowserConfig config_;
+  int pid_;
+  std::unique_ptr<ReaderSim> viewer_;
+  std::size_t tabs_ = 0;
+  int helper_counter_ = 0;
+};
+
+}  // namespace pdfshield::reader

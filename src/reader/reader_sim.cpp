@@ -1,0 +1,505 @@
+#include "reader/reader_sim.hpp"
+
+#include <cstdlib>
+
+#include "pdf/crypto.hpp"
+#include "pdf/filters.hpp"
+#include "pdf/parser.hpp"
+#include "reader/shellcode.hpp"
+#include "reader/vulnerability.hpp"
+#include "support/checksum.hpp"
+#include "support/strings.hpp"
+
+namespace pdfshield::reader {
+
+using js::Value;
+using support::BytesView;
+
+// ---------------------------------------------------------------------------
+// Internal per-document state
+// ---------------------------------------------------------------------------
+
+/// HostHooks implementation: routes jsapi callbacks to the reader.
+class ReaderSim::DocHost : public jsapi::HostHooks {
+ public:
+  DocHost(ReaderSim& reader, OpenDoc& doc) : reader_(reader), doc_(doc) {}
+
+  void exploit_attempt(const std::string& cve) override;
+  void script_added(const std::string& name, const std::string& source) override;
+  void script_delayed(const std::string& source, double millis) override;
+  bool soap_request(const std::string& url, const Value& payload,
+                    Value* response) override;
+  void open_embedded(const std::string& name,
+                     const support::Bytes& data) override;
+
+ private:
+  ReaderSim& reader_;
+  OpenDoc& doc_;
+};
+
+struct ReaderSim::OpenDoc {
+  std::string name;
+  pdf::Document document;
+  std::uint64_t render_memory = 0;
+  std::unique_ptr<js::Interpreter> interp;
+  std::unique_ptr<DocHost> host;
+  std::unique_ptr<jsapi::AcrobatApi> api;
+  std::vector<std::string> pending_scripts;  ///< added/delayed scripts
+  OpenResult* active_result = nullptr;       ///< set while scripts run
+  bool in_js_context = false;
+  bool exploited = false;  ///< one successful exploit per doc is enough
+};
+
+namespace {
+
+/// Internal signal: the reader process crashed mid-script.
+struct ReaderCrash {};
+
+std::string string_or_stream_text(const pdf::Document& doc,
+                                  const pdf::Object& obj) {
+  const pdf::Object& r = doc.resolve(obj);
+  if (r.is_string()) return support::to_string(r.as_string().data);
+  if (r.is_stream()) {
+    try {
+      return support::to_string(pdf::decode_stream(r.as_stream()));
+    } catch (const support::Error&) {
+      return support::to_string(r.as_stream().data);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DocHost
+// ---------------------------------------------------------------------------
+
+void ReaderSim::DocHost::exploit_attempt(const std::string& cve) {
+  if (doc_.active_result) {
+    reader_.handle_exploit_attempt(doc_, cve, *doc_.active_result);
+  }
+}
+
+void ReaderSim::DocHost::script_added(const std::string& /*name*/,
+                                      const std::string& source) {
+  doc_.pending_scripts.push_back(source);
+}
+
+void ReaderSim::DocHost::script_delayed(const std::string& source,
+                                        double /*millis*/) {
+  // Timers collapse to "runs after the current script" in simulation time.
+  doc_.pending_scripts.push_back(source);
+}
+
+bool ReaderSim::DocHost::soap_request(const std::string& url,
+                                      const Value& payload, Value* response) {
+  if (!reader_.soap_handler_ || reader_.soap_prefix_.empty()) return false;
+  if (url.rfind(reader_.soap_prefix_, 0) != 0) return false;
+  *response = reader_.soap_handler_(payload);
+  return true;
+}
+
+void ReaderSim::DocHost::open_embedded(const std::string& name,
+                                       const support::Bytes& data) {
+  // Queued: the reader is single-threaded, so the attachment opens after
+  // the current document finishes processing.
+  reader_.pending_embedded_.emplace_back(doc_.name + ":" + name, data);
+}
+
+// ---------------------------------------------------------------------------
+// ReaderSim
+// ---------------------------------------------------------------------------
+
+ReaderSim::ReaderSim(sys::Kernel& kernel, ReaderConfig config)
+    : kernel_(kernel), config_(std::move(config)), next_js_seed_(config_.js_seed) {
+  sys::Process& proc = kernel_.create_process("AcroRd32.exe");
+  pid_ = proc.pid();
+  proc.alloc(config_.base_memory);
+}
+
+ReaderSim::ReaderSim(sys::Kernel& kernel, ReaderConfig config, int existing_pid)
+    : kernel_(kernel),
+      config_(std::move(config)),
+      pid_(existing_pid),
+      next_js_seed_(config_.js_seed) {
+  if (!kernel_.process(pid_)) {
+    throw support::SysError("ReaderSim: no such host process");
+  }
+}
+
+ReaderSim::~ReaderSim() = default;
+
+sys::Process& ReaderSim::process() {
+  sys::Process* p = kernel_.process(pid_);
+  if (!p) throw support::SysError("reader process vanished");
+  return *p;
+}
+
+int ReaderSim::major_version() const {
+  return std::atoi(config_.version.c_str());
+}
+
+void ReaderSim::set_soap_endpoint(std::string url_prefix, SoapHandler handler) {
+  soap_prefix_ = std::move(url_prefix);
+  soap_handler_ = std::move(handler);
+}
+
+OpenResult ReaderSim::open_document(BytesView file, const std::string& name) {
+  OpenResult result;
+  result.name = name;
+  if (process().crashed()) return result;  // a crashed reader opens nothing
+
+  auto doc = std::make_unique<OpenDoc>();
+  doc->name = name;
+  try {
+    doc->document = pdf::parse_document(file);
+    // Readers transparently decrypt documents whose user password is empty
+    // (the owner-password-only case).
+    if (pdf::is_encrypted(doc->document)) {
+      pdf::decrypt_document(doc->document, /*user_password=*/"");
+    }
+    result.parsed = true;
+  } catch (const support::Error&) {
+    // Unparseable file: Acrobat shows an error dialog; nothing else runs.
+    docs_.erase(name);
+    return result;
+  }
+
+  // Render memory: fixed cost + size-proportional page/cache cost.
+  doc->render_memory =
+      config_.per_doc_fixed_memory +
+      static_cast<std::uint64_t>(config_.per_doc_memory_factor *
+                                 static_cast<double>(file.size()));
+  process().alloc(doc->render_memory);
+  render_cache_bytes_ += doc->render_memory;
+  maybe_compact_cache();
+
+  // Fresh Javascript world per document.
+  doc->interp = std::make_unique<js::Interpreter>();
+  doc->interp->set_step_limit(config_.js_step_limit);
+  doc->interp->rng() = support::Rng(next_js_seed_++);
+  doc->host = std::make_unique<DocHost>(*this, *doc);
+
+  jsapi::DocFacts facts;
+  facts.name = name;
+  if (const pdf::Object* info =
+          doc->document.resolved_find(doc->document.trailer(), "Info");
+      info && info->is_dict()) {
+    for (const auto& e : info->as_dict().entries()) {
+      const pdf::Object& v = doc->document.resolve(e.value);
+      if (v.is_string()) {
+        facts.info[e.key] = support::to_string(v.as_string().data);
+      }
+    }
+  }
+  // Form fields: /AcroForm /Fields [...] with /T (name) and /V (value).
+  if (const pdf::Object* cat = doc->document.catalog()) {
+    if (const pdf::Object* form =
+            doc->document.resolved_find(cat->dict_or_stream_dict(), "AcroForm");
+        form && form->is_dict()) {
+      if (const pdf::Object* fields =
+              doc->document.resolved_find(form->as_dict(), "Fields");
+          fields && fields->is_array()) {
+        for (const pdf::Object& f : fields->as_array()) {
+          const pdf::Object& fr = doc->document.resolve(f);
+          if (!fr.is_dict()) continue;
+          const pdf::Object* t = doc->document.resolved_find(fr.as_dict(), "T");
+          const pdf::Object* v = doc->document.resolved_find(fr.as_dict(), "V");
+          if (t && t->is_string()) {
+            facts.fields[support::to_string(t->as_string().data)] =
+                v && v->is_string() ? support::to_string(v->as_string().data)
+                                    : std::string();
+          }
+        }
+      }
+    }
+  }
+
+  // Embedded file attachments: /Names -> /EmbeddedFiles -> /Names
+  // [ (name) filespec-ref ... ] with /EF /F pointing at the data stream.
+  if (const pdf::Object* cat2 = doc->document.catalog()) {
+    if (const pdf::Object* names =
+            doc->document.resolved_find(cat2->dict_or_stream_dict(), "Names");
+        names && names->is_dict()) {
+      if (const pdf::Object* ef =
+              doc->document.resolved_find(names->as_dict(), "EmbeddedFiles");
+          ef && ef->is_dict()) {
+        if (const pdf::Object* list =
+                doc->document.resolved_find(ef->as_dict(), "Names");
+            list && list->is_array()) {
+          const pdf::Array& arr = list->as_array();
+          for (std::size_t i = 0; i + 1 < arr.size(); i += 2) {
+            const pdf::Object& key = doc->document.resolve(arr[i]);
+            const pdf::Object& spec = doc->document.resolve(arr[i + 1]);
+            if (!key.is_string() || !spec.is_dict()) continue;
+            const pdf::Object* efd =
+                doc->document.resolved_find(spec.as_dict(), "EF");
+            if (!efd || !efd->is_dict()) continue;
+            const pdf::Object* f = doc->document.resolved_find(efd->as_dict(), "F");
+            if (!f || !f->is_stream()) continue;
+            support::Bytes data;
+            try {
+              data = pdf::decode_stream(f->as_stream());
+            } catch (const support::Error&) {
+              data = f->as_stream().data;
+            }
+            facts.attachments[support::to_string(key.as_string().data)] =
+                std::move(data);
+          }
+        }
+      }
+    }
+  }
+
+  jsapi::ApiConfig api_config;
+  api_config.viewer_version = std::strtod(config_.version.c_str(), nullptr);
+  api_config.memory_scale = config_.memory_scale;
+  doc->api = std::make_unique<jsapi::AcrobatApi>(*doc->interp, kernel_, pid_,
+                                                 *doc->host, std::move(facts),
+                                                 api_config);
+
+  OpenDoc& ref = *doc;
+  docs_[name] = std::move(doc);
+
+  // --- trigger walk --------------------------------------------------------
+  try {
+    const pdf::Object* catalog = ref.document.catalog();
+    if (catalog) {
+      const pdf::Dict& cat = catalog->dict_or_stream_dict();
+      if (const pdf::Object* oa = ref.document.resolved_find(cat, "OpenAction")) {
+        run_action_chain(ref, *oa, result);
+      }
+      if (const pdf::Object* aa = ref.document.resolved_find(cat, "AA");
+          aa && aa->is_dict()) {
+        for (const auto& e : aa->as_dict().entries()) {
+          run_action_chain(ref, e.value, result);
+        }
+      }
+      // /Names -> /JavaScript -> /Names [name action name action ...]
+      if (const pdf::Object* names = ref.document.resolved_find(cat, "Names");
+          names && names->is_dict()) {
+        if (const pdf::Object* jstree =
+                ref.document.resolved_find(names->as_dict(), "JavaScript");
+            jstree && jstree->is_dict()) {
+          if (const pdf::Object* list =
+                  ref.document.resolved_find(jstree->as_dict(), "Names");
+              list && list->is_array()) {
+            const pdf::Array& arr = list->as_array();
+            for (std::size_t i = 1; i < arr.size(); i += 2) {
+              run_action_chain(ref, arr[i], result);
+            }
+          }
+        }
+      }
+    }
+    // Page-level /AA actions.
+    for (const auto& [num, obj] : ref.document.objects()) {
+      if (!obj.is_dict()) continue;
+      const pdf::Object* type = obj.as_dict().find("Type");
+      if (!type || !type->is_name() || type->as_name().value != "Page") continue;
+      if (const pdf::Object* aa = ref.document.resolved_find(obj.as_dict(), "AA");
+          aa && aa->is_dict()) {
+        for (const auto& e : aa->as_dict().entries()) {
+          run_action_chain(ref, e.value, result);
+        }
+      }
+    }
+
+    drain_pending_scripts(ref, result);
+    render_phase(ref, result);
+    drain_pending_scripts(ref, result);
+  } catch (const ReaderCrash&) {
+    result.crashed = true;
+    process().crash();
+    if (on_crash) on_crash();
+  }
+
+  result.js_reported_bytes = ref.api->js_allocated_reported();
+
+  // Open queued embedded PDFs (depth-capped; hostile files can nest).
+  if (embed_depth_ < 3) {
+    std::vector<std::pair<std::string, support::Bytes>> queued;
+    queued.swap(pending_embedded_);
+    ++embed_depth_;
+    for (auto& [embedded_name, data] : queued) {
+      open_document(data, embedded_name);
+    }
+    --embed_depth_;
+  } else {
+    pending_embedded_.clear();
+  }
+  return result;
+}
+
+void ReaderSim::run_action_chain(OpenDoc& doc, const pdf::Object& action_obj,
+                                 OpenResult& result) {
+  // Follow /Next chains with a visit cap (cycles exist in hostile files).
+  const pdf::Object* cur = &doc.document.resolve(action_obj);
+  for (int hops = 0; cur && hops < 64; ++hops) {
+    if (!cur->is_dict() && !cur->is_stream()) return;
+    const pdf::Dict& d = cur->dict_or_stream_dict();
+    const pdf::Object* s = doc.document.resolved_find(d, "S");
+    const bool is_js = s && s->is_name() && s->as_name().value == "JavaScript";
+    if (is_js || d.contains("JS")) {
+      if (const pdf::Object* code = d.find("JS")) {
+        run_script(doc, string_or_stream_text(doc.document, *code), result);
+      }
+    }
+    const pdf::Object* next = d.find("Next");
+    if (!next) return;
+    const pdf::Object& resolved = doc.document.resolve(*next);
+    if (resolved.is_array()) {
+      // /Next can be an array of actions.
+      for (const pdf::Object& a : resolved.as_array()) {
+        run_action_chain(doc, a, result);
+      }
+      return;
+    }
+    cur = &resolved;
+  }
+}
+
+void ReaderSim::run_script(OpenDoc& doc, const std::string& source,
+                           OpenResult& result) {
+  if (source.empty() || process().crashed()) return;
+  if (stream_state_) {
+    // Progressive rendering: each script runs at most once across chunks.
+    const std::uint64_t hash = support::fnv1a64(source);
+    if (!stream_state_->executed_script_hashes.insert(hash).second) return;
+  }
+  doc.active_result = &result;
+  doc.in_js_context = true;
+  result.js_ran = true;
+  ++result.scripts_executed;
+  try {
+    doc.interp->run_source(source);
+  } catch (const js::JsException&) {
+    // Script-level error: Acrobat logs to its console and moves on.
+  } catch (const support::Error&) {
+    // Engine-level fault (syntax error, step limit): same outcome.
+  }
+  doc.in_js_context = false;
+  doc.active_result = nullptr;
+  if (process().crashed()) throw ReaderCrash{};
+}
+
+void ReaderSim::drain_pending_scripts(OpenDoc& doc, OpenResult& result) {
+  // Added/delayed scripts may themselves add more; cap the generations.
+  for (int round = 0; round < 16 && !doc.pending_scripts.empty(); ++round) {
+    std::vector<std::string> batch;
+    batch.swap(doc.pending_scripts);
+    for (const std::string& src : batch) run_script(doc, src, result);
+  }
+}
+
+void ReaderSim::render_phase(OpenDoc& doc, OpenResult& result) {
+  if (!render_enabled_) return;
+  // Embedded non-JS exploit content: streams tagged with a /CVE entry
+  // (synthetic stand-in for a malformed Flash/font/image payload). The
+  // detector never inspects this tag — only the reader model does.
+  for (const auto& [num, obj] : doc.document.objects()) {
+    if (!obj.is_stream()) continue;
+    const pdf::Object* cve = obj.as_stream().dict.find("CVE");
+    if (!cve) continue;
+    std::string id;
+    if (cve->is_name()) {
+      id = cve->as_name().value;
+    } else if (cve->is_string()) {
+      id = support::to_string(cve->as_string().data);
+    }
+    if (id.rfind("CVE-", 0) != 0) continue;
+    const VulnSpec* vuln = find_vulnerability(id);
+    if (!vuln || vuln->context != ExploitContext::kRender) continue;
+    doc.in_js_context = false;
+    handle_exploit_attempt(doc, id, result);
+    if (process().crashed()) throw ReaderCrash{};
+  }
+}
+
+void ReaderSim::handle_exploit_attempt(OpenDoc& doc, const std::string& cve,
+                                       OpenResult& result) {
+  result.attempted_cves.push_back(cve);
+  if (doc.exploited) return;  // one successful hijack per document
+
+  const VulnSpec* vuln = find_vulnerability(cve);
+  if (!vuln || !version_affected(*vuln, major_version())) {
+    // Patched / not present in this reader version: the call is harmless
+    // (the paper's 58 "did nothing" samples).
+    return;
+  }
+
+  // Control-flow hijack: needs enough sprayed heap to land on a NOP sled.
+  const std::uint64_t sprayed = doc.api->js_allocated_reported();
+  if (sprayed < vuln->required_spray_bytes) {
+    process().crash();  // jump into unmapped / unlucky memory
+    return;
+  }
+
+  // Find shellcode in the sprayed payloads.
+  const sys::Process& proc = process();
+  for (auto it = proc.sprayed_payloads().rbegin();
+       it != proc.sprayed_payloads().rend(); ++it) {
+    if (auto program = extract_shellcode(*it)) {
+      doc.exploited = true;
+      result.fired_cves.push_back(cve);
+      execute_shellcode(kernel_, pid_, *program);
+      return;
+    }
+  }
+  // Sled without working shellcode: crash.
+  process().crash();
+}
+
+OpenResult ReaderSim::open_document_partial(support::BytesView file,
+                                            const std::string& name,
+                                            StreamState& state,
+                                            bool final_chunk) {
+  // Release the previous partial view of the same document first.
+  close_document(name);
+  stream_state_ = &state;
+  render_enabled_ = final_chunk;
+  OpenResult result;
+  try {
+    result = open_document(file, name);
+  } catch (...) {
+    stream_state_ = nullptr;
+    render_enabled_ = true;
+    throw;
+  }
+  stream_state_ = nullptr;
+  render_enabled_ = true;
+  return result;
+}
+
+void ReaderSim::close_document(const std::string& name) {
+  auto it = docs_.find(name);
+  if (it == docs_.end()) return;
+  process().free(it->second->render_memory);
+  render_cache_bytes_ -= std::min(render_cache_bytes_, it->second->render_memory);
+  docs_.erase(it);
+}
+
+void ReaderSim::close_all() {
+  std::vector<std::string> names;
+  for (const auto& [name, doc] : docs_) names.push_back(name);
+  for (const auto& name : names) close_document(name);
+}
+
+void ReaderSim::maybe_compact_cache() {
+  if (config_.cache_optimization_threshold == 0 || cache_compacted_) return;
+  if (render_cache_bytes_ <= config_.cache_optimization_threshold) return;
+  // One-time cache compaction (the Fig. 8 "drop at the 15th copy" effect):
+  // cached render data for every open document is shrunk to 30%.
+  cache_compacted_ = true;
+  std::uint64_t freed = 0;
+  for (auto& [name, doc] : docs_) {
+    const std::uint64_t drop = doc->render_memory * 7 / 10;
+    doc->render_memory -= drop;
+    freed += drop;
+  }
+  process().free(freed);
+  render_cache_bytes_ -= std::min(render_cache_bytes_, freed);
+}
+
+}  // namespace pdfshield::reader

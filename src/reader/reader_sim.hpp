@@ -1,0 +1,143 @@
+// Single-threaded PDF reader simulator (the Adobe Reader 8/9 stand-in).
+//
+// Behavioural contract with the rest of the system:
+//  * parses documents tolerantly (malformed regions are skipped);
+//  * charges per-document render memory to its process, with the cache
+//    optimisation quirk observed in the paper's Fig. 8;
+//  * walks trigger actions (/OpenAction, /AA, /Names Javascript tree) and
+//    executes their Javascript — including /Next chains — one document at a
+//    time (PDF readers are single-threaded, §III-D);
+//  * surfaces the Acrobat API via jsapi; dynamically added and delayed
+//    scripts are queued and run after the main scripts;
+//  * models exploitation: a vulnerability fires only if this reader
+//    version is affected; a control-flow hijack succeeds only if the
+//    document's Javascript sprayed enough heap AND a sprayed payload
+//    carries shellcode — otherwise the process crashes;
+//  * render-context exploits (Flash/CoolType/U3D/TIFF/JBIG2) fire after
+//    Javascript has exited (out-of-JS-context behaviour).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "js/interp.hpp"
+#include "jsapi/acrobat_api.hpp"
+#include "pdf/document.hpp"
+#include "sys/kernel.hpp"
+
+namespace pdfshield::reader {
+
+struct ReaderConfig {
+  std::string version = "9.0";
+  /// Baseline process working set (reported bytes).
+  std::uint64_t base_memory = 30ull * 1024 * 1024;
+  /// Per-document render memory: fixed + factor * file size.
+  std::uint64_t per_doc_fixed_memory = 5ull * 1024 * 1024;
+  double per_doc_memory_factor = 2.0;
+  /// Fig. 8 quirk: when total render cache exceeds this, the reader
+  /// compacts cached document memory once (0 disables).
+  std::uint64_t cache_optimization_threshold = 0;
+  /// JS allocation scale (physical byte -> reported bytes), see DESIGN.md.
+  std::uint64_t memory_scale = 64;
+  /// Step budget per script (runaway protection).
+  std::uint64_t js_step_limit = 20'000'000;
+  /// Seed for the per-document JS engines (Math.random determinism).
+  std::uint64_t js_seed = 0x5EED;
+};
+
+/// Outcome of opening one document.
+struct OpenResult {
+  std::string name;
+  bool parsed = false;
+  bool js_ran = false;                      ///< at least one script executed
+  bool crashed = false;                     ///< reader crashed on this doc
+  std::vector<std::string> fired_cves;      ///< exploits that actually fired
+  std::vector<std::string> attempted_cves;  ///< attempts incl. version misses
+  std::uint64_t js_reported_bytes = 0;      ///< JS memory charged by this doc
+  std::size_t scripts_executed = 0;
+};
+
+class ReaderSim {
+ public:
+  ReaderSim(sys::Kernel& kernel, ReaderConfig config = {});
+  /// Attaches to an existing process instead of spawning AcroRd32.exe —
+  /// used by the in-browser viewer, whose plugin runs inside the browser
+  /// process.
+  ReaderSim(sys::Kernel& kernel, ReaderConfig config, int existing_pid);
+  ~ReaderSim();
+
+  int pid() const { return pid_; }
+  sys::Process& process();
+  int major_version() const;
+
+  /// Parses and "opens" a document: charges render memory, runs triggered
+  /// Javascript, then renders (out-of-JS exploit window). Never throws on
+  /// malicious/malformed content; inspect the result instead.
+  OpenResult open_document(support::BytesView file, const std::string& name);
+
+  /// Progressive-rendering support (in-browser viewers, §VI): opens a
+  /// *prefix* of a still-downloading document. Scripts already executed in
+  /// an earlier chunk (tracked in `state` by content hash) are not re-run;
+  /// the render phase (embedded Flash/font content) only happens on the
+  /// final chunk, when that content has fully arrived.
+  struct StreamState {
+    std::set<std::uint64_t> executed_script_hashes;
+  };
+  OpenResult open_document_partial(support::BytesView file,
+                                   const std::string& name, StreamState& state,
+                                   bool final_chunk);
+
+  /// Closes one document (releases its render memory).
+  void close_document(const std::string& name);
+  void close_all();
+
+  std::size_t open_count() const { return docs_.size(); }
+
+  /// Registers the runtime detector's SOAP endpoint: requests to a cURL
+  /// starting with `url_prefix` are served by `handler` instead of the
+  /// network. (The paper's tiny SOAP server.)
+  using SoapHandler = std::function<js::Value(const js::Value& payload)>;
+  void set_soap_endpoint(std::string url_prefix, SoapHandler handler);
+
+  /// Invoked when the reader process crashes (the detector's hook channel
+  /// observes the disconnect and finalizes in-flight JS-context state).
+  std::function<void()> on_crash;
+
+  const ReaderConfig& config() const { return config_; }
+
+ private:
+  struct OpenDoc;
+  class DocHost;
+
+  void run_action_chain(OpenDoc& doc, const pdf::Object& action_obj,
+                        OpenResult& result);
+  void run_script(OpenDoc& doc, const std::string& source, OpenResult& result);
+  void drain_pending_scripts(OpenDoc& doc, OpenResult& result);
+  void render_phase(OpenDoc& doc, OpenResult& result);
+  void handle_exploit_attempt(OpenDoc& doc, const std::string& cve,
+                              OpenResult& result);
+  void maybe_compact_cache();
+
+  sys::Kernel& kernel_;
+  ReaderConfig config_;
+  int pid_;
+  std::map<std::string, std::unique_ptr<OpenDoc>> docs_;
+  /// Embedded PDFs queued for opening (exportDataObject nLaunch>=2).
+  std::vector<std::pair<std::string, support::Bytes>> pending_embedded_;
+  int embed_depth_ = 0;
+  /// Streaming-open state for the current open_document call (null when
+  /// the document arrived complete).
+  StreamState* stream_state_ = nullptr;
+  bool render_enabled_ = true;
+  std::string soap_prefix_;
+  SoapHandler soap_handler_;
+  std::uint64_t render_cache_bytes_ = 0;
+  bool cache_compacted_ = false;
+  std::uint64_t next_js_seed_;
+};
+
+}  // namespace pdfshield::reader

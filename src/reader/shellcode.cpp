@@ -1,0 +1,113 @@
+#include "reader/shellcode.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace pdfshield::reader {
+
+namespace {
+constexpr const char* kMarker = "SC{";
+}
+
+std::string encode_shellcode(const ShellcodeProgram& program) {
+  std::string out = kMarker;
+  for (std::size_t i = 0; i < program.ops.size(); ++i) {
+    if (i) out.push_back(';');
+    out += program.ops[i].op;
+    if (!program.ops[i].args.empty()) {
+      out.push_back(':');
+      for (std::size_t a = 0; a < program.ops[i].args.size(); ++a) {
+        if (a) out.push_back('>');
+        out += program.ops[i].args[a];
+      }
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::optional<ShellcodeProgram> extract_shellcode(const std::string& memory) {
+  const std::size_t start = memory.find(kMarker);
+  if (start == std::string::npos) return std::nullopt;
+  const std::size_t body_start = start + 3;
+  const std::size_t end = memory.find('}', body_start);
+  if (end == std::string::npos) return std::nullopt;
+
+  ShellcodeProgram program;
+  for (const std::string& chunk :
+       support::split(memory.substr(body_start, end - body_start), ';')) {
+    if (chunk.empty()) continue;
+    ShellcodeOp op;
+    const std::size_t colon = chunk.find(':');
+    if (colon == std::string::npos) {
+      op.op = chunk;
+    } else {
+      op.op = chunk.substr(0, colon);
+      const std::string rest = chunk.substr(colon + 1);
+      for (auto& part : support::split(rest, '>')) op.args.push_back(part);
+    }
+    program.ops.push_back(std::move(op));
+  }
+  if (program.ops.empty()) return std::nullopt;
+  return program;
+}
+
+std::size_t execute_shellcode(sys::Kernel& kernel, int pid,
+                              const ShellcodeProgram& program) {
+  std::size_t calls = 0;
+  auto arg = [](const ShellcodeOp& op, std::size_t i) -> std::string {
+    return i < op.args.size() ? op.args[i] : std::string();
+  };
+
+  for (const ShellcodeOp& raw_op : program.ops) {
+    ShellcodeOp op = raw_op;
+    // '!' prefix: resolve the routine directly, bypassing the import table
+    // (and thus any IAT hooks) — only kernel-mode hooks still fire.
+    sys::Kernel::CallPath path = sys::Kernel::CallPath::kImportTable;
+    if (!op.op.empty() && op.op[0] == '!') {
+      path = sys::Kernel::CallPath::kDirect;
+      op.op.erase(0, 1);
+    }
+    auto call = [&](const std::string& api, std::vector<std::string> args) {
+      kernel.call_api(pid, api, std::move(args), path);
+      ++calls;
+    };
+
+    if (op.op == "DROP") {
+      call("URLDownloadToFile", {arg(op, 0), arg(op, 1)});
+    } else if (op.op == "WRITE") {
+      call("NtCreateFile", {arg(op, 0), arg(op, 1)});
+    } else if (op.op == "EXEC") {
+      call("NtCreateProcess", {arg(op, 0)});
+    } else if (op.op == "INJECT") {
+      std::string target = arg(op, 0);
+      if (target == "*") {
+        // Pick any other live process (explorer.exe style target).
+        for (const auto& [other_pid, proc] : kernel.processes()) {
+          if (other_pid != pid && !proc->terminated()) {
+            target = std::to_string(other_pid);
+            break;
+          }
+        }
+      }
+      call("CreateRemoteThread", {target, arg(op, 1)});
+    } else if (op.op == "HUNT") {
+      static const char* kHuntApis[] = {"NtAccessCheckAndAuditAlarm",
+                                        "IsBadReadPtr", "NtDisplayString",
+                                        "NtAddAtom"};
+      const int n = std::max(1, std::atoi(arg(op, 0).c_str()));
+      for (int i = 0; i < n; ++i) {
+        call(kHuntApis[i % 4], {"probe-" + std::to_string(i)});
+      }
+    } else if (op.op == "CONNECT") {
+      call("connect", {arg(op, 0), arg(op, 1)});
+    } else if (op.op == "LISTEN") {
+      call("listen", {arg(op, 0)});
+    }
+    // Unknown ops are ignored (forward compatibility of the wire format).
+  }
+  return calls;
+}
+
+}  // namespace pdfshield::reader

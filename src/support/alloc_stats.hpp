@@ -1,0 +1,54 @@
+// Lightweight allocation accounting for the Table XI reproduction. The
+// paper reports "# of Python objects" created while its Python front-end
+// processes a document; our analogue counts pdfshield objects (PDF objects,
+// tokens, buffers) registered by the modules that create them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pdfshield::support {
+
+/// Global (thread-unsafe by design: the front-end is single-threaded, like
+/// the paper's) object/byte counters.
+class AllocStats {
+ public:
+  static void note_object(std::size_t bytes = 0) {
+    ++objects_;
+    bytes_ += bytes;
+    live_ += bytes;
+    if (live_ > peak_) peak_ = live_;
+  }
+
+  static void note_release(std::size_t bytes) {
+    live_ = (bytes <= live_) ? live_ - bytes : 0;
+  }
+
+  static std::uint64_t objects() { return objects_; }
+  static std::uint64_t total_bytes() { return bytes_; }
+  static std::uint64_t peak_live_bytes() { return peak_; }
+
+  static void reset() { objects_ = bytes_ = live_ = peak_ = 0; }
+
+ private:
+  static inline std::uint64_t objects_ = 0;
+  static inline std::uint64_t bytes_ = 0;
+  static inline std::uint64_t live_ = 0;
+  static inline std::uint64_t peak_ = 0;
+};
+
+/// RAII scope that snapshots the counters, for measuring one pipeline run.
+class AllocScope {
+ public:
+  AllocScope()
+      : objects0_(AllocStats::objects()), bytes0_(AllocStats::total_bytes()) {}
+
+  std::uint64_t objects() const { return AllocStats::objects() - objects0_; }
+  std::uint64_t bytes() const { return AllocStats::total_bytes() - bytes0_; }
+
+ private:
+  std::uint64_t objects0_;
+  std::uint64_t bytes0_;
+};
+
+}  // namespace pdfshield::support

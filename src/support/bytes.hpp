@@ -1,0 +1,45 @@
+// Basic byte-buffer vocabulary types shared across all pdfshield modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdfshield::support {
+
+/// Owning byte buffer. PDF content is binary-safe, so all document data
+/// travels as Bytes rather than std::string.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over immutable bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copies a string's characters into a byte buffer (no encoding applied).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte buffer as Latin-1 text (each byte one char).
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Appends `tail` to `dst`.
+inline void append(Bytes& dst, BytesView tail) {
+  dst.insert(dst.end(), tail.begin(), tail.end());
+}
+
+/// Appends the characters of `tail` to `dst`.
+inline void append(Bytes& dst, std::string_view tail) {
+  dst.insert(dst.end(), tail.begin(), tail.end());
+}
+
+/// String-view over a byte buffer without copying.
+inline std::string_view as_view(BytesView b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace pdfshield::support

@@ -1,0 +1,65 @@
+#include "support/checksum.hpp"
+
+#include <array>
+
+namespace pdfshield::support {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = build_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t adler32(BytesView data, std::uint32_t seed) {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = seed & 0xffff;
+  std::uint32_t b = (seed >> 16) & 0xffff;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // Process in blocks of 5552 (largest n with no 32-bit overflow).
+    std::size_t block = std::min<std::size_t>(5552, data.size() - i);
+    for (std::size_t j = 0; j < block; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    i += block;
+  }
+  return (b << 16) | a;
+}
+
+std::uint64_t fnv1a64(BytesView data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace pdfshield::support

@@ -1,0 +1,23 @@
+// Checksums used by the Flate/zlib container (Adler-32), corpus dedup
+// (CRC-32) and hashing of feature names (FNV-1a).
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::support {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), as used by gzip/png.
+std::uint32_t crc32(BytesView data, std::uint32_t seed = 0);
+
+/// Adler-32 as required by the zlib container (RFC 1950).
+std::uint32_t adler32(BytesView data, std::uint32_t seed = 1);
+
+/// 64-bit FNV-1a over arbitrary bytes.
+std::uint64_t fnv1a64(BytesView data);
+
+/// 64-bit FNV-1a over a string.
+std::uint64_t fnv1a64(std::string_view text);
+
+}  // namespace pdfshield::support

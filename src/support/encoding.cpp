@@ -1,0 +1,116 @@
+#include "support/encoding.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace pdfshield::support {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kB64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> build_b64_rev() {
+  std::array<int, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) rev[static_cast<unsigned char>(kB64[i])] = i;
+  return rev;
+}
+
+}  // namespace
+
+std::string hex_encode(BytesView data) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view text) {
+  Bytes out;
+  out.reserve(text.size() / 2);
+  int hi = -1;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int d = hex_digit(c);
+    if (d < 0) throw DecodeError(std::string("invalid hex character '") + c + "'");
+    if (hi < 0) {
+      hi = d;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | d));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) throw DecodeError("odd number of hex digits");
+  return out;
+}
+
+std::string base64_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t v = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.push_back(kB64[(v >> 6) & 63]);
+    out.push_back(kB64[v & 63]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t v = data[i] << 16;
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    std::uint32_t v = (data[i] << 16) | (data[i + 1] << 8);
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.push_back(kB64[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view text) {
+  static const std::array<int, 256> kRev = build_b64_rev();
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  int pad = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) throw DecodeError("base64 data after padding");
+    int v = kRev[static_cast<unsigned char>(c)];
+    if (v < 0) throw DecodeError(std::string("invalid base64 character '") + c + "'");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  if (pad > 2) throw DecodeError("too much base64 padding");
+  return out;
+}
+
+}  // namespace pdfshield::support

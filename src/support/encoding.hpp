@@ -1,0 +1,26 @@
+// Hex and base64 codecs. Used by the instrumenter (script encryption
+// payloads), the PDF ASCIIHex filter, and report output.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::support {
+
+/// Lowercase hex encoding of `data` (two chars per byte).
+std::string hex_encode(BytesView data);
+
+/// Decodes a hex string; whitespace is ignored. Throws DecodeError on a
+/// non-hex character or odd digit count.
+Bytes hex_decode(std::string_view text);
+
+/// Standard base64 (RFC 4648) with '=' padding.
+std::string base64_encode(BytesView data);
+
+/// Decodes base64; whitespace is ignored. Throws DecodeError on invalid
+/// characters or bad padding.
+Bytes base64_decode(std::string_view text);
+
+}  // namespace pdfshield::support

@@ -1,0 +1,48 @@
+// Exception hierarchy for pdfshield. Library code throws these; tools and
+// the reader simulator catch at their API boundary (a malformed document
+// must never take the host process down).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pdfshield::support {
+
+/// Root of all pdfshield errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing malformed input (PDF syntax, filters, Javascript).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised when decoding a filter/stream fails (corrupt Flate data, bad hex).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode error: " + what) {}
+};
+
+/// Raised when an operation is used contrary to its contract.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error("logic error: " + what) {}
+};
+
+/// Raised by the simulated OS for invalid handles, denied operations, etc.
+class SysError : public Error {
+ public:
+  explicit SysError(const std::string& what) : Error("sys error: " + what) {}
+};
+
+/// Raised by the Javascript engine for uncatchable host-level faults
+/// (script exceptions use js::JsException instead).
+class JsError : public Error {
+ public:
+  explicit JsError(const std::string& what) : Error("js error: " + what) {}
+};
+
+}  // namespace pdfshield::support

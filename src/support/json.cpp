@@ -1,0 +1,125 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace pdfshield::support {
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) throw LogicError("Json: not an object");
+  for (auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  fields_.emplace_back(key, Json());
+  return fields_.back().second;
+}
+
+void Json::push_back(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) throw LogicError("Json: not an array");
+  items_.push_back(std::move(value));
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? std::string(
+                                           static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                                     : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
+        out += std::to_string(static_cast<long long>(number_));
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", number_);
+        out += buf;
+      }
+      return;
+    }
+    case Kind::kString:
+      escape_into(out, string_);
+      return;
+    case Kind::kObject: {
+      if (fields_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{";
+      out += nl;
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        out += pad;
+        escape_into(out, fields_[i].first);
+        out += indent > 0 ? ": " : ":";
+        fields_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < fields_.size()) out += ",";
+        out += nl;
+      }
+      out += close_pad;
+      out += "}";
+      return;
+    }
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[";
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ",";
+        out += nl;
+      }
+      out += close_pad;
+      out += "]";
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace pdfshield::support

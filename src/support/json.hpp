@@ -1,0 +1,63 @@
+// Minimal JSON document builder + serializer (output only). Used for the
+// detector's user-facing alert reports; no parsing needed in this project.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdfshield::support {
+
+/// A JSON value with value semantics.
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double d) : kind_(Kind::kNumber), number_(d) {}
+  Json(int i) : kind_(Kind::kNumber), number_(i) {}
+  Json(std::int64_t i) : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  /// Makes an (empty) object / array.
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Object field access (creates fields; converts null to object).
+  Json& operator[](const std::string& key);
+
+  /// Array append (converts null to array).
+  void push_back(Json value);
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Serializes; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> fields_;  // insertion order
+  std::vector<Json> items_;
+};
+
+}  // namespace pdfshield::support

@@ -1,0 +1,21 @@
+// MD5 (RFC 1321), required by the PDF standard security handler's key
+// derivation (PDF Reference §3.5.2 Algorithm 3.2). Not for new designs —
+// it exists here because the file format demands it.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::support {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// MD5 of a byte buffer.
+Md5Digest md5(BytesView data);
+
+/// Convenience: lowercase-hex digest of a string.
+std::string md5_hex(std::string_view text);
+
+}  // namespace pdfshield::support

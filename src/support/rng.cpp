@@ -1,0 +1,99 @@
+#include "support/rng.hpp"
+
+namespace pdfshield::support {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the single seed through splitmix64 per the xoshiro authors'
+  // recommendation; guarantees a non-zero state.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw LogicError("Rng::uniform: lo > hi");
+  const std::uint64_t span = hi - lo + 1;  // span==0 means the full 2^64 range
+  if (span == 0) return next_u64();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = span * (UINT64_MAX / span);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return lo + x % span;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t x = next_u64();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(x >> (8 * b));
+  }
+  if (i < n) {
+    std::uint64_t x = next_u64();
+    while (i < n) {
+      out[i++] = static_cast<std::uint8_t>(x);
+      x >>= 8;
+    }
+  }
+  return out;
+}
+
+std::string Rng::hex_string(std::size_t n) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(kHex[below(16)]);
+  return out;
+}
+
+std::string Rng::identifier(std::size_t n) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  static const char kAlnum[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+  if (n == 0) return {};
+  std::string out;
+  out.reserve(n);
+  out.push_back(kAlpha[below(sizeof(kAlpha) - 1)]);
+  for (std::size_t i = 1; i < n; ++i) out.push_back(kAlnum[below(sizeof(kAlnum) - 1)]);
+  return out;
+}
+
+Rng Rng::fork() {
+  return Rng(next_u64());
+}
+
+}  // namespace pdfshield::support

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random source (xoshiro256**). All randomness in the
+// library flows through an explicitly seeded Rng so every corpus, key and
+// experiment is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::support {
+
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) { return uniform(0, n - 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Random lowercase-hex string of `n` characters (e.g. for keys).
+  std::string hex_string(std::size_t n);
+
+  /// Random identifier: a letter followed by `n-1` alphanumerics.
+  std::string identifier(std::size_t n);
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw LogicError("Rng::pick on empty vector");
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel experiment arms).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pdfshield::support

@@ -1,0 +1,49 @@
+// Descriptive statistics used by the evaluation harness (CDFs for Fig 6,
+// means for Fig 7, marginals for Table VI).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pdfshield::support {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (0..100) by linear interpolation over a copy
+/// of `values`. Throws LogicError if `values` is empty.
+double percentile(std::vector<double> values, double p);
+
+/// One point on an empirical CDF.
+struct CdfPoint {
+  double x;        ///< Value.
+  double fraction; ///< P(X <= x).
+};
+
+/// Empirical CDF evaluated at every distinct sample value (sorted).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
+
+/// Fraction of `values` that are <= x (0 if empty).
+double cdf_at(const std::vector<double>& values, double x);
+
+}  // namespace pdfshield::support

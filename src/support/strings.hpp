@@ -1,0 +1,33 @@
+// Small string utilities shared across parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdfshield::support {
+
+/// Splits on a single-character delimiter; adjacent delimiters yield empty
+/// fields. An empty input yields one empty field.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Joins parts with `sep` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` contains `needle`.
+bool contains(std::string_view text, std::string_view needle);
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string format_double(double value, int digits = 4);
+
+}  // namespace pdfshield::support

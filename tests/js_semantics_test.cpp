@@ -1,0 +1,214 @@
+// Deep semantic sweep for the Javascript engine: each case is a small
+// program whose global `result` must equal the expected number or string.
+// Covers the idioms real-world (malicious and benign) Acrobat scripts
+// lean on: closures, coercions, member compound-ops, control flow,
+// builders for shellcode strings.
+#include <gtest/gtest.h>
+
+#include "js/interp.hpp"
+#include "support/error.hpp"
+
+namespace js = pdfshield::js;
+namespace sp = pdfshield::support;
+
+namespace {
+
+js::Value run(const std::string& src) {
+  js::Interpreter in;
+  in.run_source(src);
+  js::Value* v = in.globals()->lookup("result");
+  return v ? *v : js::Value();
+}
+
+}  // namespace
+
+struct NumCase {
+  const char* src;
+  double expect;
+};
+
+class JsNumSweep : public ::testing::TestWithParam<NumCase> {};
+
+TEST_P(JsNumSweep, NumericResult) {
+  const auto& p = GetParam();
+  const js::Value v = run(p.src);
+  ASSERT_TRUE(v.is_number()) << p.src;
+  EXPECT_DOUBLE_EQ(v.as_number(), p.expect) << p.src;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ControlFlow, JsNumSweep,
+    ::testing::Values(
+        NumCase{"var result = 0; for (var i = 0; i < 5; i++) { if (i == 2)"
+                " continue; result += i; }",
+                8},
+        NumCase{"var result = 0; var i = 0; while (true) { if (++i > 4)"
+                " break; result += i; }",
+                10},
+        NumCase{"var result = 0; do { result++; } while (false);", 1},
+        NumCase{"var result = 0; outer_done = false; for (var a = 0; a < 3;"
+                " a++) { for (var b = 0; b < 3; b++) { if (b == 1) break;"
+                " result++; } }",
+                3},
+        NumCase{"var result; switch ('b') { case 'a': result = 1; break;"
+                " case 'b': result = 2; break; default: result = 3; }",
+                2},
+        NumCase{"var result = 0; try { result = 1; throw 5; } catch (e) {"
+                " result += e; } finally { result *= 2; }",
+                12},
+        NumCase{"function f() { try { return 1; } finally { side = 9; } }"
+                " var result = f() + side;",
+                10}));
+
+INSTANTIATE_TEST_SUITE_P(
+    FunctionsAndClosures, JsNumSweep,
+    ::testing::Values(
+        NumCase{"function make(n) { return function(x) { return x + n; }; }"
+                " var add3 = make(3); var add7 = make(7);"
+                " var result = add3(10) + add7(10);",
+                30},
+        NumCase{"var fns = []; for (var i = 0; i < 3; i++) {"
+                " fns.push((function(k) { return function() { return k; };"
+                " })(i)); } var result = fns[0]() + fns[1]() + fns[2]();",
+                3},
+        NumCase{"function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); }"
+                " var result = fact(6);",
+                720},
+        NumCase{"var obj = { n: 5, double: function() { this.n *= 2;"
+                " return this.n; } }; obj.double(); var result = obj.double();",
+                20},
+        NumCase{"function f() { return arguments[0] + arguments[2]; }"
+                " var result = f(1, 99, 2);",
+                3},
+        NumCase{"var result = (function() { var t = 0; for (var i in"
+                " {a:1, b:1, c:1}) t++; return t; })();",
+                3}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CoercionsAndOperators, JsNumSweep,
+    ::testing::Values(
+        NumCase{"var result = +'3.5' + +true + +null;", 4.5},
+        NumCase{"var result = '10' - 3;", 7},
+        NumCase{"var result = '0x20' * 1;", 32},
+        NumCase{"var result = (1 < 2) + (3 > 4);", 1},
+        NumCase{"var result = 0xFF & ~0x0F;", 0xF0},
+        NumCase{"var result = ((1 << 4) | 3) ^ 2;", 17},
+        NumCase{"var result = -9 % 5;", -4},
+        NumCase{"var result = 7 / 2 | 0;", 3},
+        NumCase{"var x = 5; var result = (x += 2, x *= 3, x);", 21},
+        NumCase{"var a = {v: 1}; a.v += 9; a['v'] *= 2; var result = a.v;", 20},
+        NumCase{"var arr = [10]; arr[0]--; var result = arr[0];", 9},
+        NumCase{"var result = [] + 1 === '1' ? 42 : 0;", 42},
+        NumCase{"var result = ('5' == 5 && '5' !== 5) ? 1 : 0;", 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    StringsAndArrays, JsNumSweep,
+    ::testing::Values(
+        NumCase{"var s = ''; for (var i = 0; i < 4; i++) s +="
+                " String.fromCharCode(65 + i); var result = s.charCodeAt(3);",
+                68},
+        NumCase{"var result = 'abcdef'.indexOf('cd') + 'abcdef'"
+                ".lastIndexOf('f');",
+                7},
+        NumCase{"var result = unescape('%u4141').length +"
+                " unescape('%41').length;",
+                3},
+        NumCase{"var parts = 'a-b-c-d'.split('-'); var result = parts.length"
+                " * parts[2].charCodeAt(0);",
+                396},
+        NumCase{"var a = [5, 3, 1]; a.sort(); var result = Number(a[0]) * 100"
+                " + Number(a[2]);",
+                105},
+        NumCase{"var a = [1, 2]; var b = a.concat([3, 4], 5); var result ="
+                " b.length + b[4];",
+                10},
+        NumCase{"var a = []; a[9] = 1; var result = a.length;", 10},
+        NumCase{"var sled = unescape('%u9090'); while (sled.length < 256)"
+                " sled += sled; var result = sled.length;",
+                256},
+        NumCase{"var cc = [104, 105]; var s = ''; for (var i = 0; i <"
+                " cc.length; i++) s += String.fromCharCode(cc[i]);"
+                " var result = s == 'hi' ? 1 : 0;",
+                1},
+        NumCase{"var result = 'AbC'.toLowerCase().charCodeAt(0);", 97}));
+
+struct StrCase {
+  const char* src;
+  const char* expect;
+};
+
+class JsStrSweep : public ::testing::TestWithParam<StrCase> {};
+
+TEST_P(JsStrSweep, StringResult) {
+  const auto& p = GetParam();
+  const js::Value v = run(p.src);
+  ASSERT_TRUE(v.is_string()) << p.src;
+  EXPECT_EQ(v.as_string(), p.expect) << p.src;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, JsStrSweep,
+    ::testing::Values(
+        StrCase{"var result = typeof (void 0);", "undefined"},
+        StrCase{"var result = [1, [2, 3]].toString();", "1,2,3"},
+        StrCase{"var result = ('' + 1.5).replace('.', '_');", "1_5"},
+        StrCase{"var result = 'x' + null + undefined;", "xnullundefined"},
+        StrCase{"var result = ['b','a'].sort().join('');", "ab"},
+        StrCase{"var result = 'hello world'.substring(6).toUpperCase();",
+                "WORLD"},
+        StrCase{"var o = {}; o['k' + 1] = 'v'; var result = o.k1;", "v"},
+        StrCase{"var result = eval(\"'ev' + 'al'\");", "eval"},
+        StrCase{"function F() { this.tag = 'built'; } var result ="
+                " new F().tag;",
+                "built"},
+        StrCase{"var result = escape('a b');", "a%20b"}));
+
+// Error-path semantics.
+TEST(JsSemantics, ThrownObjectsCarryProperties) {
+  js::Interpreter in;
+  in.run_source(
+      "var result; try { throw {code: 7, msg: 'bad'}; }"
+      " catch (e) { result = e.msg + e.code; }");
+  EXPECT_EQ(in.globals()->lookup("result")->as_string(), "bad7");
+}
+
+TEST(JsSemantics, CatchScopeDoesNotLeak) {
+  js::Interpreter in;
+  in.run_source("try { throw 1; } catch (err) {} var result = typeof err;");
+  EXPECT_EQ(in.globals()->lookup("result")->as_string(), "undefined");
+}
+
+TEST(JsSemantics, VarHoistsOutOfBlocksButNotFunctions) {
+  js::Interpreter in;
+  in.run_source(
+      "if (true) { var hoisted = 1; }"
+      "function f() { var local = 2; }"
+      "f();"
+      "var result = '' + (typeof hoisted) + '/' + (typeof local);");
+  EXPECT_EQ(in.globals()->lookup("result")->as_string(), "number/undefined");
+}
+
+TEST(JsSemantics, DeleteRemovesProperties) {
+  js::Interpreter in;
+  in.run_source(
+      "var o = {a: 1, b: 2}; delete o.a;"
+      "var result = ('a' in o ? 10 : 0) + ('b' in o ? 1 : 0);");
+  EXPECT_DOUBLE_EQ(in.globals()->lookup("result")->as_number(), 1.0);
+}
+
+TEST(JsSemantics, NestedEvalSeesEnclosingLocals) {
+  js::Interpreter in;
+  in.run_source(
+      "function outer() { var secret = 21;"
+      " return eval('eval(\"secret * 2\")'); }"
+      "var result = outer();");
+  EXPECT_DOUBLE_EQ(in.globals()->lookup("result")->as_number(), 42.0);
+}
+
+TEST(JsSemantics, NaNPropagatesAndComparesFalse) {
+  js::Interpreter in;
+  in.run_source(
+      "var n = Number('not-a-number');"
+      "var result = (n == n ? 1 : 0) + (isNaN(n + 5) ? 10 : 0);");
+  EXPECT_DOUBLE_EQ(in.globals()->lookup("result")->as_number(), 10.0);
+}

@@ -1,0 +1,434 @@
+// Tests for the embedded Javascript engine: lexer, parser, interpreter
+// semantics, builtins, eval, allocation metering, step limits.
+#include <gtest/gtest.h>
+
+#include "js/interp.hpp"
+#include "js/lexer.hpp"
+#include "js/parser.hpp"
+#include "support/error.hpp"
+
+namespace js = pdfshield::js;
+namespace sp = pdfshield::support;
+
+namespace {
+
+// Runs a script and returns the value of global `result`.
+js::Value run_for_result(const std::string& src) {
+  js::Interpreter in;
+  in.run_source(src);
+  js::Value* v = in.globals()->lookup("result");
+  return v ? *v : js::Value();
+}
+
+double run_number(const std::string& src) {
+  const js::Value v = run_for_result(src);
+  EXPECT_TRUE(v.is_number()) << src;
+  return v.is_number() ? v.as_number() : 0;
+}
+
+std::string run_string(const std::string& src) {
+  const js::Value v = run_for_result(src);
+  EXPECT_TRUE(v.is_string()) << src;
+  return v.is_string() ? v.as_string() : "";
+}
+
+bool run_bool(const std::string& src) {
+  const js::Value v = run_for_result(src);
+  EXPECT_TRUE(v.is_bool()) << src;
+  return v.is_bool() && v.as_bool();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(JsLexer, NumbersDecimalHexFloatExponent) {
+  auto toks = js::tokenize_js("42 0x1F 3.5 1e3 .25");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 42);
+  EXPECT_DOUBLE_EQ(toks[1].number, 31);
+  EXPECT_DOUBLE_EQ(toks[2].number, 3.5);
+  EXPECT_DOUBLE_EQ(toks[3].number, 1000);
+  EXPECT_DOUBLE_EQ(toks[4].number, 0.25);
+}
+
+TEST(JsLexer, StringEscapes) {
+  auto toks = js::tokenize_js(R"('a\n\t\x41' "qB")");
+  EXPECT_EQ(toks[0].text, "a\n\tA");
+  EXPECT_EQ(toks[1].text, "qB");
+}
+
+TEST(JsLexer, UnicodeEscapeAbove255IsTwoBytesLE) {
+  auto toks = js::tokenize_js("'\\u9090'");
+  EXPECT_EQ(toks[0].text, std::string("\x90\x90"));
+}
+
+TEST(JsLexer, CommentsSkipped) {
+  auto toks = js::tokenize_js("1 // line\n /* block\nmore */ 2");
+  EXPECT_DOUBLE_EQ(toks[0].number, 1);
+  EXPECT_DOUBLE_EQ(toks[1].number, 2);
+  EXPECT_EQ(toks[2].kind, js::JsTokenKind::kEof);
+}
+
+TEST(JsLexer, MaximalMunchOperators) {
+  auto toks = js::tokenize_js("a===b !== c >>> 2 <<= 1");
+  EXPECT_EQ(toks[1].text, "===");
+  EXPECT_EQ(toks[3].text, "!==");
+  EXPECT_EQ(toks[5].text, ">>>");
+  EXPECT_EQ(toks[7].text, "<<=");
+}
+
+TEST(JsLexer, ThrowsOnUnterminatedString) {
+  EXPECT_THROW(js::tokenize_js("'abc"), sp::ParseError);
+  EXPECT_THROW(js::tokenize_js("\"abc\ndef\""), sp::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Core semantics
+// ---------------------------------------------------------------------------
+
+TEST(JsInterp, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(run_number("var result = 2 + 3 * 4;"), 14);
+  EXPECT_DOUBLE_EQ(run_number("var result = (2 + 3) * 4;"), 20);
+  EXPECT_DOUBLE_EQ(run_number("var result = 7 % 3;"), 1);
+  EXPECT_DOUBLE_EQ(run_number("var result = 10 / 4;"), 2.5);
+  EXPECT_DOUBLE_EQ(run_number("var result = -3 + +2;"), -1);
+}
+
+TEST(JsInterp, StringConcatenation) {
+  EXPECT_EQ(run_string("var result = 'a' + 'b' + 1;"), "ab1");
+  EXPECT_EQ(run_string("var result = 1 + 2 + 'x';"), "3x");
+}
+
+TEST(JsInterp, ComparisonAndEquality) {
+  EXPECT_TRUE(run_bool("var result = 1 < 2;"));
+  EXPECT_TRUE(run_bool("var result = 'abc' < 'abd';"));
+  EXPECT_TRUE(run_bool("var result = '5' == 5;"));
+  EXPECT_FALSE(run_bool("var result = '5' === 5;"));
+  EXPECT_TRUE(run_bool("var result = null == undefined;"));
+  EXPECT_FALSE(run_bool("var result = null === undefined;"));
+}
+
+TEST(JsInterp, BitwiseOps) {
+  EXPECT_DOUBLE_EQ(run_number("var result = 0xF0 & 0x3C;"), 0x30);
+  EXPECT_DOUBLE_EQ(run_number("var result = 1 << 8;"), 256);
+  EXPECT_DOUBLE_EQ(run_number("var result = -1 >>> 28;"), 15);
+  EXPECT_DOUBLE_EQ(run_number("var result = 5 ^ 3;"), 6);
+  EXPECT_DOUBLE_EQ(run_number("var result = ~0;"), -1);
+}
+
+TEST(JsInterp, VariablesAndScopes) {
+  EXPECT_DOUBLE_EQ(run_number("var x = 1; { var y = 2; x = x + y; } var result = x;"), 3);
+  // Implicit global from assignment.
+  EXPECT_DOUBLE_EQ(run_number("function f() { g = 9; } f(); var result = g;"), 9);
+}
+
+TEST(JsInterp, IfElseChains) {
+  EXPECT_DOUBLE_EQ(
+      run_number("var x = 5; var result; if (x > 10) result = 1; else if (x > 3)"
+                 " result = 2; else result = 3;"),
+      2);
+}
+
+TEST(JsInterp, WhileAndForLoops) {
+  EXPECT_DOUBLE_EQ(run_number("var s = 0; for (var i = 1; i <= 10; i++) s += i;"
+                              " var result = s;"),
+                   55);
+  EXPECT_DOUBLE_EQ(run_number("var s = 0; var i = 0; while (i < 5) { s += i; i++; }"
+                              " var result = s;"),
+                   10);
+  EXPECT_DOUBLE_EQ(run_number("var s = 0; var i = 0; do { s++; i++; } while (i < 3);"
+                              " var result = s;"),
+                   3);
+}
+
+TEST(JsInterp, BreakAndContinue) {
+  EXPECT_DOUBLE_EQ(
+      run_number("var s = 0; for (var i = 0; i < 10; i++) { if (i == 5) break;"
+                 " if (i % 2) continue; s += i; } var result = s;"),
+      6);  // 0+2+4
+}
+
+TEST(JsInterp, ForInIteratesKeys) {
+  EXPECT_EQ(run_string("var o = {a: 1, b: 2}; var keys = ''; for (var k in o)"
+                       " keys += k; var result = keys;"),
+            "ab");
+}
+
+TEST(JsInterp, FunctionsAndClosures) {
+  EXPECT_DOUBLE_EQ(run_number("function add(a, b) { return a + b; }"
+                              " var result = add(2, 3);"),
+                   5);
+  EXPECT_DOUBLE_EQ(
+      run_number("function counter() { var n = 0; return function() { n++;"
+                 " return n; }; } var c = counter(); c(); c();"
+                 " var result = c();"),
+      3);
+  EXPECT_DOUBLE_EQ(run_number("var f = function(x) { return x * 2; };"
+                              " var result = f(21);"),
+                   42);
+}
+
+TEST(JsInterp, RecursionWorks) {
+  EXPECT_DOUBLE_EQ(run_number("function fib(n) { return n < 2 ? n : fib(n-1) +"
+                              " fib(n-2); } var result = fib(12);"),
+                   144);
+}
+
+TEST(JsInterp, ArgumentsObject) {
+  EXPECT_DOUBLE_EQ(run_number("function f() { return arguments.length; }"
+                              " var result = f(1, 2, 3);"),
+                   3);
+}
+
+TEST(JsInterp, ObjectsAndMembers) {
+  EXPECT_DOUBLE_EQ(run_number("var o = {x: 1}; o.y = 2; o['z'] = 3;"
+                              " var result = o.x + o.y + o.z;"),
+                   6);
+  EXPECT_TRUE(run_bool("var o = {a: 1}; delete o.a; var result = !('a' in o);"));
+}
+
+TEST(JsInterp, ThisBindingInMethods) {
+  EXPECT_DOUBLE_EQ(run_number("var o = {v: 7, get: function() { return this.v; }};"
+                              " var result = o.get();"),
+                   7);
+}
+
+TEST(JsInterp, NewCreatesObjects) {
+  EXPECT_DOUBLE_EQ(run_number("function Point(x) { this.x = x; }"
+                              " var p = new Point(4); var result = p.x;"),
+                   4);
+}
+
+TEST(JsInterp, ArraysBasics) {
+  EXPECT_DOUBLE_EQ(run_number("var a = [1, 2, 3]; var result = a.length;"), 3);
+  EXPECT_DOUBLE_EQ(run_number("var a = []; a[5] = 1; var result = a.length;"), 6);
+  EXPECT_DOUBLE_EQ(run_number("var a = [1,2]; a.push(3, 4);"
+                              " var result = a.length + a[3];"),
+                   8);
+  EXPECT_EQ(run_string("var result = [1,2,3].join('-');"), "1-2-3");
+}
+
+TEST(JsInterp, TryCatchFinallyAndThrow) {
+  EXPECT_EQ(run_string("var result; try { throw 'boom'; } catch (e) { result ="
+                       " e; }"),
+            "boom");
+  EXPECT_DOUBLE_EQ(run_number("var n = 0; try { n = 1; } finally { n += 10; }"
+                              " var result = n;"),
+                   11);
+  EXPECT_DOUBLE_EQ(
+      run_number("var n = 0; try { try { throw 1; } finally { n += 5; } }"
+                 " catch (e) { n += e; } var result = n;"),
+      6);
+}
+
+TEST(JsInterp, UncaughtThrowSurfacesAsJsException) {
+  js::Interpreter in;
+  EXPECT_THROW(in.run_source("throw 'fatal';"), js::JsException);
+}
+
+TEST(JsInterp, SwitchMatchingAndFallthrough) {
+  EXPECT_DOUBLE_EQ(run_number("var n = 0; switch (2) { case 1: n += 1;"
+                              " case 2: n += 2; case 3: n += 3; break;"
+                              " default: n += 100; } var result = n;"),
+                   5);
+  EXPECT_DOUBLE_EQ(run_number("var n = 0; switch (9) { case 1: n = 1; break;"
+                              " default: n = 42; } var result = n;"),
+                   42);
+}
+
+TEST(JsInterp, TypeofAndUndeclared) {
+  EXPECT_EQ(run_string("var result = typeof 5;"), "number");
+  EXPECT_EQ(run_string("var result = typeof 'x';"), "string");
+  EXPECT_EQ(run_string("var result = typeof {};"), "object");
+  EXPECT_EQ(run_string("var result = typeof function(){};"), "function");
+  EXPECT_EQ(run_string("var result = typeof never_declared_anywhere;"), "undefined");
+}
+
+TEST(JsInterp, TernaryAndLogical) {
+  EXPECT_DOUBLE_EQ(run_number("var result = 1 ? 2 : 3;"), 2);
+  EXPECT_DOUBLE_EQ(run_number("var result = 0 || 7;"), 7);
+  EXPECT_DOUBLE_EQ(run_number("var result = 3 && 8;"), 8);
+  // Short-circuit: rhs must not run.
+  EXPECT_DOUBLE_EQ(run_number("var n = 0; function boom() { n = 99; return 1; }"
+                              " var x = 0 && boom(); var result = n;"),
+                   0);
+}
+
+TEST(JsInterp, CompoundAssignmentAndUpdate) {
+  EXPECT_DOUBLE_EQ(run_number("var x = 10; x += 5; x -= 3; x *= 2; var result = x;"), 24);
+  EXPECT_DOUBLE_EQ(run_number("var x = 5; var y = x++; var result = y * 10 + x;"), 56);
+  EXPECT_DOUBLE_EQ(run_number("var x = 5; var y = ++x; var result = y * 10 + x;"), 66);
+  EXPECT_DOUBLE_EQ(run_number("var a = [1]; a[0] += 4; var result = a[0];"), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Builtins
+// ---------------------------------------------------------------------------
+
+TEST(JsBuiltins, StringMethods) {
+  EXPECT_EQ(run_string("var result = 'hello'.toUpperCase();"), "HELLO");
+  EXPECT_DOUBLE_EQ(run_number("var result = 'hello'.length;"), 5);
+  EXPECT_EQ(run_string("var result = 'hello'.charAt(1);"), "e");
+  EXPECT_DOUBLE_EQ(run_number("var result = 'ABC'.charCodeAt(0);"), 65);
+  EXPECT_DOUBLE_EQ(run_number("var result = 'hello'.indexOf('ll');"), 2);
+  EXPECT_EQ(run_string("var result = 'hello'.substring(1, 3);"), "el");
+  EXPECT_EQ(run_string("var result = 'hello'.substr(1, 3);"), "ell");
+  EXPECT_EQ(run_string("var result = 'hello'.slice(-3);"), "llo");
+  EXPECT_EQ(run_string("var result = 'a,b,c'.split(',').join('+');"), "a+b+c");
+  EXPECT_EQ(run_string("var result = 'aXbXc'.replace('X', '-');"), "a-bXc");
+}
+
+TEST(JsBuiltins, StringFromCharCode) {
+  EXPECT_EQ(run_string("var result = String.fromCharCode(72, 105);"), "Hi");
+}
+
+TEST(JsBuiltins, UnescapePercentU) {
+  // The classic shellcode idiom: %u9090 -> two 0x90 bytes.
+  EXPECT_EQ(run_string("var result = unescape('%u9090');"),
+            std::string("\x90\x90"));
+  EXPECT_EQ(run_string("var result = unescape('%41%42');"), "AB");
+  EXPECT_EQ(run_string("var result = unescape('plain');"), "plain");
+}
+
+TEST(JsBuiltins, ParseIntAndFloat) {
+  EXPECT_DOUBLE_EQ(run_number("var result = parseInt('42');"), 42);
+  EXPECT_DOUBLE_EQ(run_number("var result = parseInt('0x1F');"), 31);
+  EXPECT_DOUBLE_EQ(run_number("var result = parseInt('101', 2);"), 5);
+  EXPECT_DOUBLE_EQ(run_number("var result = parseFloat('2.5rest');"), 2.5);
+  EXPECT_TRUE(run_bool("var result = isNaN(parseInt('zz'));"));
+}
+
+TEST(JsBuiltins, MathFunctions) {
+  EXPECT_DOUBLE_EQ(run_number("var result = Math.floor(3.9);"), 3);
+  EXPECT_DOUBLE_EQ(run_number("var result = Math.ceil(3.1);"), 4);
+  EXPECT_DOUBLE_EQ(run_number("var result = Math.pow(2, 10);"), 1024);
+  EXPECT_DOUBLE_EQ(run_number("var result = Math.min(3, 1, 2);"), 1);
+  EXPECT_DOUBLE_EQ(run_number("var result = Math.max(3, 1, 2);"), 3);
+  EXPECT_TRUE(run_bool("var r = Math.random(); var result = r >= 0 && r < 1;"));
+}
+
+TEST(JsBuiltins, EvalRunsInCallerScope) {
+  EXPECT_DOUBLE_EQ(run_number("var x = 10; var result = eval('x + 5');"), 15);
+  EXPECT_DOUBLE_EQ(run_number("eval('var q = 3;'); var result = q;"), 3);
+  // eval inside a function sees locals.
+  EXPECT_DOUBLE_EQ(run_number("function f() { var local = 7;"
+                              " return eval('local * 2'); }"
+                              " var result = f();"),
+                   14);
+}
+
+TEST(JsBuiltins, NestedEvalObfuscation) {
+  // Multi-layer eval like real obfuscated droppers use.
+  EXPECT_DOUBLE_EQ(
+      run_number("var code = 'var result = 6 * 7;'; eval('eval(code)');"), 42);
+}
+
+TEST(JsBuiltins, ArraySortAndReverse) {
+  EXPECT_EQ(run_string("var result = [3,1,2].sort().join('');"), "123");
+  EXPECT_EQ(run_string("var result = [1,2,3].reverse().join('');"), "321");
+}
+
+// ---------------------------------------------------------------------------
+// Engine instrumentation hooks
+// ---------------------------------------------------------------------------
+
+TEST(JsEngine, AllocationMeteringTracksSprayGrowth) {
+  js::Interpreter in;
+  std::uint64_t observed = 0;
+  in.on_alloc = [&](std::size_t n) { observed += n; };
+  // Doubling spray to 1 MiB.
+  in.run_source("var s = unescape('%u9090%u9090');"
+                "while (s.length < 1048576) s += s;");
+  EXPECT_GE(observed, 1u << 20);
+  EXPECT_GE(in.allocated_bytes(), 1u << 20);
+}
+
+TEST(JsEngine, LargeStringHookFires) {
+  js::Interpreter in;
+  std::size_t largest = 0;
+  in.large_string_threshold = 64 * 1024;
+  in.on_large_string = [&](const std::string& s) {
+    largest = std::max(largest, s.size());
+  };
+  in.run_source("var s = 'A'; while (s.length < 200000) s += s;");
+  EXPECT_GE(largest, 200000u / 2);
+}
+
+TEST(JsEngine, BenignScriptAllocatesLittle) {
+  js::Interpreter in;
+  in.run_source("var total = 0; for (var i = 0; i < 100; i++) total += i;"
+                "var msg = 'total is ' + total;");
+  EXPECT_LT(in.allocated_bytes(), 16u * 1024);
+}
+
+TEST(JsEngine, StepLimitStopsRunawayScripts) {
+  js::Interpreter in;
+  in.set_step_limit(10000);
+  EXPECT_THROW(in.run_source("while (true) {}"), sp::JsError);
+}
+
+TEST(JsEngine, MathRandomIsDeterministicPerSeed) {
+  js::Interpreter a, b;
+  a.run_source("var r = Math.random();");
+  b.run_source("var r = Math.random();");
+  EXPECT_DOUBLE_EQ(a.globals()->lookup("r")->as_number(),
+                   b.globals()->lookup("r")->as_number());
+}
+
+TEST(JsEngine, HostObjectsCallableFromScript) {
+  js::Interpreter in;
+  int calls = 0;
+  auto host = js::make_object();
+  host->class_name = "Probe";
+  host->set("ping", js::Value(js::make_native_function(
+                        [&calls](js::Interpreter&, const js::Value&,
+                                 const std::vector<js::Value>& args) {
+                          ++calls;
+                          return args.empty() ? js::Value() : args[0];
+                        })));
+  in.set_global("probe", js::Value(host));
+  in.run_source("var result = probe.ping(11) + probe.ping(31);");
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(in.globals()->lookup("result")->as_number(), 42);
+}
+
+TEST(JsEngine, ThisInsideHostMethodIsHostObject) {
+  js::Interpreter in;
+  auto host = js::make_object();
+  host->set("tag", js::Value("host-tag"));
+  host->set("self", js::Value(js::make_native_function(
+                        [](js::Interpreter&, const js::Value& thisv,
+                           const std::vector<js::Value>&) {
+                          return thisv.as_object()->get("tag");
+                        })));
+  in.set_global("h", js::Value(host));
+  in.run_source("var result = h.self();");
+  EXPECT_EQ(in.globals()->lookup("result")->as_string(), "host-tag");
+}
+
+// Parameterized sweep over expression/expected-value pairs.
+struct ExprCase {
+  const char* src;
+  double expect;
+};
+
+class JsExprSweep : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(JsExprSweep, EvaluatesCorrectly) {
+  const auto& p = GetParam();
+  EXPECT_DOUBLE_EQ(run_number(std::string("var result = ") + p.src + ";"), p.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixed, JsExprSweep,
+    ::testing::Values(
+        ExprCase{"1 + 2 * 3 - 4 / 2", 5}, ExprCase{"(1 + 2) * (3 + 4)", 21},
+        ExprCase{"0x10 + 0x20", 48}, ExprCase{"'abc'.length * 2", 6},
+        ExprCase{"[1,2,3,4].length", 4}, ExprCase{"1 < 2 ? 10 : 20", 10},
+        ExprCase{"(5 & 3) | 8", 9}, ExprCase{"2 + +'3'", 5},
+        ExprCase{"!!'' ? 1 : 0", 0}, ExprCase{"!!'x' ? 1 : 0", 1},
+        ExprCase{"Math.floor(7 / 2)", 3}, ExprCase{"'12' * 2", 24},
+        ExprCase{"1e2 + 1", 101}, ExprCase{"(function(x){return x*x;})(9)", 81}));

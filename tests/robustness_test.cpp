@@ -1,0 +1,162 @@
+// Robustness / fuzz-style property tests: hostile or corrupt inputs must
+// never crash the process. Parsers and pipelines may reject input (throw
+// typed errors or return !ok) but must stay memory-safe and terminate.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "corpus/generator.hpp"
+#include "js/parser.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "reader/reader_sim.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace js = pdfshield::js;
+namespace pd = pdfshield::pdf;
+namespace rd = pdfshield::reader;
+
+namespace sp = pdfshield::support;
+
+namespace {
+
+// Applies `count` random byte mutations (overwrite / insert / delete).
+sp::Bytes mutate(sp::Bytes data, sp::Rng& rng, int count) {
+  for (int i = 0; i < count && !data.empty(); ++i) {
+    const std::size_t pos = static_cast<std::size_t>(rng.below(data.size()));
+    switch (rng.below(3)) {
+      case 0:
+        data[pos] = static_cast<std::uint8_t>(rng.below(256));
+        break;
+      case 1:
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      default:
+        data.erase(data.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+class MutationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationSweep, MutatedPdfsNeverCrashParserOrPipeline) {
+  sp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919u);
+  cp::CorpusGenerator gen;
+  auto samples = gen.generate_malicious(2);
+  auto benign = gen.generate_benign_with_js(2);
+  for (auto& s : benign) samples.push_back(std::move(s));
+
+  sp::Rng frng(static_cast<std::uint64_t>(GetParam()));
+  co::FrontEnd frontend(frng, co::generate_detector_id(frng));
+
+  for (const auto& s : samples) {
+    for (int burst : {1, 8, 64, 512}) {
+      const sp::Bytes corrupted = mutate(s.data, rng, burst);
+      // Parser: typed error or success, never a crash.
+      try {
+        pd::Document doc = pd::parse_document(corrupted);
+        // If it parsed, the writer must be able to serialize it back.
+        pd::write_document(doc);
+      } catch (const sp::Error&) {
+      }
+      // Full pipeline: ok or clean failure.
+      co::FrontEndResult r = frontend.process(corrupted);
+      (void)r;
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep, ::testing::Range(1, 7));
+
+TEST(Robustness, MutatedPdfsNeverCrashTheReaderHost) {
+  // The *reader process* may "crash" in simulation (that is modelled
+  // behaviour); the host process running the simulator must not.
+  sp::Rng rng(404);
+  cp::CorpusGenerator gen;
+  auto samples = gen.generate_malicious(3);
+  for (const auto& s : samples) {
+    for (int burst : {4, 40, 400}) {
+      pdfshield::sys::Kernel kernel;
+      rd::ReaderSim reader(kernel);
+      const sp::Bytes corrupted = mutate(s.data, rng, burst);
+      EXPECT_NO_THROW(reader.open_document(corrupted, "fuzz.pdf"));
+    }
+  }
+}
+
+TEST(Robustness, RandomBytesAreRejectedCleanly) {
+  sp::Rng rng(505);
+  for (std::size_t n : {0u, 1u, 10u, 1000u, 100000u}) {
+    const sp::Bytes junk = rng.bytes(n);
+    EXPECT_THROW(pd::parse_document(junk), sp::Error) << n;
+    sp::Rng frng(1);
+    co::FrontEnd frontend(frng, co::generate_detector_id(frng));
+    EXPECT_FALSE(frontend.process(junk).ok) << n;
+  }
+}
+
+TEST(Robustness, JsParserSurvivesGarbageSources) {
+  sp::Rng rng(606);
+  // Random printable garbage and truncated real scripts.
+  const std::string real =
+      "var unit = unescape('%u9090'); while (unit.length < 64) unit += unit;"
+      "function f(a, b) { return a + b * 2; } f(1, 2);";
+  for (int i = 0; i < 200; ++i) {
+    std::string src;
+    if (i % 2 == 0) {
+      const std::size_t len = rng.below(80);
+      for (std::size_t k = 0; k < len; ++k) {
+        src.push_back(static_cast<char>(32 + rng.below(95)));
+      }
+    } else {
+      src = real.substr(0, rng.below(real.size()));
+    }
+    try {
+      js::parse_js(src);
+    } catch (const sp::Error&) {
+      // typed rejection is fine
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, DeeplyNestedStructuresAreBounded) {
+  // Pathological nesting must not blow the stack.
+  std::string deep_js;
+  for (int i = 0; i < 2000; ++i) deep_js += "(";
+  deep_js += "1";
+  for (int i = 0; i < 2000; ++i) deep_js += ")";
+  EXPECT_NO_FATAL_FAILURE({
+    try {
+      js::parse_js(deep_js);
+    } catch (const sp::Error&) {
+    }
+  });
+
+  std::string deep_pdf = "1 0 obj\n";
+  for (int i = 0; i < 2000; ++i) deep_pdf += "[";
+  for (int i = 0; i < 2000; ++i) deep_pdf += "]";
+  deep_pdf += "\nendobj\n";
+  EXPECT_NO_FATAL_FAILURE({
+    try {
+      pd::parse_document(sp::to_bytes(deep_pdf));
+    } catch (const sp::Error&) {
+    }
+  });
+}
+
+TEST(Robustness, HugeClaimedLengthsDoNotAllocateWildly) {
+  // A stream claiming a 2 GB /Length in a 100-byte file must fail cleanly.
+  const std::string text =
+      "1 0 obj\n<< /Length 2147483647 >>\nstream\nshort\nendstream\nendobj\n";
+  pd::Document doc = pd::parse_document(sp::to_bytes(text));
+  const pd::Object* obj = doc.object({1, 0});
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(sp::to_string(obj->as_stream().data), "short");
+}

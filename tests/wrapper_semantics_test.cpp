@@ -1,0 +1,129 @@
+// Property sweep: the context monitoring wrapper must preserve the
+// observable semantics of every benign script it wraps. Each case runs a
+// script plain and wrapped (all envelope roles) in identical host
+// environments and compares the resulting global.
+#include <gtest/gtest.h>
+
+#include "core/monitor_codegen.hpp"
+#include "js/interp.hpp"
+
+namespace co = pdfshield::core;
+namespace js = pdfshield::js;
+namespace sp = pdfshield::support;
+
+namespace {
+
+// Host environment with a SOAP stub (counts calls, returns ok).
+struct Host {
+  js::Interpreter interp;
+  int soap_calls = 0;
+
+  Host() {
+    auto soap = js::make_object();
+    soap->set("request",
+              js::Value(js::make_native_function(
+                  [this](js::Interpreter&, const js::Value&,
+                         const std::vector<js::Value>&) {
+                    ++soap_calls;
+                    auto ok = js::make_object();
+                    ok->set("status", js::Value("ok"));
+                    return js::Value(ok);
+                  })));
+    interp.set_global("SOAP", js::Value(soap));
+  }
+
+  js::Value run(const std::string& src) {
+    interp.run_source(src);
+    js::Value* v = interp.globals()->lookup("probe");
+    return v ? *v : js::Value();
+  }
+};
+
+std::string describe(const js::Value& v, js::Interpreter& in) {
+  return in.to_js_string(v);
+}
+
+}  // namespace
+
+struct WrapCase {
+  const char* script;
+};
+
+class WrapperSemantics
+    : public ::testing::TestWithParam<std::tuple<WrapCase, int>> {};
+
+TEST_P(WrapperSemantics, WrappedEqualsPlain) {
+  const auto& [wcase, role_idx] = GetParam();
+  const auto role = static_cast<co::EnvelopeRole>(role_idx);
+
+  Host plain;
+  const js::Value expected = plain.run(wcase.script);
+
+  sp::Rng rng(static_cast<std::uint64_t>(role_idx) * 17 + 3);
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, co::generate_detector_id(rng));
+  const std::string wrapped =
+      co::generate_monitor_wrapper(wcase.script, key, role, rng);
+
+  Host instrumented;
+  const js::Value actual = instrumented.run(wrapped);
+
+  EXPECT_EQ(describe(actual, instrumented.interp),
+            describe(expected, plain.interp))
+      << "script: " << wcase.script;
+
+  // Envelope discipline: full = 2 SOAP messages, enter/exit = 1, middle = 0.
+  const int expected_soap = role == co::EnvelopeRole::kFull     ? 2
+                            : role == co::EnvelopeRole::kMiddle ? 0
+                                                                : 1;
+  EXPECT_EQ(instrumented.soap_calls, expected_soap);
+  EXPECT_EQ(plain.soap_calls, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScriptsTimesRoles, WrapperSemantics,
+    ::testing::Combine(
+        ::testing::Values(
+            WrapCase{"var probe = 6 * 7;"},
+            WrapCase{"var probe = 'concat' + '-' + 'enation';"},
+            WrapCase{"var t = 0; for (var i = 1; i <= 100; i++) t += i;"
+                     " var probe = t;"},
+            WrapCase{"function f(a) { return a * a; } var probe = f(12);"},
+            WrapCase{"var a = [3, 1, 2]; a.sort(); var probe = a.join('');"},
+            WrapCase{"var o = {x: {y: {z: 'deep'}}}; var probe = o.x.y.z;"},
+            WrapCase{"var probe = unescape('%41%42') + '!';"},
+            WrapCase{"var probe; try { throw 'err'; } catch (e) { probe ="
+                     " 'caught:' + e; }"},
+            WrapCase{"var s = 'seed'; while (s.length < 64) s += s;"
+                     " var probe = s.length;"},
+            WrapCase{"var probe = eval('1 + 2') * eval('3 + 4');"}),
+        ::testing::Values(static_cast<int>(co::EnvelopeRole::kFull),
+                          static_cast<int>(co::EnvelopeRole::kEnterOnly),
+                          static_cast<int>(co::EnvelopeRole::kMiddle),
+                          static_cast<int>(co::EnvelopeRole::kExitOnly))));
+
+TEST(WrapperSemantics, ScriptExceptionsAreContainedButExitStillSent) {
+  Host host;
+  sp::Rng rng(55);
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, co::generate_detector_id(rng));
+  const std::string wrapped = co::generate_monitor_wrapper(
+      "throw 'unhandled';", key, co::EnvelopeRole::kFull, rng);
+  EXPECT_NO_THROW(host.interp.run_source(wrapped));
+  EXPECT_EQ(host.soap_calls, 2) << "epilogue must run despite the throw";
+}
+
+TEST(WrapperSemantics, WrapperSizeIsBoundedLinear) {
+  // The wrapper adds a near-constant shell plus base64(payload) (~4/3 of
+  // the script); guard against accidental quadratic blowup.
+  sp::Rng rng(56);
+  const co::InstrumentationKey key =
+      co::generate_document_key(rng, co::generate_detector_id(rng));
+  const std::string small(100, 'a');
+  const std::string big(10000, 'a');
+  const std::size_t small_len =
+      co::generate_monitor_wrapper(small, key, co::EnvelopeRole::kFull, rng).size();
+  const std::size_t big_len =
+      co::generate_monitor_wrapper(big, key, co::EnvelopeRole::kFull, rng).size();
+  EXPECT_LT(big_len, small_len + (big.size() * 3) / 2);
+}

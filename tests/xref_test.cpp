@@ -1,0 +1,102 @@
+// Tests for xref reading + writer conformance: every file our writers
+// produce must carry a spec-correct cross-reference table, because real
+// tools (unlike our deliberately tolerant parser) trust it.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "corpus/builders.hpp"
+#include "corpus/generator.hpp"
+#include "pdf/parser.hpp"
+#include "pdf/writer.hpp"
+#include "pdf/xref.hpp"
+
+namespace co = pdfshield::core;
+namespace cp = pdfshield::corpus;
+namespace pd = pdfshield::pdf;
+namespace sp = pdfshield::support;
+
+TEST(Xref, StartxrefFoundAndPointsAtTable) {
+  sp::Rng rng(1);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(3, 400);
+  const sp::Bytes file = builder.build();
+  auto sx = pd::read_startxref(file);
+  ASSERT_TRUE(sx.has_value());
+  const pd::XrefSection section = pd::read_xref_section(file, *sx);
+  EXPECT_GT(section.entries.size(), 5u);
+  EXPECT_FALSE(section.prev.has_value());
+  // Object 0 is the free-list head.
+  ASSERT_TRUE(section.entries.count(0));
+  EXPECT_FALSE(section.entries.at(0).in_use);
+}
+
+TEST(Xref, WriterOffsetsAreExact) {
+  sp::Rng rng(2);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(5, 600);
+  builder.set_open_action_js("var v = 1;");
+  const sp::Bytes file = builder.build();
+  EXPECT_TRUE(pd::verify_xref_offsets(file).empty());
+}
+
+TEST(Xref, IncrementalUpdateChainsThroughPrev) {
+  sp::Rng rng(3);
+  cp::DocumentBuilder builder(rng);
+  builder.add_pages(2, 300);
+  builder.set_open_action_js("var v = 1;");
+  const sp::Bytes base = builder.build();
+
+  co::FrontEndOptions options;
+  options.incremental_update = true;
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng), options);
+  co::FrontEndResult fe = frontend.process(base);
+  ASSERT_TRUE(fe.incremental_used);
+
+  const auto chain = pd::read_xref_chain(fe.output);
+  ASSERT_EQ(chain.size(), 2u);  // update revision + base revision
+  EXPECT_TRUE(chain[0].prev.has_value());
+  EXPECT_FALSE(chain[1].prev.has_value());
+  // Every offset across both revisions must be exact.
+  EXPECT_TRUE(pd::verify_xref_offsets(fe.output).empty());
+}
+
+TEST(Xref, CorpusOutputIsAlwaysConformant) {
+  cp::CorpusGenerator gen;
+  for (const auto& s : gen.generate_malicious(20)) {
+    EXPECT_TRUE(pd::verify_xref_offsets(s.data).empty()) << s.name;
+  }
+  for (const auto& s : gen.generate_benign_with_js(10)) {
+    EXPECT_TRUE(pd::verify_xref_offsets(s.data).empty()) << s.name;
+  }
+}
+
+TEST(Xref, InstrumentedOutputIsConformant) {
+  sp::Rng rng(4);
+  co::FrontEnd frontend(rng, co::generate_detector_id(rng));
+  cp::CorpusGenerator gen;
+  for (const auto& s : gen.generate_malicious(10)) {
+    co::FrontEndResult fe = frontend.process(s.data);
+    if (!fe.ok) continue;
+    EXPECT_TRUE(pd::verify_xref_offsets(fe.output).empty()) << s.name;
+  }
+}
+
+TEST(Xref, HeaderJunkPrefixKeepsOffsetsExact) {
+  // Header-obfuscated documents shift every byte; the table must follow.
+  sp::Rng rng(5);
+  cp::DocumentBuilder builder(rng);
+  builder.add_blank_page();
+  builder.set_open_action_js("var v = 2;");
+  const sp::Bytes file = builder.build(/*header_obfuscation=*/true);
+  EXPECT_TRUE(pd::verify_xref_offsets(file).empty());
+}
+
+TEST(Xref, MissingStartxrefHandled) {
+  EXPECT_FALSE(pd::read_startxref(sp::to_bytes("no pdf here")).has_value());
+  EXPECT_TRUE(pd::read_xref_chain(sp::to_bytes("still no pdf")).empty());
+}
+
+TEST(Xref, MalformedTableThrowsTypedError) {
+  const sp::Bytes junk = sp::to_bytes("xref\n0 2\nnot-an-entry\n");
+  EXPECT_THROW(pd::read_xref_section(junk, 0), sp::ParseError);
+}

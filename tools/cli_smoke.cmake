@@ -1,0 +1,33 @@
+# Runs every pdfshield CLI subcommand against a generated corpus.
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK}
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+run_checked(${CLI} corpus ${WORK} benign 2 malicious 2)
+file(GLOB mal ${WORK}/malicious/*.pdf)
+list(GET mal 0 sample)
+
+run_checked(${CLI} scan ${sample})
+run_checked(${CLI} instrument ${sample} ${WORK}/inst.pdf --incremental)
+run_checked(${CLI} deinstrument ${WORK}/inst.pdf ${WORK}/restored.pdf
+            ${WORK}/inst.pdf.psrec)
+
+# detonate must convict the malicious sample (exit code 2).
+execute_process(COMMAND ${CLI} detonate ${sample} RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "detonate expected exit 2 (malicious), got ${rc}")
+endif()
+
+file(GLOB benign ${WORK}/benign/*.pdf)
+list(GET benign 0 bsample)
+execute_process(COMMAND ${CLI} detonate ${bsample} RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "detonate expected exit 0 (benign), got ${rc}")
+endif()

@@ -1,0 +1,225 @@
+// pdfshield — command-line front door to the library.
+//
+//   pdfshield scan <in.pdf>
+//       static analysis only: Javascript chains + features, JSON to stdout.
+//   pdfshield instrument <in.pdf> <out.pdf> [--incremental]
+//       Phase-I front-end; writes the instrumented file and a
+//       de-instrumentation record sidecar <out.pdf>.psrec.
+//   pdfshield deinstrument <in.pdf> <out.pdf> <record.psrec>
+//       restores the original scripts (§III-F background job).
+//   pdfshield detonate <in.pdf> [--version 8.0|9.0] [--kernel-hooks]
+//       full pipeline in the simulated reader; JSON report to stdout;
+//       exit code 2 when the document is convicted.
+//   pdfshield corpus <out-dir> [benign N] [malicious M]
+//       writes a synthetic labelled corpus to disk.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/deinstrumentation.hpp"
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "corpus/generator.hpp"
+#include "pdf/parser.hpp"
+#include "reader/reader_sim.hpp"
+#include "support/checksum.hpp"
+#include "support/json.hpp"
+#include "sys/kernel.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+support::Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw support::Error("cannot open " + path);
+  return support::Bytes(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, support::BytesView data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw support::Error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+std::string flag_value(const std::vector<std::string>& args,
+                       const std::string& flag, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_scan(const std::vector<std::string>& args) {
+  const support::Bytes input = read_file(args.at(0));
+  pdf::Document doc = pdf::parse_document(input);
+  const core::JsChainAnalysis chains = core::analyze_js_chains(doc);
+  const core::StaticFeatures f = core::extract_static_features(doc, chains);
+
+  support::Json report = support::Json::object();
+  report["file"] = args.at(0);
+  report["bytes"] = input.size();
+  report["objects"] = doc.object_count();
+  report["has_javascript"] = chains.has_javascript();
+  support::Json sites = support::Json::array();
+  for (const auto& site : chains.sites) {
+    support::Json s = support::Json::object();
+    s["object"] = site.object_num;
+    s["triggered"] = site.triggered;
+    s["in_stream"] = site.code_in_stream;
+    s["source_bytes"] = site.source.size();
+    sites.push_back(std::move(s));
+  }
+  report["javascript_sites"] = std::move(sites);
+  support::Json features = support::Json::object();
+  features["F1_chain_ratio"] = f.js_chain_ratio;
+  features["F2_header_obfuscation"] = f.f2();
+  features["F3_hex_code_in_keyword"] = f.f3();
+  features["F4_empty_objects"] = f.empty_object_count;
+  features["F5_encoding_levels"] = f.max_encoding_levels;
+  features["binary_sum"] = f.binary_sum();
+  report["static_features"] = std::move(features);
+  std::cout << report.dump(2) << "\n";
+  return 0;
+}
+
+int cmd_instrument(const std::vector<std::string>& args) {
+  const support::Bytes input = read_file(args.at(0));
+  const std::string out_path = args.at(1);
+
+  support::Rng rng(support::fnv1a64(support::BytesView(input.data(), input.size())));
+  core::FrontEndOptions options;
+  options.incremental_update = has_flag(args, "--incremental");
+  core::FrontEnd frontend(rng, core::generate_detector_id(rng), options);
+  core::FrontEndResult result = frontend.process(input);
+  if (!result.ok) {
+    std::cerr << "error: " << result.error << "\n";
+    return 1;
+  }
+  write_file(out_path, result.output);
+  write_file(out_path + ".psrec",
+             support::to_bytes(core::serialize_record(result.record)));
+  std::cout << "instrumented " << result.record.entries.size()
+            << " script(s) under key " << result.record.key.combined()
+            << (result.incremental_used ? " (incremental update)" : "")
+            << "\nwrote " << out_path << " and " << out_path << ".psrec\n";
+  return 0;
+}
+
+int cmd_deinstrument(const std::vector<std::string>& args) {
+  const support::Bytes input = read_file(args.at(0));
+  const support::Bytes record_text = read_file(args.at(2));
+  const auto record = core::parse_record(
+      std::string(record_text.begin(), record_text.end()));
+  if (!record) {
+    std::cerr << "error: malformed record file\n";
+    return 1;
+  }
+  write_file(args.at(1), core::deinstrument_file(input, *record));
+  std::cout << "restored " << record->entries.size() << " script(s) into "
+            << args.at(1) << "\n";
+  return 0;
+}
+
+int cmd_detonate(const std::vector<std::string>& args) {
+  const support::Bytes input = read_file(args.at(0));
+
+  sys::Kernel kernel;
+  support::Rng rng(support::fnv1a64(support::BytesView(input.data(), input.size())));
+  core::DetectorConfig cfg;
+  if (has_flag(args, "--kernel-hooks")) {
+    cfg.hook_mode = core::DetectorConfig::HookMode::kKernelMode;
+  }
+  core::RuntimeDetector detector(kernel, rng, cfg);
+  core::FrontEnd frontend(rng, detector.detector_id());
+  reader::ReaderConfig reader_cfg;
+  reader_cfg.version = flag_value(args, "--version", "9.0");
+  reader::ReaderSim reader(kernel, reader_cfg);
+  detector.attach(reader);
+
+  core::FrontEndResult fe = frontend.process(input);
+  if (!fe.ok) {
+    std::cerr << "error: " << fe.error << "\n";
+    return 1;
+  }
+  detector.register_document(fe.record.key, args.at(0), fe.features);
+  for (const auto& emb : fe.embedded) {
+    detector.register_document(emb.record.key, args.at(0) + ":" + emb.name,
+                               emb.features);
+  }
+  reader.open_document(fe.output, args.at(0));
+
+  std::cout << core::document_report(detector, fe.record.key).dump(2) << "\n";
+  std::cout << core::session_report(detector, kernel).dump(2) << "\n";
+  bool malicious = detector.verdict(fe.record.key).malicious;
+  for (const auto& emb : fe.embedded) {
+    malicious = malicious || detector.verdict(emb.record.key).malicious;
+  }
+  return malicious ? 2 : 0;
+}
+
+int cmd_corpus(const std::vector<std::string>& args) {
+  const std::filesystem::path dir = args.at(0);
+  std::filesystem::create_directories(dir / "benign");
+  std::filesystem::create_directories(dir / "malicious");
+  const std::size_t benign_n =
+      static_cast<std::size_t>(std::atoi(flag_value(args, "benign", "50").c_str()));
+  const std::size_t mal_n = static_cast<std::size_t>(
+      std::atoi(flag_value(args, "malicious", "50").c_str()));
+
+  corpus::CorpusGenerator gen;
+  std::string manifest = "name,label,family,cve\n";
+  for (const auto& s : gen.generate_benign(benign_n)) {
+    write_file((dir / "benign" / s.name).string(), s.data);
+    manifest += s.name + ",benign," + s.family + ",\n";
+  }
+  for (const auto& s : gen.generate_malicious(mal_n)) {
+    write_file((dir / "malicious" / s.name).string(), s.data);
+    manifest += s.name + ",malicious," + s.family + "," + s.cve + "\n";
+  }
+  write_file((dir / "manifest.csv").string(), support::to_bytes(manifest));
+  std::cout << "wrote " << benign_n << " benign + " << mal_n
+            << " malicious samples and manifest.csv to " << dir << "\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  pdfshield scan <in.pdf>\n"
+         "  pdfshield instrument <in.pdf> <out.pdf> [--incremental]\n"
+         "  pdfshield deinstrument <in.pdf> <out.pdf> <record.psrec>\n"
+         "  pdfshield detonate <in.pdf> [--version 9.0] [--kernel-hooks]\n"
+         "  pdfshield corpus <out-dir> [benign N] [malicious M]\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "scan" && args.size() >= 1) return cmd_scan(args);
+    if (command == "instrument" && args.size() >= 2) return cmd_instrument(args);
+    if (command == "deinstrument" && args.size() >= 3) return cmd_deinstrument(args);
+    if (command == "detonate" && args.size() >= 1) return cmd_detonate(args);
+    if (command == "corpus" && args.size() >= 1) return cmd_corpus(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
