@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_adversarial"
+  "../bench/bench_sec4_adversarial.pdb"
+  "CMakeFiles/bench_sec4_adversarial.dir/bench_sec4_adversarial.cpp.o"
+  "CMakeFiles/bench_sec4_adversarial.dir/bench_sec4_adversarial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

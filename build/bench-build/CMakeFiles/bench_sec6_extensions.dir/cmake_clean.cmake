@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec6_extensions"
+  "../bench/bench_sec6_extensions.pdb"
+  "CMakeFiles/bench_sec6_extensions.dir/bench_sec6_extensions.cpp.o"
+  "CMakeFiles/bench_sec6_extensions.dir/bench_sec6_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_dataset"
+  "../bench/bench_table5_dataset.pdb"
+  "CMakeFiles/bench_table5_dataset.dir/bench_table5_dataset.cpp.o"
+  "CMakeFiles/bench_table5_dataset.dir/bench_table5_dataset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

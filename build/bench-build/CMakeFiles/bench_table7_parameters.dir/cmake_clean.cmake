@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_parameters"
+  "../bench/bench_table7_parameters.pdb"
+  "CMakeFiles/bench_table7_parameters.dir/bench_table7_parameters.cpp.o"
+  "CMakeFiles/bench_table7_parameters.dir/bench_table7_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

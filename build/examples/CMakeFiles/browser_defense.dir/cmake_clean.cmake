@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_defense.dir/browser_defense.cpp.o"
+  "CMakeFiles/browser_defense.dir/browser_defense.cpp.o.d"
+  "browser_defense"
+  "browser_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

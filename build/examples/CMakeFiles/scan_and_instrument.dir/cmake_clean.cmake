@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_and_instrument.dir/scan_and_instrument.cpp.o"
+  "CMakeFiles/scan_and_instrument.dir/scan_and_instrument.cpp.o.d"
+  "scan_and_instrument"
+  "scan_and_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_and_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_baselines.dir/dynamic_baselines.cpp.o"
+  "CMakeFiles/pdfshield_baselines.dir/dynamic_baselines.cpp.o.d"
+  "CMakeFiles/pdfshield_baselines.dir/static_baselines.cpp.o"
+  "CMakeFiles/pdfshield_baselines.dir/static_baselines.cpp.o.d"
+  "libpdfshield_baselines.a"
+  "libpdfshield_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deinstrumentation.cpp" "src/core/CMakeFiles/pdfshield_core.dir/deinstrumentation.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/deinstrumentation.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/pdfshield_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/instrumenter.cpp" "src/core/CMakeFiles/pdfshield_core.dir/instrumenter.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/instrumenter.cpp.o.d"
+  "/root/repo/src/core/jschain.cpp" "src/core/CMakeFiles/pdfshield_core.dir/jschain.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/jschain.cpp.o.d"
+  "/root/repo/src/core/keys.cpp" "src/core/CMakeFiles/pdfshield_core.dir/keys.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/keys.cpp.o.d"
+  "/root/repo/src/core/monitor_codegen.cpp" "src/core/CMakeFiles/pdfshield_core.dir/monitor_codegen.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/monitor_codegen.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/pdfshield_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/pdfshield_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/static_features.cpp" "src/core/CMakeFiles/pdfshield_core.dir/static_features.cpp.o" "gcc" "src/core/CMakeFiles/pdfshield_core.dir/static_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdf/CMakeFiles/pdfshield_pdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/pdfshield_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/pdfshield_flate.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsapi/CMakeFiles/pdfshield_jsapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/js/CMakeFiles/pdfshield_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/pdfshield_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdfshield_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_core.dir/deinstrumentation.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/deinstrumentation.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/detector.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/detector.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/instrumenter.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/instrumenter.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/jschain.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/jschain.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/keys.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/keys.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/monitor_codegen.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/monitor_codegen.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/report.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/report.cpp.o.d"
+  "CMakeFiles/pdfshield_core.dir/static_features.cpp.o"
+  "CMakeFiles/pdfshield_core.dir/static_features.cpp.o.d"
+  "libpdfshield_core.a"
+  "libpdfshield_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

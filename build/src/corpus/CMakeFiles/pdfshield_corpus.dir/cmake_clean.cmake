@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_corpus.dir/builders.cpp.o"
+  "CMakeFiles/pdfshield_corpus.dir/builders.cpp.o.d"
+  "CMakeFiles/pdfshield_corpus.dir/generator.cpp.o"
+  "CMakeFiles/pdfshield_corpus.dir/generator.cpp.o.d"
+  "libpdfshield_corpus.a"
+  "libpdfshield_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flate/bitstream.cpp" "src/flate/CMakeFiles/pdfshield_flate.dir/bitstream.cpp.o" "gcc" "src/flate/CMakeFiles/pdfshield_flate.dir/bitstream.cpp.o.d"
+  "/root/repo/src/flate/deflate.cpp" "src/flate/CMakeFiles/pdfshield_flate.dir/deflate.cpp.o" "gcc" "src/flate/CMakeFiles/pdfshield_flate.dir/deflate.cpp.o.d"
+  "/root/repo/src/flate/huffman.cpp" "src/flate/CMakeFiles/pdfshield_flate.dir/huffman.cpp.o" "gcc" "src/flate/CMakeFiles/pdfshield_flate.dir/huffman.cpp.o.d"
+  "/root/repo/src/flate/inflate.cpp" "src/flate/CMakeFiles/pdfshield_flate.dir/inflate.cpp.o" "gcc" "src/flate/CMakeFiles/pdfshield_flate.dir/inflate.cpp.o.d"
+  "/root/repo/src/flate/zlib.cpp" "src/flate/CMakeFiles/pdfshield_flate.dir/zlib.cpp.o" "gcc" "src/flate/CMakeFiles/pdfshield_flate.dir/zlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdfshield_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_flate.dir/bitstream.cpp.o"
+  "CMakeFiles/pdfshield_flate.dir/bitstream.cpp.o.d"
+  "CMakeFiles/pdfshield_flate.dir/deflate.cpp.o"
+  "CMakeFiles/pdfshield_flate.dir/deflate.cpp.o.d"
+  "CMakeFiles/pdfshield_flate.dir/huffman.cpp.o"
+  "CMakeFiles/pdfshield_flate.dir/huffman.cpp.o.d"
+  "CMakeFiles/pdfshield_flate.dir/inflate.cpp.o"
+  "CMakeFiles/pdfshield_flate.dir/inflate.cpp.o.d"
+  "CMakeFiles/pdfshield_flate.dir/zlib.cpp.o"
+  "CMakeFiles/pdfshield_flate.dir/zlib.cpp.o.d"
+  "libpdfshield_flate.a"
+  "libpdfshield_flate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_flate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdfshield_flate.a"
+)

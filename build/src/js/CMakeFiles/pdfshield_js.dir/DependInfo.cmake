@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/js/builtins.cpp" "src/js/CMakeFiles/pdfshield_js.dir/builtins.cpp.o" "gcc" "src/js/CMakeFiles/pdfshield_js.dir/builtins.cpp.o.d"
+  "/root/repo/src/js/interp.cpp" "src/js/CMakeFiles/pdfshield_js.dir/interp.cpp.o" "gcc" "src/js/CMakeFiles/pdfshield_js.dir/interp.cpp.o.d"
+  "/root/repo/src/js/lexer.cpp" "src/js/CMakeFiles/pdfshield_js.dir/lexer.cpp.o" "gcc" "src/js/CMakeFiles/pdfshield_js.dir/lexer.cpp.o.d"
+  "/root/repo/src/js/parser.cpp" "src/js/CMakeFiles/pdfshield_js.dir/parser.cpp.o" "gcc" "src/js/CMakeFiles/pdfshield_js.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdfshield_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

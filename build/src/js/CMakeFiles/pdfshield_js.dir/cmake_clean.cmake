@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_js.dir/builtins.cpp.o"
+  "CMakeFiles/pdfshield_js.dir/builtins.cpp.o.d"
+  "CMakeFiles/pdfshield_js.dir/interp.cpp.o"
+  "CMakeFiles/pdfshield_js.dir/interp.cpp.o.d"
+  "CMakeFiles/pdfshield_js.dir/lexer.cpp.o"
+  "CMakeFiles/pdfshield_js.dir/lexer.cpp.o.d"
+  "CMakeFiles/pdfshield_js.dir/parser.cpp.o"
+  "CMakeFiles/pdfshield_js.dir/parser.cpp.o.d"
+  "libpdfshield_js.a"
+  "libpdfshield_js.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_js.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_jsapi.dir/acrobat_api.cpp.o"
+  "CMakeFiles/pdfshield_jsapi.dir/acrobat_api.cpp.o.d"
+  "libpdfshield_jsapi.a"
+  "libpdfshield_jsapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_jsapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

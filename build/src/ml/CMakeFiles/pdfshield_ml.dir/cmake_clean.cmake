@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_ml.dir/dataset.cpp.o"
+  "CMakeFiles/pdfshield_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/pdfshield_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/pdfshield_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/pdfshield_ml.dir/linear_svm.cpp.o"
+  "CMakeFiles/pdfshield_ml.dir/linear_svm.cpp.o.d"
+  "CMakeFiles/pdfshield_ml.dir/metrics.cpp.o"
+  "CMakeFiles/pdfshield_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/pdfshield_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/pdfshield_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/pdfshield_ml.dir/one_class.cpp.o"
+  "CMakeFiles/pdfshield_ml.dir/one_class.cpp.o.d"
+  "CMakeFiles/pdfshield_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/pdfshield_ml.dir/random_forest.cpp.o.d"
+  "libpdfshield_ml.a"
+  "libpdfshield_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

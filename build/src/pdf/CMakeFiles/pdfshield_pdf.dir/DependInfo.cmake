@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdf/crypto.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/crypto.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/crypto.cpp.o.d"
+  "/root/repo/src/pdf/document.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/document.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/document.cpp.o.d"
+  "/root/repo/src/pdf/filters.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/filters.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/filters.cpp.o.d"
+  "/root/repo/src/pdf/graph.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/graph.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/graph.cpp.o.d"
+  "/root/repo/src/pdf/lexer.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/lexer.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/lexer.cpp.o.d"
+  "/root/repo/src/pdf/object.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/object.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/object.cpp.o.d"
+  "/root/repo/src/pdf/parser.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/parser.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/parser.cpp.o.d"
+  "/root/repo/src/pdf/writer.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/writer.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/writer.cpp.o.d"
+  "/root/repo/src/pdf/xref.cpp" "src/pdf/CMakeFiles/pdfshield_pdf.dir/xref.cpp.o" "gcc" "src/pdf/CMakeFiles/pdfshield_pdf.dir/xref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdfshield_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/pdfshield_flate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_pdf.dir/crypto.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/crypto.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/document.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/document.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/filters.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/filters.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/graph.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/graph.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/lexer.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/lexer.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/object.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/object.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/parser.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/parser.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/writer.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/writer.cpp.o.d"
+  "CMakeFiles/pdfshield_pdf.dir/xref.cpp.o"
+  "CMakeFiles/pdfshield_pdf.dir/xref.cpp.o.d"
+  "libpdfshield_pdf.a"
+  "libpdfshield_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_reader.dir/browser_sim.cpp.o"
+  "CMakeFiles/pdfshield_reader.dir/browser_sim.cpp.o.d"
+  "CMakeFiles/pdfshield_reader.dir/reader_sim.cpp.o"
+  "CMakeFiles/pdfshield_reader.dir/reader_sim.cpp.o.d"
+  "CMakeFiles/pdfshield_reader.dir/shellcode.cpp.o"
+  "CMakeFiles/pdfshield_reader.dir/shellcode.cpp.o.d"
+  "CMakeFiles/pdfshield_reader.dir/vulnerability.cpp.o"
+  "CMakeFiles/pdfshield_reader.dir/vulnerability.cpp.o.d"
+  "libpdfshield_reader.a"
+  "libpdfshield_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

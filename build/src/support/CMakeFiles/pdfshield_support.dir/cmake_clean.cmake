@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_support.dir/checksum.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/checksum.cpp.o.d"
+  "CMakeFiles/pdfshield_support.dir/encoding.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/encoding.cpp.o.d"
+  "CMakeFiles/pdfshield_support.dir/json.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/json.cpp.o.d"
+  "CMakeFiles/pdfshield_support.dir/md5.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/md5.cpp.o.d"
+  "CMakeFiles/pdfshield_support.dir/rng.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pdfshield_support.dir/stats.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/stats.cpp.o.d"
+  "CMakeFiles/pdfshield_support.dir/strings.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/strings.cpp.o.d"
+  "CMakeFiles/pdfshield_support.dir/table.cpp.o"
+  "CMakeFiles/pdfshield_support.dir/table.cpp.o.d"
+  "libpdfshield_support.a"
+  "libpdfshield_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

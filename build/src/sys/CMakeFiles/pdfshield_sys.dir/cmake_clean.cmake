@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_sys.dir/kernel.cpp.o"
+  "CMakeFiles/pdfshield_sys.dir/kernel.cpp.o.d"
+  "libpdfshield_sys.a"
+  "libpdfshield_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

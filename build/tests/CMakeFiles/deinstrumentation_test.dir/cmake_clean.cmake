@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deinstrumentation_test.dir/deinstrumentation_test.cpp.o"
+  "CMakeFiles/deinstrumentation_test.dir/deinstrumentation_test.cpp.o.d"
+  "deinstrumentation_test"
+  "deinstrumentation_test.pdb"
+  "deinstrumentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deinstrumentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

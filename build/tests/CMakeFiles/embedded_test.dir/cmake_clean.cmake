@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_test.dir/embedded_test.cpp.o"
+  "CMakeFiles/embedded_test.dir/embedded_test.cpp.o.d"
+  "embedded_test"
+  "embedded_test.pdb"
+  "embedded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

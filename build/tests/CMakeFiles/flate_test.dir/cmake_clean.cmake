@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flate_test.dir/flate_test.cpp.o"
+  "CMakeFiles/flate_test.dir/flate_test.cpp.o.d"
+  "flate_test"
+  "flate_test.pdb"
+  "flate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

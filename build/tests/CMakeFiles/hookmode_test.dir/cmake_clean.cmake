@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hookmode_test.dir/hookmode_test.cpp.o"
+  "CMakeFiles/hookmode_test.dir/hookmode_test.cpp.o.d"
+  "hookmode_test"
+  "hookmode_test.pdb"
+  "hookmode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hookmode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_test.dir/js_test.cpp.o"
+  "CMakeFiles/js_test.dir/js_test.cpp.o.d"
+  "js_test"
+  "js_test.pdb"
+  "js_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

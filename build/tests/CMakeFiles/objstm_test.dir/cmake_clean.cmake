@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objstm_test.dir/objstm_test.cpp.o"
+  "CMakeFiles/objstm_test.dir/objstm_test.cpp.o.d"
+  "objstm_test"
+  "objstm_test.pdb"
+  "objstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

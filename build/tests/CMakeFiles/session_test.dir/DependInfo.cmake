@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/session_test.cpp" "tests/CMakeFiles/session_test.dir/session_test.cpp.o" "gcc" "tests/CMakeFiles/session_test.dir/session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdfshield_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/pdfshield_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/pdfshield_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdf/CMakeFiles/pdfshield_pdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/pdfshield_flate.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsapi/CMakeFiles/pdfshield_jsapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/js/CMakeFiles/pdfshield_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/pdfshield_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdfshield_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_semantics_test.dir/wrapper_semantics_test.cpp.o"
+  "CMakeFiles/wrapper_semantics_test.dir/wrapper_semantics_test.cpp.o.d"
+  "wrapper_semantics_test"
+  "wrapper_semantics_test.pdb"
+  "wrapper_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

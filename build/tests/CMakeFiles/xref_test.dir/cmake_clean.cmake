@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xref_test.dir/xref_test.cpp.o"
+  "CMakeFiles/xref_test.dir/xref_test.cpp.o.d"
+  "xref_test"
+  "xref_test.pdb"
+  "xref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/flate_test[1]_include.cmake")
+include("/root/repo/build/tests/pdf_test[1]_include.cmake")
+include("/root/repo/build/tests/js_test[1]_include.cmake")
+include("/root/repo/build/tests/sys_test[1]_include.cmake")
+include("/root/repo/build/tests/reader_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/embedded_test[1]_include.cmake")
+include("/root/repo/build/tests/deinstrumentation_test[1]_include.cmake")
+include("/root/repo/build/tests/objstm_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/hookmode_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_test[1]_include.cmake")
+include("/root/repo/build/tests/js_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/wrapper_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/figure2_test[1]_include.cmake")
+include("/root/repo/build/tests/xref_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")

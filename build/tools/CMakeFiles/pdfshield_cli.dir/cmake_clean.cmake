@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdfshield_cli.dir/pdfshield_cli.cpp.o"
+  "CMakeFiles/pdfshield_cli.dir/pdfshield_cli.cpp.o.d"
+  "pdfshield"
+  "pdfshield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdfshield_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
