@@ -1,0 +1,74 @@
+// Batch front-end throughput: docs/s at 1/2/4/8 worker threads over a
+// generated corpus, plus a cross-thread-count determinism check (every
+// per-document output CRC must match the single-thread run). Shape
+// targets: near-linear scaling up to the core count; identical checksum
+// columns at every width.
+#include "bench_util.hpp"
+#include "core/batch_scanner.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+std::vector<core::BatchItem> make_items(std::size_t benign,
+                                        std::size_t malicious) {
+  corpus::CorpusGenerator gen;
+  std::vector<core::BatchItem> items;
+  for (auto& s : gen.generate_benign(benign)) {
+    items.push_back({s.name, std::move(s.data)});
+  }
+  for (auto& s : gen.generate_malicious(malicious)) {
+    items.push_back({s.name, std::move(s.data)});
+  }
+  return items;
+}
+
+std::uint64_t checksum_column(const core::BatchReport& report) {
+  std::uint64_t acc = 0;
+  for (const auto& doc : report.docs) {
+    acc = acc * 1099511628211ULL + doc.output_crc32;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Batch", "front-end throughput by worker count");
+
+  const bench::Scale scale = bench::bench_scale();
+  const std::vector<core::BatchItem> items =
+      make_items(scale.benign_with_js, scale.malicious);
+  std::size_t corpus_bytes = 0;
+  for (const auto& item : items) corpus_bytes += item.data.size();
+  std::cout << "corpus: " << items.size() << " documents, "
+            << bench::mb(static_cast<double>(corpus_bytes)) << "\n\n";
+
+  support::TextTable table({"jobs", "wall s", "docs/s", "speedup", "ok",
+                            "err", "outputs"});
+  double serial_wall = 0;
+  std::uint64_t serial_checksum = 0;
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    core::BatchOptions options;
+    options.jobs = jobs;
+    core::BatchReport report = core::BatchScanner(options).scan(items);
+    const std::uint64_t checksum = checksum_column(report);
+    if (jobs == 1) {
+      serial_wall = report.wall_s;
+      serial_checksum = checksum;
+    }
+    table.add_row(
+        {std::to_string(jobs), bench::fmt(report.wall_s),
+         bench::fmt(report.docs_per_s, 1),
+         bench::fmt(serial_wall > 0 ? serial_wall / report.wall_s : 1.0, 2) +
+             "x",
+         std::to_string(report.ok_count), std::to_string(report.error_count),
+         checksum == serial_checksum ? "identical" : "DIVERGED"});
+    if (checksum != serial_checksum) {
+      std::cout << "FAIL: outputs diverged at " << jobs << " jobs\n";
+      return 1;
+    }
+  }
+  std::cout << table;
+  return 0;
+}

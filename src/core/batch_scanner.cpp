@@ -1,0 +1,286 @@
+#include "core/batch_scanner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/keys.hpp"
+#include "support/checksum.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pdfshield::core {
+
+/// Watchdog threads whose document overran its budget. They keep running
+/// after the batch moves on; reap() joins the ones that wind down within
+/// the grace window (so their effects are properly synchronized) and
+/// detaches only the truly stuck rest.
+class AbandonedRunners {
+ public:
+  void add(std::thread runner, std::future<void> done) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    runners_.push_back({std::move(runner), std::move(done)});
+  }
+
+  void reap(double grace_s) {
+    std::vector<Entry> runners;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      runners.swap(runners_);
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(grace_s);
+    for (Entry& entry : runners) {
+      if (entry.done.wait_until(deadline) == std::future_status::ready) {
+        entry.runner.join();
+      } else {
+        entry.runner.detach();
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    std::thread runner;
+    std::future<void> done;
+  };
+  std::mutex mutex_;
+  std::vector<Entry> runners_;
+};
+
+namespace {
+
+/// Runs the front-end over one item with exception isolation: a throwing
+/// parser/instrumenter yields a per-document error, never a dead batch.
+BatchDocResult run_one(const FrontEnd& frontend, const BatchItem& item,
+                       bool keep_output) {
+  BatchDocResult doc;
+  doc.name = item.name;
+  doc.input_bytes = item.data.size();
+  try {
+    FrontEndResult result = frontend.process(item.data);
+    doc.timings = result.timings;
+    if (!result.ok) {
+      doc.error = result.error.empty() ? "front-end failed" : result.error;
+      return doc;
+    }
+    doc.ok = true;
+    doc.output_bytes = result.output.size();
+    doc.output_crc32 = support::crc32(result.output);
+    doc.has_javascript = result.has_javascript;
+    doc.scripts_instrumented = result.record.entries.size();
+    doc.embedded_documents = result.embedded.size();
+    doc.features = result.features;
+    doc.suspicious = result.features.binary_sum() > 0;
+    doc.document_key = result.record.key.document_key;
+    if (keep_output) doc.output = std::move(result.output);
+  } catch (const std::exception& e) {
+    doc.ok = false;
+    doc.error = e.what();
+  }
+  return doc;
+}
+
+support::Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw support::Error("cannot open " + path.string());
+  return support::Bytes(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+BatchScanner::BatchScanner(BatchOptions options) : options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = 1;
+  if (options_.detector_id.empty()) {
+    // Fixed seed: plain batch runs are reproducible across invocations and
+    // machines. Deployments wanting a private id pass their own.
+    support::Rng rng(0x7000df5e1dbafc00ULL);
+    options_.detector_id = generate_detector_id(rng);
+  }
+}
+
+BatchDocResult BatchScanner::scan_one(const FrontEnd& frontend,
+                                      const BatchItem& item,
+                                      AbandonedRunners& abandoned) const {
+  if (options_.timeout_s <= 0) {
+    return run_one(frontend, item, options_.keep_outputs);
+  }
+
+  // Watchdog path: the document runs on its own thread so an overrun can
+  // be abandoned. The task owns copies of everything it touches (item,
+  // options, its own FrontEnd) because once abandoned it may outlive the
+  // batch; the future's ready-state is the only synchronization point.
+  struct TaskState {
+    BatchDocResult doc;
+  };
+  auto state = std::make_shared<TaskState>();
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> done = promise->get_future();
+  std::thread runner(
+      [state, promise, item, keep = options_.keep_outputs,
+       detector_id = options_.detector_id, fe_options = options_.frontend] {
+        FrontEnd frontend_copy(detector_id, fe_options);
+        state->doc = run_one(frontend_copy, item, keep);
+        promise->set_value();
+      });
+  const auto budget = std::chrono::duration<double>(options_.timeout_s);
+  if (done.wait_for(budget) == std::future_status::ready) {
+    runner.join();
+    return std::move(state->doc);
+  }
+  abandoned.add(std::move(runner), std::move(done));
+  BatchDocResult doc;
+  doc.name = item.name;
+  doc.input_bytes = item.data.size();
+  doc.timed_out = true;
+  doc.error = "timed out after " +
+              support::format_double(options_.timeout_s, 3) + "s";
+  return doc;
+}
+
+BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
+  BatchReport report;
+  report.detector_id = options_.detector_id;
+  report.jobs = options_.jobs;
+  report.docs.resize(items.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  AbandonedRunners abandoned;
+  {
+    support::ThreadPool pool(options_.jobs, options_.queue_capacity);
+    // One self-seeding FrontEnd per worker: immutable, so per-document
+    // output depends only on (detector id, input bytes) — never on which
+    // worker ran it or in what order.
+    std::vector<FrontEnd> frontends;
+    frontends.reserve(pool.worker_count());
+    for (std::size_t i = 0; i < pool.worker_count(); ++i) {
+      frontends.emplace_back(options_.detector_id, options_.frontend);
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      // Each task writes only its own slot; wait_idle() + pool teardown
+      // order those writes before the aggregation below.
+      pool.submit([this, &frontends, &items, &report, &abandoned, i] {
+        const int worker = support::ThreadPool::current_worker();
+        report.docs[i] = scan_one(frontends[static_cast<std::size_t>(worker)],
+                                  items[i], abandoned);
+      });
+    }
+    pool.wait_idle();
+  }
+  abandoned.reap(options_.abandon_grace_s);
+  report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (const BatchDocResult& doc : report.docs) {
+    if (doc.ok) ++report.ok_count;
+    else if (doc.timed_out) ++report.timeout_count;
+    else ++report.error_count;
+    if (doc.suspicious) ++report.suspicious_count;
+    report.cpu_timings.parse_decompress_s += doc.timings.parse_decompress_s;
+    report.cpu_timings.feature_extraction_s += doc.timings.feature_extraction_s;
+    report.cpu_timings.instrumentation_s += doc.timings.instrumentation_s;
+  }
+  if (report.wall_s > 0) {
+    report.docs_per_s = static_cast<double>(report.docs.size()) / report.wall_s;
+  }
+  return report;
+}
+
+BatchReport BatchScanner::scan_directory(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<BatchItem> items;
+  items.reserve(paths.size());
+  std::vector<BatchDocResult> unreadable;
+  for (const auto& path : paths) {
+    BatchItem item;
+    item.name = path.lexically_relative(dir).generic_string();
+    try {
+      item.data = read_file(path);
+    } catch (const std::exception& e) {
+      BatchDocResult doc;
+      doc.name = item.name;
+      doc.error = e.what();
+      unreadable.push_back(std::move(doc));
+      continue;
+    }
+    items.push_back(std::move(item));
+  }
+
+  BatchReport report = scan(items);
+  for (BatchDocResult& doc : unreadable) {
+    ++report.error_count;
+    report.docs.push_back(std::move(doc));
+  }
+  return report;
+}
+
+support::Json BatchReport::to_json() const {
+  support::Json j = support::Json::object();
+  j["detector_id"] = detector_id;
+  j["jobs"] = static_cast<std::uint64_t>(jobs);
+  j["documents"] = static_cast<std::uint64_t>(docs.size());
+  j["ok"] = static_cast<std::uint64_t>(ok_count);
+  j["errors"] = static_cast<std::uint64_t>(error_count);
+  j["timeouts"] = static_cast<std::uint64_t>(timeout_count);
+  j["suspicious"] = static_cast<std::uint64_t>(suspicious_count);
+  j["wall_s"] = wall_s;
+  j["docs_per_s"] = docs_per_s;
+
+  support::Json phases = support::Json::object();
+  phases["parse_decompress_s"] = cpu_timings.parse_decompress_s;
+  phases["feature_extraction_s"] = cpu_timings.feature_extraction_s;
+  phases["instrumentation_s"] = cpu_timings.instrumentation_s;
+  phases["total_s"] = cpu_timings.total_s();
+  j["phase_cpu_seconds"] = std::move(phases);
+
+  support::Json items = support::Json::array();
+  for (const BatchDocResult& doc : docs) {
+    support::Json d = support::Json::object();
+    d["name"] = doc.name;
+    d["ok"] = doc.ok;
+    if (!doc.error.empty()) d["error"] = doc.error;
+    if (doc.timed_out) d["timed_out"] = true;
+    d["input_bytes"] = static_cast<std::uint64_t>(doc.input_bytes);
+    if (doc.ok) {
+      d["output_bytes"] = static_cast<std::uint64_t>(doc.output_bytes);
+      d["output_crc32"] = static_cast<std::uint64_t>(doc.output_crc32);
+      d["has_javascript"] = doc.has_javascript;
+      d["scripts_instrumented"] =
+          static_cast<std::uint64_t>(doc.scripts_instrumented);
+      d["embedded_documents"] =
+          static_cast<std::uint64_t>(doc.embedded_documents);
+      d["suspicious"] = doc.suspicious;
+      d["document_key"] = doc.document_key;
+      support::Json f = support::Json::object();
+      f["F1_chain_ratio"] = doc.features.js_chain_ratio;
+      f["F2_header_obfuscation"] = doc.features.f2();
+      f["F3_hex_code_in_keyword"] = doc.features.f3();
+      f["F4_empty_objects"] = doc.features.empty_object_count;
+      f["F5_encoding_levels"] = doc.features.max_encoding_levels;
+      f["binary_sum"] = doc.features.binary_sum();
+      d["static_features"] = std::move(f);
+      support::Json t = support::Json::object();
+      t["parse_decompress_s"] = doc.timings.parse_decompress_s;
+      t["feature_extraction_s"] = doc.timings.feature_extraction_s;
+      t["instrumentation_s"] = doc.timings.instrumentation_s;
+      d["timings"] = std::move(t);
+    }
+    items.push_back(std::move(d));
+  }
+  j["docs"] = std::move(items);
+  return j;
+}
+
+}  // namespace pdfshield::core

@@ -1,0 +1,108 @@
+// Multi-threaded batch front-end (Fig. 1 at triage scale): a bounded
+// work queue feeds N workers, each owning a self-seeding FrontEnd, so a
+// directory of candidate documents is scanned with per-document fault
+// isolation and byte-identical output at any thread count (same detector
+// id + same input => same instrumented bytes, regardless of scheduling).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/static_features.hpp"
+#include "support/bytes.hpp"
+#include "support/json.hpp"
+
+namespace pdfshield::core {
+
+class AbandonedRunners;  // internal: watchdog threads awaiting reclamation
+
+/// One unit of batch work: a named byte buffer (usually a file).
+struct BatchItem {
+  std::string name;
+  support::Bytes data;
+};
+
+/// Per-document outcome inside a BatchReport.
+struct BatchDocResult {
+  std::string name;
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;  ///< parse/decode error text; empty when ok
+
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  std::uint32_t output_crc32 = 0;  ///< checksum of instrumented bytes
+  support::Bytes output;           ///< kept only with keep_outputs
+
+  bool has_javascript = false;
+  std::size_t scripts_instrumented = 0;
+  std::size_t embedded_documents = 0;
+  StaticFeatures features;
+  bool suspicious = false;  ///< static screen: any positive F1–F5 feature
+  std::string document_key;  ///< per-document half of the SOAP key
+  PhaseTimings timings;
+};
+
+/// Aggregate result of one batch run.
+struct BatchReport {
+  std::vector<BatchDocResult> docs;  ///< input order, not completion order
+  std::string detector_id;
+  std::size_t jobs = 0;
+
+  std::size_t ok_count = 0;
+  std::size_t error_count = 0;
+  std::size_t timeout_count = 0;
+  std::size_t suspicious_count = 0;
+
+  double wall_s = 0;
+  double docs_per_s = 0;
+  PhaseTimings cpu_timings;  ///< summed across documents (CPU, not wall)
+
+  support::Json to_json() const;
+};
+
+struct BatchOptions {
+  std::size_t jobs = 1;           ///< worker threads
+  std::size_t queue_capacity = 0;  ///< bounded queue size; 0 => 2 * jobs
+  /// Per-document wall-clock budget in seconds; 0 disables the watchdog.
+  /// A document that overruns is reported as timed_out and abandoned, so
+  /// one pathological sample — parse loop, decompression bomb — fails
+  /// alone instead of stalling the batch.
+  double timeout_s = 0;
+  /// After the batch finishes, abandoned runners get this shared window
+  /// to wind down and be joined; whatever is still stuck afterwards is
+  /// detached for good. Only relevant when timeout_s > 0.
+  double abandon_grace_s = 1.0;
+  /// Per-installation detector id; empty derives a fixed default so plain
+  /// `pdfshield batch` runs are reproducible across invocations.
+  std::string detector_id;
+  /// Retain each instrumented output in BatchDocResult::output (memory
+  /// proportional to the corpus; checksums are always recorded).
+  bool keep_outputs = false;
+  FrontEndOptions frontend;
+};
+
+class BatchScanner {
+ public:
+  explicit BatchScanner(BatchOptions options = {});
+
+  /// Scans in-memory items. Results come back in item order.
+  BatchReport scan(const std::vector<BatchItem>& items);
+
+  /// Scans every regular file under `dir` (recursive, sorted by path for
+  /// deterministic report order); non-PDF payloads simply fail per-doc.
+  BatchReport scan_directory(const std::filesystem::path& dir);
+
+  const std::string& detector_id() const { return options_.detector_id; }
+
+ private:
+  BatchDocResult scan_one(const FrontEnd& frontend, const BatchItem& item,
+                          AbandonedRunners& abandoned) const;
+
+  BatchOptions options_;
+};
+
+}  // namespace pdfshield::core

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "pdf/crypto.hpp"
+#include "support/checksum.hpp"
 #include "pdf/writer.hpp"
 
 namespace pdfshield::core {
@@ -20,13 +21,32 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 FrontEnd::FrontEnd(support::Rng& rng, std::string detector_id,
                    FrontEndOptions options)
-    : rng_(rng), detector_id_(std::move(detector_id)), options_(std::move(options)) {}
+    : external_rng_(&rng),
+      detector_id_(std::move(detector_id)),
+      options_(std::move(options)) {}
 
-FrontEndResult FrontEnd::process(support::BytesView input) {
-  return process_impl(input, 0);
+FrontEnd::FrontEnd(std::string detector_id, FrontEndOptions options)
+    : detector_id_(std::move(detector_id)), options_(std::move(options)) {}
+
+std::uint64_t FrontEnd::document_seed(std::string_view detector_id,
+                                      support::BytesView input) {
+  // splitmix64 finalizer over the two hashes: plain XOR would cancel for
+  // inputs whose hash happens to equal the detector-id hash.
+  std::uint64_t z = support::fnv1a64(detector_id) +
+                    0x9e3779b97f4a7c15ULL * support::fnv1a64(input);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
-FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth) {
+FrontEndResult FrontEnd::process(support::BytesView input) const {
+  if (external_rng_) return process_impl(input, 0, *external_rng_);
+  support::Rng rng(document_seed(detector_id_, input));
+  return process_impl(input, 0, rng);
+}
+
+FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
+                                      support::Rng& rng) const {
   FrontEndResult result;
 
   // Phase 1: parse + decompress.
@@ -65,9 +85,9 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth) {
   // Phase 3: instrumentation (+ serialization). Embedded PDF documents
   // are instrumented recursively before the host is serialized (§VI).
   t0 = std::chrono::steady_clock::now();
-  Instrumenter instrumenter(rng_, detector_id_, options_.instrumenter);
+  Instrumenter instrumenter(rng, detector_id_, options_.instrumenter);
   result.record = instrumenter.instrument(result.document);
-  if (depth < 2) process_embedded_documents(result, depth);
+  if (depth < 2) process_embedded_documents(result, depth, rng);
   if (options_.write_output) {
     // Incremental mode appends only the instrumented objects to the
     // original bytes — the paper's fast path for large documents.
@@ -96,7 +116,8 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth) {
   return result;
 }
 
-void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth) {
+void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth,
+                                          support::Rng& rng) const {
   for (auto& [num, obj] : result.document.objects()) {
     if (!obj.is_stream()) continue;
     pdf::Stream& stream = obj.as_stream();
@@ -108,7 +129,7 @@ void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth) {
     if (support::as_view(stream.data).find("%PDF") == std::string_view::npos) {
       continue;
     }
-    FrontEndResult sub = process_impl(stream.data, depth + 1);
+    FrontEndResult sub = process_impl(stream.data, depth + 1, rng);
     if (!sub.ok) continue;
     FrontEndResult::EmbeddedResult embedded;
     embedded.name = "embedded-" + std::to_string(num);

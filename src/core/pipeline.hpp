@@ -4,7 +4,9 @@
 // allocation counters feed Table XI.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "core/instrumenter.hpp"
 #include "core/static_features.hpp"
@@ -61,21 +63,44 @@ struct FrontEndOptions {
 
 /// The static analysis & instrumentation component. One instance per
 /// installation (it owns the detector-id half of every key).
+///
+/// Two randomness modes:
+///  - Shared-Rng (legacy): constructed with an external `Rng&`, every
+///    process() call advances that stream. Key/wrapper bytes then depend
+///    on call order, which is fine for a single-threaded deployment.
+///  - Self-seeding: constructed without an Rng, each process() call seeds
+///    a private Rng with document_seed(detector_id, input). Output is a
+///    pure function of (detector id, input bytes) — independent of call
+///    order and of scheduling — which is what the batch scanner needs for
+///    byte-identical output at any thread count.
 class FrontEnd {
  public:
   FrontEnd(support::Rng& rng, std::string detector_id,
            FrontEndOptions options = {});
 
-  /// Full pipeline over a candidate document.
-  FrontEndResult process(support::BytesView input);
+  /// Self-seeding mode (see class comment).
+  explicit FrontEnd(std::string detector_id, FrontEndOptions options = {});
+
+  /// Full pipeline over a candidate document. Const: in self-seeding mode
+  /// a FrontEnd is immutable and safe to share across threads (in
+  /// shared-Rng mode the referenced Rng still advances).
+  FrontEndResult process(support::BytesView input) const;
+
+  /// The per-document Rng seed used in self-seeding mode: a mix of the
+  /// detector id and the input bytes, so two installations never share a
+  /// key stream but re-scans of the same file are reproducible.
+  static std::uint64_t document_seed(std::string_view detector_id,
+                                     support::BytesView input);
 
   const std::string& detector_id() const { return detector_id_; }
 
  private:
-  FrontEndResult process_impl(support::BytesView input, int depth);
-  void process_embedded_documents(FrontEndResult& result, int depth);
+  FrontEndResult process_impl(support::BytesView input, int depth,
+                              support::Rng& rng) const;
+  void process_embedded_documents(FrontEndResult& result, int depth,
+                                  support::Rng& rng) const;
 
-  support::Rng& rng_;
+  support::Rng* external_rng_ = nullptr;  ///< null in self-seeding mode
   std::string detector_id_;
   FrontEndOptions options_;
 };

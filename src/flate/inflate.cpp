@@ -157,9 +157,16 @@ Bytes inflate(support::BytesView compressed, std::size_t max_output) {
         break;
       }
       case 1: {  // fixed Huffman
-        static const HuffmanDecoder lit(fixed_literal_lengths());
-        static const HuffmanDecoder dist(fixed_distance_lengths());
-        inflate_block(in, lit, &dist, out, max_output);
+        // Intentionally immortal (never destroyed): a batch-scan worker
+        // abandoned by the per-document watchdog may still be inflating
+        // while the process exits, and must not race the exit-time
+        // destructor of a function-local static. Stays reachable, so
+        // leak checkers do not flag it.
+        static const HuffmanDecoder* const lit =
+            new HuffmanDecoder(fixed_literal_lengths());
+        static const HuffmanDecoder* const dist =
+            new HuffmanDecoder(fixed_distance_lengths());
+        inflate_block(in, *lit, dist, out, max_output);
         break;
       }
       case 2:  // dynamic Huffman

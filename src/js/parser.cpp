@@ -75,6 +75,7 @@ class Parser {
   // --- statements ----------------------------------------------------------
 
   StmtPtr parse_statement() {
+    DepthGuard guard(*this);
     if (is_punct("{")) return parse_block();
     if (is_punct(";")) {
       advance();
@@ -422,6 +423,10 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
+    // Every nesting level of an expression — parenthesized, call, unary
+    // chain, chained assignment — descends through here, so this single
+    // guard bounds all expression recursion.
+    DepthGuard guard(*this);
     static const std::array<std::string_view, 5> kUnaryPuncts = {"!", "-", "+", "~"};
     for (auto op : kUnaryPuncts) {
       if (!op.empty() && is_punct(op)) {
@@ -655,8 +660,23 @@ class Parser {
     }
   }
 
+  // Pathological nesting must raise ParseError, not overflow the stack
+  // (a malicious document controls this input). 256 levels is far beyond
+  // any real script and well inside the stack even with sanitizer-sized
+  // frames.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) parser.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   std::vector<JsToken> toks_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

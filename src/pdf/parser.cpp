@@ -21,6 +21,7 @@ class ObjectParser {
 
   /// Parses one object expression starting at the current token.
   Object parse_value() {
+    DepthGuard guard(*this);
     Token t = take();
     switch (t.kind) {
       case TokenKind::kInteger:
@@ -47,6 +48,21 @@ class ObjectParser {
   }
 
  private:
+  // Attacker-controlled nesting (e.g. [[[[...]]]]) must fail with a
+  // ParseError — which the recovery scan skips past — rather than
+  // overflow the stack. Real documents nest a handful of levels deep.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(ObjectParser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) {
+        throw ParseError("object nesting too deep");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    ObjectParser& parser;
+  };
+
   Token take() {
     ++stats_.tokens;
     return lex_.next();
@@ -145,6 +161,7 @@ class ObjectParser {
 
   Lexer& lex_;
   ParseStats& stats_;
+  int depth_ = 0;
 };
 
 HeaderInfo scan_header(BytesView data) {

@@ -4,37 +4,60 @@
 // tokens, buffers) registered by the modules that create them.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 namespace pdfshield::support {
 
-/// Global (thread-unsafe by design: the front-end is single-threaded, like
-/// the paper's) object/byte counters.
+/// Global object/byte counters. Relaxed atomics: the batch scanner runs
+/// many front-ends concurrently, so the counters must be race-free, but
+/// they are statistics — cross-counter consistency is not required (peak
+/// tracking is best-effort under concurrency).
 class AllocStats {
  public:
   static void note_object(std::size_t bytes = 0) {
-    ++objects_;
-    bytes_ += bytes;
-    live_ += bytes;
-    if (live_ > peak_) peak_ = live_;
+    objects_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const std::uint64_t live =
+        live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_.compare_exchange_weak(peak, live,
+                                        std::memory_order_relaxed)) {
+    }
   }
 
   static void note_release(std::size_t bytes) {
-    live_ = (bytes <= live_) ? live_ - bytes : 0;
+    std::uint64_t live = live_.load(std::memory_order_relaxed);
+    while (!live_.compare_exchange_weak(live,
+                                        bytes <= live ? live - bytes : 0,
+                                        std::memory_order_relaxed)) {
+    }
   }
 
-  static std::uint64_t objects() { return objects_; }
-  static std::uint64_t total_bytes() { return bytes_; }
-  static std::uint64_t peak_live_bytes() { return peak_; }
+  static std::uint64_t objects() {
+    return objects_.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t total_bytes() {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t peak_live_bytes() {
+    return peak_.load(std::memory_order_relaxed);
+  }
 
-  static void reset() { objects_ = bytes_ = live_ = peak_ = 0; }
+  static void reset() {
+    objects_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    live_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  static inline std::uint64_t objects_ = 0;
-  static inline std::uint64_t bytes_ = 0;
-  static inline std::uint64_t live_ = 0;
-  static inline std::uint64_t peak_ = 0;
+  static inline std::atomic<std::uint64_t> objects_{0};
+  static inline std::atomic<std::uint64_t> bytes_{0};
+  static inline std::atomic<std::uint64_t> live_{0};
+  static inline std::atomic<std::uint64_t> peak_{0};
 };
 
 /// RAII scope that snapshots the counters, for measuring one pipeline run.

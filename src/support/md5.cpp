@@ -89,7 +89,9 @@ Md5Digest md5(BytesView data) {
   // Padding: 0x80, zeros, 64-bit little-endian bit length.
   std::uint8_t tail[128] = {0};
   const std::size_t rem = data.size() - full;
-  std::memcpy(tail, data.data() + full, rem);
+  // rem == 0 also covers empty input, whose data() may be null (memcpy
+  // with a null source is UB even for zero lengths).
+  if (rem != 0) std::memcpy(tail, data.data() + full, rem);
   tail[rem] = 0x80;
   const std::size_t tail_len = rem + 1 <= 56 ? 64 : 128;
   const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;

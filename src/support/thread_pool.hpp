@@ -1,0 +1,110 @@
+// Fixed-size worker pool over a bounded task queue. submit() applies
+// backpressure (blocks) when the queue is full, so a producer enumerating
+// a huge corpus never buffers more than `queue_capacity` closures. Used by
+// core::BatchScanner; header-only so benches and tools can reuse it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pdfshield::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1). `queue_capacity` bounds the
+  /// number of queued-but-unstarted tasks; 0 means 2 * workers.
+  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 0)
+      : capacity_(queue_capacity ? queue_capacity
+                                 : 2 * (workers ? workers : 1)) {
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Index of the calling pool worker in [0, worker_count()), or -1 when
+  /// called from outside the pool. Lets tasks reach per-worker state
+  /// (e.g. one FrontEnd per worker) without locking.
+  static int current_worker() { return tl_worker_index_; }
+
+  /// Enqueues a task; blocks while the queue is at capacity. Must not be
+  /// called from a worker thread (a full queue would deadlock).
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stop_) throw LogicError("ThreadPool::submit after shutdown");
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < capacity_ || stop_; });
+      if (stop_) throw LogicError("ThreadPool::submit after shutdown");
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+ private:
+  void worker_loop(int index) {
+    tl_worker_index_ = index;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [this] { return !queue_.empty() || stop_; });
+        if (queue_.empty()) return;  // stop_ set and queue drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      not_full_.notify_one();
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (--unfinished_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  static thread_local int tl_worker_index_;
+
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t unfinished_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+inline thread_local int ThreadPool::tl_worker_index_ = -1;
+
+}  // namespace pdfshield::support

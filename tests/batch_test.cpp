@@ -1,0 +1,265 @@
+// Batch-scan engine: thread-pool semantics, scheduling-independent
+// determinism (same detector id + same input => byte-identical output at
+// any thread count), per-document fault isolation, and report JSON shape.
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_scanner.hpp"
+#include "corpus/generator.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pdfshield {
+namespace {
+
+using core::BatchItem;
+using core::BatchOptions;
+using core::BatchReport;
+using core::BatchScanner;
+
+std::vector<BatchItem> make_corpus(std::size_t benign, std::size_t malicious) {
+  corpus::CorpusGenerator gen;
+  std::vector<BatchItem> items;
+  for (auto& s : gen.generate_benign(benign)) {
+    items.push_back({s.name, std::move(s.data)});
+  }
+  for (auto& s : gen.generate_malicious(malicious)) {
+    items.push_back({s.name, std::move(s.data)});
+  }
+  return items;
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  std::atomic<int> counter{0};
+  std::vector<std::atomic<int>> per_task(200);
+  {
+    support::ThreadPool pool(4, /*queue_capacity=*/3);  // forces backpressure
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&, i] {
+        per_task[static_cast<std::size_t>(i)]++;
+        counter++;
+      });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 200);
+  }
+  for (const auto& n : per_task) EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
+  support::ThreadPool pool(3);
+  EXPECT_EQ(support::ThreadPool::current_worker(), -1);  // caller thread
+  std::mutex mu;
+  std::set<int> seen;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] {
+      const int w = support::ThreadPool::current_worker();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(w);
+    });
+  }
+  pool.wait_idle();
+  for (int w : seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 3);
+  }
+}
+
+TEST(ThreadPool, WaitIdleThenReuse) {
+  support::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter++; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&] { counter++; });
+  pool.submit([&] { counter++; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+// The acceptance property: instrumented bytes and feature vectors are a
+// pure function of (detector id, input), independent of thread count and
+// scheduling.
+TEST(BatchScanner, ByteIdenticalAcrossThreadCounts) {
+  const std::vector<BatchItem> items = make_corpus(12, 12);
+
+  BatchOptions base;
+  base.keep_outputs = true;
+
+  BatchOptions serial = base;
+  serial.jobs = 1;
+  BatchReport one = BatchScanner(serial).scan(items);
+
+  BatchOptions wide = base;
+  wide.jobs = 8;
+  BatchReport eight = BatchScanner(wide).scan(items);
+
+  ASSERT_EQ(one.docs.size(), items.size());
+  ASSERT_EQ(eight.docs.size(), items.size());
+  EXPECT_EQ(one.detector_id, eight.detector_id);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SCOPED_TRACE(items[i].name);
+    EXPECT_EQ(one.docs[i].name, eight.docs[i].name);
+    EXPECT_EQ(one.docs[i].ok, eight.docs[i].ok);
+    EXPECT_EQ(one.docs[i].output, eight.docs[i].output);  // byte-identical
+    EXPECT_EQ(one.docs[i].output_crc32, eight.docs[i].output_crc32);
+    EXPECT_EQ(one.docs[i].document_key, eight.docs[i].document_key);
+    // Identical feature vectors.
+    EXPECT_EQ(one.docs[i].features.js_chain_ratio,
+              eight.docs[i].features.js_chain_ratio);
+    EXPECT_EQ(one.docs[i].features.header_obfuscated,
+              eight.docs[i].features.header_obfuscated);
+    EXPECT_EQ(one.docs[i].features.hex_code_in_keyword,
+              eight.docs[i].features.hex_code_in_keyword);
+    EXPECT_EQ(one.docs[i].features.empty_object_count,
+              eight.docs[i].features.empty_object_count);
+    EXPECT_EQ(one.docs[i].features.max_encoding_levels,
+              eight.docs[i].features.max_encoding_levels);
+  }
+}
+
+// Re-running the same batch must also be reproducible (fixed default
+// detector id + content-derived document seeds).
+TEST(BatchScanner, RerunIsReproducible) {
+  const std::vector<BatchItem> items = make_corpus(4, 4);
+  BatchOptions options;
+  options.jobs = 4;
+  options.keep_outputs = true;
+  BatchReport a = BatchScanner(options).scan(items);
+  BatchReport b = BatchScanner(options).scan(items);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(a.docs[i].output, b.docs[i].output);
+  }
+}
+
+// Distinct detector ids must produce distinct instrumented bytes (the
+// detector-id half of the key is embedded in every wrapper).
+TEST(BatchScanner, DetectorIdChangesOutput) {
+  const std::vector<BatchItem> items = make_corpus(0, 2);
+  BatchOptions a_opts;
+  a_opts.keep_outputs = true;
+  a_opts.detector_id = "00112233445566aa";
+  BatchOptions b_opts = a_opts;
+  b_opts.detector_id = "ffeeddccbbaa9988";
+  BatchReport a = BatchScanner(a_opts).scan(items);
+  BatchReport b = BatchScanner(b_opts).scan(items);
+  ASSERT_TRUE(a.docs[0].ok);
+  ASSERT_TRUE(b.docs[0].ok);
+  EXPECT_NE(a.docs[0].output, b.docs[0].output);
+}
+
+// One corrupt document fails alone; the rest of the batch completes.
+TEST(BatchScanner, ErrorIsolation) {
+  std::vector<BatchItem> items = make_corpus(6, 6);
+  // Truncate a real sample right after the header: the recovery parser
+  // tolerates mid-object truncation, but a body with no complete object
+  // must fail ("no PDF objects found").
+  BatchItem corrupt;
+  corrupt.name = "corrupt.pdf";
+  corrupt.data = items[0].data;
+  corrupt.data.resize(16);
+  items.insert(items.begin() + 5, corrupt);
+  BatchItem garbage;
+  garbage.name = "garbage.bin";
+  garbage.data = support::to_bytes("this is not a pdf at all");
+  items.push_back(garbage);
+
+  BatchOptions options;
+  options.jobs = 4;
+  BatchReport report = BatchScanner(options).scan(items);
+
+  EXPECT_EQ(report.docs.size(), items.size());
+  EXPECT_EQ(report.error_count, 2u);
+  EXPECT_EQ(report.ok_count, items.size() - 2);
+  EXPECT_EQ(report.timeout_count, 0u);
+  EXPECT_FALSE(report.docs[5].ok);
+  EXPECT_FALSE(report.docs[5].error.empty());
+  EXPECT_FALSE(report.docs.back().ok);
+  for (std::size_t i = 0; i < report.docs.size(); ++i) {
+    if (i == 5 || i + 1 == report.docs.size()) continue;
+    EXPECT_TRUE(report.docs[i].ok) << report.docs[i].error;
+  }
+}
+
+// A timed-out document is abandoned and reported, not fatal. (With a
+// sub-microsecond budget the watchdog virtually always fires first; if
+// the document still manages to finish, ok is acceptable too.)
+TEST(BatchScanner, TimeoutIsIsolated) {
+  std::vector<BatchItem> items = make_corpus(2, 2);
+  BatchOptions options;
+  options.jobs = 2;
+  options.timeout_s = 1e-7;
+  // Generous reclamation window: these documents are healthy, so their
+  // abandoned runners wind down quickly and get joined (keeps sanitizer
+  // runs clean); reap() returns as soon as they are done.
+  options.abandon_grace_s = 30;
+  BatchReport report = BatchScanner(options).scan(items);
+  EXPECT_EQ(report.docs.size(), items.size());
+  EXPECT_EQ(report.ok_count + report.timeout_count + report.error_count,
+            items.size());
+  for (const auto& doc : report.docs) {
+    if (doc.timed_out) {
+      EXPECT_FALSE(doc.ok);
+      EXPECT_NE(doc.error.find("timed out"), std::string::npos);
+    }
+  }
+}
+
+TEST(BatchScanner, ReportJsonShape) {
+  std::vector<BatchItem> items = make_corpus(2, 2);
+  BatchItem garbage;
+  garbage.name = "garbage.bin";
+  garbage.data = support::to_bytes("nope");
+  items.push_back(garbage);
+
+  BatchOptions options;
+  options.jobs = 2;
+  BatchReport report = BatchScanner(options).scan(items);
+  const std::string json = report.to_json().dump(2);
+
+  for (const char* key :
+       {"\"detector_id\"", "\"jobs\"", "\"documents\"", "\"ok\"",
+        "\"errors\"", "\"timeouts\"", "\"suspicious\"", "\"wall_s\"",
+        "\"docs_per_s\"", "\"phase_cpu_seconds\"", "\"parse_decompress_s\"",
+        "\"docs\"", "\"output_crc32\"", "\"static_features\"",
+        "\"binary_sum\"", "\"document_key\"", "\"error\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_EQ(json.find("\"output\""), std::string::npos)
+      << "raw output bytes must not leak into the report";
+}
+
+TEST(BatchScanner, ScanDirectoryReadsRecursivelyAndSorted) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pdfshield_batch_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "sub");
+
+  corpus::CorpusGenerator gen;
+  auto samples = gen.generate_benign(3);
+  const auto write = [](const fs::path& p, support::BytesView data) {
+    std::ofstream out(p, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  };
+  write(dir / "b.pdf", samples[0].data);
+  write(dir / "a.pdf", samples[1].data);
+  write(dir / "sub" / "c.pdf", samples[2].data);
+
+  BatchOptions options;
+  options.jobs = 2;
+  BatchReport report = BatchScanner(options).scan_directory(dir);
+  ASSERT_EQ(report.docs.size(), 3u);
+  EXPECT_EQ(report.docs[0].name, "a.pdf");
+  EXPECT_EQ(report.docs[1].name, "b.pdf");
+  EXPECT_EQ(report.docs[2].name, "sub/c.pdf");
+  EXPECT_EQ(report.ok_count, 3u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pdfshield

@@ -31,3 +31,41 @@ execute_process(COMMAND ${CLI} detonate ${bsample} RESULT_VARIABLE rc OUTPUT_QUI
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "detonate expected exit 0 (benign), got ${rc}")
 endif()
+
+# batch over the corpus dir (manifest.csv fails per-doc, so expect exit 3
+# and exactly one error in the report) — run twice at different widths and
+# require byte-identical reports modulo the timing fields.
+run_checked(${CLI} corpus ${WORK}/batch-corpus benign 6 malicious 6)
+execute_process(COMMAND ${CLI} batch ${WORK}/batch-corpus --jobs 1
+                        --out ${WORK}/report1.json
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "batch --jobs 1 expected exit 3 (manifest.csv error), got ${rc}")
+endif()
+execute_process(COMMAND ${CLI} batch ${WORK}/batch-corpus --jobs 8
+                        --out ${WORK}/report8.json
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "batch --jobs 8 expected exit 3 (manifest.csv error), got ${rc}")
+endif()
+foreach(n 1 8)
+  file(READ ${WORK}/report${n}.json report_json)
+  if(NOT report_json MATCHES "\"errors\": 1,")
+    message(FATAL_ERROR "batch report${n}.json: expected exactly one error")
+  endif()
+  if(NOT report_json MATCHES "\"ok\": 12,")
+    message(FATAL_ERROR "batch report${n}.json: expected 12 ok documents")
+  endif()
+  # Strip the fields that legitimately vary between runs (worker count,
+  # timings, throughput); the rest must be identical: determinism across
+  # thread counts.
+  string(REGEX REPLACE "\"(jobs|wall_s|docs_per_s|parse_decompress_s|feature_extraction_s|instrumentation_s|total_s)\": [0-9.e+-]+" ""
+         stripped "${report_json}")
+  file(WRITE ${WORK}/report${n}.stripped.json "${stripped}")
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK}/report1.stripped.json ${WORK}/report8.stripped.json
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "batch reports differ between --jobs 1 and --jobs 8")
+endif()

@@ -10,13 +10,20 @@
 //   pdfshield detonate <in.pdf> [--version 8.0|9.0] [--kernel-hooks]
 //       full pipeline in the simulated reader; JSON report to stdout;
 //       exit code 2 when the document is convicted.
+//   pdfshield batch <dir> [--jobs N] [--out report.json] [...]
+//       multi-threaded front-end scan of every file under <dir>; summary
+//       to stdout, full JSON report to --out. Exit code 3 when some
+//       documents failed (the batch itself still completes).
 //   pdfshield corpus <out-dir> [benign N] [malicious M]
 //       writes a synthetic labelled corpus to disk.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
+#include "core/batch_scanner.hpp"
 #include "core/deinstrumentation.hpp"
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
@@ -26,6 +33,7 @@
 #include "reader/reader_sim.hpp"
 #include "support/checksum.hpp"
 #include "support/json.hpp"
+#include "support/strings.hpp"
 #include "sys/kernel.hpp"
 
 using namespace pdfshield;
@@ -169,6 +177,64 @@ int cmd_detonate(const std::vector<std::string>& args) {
   return malicious ? 2 : 0;
 }
 
+int cmd_batch(const std::vector<std::string>& args) {
+  const std::filesystem::path dir = args.at(0);
+  if (!std::filesystem::is_directory(dir)) {
+    std::cerr << "error: " << dir << " is not a directory\n";
+    return 1;
+  }
+
+  core::BatchOptions options;
+  const std::string jobs = flag_value(args, "--jobs", "");
+  if (jobs.empty()) {
+    options.jobs = std::max(1u, std::thread::hardware_concurrency());
+  } else {
+    const int n = std::atoi(jobs.c_str());
+    if (n <= 0) {
+      std::cerr << "error: --jobs expects a positive integer, got '" << jobs
+                << "'\n";
+      return 1;
+    }
+    options.jobs = static_cast<std::size_t>(n);
+  }
+  options.timeout_s = std::atof(flag_value(args, "--timeout", "0").c_str());
+  options.detector_id = flag_value(args, "--detector-id", "");
+  const std::string out_dir = flag_value(args, "--write-outputs", "");
+  options.keep_outputs = !out_dir.empty();
+  options.frontend.incremental_update = has_flag(args, "--incremental");
+
+  core::BatchScanner scanner(options);
+  core::BatchReport report = scanner.scan_directory(dir);
+
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    for (const auto& doc : report.docs) {
+      if (!doc.ok) continue;
+      const std::filesystem::path out =
+          std::filesystem::path(out_dir) / (doc.name + ".instrumented.pdf");
+      std::filesystem::create_directories(out.parent_path());
+      write_file(out.string(), doc.output);
+    }
+  }
+  const std::string report_path = flag_value(args, "--out", "");
+  if (!report_path.empty()) {
+    write_file(report_path, support::to_bytes(report.to_json().dump(2)));
+  }
+
+  std::cout << "scanned " << report.docs.size() << " document(s) with "
+            << report.jobs << " worker(s) in "
+            << support::format_double(report.wall_s, 3) << "s ("
+            << support::format_double(report.docs_per_s, 1) << " docs/s): "
+            << report.ok_count << " ok, " << report.suspicious_count
+            << " suspicious, " << report.error_count << " error(s), "
+            << report.timeout_count << " timeout(s)\n";
+  for (const auto& doc : report.docs) {
+    if (!doc.ok) std::cout << "  FAILED " << doc.name << ": " << doc.error << "\n";
+  }
+  if (!report_path.empty()) std::cout << "wrote " << report_path << "\n";
+  return (report.error_count + report.timeout_count) == 0 ? 0 : 3;
+}
+
 int cmd_corpus(const std::vector<std::string>& args) {
   const std::filesystem::path dir = args.at(0);
   std::filesystem::create_directories(dir / "benign");
@@ -201,6 +267,9 @@ int usage() {
          "  pdfshield instrument <in.pdf> <out.pdf> [--incremental]\n"
          "  pdfshield deinstrument <in.pdf> <out.pdf> <record.psrec>\n"
          "  pdfshield detonate <in.pdf> [--version 9.0] [--kernel-hooks]\n"
+         "  pdfshield batch <dir> [--jobs N] [--out report.json]\n"
+         "                  [--timeout S] [--detector-id HEX16]\n"
+         "                  [--write-outputs <dir>] [--incremental]\n"
          "  pdfshield corpus <out-dir> [benign N] [malicious M]\n";
   return 64;
 }
@@ -216,6 +285,7 @@ int main(int argc, char** argv) {
     if (command == "instrument" && args.size() >= 2) return cmd_instrument(args);
     if (command == "deinstrument" && args.size() >= 3) return cmd_deinstrument(args);
     if (command == "detonate" && args.size() >= 1) return cmd_detonate(args);
+    if (command == "batch" && args.size() >= 1) return cmd_batch(args);
     if (command == "corpus" && args.size() >= 1) return cmd_corpus(args);
     return usage();
   } catch (const std::exception& e) {
