@@ -33,7 +33,8 @@ std::uint64_t checksum_column(const core::BatchReport& report) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_output_path(argc, argv);
   bench::print_header("Batch", "front-end throughput by worker count");
 
   const bench::Scale scale = bench::bench_scale();
@@ -46,6 +47,7 @@ int main() {
 
   support::TextTable table({"jobs", "wall s", "docs/s", "speedup", "ok",
                             "err", "outputs"});
+  std::vector<bench::BenchResult> results;
   double serial_wall = 0;
   std::uint64_t serial_checksum = 0;
   for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
@@ -68,7 +70,19 @@ int main() {
       std::cout << "FAIL: outputs diverged at " << jobs << " jobs\n";
       return 1;
     }
+    const std::string key = "BatchScan/jobs:" + std::to_string(jobs);
+    results.push_back({key + "/docs_per_s", report.docs_per_s,
+                       "docs_per_second"});
+    results.push_back({key + "/wall_s", report.wall_s, "seconds"});
+    results.push_back(
+        {key + "/speedup", serial_wall > 0 ? serial_wall / report.wall_s : 1.0,
+         "x_vs_serial"});
+    results.push_back(
+        {key + "/errors", static_cast<double>(report.error_count), "count"});
   }
   std::cout << table;
+  if (!json_path.empty()) {
+    bench::bench_to_json(json_path, "batch_throughput", results);
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 // the table/figure benches above own those.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/jschain.hpp"
 #include "core/monitor_codegen.hpp"
 #include "core/pipeline.hpp"
@@ -15,6 +16,20 @@
 using namespace pdfshield;
 
 namespace {
+
+/// Compressible input: lorem text (long matches, the common PDF case).
+support::Bytes text_input(std::size_t size) {
+  support::Rng rng(3);
+  return support::to_bytes(corpus::lorem_text(rng, size));
+}
+
+/// Near-incompressible input: raw RNG bytes (literal-dominated decode).
+support::Bytes noise_input(std::size_t size) {
+  support::Rng rng(9);
+  support::Bytes data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  return data;
+}
 
 support::Bytes sample_pdf(std::size_t pages) {
   support::Rng rng(1);
@@ -37,10 +52,8 @@ void BM_FlateCompress(benchmark::State& state) {
 BENCHMARK(BM_FlateCompress)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_FlateDecompress(benchmark::State& state) {
-  support::Rng rng(3);
-  const support::Bytes data =
-      support::to_bytes(corpus::lorem_text(rng, static_cast<std::size_t>(state.range(0))));
-  const support::Bytes packed = flate::zlib_compress(data);
+  const support::Bytes packed =
+      flate::zlib_compress(text_input(static_cast<std::size_t>(state.range(0))));
   for (auto _ : state) {
     benchmark::DoNotOptimize(flate::zlib_decompress(packed));
   }
@@ -48,6 +61,18 @@ void BM_FlateDecompress(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_FlateDecompress)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_FlateDecompressIncompressible(benchmark::State& state) {
+  const support::Bytes packed =
+      flate::zlib_compress(noise_input(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flate::zlib_decompress(packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FlateDecompressIncompressible)
+    ->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_PdfParse(benchmark::State& state) {
   const support::Bytes file = sample_pdf(static_cast<std::size_t>(state.range(0)));
@@ -120,6 +145,70 @@ void BM_FullFrontEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFrontEnd)->Arg(10)->Arg(100);
 
+/// Hand-timed flate suite for the `--json` trajectory mode. Kept off
+/// google-benchmark so the output format (and therefore the checked-in
+/// BENCH_flate.json baselines) is fully under our control.
+std::vector<bench::BenchResult> run_flate_json_suite() {
+  constexpr std::size_t kSizes[] = {4 << 10, 64 << 10, 1 << 20};
+  constexpr double kMinSeconds = 0.2;
+
+  struct Case {
+    const char* name;
+    support::Bytes (*make_input)(std::size_t);
+    bool decompress;
+  };
+  constexpr Case kCases[] = {
+      {"BM_FlateCompress", &text_input, false},
+      {"BM_FlateDecompress", &text_input, true},
+      {"BM_FlateDecompressIncompressible", &noise_input, true},
+  };
+
+  std::vector<bench::BenchResult> results;
+  for (const Case& c : kCases) {
+    for (std::size_t size : kSizes) {
+      const support::Bytes data = c.make_input(size);
+      const support::Bytes packed = flate::zlib_compress(data);
+      const support::Bytes& input = c.decompress ? packed : data;
+      auto run_once = [&] {
+        if (c.decompress) {
+          benchmark::DoNotOptimize(flate::zlib_decompress(input));
+        } else {
+          benchmark::DoNotOptimize(flate::zlib_compress(input));
+        }
+      };
+      run_once();  // warm-up (touches pages, builds fixed tables)
+      std::size_t iterations = 0;
+      bench::Timer timer;
+      double elapsed = 0;
+      while (elapsed < kMinSeconds || iterations < 3) {
+        run_once();
+        ++iterations;
+        elapsed = timer.seconds();
+      }
+      bench::BenchResult r;
+      r.name = std::string(c.name) + "/" + std::to_string(size);
+      r.value = static_cast<double>(size) * static_cast<double>(iterations) /
+                elapsed;
+      r.unit = "bytes_per_second";
+      std::cout << r.name << ": "
+                << bench::fmt(r.value / (1024.0 * 1024.0), 1) << " MB/s ("
+                << iterations << " iters)\n";
+      results.push_back(std::move(r));
+    }
+  }
+  return results;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_output_path(argc, argv);
+  if (!json_path.empty()) {
+    bench::bench_to_json(json_path, "flate_micro", run_flate_json_suite());
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,14 +6,17 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/detector.hpp"
 #include "support/checksum.hpp"
 #include "core/pipeline.hpp"
 #include "corpus/generator.hpp"
 #include "reader/reader_sim.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "sys/kernel.hpp"
@@ -103,6 +106,50 @@ inline std::string mb(double bytes) {
 
 inline void print_header(const std::string& id, const std::string& title) {
   std::cout << "\n==== " << id << ": " << title << " ====\n";
+}
+
+/// One measurement destined for a BENCH_*.json trajectory file.
+struct BenchResult {
+  std::string name;   ///< stable key, e.g. "BM_FlateDecompress/1048576"
+  double value = 0;   ///< measured value in `unit`
+  std::string unit;   ///< e.g. "bytes_per_second", "docs_per_second"
+};
+
+/// Scans argv for `--json PATH`; empty string when absent.
+inline std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Writes results in the stable trajectory format consumed by
+/// tools/bench_check.py and archived as BENCH_<suite>.json at the repo
+/// root. Keys must stay stable across PRs — the checked-in baselines are
+/// compared by name.
+inline void bench_to_json(const std::string& path, const std::string& suite,
+                          const std::vector<BenchResult>& results) {
+  const char* scale = std::getenv("PDFSHIELD_BENCH_SCALE");
+  support::Json root = support::Json::object();
+  root["suite"] = suite;
+  root["scale"] = scale ? scale : "default";
+  support::Json entries = support::Json::array();
+  for (const BenchResult& r : results) {
+    support::Json e = support::Json::object();
+    e["name"] = r.name;
+    e["value"] = r.value;
+    e["unit"] = r.unit;
+    entries.push_back(e);
+  }
+  root["benchmarks"] = entries;
+  std::ofstream out(path);
+  out << root.dump(2) << "\n";
+  if (!out) {
+    std::cerr << "bench_to_json: failed to write " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "wrote " << results.size() << " benchmark entries to " << path
+            << "\n";
 }
 
 }  // namespace pdfshield::bench

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 
+#include "pdf/filters.hpp"
 #include "support/encoding.hpp"
 #include "support/strings.hpp"
 
@@ -226,25 +227,30 @@ void Instrumenter::replace_script(pdf::Document& doc, const JsSite& site,
   pdf::Object* js = dict.find("JS");
   if (!js) return;
 
+  // Monitor wrappers multiply script size; re-deflating the instrumented
+  // stream keeps the output document close to the input's size (and is
+  // cheap now that deflate uses lazy hash-chain matching).
+  auto set_stream_script = [](pdf::Stream& s, const std::string& script) {
+    pdf::EncodedStream enc =
+        pdf::encode_stream(support::to_bytes(script), {"FlateDecode"});
+    s.data = std::move(enc.data);
+    s.dict.set("Filter", std::move(enc.filter));
+    s.dict.erase("DecodeParms");
+    s.dict.set("Length", pdf::Object(static_cast<std::int64_t>(s.data.size())));
+  };
+
   if (js->is_ref()) {
     pdf::Object* target = doc.object(js->as_ref());
     if (!target) return;
     if (target->is_stream()) {
-      pdf::Stream& s = target->as_stream();
-      s.data = support::to_bytes(replacement);
-      s.dict.erase("Filter");
-      s.dict.erase("DecodeParms");
-      s.dict.set("Length", pdf::Object(static_cast<std::int64_t>(s.data.size())));
+      set_stream_script(target->as_stream(), replacement);
     } else if (target->is_string()) {
       *target = pdf::Object::string(replacement);
     }
     return;
   }
   if (js->is_stream()) {
-    pdf::Stream& s = js->as_stream();
-    s.data = support::to_bytes(replacement);
-    s.dict.erase("Filter");
-    s.dict.set("Length", pdf::Object(static_cast<std::int64_t>(s.data.size())));
+    set_stream_script(js->as_stream(), replacement);
     return;
   }
   *js = pdf::Object::string(replacement);
@@ -314,6 +320,10 @@ void Instrumenter::deinstrument(pdf::Document& doc,
     if (target->is_stream()) {
       pdf::Stream& s = target->as_stream();
       s.data = support::to_bytes(entry.original);
+      // replace_script re-deflated the stream; the restored script is
+      // stored plain, so the filter entries must go with it.
+      s.dict.erase("Filter");
+      s.dict.erase("DecodeParms");
       s.dict.set("Length", pdf::Object(static_cast<std::int64_t>(s.data.size())));
     } else {
       *target = pdf::Object::string(entry.original);

@@ -4,22 +4,10 @@ namespace pdfshield::flate {
 
 using support::DecodeError;
 
-void BitReader::refill() {
-  while (nbits_ <= 56 && pos_ < data_.size()) {
-    acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
-    nbits_ += 8;
-  }
-}
-
 std::uint32_t BitReader::read_bits(int n) {
   if (n < 0 || n > 32) throw support::LogicError("BitReader::read_bits bad n");
   if (n == 0) return 0;
-  if (nbits_ < n) refill();
-  if (nbits_ < n) throw DecodeError("deflate stream truncated");
-  const std::uint32_t v = static_cast<std::uint32_t>(acc_ & ((1ull << n) - 1));
-  acc_ >>= n;
-  nbits_ -= n;
-  return v;
+  return take_bits(n);
 }
 
 void BitReader::align_to_byte() {
@@ -32,11 +20,11 @@ support::Bytes BitReader::read_aligned_bytes(std::size_t n) {
   align_to_byte();
   support::Bytes out;
   out.reserve(n);
-  // Drain buffered whole bytes first, then copy directly from input.
+  // Drain buffered whole bytes first (at most 8 after alignment), then copy
+  // the remainder straight from the input in one insert.
   while (n > 0 && nbits_ >= 8) {
     out.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
-    acc_ >>= 8;
-    nbits_ -= 8;
+    consume(8);
     --n;
   }
   if (n > data_.size() - pos_) throw DecodeError("stored block truncated");

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "support/bytes.hpp"
 #include "support/error.hpp"
@@ -9,6 +10,20 @@
 namespace pdfshield::flate {
 
 /// Reads bits least-significant-first from a byte buffer.
+///
+/// Two tiers of API:
+///  * `read_bits`/`read_bit` — checked reads, used for headers and other
+///    cold paths.
+///  * `refill` + `peek`/`buffered_bits`/`consume` — the decode fast path.
+///    One `refill` buffers up to 64 bits (an 8-byte memcpy mid-stream), which
+///    is enough for a whole literal/length + extra + distance + extra group
+///    (at most 48 bits), so the inner inflate loop resolves each symbol
+///    group from a single buffered word.
+///
+/// Invariant: bits of `acc_` at positions >= `nbits_` are zero, so `peek()`
+/// past the end of a truncated stream reads as zero padding and the decoder
+/// can detect over-consumption via `buffered_bits()` instead of reading out
+/// of bounds.
 class BitReader {
  public:
   explicit BitReader(support::BytesView data) : data_(data) {}
@@ -30,9 +45,57 @@ class BitReader {
 
   bool at_end() const { return pos_ >= data_.size() && nbits_ == 0; }
 
- private:
-  void refill();
+  // --- decode fast path ----------------------------------------------------
 
+  /// Tops up the accumulator to >= 57 buffered bits while input remains
+  /// (a single unaligned 8-byte load mid-stream; a byte loop near the end).
+  void refill() {
+    if (nbits_ > 56) return;
+    if (pos_ + 8 <= data_.size()) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, data_.data() + pos_, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+      chunk = __builtin_bswap64(chunk);
+#endif
+      // Only whole bytes that fit above the buffered bits are committed, so
+      // the zero-above-nbits_ invariant holds.
+      const int nbytes = (64 - nbits_) >> 3;
+      if (nbytes < 8) chunk &= (1ull << (nbytes * 8)) - 1;
+      acc_ |= chunk << nbits_;
+      pos_ += static_cast<std::size_t>(nbytes);
+      nbits_ += nbytes * 8;
+    } else {
+      while (nbits_ <= 56 && pos_ < data_.size()) {
+        acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+        nbits_ += 8;
+      }
+    }
+  }
+
+  /// Buffered bits, zero-padded above `buffered_bits()`.
+  std::uint64_t peek() const { return acc_; }
+
+  int buffered_bits() const { return nbits_; }
+
+  /// Drops `n` buffered bits. Caller must have verified n <= buffered_bits().
+  void consume(int n) {
+    acc_ >>= n;
+    nbits_ -= n;
+  }
+
+  /// Checked fast read: refills if needed, throws DecodeError on truncation.
+  std::uint32_t take_bits(int n) {
+    if (nbits_ < n) {
+      refill();
+      if (nbits_ < n) throw support::DecodeError("deflate stream truncated");
+    }
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(acc_ & ((1ull << n) - 1));
+    consume(n);
+    return v;
+  }
+
+ private:
   support::BytesView data_;
   std::size_t pos_ = 0;
   std::uint64_t acc_ = 0;

@@ -1,6 +1,8 @@
 #include "flate/deflate.hpp"
 
 #include <array>
+#include <tuple>
+#include <utility>
 
 #include "flate/bitstream.hpp"
 #include "flate/huffman.hpp"
@@ -114,57 +116,109 @@ Bytes deflate_fixed(BytesView data) {
         kDistExtra[static_cast<std::size_t>(dc)]);
   };
 
-  // Hash-chain LZ77: head[h] is the most recent position with hash h,
-  // prev[i % window] chains back through earlier positions.
+  // Hash-chain LZ77 with a lazy-match heuristic (zlib's deflate_slow
+  // shape): head[h] is the most recent position with hash h, prev[i %
+  // window] chains back through earlier positions. Before committing a
+  // match found at position i, the matcher peeks at i+1; if a strictly
+  // longer match starts there, position i is demoted to a literal.
   std::vector<std::int64_t> head(kHashSize, -1);
   std::vector<std::int64_t> prev(kWindowSize, -1);
   constexpr int kMaxChain = 64;
+  // A pending match at least this long is emitted without looking for a
+  // better one at the next position (diminishing returns on long matches).
+  constexpr int kLazyCutoff = 128;
 
-  std::size_t i = 0;
-  while (i < data.size()) {
+  auto insert = [&](std::size_t pos) {
+    if (pos + kMinMatch > data.size()) return;
+    const std::uint32_t h = hash3(data, pos);
+    prev[pos % kWindowSize] = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+  };
+
+  // Longest match starting at `pos` (also inserts `pos` into the chains).
+  auto longest_match = [&](std::size_t pos) -> std::pair<int, std::size_t> {
     int best_len = 0;
     std::size_t best_dist = 0;
-    if (i + kMinMatch <= data.size()) {
-      const std::uint32_t h = hash3(data, i);
-      std::int64_t cand = head[h];
-      int chain = 0;
-      while (cand >= 0 && chain < kMaxChain &&
-             i - static_cast<std::size_t>(cand) <= kWindowSize) {
-        const std::size_t c = static_cast<std::size_t>(cand);
+    if (pos + kMinMatch > data.size()) {
+      return {best_len, best_dist};
+    }
+    const std::uint32_t h = hash3(data, pos);
+    std::int64_t cand = head[h];
+    const int limit =
+        static_cast<int>(std::min<std::size_t>(kMaxMatch, data.size() - pos));
+    int chain = 0;
+    while (cand >= 0 && chain < kMaxChain &&
+           pos - static_cast<std::size_t>(cand) <= kWindowSize) {
+      const std::size_t c = static_cast<std::size_t>(cand);
+      // Cheap rejection: a longer match must extend past the current best.
+      if (best_len == 0 ||
+          data[c + static_cast<std::size_t>(best_len)] ==
+              data[pos + static_cast<std::size_t>(best_len)]) {
         int len = 0;
-        const int limit =
-            static_cast<int>(std::min<std::size_t>(kMaxMatch, data.size() - i));
         while (len < limit && data[c + static_cast<std::size_t>(len)] ==
-                                  data[i + static_cast<std::size_t>(len)]) {
+                                  data[pos + static_cast<std::size_t>(len)]) {
           ++len;
         }
         if (len > best_len) {
           best_len = len;
-          best_dist = i - c;
-          if (len == kMaxMatch) break;
+          best_dist = pos - c;
+          // A match can't extend past `limit` (end of input or kMaxMatch);
+          // stopping here also keeps the rejection peek at best_len in
+          // bounds on the next candidate.
+          if (len >= limit) break;
         }
-        cand = prev[c % kWindowSize];
-        ++chain;
       }
-      prev[i % kWindowSize] = head[h];
-      head[h] = static_cast<std::int64_t>(i);
+      cand = prev[c % kWindowSize];
+      ++chain;
+    }
+    prev[pos % kWindowSize] = head[h];
+    head[h] = static_cast<std::int64_t>(pos);
+    return {best_len, best_dist};
+  };
+
+  std::size_t i = 0;
+  int prev_len = 0;
+  std::size_t prev_dist = 0;
+  bool match_pending = false;  // match of prev_len at position i-1
+  while (i < data.size()) {
+    int cur_len = 0;
+    std::size_t cur_dist = 0;
+    if (match_pending && prev_len >= kLazyCutoff) {
+      insert(i);  // keep chains complete, skip the redundant search
+    } else {
+      std::tie(cur_len, cur_dist) = longest_match(i);
     }
 
-    if (best_len >= kMinMatch) {
-      emit_match(best_len, best_dist);
-      // Insert the skipped positions into the hash chains so later matches
-      // can reference them.
-      for (int k = 1; k < best_len && i + static_cast<std::size_t>(k) + kMinMatch <= data.size(); ++k) {
-        const std::size_t p = i + static_cast<std::size_t>(k);
-        const std::uint32_t h = hash3(data, p);
-        prev[p % kWindowSize] = head[h];
-        head[h] = static_cast<std::int64_t>(p);
+    if (match_pending) {
+      if (cur_len > prev_len) {
+        // The match one position later is longer: the pending byte becomes
+        // a literal and the new match becomes the pending one.
+        emit_literal(data[i - 1]);
+        prev_len = cur_len;
+        prev_dist = cur_dist;
+        ++i;
+      } else {
+        emit_match(prev_len, prev_dist);
+        // Positions i-1 and i are already in the chains; insert the rest of
+        // the matched span so later matches can reference it.
+        const std::size_t match_end = (i - 1) + static_cast<std::size_t>(prev_len);
+        for (std::size_t p = i + 1; p < match_end; ++p) insert(p);
+        i = match_end;
+        match_pending = false;
       }
-      i += static_cast<std::size_t>(best_len);
+    } else if (cur_len >= kMinMatch) {
+      match_pending = true;
+      prev_len = cur_len;
+      prev_dist = cur_dist;
+      ++i;
     } else {
       emit_literal(data[i]);
       ++i;
     }
+  }
+  if (match_pending) {
+    // Pending match at the final position scanned.
+    emit_match(prev_len, prev_dist);
   }
 
   const HuffmanCode& eob = kLitCodes[256];

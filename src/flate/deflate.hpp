@@ -1,7 +1,8 @@
 // Raw DEFLATE compression. Two strategies:
 //  * Stored  — no compression; used for incompressible payloads and as a
 //              baseline in filter tests.
-//  * Fixed   — LZ77 (hash-chain greedy matching) over the fixed Huffman
+//  * Fixed   — LZ77 (hash-chain matching with one-position lazy
+//              evaluation, zlib deflate_slow-style) over the fixed Huffman
 //              alphabet; the common path for PDF stream encoding.
 #pragma once
 

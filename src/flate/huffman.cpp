@@ -1,58 +1,111 @@
 #include "flate/huffman.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "support/error.hpp"
 
 namespace pdfshield::flate {
 
 using support::DecodeError;
 
+namespace {
+
+/// Reverses the low `len` bits of `code` (DEFLATE codes are MSB-first in
+/// code space but enter the LSB-first bit stream reversed).
+std::uint32_t bit_reverse(std::uint32_t code, int len) {
+  std::uint32_t rev = 0;
+  for (int i = 0; i < len; ++i) {
+    rev = (rev << 1) | ((code >> i) & 1);
+  }
+  return rev;
+}
+
+}  // namespace
+
 HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
   for (std::uint8_t l : lengths) max_len_ = std::max<int>(max_len_, l);
   if (max_len_ > 15) throw DecodeError("huffman code length > 15");
-  counts_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+
+  std::array<int, 16> counts{};
   for (std::uint8_t l : lengths) {
-    if (l > 0) ++counts_[l];
+    if (l > 0) ++counts[l];
   }
 
-  // Kraft inequality check: reject over-subscribed codes.
+  // Kraft inequality check: reject over-subscribed codes. (Incomplete codes
+  // are accepted — their unused table entries stay 0 and fail at decode.)
   long long remaining = 1;
   for (int l = 1; l <= max_len_; ++l) {
     remaining <<= 1;
-    remaining -= counts_[l];
+    remaining -= counts[static_cast<std::size_t>(l)];
     if (remaining < 0) throw DecodeError("over-subscribed huffman code");
   }
 
-  first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
-  offsets_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  // Canonical code assignment: next_code[l] is the next code of length l.
+  std::array<std::uint32_t, 16> next_code{};
   std::uint32_t code = 0;
-  int offset = 0;
   for (int l = 1; l <= max_len_; ++l) {
-    code = (code + static_cast<std::uint32_t>(counts_[l - 1])) << 1;
-    first_code_[l] = code;
-    offsets_[l] = offset;
-    offset += counts_[l];
+    code = (code + static_cast<std::uint32_t>(counts[static_cast<std::size_t>(l - 1)]))
+           << 1;
+    next_code[static_cast<std::size_t>(l)] = code;
   }
 
-  sorted_.resize(static_cast<std::size_t>(offset));
-  std::vector<int> next(offsets_);
+  root_.assign(kRootSize, 0);
+  if (max_len_ == 0) return;  // no symbols: every decode fails
+
+  // For codes longer than the root table, size one secondary table per root
+  // prefix: 2^(longest code sharing that prefix - kRootBits) entries.
+  std::array<std::uint8_t, kRootSize> sub_bits{};
+  std::array<std::uint32_t, kRootSize> sub_offset{};
+  if (max_len_ > kRootBits) {
+    std::array<std::uint32_t, 16> probe = next_code;
+    for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+      const int l = lengths[sym];
+      if (l <= kRootBits) continue;
+      const std::uint32_t rev = bit_reverse(probe[static_cast<std::size_t>(l)]++, l);
+      const std::uint32_t prefix = rev & (kRootSize - 1);
+      sub_bits[prefix] = std::max<std::uint8_t>(
+          sub_bits[prefix], static_cast<std::uint8_t>(l - kRootBits));
+    }
+    std::uint32_t total = 0;
+    for (std::uint32_t p = 0; p < kRootSize; ++p) {
+      if (sub_bits[p] == 0) continue;
+      sub_offset[p] = total;
+      total += 1u << sub_bits[p];
+      root_[p] = kSubFlag | (sub_offset[p] << 5) | sub_bits[p];
+    }
+    sub_.assign(total, 0);
+  }
+
   for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
     const int l = lengths[sym];
-    if (l > 0) sorted_[static_cast<std::size_t>(next[l]++)] = static_cast<int>(sym);
-  }
-}
-
-int HuffmanDecoder::decode(BitReader& in) const {
-  std::uint32_t code = 0;
-  for (int l = 1; l <= max_len_; ++l) {
-    code = (code << 1) | in.read_bit();
-    const int count = counts_[l];
-    if (count > 0 && code < first_code_[l] + static_cast<std::uint32_t>(count)) {
-      if (code >= first_code_[l]) {
-        return sorted_[static_cast<std::size_t>(
-            offsets_[l] + static_cast<int>(code - first_code_[l]))];
+    if (l == 0) continue;
+    const std::uint32_t rev =
+        bit_reverse(next_code[static_cast<std::size_t>(l)]++, l);
+    const std::uint32_t entry =
+        (static_cast<std::uint32_t>(sym) << 5) | static_cast<std::uint32_t>(l);
+    if (l <= kRootBits) {
+      // Fill every root slot whose low `l` bits equal the reversed code.
+      const std::uint32_t step = 1u << l;
+      for (std::uint32_t idx = rev; idx < kRootSize; idx += step) {
+        root_[idx] = entry;
+      }
+    } else {
+      const std::uint32_t prefix = rev & (kRootSize - 1);
+      const std::uint32_t high = rev >> kRootBits;  // l - kRootBits bits
+      const std::uint32_t step = 1u << (l - kRootBits);
+      const std::uint32_t size = 1u << sub_bits[prefix];
+      for (std::uint32_t idx = high; idx < size; idx += step) {
+        sub_[sub_offset[prefix] + idx] = entry;
       }
     }
   }
+}
+
+void HuffmanDecoder::throw_bad_code(const BitReader& in) {
+  // Fewer real bits than a full refill provides means the input itself ran
+  // out; otherwise the bits name a code that is not in the table.
+  if (in.buffered_bits() < 15) throw DecodeError("deflate stream truncated");
   throw DecodeError("invalid huffman code");
 }
 

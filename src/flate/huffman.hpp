@@ -9,27 +9,54 @@
 
 namespace pdfshield::flate {
 
-/// Decoder over a canonical Huffman code described by per-symbol lengths.
+/// Table-driven decoder over a canonical Huffman code described by
+/// per-symbol lengths.
+///
+/// Layout: a root lookup table indexed by the next `kRootBits` (9) stream
+/// bits, packed as `(symbol, length)` entries. Codes longer than 9 bits
+/// resolve through per-prefix secondary tables indexed by the remaining
+/// `max_len - 9` bits; the root entry for such a prefix stores the
+/// subtable offset and index width instead of a symbol. Every decode is
+/// one or two loads from a single buffered 64-bit word — no per-bit loop.
 class HuffmanDecoder {
  public:
+  static constexpr int kRootBits = 9;
+
   /// `lengths[sym]` is the code length for symbol `sym` (0 = unused).
   /// Throws DecodeError if the lengths describe an over-subscribed code.
   explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
 
   /// Decodes the next symbol from `in`. Throws DecodeError on a code not in
-  /// the table or truncated input.
-  int decode(BitReader& in) const;
+  /// the table or truncated input. Never reads past the end of the input
+  /// buffer: lookups beyond a truncated stream see zero padding and are
+  /// rejected by the buffered-bits check before any bit is consumed.
+  int decode(BitReader& in) const {
+    in.refill();
+    std::uint32_t e = root_[in.peek() & (kRootSize - 1)];
+    if (e & kSubFlag) {
+      const int sub_bits = static_cast<int>(e & 31);
+      const std::size_t off = (e >> 5) & 0x03ffffffu;
+      e = sub_[off + static_cast<std::size_t>(
+                         (in.peek() >> kRootBits) & ((1u << sub_bits) - 1))];
+    }
+    const int len = static_cast<int>(e & 31);
+    if (len == 0 || len > in.buffered_bits()) throw_bad_code(in);
+    in.consume(len);
+    return static_cast<int>(e >> 5);
+  }
 
   int max_length() const { return max_len_; }
 
  private:
-  // counts_[l]  = number of codes of length l
-  // offsets_[l] = index into sorted_ of the first symbol of length l
-  // first_code_[l] = canonical code value of the first code of length l
-  std::vector<int> counts_;
-  std::vector<int> offsets_;
-  std::vector<std::uint32_t> first_code_;
-  std::vector<int> sorted_;
+  static constexpr std::uint32_t kRootSize = 1u << kRootBits;
+  static constexpr std::uint32_t kSubFlag = 0x80000000u;
+
+  [[noreturn]] static void throw_bad_code(const BitReader& in);
+
+  // Entries pack (symbol << 5) | code_length; 0 marks an unused code.
+  // Root entries with kSubFlag set pack (offset << 5) | sub_index_bits.
+  std::vector<std::uint32_t> root_;
+  std::vector<std::uint32_t> sub_;
   int max_len_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "flate/inflate.hpp"
 
 #include <array>
+#include <cstring>
 
 #include "flate/bitstream.hpp"
 #include "flate/huffman.hpp"
@@ -47,44 +48,110 @@ std::vector<std::uint8_t> fixed_distance_lengths() {
   return std::vector<std::uint8_t>(30, 5);
 }
 
+/// Growable decode buffer with a hard output cap. Tracks the logical length
+/// separately from the vector size so the hot loop appends through raw
+/// pointers without per-byte vector bookkeeping; `take()` trims to the
+/// logical length at the end.
+class OutputSink {
+ public:
+  explicit OutputSink(std::size_t max_output, std::size_t size_hint)
+      : max_(max_output) {
+    buf_.resize(std::min(max_output, std::max<std::size_t>(size_hint, 256)));
+    sync_limit();
+  }
+
+  std::size_t size() const { return len_; }
+
+  void put(std::uint8_t b) {
+    if (len_ >= limit_) grow(1);
+    buf_[len_++] = b;
+  }
+
+  void append(const std::uint8_t* p, std::size_t n) {
+    if (n == 0) return;  // empty stored block; p may be null
+    if (len_ + n > limit_) grow(n);
+    std::memcpy(buf_.data() + len_, p, n);
+    len_ += n;
+  }
+
+  /// Replicates `len` bytes starting `dist` bytes back from the write head.
+  /// Caller must have validated `dist <= size()`.
+  void copy_match(std::size_t dist, std::size_t len) {
+    if (len_ + len > limit_) grow(len);
+    std::uint8_t* dst = buf_.data() + len_;
+    const std::uint8_t* src = dst - dist;
+    len_ += len;
+    if (dist >= len) {
+      std::memcpy(dst, src, len);
+      return;
+    }
+    // Overlapping back-reference: the output is periodic in `dist`. Copy in
+    // doubling chunks from the fixed pattern start — O(log(len/dist))
+    // memcpys, each reading only already-written bytes.
+    std::size_t avail = dist;
+    while (len > 0) {
+      const std::size_t n = std::min(avail, len);
+      std::memcpy(dst, src, n);
+      dst += n;
+      len -= n;
+      avail *= 2;
+    }
+  }
+
+  Bytes take() {
+    buf_.resize(len_);
+    return std::move(buf_);
+  }
+
+ private:
+  void grow(std::size_t need) {
+    if (len_ + need > max_) throw DecodeError("inflate output limit exceeded");
+    std::size_t target = std::max(buf_.size() * 2, len_ + need);
+    buf_.resize(std::min(target, max_));
+    sync_limit();
+  }
+
+  void sync_limit() { limit_ = std::min(buf_.size(), max_); }
+
+  Bytes buf_;
+  std::size_t len_ = 0;
+  std::size_t max_;
+  std::size_t limit_ = 0;
+};
+
 void inflate_block(BitReader& in, const HuffmanDecoder& lit,
-                   const HuffmanDecoder* dist, Bytes& out,
-                   std::size_t max_output) {
+                   const HuffmanDecoder* dist, OutputSink& out) {
   while (true) {
+    // One refill buffers >= 57 bits mid-stream — enough for the longest
+    // literal/length code + extra bits + distance code + extra bits
+    // (15 + 5 + 15 + 13 = 48), so the whole group decodes from one word.
     const int sym = lit.decode(in);
-    if (sym == 256) return;  // end of block
     if (sym < 256) {
-      if (out.size() >= max_output) throw DecodeError("inflate output limit exceeded");
-      out.push_back(static_cast<std::uint8_t>(sym));
+      out.put(static_cast<std::uint8_t>(sym));
       continue;
     }
+    if (sym == 256) return;  // end of block
     const int li = sym - 257;
-    if (li < 0 || li >= static_cast<int>(kLengthBase.size())) {
+    if (li >= static_cast<int>(kLengthBase.size())) {
       throw DecodeError("invalid length symbol");
     }
-    const int length =
+    const std::size_t length = static_cast<std::size_t>(
         kLengthBase[static_cast<std::size_t>(li)] +
-        static_cast<int>(in.read_bits(kLengthExtra[static_cast<std::size_t>(li)]));
+        static_cast<int>(in.take_bits(kLengthExtra[static_cast<std::size_t>(li)])));
     if (dist == nullptr) throw DecodeError("length code without distance table");
     const int dsym = dist->decode(in);
-    if (dsym < 0 || dsym >= static_cast<int>(kDistBase.size())) {
+    if (dsym >= static_cast<int>(kDistBase.size())) {
       throw DecodeError("invalid distance symbol");
     }
     const std::size_t distance =
         static_cast<std::size_t>(kDistBase[static_cast<std::size_t>(dsym)]) +
-        in.read_bits(kDistExtra[static_cast<std::size_t>(dsym)]);
+        in.take_bits(kDistExtra[static_cast<std::size_t>(dsym)]);
     if (distance > out.size()) throw DecodeError("distance beyond window start");
-    if (out.size() + static_cast<std::size_t>(length) > max_output) {
-      throw DecodeError("inflate output limit exceeded");
-    }
-    // Byte-at-a-time copy: overlapping copies (distance < length) must
-    // replicate the just-written bytes, which this does naturally.
-    std::size_t from = out.size() - distance;
-    for (int i = 0; i < length; ++i) out.push_back(out[from + static_cast<std::size_t>(i)]);
+    out.copy_match(distance, length);
   }
 }
 
-void inflate_dynamic(BitReader& in, Bytes& out, std::size_t max_output) {
+void inflate_dynamic(BitReader& in, OutputSink& out) {
   const int hlit = static_cast<int>(in.read_bits(5)) + 257;
   const int hdist = static_cast<int>(in.read_bits(5)) + 1;
   const int hclen = static_cast<int>(in.read_bits(4)) + 4;
@@ -130,9 +197,9 @@ void inflate_dynamic(BitReader& in, Bytes& out, std::size_t max_output) {
   }
   if (has_dist) {
     const HuffmanDecoder dist(dist_lengths);
-    inflate_block(in, lit, &dist, out, max_output);
+    inflate_block(in, lit, &dist, out);
   } else {
-    inflate_block(in, lit, nullptr, out, max_output);
+    inflate_block(in, lit, nullptr, out);
   }
 }
 
@@ -140,7 +207,9 @@ void inflate_dynamic(BitReader& in, Bytes& out, std::size_t max_output) {
 
 Bytes inflate(support::BytesView compressed, std::size_t max_output) {
   BitReader in(compressed);
-  Bytes out;
+  // Typical PDF streams inflate to 2-4x their packed size; the sink grows
+  // geometrically past the hint and trims on take().
+  OutputSink out(max_output, compressed.size() * 3);
   bool final_block = false;
   while (!final_block) {
     final_block = in.read_bit() != 0;
@@ -151,9 +220,8 @@ Bytes inflate(support::BytesView compressed, std::size_t max_output) {
         const std::uint32_t len = in.read_bits(16);
         const std::uint32_t nlen = in.read_bits(16);
         if ((len ^ 0xffffu) != nlen) throw DecodeError("stored block LEN/NLEN mismatch");
-        if (out.size() + len > max_output) throw DecodeError("inflate output limit exceeded");
         Bytes raw = in.read_aligned_bytes(len);
-        out.insert(out.end(), raw.begin(), raw.end());
+        out.append(raw.data(), raw.size());
         break;
       }
       case 1: {  // fixed Huffman
@@ -166,17 +234,17 @@ Bytes inflate(support::BytesView compressed, std::size_t max_output) {
             new HuffmanDecoder(fixed_literal_lengths());
         static const HuffmanDecoder* const dist =
             new HuffmanDecoder(fixed_distance_lengths());
-        inflate_block(in, *lit, dist, out, max_output);
+        inflate_block(in, *lit, dist, out);
         break;
       }
       case 2:  // dynamic Huffman
-        inflate_dynamic(in, out, max_output);
+        inflate_dynamic(in, out);
         break;
       default:
         throw DecodeError("reserved deflate block type");
     }
   }
-  return out;
+  return out.take();
 }
 
 }  // namespace pdfshield::flate

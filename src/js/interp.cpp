@@ -1,5 +1,6 @@
 #include "js/interp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -172,10 +173,37 @@ Value Interpreter::make_string(std::string s) {
 // ---------------------------------------------------------------------------
 
 Interpreter::Interpreter() {
-  global_env_ = std::make_shared<Environment>();
+  global_env_ = make_env(nullptr);
   env_stack_.push_back(global_env_);
   this_stack_.push_back(Value());
   install_builtins(*this);
+}
+
+Interpreter::~Interpreter() {
+  // Mark/sweep over every environment still alive: pin them first so
+  // clearing one cannot destroy another mid-iteration, then drop all
+  // bindings and parent links. This breaks the cycles closures form
+  // (scope -> function object -> UserFunction::closure -> scope), which
+  // shared_ptr alone never reclaims.
+  std::vector<std::shared_ptr<Environment>> live;
+  live.reserve(env_registry_.size());
+  for (const auto& weak : env_registry_) {
+    if (auto env = weak.lock()) live.push_back(std::move(env));
+  }
+  for (const auto& env : live) env->clear_for_teardown();
+}
+
+std::shared_ptr<Environment> Interpreter::make_env(
+    std::shared_ptr<Environment> parent, bool function_scope) {
+  auto env = std::make_shared<Environment>(std::move(parent), function_scope);
+  if (env_registry_.size() >= env_compact_threshold_) {
+    std::erase_if(env_registry_,
+                  [](const std::weak_ptr<Environment>& w) { return w.expired(); });
+    env_compact_threshold_ =
+        std::max<std::size_t>(64, env_registry_.size() * 2);
+  }
+  env_registry_.push_back(env);
+  return env;
 }
 
 void Interpreter::step() {
@@ -264,7 +292,7 @@ void Interpreter::exec(const Stmt& stmt, const std::shared_ptr<Environment>& env
       } while (to_boolean(eval(*stmt.expr, env)));
       return;
     case StmtKind::kFor: {
-      auto scope = std::make_shared<Environment>(env);
+      auto scope = make_env(env);
       if (stmt.init) exec(*stmt.init, scope);
       while (!stmt.expr2 || to_boolean(eval(*stmt.expr2, scope))) {
         step();
@@ -280,7 +308,7 @@ void Interpreter::exec(const Stmt& stmt, const std::shared_ptr<Environment>& env
     }
     case StmtKind::kForIn: {
       const Value obj = eval(*stmt.expr, env);
-      auto scope = std::make_shared<Environment>(env);
+      auto scope = make_env(env);
       if (stmt.for_in_declares) scope->define_var(stmt.for_in_var, Value());
       std::vector<std::string> keys;
       if (obj.is_object()) {
@@ -310,7 +338,7 @@ void Interpreter::exec(const Stmt& stmt, const std::shared_ptr<Environment>& env
     case StmtKind::kContinue:
       throw ContinueSignal{};
     case StmtKind::kBlock: {
-      auto scope = std::make_shared<Environment>(env);
+      auto scope = make_env(env);
       exec_block(stmt.body, scope);
       return;
     }
@@ -319,16 +347,16 @@ void Interpreter::exec(const Stmt& stmt, const std::shared_ptr<Environment>& env
     case StmtKind::kTry: {
       auto run_finally = [&] {
         if (stmt.has_finally) {
-          auto fin = std::make_shared<Environment>(env);
+          auto fin = make_env(env);
           exec_block(stmt.finally_body, fin);
         }
       };
       try {
-        auto scope = std::make_shared<Environment>(env);
+        auto scope = make_env(env);
         exec_block(stmt.body, scope);
       } catch (const JsException& ex) {
         if (stmt.has_catch) {
-          auto scope = std::make_shared<Environment>(env);
+          auto scope = make_env(env);
           if (!stmt.catch_param.empty()) scope->define(stmt.catch_param, ex.value());
           try {
             exec_block(stmt.catch_body, scope);
@@ -352,7 +380,7 @@ void Interpreter::exec(const Stmt& stmt, const std::shared_ptr<Environment>& env
     }
     case StmtKind::kSwitch: {
       const Value subject = eval(*stmt.expr, env);
-      auto scope = std::make_shared<Environment>(env);
+      auto scope = make_env(env);
       bool matched = false;
       try {
         for (const auto& c : stmt.cases) {
@@ -423,7 +451,7 @@ Value Interpreter::eval(const Expr& expr, const std::shared_ptr<Environment>& en
       fn->user->closure = env;
       if (!expr.function->name.empty()) {
         // Named function expressions can self-reference.
-        auto scope = std::make_shared<Environment>(env);
+        auto scope = make_env(env);
         scope->define(expr.function->name, Value(ObjectPtr(fn)));
         fn->user->closure = scope;
       }
@@ -683,8 +711,7 @@ Value Interpreter::call_function(const Value& fn, const Value& this_value_in,
   }
   if (!obj->user) throw JsError("function object has no implementation");
 
-  auto scope = std::make_shared<Environment>(obj->user->closure,
-                                             /*function_scope=*/true);
+  auto scope = make_env(obj->user->closure, /*function_scope=*/true);
   const auto& params = obj->user->node->params;
   for (std::size_t i = 0; i < params.size(); ++i) {
     scope->define(params[i], i < args.size() ? args[i] : Value());

@@ -43,6 +43,15 @@ class Environment : public std::enable_shared_from_this<Environment> {
 
   Environment* global();
 
+  /// Drops all bindings and the parent link. Called by ~Interpreter to break
+  /// the shared_ptr cycles closures create (a function object stored in a
+  /// scope whose UserFunction::closure points back at that scope); after the
+  /// sweep the environment graph is acyclic and frees normally.
+  void clear_for_teardown() {
+    vars_.clear();
+    parent_.reset();
+  }
+
  private:
   std::map<std::string, Value> vars_;
   std::shared_ptr<Environment> parent_;
@@ -52,6 +61,10 @@ class Environment : public std::enable_shared_from_this<Environment> {
 class Interpreter {
  public:
   Interpreter();
+
+  /// Sweeps every environment this interpreter created, clearing bindings
+  /// and parent links so closure-induced shared_ptr cycles cannot leak.
+  ~Interpreter();
 
   /// The global scope (pre-populated with builtins).
   const std::shared_ptr<Environment>& globals() { return global_env_; }
@@ -124,7 +137,17 @@ class Interpreter {
   Value string_member(const std::string& s, const std::string& key);
   Value array_member(const ObjectPtr& arr, const std::string& key);
 
+  /// Creates a scope and registers it for the teardown sweep. All
+  /// environment creation funnels through here.
+  std::shared_ptr<Environment> make_env(std::shared_ptr<Environment> parent,
+                                        bool function_scope = false);
+
   std::shared_ptr<Environment> global_env_;
+  // Every environment ever created, weakly held. Most scopes die on their
+  // own (no cycle) and are compacted away; the survivors are exactly the
+  // closure-captured ones the destructor must sweep.
+  std::vector<std::weak_ptr<Environment>> env_registry_;
+  std::size_t env_compact_threshold_ = 64;
   // Scope/this stack so eval() and builtins see the caller's context.
   std::vector<std::shared_ptr<Environment>> env_stack_;
   std::vector<Value> this_stack_;

@@ -341,10 +341,16 @@ int int_param(const Dict* params, std::string_view key, int fallback) {
 
 }  // namespace
 
+// Decompression-bomb guard: one filter application may not expand past this
+// (well above any legitimate PDF stream, well below address-space trouble —
+// a hostile document can nest filters, so the cap applies per level).
+constexpr std::size_t kMaxDecodedStreamBytes = std::size_t{1} << 28;  // 256 MiB
+
 Bytes decode_filter(std::string_view filter_name, BytesView data,
                     const Dict* params) {
   if (filter_name == "FlateDecode" || filter_name == "Fl") {
-    Bytes plain = pdfshield::flate::zlib_decompress(data);
+    Bytes plain =
+        pdfshield::flate::zlib_decompress(data, kMaxDecodedStreamBytes);
     const int predictor = int_param(params, "Predictor", 1);
     if (predictor >= 10) {
       return apply_png_predictor(plain, int_param(params, "Colors", 1),

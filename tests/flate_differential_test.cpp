@@ -1,0 +1,159 @@
+// Differential test: the fast table-driven inflate in src/flate must be
+// byte-identical to the retained reference scalar decoder on every
+// FlateDecode stream the corpus generator can produce, and on both deflate
+// strategies' output. The reference decoder (tests/reference_inflate.hpp)
+// is the pre-rewrite implementation kept as an oracle.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "corpus/generator.hpp"
+#include "flate/zlib.hpp"
+#include "pdf/object.hpp"
+#include "pdf/parser.hpp"
+#include "reference_inflate.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield {
+namespace {
+
+using support::Bytes;
+using support::BytesView;
+
+/// Runs both decoders on a zlib stream and cross-checks: equal bytes on
+/// success, or both throwing DecodeError. Returns true if the stream was
+/// decodable (so callers can count coverage).
+bool cross_check_zlib(BytesView stream, const std::string& context) {
+  Bytes fast;
+  bool fast_ok = true;
+  std::string fast_err;
+  try {
+    fast = flate::zlib_decompress(stream);
+  } catch (const support::DecodeError& e) {
+    fast_ok = false;
+    fast_err = e.what();
+  }
+
+  Bytes ref;
+  bool ref_ok = true;
+  std::string ref_err;
+  try {
+    ref = reference::zlib_decompress(stream);
+  } catch (const support::DecodeError& e) {
+    ref_ok = false;
+    ref_err = e.what();
+  }
+
+  EXPECT_EQ(fast_ok, ref_ok) << context << ": decoders disagree on validity"
+                             << " (fast: " << (fast_ok ? "ok" : fast_err)
+                             << ", reference: " << (ref_ok ? "ok" : ref_err)
+                             << ")";
+  if (fast_ok && ref_ok) {
+    EXPECT_EQ(fast.size(), ref.size()) << context;
+    EXPECT_TRUE(fast == ref) << context << ": decoded bytes differ";
+  }
+  return fast_ok && ref_ok;
+}
+
+/// Collects every FlateDecode candidate stream from a parsed document and
+/// cross-checks it. A stream whose first filter is FlateDecode carries a
+/// zlib container as its raw bytes.
+int cross_check_document(BytesView pdf_bytes, const std::string& name) {
+  pdf::Document doc = pdf::parse_document(pdf_bytes);
+  int checked = 0;
+  for (auto& [num, obj] : doc.objects()) {
+    if (!obj.is_stream()) continue;
+    const pdf::Stream& s = obj.as_stream();
+    const pdf::Object* filter = s.dict.find("Filter");
+    if (!filter) continue;
+    bool is_flate = false;
+    if (filter->is_name()) {
+      is_flate = filter->as_name().value == "FlateDecode";
+    } else if (filter->is_array() && !filter->as_array().empty() &&
+               filter->as_array().front().is_name()) {
+      is_flate = filter->as_array().front().as_name().value == "FlateDecode";
+    }
+    if (!is_flate) continue;
+    // DecodeParms (predictors) apply after inflate, so the raw stream body
+    // is still a plain zlib container either way.
+    if (cross_check_zlib(s.data, name + " obj " + std::to_string(num))) {
+      ++checked;
+    }
+  }
+  return checked;
+}
+
+TEST(FlateDifferentialTest, CorpusStreamsDecodeIdentically) {
+  corpus::CorpusConfig config;
+  config.seed = 0x5EED0002;
+  // Keep sprays small: this test is about stream coverage, not volume.
+  config.spray_min_bytes = 16u << 10;
+  config.spray_max_bytes = 64u << 10;
+  corpus::CorpusGenerator gen(config);
+
+  int streams_checked = 0;
+  for (const corpus::Sample& sample : gen.generate_benign(12)) {
+    streams_checked += cross_check_document(sample.data, sample.name);
+  }
+  for (const corpus::Sample& sample : gen.generate_malicious(12)) {
+    streams_checked += cross_check_document(sample.data, sample.name);
+  }
+  // The corpus must actually exercise the decoder; if generation stops
+  // emitting FlateDecode streams this test silently proves nothing.
+  EXPECT_GE(streams_checked, 8)
+      << "corpus produced too few FlateDecode streams for a meaningful "
+         "differential run";
+}
+
+TEST(FlateDifferentialTest, BothDeflateStrategiesRoundTripThroughReference) {
+  support::Rng rng(0xD1FF);
+  const std::size_t sizes[] = {0, 1, 3, 64, 257, 4096, 70000};
+  for (std::size_t n : sizes) {
+    // Compressible: repeated text with periodic structure (exercises
+    // overlapped back-references in both decoders).
+    Bytes text;
+    text.reserve(n);
+    const std::string phrase = "the quick brown fox jumps over the lazy dog. ";
+    while (text.size() < n) {
+      const std::size_t take = std::min(phrase.size(), n - text.size());
+      text.insert(text.end(), phrase.begin(), phrase.begin() + take);
+    }
+    // Near-incompressible: raw RNG bytes (mostly literals).
+    Bytes noise(n);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.below(256));
+
+    for (const Bytes* input : {&text, &noise}) {
+      for (flate::DeflateStrategy strategy :
+           {flate::DeflateStrategy::kStored,
+            flate::DeflateStrategy::kFixedHuffman}) {
+        const Bytes z = flate::zlib_compress(*input, strategy);
+        const Bytes via_ref = reference::zlib_decompress(z);
+        const Bytes via_fast = flate::zlib_decompress(z);
+        ASSERT_TRUE(via_ref == *input)
+            << "reference decoder failed round-trip at n=" << n;
+        ASSERT_TRUE(via_fast == via_ref)
+            << "decoders disagree at n=" << n;
+      }
+    }
+  }
+}
+
+TEST(FlateDifferentialTest, ReferenceRejectsWhatFastRejects) {
+  // Truncations of a valid stream: both decoders must agree on every
+  // prefix (either both decode — impossible here — or both throw).
+  Bytes payload;
+  for (int i = 0; i < 2000; ++i) {
+    payload.push_back(static_cast<std::uint8_t>('a' + (i * 7) % 23));
+  }
+  const Bytes z = flate::zlib_compress(payload);
+  for (std::size_t cut : {z.size() - 1, z.size() - 5, z.size() / 2,
+                          std::size_t{8}, std::size_t{7}}) {
+    cross_check_zlib(BytesView(z.data(), cut),
+                     "truncated at " + std::to_string(cut));
+  }
+}
+
+}  // namespace
+}  // namespace pdfshield

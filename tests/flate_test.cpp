@@ -201,3 +201,192 @@ INSTANTIATE_TEST_SUITE_P(
                       FlateCase{1000, 2}, FlateCase{4096, 16},
                       FlateCase{65535, 256}, FlateCase{65536, 3},
                       FlateCase{70000, 64}, FlateCase{120000, 8}));
+
+// ---------------------------------------------------------------------------
+// Fast-path regressions: stored blocks crossing the 64-bit refill boundary,
+// malformed streams (over-subscribed / incomplete codes, truncation,
+// distances beyond the window), and exact max_output accounting. All the
+// malformed cases must raise DecodeError — never read out of bounds (the
+// sanitizer jobs enforce the second half).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Code-length vector of the fixed literal/length alphabet (RFC 1951 §3.2.6).
+std::vector<std::uint8_t> fixed_lit_lengths() {
+  std::vector<std::uint8_t> lens(288);
+  for (int i = 0; i <= 143; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) lens[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) lens[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  return lens;
+}
+
+void write_fixed_symbol(fl::BitWriter& w,
+                        const std::vector<fl::HuffmanCode>& codes, int sym) {
+  w.write_huffman_code(codes[static_cast<std::size_t>(sym)].code,
+                       codes[static_cast<std::size_t>(sym)].length);
+}
+
+}  // namespace
+
+TEST(BitStream, ReadAlignedBytesDrainsBufferedBytes) {
+  // After the 64-bit refill, up to 7 whole bytes can sit in the
+  // accumulator when a stored block starts; read_aligned_bytes must drain
+  // them before touching the byte stream again.
+  sp::Bytes data(20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  fl::BitReader r(data);
+  EXPECT_EQ(r.read_bits(3), data[0] & 0x7u);  // forces a wide refill
+  sp::Bytes got = r.read_aligned_bytes(10);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], data[i + 1]) << "byte " << i;
+  }
+  // And the remainder is still readable bit-by-bit.
+  EXPECT_EQ(r.read_bits(8), data[11]);
+}
+
+TEST(Inflate, StoredBlockAfterHuffmanBlockCrossesRefillBoundary) {
+  // A fixed-Huffman block followed by a stored block: when the stored
+  // block begins, the reader's accumulator holds look-ahead bytes from the
+  // wide refill, so LEN/NLEN and the raw payload straddle the buffered /
+  // unbuffered boundary.
+  const auto codes = fl::assign_canonical_codes(fixed_lit_lengths());
+  fl::BitWriter w;
+  w.write_bits(0, 1);  // BFINAL=0
+  w.write_bits(1, 2);  // fixed Huffman
+  for (char c : std::string("AB")) write_fixed_symbol(w, codes, c);
+  write_fixed_symbol(w, codes, 256);  // end of block
+  w.write_bits(1, 1);  // BFINAL=1
+  w.write_bits(0, 2);  // stored
+  w.align_to_byte();
+  const std::string raw = "CDEFGHIJKLMNOPQRSTUVWXYZ";
+  w.write_bits(static_cast<std::uint32_t>(raw.size()), 16);
+  w.write_bits(static_cast<std::uint32_t>(raw.size()) ^ 0xffffu, 16);
+  w.write_aligned_bytes(sp::to_bytes(raw));
+  EXPECT_EQ(sp::to_string(fl::inflate(w.take())), "AB" + raw);
+}
+
+TEST(Inflate, RejectsOverSubscribedCodeLengthCode) {
+  // Dynamic block whose code-length code has three 1-bit codes: the Kraft
+  // sum exceeds 1, which the table builder must reject up front.
+  fl::BitWriter w;
+  w.write_bits(1, 1);  // BFINAL
+  w.write_bits(2, 2);  // dynamic
+  w.write_bits(0, 5);  // HLIT  -> 257
+  w.write_bits(0, 5);  // HDIST -> 1
+  w.write_bits(0, 4);  // HCLEN -> 4 entries (symbols 16, 17, 18, 0)
+  for (int len : {1, 1, 1, 0}) w.write_bits(static_cast<std::uint32_t>(len), 3);
+  EXPECT_THROW(fl::inflate(w.take()), sp::DecodeError);
+}
+
+TEST(Inflate, RejectsUnassignedCodeInIncompleteCode) {
+  // Incomplete code-length code {1, 2} leaves the pattern "11" unassigned;
+  // a stream steering into it must fail, not decode garbage.
+  fl::BitWriter w;
+  w.write_bits(1, 1);  // BFINAL
+  w.write_bits(2, 2);  // dynamic
+  w.write_bits(0, 5);
+  w.write_bits(0, 5);
+  w.write_bits(0, 4);  // HCLEN -> symbols 16, 17, 18, 0
+  for (int len : {1, 2, 0, 0}) w.write_bits(static_cast<std::uint32_t>(len), 3);
+  w.write_bits(0b11, 2);  // the hole in the code space
+  // Padding so the failure is an invalid code, not plain truncation.
+  w.align_to_byte();
+  w.write_aligned_bytes(sp::Bytes(8, 0xff));
+  EXPECT_THROW(fl::inflate(w.take()), sp::DecodeError);
+}
+
+TEST(Huffman, RejectsCodeLengthAbove15) {
+  std::vector<std::uint8_t> lens = {16};
+  EXPECT_THROW(fl::HuffmanDecoder dec(lens), sp::DecodeError);
+}
+
+TEST(Inflate, RejectsDistanceBeyondWindowStart) {
+  // One literal of history, then a match at distance 4.
+  const auto codes = fl::assign_canonical_codes(fixed_lit_lengths());
+  fl::BitWriter w;
+  w.write_bits(1, 1);  // BFINAL
+  w.write_bits(1, 2);  // fixed Huffman
+  write_fixed_symbol(w, codes, 'a');
+  write_fixed_symbol(w, codes, 257);  // length 3, no extra bits
+  w.write_huffman_code(3, 5);        // distance symbol 3 -> distance 4
+  write_fixed_symbol(w, codes, 256);
+  EXPECT_THROW(fl::inflate(w.take()), sp::DecodeError);
+}
+
+TEST(Inflate, TruncationAtEveryStageRaisesDecodeError) {
+  // Cut a real compressed stream at points that land mid-header,
+  // mid-symbol, and mid-refill; every prefix must throw (never crash or
+  // read past the buffer -- the ASan job double-checks that). The zlib
+  // container makes truncation unambiguous: even a cut that happens to end
+  // on a self-consistent deflate prefix fails the Adler-32 check.
+  sp::Rng rng(0x7040);
+  sp::Bytes data(100000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(24));
+  const sp::Bytes z = fl::zlib_compress(data);
+  ASSERT_GT(z.size(), 64u);
+  const std::size_t cuts[] = {1, 2, 5, 6, 7, 8, 9, 15, 16, 17,
+                              z.size() / 3, z.size() / 2, z.size() - 9,
+                              z.size() - 8, z.size() - 5, z.size() - 1};
+  for (std::size_t cut : cuts) {
+    EXPECT_THROW(
+        fl::zlib_decompress(sp::BytesView(z.data(), cut)), sp::DecodeError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Inflate, TruncatedRawDeflateMidRefillRaisesDecodeError) {
+  // Raw deflate (no container): cut inside the compressed body so the
+  // 64-bit refill runs out mid-symbol. The zero padding above the valid
+  // bits must never decode as a phantom symbol.
+  sp::Bytes data(5000, 0x41);
+  const sp::Bytes c = fl::deflate(data);
+  for (std::size_t cut = 1; cut + 1 < c.size(); cut += 3) {
+    try {
+      const sp::Bytes out = fl::inflate(sp::BytesView(c.data(), cut));
+      // A prefix may form a complete valid stream by chance; if it does,
+      // it must still be a prefix-consistent decode, never garbage longer
+      // than the original.
+      EXPECT_LE(out.size(), data.size()) << "cut at " << cut;
+    } catch (const sp::DecodeError&) {
+      // expected for nearly every cut
+    }
+  }
+}
+
+TEST(Inflate, MaxOutputAccountingIsExact) {
+  // limit == decoded size must pass; limit == size-1 must throw, for both
+  // a literal-heavy and a match-heavy stream (the two OutputSink paths).
+  sp::Rng rng(0x11ab);
+  sp::Bytes literals(3000);
+  for (auto& b : literals) b = static_cast<std::uint8_t>(rng.below(256));
+  sp::Bytes matches(3000, 0x2a);
+  for (const sp::Bytes* data : {&literals, &matches}) {
+    const sp::Bytes c = fl::deflate(*data);
+    EXPECT_EQ(fl::inflate(c, data->size()), *data);
+    EXPECT_THROW(fl::inflate(c, data->size() - 1), sp::DecodeError);
+  }
+}
+
+TEST(Zlib, MaxOutputGuardsStoredBlocks) {
+  sp::Bytes data(4096, 0x55);
+  const sp::Bytes z = fl::zlib_compress(data, fl::DeflateStrategy::kStored);
+  EXPECT_EQ(fl::zlib_decompress(z, data.size()), data);
+  EXPECT_THROW(fl::zlib_decompress(z, data.size() - 1), sp::DecodeError);
+}
+
+TEST(Inflate, OverlappedMatchesReproducePeriodicPatterns) {
+  // dist < len back-references (the doubling-copy path): periodic data at
+  // every period length that straddles the chunking strategy.
+  for (std::size_t period : {1u, 2u, 3u, 4u, 7u, 8u, 15u, 31u, 257u}) {
+    sp::Bytes data(20000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>('a' + (i % period) % 26);
+    }
+    EXPECT_EQ(fl::inflate(fl::deflate(data)), data) << "period " << period;
+  }
+}

@@ -1,0 +1,308 @@
+// Reference scalar DEFLATE decoder, retained for differential testing only.
+//
+// This is the pre-table-driven implementation the production codec grew out
+// of: a canonical Huffman decoder that walks the code one bit per level and
+// an inflate loop that emits one byte per push_back. It is slow and simple —
+// exactly what a differential oracle should be. The production decoder in
+// src/flate must stay byte-identical to this one on every valid stream.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/checksum.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::reference {
+
+using support::Bytes;
+using support::BytesView;
+using support::DecodeError;
+
+/// Bit-at-a-time LSB-first reader (no fast path on purpose).
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  std::uint32_t read_bits(int n) {
+    if (n == 0) return 0;
+    while (nbits_ < n) {
+      if (pos_ >= data_.size()) throw DecodeError("deflate stream truncated");
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(acc_ & ((1ull << n) - 1));
+    acc_ >>= n;
+    nbits_ -= n;
+    return v;
+  }
+
+  std::uint32_t read_bit() { return read_bits(1); }
+
+  void align_to_byte() {
+    const int drop = nbits_ % 8;
+    acc_ >>= drop;
+    nbits_ -= drop;
+  }
+
+  Bytes read_aligned_bytes(std::size_t n) {
+    align_to_byte();
+    Bytes out;
+    out.reserve(n);
+    while (n > 0 && nbits_ >= 8) {
+      out.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
+      acc_ >>= 8;
+      nbits_ -= 8;
+      --n;
+    }
+    if (n > data_.size() - pos_) throw DecodeError("stored block truncated");
+    out.insert(out.end(), data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// Per-level canonical Huffman decoder (counts/offsets/first-code layout).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
+    for (std::uint8_t l : lengths) max_len_ = std::max<int>(max_len_, l);
+    if (max_len_ > 15) throw DecodeError("huffman code length > 15");
+    counts_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+    for (std::uint8_t l : lengths) {
+      if (l > 0) ++counts_[l];
+    }
+    long long remaining = 1;
+    for (int l = 1; l <= max_len_; ++l) {
+      remaining <<= 1;
+      remaining -= counts_[static_cast<std::size_t>(l)];
+      if (remaining < 0) throw DecodeError("over-subscribed huffman code");
+    }
+    first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+    offsets_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+    std::uint32_t code = 0;
+    int offset = 0;
+    for (int l = 1; l <= max_len_; ++l) {
+      code = (code + static_cast<std::uint32_t>(counts_[static_cast<std::size_t>(l - 1)]))
+             << 1;
+      first_code_[static_cast<std::size_t>(l)] = code;
+      offsets_[static_cast<std::size_t>(l)] = offset;
+      offset += counts_[static_cast<std::size_t>(l)];
+    }
+    sorted_.resize(static_cast<std::size_t>(offset));
+    std::vector<int> next(offsets_);
+    for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+      const int l = lengths[sym];
+      if (l > 0) sorted_[static_cast<std::size_t>(next[static_cast<std::size_t>(l)]++)] =
+          static_cast<int>(sym);
+    }
+  }
+
+  int decode(BitReader& in) const {
+    std::uint32_t code = 0;
+    for (int l = 1; l <= max_len_; ++l) {
+      code = (code << 1) | in.read_bit();
+      const int count = counts_[static_cast<std::size_t>(l)];
+      if (count > 0 &&
+          code < first_code_[static_cast<std::size_t>(l)] +
+                     static_cast<std::uint32_t>(count) &&
+          code >= first_code_[static_cast<std::size_t>(l)]) {
+        return sorted_[static_cast<std::size_t>(
+            offsets_[static_cast<std::size_t>(l)] +
+            static_cast<int>(code - first_code_[static_cast<std::size_t>(l)]))];
+      }
+    }
+    throw DecodeError("invalid huffman code");
+  }
+
+ private:
+  std::vector<int> counts_;
+  std::vector<int> offsets_;
+  std::vector<std::uint32_t> first_code_;
+  std::vector<int> sorted_;
+  int max_len_ = 0;
+};
+
+namespace detail {
+
+constexpr std::array<int, 29> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLengthExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                              1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                              4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<int, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                            4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+constexpr std::array<int, 19> kClOrder = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                          11, 4,  12, 3, 13, 2, 14, 1, 15};
+
+inline std::vector<std::uint8_t> fixed_literal_lengths() {
+  std::vector<std::uint8_t> lens(288);
+  for (int i = 0; i <= 143; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) lens[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) lens[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) lens[static_cast<std::size_t>(i)] = 8;
+  return lens;
+}
+
+inline void inflate_block(BitReader& in, const HuffmanDecoder& lit,
+                          const HuffmanDecoder* dist, Bytes& out,
+                          std::size_t max_output) {
+  while (true) {
+    const int sym = lit.decode(in);
+    if (sym == 256) return;
+    if (sym < 256) {
+      if (out.size() >= max_output) throw DecodeError("inflate output limit exceeded");
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    const int li = sym - 257;
+    if (li < 0 || li >= static_cast<int>(kLengthBase.size())) {
+      throw DecodeError("invalid length symbol");
+    }
+    const int length =
+        kLengthBase[static_cast<std::size_t>(li)] +
+        static_cast<int>(in.read_bits(kLengthExtra[static_cast<std::size_t>(li)]));
+    if (dist == nullptr) throw DecodeError("length code without distance table");
+    const int dsym = dist->decode(in);
+    if (dsym < 0 || dsym >= static_cast<int>(kDistBase.size())) {
+      throw DecodeError("invalid distance symbol");
+    }
+    const std::size_t distance =
+        static_cast<std::size_t>(kDistBase[static_cast<std::size_t>(dsym)]) +
+        in.read_bits(kDistExtra[static_cast<std::size_t>(dsym)]);
+    if (distance > out.size()) throw DecodeError("distance beyond window start");
+    if (out.size() + static_cast<std::size_t>(length) > max_output) {
+      throw DecodeError("inflate output limit exceeded");
+    }
+    std::size_t from = out.size() - distance;
+    for (int i = 0; i < length; ++i) {
+      out.push_back(out[from + static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+inline void inflate_dynamic(BitReader& in, Bytes& out, std::size_t max_output) {
+  const int hlit = static_cast<int>(in.read_bits(5)) + 257;
+  const int hdist = static_cast<int>(in.read_bits(5)) + 1;
+  const int hclen = static_cast<int>(in.read_bits(4)) + 4;
+
+  std::vector<std::uint8_t> cl_lengths(19, 0);
+  for (int i = 0; i < hclen; ++i) {
+    cl_lengths[static_cast<std::size_t>(kClOrder[static_cast<std::size_t>(i)])] =
+        static_cast<std::uint8_t>(in.read_bits(3));
+  }
+  const HuffmanDecoder cl_decoder(cl_lengths);
+
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(static_cast<std::size_t>(hlit + hdist));
+  while (lengths.size() < static_cast<std::size_t>(hlit + hdist)) {
+    const int sym = cl_decoder.decode(in);
+    if (sym < 16) {
+      lengths.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == 16) {
+      if (lengths.empty()) throw DecodeError("repeat with no previous length");
+      const int count = 3 + static_cast<int>(in.read_bits(2));
+      for (int i = 0; i < count; ++i) lengths.push_back(lengths.back());
+    } else if (sym == 17) {
+      const int count = 3 + static_cast<int>(in.read_bits(3));
+      lengths.insert(lengths.end(), static_cast<std::size_t>(count), 0);
+    } else {
+      const int count = 11 + static_cast<int>(in.read_bits(7));
+      lengths.insert(lengths.end(), static_cast<std::size_t>(count), 0);
+    }
+  }
+  if (lengths.size() != static_cast<std::size_t>(hlit + hdist)) {
+    throw DecodeError("code length run overflows table");
+  }
+
+  std::vector<std::uint8_t> lit_lengths(lengths.begin(), lengths.begin() + hlit);
+  std::vector<std::uint8_t> dist_lengths(lengths.begin() + hlit, lengths.end());
+  const HuffmanDecoder lit(lit_lengths);
+  bool has_dist = false;
+  for (std::uint8_t l : dist_lengths) {
+    if (l > 0) has_dist = true;
+  }
+  if (has_dist) {
+    const HuffmanDecoder dist(dist_lengths);
+    inflate_block(in, lit, &dist, out, max_output);
+  } else {
+    inflate_block(in, lit, nullptr, out, max_output);
+  }
+}
+
+}  // namespace detail
+
+/// Decompresses a raw DEFLATE stream (reference implementation).
+inline Bytes inflate(BytesView compressed, std::size_t max_output = 1u << 30) {
+  BitReader in(compressed);
+  Bytes out;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = in.read_bit() != 0;
+    const std::uint32_t type = in.read_bits(2);
+    switch (type) {
+      case 0: {
+        in.align_to_byte();
+        const std::uint32_t len = in.read_bits(16);
+        const std::uint32_t nlen = in.read_bits(16);
+        if ((len ^ 0xffffu) != nlen) throw DecodeError("stored block LEN/NLEN mismatch");
+        if (out.size() + len > max_output) throw DecodeError("inflate output limit exceeded");
+        Bytes raw = in.read_aligned_bytes(len);
+        out.insert(out.end(), raw.begin(), raw.end());
+        break;
+      }
+      case 1: {
+        const HuffmanDecoder lit(detail::fixed_literal_lengths());
+        const HuffmanDecoder dist(std::vector<std::uint8_t>(30, 5));
+        detail::inflate_block(in, lit, &dist, out, max_output);
+        break;
+      }
+      case 2:
+        detail::inflate_dynamic(in, out, max_output);
+        break;
+      default:
+        throw DecodeError("reserved deflate block type");
+    }
+  }
+  return out;
+}
+
+/// Unwraps a zlib container with the reference inflate (mirrors
+/// flate::zlib_decompress, including the Adler-32 verification).
+inline Bytes zlib_decompress(BytesView stream, std::size_t max_output = 1u << 30) {
+  if (stream.size() < 6) throw DecodeError("zlib stream too short");
+  const std::uint8_t cmf = stream[0];
+  const std::uint8_t flg = stream[1];
+  if ((cmf & 0x0f) != 8) throw DecodeError("zlib: unsupported compression method");
+  if ((static_cast<unsigned>(cmf) * 256 + flg) % 31 != 0) {
+    throw DecodeError("zlib: header check failed");
+  }
+  if (flg & 0x20) throw DecodeError("zlib: preset dictionary not supported");
+  const BytesView body = stream.subspan(2, stream.size() - 6);
+  Bytes out = inflate(body, max_output);
+  const std::size_t t = stream.size() - 4;
+  const std::uint32_t expect = (static_cast<std::uint32_t>(stream[t]) << 24) |
+                               (static_cast<std::uint32_t>(stream[t + 1]) << 16) |
+                               (static_cast<std::uint32_t>(stream[t + 2]) << 8) |
+                               static_cast<std::uint32_t>(stream[t + 3]);
+  if (support::adler32(out) != expect) throw DecodeError("zlib: adler32 mismatch");
+  return out;
+}
+
+}  // namespace pdfshield::reference

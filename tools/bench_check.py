@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a freshly measured BENCH_*.json against a checked-in baseline.
+
+Usage:
+    bench_check.py BASELINE CURRENT [--gate NAME ...] [--max-regression PCT]
+
+Both files use the trajectory format written by bench::bench_to_json:
+
+    {"suite": "...", "scale": "...",
+     "benchmarks": [{"name": "...", "value": 1.0, "unit": "..."}, ...]}
+
+Every benchmark present in both files is reported with its delta. Only the
+gated names (default: BM_FlateDecompress/1048576) can fail the check: a
+gated higher-is-better metric that drops more than --max-regression percent
+(default 30) below the baseline exits non-zero. CI runners are noisy, so
+the gate is deliberately loose — it exists to catch algorithmic
+regressions (a lost fast path), not scheduling jitter.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_GATES = ["BM_FlateDecompress/1048576"]
+# Units where a smaller current value means a regression.
+HIGHER_IS_BETTER = {"bytes_per_second", "docs_per_second", "x_vs_serial"}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        out[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--gate", action="append", default=None,
+                        help="benchmark name that may fail the check "
+                             "(repeatable; default: %s)" % DEFAULT_GATES[0])
+    parser.add_argument("--max-regression", type=float, default=30.0,
+                        help="allowed drop in percent for gated benchmarks")
+    args = parser.parse_args()
+    gates = args.gate if args.gate is not None else DEFAULT_GATES
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    width = max((len(n) for n in current), default=10)
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print("%-*s  NEW  %.5g" % (width, name, current[name][0]))
+            continue
+        if name not in current:
+            print("%-*s  GONE (was %.5g)" % (width, name, baseline[name][0]))
+            if name in gates:
+                failures.append("%s: missing from current results" % name)
+            continue
+        base_value, unit = baseline[name]
+        cur_value, _ = current[name]
+        if base_value == 0:
+            delta_pct = 0.0
+        else:
+            delta_pct = (cur_value - base_value) / base_value * 100.0
+        gated = name in gates
+        regressed = (unit in HIGHER_IS_BETTER
+                     and delta_pct < -args.max_regression)
+        marker = ""
+        if gated and regressed:
+            marker = "  FAIL (> %.0f%% below baseline)" % args.max_regression
+            failures.append("%s: %.5g -> %.5g (%+.1f%%)"
+                            % (name, base_value, cur_value, delta_pct))
+        elif regressed:
+            marker = "  (regressed, not gated)"
+        print("%-*s  %+7.1f%%  %.5g -> %.5g%s"
+              % (width, name, delta_pct, base_value, cur_value, marker))
+
+    for name in gates:
+        if name not in baseline and name not in current:
+            failures.append("%s: gated benchmark absent from both files"
+                            % name)
+
+    if failures:
+        print("\nbench_check: FAIL")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nbench_check: OK (gates: %s)" % ", ".join(gates))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
