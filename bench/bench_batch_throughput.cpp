@@ -3,6 +3,14 @@
 // per-document output CRC must match the single-thread run). Shape
 // targets: near-linear scaling up to the core count; identical checksum
 // columns at every width.
+//
+// A second measurement pits a traced run (--trace JSONL sink attached)
+// against an untraced one at the same width, min-of-3 each; pass
+// `--max-trace-overhead PCT` to fail the run when tracing costs more
+// than PCT percent of untraced throughput.
+#include <cstdio>
+#include <filesystem>
+
 #include "bench_util.hpp"
 #include "core/batch_scanner.hpp"
 
@@ -29,6 +37,27 @@ std::uint64_t checksum_column(const core::BatchReport& report) {
     acc = acc * 1099511628211ULL + doc.output_crc32;
   }
   return acc;
+}
+
+double flag_double(int argc, char** argv, const std::string& name,
+                   double fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == name && i + 1 < argc) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+// Best docs/s over `reps` runs — min-of-N wall time filters scheduler
+// noise out of the overhead comparison.
+core::BatchReport best_of(const core::BatchOptions& options,
+                          const std::vector<core::BatchItem>& items,
+                          int reps) {
+  core::BatchReport best;
+  for (int r = 0; r < reps; ++r) {
+    core::BatchReport report = core::BatchScanner(options).scan(items);
+    if (r == 0 || report.docs_per_s > best.docs_per_s) best = std::move(report);
+  }
+  return best;
 }
 
 }  // namespace
@@ -81,8 +110,51 @@ int main(int argc, char** argv) {
         {key + "/errors", static_cast<double>(report.error_count), "count"});
   }
   std::cout << table;
+
+  // Trace overhead: same corpus, same width, with and without the JSONL
+  // event sink attached. ISSUE budget: tracing must stay under 10% of
+  // batch throughput (gated in CI via --max-trace-overhead).
+  const double max_overhead_pct =
+      flag_double(argc, argv, "--max-trace-overhead", -1.0);
+  constexpr std::size_t kTraceJobs = 4;
+  constexpr int kReps = 3;
+  const std::filesystem::path trace_path =
+      std::filesystem::temp_directory_path() / "pdfshield-bench-trace.jsonl";
+
+  core::BatchOptions plain_options;
+  plain_options.jobs = kTraceJobs;
+  const core::BatchReport plain = best_of(plain_options, items, kReps);
+
+  core::BatchOptions traced_options;
+  traced_options.jobs = kTraceJobs;
+  traced_options.trace_path = trace_path.string();
+  const core::BatchReport traced = best_of(traced_options, items, kReps);
+  std::error_code ec;
+  std::filesystem::remove(trace_path, ec);
+
+  const double overhead_pct =
+      plain.docs_per_s > 0
+          ? (plain.docs_per_s - traced.docs_per_s) / plain.docs_per_s * 100.0
+          : 0.0;
+  std::cout << "\ntrace overhead (jobs=" << kTraceJobs << ", best of " << kReps
+            << "): " << bench::fmt(plain.docs_per_s, 1) << " -> "
+            << bench::fmt(traced.docs_per_s, 1) << " docs/s ("
+            << bench::fmt(overhead_pct, 1) << "%, "
+            << traced.trace_events << " events)\n";
+  results.push_back({"BatchScan/trace/docs_per_s", traced.docs_per_s,
+                     "docs_per_second"});
+  results.push_back({"BatchScan/trace/overhead_pct", overhead_pct, "percent"});
+  results.push_back({"BatchScan/trace/events",
+                     static_cast<double>(traced.trace_events), "count"});
+
   if (!json_path.empty()) {
     bench::bench_to_json(json_path, "batch_throughput", results);
+  }
+  if (max_overhead_pct >= 0 && overhead_pct > max_overhead_pct) {
+    std::cout << "FAIL: trace overhead " << bench::fmt(overhead_pct, 1)
+              << "% exceeds budget " << bench::fmt(max_overhead_pct, 1)
+              << "%\n";
+    return 1;
   }
   return 0;
 }

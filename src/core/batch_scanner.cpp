@@ -8,12 +8,26 @@
 #include <mutex>
 #include <thread>
 
+#include "core/detector.hpp"
 #include "core/keys.hpp"
+#include "reader/reader_sim.hpp"
 #include "support/checksum.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
+#include "sys/kernel.hpp"
+#include "trace/recorder.hpp"
 
 namespace pdfshield::core {
+
+/// Per-run plumbing shared by every worker (and by abandoned watchdog
+/// runners, which may outlive the batch — hence the shared_ptr sink).
+struct BatchRunContext {
+  bool keep_output = false;
+  bool detonate = false;
+  std::string session;  ///< detector id, stamped on every event
+  std::shared_ptr<trace::Sink> trace_sink;  ///< null when not traced
+  std::shared_ptr<trace::CounterSink> counters;  ///< run-level per-kind totals
+};
 
 /// Watchdog threads whose document overran its budget. They keep running
 /// after the batch moves on; reap() joins the ones that wind down within
@@ -54,33 +68,88 @@ class AbandonedRunners {
 
 namespace {
 
+/// Detonates one instrumented document: a throwaway Kernel hosting a
+/// RuntimeDetector (under the front-end's detector id, so the minted keys
+/// authenticate) and a simulated reader that opens the output. All runtime
+/// events land on the kernel's recorder — the same one the front-end spans
+/// were recorded on. Deterministic per (detector id, input bytes).
+void detonate_one(sys::Kernel& kernel, const FrontEnd& frontend,
+                  const FrontEndResult& result, BatchDocResult& doc) {
+  RuntimeDetector detector(kernel, DetectorConfig{}, frontend.detector_id());
+  detector.register_document(result.record.key, doc.name, result.features);
+  for (const auto& emb : result.embedded) {
+    detector.register_document(emb.record.key, emb.name, emb.features);
+  }
+  reader::ReaderSim reader(kernel);
+  detector.attach(reader);
+  reader.open_document(result.output, doc.name);
+
+  const Verdict verdict = detector.verdict(result.record.key);
+  doc.detonated = true;
+  doc.malicious = verdict.malicious;
+  doc.malscore = verdict.malscore;
+  // Final verdict snapshot: alerts emit their own doc-verdict event at
+  // alert time, but benign documents need a closing record too so every
+  // traced document ends with a verdict.
+  kernel.trace().record_for(
+      doc.name, trace::DocVerdict{verdict.malicious ? "malicious" : "benign",
+                                  verdict.malscore, verdict.malicious});
+}
+
 /// Runs the front-end over one item with exception isolation: a throwing
 /// parser/instrumenter yields a per-document error, never a dead batch.
 BatchDocResult run_one(const FrontEnd& frontend, const BatchItem& item,
-                       bool keep_output) {
+                       const BatchRunContext& ctx) {
   BatchDocResult doc;
   doc.name = item.name;
   doc.input_bytes = item.data.size();
+
+  // Per-document recorder (detonation brings its own kernel, whose
+  // recorder doubles as the document's). Ring capacity 0: nothing is
+  // retained in memory, events only fan out to the shared sink + counters.
+  std::unique_ptr<sys::Kernel> kernel;
+  std::unique_ptr<trace::Recorder> standalone;
+  trace::Recorder* recorder = nullptr;
+  if (ctx.detonate) {
+    kernel = std::make_unique<sys::Kernel>(/*trace_ring_capacity=*/0);
+    recorder = &kernel->trace();
+  } else if (ctx.trace_sink) {
+    standalone = std::make_unique<trace::Recorder>(ctx.session, 0);
+    recorder = standalone.get();
+  }
+  if (recorder) {
+    recorder->set_session(ctx.session);
+    if (ctx.trace_sink) recorder->add_sink(ctx.trace_sink);
+    if (ctx.counters) recorder->add_sink(ctx.counters);
+    recorder->set_doc(item.name);
+  }
+
   try {
-    FrontEndResult result = frontend.process(item.data);
+    FrontEndResult result = frontend.process(item.data, recorder);
     doc.timings = result.timings;
     if (!result.ok) {
       doc.error = result.error.empty() ? "front-end failed" : result.error;
-      return doc;
+    } else {
+      doc.ok = true;
+      doc.output_bytes = result.output.size();
+      doc.output_crc32 = support::crc32(result.output);
+      doc.has_javascript = result.has_javascript;
+      doc.scripts_instrumented = result.record.entries.size();
+      doc.embedded_documents = result.embedded.size();
+      doc.features = result.features;
+      doc.suspicious = result.features.binary_sum() > 0;
+      doc.document_key = result.record.key.document_key;
+      if (ctx.detonate) detonate_one(*kernel, frontend, result, doc);
+      if (ctx.keep_output) doc.output = std::move(result.output);
     }
-    doc.ok = true;
-    doc.output_bytes = result.output.size();
-    doc.output_crc32 = support::crc32(result.output);
-    doc.has_javascript = result.has_javascript;
-    doc.scripts_instrumented = result.record.entries.size();
-    doc.embedded_documents = result.embedded.size();
-    doc.features = result.features;
-    doc.suspicious = result.features.binary_sum() > 0;
-    doc.document_key = result.record.key.document_key;
-    if (keep_output) doc.output = std::move(result.output);
   } catch (const std::exception& e) {
     doc.ok = false;
     doc.error = e.what();
+  }
+  if (recorder) {
+    const trace::CounterSnapshot counters = recorder->counters();
+    doc.trace_events = counters.total;
+    doc.trace_dropped = counters.dropped;
   }
   return doc;
 }
@@ -106,9 +175,10 @@ BatchScanner::BatchScanner(BatchOptions options) : options_(std::move(options)) 
 
 BatchDocResult BatchScanner::scan_one(const FrontEnd& frontend,
                                       const BatchItem& item,
+                                      const BatchRunContext& ctx,
                                       AbandonedRunners& abandoned) const {
   if (options_.timeout_s <= 0) {
-    return run_one(frontend, item, options_.keep_outputs);
+    return run_one(frontend, item, ctx);
   }
 
   // Watchdog path: the document runs on its own thread so an overrun can
@@ -122,10 +192,10 @@ BatchDocResult BatchScanner::scan_one(const FrontEnd& frontend,
   auto promise = std::make_shared<std::promise<void>>();
   std::future<void> done = promise->get_future();
   std::thread runner(
-      [state, promise, item, keep = options_.keep_outputs,
+      [state, promise, item, ctx,  // ctx by value: the sink must outlive us
        detector_id = options_.detector_id, fe_options = options_.frontend] {
         FrontEnd frontend_copy(detector_id, fe_options);
-        state->doc = run_one(frontend_copy, item, keep);
+        state->doc = run_one(frontend_copy, item, ctx);
         promise->set_value();
       });
   const auto budget = std::chrono::duration<double>(options_.timeout_s);
@@ -149,6 +219,17 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
   report.jobs = options_.jobs;
   report.docs.resize(items.size());
 
+  BatchRunContext ctx;
+  ctx.keep_output = options_.keep_outputs;
+  ctx.detonate = options_.detonate;
+  ctx.session = options_.detector_id;
+  if (!options_.trace_path.empty()) {
+    ctx.trace_sink = trace::JsonlSink::open(options_.trace_path);
+    ctx.counters = std::make_shared<trace::CounterSink>();
+  }
+  report.traced = ctx.trace_sink != nullptr;
+  report.detonated = ctx.detonate;
+
   const auto t0 = std::chrono::steady_clock::now();
   AbandonedRunners abandoned;
   {
@@ -164,10 +245,10 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
     for (std::size_t i = 0; i < items.size(); ++i) {
       // Each task writes only its own slot; wait_idle() + pool teardown
       // order those writes before the aggregation below.
-      pool.submit([this, &frontends, &items, &report, &abandoned, i] {
+      pool.submit([this, &frontends, &items, &report, &ctx, &abandoned, i] {
         const int worker = support::ThreadPool::current_worker();
         report.docs[i] = scan_one(frontends[static_cast<std::size_t>(worker)],
-                                  items[i], abandoned);
+                                  items[i], ctx, abandoned);
       });
     }
     pool.wait_idle();
@@ -182,12 +263,23 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
     else if (doc.timed_out) ++report.timeout_count;
     else ++report.error_count;
     if (doc.suspicious) ++report.suspicious_count;
+    if (doc.malicious) ++report.malicious_count;
+    report.trace_events += doc.trace_events;
+    report.trace_dropped += doc.trace_dropped;
     report.cpu_timings.parse_decompress_s += doc.timings.parse_decompress_s;
     report.cpu_timings.feature_extraction_s += doc.timings.feature_extraction_s;
     report.cpu_timings.instrumentation_s += doc.timings.instrumentation_s;
   }
   if (report.wall_s > 0) {
     report.docs_per_s = static_cast<double>(report.docs.size()) / report.wall_s;
+  }
+  if (ctx.counters) {
+    report.trace_counters.total = ctx.counters->total();
+    report.trace_counters.dropped = report.trace_dropped;
+    for (std::size_t k = 0; k < trace::kKindCount; ++k) {
+      report.trace_counters.by_kind[k] =
+          ctx.counters->count(static_cast<trace::Kind>(k));
+    }
   }
   return report;
 }
@@ -235,6 +327,16 @@ support::Json BatchReport::to_json() const {
   j["errors"] = static_cast<std::uint64_t>(error_count);
   j["timeouts"] = static_cast<std::uint64_t>(timeout_count);
   j["suspicious"] = static_cast<std::uint64_t>(suspicious_count);
+  // Trace/detonation fields appear only when those modes ran, so the
+  // default report stays byte-identical to previous releases (the CLI
+  // smoke test byte-compares reports across thread counts).
+  if (detonated) {
+    j["malicious"] = static_cast<std::uint64_t>(malicious_count);
+  }
+  if (traced) {
+    j["trace_events"] = trace_events;
+    j["trace_events_dropped"] = trace_dropped;
+  }
   j["wall_s"] = wall_s;
   j["docs_per_s"] = docs_per_s;
 
@@ -262,6 +364,12 @@ support::Json BatchReport::to_json() const {
       d["embedded_documents"] =
           static_cast<std::uint64_t>(doc.embedded_documents);
       d["suspicious"] = doc.suspicious;
+      if (doc.detonated) {
+        d["detonated"] = true;
+        d["malicious"] = doc.malicious;
+        d["malscore"] = doc.malscore;
+      }
+      if (traced) d["trace_events"] = doc.trace_events;
       d["document_key"] = doc.document_key;
       support::Json f = support::Json::object();
       f["F1_chain_ratio"] = doc.features.js_chain_ratio;

@@ -14,10 +14,12 @@
 #include "core/static_features.hpp"
 #include "support/bytes.hpp"
 #include "support/json.hpp"
+#include "trace/recorder.hpp"
 
 namespace pdfshield::core {
 
 class AbandonedRunners;  // internal: watchdog threads awaiting reclamation
+struct BatchRunContext;  // internal: per-run tracing/detonation plumbing
 
 /// One unit of batch work: a named byte buffer (usually a file).
 struct BatchItem {
@@ -44,6 +46,18 @@ struct BatchDocResult {
   bool suspicious = false;  ///< static screen: any positive F1–F5 feature
   std::string document_key;  ///< per-document half of the SOAP key
   PhaseTimings timings;
+
+  /// Trace accounting (only populated when the run is traced): events this
+  /// document's recorder stamped, and how many a bounded sink shed.
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+
+  /// Detonation outcome (only populated with BatchOptions::detonate): the
+  /// runtime detector's verdict after opening the instrumented output in
+  /// the simulated reader.
+  bool detonated = false;
+  bool malicious = false;
+  double malscore = 0.0;
 };
 
 /// Aggregate result of one batch run.
@@ -56,6 +70,15 @@ struct BatchReport {
   std::size_t error_count = 0;
   std::size_t timeout_count = 0;
   std::size_t suspicious_count = 0;
+  std::size_t malicious_count = 0;  ///< detonation verdicts (detonate mode)
+
+  bool traced = false;     ///< a JSONL trace was written for this run
+  bool detonated = false;  ///< documents were detonated after scanning
+  std::uint64_t trace_events = 0;   ///< summed across documents
+  std::uint64_t trace_dropped = 0;
+  /// Per-kind totals across the run (populated only when traced) — the
+  /// CLI's per-run counter summary line.
+  trace::CounterSnapshot trace_counters;
 
   double wall_s = 0;
   double docs_per_s = 0;
@@ -83,6 +106,17 @@ struct BatchOptions {
   /// proportional to the corpus; checksums are always recorded).
   bool keep_outputs = false;
   FrontEndOptions frontend;
+
+  /// JSONL trace output path (`--trace out.jsonl`); empty disables
+  /// tracing. Workers attach per-document recorders to one shared
+  /// line-atomic sink, so the file interleaves documents but never lines.
+  std::string trace_path;
+  /// Detonate each document after instrumentation: a per-document Kernel +
+  /// RuntimeDetector + ReaderSim opens the instrumented output, so the
+  /// report carries runtime verdicts and the trace carries api-call /
+  /// soap-message / doc-verdict events. Deterministic per (detector id,
+  /// input bytes) — safe at any thread count.
+  bool detonate = false;
 };
 
 class BatchScanner {
@@ -100,6 +134,7 @@ class BatchScanner {
 
  private:
   BatchDocResult scan_one(const FrontEnd& frontend, const BatchItem& item,
+                          const BatchRunContext& ctx,
                           AbandonedRunners& abandoned) const;
 
   BatchOptions options_;

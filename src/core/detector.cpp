@@ -62,7 +62,17 @@ RuntimeDetector::RuntimeDetector(sys::Kernel& kernel, support::Rng& rng,
                                  DetectorConfig config)
     : kernel_(kernel),
       config_(std::move(config)),
-      detector_id_(generate_detector_id(rng)) {}
+      detector_id_(generate_detector_id(rng)) {
+  kernel_.trace().set_session(detector_id_);
+}
+
+RuntimeDetector::RuntimeDetector(sys::Kernel& kernel, DetectorConfig config,
+                                 std::string detector_id)
+    : kernel_(kernel),
+      config_(std::move(config)),
+      detector_id_(std::move(detector_id)) {
+  kernel_.trace().set_session(detector_id_);
+}
 
 void RuntimeDetector::register_document(const InstrumentationKey& key,
                                         const std::string& name,
@@ -131,6 +141,8 @@ Value RuntimeDetector::handle_soap(const Value& payload) {
   // installation. Filtered out silently (§III-C: the Detector ID field
   // exists exactly for this), NOT treated as an attack.
   if (key && key->detector_id != detector_id_) {
+    kernel_.trace().record(
+        trace::SoapMessage{op, /*authenticated=*/false, /*foreign=*/true});
     return respond("rejected");
   }
 
@@ -141,9 +153,13 @@ Value RuntimeDetector::handle_soap(const Value& payload) {
     // under OUR detector id, or a bogus op is a forgery attempt. It
     // convicts the active document — PDF readers are single-threaded, so
     // the currently-in-JS document is the sender.
-    if (DocumentState* doc = current_in_js_doc()) {
+    DocumentState* doc = current_in_js_doc();
+    kernel_.trace().record_for(
+        doc ? doc->name : kernel_.trace().doc(),
+        trace::SoapMessage{op, /*authenticated=*/false, /*foreign=*/false});
+    if (doc) {
       doc->fake_message = true;
-      doc->evidence.push_back("fake or malformed SOAP message");
+      note_evidence(*doc, "fake or malformed SOAP message");
       evaluate(current_js_key_, *doc);
     }
     return respond("rejected");
@@ -152,6 +168,10 @@ Value RuntimeDetector::handle_soap(const Value& payload) {
   DocumentState& doc = docs_[key->combined()];
   sys::Process* proc = kernel_.process(reader_pid_);
   const std::uint64_t mem = proc ? proc->memory_bytes() : 0;
+  kernel_.trace().record_for(
+      doc.name, trace::SoapMessage{op, /*authenticated=*/true,
+                                   /*foreign=*/false});
+  kernel_.trace().record_for(doc.name, trace::JsContext{op == "enter", mem});
 
   if (op == "enter") {
     doc.in_js = true;
@@ -190,6 +210,7 @@ sys::ApiOutcome RuntimeDetector::hook_decision(const sys::ApiEvent& event) {
                                    : (event.args.size() > 1 ? event.args[1] : "");
       if (!path.empty() && kernel_.fs().exists(path)) {
         kernel_.fs().quarantine(path);
+        confine(js_doc->name, "quarantine", path);
       }
     }
     return sys::ApiOutcome::kAllow;
@@ -208,8 +229,12 @@ sys::ApiOutcome RuntimeDetector::hook_decision(const sys::ApiEvent& event) {
       record_out_js(Feature::kF7_OutJsDllInjection,
                     "CreateRemoteThread(" + dll + ")");
     }
+    confine(in_js ? js_doc->name : "", "veto-dll-injection", dll);
     // Isolate the DLL file if it exists on disk.
-    if (!dll.empty() && kernel_.fs().exists(dll)) kernel_.fs().quarantine(dll);
+    if (!dll.empty() && kernel_.fs().exists(dll)) {
+      kernel_.fs().quarantine(dll);
+      confine(in_js ? js_doc->name : "", "quarantine", dll);
+    }
     return sys::ApiOutcome::kBlock;
   }
 
@@ -252,12 +277,17 @@ sys::ApiOutcome RuntimeDetector::hook_decision(const sys::ApiEvent& event) {
     if (in_js) evaluate(current_js_key_, *js_doc);
     if (!image.empty()) {
       sys::Process& jailed = kernel_.create_process(image, /*sandboxed=*/true);
+      confine(in_js ? js_doc->name : "", "sandbox", image);
       if (in_js) {
         js_doc->sandboxed_children.push_back(jailed.pid());
         if (js_doc->alerted) {
           // Already convicted: terminate immediately and isolate the image.
           kernel_.terminate(jailed.pid());
-          if (kernel_.fs().exists(image)) kernel_.fs().quarantine(image);
+          confine(js_doc->name, "terminate", image);
+          if (kernel_.fs().exists(image)) {
+            kernel_.fs().quarantine(image);
+            confine(js_doc->name, "quarantine", image);
+          }
         }
       }
     }
@@ -271,7 +301,7 @@ sys::ApiOutcome RuntimeDetector::hook_decision(const sys::ApiEvent& event) {
                                  : (event.args.size() > 1 ? event.args[1] : "");
     if (in_js) {
       record_in_js(*js_doc, Feature::kF11_MalwareDropping, "drops " + path);
-      js_doc->dropped_files.push_back(path);
+      note_dropped_file(*js_doc, path);
       if (looks_like_executable(path) || event.api != "NtCreateFile") {
         executable_list_.insert(path);
       }
@@ -318,7 +348,9 @@ void RuntimeDetector::record_in_js(DocumentState& doc, Feature f,
                                    const std::string& why) {
   doc.active = true;
   if (doc.runtime_features.insert(f).second) {
-    doc.evidence.push_back(feature_name(f) + ": " + why);
+    note_evidence(doc, feature_name(f) + ": " + why);
+    kernel_.trace().record_for(
+        doc.name, trace::FeatureFire{feature_name(f), why, /*in_js=*/true});
   }
 }
 
@@ -327,9 +359,41 @@ void RuntimeDetector::record_out_js(Feature f, const std::string& why) {
   for (auto& [key_text, doc] : docs_) {
     if (!doc.active || doc.alerted) continue;
     if (doc.runtime_features.insert(f).second) {
-      doc.evidence.push_back(feature_name(f) + " (out-JS): " + why);
+      note_evidence(doc, feature_name(f) + " (out-JS): " + why);
+      kernel_.trace().record_for(
+          doc.name, trace::FeatureFire{feature_name(f), why, /*in_js=*/false});
     }
     evaluate(key_text, doc);
+  }
+}
+
+void RuntimeDetector::note_evidence(DocumentState& doc, std::string line) {
+  if (doc.evidence.size() < config_.max_evidence_entries) {
+    doc.evidence.push_back(std::move(line));
+    return;
+  }
+  // Explicit overflow marker (appended exactly once), then count what a
+  // hostile document tried to append beyond the cap.
+  if (doc.evidence_overflow++ == 0) {
+    doc.evidence.push_back("[evidence overflow: further entries dropped]");
+  }
+}
+
+void RuntimeDetector::note_dropped_file(DocumentState& doc,
+                                        const std::string& path) {
+  if (doc.dropped_files.size() < config_.max_dropped_files) {
+    doc.dropped_files.push_back(path);
+  } else {
+    ++doc.dropped_files_overflow;
+  }
+}
+
+void RuntimeDetector::confine(const std::string& doc_name, const char* action,
+                              const std::string& target) {
+  if (doc_name.empty()) {
+    kernel_.trace().record(trace::Confinement{action, target});
+  } else {
+    kernel_.trace().record_for(doc_name, trace::Confinement{action, target});
   }
 }
 
@@ -375,16 +439,24 @@ void RuntimeDetector::raise_alert(const std::string& /*key_text*/,
                                   DocumentState& doc) {
   doc.alerted = true;
   alerts_.push_back(doc.name);
+  kernel_.trace().record_for(
+      doc.name,
+      trace::DocVerdict{"malicious", malscore(doc), /*alerted=*/true});
   // Confinement on alert (Table III): quarantine what it dropped and kill
   // what it started.
   for (const std::string& path : doc.dropped_files) {
-    if (kernel_.fs().exists(path)) kernel_.fs().quarantine(path);
+    if (kernel_.fs().exists(path)) {
+      kernel_.fs().quarantine(path);
+      confine(doc.name, "quarantine", path);
+    }
   }
   for (int pid : doc.sandboxed_children) {
     if (sys::Process* child = kernel_.process(pid)) {
       kernel_.terminate(pid);
+      confine(doc.name, "terminate", child->image());
       if (kernel_.fs().exists(child->image())) {
         kernel_.fs().quarantine(child->image());
+        confine(doc.name, "quarantine", child->image());
       }
     }
   }

@@ -67,6 +67,13 @@ struct DetectorConfig {
   /// out-of-JS process creation).
   std::vector<std::string> process_whitelist = {"WerFault.exe", "AdobeARM.exe",
                                                 "acrotray.exe"};
+
+  /// Caps on per-document accumulation so a hostile document cannot
+  /// balloon detector memory (a JS loop dropping files / spamming forged
+  /// SOAP messages). Overflow is explicit: a marker line ends the evidence
+  /// trail and the DocumentState overflow counters record what was shed.
+  std::size_t max_evidence_entries = 256;
+  std::size_t max_dropped_files = 512;
 };
 
 /// Everything the detector knows about one instrumented document.
@@ -79,10 +86,12 @@ struct DocumentState {
   bool alerted = false;
   bool fake_message = false; ///< unauthenticated SOAP traffic seen
   std::uint64_t memory_at_enter = 0;
-  std::vector<std::string> dropped_files;      ///< paths dropped in-JS
+  std::vector<std::string> dropped_files;      ///< paths dropped in-JS (capped)
   std::vector<int> sandboxed_children;         ///< pids detector confined
   std::vector<std::string> injected_dlls;      ///< blocked injection targets
-  std::vector<std::string> evidence;           ///< human-readable trail
+  std::vector<std::string> evidence;           ///< human-readable trail (capped)
+  std::size_t evidence_overflow = 0;       ///< evidence lines shed at the cap
+  std::size_t dropped_files_overflow = 0;  ///< drop records shed at the cap
 };
 
 struct Verdict {
@@ -95,6 +104,11 @@ class RuntimeDetector {
  public:
   RuntimeDetector(sys::Kernel& kernel, support::Rng& rng,
                   DetectorConfig config = {});
+
+  /// Deployment with a pre-agreed detector id (the batch scanner's
+  /// detonation mode: the front-end minted keys under this id already).
+  RuntimeDetector(sys::Kernel& kernel, DetectorConfig config,
+                  std::string detector_id);
 
   const std::string& detector_id() const { return detector_id_; }
   const DetectorConfig& config() const { return config_; }
@@ -137,6 +151,10 @@ class RuntimeDetector {
   sys::ApiOutcome hook_decision(const sys::ApiEvent& event);
   void record_in_js(DocumentState& doc, Feature f, const std::string& why);
   void record_out_js(Feature f, const std::string& why);
+  void note_evidence(DocumentState& doc, std::string line);
+  void note_dropped_file(DocumentState& doc, const std::string& path);
+  void confine(const std::string& doc_name, const char* action,
+               const std::string& target);
   void check_memory(DocumentState& doc);
   void evaluate(const std::string& key_text, DocumentState& doc);
   void raise_alert(const std::string& key_text, DocumentState& doc);

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/trace_replay.hpp"
 #include "pdf/crypto.hpp"
 #include "support/checksum.hpp"
 #include "pdf/writer.hpp"
@@ -15,6 +16,14 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+void span_begin(trace::Recorder* trace, const char* phase) {
+  if (trace) trace->record(trace::PhaseSpan{phase, /*begin=*/true, 0.0});
+}
+
+void span_end(trace::Recorder* trace, const char* phase, double elapsed_s) {
+  if (trace) trace->record(trace::PhaseSpan{phase, /*begin=*/false, elapsed_s});
 }
 
 }  // namespace
@@ -40,17 +49,27 @@ std::uint64_t FrontEnd::document_seed(std::string_view detector_id,
 }
 
 FrontEndResult FrontEnd::process(support::BytesView input) const {
-  if (external_rng_) return process_impl(input, 0, *external_rng_);
+  return process(input, nullptr);
+}
+
+FrontEndResult FrontEnd::process(support::BytesView input,
+                                 trace::Recorder* trace) const {
+  if (external_rng_) return process_impl(input, 0, *external_rng_, trace);
   support::Rng rng(document_seed(detector_id_, input));
-  return process_impl(input, 0, rng);
+  return process_impl(input, 0, rng, trace);
 }
 
 FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
-                                      support::Rng& rng) const {
+                                      support::Rng& rng,
+                                      trace::Recorder* trace) const {
   FrontEndResult result;
 
-  // Phase 1: parse + decompress.
+  // Phase 1: parse + decompress. Span end events are emitted explicitly at
+  // each measurement point (including the error exits) rather than by a
+  // scope guard, so the stream always carries the same elapsed value that
+  // lands in PhaseTimings.
   auto t0 = std::chrono::steady_clock::now();
+  span_begin(trace, trace_replay::kPhaseParseDecompress);
   EncodingLevels levels;
   try {
     result.document = pdf::parse_document(input, &result.parse_stats);
@@ -63,6 +82,8 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
       if (!result.password_removed) {
         result.error = "encrypted document: user password required";
         result.timings.parse_decompress_s = seconds_since(t0);
+        span_end(trace, trace_replay::kPhaseParseDecompress,
+                 result.timings.parse_decompress_s);
         return result;
       }
     }
@@ -71,20 +92,29 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
   } catch (const support::Error& e) {
     result.error = e.what();
     result.timings.parse_decompress_s = seconds_since(t0);
+    span_end(trace, trace_replay::kPhaseParseDecompress,
+             result.timings.parse_decompress_s);
     return result;
   }
   result.timings.parse_decompress_s = seconds_since(t0);
+  span_end(trace, trace_replay::kPhaseParseDecompress,
+           result.timings.parse_decompress_s);
 
   // Phase 2: static feature extraction.
   t0 = std::chrono::steady_clock::now();
+  span_begin(trace, trace_replay::kPhaseFeatureExtraction);
   const JsChainAnalysis chains = analyze_js_chains(result.document);
   result.features = extract_static_features(result.document, chains, &levels);
   result.has_javascript = chains.has_javascript();
   result.timings.feature_extraction_s = seconds_since(t0);
+  span_end(trace, trace_replay::kPhaseFeatureExtraction,
+           result.timings.feature_extraction_s);
+  if (trace) trace_replay::emit_static_feature_fires(*trace, result.features);
 
   // Phase 3: instrumentation (+ serialization). Embedded PDF documents
   // are instrumented recursively before the host is serialized (§VI).
   t0 = std::chrono::steady_clock::now();
+  span_begin(trace, trace_replay::kPhaseInstrumentation);
   Instrumenter instrumenter(rng, detector_id_, options_.instrumenter);
   result.record = instrumenter.instrument(result.document);
   if (depth < 2) process_embedded_documents(result, depth, rng);
@@ -111,6 +141,8 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
     }
   }
   result.timings.instrumentation_s = seconds_since(t0);
+  span_end(trace, trace_replay::kPhaseInstrumentation,
+           result.timings.instrumentation_s);
 
   result.ok = true;
   return result;
@@ -129,7 +161,10 @@ void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth,
     if (support::as_view(stream.data).find("%PDF") == std::string_view::npos) {
       continue;
     }
-    FrontEndResult sub = process_impl(stream.data, depth + 1, rng);
+    // Embedded documents run untraced: their phase times are already part
+    // of the host's instrumentation span, and double-emitting would skew
+    // the replayed Table-X sums.
+    FrontEndResult sub = process_impl(stream.data, depth + 1, rng, nullptr);
     if (!sub.ok) continue;
     FrontEndResult::EmbeddedResult embedded;
     embedded.name = "embedded-" + std::to_string(num);

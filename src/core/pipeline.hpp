@@ -13,9 +13,14 @@
 #include "pdf/parser.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
+#include "trace/recorder.hpp"
 
 namespace pdfshield::core {
 
+/// Aggregate per-phase wall times. The measurements themselves now live on
+/// the trace spine as phase-span begin/end events; this struct is the
+/// summed view (and what trace_replay::phase_timings_from_trace rebuilds
+/// from a recorded stream — Table X straight out of the trace).
 struct PhaseTimings {
   double parse_decompress_s = 0;
   double feature_extraction_s = 0;
@@ -86,6 +91,13 @@ class FrontEnd {
   /// shared-Rng mode the referenced Rng still advances).
   FrontEndResult process(support::BytesView input) const;
 
+  /// Same, recording phase-span begin/end events and static feature fires
+  /// onto `trace` (null behaves like process()). Events inherit the
+  /// recorder's current doc context — set it to the document's name first
+  /// to correlate with detector-side events.
+  FrontEndResult process(support::BytesView input,
+                         trace::Recorder* trace) const;
+
   /// The per-document Rng seed used in self-seeding mode: a mix of the
   /// detector id and the input bytes, so two installations never share a
   /// key stream but re-scans of the same file are reproducible.
@@ -96,7 +108,8 @@ class FrontEnd {
 
  private:
   FrontEndResult process_impl(support::BytesView input, int depth,
-                              support::Rng& rng) const;
+                              support::Rng& rng,
+                              trace::Recorder* trace) const;
   void process_embedded_documents(FrontEndResult& result, int depth,
                                   support::Rng& rng) const;
 

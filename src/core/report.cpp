@@ -36,10 +36,18 @@ Json document_report(const RuntimeDetector& detector,
   Json evidence = Json::array();
   for (const auto& line : state->evidence) evidence.push_back(line);
   report["evidence"] = std::move(evidence);
+  if (state->evidence_overflow > 0) {
+    report["evidence_overflow"] =
+        static_cast<std::uint64_t>(state->evidence_overflow);
+  }
 
   Json dropped = Json::array();
   for (const auto& path : state->dropped_files) dropped.push_back(path);
   report["dropped_files"] = std::move(dropped);
+  if (state->dropped_files_overflow > 0) {
+    report["dropped_files_overflow"] =
+        static_cast<std::uint64_t>(state->dropped_files_overflow);
+  }
   return report;
 }
 
@@ -73,6 +81,9 @@ Json session_report(const RuntimeDetector& detector, const sys::Kernel& kernel) 
   }
   report["quarantined_files"] = std::move(quarantined);
   report["sandboxed_processes"] = std::move(sandboxed);
+  if (kernel.dropped_events() > 0) {
+    report["trace_events_dropped"] = kernel.dropped_events();
+  }
   return report;
 }
 

@@ -1,0 +1,86 @@
+#include "core/trace_replay.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace pdfshield::core::trace_replay {
+
+ReplayedVerdict replay_verdict(const std::vector<trace::Event>& events,
+                               const std::string& doc,
+                               const DetectorConfig& config) {
+  ReplayedVerdict out;
+  std::set<std::string> out_js;  ///< static F1–F5 and out-of-JS F6/F7 fires
+  std::set<std::string> in_js;   ///< F8–F13 fires
+  for (const trace::Event& event : events) {
+    if (event.doc != doc) continue;
+    if (const auto* fire = std::get_if<trace::FeatureFire>(&event.payload)) {
+      (fire->in_js ? in_js : out_js).insert(fire->feature);
+    } else if (const auto* soap =
+                   std::get_if<trace::SoapMessage>(&event.payload)) {
+      if (!soap->authenticated && !soap->foreign) out.fake_message = true;
+    }
+  }
+  out.active = !in_js.empty();
+  for (const auto& f : out_js) out.features.push_back(f);
+  for (const auto& f : in_js) out.features.push_back(f);
+
+  // Same decision order as RuntimeDetector::malscore.
+  if (out.fake_message) {
+    out.malscore = config.threshold + config.w2;
+  } else if (!out.active) {
+    out.malscore = 0.0;
+  } else {
+    out.malscore = config.w1 * static_cast<double>(out_js.size()) +
+                   config.w2 * static_cast<double>(in_js.size());
+  }
+  out.malicious = out.malscore >= config.threshold;
+  return out;
+}
+
+PhaseTimings phase_timings_from_trace(const std::vector<trace::Event>& events,
+                                      const std::string& doc) {
+  PhaseTimings timings;
+  for (const trace::Event& event : events) {
+    if (event.doc != doc) continue;
+    const auto* span = std::get_if<trace::PhaseSpan>(&event.payload);
+    if (!span || span->begin) continue;
+    if (span->phase == kPhaseParseDecompress) {
+      timings.parse_decompress_s += span->elapsed_s;
+    } else if (span->phase == kPhaseFeatureExtraction) {
+      timings.feature_extraction_s += span->elapsed_s;
+    } else if (span->phase == kPhaseInstrumentation) {
+      timings.instrumentation_s += span->elapsed_s;
+    }
+  }
+  return timings;
+}
+
+void emit_static_feature_fires(trace::Recorder& recorder,
+                               const StaticFeatures& features) {
+  auto fire = [&](Feature f, std::string why) {
+    recorder.record(
+        trace::FeatureFire{feature_name(f), std::move(why), /*in_js=*/false});
+  };
+  if (features.f1()) {
+    fire(Feature::kF1_JsChainRatio,
+         "js-chain ratio " + support::format_double(features.js_chain_ratio));
+  }
+  if (features.f2()) {
+    fire(Feature::kF2_HeaderObfuscation, "obfuscated or missing %PDF header");
+  }
+  if (features.f3()) {
+    fire(Feature::kF3_HexCode, "hex (#xx) code in chain keyword");
+  }
+  if (features.f4()) {
+    fire(Feature::kF4_EmptyObjects,
+         std::to_string(features.empty_object_count) +
+             " empty objects on js chains");
+  }
+  if (features.f5()) {
+    fire(Feature::kF5_EncodingLevels,
+         std::to_string(features.max_encoding_levels) + " encoding levels");
+  }
+}
+
+}  // namespace pdfshield::core::trace_replay

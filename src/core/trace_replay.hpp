@@ -1,0 +1,56 @@
+// Replay helpers over the trace spine: everything the runtime report and
+// the Table-X timing breakdown need can be reconstructed from a recorded
+// event stream alone — no access to detector or front-end state. This is
+// the property the trace tests pin down (a verdict replayed from JSONL
+// matches the live detector bit for bit) and what makes `--trace` output
+// a self-contained forensic artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "core/static_features.hpp"
+#include "trace/recorder.hpp"
+
+namespace pdfshield::core::trace_replay {
+
+/// Phase names used by FrontEnd's phase-span events (and by anything that
+/// rebuilds PhaseTimings from a stream).
+inline constexpr const char* kPhaseParseDecompress = "parse-decompress";
+inline constexpr const char* kPhaseFeatureExtraction = "feature-extraction";
+inline constexpr const char* kPhaseInstrumentation = "instrumentation";
+
+/// A verdict reconstructed purely from feature-fire and soap-message
+/// events (Eq. 1 + the §IV zero-tolerance rule).
+struct ReplayedVerdict {
+  bool malicious = false;
+  double malscore = 0.0;
+  bool active = false;        ///< at least one in-JS feature fired
+  bool fake_message = false;  ///< unauthenticated non-foreign SOAP seen
+  /// Distinct feature names that fired (feature_name() text, sorted).
+  std::vector<std::string> features;
+};
+
+/// Replays Eq. 1 for `doc` from `events` under `config`'s weights:
+/// distinct out-of-JS fires (static F1–F5 + F6/F7) weigh w1, distinct
+/// in-JS fires (F8–F13) weigh w2, a forged SOAP message convicts
+/// unconditionally, and a document with no in-JS fire scores zero.
+ReplayedVerdict replay_verdict(const std::vector<trace::Event>& events,
+                               const std::string& doc,
+                               const DetectorConfig& config = {});
+
+/// Rebuilds the Table-X phase timing breakdown for `doc` by summing the
+/// elapsed times carried on phase-span end events.
+PhaseTimings phase_timings_from_trace(const std::vector<trace::Event>& events,
+                                      const std::string& doc);
+
+/// Emits one feature-fire event (in_js = false) per positive Table-VII
+/// static feature, under the recorder's current doc context. The front-end
+/// calls this after extraction so a trace carries the full first summand
+/// of Eq. 1, not just the runtime fires.
+void emit_static_feature_fires(trace::Recorder& recorder,
+                               const StaticFeatures& features);
+
+}  // namespace pdfshield::core::trace_replay

@@ -55,6 +55,25 @@ namespace {
 /// Internal signal: the reader process crashed mid-script.
 struct ReaderCrash {};
 
+/// Sets the kernel trace doc context for the duration of one
+/// open_document call, so hooked API calls made by this document's scripts
+/// correlate to it. Saves/restores the previous context — open_document
+/// recurses into embedded attachments.
+class TraceDocScope {
+ public:
+  TraceDocScope(trace::Recorder& recorder, const std::string& name)
+      : recorder_(recorder), previous_(recorder.doc()) {
+    recorder_.set_doc(name);
+  }
+  ~TraceDocScope() { recorder_.set_doc(previous_); }
+  TraceDocScope(const TraceDocScope&) = delete;
+  TraceDocScope& operator=(const TraceDocScope&) = delete;
+
+ private:
+  trace::Recorder& recorder_;
+  std::string previous_;
+};
+
 std::string string_or_stream_text(const pdf::Document& doc,
                                   const pdf::Object& obj) {
   const pdf::Object& r = doc.resolve(obj);
@@ -149,6 +168,7 @@ OpenResult ReaderSim::open_document(BytesView file, const std::string& name) {
   OpenResult result;
   result.name = name;
   if (process().crashed()) return result;  // a crashed reader opens nothing
+  TraceDocScope trace_scope(kernel_.trace(), name);
 
   auto doc = std::make_unique<OpenDoc>();
   doc->name = name;

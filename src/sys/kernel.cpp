@@ -57,7 +57,24 @@ bool VirtualFileSystem::is_quarantined(const std::string& path) {
 // Kernel
 // ---------------------------------------------------------------------------
 
-Kernel::Kernel() = default;
+Kernel::Kernel(std::size_t trace_ring_capacity)
+    : recorder_("", trace_ring_capacity) {}
+
+std::vector<ApiEvent> Kernel::event_log() const {
+  std::vector<ApiEvent> out;
+  for (const trace::Event& event : recorder_.events()) {
+    const auto* call = std::get_if<trace::ApiCall>(&event.payload);
+    if (!call || call->post) continue;
+    ApiEvent e;
+    e.pid = call->pid;
+    e.api = call->api;
+    e.args = call->args;
+    e.memory_bytes = call->memory_bytes;
+    e.post = call->post;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
 
 Process& Kernel::create_process(const std::string& image, bool sandboxed) {
   const int pid = next_pid_++;
@@ -132,7 +149,8 @@ ApiResult Kernel::call_api(int pid, const std::string& api,
   event.api = api;
   event.args = args;
   event.memory_bytes = proc->memory_bytes();
-  event_log_.push_back(event);
+  recorder_.record(trace::ApiCall{pid, api, args, event.memory_bytes,
+                                  /*post=*/false});
 
   // Assemble the hook chain for this call path. IAT hooks sit in the
   // process import table, so a direct (GetProcAddress / raw syscall) call
@@ -153,6 +171,7 @@ ApiResult Kernel::call_api(int pid, const std::string& api,
 
   for (const HookFn* hook : chain) {
     if ((*hook)(event) == ApiOutcome::kBlock) {
+      recorder_.record(trace::HookVerdict{api, /*blocked=*/true});
       return ApiResult{/*allowed=*/false, /*succeeded=*/false, {}};
     }
   }

@@ -17,6 +17,7 @@
 
 #include "support/bytes.hpp"
 #include "support/error.hpp"
+#include "trace/recorder.hpp"
 
 namespace pdfshield::sys {
 
@@ -129,9 +130,17 @@ class Process {
 };
 
 /// The kernel: process table + file system + network + API dispatch.
+///
+/// Every dispatched API call lands on the kernel's trace recorder as an
+/// api-call event; the bounded ring behind it is the (capped) successor of
+/// the old unbounded event log. Other components — detector, CLI, batch
+/// scanner — attach their own sinks to trace() to observe the same stream.
 class Kernel {
  public:
-  Kernel();
+  /// Default capacity of the retained trace ring (event_log() window).
+  static constexpr std::size_t kDefaultTraceCapacity = 4096;
+
+  explicit Kernel(std::size_t trace_ring_capacity = kDefaultTraceCapacity);
 
   // --- processes -----------------------------------------------------------
 
@@ -186,8 +195,20 @@ class Kernel {
   Network& net() { return net_; }
   const Network& net() const { return net_; }
 
-  /// Full event log (every dispatched API call), for forensics and tests.
-  const std::vector<ApiEvent>& event_log() const { return event_log_; }
+  /// The kernel's trace spine: api-call events land here; attach sinks
+  /// (JSONL, counters) to export them, set the doc context to correlate
+  /// calls with the document being rendered.
+  trace::Recorder& trace() { return recorder_; }
+  const trace::Recorder& trace() const { return recorder_; }
+
+  /// Event log (dispatched API calls), materialized from the bounded trace
+  /// ring: the most recent window, oldest first. Older entries are evicted
+  /// and counted in dropped_events() — the log can no longer grow without
+  /// limit over a long session.
+  std::vector<ApiEvent> event_log() const;
+
+  /// Trace-ring evictions (events of any kind pushed out of the window).
+  std::uint64_t dropped_events() const { return recorder_.ring_dropped(); }
 
  private:
   ApiResult dispatch_native(Process& proc, const std::string& api,
@@ -199,7 +220,7 @@ class Kernel {
   std::function<void(Process&)> appinit_;
   VirtualFileSystem fs_;
   Network net_;
-  std::vector<ApiEvent> event_log_;
+  trace::Recorder recorder_;
   int next_pid_ = 1000;
 };
 

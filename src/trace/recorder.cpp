@@ -1,0 +1,201 @@
+#include "trace/recorder.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace pdfshield::trace {
+
+// ---------------------------------------------------------------------------
+// RingSink
+// ---------------------------------------------------------------------------
+
+RingSink::RingSink(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RingSink::on_event(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else if (capacity_ > 0) {
+    ring_[total_ % capacity_] = event;
+  }
+  ++total_;
+}
+
+std::vector<Event> RingSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ <= capacity_ || capacity_ == 0) return ring_;
+  // The slot the next event would overwrite holds the oldest entry.
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  const std::size_t head = total_ % capacity_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t RingSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t RingSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+std::shared_ptr<JsonlSink> JsonlSink::open(const std::string& path) {
+  auto stream = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!*stream) throw support::Error("cannot write trace file " + path);
+  auto sink = std::shared_ptr<JsonlSink>(new JsonlSink());
+  sink->out_ = stream.get();
+  sink->owned_ = std::move(stream);
+  return sink;
+}
+
+void JsonlSink::on_event(const Event& event) {
+  const std::string line = to_jsonl(event);  // serialize outside the lock
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+  ++lines_;
+}
+
+std::uint64_t JsonlSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+// ---------------------------------------------------------------------------
+// CounterSink
+// ---------------------------------------------------------------------------
+
+void CounterSink::on_event(const Event& event) {
+  counts_[static_cast<std::size_t>(event.kind())].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t CounterSink::count(Kind kind) const {
+  return counts_[static_cast<std::size_t>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t CounterSink::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// CounterSnapshot
+// ---------------------------------------------------------------------------
+
+support::Json CounterSnapshot::to_json() const {
+  support::Json j = support::Json::object();
+  j["events"] = total;
+  j["dropped"] = dropped;
+  support::Json kinds = support::Json::object();
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (by_kind[i] == 0) continue;
+    kinds[std::string(kind_name(static_cast<Kind>(i)))] = by_kind[i];
+  }
+  j["by_kind"] = std::move(kinds);
+  return j;
+}
+
+std::string CounterSnapshot::summary() const {
+  std::string out = std::to_string(total) + " event(s)";
+  bool first = true;
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (by_kind[i] == 0) continue;
+    out += first ? " (" : ", ";
+    first = false;
+    out += std::string(kind_name(static_cast<Kind>(i))) + " " +
+           std::to_string(by_kind[i]);
+  }
+  if (!first) out += ")";
+  out += ", " + std::to_string(dropped) + " dropped";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+Recorder::Recorder(std::string session, std::size_t ring_capacity)
+    : session_(std::move(session)),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (ring_capacity > 0) {
+    ring_ = std::make_shared<RingSink>(ring_capacity);
+    sinks_.push_back(ring_);
+  }
+}
+
+void Recorder::add_sink(std::shared_ptr<Sink> sink) {
+  if (sink) sinks_.push_back(std::move(sink));
+}
+
+void Recorder::set_session(std::string session) {
+  session_ = std::move(session);
+}
+
+void Recorder::set_doc(std::string doc) {
+  std::lock_guard<std::mutex> lock(ctx_mutex_);
+  doc_ = std::move(doc);
+}
+
+std::string Recorder::doc() const {
+  std::lock_guard<std::mutex> lock(ctx_mutex_);
+  return doc_;
+}
+
+void Recorder::record(Payload payload) {
+  emit(doc(), std::move(payload));
+}
+
+void Recorder::record_for(std::string doc, Payload payload) {
+  emit(std::move(doc), std::move(payload));
+}
+
+void Recorder::emit(std::string doc, Payload payload) {
+  Event event;
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  event.t_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  event.session = session_;
+  event.doc = std::move(doc);
+  event.payload = std::move(payload);
+  counts_[static_cast<std::size_t>(event.kind())].fetch_add(
+      1, std::memory_order_relaxed);
+  for (const auto& sink : sinks_) sink->on_event(event);
+}
+
+std::vector<Event> Recorder::events() const {
+  return ring_ ? ring_->snapshot() : std::vector<Event>{};
+}
+
+std::uint64_t Recorder::ring_dropped() const {
+  return ring_ ? ring_->dropped() : 0;
+}
+
+CounterSnapshot Recorder::counters() const {
+  CounterSnapshot snap;
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    snap.by_kind[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.total += snap.by_kind[i];
+  }
+  snap.dropped = ring_dropped();
+  return snap;
+}
+
+}  // namespace pdfshield::trace

@@ -1,0 +1,149 @@
+// Recorder + sinks for the trace spine.
+//
+// A Recorder stamps events (sequence number, steady-clock offset,
+// session/doc correlation ids) and fans them out to sinks. The intended
+// deployment is one recorder per execution context — the kernel of one
+// simulated session, or one document inside a batch worker — so the hot
+// path is a single atomic increment plus the sinks' own (uncontended)
+// locks; recorders are nevertheless fully thread-safe because kernel
+// hooks may fire from watchdog and worker threads alike.
+//
+// Sinks:
+//   RingSink     bounded in-memory ring (keeps the most recent N events,
+//                counts what it evicted) — forensics and tests;
+//   JsonlSink    one JSON object per line to a stream/file — the
+//                `--trace out.jsonl` surface;
+//   CounterSink  per-kind aggregate counters — run-level summaries.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "trace/trace.hpp"
+
+namespace pdfshield::trace {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Bounded ring: keeps the most recent `capacity` events; older ones are
+/// evicted and counted, never silently forgotten.
+class RingSink final : public Sink {
+ public:
+  explicit RingSink(std::size_t capacity);
+
+  void on_event(const Event& event) override;
+
+  /// Retained events, oldest first.
+  std::vector<Event> snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Events evicted to make room (total recorded - retained).
+  std::uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;  ///< events ever recorded
+};
+
+/// One compact JSON object per line. Writes are mutex-serialized so
+/// concurrent recorders can share one file; lines never interleave.
+class JsonlSink final : public Sink {
+ public:
+  /// Writes to a caller-owned stream (kept alive by the caller).
+  explicit JsonlSink(std::ostream& out);
+  /// Opens `path` for writing; throws support::Error on failure.
+  static std::shared_ptr<JsonlSink> open(const std::string& path);
+
+  void on_event(const Event& event) override;
+  std::uint64_t lines_written() const;
+
+ private:
+  JsonlSink() = default;
+  mutable std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+/// Lock-free per-kind event counters (aggregate view across recorders).
+class CounterSink final : public Sink {
+ public:
+  void on_event(const Event& event) override;
+  std::uint64_t count(Kind kind) const;
+  std::uint64_t total() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kKindCount> counts_{};
+};
+
+/// Counter snapshot: totals per kind plus ring-drop accounting. Used for
+/// the per-document summaries in BatchReport and the CLI's per-run line.
+struct CounterSnapshot {
+  std::uint64_t total = 0;
+  std::uint64_t dropped = 0;  ///< ring evictions (0 without a ring)
+  std::array<std::uint64_t, kKindCount> by_kind{};
+
+  support::Json to_json() const;
+  /// "42 events (api-call 10, soap-message 4, ...), 0 dropped"
+  std::string summary() const;
+};
+
+class Recorder {
+ public:
+  /// `ring_capacity` == 0 builds a recorder without a retained ring (pure
+  /// fan-out + counters) — what the batch front-end uses.
+  explicit Recorder(std::string session = {}, std::size_t ring_capacity = 0);
+
+  /// Sinks must be attached before recording starts (not synchronized
+  /// against concurrent record() calls).
+  void add_sink(std::shared_ptr<Sink> sink);
+
+  void set_session(std::string session);
+  const std::string& session() const { return session_; }
+
+  /// Document correlation context: events recorded without an explicit doc
+  /// id inherit the current context (the reader sets it around each
+  /// open_document; batch workers set it per item).
+  void set_doc(std::string doc);
+  std::string doc() const;
+
+  /// Records `payload` under the current doc context.
+  void record(Payload payload);
+  /// Records `payload` for an explicit document id.
+  void record_for(std::string doc, Payload payload);
+
+  /// Ring snapshot (empty without a ring).
+  std::vector<Event> events() const;
+  std::uint64_t ring_dropped() const;
+
+  /// Per-kind totals for everything this recorder stamped.
+  CounterSnapshot counters() const;
+
+ private:
+  void emit(std::string doc, Payload payload);
+
+  std::string session_;
+  std::shared_ptr<RingSink> ring_;  ///< null when ring_capacity == 0
+  std::vector<std::shared_ptr<Sink>> sinks_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::array<std::atomic<std::uint64_t>, kKindCount> counts_{};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex ctx_mutex_;  ///< guards doc_
+  std::string doc_;
+};
+
+}  // namespace pdfshield::trace

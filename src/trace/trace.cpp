@@ -1,0 +1,150 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+
+namespace pdfshield::trace {
+
+std::string_view kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kApiCall: return "api-call";
+    case Kind::kHookVerdict: return "hook-verdict";
+    case Kind::kSoapMessage: return "soap-message";
+    case Kind::kJsContext: return "js-context";
+    case Kind::kPhaseSpan: return "phase-span";
+    case Kind::kFeatureFire: return "feature-fire";
+    case Kind::kConfinement: return "confinement";
+    case Kind::kDocVerdict: return "doc-verdict";
+    case Kind::kCounter: return "counter";
+  }
+  return "unknown";
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+void append_field(std::string& out, std::string_view key,
+                  std::string_view value) {
+  out += ',';
+  append_json_string(out, key);
+  out += ':';
+  append_json_string(out, value);
+}
+
+void append_field(std::string& out, std::string_view key, std::uint64_t value) {
+  out += ',';
+  append_json_string(out, key);
+  out += ':';
+  out += std::to_string(value);
+}
+
+void append_field(std::string& out, std::string_view key, bool value) {
+  out += ',';
+  append_json_string(out, key);
+  out += value ? ":true" : ":false";
+}
+
+void append_field(std::string& out, std::string_view key, double value) {
+  out += ',';
+  append_json_string(out, key);
+  out += ':';
+  append_double(out, value);
+}
+
+struct PayloadWriter {
+  std::string& out;
+
+  void operator()(const ApiCall& p) const {
+    append_field(out, "pid", static_cast<std::uint64_t>(p.pid));
+    append_field(out, "api", p.api);
+    out += ",\"args\":[";
+    for (std::size_t i = 0; i < p.args.size(); ++i) {
+      if (i) out += ',';
+      append_json_string(out, p.args[i]);
+    }
+    out += ']';
+    append_field(out, "memory_bytes", p.memory_bytes);
+    append_field(out, "post", p.post);
+  }
+  void operator()(const HookVerdict& p) const {
+    append_field(out, "api", p.api);
+    append_field(out, "blocked", p.blocked);
+  }
+  void operator()(const SoapMessage& p) const {
+    append_field(out, "op", p.op);
+    append_field(out, "authenticated", p.authenticated);
+    append_field(out, "foreign", p.foreign);
+  }
+  void operator()(const JsContext& p) const {
+    append_field(out, "enter", p.enter);
+    append_field(out, "memory_bytes", p.memory_bytes);
+  }
+  void operator()(const PhaseSpan& p) const {
+    append_field(out, "phase", p.phase);
+    append_field(out, "begin", p.begin);
+    append_field(out, "elapsed_s", p.elapsed_s);
+  }
+  void operator()(const FeatureFire& p) const {
+    append_field(out, "feature", p.feature);
+    append_field(out, "why", p.why);
+    append_field(out, "in_js", p.in_js);
+  }
+  void operator()(const Confinement& p) const {
+    append_field(out, "action", p.action);
+    append_field(out, "target", p.target);
+  }
+  void operator()(const DocVerdict& p) const {
+    append_field(out, "verdict", p.verdict);
+    append_field(out, "malscore", p.malscore);
+    append_field(out, "alerted", p.alerted);
+  }
+  void operator()(const CounterSample& p) const {
+    append_field(out, "counter", p.counter);
+    append_field(out, "value", p.value);
+  }
+};
+
+}  // namespace
+
+std::string to_jsonl(const Event& event) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"kind\":";
+  append_json_string(out, kind_name(event.kind()));
+  append_field(out, "seq", event.seq);
+  append_field(out, "t_ns", event.t_ns);
+  if (!event.session.empty()) append_field(out, "session", event.session);
+  if (!event.doc.empty()) append_field(out, "doc", event.doc);
+  std::visit(PayloadWriter{out}, event.payload);
+  out += '}';
+  return out;
+}
+
+}  // namespace pdfshield::trace

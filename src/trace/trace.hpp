@@ -1,0 +1,132 @@
+// The trace spine: one typed event stream for everything observable on the
+// paper's detection path (Fig. 4). Hooked API calls, SOAP channel traffic,
+// JS-context envelopes, front-end phase spans, detector feature fires,
+// confinement actions and verdicts all become `trace::Event`s, so a single
+// stream — correlated by (session, doc) ids — can reproduce the runtime
+// report, the Table-X timing breakdown, and a zero-tolerance audit trail.
+//
+// Events are a tagged union (std::variant payload); the variant index IS
+// the Kind, so adding a payload type means extending both in lock-step
+// (static_asserts below enforce it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pdfshield::trace {
+
+/// Event taxonomy. Must mirror the Payload variant order exactly.
+enum class Kind : std::size_t {
+  kApiCall = 0,    ///< hooked API invocation seen by the kernel dispatcher
+  kHookVerdict,    ///< a hook chain rejected a call
+  kSoapMessage,    ///< context-monitoring SOAP traffic (incl. forgeries)
+  kJsContext,      ///< authenticated JS-context ENTER/EXIT envelope
+  kPhaseSpan,      ///< front-end pipeline phase begin/end
+  kFeatureFire,    ///< an Eq.-1 feature turned positive for a document
+  kConfinement,    ///< Table-III action (quarantine / sandbox / veto / kill)
+  kDocVerdict,     ///< per-document verdict snapshot (alert or final score)
+  kCounter,        ///< free-form counter sample
+};
+inline constexpr std::size_t kKindCount = 9;
+
+/// One intercepted API call (pre-call view, same data the hooks see).
+struct ApiCall {
+  int pid = 0;
+  std::string api;
+  std::vector<std::string> args;
+  std::uint64_t memory_bytes = 0;
+  bool post = false;  ///< true for the post-native notification phase
+};
+
+/// A hook chain blocked `api` (the native implementation did not run).
+struct HookVerdict {
+  std::string api;
+  bool blocked = false;
+};
+
+/// One SOAP message as classified by the detector (§III-C / §IV).
+struct SoapMessage {
+  std::string op;             ///< "enter", "exit", or the forged text
+  bool authenticated = false; ///< key matched a registered document
+  bool foreign = false;       ///< well-formed key of another installation
+};
+
+/// Authenticated JS-context envelope transition.
+struct JsContext {
+  bool enter = false;  ///< true = ENTER, false = EXIT
+  std::uint64_t memory_bytes = 0;  ///< reader working set at the transition
+};
+
+/// Front-end pipeline phase (parse-decompress / feature-extraction /
+/// instrumentation). The end event carries the measured wall time.
+struct PhaseSpan {
+  std::string phase;
+  bool begin = false;
+  double elapsed_s = 0;  ///< 0 on begin events
+};
+
+/// An Eq.-1 feature fired for the correlated document.
+struct FeatureFire {
+  std::string feature;  ///< core::feature_name() text, e.g. "F12:..."
+  std::string why;
+  bool in_js = false;   ///< true for F8–F13 (second summand of Eq. 1)
+};
+
+/// A Table-III confinement action taken by the detector.
+struct Confinement {
+  std::string action;  ///< "quarantine" | "sandbox" | "veto" | "terminate"
+  std::string target;  ///< path / image / dll
+};
+
+/// Verdict snapshot for the correlated document.
+struct DocVerdict {
+  std::string verdict;   ///< "malicious" | "benign" | "suspicious-static" | "clean-static"
+  double malscore = 0;
+  bool alerted = false;
+};
+
+/// Free-form counter sample (dropped events, cache sizes, ...).
+struct CounterSample {
+  std::string counter;
+  std::uint64_t value = 0;
+};
+
+using Payload = std::variant<ApiCall, HookVerdict, SoapMessage, JsContext,
+                             PhaseSpan, FeatureFire, Confinement, DocVerdict,
+                             CounterSample>;
+
+static_assert(std::variant_size_v<Payload> == kKindCount);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                  static_cast<std::size_t>(Kind::kApiCall), Payload>, ApiCall>);
+static_assert(std::is_same_v<std::variant_alternative_t<
+                  static_cast<std::size_t>(Kind::kCounter), Payload>,
+              CounterSample>);
+
+/// One event on the spine. `session` correlates everything recorded by one
+/// deployment (detector id / batch run); `doc` correlates a document's
+/// events across layers (front-end spans, SOAP traffic, feature fires).
+struct Event {
+  std::uint64_t seq = 0;   ///< per-recorder monotonic sequence number
+  std::uint64_t t_ns = 0;  ///< steady-clock ns since the recorder's epoch
+  std::string session;
+  std::string doc;
+  Payload payload;
+
+  Kind kind() const { return static_cast<Kind>(payload.index()); }
+};
+
+/// Stable kind name used in JSONL output ("api-call", "phase-span", ...).
+std::string_view kind_name(Kind kind);
+
+/// Serializes one event as a single compact JSON line (no trailing
+/// newline). Hand-rolled — this sits on the batch hot path, where the
+/// <10 % tracing-overhead budget rules out building a Json tree per event.
+std::string to_jsonl(const Event& event);
+
+/// Appends `text` as a JSON string literal (quotes + escapes) to `out`.
+void append_json_string(std::string& out, std::string_view text);
+
+}  // namespace pdfshield::trace

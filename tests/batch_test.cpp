@@ -261,5 +261,85 @@ TEST(BatchScanner, ScanDirectoryReadsRecursivelyAndSorted) {
   fs::remove_all(dir);
 }
 
+TEST(BatchScanner, DetonationVerdictsAreThreadCountIndependent) {
+  // Detonation builds a private kernel + detector + reader per document,
+  // so runtime verdicts are a pure function of (detector id, input bytes)
+  // and must not depend on worker scheduling.
+  auto items = make_corpus(2, 3);
+
+  BatchOptions options;
+  options.detonate = true;
+  options.jobs = 1;
+  BatchReport serial = BatchScanner(options).scan(items);
+  options.jobs = 4;
+  BatchReport parallel = BatchScanner(options).scan(items);
+
+  ASSERT_EQ(serial.docs.size(), parallel.docs.size());
+  EXPECT_TRUE(serial.detonated);
+  EXPECT_EQ(serial.malicious_count, 3u);
+  EXPECT_EQ(parallel.malicious_count, 3u);
+  for (std::size_t i = 0; i < serial.docs.size(); ++i) {
+    EXPECT_TRUE(serial.docs[i].detonated) << serial.docs[i].name;
+    EXPECT_EQ(serial.docs[i].malicious, parallel.docs[i].malicious)
+        << serial.docs[i].name;
+    EXPECT_DOUBLE_EQ(serial.docs[i].malscore, parallel.docs[i].malscore)
+        << serial.docs[i].name;
+  }
+  // Benign samples stay benign even after detonation.
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_FALSE(serial.docs[i].malicious);
+}
+
+TEST(BatchScanner, TraceCountsAreDeterministicAndMatchTheJsonlFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pdfshield_batch_trace";
+  fs::create_directories(dir);
+  auto items = make_corpus(2, 2);
+
+  BatchOptions options;
+  options.detonate = true;
+  options.trace_path = (dir / "trace1.jsonl").string();
+  options.jobs = 1;
+  BatchReport first = BatchScanner(options).scan(items);
+  options.trace_path = (dir / "trace4.jsonl").string();
+  options.jobs = 4;
+  BatchReport second = BatchScanner(options).scan(items);
+
+  EXPECT_TRUE(first.traced);
+  EXPECT_GT(first.trace_events, 0u);
+  EXPECT_EQ(first.trace_events, second.trace_events);
+  EXPECT_EQ(first.trace_counters.total, first.trace_events);
+  for (std::size_t i = 0; i < first.docs.size(); ++i) {
+    EXPECT_EQ(first.docs[i].trace_events, second.docs[i].trace_events)
+        << first.docs[i].name;
+    EXPECT_EQ(first.docs[i].trace_dropped, 0u);
+  }
+
+  // Every recorded event is one line in the JSONL file, and a detonating
+  // trace carries the runtime kinds the report summary claims.
+  auto count_lines = [](const fs::path& p) {
+    std::ifstream in(p);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+      EXPECT_FALSE(line.empty());
+      EXPECT_EQ(line.front(), '{');
+      EXPECT_EQ(line.back(), '}');
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_lines(options.trace_path), second.trace_events);
+  using trace::Kind;
+  EXPECT_GT(first.trace_counters.by_kind[static_cast<std::size_t>(
+                Kind::kApiCall)], 0u);
+  EXPECT_GT(first.trace_counters.by_kind[static_cast<std::size_t>(
+                Kind::kSoapMessage)], 0u);
+  EXPECT_GT(first.trace_counters.by_kind[static_cast<std::size_t>(
+                Kind::kPhaseSpan)], 0u);
+  EXPECT_GT(first.trace_counters.by_kind[static_cast<std::size_t>(
+                Kind::kDocVerdict)], 0u);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace pdfshield

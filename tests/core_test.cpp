@@ -833,3 +833,63 @@ TEST(FrontEnd, RejectsNonPdfGracefully) {
   EXPECT_FALSE(r.ok);
   EXPECT_FALSE(r.error.empty());
 }
+
+TEST(Detector, EvidenceIsCappedWithExplicitOverflowMarker) {
+  // A hostile script spamming forged SOAP messages must not balloon the
+  // evidence trail: the cap ends it with an explicit marker and counts
+  // everything shed past it.
+  sy::Kernel kernel;
+  sp::Rng rng(79);
+  co::DetectorConfig cfg;
+  cfg.max_evidence_entries = 3;
+  co::RuntimeDetector detector(kernel, rng, cfg);
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+  const auto key = co::generate_document_key(rng, detector.detector_id());
+  detector.register_document(key, "spam.pdf", {});
+
+  auto soap = [&](const std::string& op, const std::string& key_text) {
+    auto payload = js::make_object();
+    payload->set("op", js::Value(op));
+    payload->set("key", js::Value(key_text));
+    detector.handle_soap(js::Value(payload));
+  };
+  soap("enter", key.combined());  // authentic: spam.pdf is the active doc
+  for (int i = 0; i < 10; ++i) {
+    soap("exit", detector.detector_id() + "-0000000000000000");  // forged
+  }
+
+  const co::DocumentState* state = detector.state(key);
+  ASSERT_NE(state, nullptr);
+  ASSERT_EQ(state->evidence.size(), 4u);  // 3 entries + the marker
+  EXPECT_EQ(state->evidence.back(),
+            "[evidence overflow: further entries dropped]");
+  EXPECT_EQ(state->evidence_overflow, 7u);
+  EXPECT_TRUE(detector.verdict(key).malicious);  // conviction unaffected
+}
+
+TEST(Detector, DroppedFileListIsCapped) {
+  sy::Kernel kernel;
+  sp::Rng rng(80);
+  co::DetectorConfig cfg;
+  cfg.max_dropped_files = 2;
+  co::RuntimeDetector detector(kernel, rng, cfg);
+  rd::ReaderSim reader(kernel);
+  detector.attach(reader);
+  const auto key = co::generate_document_key(rng, detector.detector_id());
+  detector.register_document(key, "dropper.pdf", {});
+
+  auto payload = js::make_object();
+  payload->set("op", js::Value("enter"));
+  payload->set("key", js::Value(key.combined()));
+  detector.handle_soap(js::Value(payload));
+  for (int i = 0; i < 5; ++i) {
+    kernel.call_api(reader.pid(), "NtCreateFile",
+                    {"c:/drop" + std::to_string(i) + ".exe", "MZ"});
+  }
+
+  const co::DocumentState* state = detector.state(key);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->dropped_files.size(), 2u);
+  EXPECT_EQ(state->dropped_files_overflow, 3u);
+}

@@ -242,4 +242,20 @@ TEST(Kernel, EventLogRecordsEverything) {
   ASSERT_EQ(k.event_log().size(), 2u);
   EXPECT_EQ(k.event_log()[0].api, "connect");
   EXPECT_EQ(k.event_log()[1].api, "listen");
+  EXPECT_EQ(k.dropped_events(), 0u);
+}
+
+TEST(Kernel, EventLogIsBoundedAndCountsEvictions) {
+  // A hostile script looping on syscalls must not balloon kernel memory:
+  // the log is a ring that keeps the most recent events and counts the
+  // rest instead of silently growing (or silently forgetting).
+  sy::Kernel k(/*trace_ring_capacity=*/2);
+  auto& p = k.create_process("AcroRd32.exe");
+  k.call_api(p.pid(), "connect", {"a", "1"});
+  k.call_api(p.pid(), "listen", {"2"});
+  k.call_api(p.pid(), "NtAddAtom", {});
+  ASSERT_EQ(k.event_log().size(), 2u);
+  EXPECT_EQ(k.event_log()[0].api, "listen");
+  EXPECT_EQ(k.event_log()[1].api, "NtAddAtom");
+  EXPECT_EQ(k.dropped_events(), 1u);
 }

@@ -1,0 +1,220 @@
+// Trace spine: ring wraparound, recorder thread-safety (exercised under
+// TSan via the "batch" ctest label), JSONL serialization, and the replay
+// property — a detector verdict and the Table-X phase breakdown can be
+// reconstructed from the emitted event stream alone.
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "core/trace_replay.hpp"
+#include "corpus/generator.hpp"
+#include "reader/reader_sim.hpp"
+#include "support/rng.hpp"
+#include "sys/kernel.hpp"
+#include "trace/recorder.hpp"
+
+namespace pdfshield {
+namespace {
+
+trace::Payload sample(std::uint64_t n) {
+  return trace::CounterSample{"n", n};
+}
+
+TEST(RingSink, WraparoundKeepsMostRecentAndCountsDropped) {
+  trace::Recorder rec("s", /*ring_capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) rec.record(sample(i));
+
+  const std::vector<trace::Event> events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(rec.ring_dropped(), 6u);
+  // Oldest-first, and exactly the last four recorded.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    const auto& counter = std::get<trace::CounterSample>(events[i].payload);
+    EXPECT_EQ(counter.value, 6u + i);
+  }
+}
+
+TEST(Recorder, StampsSessionDocAndKind) {
+  trace::Recorder rec("session-1", 8);
+  rec.set_doc("a.pdf");
+  rec.record(trace::SoapMessage{"enter", true, false});
+  rec.record_for("b.pdf", trace::Confinement{"sandbox", "calc.exe"});
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].session, "session-1");
+  EXPECT_EQ(events[0].doc, "a.pdf");
+  EXPECT_EQ(events[0].kind(), trace::Kind::kSoapMessage);
+  EXPECT_EQ(events[1].doc, "b.pdf");
+  EXPECT_EQ(trace::kind_name(events[1].kind()), "confinement");
+  // Monotonic stamps.
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LE(events[0].t_ns, events[1].t_ns);
+}
+
+TEST(TraceJsonl, SerializesAndEscapes) {
+  trace::Event event;
+  event.seq = 7;
+  event.t_ns = 123;
+  event.session = "abc";
+  event.doc = "dir/we\"ird\n.pdf";
+  event.payload = trace::ApiCall{42, "NtCreateFile", {"c:\\drop.exe"}, 1024,
+                                 false};
+  const std::string line = trace::to_jsonl(event);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"kind\":\"api-call\""), std::string::npos);
+  EXPECT_NE(line.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"doc\":\"dir/we\\\"ird\\n.pdf\""), std::string::npos);
+  EXPECT_NE(line.find("\"args\":[\"c:\\\\drop.exe\"]"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line per event
+}
+
+TEST(JsonlSink, WritesOneLinePerEvent) {
+  std::ostringstream out;
+  auto sink = std::make_shared<trace::JsonlSink>(out);
+  trace::Recorder rec("s", 0);
+  rec.add_sink(sink);
+  rec.record(sample(1));
+  rec.record(sample(2));
+  EXPECT_EQ(sink->lines_written(), 2u);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+// The concurrency test behind the "batch" ctest label: many threads share
+// one recorder and its sinks. TSan must see no races; counts must add up.
+TEST(Recorder, MultithreadedRecordingIsConsistent) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 500;
+
+  std::ostringstream out;
+  trace::Recorder rec("mt", /*ring_capacity=*/64);
+  auto jsonl = std::make_shared<trace::JsonlSink>(out);
+  auto counters = std::make_shared<trace::CounterSink>();
+  rec.add_sink(jsonl);
+  rec.add_sink(counters);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      const std::string doc = "doc-" + std::to_string(t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        rec.record_for(doc, trace::CounterSample{"i", i});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(counters->total(), total);
+  EXPECT_EQ(counters->count(trace::Kind::kCounter), total);
+  EXPECT_EQ(jsonl->lines_written(), total);
+  EXPECT_EQ(rec.events().size(), 64u);
+  EXPECT_EQ(rec.ring_dropped(), total - 64);
+  EXPECT_EQ(rec.counters().total, total);
+
+  // Sequence numbers are unique: the retained ring holds 64 distinct ones.
+  std::set<std::uint64_t> seqs;
+  for (const auto& event : rec.events()) seqs.insert(event.seq);
+  EXPECT_EQ(seqs.size(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Replay: the event stream alone carries the verdict and the timings.
+// ---------------------------------------------------------------------------
+
+core::trace_replay::ReplayedVerdict detonate_and_replay(const support::Bytes& file,
+                                          const std::string& name,
+                                          core::Verdict* live_out) {
+  sys::Kernel kernel(/*trace_ring_capacity=*/8192);
+  support::Rng rng(0xfeedULL);
+  core::RuntimeDetector detector(kernel, rng);
+  core::FrontEnd frontend(detector.detector_id());
+  reader::ReaderSim reader(kernel);
+  detector.attach(reader);
+
+  kernel.trace().set_doc(name);
+  core::FrontEndResult fe = frontend.process(file, &kernel.trace());
+  EXPECT_TRUE(fe.ok);
+  detector.register_document(fe.record.key, name, fe.features);
+  for (const auto& emb : fe.embedded) {
+    detector.register_document(emb.record.key, emb.name, emb.features);
+  }
+  reader.open_document(fe.output, name);
+
+  *live_out = detector.verdict(fe.record.key);
+  return core::trace_replay::replay_verdict(kernel.trace().events(), name);
+}
+
+TEST(TraceReplay, MaliciousVerdictReconstructedFromStreamAlone) {
+  corpus::CorpusGenerator gen;
+  int convicted = 0;
+  for (auto& s : gen.generate_malicious(4)) {
+    core::Verdict live;
+    const core::trace_replay::ReplayedVerdict replayed =
+        detonate_and_replay(s.data, s.name, &live);
+    EXPECT_EQ(replayed.malicious, live.malicious) << s.name;
+    EXPECT_DOUBLE_EQ(replayed.malscore, live.malscore) << s.name;
+    if (live.malicious) ++convicted;
+  }
+  EXPECT_GT(convicted, 0);  // the corpus must actually exercise the path
+}
+
+TEST(TraceReplay, BenignDocumentReplaysToZero) {
+  corpus::CorpusGenerator gen;
+  for (auto& s : gen.generate_benign(3)) {
+    core::Verdict live;
+    const core::trace_replay::ReplayedVerdict replayed =
+        detonate_and_replay(s.data, s.name, &live);
+    EXPECT_FALSE(replayed.malicious) << s.name;
+    EXPECT_EQ(replayed.malicious, live.malicious) << s.name;
+    EXPECT_DOUBLE_EQ(replayed.malscore, live.malscore) << s.name;
+    EXPECT_FALSE(replayed.fake_message) << s.name;
+  }
+}
+
+TEST(TraceReplay, PhaseTimingsRebuiltFromSpans) {
+  corpus::CorpusGenerator gen;
+  auto samples = gen.generate_benign(1);
+  ASSERT_FALSE(samples.empty());
+
+  trace::Recorder rec("t", 256);
+  rec.set_doc(samples[0].name);
+  core::FrontEnd frontend("0123456789abcdef");
+  const core::FrontEndResult result = frontend.process(samples[0].data, &rec);
+  ASSERT_TRUE(result.ok);
+
+  const core::PhaseTimings rebuilt = core::trace_replay::phase_timings_from_trace(
+      rec.events(), samples[0].name);
+  EXPECT_DOUBLE_EQ(rebuilt.parse_decompress_s,
+                   result.timings.parse_decompress_s);
+  EXPECT_DOUBLE_EQ(rebuilt.feature_extraction_s,
+                   result.timings.feature_extraction_s);
+  EXPECT_DOUBLE_EQ(rebuilt.instrumentation_s,
+                   result.timings.instrumentation_s);
+  EXPECT_GT(rebuilt.total_s(), 0.0);
+}
+
+TEST(TraceReplay, TracedProcessMatchesUntracedOutput) {
+  // Tracing must be observation-only: same bytes out with and without it.
+  corpus::CorpusGenerator gen;
+  auto samples = gen.generate_malicious(1);
+  ASSERT_FALSE(samples.empty());
+  core::FrontEnd frontend("0123456789abcdef");
+  trace::Recorder rec("t", 0);
+  const auto traced = frontend.process(samples[0].data, &rec);
+  const auto plain = frontend.process(samples[0].data);
+  ASSERT_TRUE(traced.ok);
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(traced.output, plain.output);
+}
+
+}  // namespace
+}  // namespace pdfshield

@@ -10,18 +10,24 @@ Both files use the trajectory format written by bench::bench_to_json:
      "benchmarks": [{"name": "...", "value": 1.0, "unit": "..."}, ...]}
 
 Every benchmark present in both files is reported with its delta. Only the
-gated names (default: BM_FlateDecompress/1048576) can fail the check: a
-gated higher-is-better metric that drops more than --max-regression percent
-(default 30) below the baseline exits non-zero. CI runners are noisy, so
-the gate is deliberately loose — it exists to catch algorithmic
-regressions (a lost fast path), not scheduling jitter.
+gated names can fail the check: a gated higher-is-better metric that drops
+more than --max-regression percent (default 30) below the baseline exits
+non-zero. Without an explicit --gate the gate list is picked from the
+current file's "suite" field (flate -> the 1 MiB decompress fast path,
+batch_throughput -> serial docs/s). CI runners are noisy, so the gate is
+deliberately loose — it exists to catch algorithmic regressions (a lost
+fast path), not scheduling jitter.
 """
 
 import argparse
 import json
 import sys
 
-DEFAULT_GATES = ["BM_FlateDecompress/1048576"]
+SUITE_GATES = {
+    "flate": ["BM_FlateDecompress/1048576"],
+    "batch_throughput": ["BatchScan/jobs:1/docs_per_s"],
+}
+FALLBACK_GATES = ["BM_FlateDecompress/1048576"]
 # Units where a smaller current value means a regression.
 HIGHER_IS_BETTER = {"bytes_per_second", "docs_per_second", "x_vs_serial"}
 
@@ -32,7 +38,7 @@ def load(path):
     out = {}
     for entry in doc.get("benchmarks", []):
         out[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
-    return out
+    return out, doc.get("suite", "")
 
 
 def main():
@@ -41,14 +47,17 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--gate", action="append", default=None,
                         help="benchmark name that may fail the check "
-                             "(repeatable; default: %s)" % DEFAULT_GATES[0])
+                             "(repeatable; default chosen per suite)")
     parser.add_argument("--max-regression", type=float, default=30.0,
                         help="allowed drop in percent for gated benchmarks")
     args = parser.parse_args()
-    gates = args.gate if args.gate is not None else DEFAULT_GATES
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline, _ = load(args.baseline)
+    current, suite = load(args.current)
+    if args.gate is not None:
+        gates = args.gate
+    else:
+        gates = SUITE_GATES.get(suite, FALLBACK_GATES)
 
     failures = []
     width = max((len(n) for n in current), default=10)

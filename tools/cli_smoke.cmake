@@ -69,3 +69,59 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "batch reports differ between --jobs 1 and --jobs 8")
 endif()
+
+# --- trace spine ------------------------------------------------------------
+# scan --trace writes a JSONL event stream alongside the normal report.
+run_checked(${CLI} scan ${sample} --trace ${WORK}/scan-trace.jsonl)
+file(READ ${WORK}/scan-trace.jsonl scan_trace)
+if(NOT scan_trace MATCHES "\"kind\":\"phase-span\"")
+  message(FATAL_ERROR "scan --trace: no phase-span events in scan-trace.jsonl")
+endif()
+if(NOT scan_trace MATCHES "\"kind\":\"doc-verdict\"")
+  message(FATAL_ERROR "scan --trace: no doc-verdict event in scan-trace.jsonl")
+endif()
+
+# batch --detonate --trace must produce a parseable JSONL file whose events
+# cover the detonation path: api-call, soap-message, phase-span, and
+# doc-verdict, every one correlated back to a document id.
+execute_process(COMMAND ${CLI} batch ${WORK}/batch-corpus --jobs 4 --detonate
+                        --trace ${WORK}/batch-trace.jsonl
+                        --out ${WORK}/report-traced.json
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "batch --trace expected exit 3 (manifest.csv error), got ${rc}")
+endif()
+file(READ ${WORK}/batch-trace.jsonl batch_trace)
+foreach(kind api-call soap-message phase-span doc-verdict feature-fire)
+  if(NOT batch_trace MATCHES "\"kind\":\"${kind}\"")
+    message(FATAL_ERROR "batch --trace: no ${kind} events in batch-trace.jsonl")
+  endif()
+endforeach()
+if(NOT batch_trace MATCHES "\"doc\":\"[^\"]+\\.pdf\"")
+  message(FATAL_ERROR "batch --trace: events are not correlated to a document id")
+endif()
+file(READ ${WORK}/report-traced.json traced_report)
+if(NOT traced_report MATCHES "\"trace_events\": [1-9]")
+  message(FATAL_ERROR "batch --trace: report carries no trace_events summary")
+endif()
+
+# Every line must parse as a JSON object (string(JSON) needs CMake >= 3.19;
+# older configurations fall back to the regex checks above).
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(REPLACE ";" "\\;" batch_trace_escaped "${batch_trace}")
+  string(REPLACE "\n" ";" trace_lines "${batch_trace_escaped}")
+  set(parsed 0)
+  foreach(line IN LISTS trace_lines)
+    if(line STREQUAL "")
+      continue()
+    endif()
+    string(JSON kind ERROR_VARIABLE json_err GET "${line}" kind)
+    if(json_err)
+      message(FATAL_ERROR "batch --trace: unparseable JSONL line: ${line}")
+    endif()
+    math(EXPR parsed "${parsed} + 1")
+  endforeach()
+  if(parsed LESS 10)
+    message(FATAL_ERROR "batch --trace: only ${parsed} JSONL lines parsed")
+  endif()
+endif()

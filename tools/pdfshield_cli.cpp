@@ -14,9 +14,17 @@
 //       multi-threaded front-end scan of every file under <dir>; summary
 //       to stdout, full JSON report to --out. Exit code 3 when some
 //       documents failed (the batch itself still completes).
+//       --trace out.jsonl writes the per-document event streams as JSONL;
+//       --detonate additionally opens each instrumented output in a
+//       per-document simulated reader + detector for runtime verdicts.
+//
+//   scan/detonate/batch all accept --trace <out.jsonl>: every layer's
+//   observable events (phase spans, feature fires, API calls, SOAP
+//   traffic, verdicts) land in one stream correlated by document id.
 //   pdfshield corpus <out-dir> [benign N] [malicious M]
 //       writes a synthetic labelled corpus to disk.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -28,6 +36,7 @@
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/trace_replay.hpp"
 #include "corpus/generator.hpp"
 #include "pdf/parser.hpp"
 #include "reader/reader_sim.hpp"
@@ -35,6 +44,7 @@
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "sys/kernel.hpp"
+#include "trace/recorder.hpp"
 
 using namespace pdfshield;
 
@@ -69,11 +79,48 @@ std::string flag_value(const std::vector<std::string>& args,
   return fallback;
 }
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 int cmd_scan(const std::vector<std::string>& args) {
   const support::Bytes input = read_file(args.at(0));
+
+  // --trace: static-scan phases and feature fires as a JSONL event stream.
+  // The summary line goes to stderr — stdout carries the JSON report.
+  const std::string trace_path = flag_value(args, "--trace", "");
+  trace::Recorder recorder("static-scan", 0);
+  trace::Recorder* rec = nullptr;
+  if (!trace_path.empty()) {
+    recorder.add_sink(trace::JsonlSink::open(trace_path));
+    recorder.set_doc(args.at(0));
+    rec = &recorder;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  if (rec) {
+    rec->record(trace::PhaseSpan{core::trace_replay::kPhaseParseDecompress,
+                                 /*begin=*/true, 0.0});
+  }
   pdf::Document doc = pdf::parse_document(input);
+  if (rec) {
+    rec->record(trace::PhaseSpan{core::trace_replay::kPhaseParseDecompress,
+                                 /*begin=*/false, seconds_since(t0)});
+    t0 = std::chrono::steady_clock::now();
+    rec->record(trace::PhaseSpan{core::trace_replay::kPhaseFeatureExtraction,
+                                 /*begin=*/true, 0.0});
+  }
   const core::JsChainAnalysis chains = core::analyze_js_chains(doc);
   const core::StaticFeatures f = core::extract_static_features(doc, chains);
+  if (rec) {
+    rec->record(trace::PhaseSpan{core::trace_replay::kPhaseFeatureExtraction,
+                                 /*begin=*/false, seconds_since(t0)});
+    core::trace_replay::emit_static_feature_fires(*rec, f);
+    rec->record(trace::DocVerdict{
+        f.binary_sum() > 0 ? "suspicious-static" : "clean-static",
+        static_cast<double>(f.binary_sum()), /*alerted=*/false});
+  }
 
   support::Json report = support::Json::object();
   report["file"] = args.at(0);
@@ -99,6 +146,10 @@ int cmd_scan(const std::vector<std::string>& args) {
   features["binary_sum"] = f.binary_sum();
   report["static_features"] = std::move(features);
   std::cout << report.dump(2) << "\n";
+  if (rec) {
+    std::cerr << "trace: " << rec->counters().summary() << " -> " << trace_path
+              << "\n";
+  }
   return 0;
 }
 
@@ -144,6 +195,15 @@ int cmd_detonate(const std::vector<std::string>& args) {
   const support::Bytes input = read_file(args.at(0));
 
   sys::Kernel kernel;
+  // --trace: every layer records onto the kernel's recorder — front-end
+  // spans, hooked API calls, SOAP traffic, feature fires, confinement and
+  // the verdict — one correlated stream per detonation.
+  const std::string trace_path = flag_value(args, "--trace", "");
+  trace::Recorder* rec = nullptr;
+  if (!trace_path.empty()) {
+    kernel.trace().add_sink(trace::JsonlSink::open(trace_path));
+    rec = &kernel.trace();
+  }
   support::Rng rng(support::fnv1a64(support::BytesView(input.data(), input.size())));
   core::DetectorConfig cfg;
   if (has_flag(args, "--kernel-hooks")) {
@@ -156,7 +216,8 @@ int cmd_detonate(const std::vector<std::string>& args) {
   reader::ReaderSim reader(kernel, reader_cfg);
   detector.attach(reader);
 
-  core::FrontEndResult fe = frontend.process(input);
+  if (rec) rec->set_doc(args.at(0));
+  core::FrontEndResult fe = frontend.process(input, rec);
   if (!fe.ok) {
     std::cerr << "error: " << fe.error << "\n";
     return 1;
@@ -168,12 +229,22 @@ int cmd_detonate(const std::vector<std::string>& args) {
   }
   reader.open_document(fe.output, args.at(0));
 
-  std::cout << core::document_report(detector, fe.record.key).dump(2) << "\n";
-  std::cout << core::session_report(detector, kernel).dump(2) << "\n";
-  bool malicious = detector.verdict(fe.record.key).malicious;
+  const core::Verdict verdict = detector.verdict(fe.record.key);
+  bool malicious = verdict.malicious;
   for (const auto& emb : fe.embedded) {
     malicious = malicious || detector.verdict(emb.record.key).malicious;
   }
+  if (rec) {
+    // Closing verdict snapshot (alerts already emitted one at alert time).
+    rec->record_for(args.at(0),
+                    trace::DocVerdict{verdict.malicious ? "malicious" : "benign",
+                                      verdict.malscore, verdict.malicious});
+    std::cerr << "trace: " << rec->counters().summary() << " -> " << trace_path
+              << "\n";
+  }
+
+  std::cout << core::document_report(detector, fe.record.key).dump(2) << "\n";
+  std::cout << core::session_report(detector, kernel).dump(2) << "\n";
   return malicious ? 2 : 0;
 }
 
@@ -202,6 +273,8 @@ int cmd_batch(const std::vector<std::string>& args) {
   const std::string out_dir = flag_value(args, "--write-outputs", "");
   options.keep_outputs = !out_dir.empty();
   options.frontend.incremental_update = has_flag(args, "--incremental");
+  options.trace_path = flag_value(args, "--trace", "");
+  options.detonate = has_flag(args, "--detonate");
 
   core::BatchScanner scanner(options);
   core::BatchReport report = scanner.scan_directory(dir);
@@ -227,9 +300,17 @@ int cmd_batch(const std::vector<std::string>& args) {
             << support::format_double(report.docs_per_s, 1) << " docs/s): "
             << report.ok_count << " ok, " << report.suspicious_count
             << " suspicious, " << report.error_count << " error(s), "
-            << report.timeout_count << " timeout(s)\n";
+            << report.timeout_count << " timeout(s)";
+  if (report.detonated) {
+    std::cout << ", " << report.malicious_count << " malicious";
+  }
+  std::cout << "\n";
   for (const auto& doc : report.docs) {
     if (!doc.ok) std::cout << "  FAILED " << doc.name << ": " << doc.error << "\n";
+  }
+  if (report.traced) {
+    std::cout << "trace: " << report.trace_counters.summary() << " -> "
+              << options.trace_path << "\n";
   }
   if (!report_path.empty()) std::cout << "wrote " << report_path << "\n";
   return (report.error_count + report.timeout_count) == 0 ? 0 : 3;
@@ -263,13 +344,15 @@ int cmd_corpus(const std::vector<std::string>& args) {
 int usage() {
   std::cerr
       << "usage:\n"
-         "  pdfshield scan <in.pdf>\n"
+         "  pdfshield scan <in.pdf> [--trace out.jsonl]\n"
          "  pdfshield instrument <in.pdf> <out.pdf> [--incremental]\n"
          "  pdfshield deinstrument <in.pdf> <out.pdf> <record.psrec>\n"
          "  pdfshield detonate <in.pdf> [--version 9.0] [--kernel-hooks]\n"
+         "                  [--trace out.jsonl]\n"
          "  pdfshield batch <dir> [--jobs N] [--out report.json]\n"
          "                  [--timeout S] [--detector-id HEX16]\n"
          "                  [--write-outputs <dir>] [--incremental]\n"
+         "                  [--trace out.jsonl] [--detonate]\n"
          "  pdfshield corpus <out-dir> [benign N] [malicious M]\n";
   return 64;
 }
