@@ -8,6 +8,16 @@
 // against an untraced one at the same width, min-of-3 each; pass
 // `--max-trace-overhead PCT` to fail the run when tracing costs more
 // than PCT percent of untraced throughput.
+//
+// A third measurement prices the static JS prefilter: detonating runs
+// with the prefilter on vs off (the on/off pair the flag actually
+// toggles — analysis cost in, skipped detonations out), plus the raw
+// jsstatic analysis cost on a plain scan as an informational line.
+// `--max-prefilter-overhead PCT` fails the run when the prefiltered
+// detonating batch is more than PCT percent slower than the full one —
+// i.e. the analysis cost must pay for itself within that margin even on
+// this adversarial 50% malicious corpus (real triage mixes skew far more
+// benign, where the skip wins outright).
 #include <cstdio>
 #include <filesystem>
 
@@ -147,6 +157,59 @@ int main(int argc, char** argv) {
   results.push_back({"BatchScan/trace/events",
                      static_cast<double>(traced.trace_events), "count"});
 
+  // Raw jsstatic analysis cost (informational): same plain scan with the
+  // pass forced on. Nothing is skipped — detonation is off — so the delta
+  // is the pure price of folding every script, spray loops included.
+  const double max_prefilter_pct =
+      flag_double(argc, argv, "--max-prefilter-overhead", -1.0);
+  core::BatchOptions analyzed_options;
+  analyzed_options.jobs = kTraceJobs;
+  analyzed_options.static_prefilter = true;
+  const core::BatchReport analyzed = best_of(analyzed_options, items, kReps);
+  std::cout << "jsstatic analysis cost (jobs=" << kTraceJobs << ", best of "
+            << kReps << "): " << bench::fmt(plain.docs_per_s, 1) << " -> "
+            << bench::fmt(analyzed.docs_per_s, 1)
+            << " docs/s on a plain scan\n";
+  results.push_back({"BatchScan/prefilter/analyze_docs_per_s",
+                     analyzed.docs_per_s, "docs_per_second"});
+
+  // The gated on/off pair: detonation with and without the prefilter.
+  // min-of-5 rather than min-of-3 — this comparison feeds a CI gate and
+  // detonating runs are the noisiest measurement in the file.
+  constexpr int kDetReps = 5;
+  core::BatchOptions detonate_options;
+  detonate_options.jobs = kTraceJobs;
+  detonate_options.detonate = true;
+  const core::BatchReport det_full =
+      best_of(detonate_options, items, kDetReps);
+  detonate_options.static_prefilter = true;
+  const core::BatchReport det_pref =
+      best_of(detonate_options, items, kDetReps);
+  const double prefilter_overhead_pct =
+      det_full.docs_per_s > 0
+          ? (det_full.docs_per_s - det_pref.docs_per_s) / det_full.docs_per_s *
+                100.0
+          : 0.0;
+  std::cout << "prefiltered detonation (jobs=" << kTraceJobs << ", best of "
+            << kDetReps << "): " << bench::fmt(det_full.docs_per_s, 1) << " -> "
+            << bench::fmt(det_pref.docs_per_s, 1) << " docs/s ("
+            << bench::fmt(-prefilter_overhead_pct, 1) << "% net, "
+            << det_pref.static_skipped_count << "/" << det_pref.docs.size()
+            << " skipped)\n";
+  if (det_full.malicious_count != det_pref.malicious_count) {
+    std::cout << "FAIL: prefilter changed malicious verdicts ("
+              << det_full.malicious_count << " -> "
+              << det_pref.malicious_count << ")\n";
+    return 1;
+  }
+  results.push_back({"BatchScan/prefilter_detonate/docs_per_s",
+                     det_pref.docs_per_s, "docs_per_second"});
+  results.push_back({"BatchScan/prefilter_detonate/overhead_pct",
+                     prefilter_overhead_pct, "percent"});
+  results.push_back({"BatchScan/prefilter_detonate/skipped",
+                     static_cast<double>(det_pref.static_skipped_count),
+                     "count"});
+
   if (!json_path.empty()) {
     bench::bench_to_json(json_path, "batch_throughput", results);
   }
@@ -154,6 +217,12 @@ int main(int argc, char** argv) {
     std::cout << "FAIL: trace overhead " << bench::fmt(overhead_pct, 1)
               << "% exceeds budget " << bench::fmt(max_overhead_pct, 1)
               << "%\n";
+    return 1;
+  }
+  if (max_prefilter_pct >= 0 && prefilter_overhead_pct > max_prefilter_pct) {
+    std::cout << "FAIL: prefilter overhead "
+              << bench::fmt(prefilter_overhead_pct, 1) << "% exceeds budget "
+              << bench::fmt(max_prefilter_pct, 1) << "%\n";
     return 1;
   }
   return 0;

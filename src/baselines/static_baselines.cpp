@@ -7,6 +7,7 @@
 
 #include "core/jschain.hpp"
 #include "js/lexer.hpp"
+#include "jsstatic/analyzer.hpp"
 #include "pdf/filters.hpp"
 #include "pdf/graph.hpp"
 #include "pdf/parser.hpp"
@@ -299,6 +300,42 @@ void PdfrateBaseline::train(const std::vector<corpus::Sample>& samples) {
 
 int PdfrateBaseline::predict(BytesView file) {
   return model_.predict(features(file));
+}
+
+// ---------------------------------------------------------------------------
+// JsStaticBaseline
+// ---------------------------------------------------------------------------
+
+void JsStaticBaseline::train(const std::vector<corpus::Sample>&) {
+  // Heuristic scorer; nothing to fit.
+}
+
+int JsStaticBaseline::predict(BytesView file) {
+  auto doc = try_parse(file);
+  if (!doc) return 0;
+  try {
+    doc->decompress_all();
+  } catch (const support::Error&) {
+    // Undecodable streams: score whatever scripts are still reachable.
+  }
+  std::vector<std::string> sources;
+  for (const auto& site : core::analyze_js_chains(*doc).sites) {
+    sources.push_back(site.source);
+  }
+  const jsstatic::Report rep = jsstatic::analyze_scripts(sources);
+
+  // Byte-pattern indicators are strong evidence on their own; a code sink
+  // or API references only convict in combination (benign viewers eval
+  // trivia and poke app.* constantly — one weak fact must not flip them).
+  double score = 0.0;
+  if (rep.shellcode) score += 3.0;
+  if (rep.nop_sled) score += 2.0;
+  if (rep.heap_spray_loop) score += 2.0;
+  if (!rep.sinks.empty()) score += 1.0;
+  if (rep.suspicious_api_count() >= 2) score += 1.0;
+  if (rep.obfuscation_score > 0.6) score += 1.0;
+  if (rep.longest_string >= 64 * 1024) score += 1.0;
+  return score >= threshold ? 1 : 0;
 }
 
 }  // namespace pdfshield::baselines

@@ -3,6 +3,8 @@
 //   PjscanBaseline      — lexical Javascript tokens + one-class model [7]
 //   StructuralBaseline  — hierarchical structural paths + linear SVM [5]
 //   PdfrateBaseline     — metadata/structural features + random forest [4]
+//   JsStaticBaseline    — our jsstatic abstract-interpretation pass used
+//                         as a standalone, training-free detector
 #pragma once
 
 #include "baselines/baseline.hpp"
@@ -55,6 +57,21 @@ class StructuralBaseline : public Baseline {
 
   std::vector<std::string> vocabulary_;
   ml::LinearSvm model_;
+};
+
+/// The jsstatic abstract interpreter as a detector: resolves strings that
+/// reach eval/setTimeOut sinks, folds escapes and concat loops, and scores
+/// the resulting indicator facts (shellcode, NOP sled, heap-spray loop,
+/// sink payloads, obfuscation). Training-free — train() is a no-op — so it
+/// doubles as a fixed reference row next to the learned baselines.
+class JsStaticBaseline : public Baseline {
+ public:
+  std::string name() const override { return "JS-static (ours)"; }
+  void train(const std::vector<corpus::Sample>& samples) override;
+  int predict(support::BytesView file) override;
+
+  /// Indicator score at or above which a document is convicted.
+  double threshold = 2.0;
 };
 
 /// Metadata + structural summary features -> random forest.

@@ -24,6 +24,7 @@ namespace pdfshield::core {
 struct BatchRunContext {
   bool keep_output = false;
   bool detonate = false;
+  bool static_prefilter = false;
   std::string session;  ///< detector id, stamped on every event
   std::shared_ptr<trace::Sink> trace_sink;  ///< null when not traced
   std::shared_ptr<trace::CounterSink> counters;  ///< run-level per-kind totals
@@ -139,7 +140,20 @@ BatchDocResult run_one(const FrontEnd& frontend, const BatchItem& item,
       doc.features = result.features;
       doc.suspicious = result.features.binary_sum() > 0;
       doc.document_key = result.record.key.document_key;
-      if (ctx.detonate) detonate_one(*kernel, frontend, result, doc);
+      // Prefilter: a document whose merged jsstatic report *proves* every
+      // script sink- and indicator-free (and that embeds no sub-documents
+      // the proof would not cover) cannot trip the runtime detector, so
+      // detonation is pure cost. Anything short of a proof detonates.
+      const bool proven_clean = ctx.static_prefilter && result.js_analyzed &&
+                                result.js_report.proven_clean() &&
+                                result.embedded.empty();
+      if (ctx.detonate) {
+        if (proven_clean) {
+          doc.static_skipped = true;
+        } else {
+          detonate_one(*kernel, frontend, result, doc);
+        }
+      }
       if (ctx.keep_output) doc.output = std::move(result.output);
     }
   } catch (const std::exception& e) {
@@ -165,6 +179,9 @@ support::Bytes read_file(const std::filesystem::path& path) {
 
 BatchScanner::BatchScanner(BatchOptions options) : options_(std::move(options)) {
   if (options_.jobs == 0) options_.jobs = 1;
+  // The prefilter's clean-proof comes from the jsstatic pass, so screening
+  // implies analyzing (the flag alone must not silently screen nothing).
+  if (options_.static_prefilter) options_.frontend.analyze_js = true;
   if (options_.detector_id.empty()) {
     // Fixed seed: plain batch runs are reproducible across invocations and
     // machines. Deployments wanting a private id pass their own.
@@ -222,6 +239,7 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
   BatchRunContext ctx;
   ctx.keep_output = options_.keep_outputs;
   ctx.detonate = options_.detonate;
+  ctx.static_prefilter = options_.static_prefilter;
   ctx.session = options_.detector_id;
   if (!options_.trace_path.empty()) {
     ctx.trace_sink = trace::JsonlSink::open(options_.trace_path);
@@ -229,6 +247,7 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
   }
   report.traced = ctx.trace_sink != nullptr;
   report.detonated = ctx.detonate;
+  report.static_prefilter = options_.static_prefilter;
 
   const auto t0 = std::chrono::steady_clock::now();
   AbandonedRunners abandoned;
@@ -264,6 +283,7 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
     else ++report.error_count;
     if (doc.suspicious) ++report.suspicious_count;
     if (doc.malicious) ++report.malicious_count;
+    if (doc.static_skipped) ++report.static_skipped_count;
     report.trace_events += doc.trace_events;
     report.trace_dropped += doc.trace_dropped;
     report.cpu_timings.parse_decompress_s += doc.timings.parse_decompress_s;
@@ -333,6 +353,9 @@ support::Json BatchReport::to_json() const {
   if (detonated) {
     j["malicious"] = static_cast<std::uint64_t>(malicious_count);
   }
+  if (static_prefilter) {
+    j["static_skipped"] = static_cast<std::uint64_t>(static_skipped_count);
+  }
   if (traced) {
     j["trace_events"] = trace_events;
     j["trace_events_dropped"] = trace_dropped;
@@ -369,6 +392,7 @@ support::Json BatchReport::to_json() const {
         d["malicious"] = doc.malicious;
         d["malscore"] = doc.malscore;
       }
+      if (doc.static_skipped) d["static_skipped"] = true;
       if (traced) d["trace_events"] = doc.trace_events;
       d["document_key"] = doc.document_key;
       support::Json f = support::Json::object();

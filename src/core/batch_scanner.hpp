@@ -58,6 +58,13 @@ struct BatchDocResult {
   bool detonated = false;
   bool malicious = false;
   double malscore = 0.0;
+
+  /// Static-prefilter outcome (BatchOptions::static_prefilter): detonation
+  /// was skipped because the jsstatic pass proved every script sink-free
+  /// and indicator-free (and the document has no embedded PDFs). Skipped
+  /// documents are benign by construction: detonated stays false and the
+  /// static proof stands in for the runtime verdict.
+  bool static_skipped = false;
 };
 
 /// Aggregate result of one batch run.
@@ -71,9 +78,11 @@ struct BatchReport {
   std::size_t timeout_count = 0;
   std::size_t suspicious_count = 0;
   std::size_t malicious_count = 0;  ///< detonation verdicts (detonate mode)
+  std::size_t static_skipped_count = 0;  ///< prefilter-skipped detonations
 
   bool traced = false;     ///< a JSONL trace was written for this run
   bool detonated = false;  ///< documents were detonated after scanning
+  bool static_prefilter = false;  ///< the jsstatic prefilter screened docs
   std::uint64_t trace_events = 0;   ///< summed across documents
   std::uint64_t trace_dropped = 0;
   /// Per-kind totals across the run (populated only when traced) — the
@@ -117,6 +126,14 @@ struct BatchOptions {
   /// soap-message / doc-verdict events. Deterministic per (detector id,
   /// input bytes) — safe at any thread count.
   bool detonate = false;
+  /// Run the jsstatic pass on every document (forces frontend.analyze_js)
+  /// and skip detonation for documents statically proven clean — no code
+  /// sink at any eval depth, no behavioural indicator, no embedded PDFs
+  /// (jsstatic::Report::proven_clean). Anything short of a proof keeps the
+  /// full detonation path, so malicious verdicts never change; the win is
+  /// the skipped runtime cost on the benign bulk. Default off: reports and
+  /// traces stay byte-identical.
+  bool static_prefilter = false;
 };
 
 class BatchScanner {

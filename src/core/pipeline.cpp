@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/trace_replay.hpp"
+#include "jsstatic/analyzer.hpp"
 #include "pdf/crypto.hpp"
 #include "support/checksum.hpp"
 #include "pdf/writer.hpp"
@@ -24,6 +25,42 @@ void span_begin(trace::Recorder* trace, const char* phase) {
 
 void span_end(trace::Recorder* trace, const char* phase, double elapsed_s) {
   if (trace) trace->record(trace::PhaseSpan{phase, /*begin=*/false, elapsed_s});
+}
+
+/// Number of distinct indicator facts the static JS pass established
+/// (each contributes one w1-weighted point to the static pre-verdict).
+std::size_t indicator_count(const jsstatic::Report& report) {
+  std::size_t n = 0;
+  if (!report.sinks.empty()) ++n;
+  if (report.shellcode) ++n;
+  if (report.nop_sled) ++n;
+  if (report.heap_spray_loop) ++n;
+  if (report.suspicious_api_count() > 0) ++n;
+  return n;
+}
+
+void emit_jsstatic_events(trace::Recorder& trace,
+                          const jsstatic::Report& report) {
+  auto counter = [&](const char* name, std::size_t value) {
+    trace.record(
+        trace::CounterSample{name, static_cast<std::uint64_t>(value)});
+  };
+  counter("jsstatic.sinks", report.sinks.size());
+  counter("jsstatic.suspicious_apis", report.suspicious_api_count());
+  counter("jsstatic.longest_string", report.longest_string);
+  counter("jsstatic.node_visits", report.node_visits);
+  auto fire = [&](const char* feature, const char* why) {
+    trace.record(trace::FeatureFire{feature, why, /*in_js=*/false});
+  };
+  if (report.shellcode) {
+    fire("JS:shellcode-string", "folded string carries a shellcode program");
+  }
+  if (report.nop_sled) {
+    fire("JS:nop-sled", "folded string carries a NOP sled");
+  }
+  if (report.heap_spray_loop) {
+    fire("JS:heap-spray-loop", "growth loop with a large constant bound");
+  }
 }
 
 }  // namespace
@@ -106,10 +143,35 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
   const JsChainAnalysis chains = analyze_js_chains(result.document);
   result.features = extract_static_features(result.document, chains, &levels);
   result.has_javascript = chains.has_javascript();
+  if (options_.analyze_js) {
+    std::vector<std::string> sources;
+    sources.reserve(chains.sites.size());
+    for (const JsSite& site : chains.sites) sources.push_back(site.source);
+    result.js_report =
+        jsstatic::analyze_scripts(sources, options_.jsstatic_caps);
+    result.js_analyzed = true;
+  }
   result.timings.feature_extraction_s = seconds_since(t0);
   span_end(trace, trace_replay::kPhaseFeatureExtraction,
            result.timings.feature_extraction_s);
   if (trace) trace_replay::emit_static_feature_fires(*trace, result.features);
+  if (result.js_analyzed) {
+    if (trace) emit_jsstatic_events(*trace, result.js_report);
+    if (options_.static_preverdict) {
+      const DetectorConfig& cfg = *options_.static_preverdict;
+      result.static_malscore =
+          cfg.w1 * static_cast<double>(result.features.binary_sum() +
+                                       indicator_count(result.js_report));
+      result.static_verdict = result.static_malscore >= cfg.threshold
+                                  ? "suspicious-static"
+                                  : "clean-static";
+      if (trace) {
+        trace->record(trace::DocVerdict{result.static_verdict,
+                                        result.static_malscore,
+                                        /*alerted=*/false});
+      }
+    }
+  }
 
   // Phase 3: instrumentation (+ serialization). Embedded PDF documents
   // are instrumented recursively before the host is serialized (§VI).
@@ -171,6 +233,7 @@ void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth,
     embedded.host_object = num;
     embedded.features = sub.features;
     embedded.record = sub.record;
+    embedded.js_report = sub.js_report;
     result.embedded.push_back(std::move(embedded));
     for (auto& nested : sub.embedded) result.embedded.push_back(std::move(nested));
     stream.data = std::move(sub.output);

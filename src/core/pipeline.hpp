@@ -5,11 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "core/detector.hpp"
 #include "core/instrumenter.hpp"
 #include "core/static_features.hpp"
+#include "jsstatic/report.hpp"
 #include "pdf/parser.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
@@ -51,8 +54,22 @@ struct FrontEndResult {
     int host_object = 0;         ///< stream object in the host document
     StaticFeatures features;
     InstrumentationRecord record;
+    jsstatic::Report js_report;  ///< populated when analyze_js is on
   };
   std::vector<EmbeddedResult> embedded;
+
+  /// Static JS analysis over this document's own scripts (embedded
+  /// documents carry their own report), merged across all sites. Only
+  /// meaningful when FrontEndOptions::analyze_js was set.
+  bool js_analyzed = false;
+  jsstatic::Report js_report;
+
+  /// Static pre-verdict (empty unless FrontEndOptions::static_preverdict
+  /// was set): "suspicious-static" when the w1-weighted static score —
+  /// Eq. 1's first summand plus one point per jsstatic indicator fact —
+  /// reaches the configured threshold, else "clean-static".
+  std::string static_verdict;
+  double static_malscore = 0.0;
 };
 
 struct FrontEndOptions {
@@ -64,6 +81,16 @@ struct FrontEndOptions {
   /// to a full rewrite for owner-password-encrypted inputs (the base
   /// revision would stay ciphertext).
   bool incremental_update = false;
+  /// Run the static JS abstract-interpretation pass (src/jsstatic) over
+  /// every reconstructed script during phase 2 and attach the merged
+  /// report (plus feature-fire / counter trace events). Default off, so
+  /// default reports and traces stay byte-identical.
+  bool analyze_js = false;
+  jsstatic::Caps jsstatic_caps{};
+  /// When set (requires analyze_js), FrontEnd computes a static
+  /// pre-verdict under this config's w1/threshold and records it as a
+  /// DocVerdict trace event ("suspicious-static" / "clean-static").
+  std::optional<DetectorConfig> static_preverdict;
 };
 
 /// The static analysis & instrumentation component. One instance per

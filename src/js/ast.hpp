@@ -51,6 +51,10 @@ struct ObjectProperty {
 struct Expr {
   ExprKind kind;
 
+  /// Byte offset of the token this expression starts at (0-based into the
+  /// script source). Static-analysis reports anchor sinks/caps to it.
+  std::size_t offset = 0;
+
   // Literals.
   double number = 0;
   std::string string_value;  ///< string literal / identifier / member name

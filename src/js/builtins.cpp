@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "js/interp.hpp"
+#include "js/stringops.hpp"
 #include "support/error.hpp"
 
 namespace pdfshield::js {
@@ -23,72 +24,6 @@ std::int64_t clamp_index(double raw, std::size_t len) {
   if (i < 0) i = 0;
   if (i > static_cast<std::int64_t>(len)) i = static_cast<std::int64_t>(len);
   return i;
-}
-
-std::string unescape_impl(const std::string& s) {
-  auto hex = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-    return -1;
-  };
-  std::string out;
-  out.reserve(s.size());
-  std::size_t i = 0;
-  while (i < s.size()) {
-    if (s[i] == '%' && i + 5 < s.size() && (s[i + 1] == 'u' || s[i + 1] == 'U')) {
-      int v = 0;
-      bool ok = true;
-      for (int k = 0; k < 4; ++k) {
-        const int h = hex(s[i + 2 + static_cast<std::size_t>(k)]);
-        if (h < 0) {
-          ok = false;
-          break;
-        }
-        v = v * 16 + h;
-      }
-      if (ok) {
-        // Little-endian layout mirrors how %uXXXX shellcode lands in the
-        // process heap; single byte when it fits (keeps ASCII round-trips).
-        if (v < 256) {
-          out.push_back(static_cast<char>(v));
-        } else {
-          out.push_back(static_cast<char>(v & 0xff));
-          out.push_back(static_cast<char>((v >> 8) & 0xff));
-        }
-        i += 6;
-        continue;
-      }
-    }
-    if (s[i] == '%' && i + 2 < s.size()) {
-      const int hi = hex(s[i + 1]);
-      const int lo = hex(s[i + 2]);
-      if (hi >= 0 && lo >= 0) {
-        out.push_back(static_cast<char>((hi << 4) | lo));
-        i += 3;
-        continue;
-      }
-    }
-    out.push_back(s[i++]);
-  }
-  return out;
-}
-
-std::string escape_impl(const std::string& s) {
-  static const char kHex[] = "0123456789ABCDEF";
-  std::string out;
-  for (char ch : s) {
-    const unsigned char c = static_cast<unsigned char>(ch);
-    if (std::isalnum(c) || c == '@' || c == '*' || c == '_' || c == '+' ||
-        c == '-' || c == '.' || c == '/') {
-      out.push_back(ch);
-    } else {
-      out.push_back('%');
-      out.push_back(kHex[c >> 4]);
-      out.push_back(kHex[c & 0xf]);
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -422,14 +357,15 @@ void install_builtins(Interpreter& interp) {
   def_fn("eval", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
     const Value src = arg_or_undef(args, 0);
     if (!src.is_string()) return src;
+    if (in.on_eval) in.on_eval(src.as_string());
     return in.eval_in_current_scope(src.as_string());
   });
 
   def_fn("unescape", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
-    return in.make_string(unescape_impl(in.to_js_string(arg_or_undef(args, 0))));
+    return in.make_string(unescape_string(in.to_js_string(arg_or_undef(args, 0))));
   });
   def_fn("escape", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
-    return in.make_string(escape_impl(in.to_js_string(arg_or_undef(args, 0))));
+    return in.make_string(escape_string(in.to_js_string(arg_or_undef(args, 0))));
   });
   def_fn("parseInt", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
     const std::string s = in.to_js_string(arg_or_undef(args, 0));
@@ -467,13 +403,7 @@ void install_builtins(Interpreter& interp) {
                           std::string out;
                           out.reserve(args.size());
                           for (const Value& a : args) {
-                            const int code = static_cast<int>(in.to_number(a));
-                            if (code < 256) {
-                              out.push_back(static_cast<char>(code & 0xff));
-                            } else {
-                              out.push_back(static_cast<char>(code & 0xff));
-                              out.push_back(static_cast<char>((code >> 8) & 0xff));
-                            }
+                            append_char_code(out, static_cast<int>(in.to_number(a)));
                           }
                           return in.make_string(std::move(out));
                         })));

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "js/parser.hpp"
+#include "js/stringops.hpp"
 #include "support/error.hpp"
 
 namespace pdfshield::js {
@@ -112,19 +113,7 @@ std::string Interpreter::to_js_string(const Value& v) {
   if (v.is_undefined()) return "undefined";
   if (v.is_null()) return "null";
   if (v.is_bool()) return v.as_bool() ? "true" : "false";
-  if (v.is_number()) {
-    const double d = v.as_number();
-    if (std::isnan(d)) return "NaN";
-    if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
-    if (d == 0.0) return "0";
-    if (d == static_cast<double>(static_cast<long long>(d)) &&
-        std::abs(d) < 1e15) {
-      return std::to_string(static_cast<long long>(d));
-    }
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.12g", d);
-    return buf;
-  }
+  if (v.is_number()) return number_to_js_string(v.as_number());
   const ObjectPtr& obj = v.as_object();
   if (obj->is_array()) {
     std::string out;

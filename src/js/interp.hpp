@@ -105,6 +105,10 @@ class Interpreter {
   /// Called when a single string of >= large_string_threshold bytes is
   /// created (heap-spray payload capture).
   std::function<void(const std::string&)> on_large_string;
+  /// Called with the source string of every `eval(string)` the engine
+  /// actually evaluates (before evaluation). The jsstatic differential
+  /// test compares these against statically resolved sink arguments.
+  std::function<void(const std::string&)> on_eval;
   std::size_t large_string_threshold = 256 * 1024;
 
   std::uint64_t allocated_bytes() const { return allocated_bytes_; }

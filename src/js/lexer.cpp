@@ -89,7 +89,10 @@ std::vector<JsToken> tokenize_js(std::string_view src) {
           if (src[i] == '\n') ++line;
           ++i;
         }
-        if (i + 1 >= src.size()) throw ParseError("unterminated block comment");
+        if (i + 1 >= src.size()) {
+          throw ParseError("unterminated block comment at offset " +
+                           std::to_string(i));
+        }
         i += 2;
         continue;
       }
@@ -119,7 +122,10 @@ std::vector<JsToken> tokenize_js(std::string_view src) {
           ++i;
           any = true;
         }
-        if (!any) throw ParseError("malformed hex literal");
+        if (!any) {
+          throw ParseError("malformed hex literal at offset " +
+                           std::to_string(start));
+        }
         value = static_cast<double>(v);
       } else {
         while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
@@ -145,15 +151,24 @@ std::vector<JsToken> tokenize_js(std::string_view src) {
       ++i;
       std::string value;
       while (true) {
-        if (i >= src.size()) throw ParseError("unterminated string literal");
+        if (i >= src.size()) {
+          throw ParseError("unterminated string literal at offset " +
+                           std::to_string(start));
+        }
         const char ch = src[i++];
         if (ch == quote) break;
-        if (ch == '\n') throw ParseError("newline in string literal");
+        if (ch == '\n') {
+          throw ParseError("newline in string literal at offset " +
+                           std::to_string(i - 1));
+        }
         if (ch != '\\') {
           value.push_back(ch);
           continue;
         }
-        if (i >= src.size()) throw ParseError("string ends in backslash");
+        if (i >= src.size()) {
+          throw ParseError("string ends in backslash at offset " +
+                           std::to_string(i - 1));
+        }
         const char e = src[i++];
         switch (e) {
           case 'n': value.push_back('\n'); break;
@@ -165,7 +180,8 @@ std::vector<JsToken> tokenize_js(std::string_view src) {
           case '0': value.push_back('\0'); break;
           case 'x': {
             if (i + 1 >= src.size() || hex_value(src[i]) < 0 || hex_value(src[i + 1]) < 0) {
-              throw ParseError("malformed \\x escape");
+              throw ParseError("malformed \\x escape at offset " +
+                               std::to_string(i - 2));
             }
             value.push_back(static_cast<char>((hex_value(src[i]) << 4) |
                                               hex_value(src[i + 1])));
@@ -173,11 +189,17 @@ std::vector<JsToken> tokenize_js(std::string_view src) {
             break;
           }
           case 'u': {
-            if (i + 3 >= src.size()) throw ParseError("malformed \\u escape");
+            if (i + 3 >= src.size()) {
+              throw ParseError("malformed \\u escape at offset " +
+                               std::to_string(i - 2));
+            }
             int v = 0;
             for (int k = 0; k < 4; ++k) {
               const int h = hex_value(src[i + static_cast<std::size_t>(k)]);
-              if (h < 0) throw ParseError("malformed \\u escape");
+              if (h < 0) {
+                throw ParseError("malformed \\u escape at offset " +
+                                 std::to_string(i - 2));
+              }
               v = v * 16 + h;
             }
             i += 4;
@@ -231,7 +253,8 @@ std::vector<JsToken> tokenize_js(std::string_view src) {
       }
     }
     throw ParseError("unexpected character '" + std::string(1, c) +
-                     "' at line " + std::to_string(line));
+                     "' at line " + std::to_string(line) + ", offset " +
+                     std::to_string(i));
   }
 
   JsToken eof;

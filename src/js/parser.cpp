@@ -31,7 +31,8 @@ class Parser {
   bool at_eof() const { return cur().kind == JsTokenKind::kEof; }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError(msg + " at line " + std::to_string(cur().line));
+    throw ParseError(msg + " at line " + std::to_string(cur().line) +
+                     ", offset " + std::to_string(cur().offset));
   }
 
   const JsToken& advance() { return toks_[pos_++]; }
@@ -335,6 +336,7 @@ class Parser {
       advance();
       auto comma = std::make_unique<Expr>();
       comma->kind = ExprKind::kComma;
+      comma->offset = e->offset;
       comma->a = std::move(e);
       comma->b = parse_assignment();
       e = std::move(comma);
@@ -355,6 +357,7 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kAssign;
         e->op = op;
+        e->offset = lhs->offset;
         e->a = std::move(lhs);
         e->b = parse_assignment();
         return e;
@@ -369,6 +372,7 @@ class Parser {
     advance();
     auto e = std::make_unique<Expr>();
     e->kind = ExprKind::kConditional;
+    e->offset = cond->offset;
     e->a = std::move(cond);
     e->b = parse_assignment();
     expect_punct(":");
@@ -416,6 +420,7 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = info->logical ? ExprKind::kLogical : ExprKind::kBinary;
       e->op = info->op;
+      e->offset = lhs->offset;
       e->a = std::move(lhs);
       e->b = std::move(rhs);
       lhs = std::move(e);
@@ -427,6 +432,7 @@ class Parser {
     // chain, chained assignment — descends through here, so this single
     // guard bounds all expression recursion.
     DepthGuard guard(*this);
+    const std::size_t off = cur().offset;
     static const std::array<std::string_view, 5> kUnaryPuncts = {"!", "-", "+", "~"};
     for (auto op : kUnaryPuncts) {
       if (!op.empty() && is_punct(op)) {
@@ -434,6 +440,7 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kUnary;
         e->op = op;
+        e->offset = off;
         e->a = parse_unary();
         return e;
       }
@@ -442,6 +449,7 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = ExprKind::kUnary;
       e->op = advance().text;
+      e->offset = off;
       e->a = parse_unary();
       return e;
     }
@@ -450,6 +458,7 @@ class Parser {
       e->kind = ExprKind::kUpdate;
       e->op = advance().text;
       e->prefix = true;
+      e->offset = off;
       e->a = parse_unary();
       return e;
     }
@@ -464,6 +473,7 @@ class Parser {
       u->kind = ExprKind::kUpdate;
       u->op = advance().text;
       u->prefix = false;
+      u->offset = e->offset;
       u->a = std::move(e);
       return u;
     }
@@ -475,6 +485,7 @@ class Parser {
       if (eat_punct(".")) {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kMember;
+        e->offset = base->offset;
         e->a = std::move(base);
         // Allow keywords as property names (x.in, x.delete appear in APIs).
         if (cur().kind != JsTokenKind::kIdentifier &&
@@ -490,6 +501,7 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kMember;
         e->computed_member = true;
+        e->offset = base->offset;
         e->a = std::move(base);
         e->b = parse_expression();
         expect_punct("]");
@@ -499,6 +511,7 @@ class Parser {
       if (is_punct("(")) {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kCall;
+        e->offset = base->offset;
         e->a = std::move(base);
         e->args = parse_arguments();
         base = std::move(e);
@@ -528,6 +541,7 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kNumber;
         e->number = t.number;
+        e->offset = t.offset;
         advance();
         return e;
       }
@@ -535,6 +549,7 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kString;
         e->string_value = t.text;
+        e->offset = t.offset;
         advance();
         return e;
       }
@@ -542,6 +557,7 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kIdentifier;
         e->string_value = t.text;
+        e->offset = t.offset;
         advance();
         return e;
       }
@@ -550,6 +566,7 @@ class Parser {
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kBool;
           e->bool_value = t.text == "true";
+          e->offset = t.offset;
           advance();
           return e;
         }
@@ -557,24 +574,28 @@ class Parser {
           advance();
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kNull;
+          e->offset = t.offset;
           return e;
         }
         if (t.text == "undefined") {
           advance();
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kUndefined;
+          e->offset = t.offset;
           return e;
         }
         if (t.text == "this") {
           advance();
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kThis;
+          e->offset = t.offset;
           return e;
         }
         if (t.text == "function") {
           advance();
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kFunction;
+          e->offset = t.offset;
           e->function = parse_function_rest(/*require_name=*/false);
           return e;
         }
@@ -582,12 +603,14 @@ class Parser {
           advance();
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kNew;
+          e->offset = t.offset;
           // new Callee(args): member access binds tighter than the call.
           ExprPtr callee = parse_primary();
           while (true) {
             if (eat_punct(".")) {
               auto m = std::make_unique<Expr>();
               m->kind = ExprKind::kMember;
+              m->offset = callee->offset;
               m->a = std::move(callee);
               if (cur().kind != JsTokenKind::kIdentifier &&
                   cur().kind != JsTokenKind::kKeyword) {
@@ -616,6 +639,7 @@ class Parser {
           advance();
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kArrayLiteral;
+          e->offset = t.offset;
           if (!is_punct("]")) {
             while (true) {
               e->args.push_back(parse_assignment());
@@ -630,6 +654,7 @@ class Parser {
           advance();
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kObjectLiteral;
+          e->offset = t.offset;
           if (!is_punct("}")) {
             while (true) {
               ObjectProperty p;

@@ -1,0 +1,96 @@
+#include "js/stringops.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pdfshield::js {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string unescape_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '%' && i + 5 < s.size() && (s[i + 1] == 'u' || s[i + 1] == 'U')) {
+      int v = 0;
+      bool ok = true;
+      for (int k = 0; k < 4; ++k) {
+        const int h = hex_digit(s[i + 2 + static_cast<std::size_t>(k)]);
+        if (h < 0) {
+          ok = false;
+          break;
+        }
+        v = v * 16 + h;
+      }
+      if (ok) {
+        // Little-endian layout mirrors how %uXXXX shellcode lands in the
+        // process heap; single byte when it fits (keeps ASCII round-trips).
+        append_char_code(out, v);
+        i += 6;
+        continue;
+      }
+    }
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 3;
+        continue;
+      }
+    }
+    out.push_back(s[i++]);
+  }
+  return out;
+}
+
+std::string escape_string(const std::string& s) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c) != 0 || c == '@' || c == '*' || c == '_' || c == '+' ||
+        c == '-' || c == '.' || c == '/') {
+      out.push_back(ch);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+void append_char_code(std::string& out, int code) {
+  if (code < 256) {
+    out.push_back(static_cast<char>(code & 0xff));
+  } else {
+    out.push_back(static_cast<char>(code & 0xff));
+    out.push_back(static_cast<char>((code >> 8) & 0xff));
+  }
+}
+
+std::string number_to_js_string(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == 0.0) return "0";
+  if (d == static_cast<double>(static_cast<long long>(d)) && std::abs(d) < 1e15) {
+    return std::to_string(static_cast<long long>(d));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  return buf;
+}
+
+}  // namespace pdfshield::js

@@ -1,0 +1,30 @@
+// String-producing semantics shared between the runtime interpreter and
+// the static analyzer (src/jsstatic). Both sides MUST fold through these
+// helpers: the differential eval-resolution test asserts byte equality
+// between statically folded strings and the values the interpreter
+// actually produces, so any divergence here is a test failure, not a
+// quiet heuristic mismatch.
+#pragma once
+
+#include <string>
+
+namespace pdfshield::js {
+
+/// `unescape(s)`: %XX and %uXXXX decoding. %uXXXX below 256 decodes to a
+/// single byte; higher code points are stored as two bytes little-endian,
+/// matching how sprayed shellcode lands in process memory.
+std::string unescape_string(const std::string& s);
+
+/// `escape(s)`: alphanumerics and @*_+-./ pass through, everything else
+/// becomes %XX with uppercase hex digits.
+std::string escape_string(const std::string& s);
+
+/// Appends one `String.fromCharCode(code)` unit: below 256 one byte,
+/// otherwise two bytes little-endian (Latin-1-ish engine layout).
+void append_char_code(std::string& out, int code);
+
+/// ToString for a JS number: NaN/Infinity spellings, "0" for both zeros,
+/// integer rendering below 1e15, %.12g otherwise.
+std::string number_to_js_string(double d);
+
+}  // namespace pdfshield::js

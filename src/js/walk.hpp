@@ -1,0 +1,74 @@
+// Pre-order const traversal over the parsed AST. The parser bounds nesting
+// at 256 levels, so plain recursion cannot overflow the stack even on
+// attacker-authored scripts. Used by the static analyzer (src/jsstatic)
+// for syntactic passes; the callbacks see every node exactly once,
+// including function bodies.
+#pragma once
+
+#include "js/ast.hpp"
+
+namespace pdfshield::js {
+
+template <typename ExprFn, typename StmtFn>
+void walk_stmt(const Stmt& stmt, ExprFn&& on_expr, StmtFn&& on_stmt);
+
+template <typename ExprFn, typename StmtFn>
+void walk_expr(const Expr& expr, ExprFn&& on_expr, StmtFn&& on_stmt) {
+  on_expr(expr);
+  if (expr.a) walk_expr(*expr.a, on_expr, on_stmt);
+  if (expr.b) walk_expr(*expr.b, on_expr, on_stmt);
+  if (expr.c) walk_expr(*expr.c, on_expr, on_stmt);
+  for (const ExprPtr& arg : expr.args) {
+    if (arg) walk_expr(*arg, on_expr, on_stmt);
+  }
+  for (const ObjectProperty& prop : expr.props) {
+    if (prop.value) walk_expr(*prop.value, on_expr, on_stmt);
+  }
+  if (expr.function) {
+    for (const StmtPtr& s : expr.function->body) {
+      if (s) walk_stmt(*s, on_expr, on_stmt);
+    }
+  }
+}
+
+template <typename ExprFn, typename StmtFn>
+void walk_stmt(const Stmt& stmt, ExprFn&& on_expr, StmtFn&& on_stmt) {
+  on_stmt(stmt);
+  if (stmt.expr) walk_expr(*stmt.expr, on_expr, on_stmt);
+  if (stmt.expr2) walk_expr(*stmt.expr2, on_expr, on_stmt);
+  if (stmt.expr3) walk_expr(*stmt.expr3, on_expr, on_stmt);
+  for (const VarDeclarator& d : stmt.decls) {
+    if (d.init) walk_expr(*d.init, on_expr, on_stmt);
+  }
+  if (stmt.function) {
+    for (const StmtPtr& s : stmt.function->body) {
+      if (s) walk_stmt(*s, on_expr, on_stmt);
+    }
+  }
+  if (stmt.init) walk_stmt(*stmt.init, on_expr, on_stmt);
+  if (stmt.alt) walk_stmt(*stmt.alt, on_expr, on_stmt);
+  for (const StmtPtr& s : stmt.body) {
+    if (s) walk_stmt(*s, on_expr, on_stmt);
+  }
+  for (const StmtPtr& s : stmt.catch_body) {
+    if (s) walk_stmt(*s, on_expr, on_stmt);
+  }
+  for (const StmtPtr& s : stmt.finally_body) {
+    if (s) walk_stmt(*s, on_expr, on_stmt);
+  }
+  for (const SwitchCase& c : stmt.cases) {
+    if (c.test) walk_expr(*c.test, on_expr, on_stmt);
+    for (const StmtPtr& s : c.body) {
+      if (s) walk_stmt(*s, on_expr, on_stmt);
+    }
+  }
+}
+
+template <typename ExprFn, typename StmtFn>
+void walk_program(const Program& program, ExprFn&& on_expr, StmtFn&& on_stmt) {
+  for (const StmtPtr& s : program.body) {
+    if (s) walk_stmt(*s, on_expr, on_stmt);
+  }
+}
+
+}  // namespace pdfshield::js

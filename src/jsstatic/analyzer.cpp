@@ -1,0 +1,1780 @@
+#include "jsstatic/analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "js/ast.hpp"
+#include "js/interp.hpp"
+#include "js/parser.hpp"
+#include "js/stringops.hpp"
+#include "js/walk.hpp"
+#include "jsstatic/indicators.hpp"
+#include "reader/shellcode.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::jsstatic {
+
+namespace {
+
+using js::Expr;
+using js::ExprKind;
+using js::Stmt;
+using js::StmtKind;
+using js::Value;
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+struct ArrayState;
+using ArrayPtr = std::shared_ptr<ArrayState>;
+
+/// Constant-lattice element. Known scalars are held as real js::Value
+/// instances so folds can reuse js::Interpreter's static conversions and
+/// agree with runtime evaluation exactly. Arrays have reference semantics
+/// (shared_ptr) mirroring JS aliasing: poisoning the state is visible
+/// through every alias. kBuiltin tracks references to pure global
+/// builtins (and `eval`) so aliased calls like `var e = eval; e(s)` still
+/// dispatch — and register sinks — correctly.
+struct AV {
+  enum class Kind { kTop, kScalar, kArray, kBuiltin };
+  Kind kind = Kind::kTop;
+  Value scalar;
+  ArrayPtr array;
+  std::string builtin;  ///< e.g. "eval", "Math.floor", "String.fromCharCode"
+
+  static AV top() { return AV{}; }
+  static AV of(Value v) {
+    AV a;
+    a.kind = Kind::kScalar;
+    a.scalar = std::move(v);
+    return a;
+  }
+  static AV of_array(ArrayPtr arr) {
+    AV a;
+    a.kind = Kind::kArray;
+    a.array = std::move(arr);
+    return a;
+  }
+  static AV of_builtin(std::string name) {
+    AV a;
+    a.kind = Kind::kBuiltin;
+    a.builtin = std::move(name);
+    return a;
+  }
+
+  bool is_top() const { return kind == Kind::kTop; }
+  bool is_scalar() const { return kind == Kind::kScalar; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_builtin() const { return kind == Kind::kBuiltin; }
+  bool is_string() const { return is_scalar() && scalar.is_string(); }
+};
+
+struct ArrayState {
+  std::vector<AV> elems;
+  /// An unmodelled mutation happened (sort, unknown call receiving the
+  /// array, unknown-key property write): every read degrades to Top.
+  bool poisoned = false;
+};
+
+/// Thrown when Caps::max_node_visits fires; caught at the per-script
+/// top level where it sets Report::truncated.
+struct BudgetExhausted {};
+
+/// Statement-level control flow (mirrors the interpreter's signals).
+enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+bool is_global_builtin(const std::string& name) {
+  static const char* const kNames[] = {
+      "eval",   "unescape", "escape", "parseInt", "parseFloat",
+      "isNaN",  "String",   "Number", "Boolean",  "Array",
+      "Math",
+  };
+  for (const char* n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+bool is_array_mutator(const std::string& name) {
+  return name == "push" || name == "pop" || name == "shift" ||
+         name == "unshift" || name == "splice" || name == "reverse" ||
+         name == "sort";
+}
+
+/// Mirrors builtins.cpp clamp_index exactly.
+std::int64_t clamp_index(double raw, std::size_t len) {
+  if (std::isnan(raw)) return 0;
+  std::int64_t i = static_cast<std::int64_t>(raw);
+  if (i < 0) i += static_cast<std::int64_t>(len);
+  if (i < 0) i = 0;
+  if (i > static_cast<std::int64_t>(len)) i = static_cast<std::int64_t>(len);
+  return i;
+}
+
+/// Mirrors the numeric-index test in Interpreter::string_member /
+/// array_member: strtol consumes the whole key and it starts with a digit.
+std::optional<long> numeric_key(const std::string& key) {
+  if (key.empty() || !std::isdigit(static_cast<unsigned char>(key[0]))) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long idx = std::strtol(key.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return idx;
+}
+
+std::int32_t to_int32(double d) {
+  if (std::isnan(d) || std::isinf(d)) return 0;
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(d));
+}
+
+std::uint32_t to_uint32(double d) {
+  if (std::isnan(d) || std::isinf(d)) return 0;
+  return static_cast<std::uint32_t>(static_cast<std::int64_t>(d));
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(const Caps& caps, Report& rep) : caps_(caps), rep_(rep) {}
+
+  void run(std::string_view source) {
+    rep_.parse_ok = true;  // until proven otherwise
+    analyze_source(std::string(source), /*eval_depth=*/0);
+  }
+
+ private:
+  // -- entry per (sub)program -----------------------------------------------
+
+  void analyze_source(const std::string& source, std::size_t eval_depth) {
+    std::shared_ptr<js::Program> prog;
+    try {
+      prog = js::parse_js(source);
+    } catch (const support::Error& e) {
+      rep_.parse_ok = false;
+      if (rep_.parse_error.empty()) rep_.parse_error = e.what();
+      return;
+    }
+    ++rep_.scripts;
+    rep_.max_eval_depth_seen = std::max(rep_.max_eval_depth_seen, eval_depth);
+    syntactic_pass(*prog, source);
+    const std::size_t saved_depth = eval_depth_;
+    eval_depth_ = eval_depth;
+    try {
+      exec_program(*prog);
+    } catch (const BudgetExhausted&) {
+      rep_.truncated = true;
+    }
+    eval_depth_ = saved_depth;
+  }
+
+  void exec_program(const js::Program& prog) {
+    for (const js::StmtPtr& s : prog.body) {
+      if (!s) continue;
+      if (exec(*s) == Flow::kReturn) break;  // top-level throw aborts script
+    }
+  }
+
+  // -- syntactic pass: indicators that must see dead code too ---------------
+
+  void syntactic_pass(const js::Program& prog, const std::string& source) {
+    rep_.escape_density =
+        std::max(rep_.escape_density, escape_sequence_density(source));
+    if (!rep_.nop_sled && has_nop_sled(source)) rep_.nop_sled = true;
+    std::set<std::string> identifiers;
+    js::walk_program(
+        prog,
+        [&](const Expr& e) {
+          switch (e.kind) {
+            case ExprKind::kIdentifier:
+              identifiers.insert(e.string_value);
+              break;
+            case ExprKind::kString:
+              note_string(e.string_value);
+              break;
+            case ExprKind::kMember:
+              if (!e.computed_member && is_suspicious_api(e.string_value)) {
+                ++rep_.suspicious_apis[e.string_value];
+              }
+              break;
+            default:
+              break;
+          }
+        },
+        [&](const Stmt& s) { check_growth_loop(s); });
+    std::string joined;
+    for (const std::string& id : identifiers) joined += id;
+    rep_.identifier_entropy =
+        std::max(rep_.identifier_entropy, shannon_entropy(joined));
+    rep_.obfuscation_score = std::max(
+        rep_.obfuscation_score,
+        0.4 * std::min(1.0, rep_.identifier_entropy / 5.0) +
+            0.6 * std::min(1.0, rep_.escape_density * 4.0));
+  }
+
+  /// Heap-spray shape: a while/do/for loop bounded by `X.length < N`
+  /// (N a literal or literal product) whose body grows X via `X += ...`,
+  /// `X = X + ...` or `X.push(...)`. Flags when N reaches Caps::spray_bytes.
+  void check_growth_loop(const Stmt& s) {
+    const Expr* cond = nullptr;
+    if (s.kind == StmtKind::kWhile || s.kind == StmtKind::kDoWhile) {
+      cond = s.expr.get();
+    } else if (s.kind == StmtKind::kFor) {
+      cond = s.expr2.get();
+    } else {
+      return;
+    }
+    if (!cond || cond->kind != ExprKind::kBinary ||
+        (cond->op != "<" && cond->op != "<=")) {
+      return;
+    }
+    const Expr* lhs = cond->a.get();
+    if (!lhs || lhs->kind != ExprKind::kMember || lhs->computed_member ||
+        lhs->string_value != "length" || !lhs->a ||
+        lhs->a->kind != ExprKind::kIdentifier) {
+      return;
+    }
+    const std::optional<double> bound = literal_number(*cond->b);
+    if (!bound || !(*bound > 0)) return;
+    const std::string& grown = lhs->a->string_value;
+    bool grows = false;
+    for (const js::StmtPtr& body : s.body) {
+      if (!body) continue;
+      js::walk_stmt(
+          *body,
+          [&](const Expr& e) {
+            if (e.kind == ExprKind::kAssign && e.a &&
+                e.a->kind == ExprKind::kIdentifier &&
+                e.a->string_value == grown) {
+              if (e.op == "+=") grows = true;
+              if (e.op == "=" && e.b && e.b->kind == ExprKind::kBinary &&
+                  e.b->op == "+") {
+                js::walk_expr(
+                    *e.b,
+                    [&](const Expr& sub) {
+                      if (sub.kind == ExprKind::kIdentifier &&
+                          sub.string_value == grown) {
+                        grows = true;
+                      }
+                    },
+                    [](const Stmt&) {});
+              }
+            }
+            if (e.kind == ExprKind::kCall && e.a &&
+                e.a->kind == ExprKind::kMember && !e.a->computed_member &&
+                e.a->string_value == "push" && e.a->a &&
+                e.a->a->kind == ExprKind::kIdentifier &&
+                e.a->a->string_value == grown) {
+              grows = true;
+            }
+          },
+          [](const Stmt&) {});
+      if (grows) break;
+    }
+    if (!grows) return;
+    const auto target = static_cast<std::size_t>(*bound);
+    rep_.spray_target_bytes = std::max(rep_.spray_target_bytes, target);
+    if (target >= caps_.spray_bytes) rep_.heap_spray_loop = true;
+  }
+
+  /// Literal number, or a product/sum of literals (`1024 * 1024`).
+  static std::optional<double> literal_number(const Expr& e) {
+    if (e.kind == ExprKind::kNumber) return e.number;
+    if (e.kind == ExprKind::kBinary && e.a && e.b) {
+      const std::optional<double> l = literal_number(*e.a);
+      const std::optional<double> r = literal_number(*e.b);
+      if (l && r) {
+        if (e.op == "*") return *l * *r;
+        if (e.op == "+") return *l + *r;
+        if (e.op == "-") return *l - *r;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // -- indicator bookkeeping ------------------------------------------------
+
+  void note_string(const std::string& s) {
+    rep_.longest_string = std::max(rep_.longest_string, s.size());
+    if (loop_depth_ > 0 && s.size() >= caps_.spray_bytes) {
+      rep_.heap_spray_loop = true;
+      rep_.spray_target_bytes = std::max(rep_.spray_target_bytes, s.size());
+    }
+    if (!rep_.nop_sled && has_nop_sled(s)) rep_.nop_sled = true;
+    if (!rep_.shellcode && s.find("SC{") != std::string::npos &&
+        reader::extract_shellcode(s).has_value()) {
+      rep_.shellcode = true;
+    }
+  }
+
+  /// Funnel for every string the folder produces: enforces the per-string
+  /// and cumulative byte caps and feeds the indicators.
+  AV fold_string(std::string s) {
+    if (s.size() > caps_.max_string_bytes) {
+      rep_.truncated = true;
+      return AV::top();
+    }
+    total_bytes_ += s.size();
+    if (total_bytes_ > caps_.max_total_bytes) {
+      rep_.truncated = true;
+      return AV::top();
+    }
+    note_string(s);
+    // A spray-sized string materializing inside a loop has already done its
+    // job: note_string just set heap_spray_loop and longest_string. Folding
+    // it further costs O(target) copying per iteration (850 KB - 6.6 MB
+    // targets, allocated via mmap, dominate analysis time) and can never
+    // reach a proven-clean value, so degrade to non-constant and let the
+    // now-unknown loop condition bail the loop.
+    if (loop_depth_ > 0 && s.size() >= caps_.spray_bytes) {
+      rep_.truncated = true;
+      return AV::top();
+    }
+    return AV::of(Value(std::move(s)));
+  }
+
+  void visit() {
+    if (++rep_.node_visits > caps_.max_node_visits) throw BudgetExhausted{};
+  }
+
+  // -- conversions (exact mirrors of the runtime's) -------------------------
+
+  std::optional<std::string> to_string(const AV& v) {
+    if (v.is_scalar()) {
+      const Value& s = v.scalar;
+      if (s.is_string()) return s.as_string();
+      if (s.is_undefined()) return std::string("undefined");
+      if (s.is_null()) return std::string("null");
+      if (s.is_bool()) return std::string(s.as_bool() ? "true" : "false");
+      if (s.is_number()) return js::number_to_js_string(s.as_number());
+      return std::nullopt;
+    }
+    if (v.is_array() && !v.array->poisoned) {
+      // Mirrors to_js_string for arrays: comma-join, nullish -> empty.
+      std::string out;
+      for (std::size_t i = 0; i < v.array->elems.size(); ++i) {
+        if (i) out += ',';
+        const AV& e = v.array->elems[i];
+        if (e.is_scalar() && e.scalar.is_nullish()) continue;
+        const std::optional<std::string> es = to_string(e);
+        if (!es) return std::nullopt;
+        out += *es;
+      }
+      return out;
+    }
+    return std::nullopt;  // Top, poisoned array, builtin function
+  }
+
+  std::optional<double> to_number(const AV& v) {
+    if (v.is_scalar()) return js::Interpreter::to_number(v.scalar);
+    if (v.is_array() || v.is_builtin()) {
+      return std::nan("");  // objects -> NaN, exactly like the runtime
+    }
+    return std::nullopt;
+  }
+
+  std::optional<bool> to_boolean(const AV& v) {
+    if (v.is_scalar()) return js::Interpreter::to_boolean(v.scalar);
+    if (v.is_array() || v.is_builtin()) return true;  // objects are truthy
+    return std::nullopt;
+  }
+
+  std::optional<bool> strict_equals(const AV& l, const AV& r) {
+    if (l.is_scalar() && r.is_scalar()) {
+      return js::Interpreter::strict_equals(l.scalar, r.scalar);
+    }
+    if (l.is_array() && r.is_array()) return l.array == r.array;
+    if (l.is_top() || r.is_top()) return std::nullopt;
+    // Mixed known kinds (array vs scalar vs builtin): different variants.
+    if (l.is_builtin() || r.is_builtin()) return std::nullopt;  // fn identity
+    return false;
+  }
+
+  /// Mirrors Interpreter::loose_equals.
+  std::optional<bool> loose_equals(const AV& l, const AV& r) {
+    if (l.is_top() || r.is_top() || l.is_builtin() || r.is_builtin()) {
+      return std::nullopt;
+    }
+    if (l.is_scalar() && r.is_scalar()) {
+      const Value& a = l.scalar;
+      const Value& b = r.scalar;
+      if (a.repr().index() == b.repr().index()) {
+        return js::Interpreter::strict_equals(a, b);
+      }
+      if (a.is_nullish() && b.is_nullish()) return true;
+      if (a.is_nullish() || b.is_nullish()) return false;
+      return js::Interpreter::to_number(a) == js::Interpreter::to_number(b);
+    }
+    if (l.is_array() && r.is_array()) return l.array == r.array;
+    // Object vs primitive: compared via string images.
+    const AV& arr = l.is_array() ? l : r;
+    const AV& prim = l.is_array() ? r : l;
+    if (prim.is_scalar() && prim.scalar.is_nullish()) return false;
+    const std::optional<std::string> as = to_string(arr);
+    const std::optional<std::string> ps = to_string(prim);
+    if (!as || !ps) return std::nullopt;
+    return *as == *ps;
+  }
+
+  // -- environment ----------------------------------------------------------
+
+  AV lookup(const std::string& name) {
+    if (opaque_ > 0) return AV::top();
+    auto it = env_.find(name);
+    if (it != env_.end()) return it->second;
+    // Unbound names: mirror the builtin globals the runtime installs;
+    // anything else (host APIs, cross-script state) is Top.
+    if (name == "NaN") return AV::of(Value(std::nan("")));
+    if (name == "Infinity") return AV::of(Value(HUGE_VAL));
+    if (is_global_builtin(name)) return AV::of_builtin(name);
+    return AV::top();
+  }
+
+  void bind(const std::string& name, AV v) {
+    env_[name] = poisoned_ > 0 ? AV::top() : std::move(v);
+  }
+
+  // -- poisoning machinery --------------------------------------------------
+
+  struct PoisonGuard {
+    explicit PoisonGuard(Analyzer& a) : a_(a) { ++a_.poisoned_; }
+    ~PoisonGuard() { --a_.poisoned_; }
+    Analyzer& a_;
+  };
+  struct OpaqueGuard {
+    explicit OpaqueGuard(Analyzer& a) : a_(a) {
+      ++a_.poisoned_;
+      ++a_.opaque_;
+    }
+    ~OpaqueGuard() {
+      --a_.poisoned_;
+      --a_.opaque_;
+    }
+    Analyzer& a_;
+  };
+
+  /// Drops every binding a region could write, and poisons the state of
+  /// every array it could mutate — used before walking regions that may
+  /// execute more than once (bailed loop bodies) or at unknown times
+  /// (function bodies), where walk order no longer matches any single
+  /// runtime execution.
+  void poison_region_targets(const Stmt& s) {
+    std::set<std::string> names;
+    collect_assigned(
+        s, names, [&](const std::string& base) { poison_array_named(base); });
+    for (const std::string& n : names) poison_name(n);
+  }
+  void poison_region_targets(const Expr& e) {
+    std::set<std::string> names;
+    js::walk_expr(
+        e,
+        [&](const Expr& sub) {
+          collect_assigned_expr(sub, names, [&](const std::string& base) {
+            poison_array_named(base);
+          });
+        },
+        [&](const Stmt& sub) { collect_assigned_shallow(sub, names); });
+    for (const std::string& n : names) poison_name(n);
+  }
+
+  void poison_name(const std::string& name) {
+    auto it = env_.find(name);
+    if (it != env_.end() && it->second.is_array()) {
+      it->second.array->poisoned = true;  // aliases observe the mutation
+    }
+    env_[name] = AV::top();
+  }
+
+  void poison_array_named(const std::string& name) {
+    auto it = env_.find(name);
+    if (it != env_.end() && it->second.is_array()) {
+      it->second.array->poisoned = true;
+    }
+  }
+
+  template <typename ArrayFn>
+  void collect_assigned(const Stmt& s, std::set<std::string>& names,
+                        ArrayFn&& on_array) {
+    js::walk_stmt(
+        s,
+        [&](const Expr& e) { collect_assigned_expr(e, names, on_array); },
+        [&](const Stmt& sub) { collect_assigned_shallow(sub, names); });
+  }
+
+  static void collect_assigned_shallow(const Stmt& s,
+                                       std::set<std::string>& names) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl:
+        for (const js::VarDeclarator& d : s.decls) names.insert(d.name);
+        break;
+      case StmtKind::kFunctionDecl:
+        if (s.function) names.insert(s.function->name);
+        break;
+      case StmtKind::kForIn:
+        names.insert(s.for_in_var);
+        break;
+      case StmtKind::kTry:
+        if (s.has_catch && !s.catch_param.empty()) names.insert(s.catch_param);
+        break;
+      default:
+        break;
+    }
+  }
+
+  template <typename ArrayFn>
+  void collect_assigned_expr(const Expr& e, std::set<std::string>& names,
+                             ArrayFn&& on_array) {
+    if (e.kind == ExprKind::kAssign || e.kind == ExprKind::kUpdate) {
+      const Expr* target = e.a.get();
+      if (target && target->kind == ExprKind::kIdentifier) {
+        names.insert(target->string_value);
+      } else if (target && target->kind == ExprKind::kMember && target->a &&
+                 target->a->kind == ExprKind::kIdentifier) {
+        on_array(target->a->string_value);
+      }
+    }
+    if (e.kind == ExprKind::kCall && e.a && e.a->kind == ExprKind::kMember &&
+        !e.a->computed_member && is_array_mutator(e.a->string_value) &&
+        e.a->a && e.a->a->kind == ExprKind::kIdentifier) {
+      on_array(e.a->a->string_value);
+    }
+  }
+
+  /// Any unknown call may invoke a user function; every name any function
+  /// body assigns (and every array it mutates) becomes unknown.
+  void poison_function_effects() {
+    for (const std::string& n : function_mutated_arrays_) {
+      poison_array_named(n);
+    }
+    for (const std::string& n : function_assigned_names_) poison_name(n);
+  }
+
+  /// Registers a function body: records its write effects for
+  /// poison_function_effects() and walks it with fully-opaque reads
+  /// (call time is unknown, so no binding can be trusted inside).
+  void register_function(const js::FunctionNode& fn) {
+    for (const js::StmtPtr& s : fn.body) {
+      if (!s) continue;
+      collect_assigned(*s, function_assigned_names_,
+                       [&](const std::string& base) {
+                         function_mutated_arrays_.insert(base);
+                       });
+    }
+    OpaqueGuard guard(*this);
+    for (const std::string& p : fn.params) bind(p, AV::top());
+    for (const js::StmtPtr& s : fn.body) {
+      if (s) exec(*s);
+    }
+  }
+
+  // -- sinks ----------------------------------------------------------------
+
+  SinkSite& sink_site(const char* kind, std::size_t offset) {
+    for (SinkSite& s : rep_.sinks) {
+      if (s.offset == offset && s.eval_depth == eval_depth_ && s.kind == kind) {
+        return s;
+      }
+    }
+    SinkSite site;
+    site.kind = kind;
+    site.offset = offset;
+    site.eval_depth = eval_depth_;
+    rep_.sinks.push_back(std::move(site));
+    return rep_.sinks.back();
+  }
+
+  void record_payload(const char* kind, std::size_t offset,
+                      const std::string& payload, bool delayed) {
+    bool fresh = false;
+    {
+      SinkSite& site = sink_site(kind, offset);
+      const auto it =
+          std::find(site.resolved.begin(), site.resolved.end(), payload);
+      if (it == site.resolved.end()) {
+        if (site.resolved.size() >= caps_.max_resolved_per_sink) {
+          site.non_constant = true;  // can't enumerate; degrade loudly
+          rep_.truncated = true;
+          return;
+        }
+        site.resolved.push_back(payload);
+        fresh = true;
+      }
+    }  // reference dies before sinks can reallocate below
+    if (!fresh) return;
+    if (eval_depth_ + 1 > caps_.max_eval_depth) {
+      rep_.truncated = true;
+      sink_site(kind, offset).non_constant = true;
+      return;
+    }
+    if (delayed) {
+      // Delayed payloads run after the current script in a drained queue;
+      // the environment at that point is unknown, so analyze opaquely.
+      OpaqueGuard guard(*this);
+      analyze_source(payload, eval_depth_ + 1);
+    } else {
+      // eval() is synchronous in the current scope: keep the environment
+      // and the current precision mode.
+      analyze_source(payload, eval_depth_ + 1);
+    }
+  }
+
+  /// eval(x): the runtime only evaluates string arguments (others are
+  /// returned untouched), so a known non-string is proven sink-silent.
+  AV sink_eval(std::size_t offset, const AV& arg) {
+    if (arg.is_string()) {
+      record_payload("eval", offset, arg.scalar.as_string(), false);
+      return AV::top();  // payload's completion value is not modelled
+    }
+    if (arg.is_top()) {
+      sink_site("eval", offset).non_constant = true;
+      return AV::top();
+    }
+    return arg;  // known non-string: eval returns its argument
+  }
+
+  /// setTimeOut / setInterval / addScript stringify their payload with
+  /// to_js_string before queueing it.
+  AV sink_delayed(const char* kind, std::size_t offset, const AV& arg) {
+    const std::optional<std::string> payload = to_string(arg);
+    if (payload) {
+      record_payload(kind, offset, *payload, true);
+    } else {
+      sink_site(kind, offset).non_constant = true;
+    }
+    return AV::top();
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  Flow exec(const Stmt& s) {
+    visit();
+    switch (s.kind) {
+      case StmtKind::kEmpty:
+        return Flow::kNormal;
+      case StmtKind::kExpr:
+        eval(*s.expr);
+        return Flow::kNormal;
+      case StmtKind::kVarDecl:
+        for (const js::VarDeclarator& d : s.decls) {
+          bind(d.name, d.init ? eval(*d.init) : AV::of(Value()));
+        }
+        return Flow::kNormal;
+      case StmtKind::kFunctionDecl:
+        bind(s.function->name, AV::top());
+        register_function(*s.function);
+        return Flow::kNormal;
+      case StmtKind::kIf: {
+        const AV c = eval(*s.expr);
+        const std::optional<bool> b = to_boolean(c);
+        if (b && poisoned_ == 0) {
+          // Constant condition: execute the live branch precisely, walk the
+          // dead branch poisoned (its sinks/indicators still count —
+          // statically dead is not dynamically proven for the attacker's
+          // other deployments, and indicators must see all code).
+          if (*b) {
+            const Flow f = exec(*s.body.front());
+            if (s.alt) {
+              PoisonGuard guard(*this);
+              exec(*s.alt);
+            }
+            return f;
+          }
+          {
+            PoisonGuard guard(*this);
+            exec(*s.body.front());
+          }
+          return s.alt ? exec(*s.alt) : Flow::kNormal;
+        }
+        PoisonGuard guard(*this);
+        exec(*s.body.front());
+        if (s.alt) exec(*s.alt);
+        return Flow::kNormal;
+      }
+      case StmtKind::kWhile:
+        return exec_loop(s, /*do_while=*/false);
+      case StmtKind::kDoWhile:
+        return exec_loop(s, /*do_while=*/true);
+      case StmtKind::kFor:
+        return exec_for(s);
+      case StmtKind::kForIn: {
+        eval(*s.expr);
+        ++loop_depth_;
+        poison_region_targets(s);
+        bind(s.for_in_var, AV::top());
+        {
+          PoisonGuard guard(*this);
+          exec(*s.body.front());
+        }
+        --loop_depth_;
+        return Flow::kNormal;
+      }
+      case StmtKind::kReturn:
+        if (s.expr) eval(*s.expr);
+        return poisoned_ > 0 ? Flow::kNormal : Flow::kReturn;
+      case StmtKind::kBreak:
+        return poisoned_ > 0 ? Flow::kNormal : Flow::kBreak;
+      case StmtKind::kContinue:
+        return poisoned_ > 0 ? Flow::kNormal : Flow::kContinue;
+      case StmtKind::kBlock:
+        return exec_block(s.body);
+      case StmtKind::kThrow:
+        eval(*s.expr);
+        // An uncaught throw aborts the script; nothing later executes.
+        return poisoned_ > 0 ? Flow::kNormal : Flow::kReturn;
+      case StmtKind::kTry: {
+        // Exceptions may cut the try body anywhere, so the whole construct
+        // is analyzed with poisoned writes (in walk order: suffix-skipping
+        // can only make our bindings over-approximate).
+        PoisonGuard guard(*this);
+        for (const js::StmtPtr& b : s.body) {
+          if (b) exec(*b);
+        }
+        if (s.has_catch) {
+          if (!s.catch_param.empty()) bind(s.catch_param, AV::top());
+          for (const js::StmtPtr& b : s.catch_body) {
+            if (b) exec(*b);
+          }
+        }
+        if (s.has_finally) {
+          for (const js::StmtPtr& b : s.finally_body) {
+            if (b) exec(*b);
+          }
+        }
+        return Flow::kNormal;
+      }
+      case StmtKind::kSwitch: {
+        eval(*s.expr);
+        PoisonGuard guard(*this);
+        for (const js::SwitchCase& c : s.cases) {
+          if (c.test) eval(*c.test);
+          for (const js::StmtPtr& b : c.body) {
+            if (b) exec(*b);
+          }
+        }
+        return Flow::kNormal;
+      }
+    }
+    return Flow::kNormal;
+  }
+
+  Flow exec_block(const std::vector<js::StmtPtr>& body) {
+    for (const js::StmtPtr& s : body) {
+      if (!s) continue;
+      const Flow f = exec(*s);
+      if (f != Flow::kNormal) return f;
+    }
+    return Flow::kNormal;
+  }
+
+  /// Gives up on precise loop execution: the body may run any number of
+  /// further times, so every target it can write becomes unknown before a
+  /// single poisoned walk (which still surfaces sinks and indicators).
+  void bail_loop(const Stmt& s) {
+    poison_region_targets(s);
+    if (s.kind == StmtKind::kFor) {
+      if (s.expr2) poison_region_targets(*s.expr2);
+      if (s.expr3) poison_region_targets(*s.expr3);
+    }
+    PoisonGuard guard(*this);
+    if (s.kind == StmtKind::kFor) {
+      if (s.expr2) eval(*s.expr2);
+    } else {
+      eval(*s.expr);
+    }
+    exec(*s.body.front());
+    if (s.kind == StmtKind::kFor && s.expr3) eval(*s.expr3);
+  }
+
+  Flow exec_loop(const Stmt& s, bool do_while) {
+    ++loop_depth_;
+    if (poisoned_ > 0) {
+      bail_loop(s);
+      --loop_depth_;
+      return Flow::kNormal;
+    }
+    std::size_t iterations = 0;
+    bool skip_condition = do_while;
+    while (true) {
+      if (!skip_condition) {
+        const std::optional<bool> b = to_boolean(eval(*s.expr));
+        if (!b) {
+          bail_loop(s);
+          break;
+        }
+        if (!*b) break;
+      }
+      skip_condition = false;
+      if (++iterations > caps_.max_loop_iterations) {
+        rep_.truncated = true;
+        bail_loop(s);
+        break;
+      }
+      const Flow f = exec(*s.body.front());
+      if (f == Flow::kBreak) break;
+      if (f == Flow::kReturn) {
+        --loop_depth_;
+        return Flow::kReturn;
+      }
+    }
+    --loop_depth_;
+    return Flow::kNormal;
+  }
+
+  Flow exec_for(const Stmt& s) {
+    if (s.init) {
+      const Flow f = exec(*s.init);
+      if (f != Flow::kNormal) return f;
+    }
+    ++loop_depth_;
+    if (poisoned_ > 0) {
+      bail_loop(s);
+      --loop_depth_;
+      return Flow::kNormal;
+    }
+    std::size_t iterations = 0;
+    while (true) {
+      if (s.expr2) {
+        const std::optional<bool> b = to_boolean(eval(*s.expr2));
+        if (!b) {
+          bail_loop(s);
+          break;
+        }
+        if (!*b) break;
+      }
+      if (++iterations > caps_.max_loop_iterations) {
+        rep_.truncated = true;
+        bail_loop(s);
+        break;
+      }
+      const Flow f = exec(*s.body.front());
+      if (f == Flow::kBreak) break;
+      if (f == Flow::kReturn) {
+        --loop_depth_;
+        return Flow::kReturn;
+      }
+      // The step runs after `continue` too, matching the interpreter.
+      if (s.expr3) eval(*s.expr3);
+    }
+    --loop_depth_;
+    return Flow::kNormal;
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  AV eval(const Expr& e) {
+    visit();
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        return AV::of(Value(e.number));
+      case ExprKind::kString:
+        return AV::of(Value(e.string_value));  // noted by the syntactic pass
+      case ExprKind::kBool:
+        return AV::of(Value(e.bool_value));
+      case ExprKind::kNull:
+        return AV::of(Value(js::Null{}));
+      case ExprKind::kUndefined:
+        return AV::of(Value());
+      case ExprKind::kIdentifier:
+        return lookup(e.string_value);
+      case ExprKind::kThis:
+        return AV::top();
+      case ExprKind::kArrayLiteral: {
+        auto arr = std::make_shared<ArrayState>();
+        arr->elems.reserve(e.args.size());
+        for (const js::ExprPtr& el : e.args) {
+          arr->elems.push_back(el ? eval(*el) : AV::of(Value()));
+        }
+        return AV::of_array(std::move(arr));
+      }
+      case ExprKind::kObjectLiteral:
+        for (const js::ObjectProperty& p : e.props) {
+          if (p.value) eval(*p.value);
+        }
+        return AV::top();  // plain objects are not modelled
+      case ExprKind::kFunction:
+        if (e.function) register_function(*e.function);
+        return AV::top();
+      case ExprKind::kMember:
+        return eval_member(e);
+      case ExprKind::kCall:
+        return eval_call(e);
+      case ExprKind::kNew:
+        if (e.a) eval(*e.a);
+        for (const js::ExprPtr& a : e.args) {
+          if (a) poison_if_array(eval(*a));
+        }
+        poison_function_effects();  // `new F()` can run a user constructor
+        return AV::top();
+      case ExprKind::kUnary:
+        return eval_unary(e);
+      case ExprKind::kUpdate:
+        return eval_update(e);
+      case ExprKind::kBinary: {
+        const AV l = eval(*e.a);
+        const AV r = eval(*e.b);
+        return eval_binary(e.op, l, r);
+      }
+      case ExprKind::kLogical: {
+        const AV l = eval(*e.a);
+        const std::optional<bool> lb = to_boolean(l);
+        if (lb) {
+          // Short-circuit exactly like the runtime: the untaken side is
+          // never evaluated (so it has no side effects there either).
+          if (e.op == "&&") return *lb ? eval(*e.b) : l;
+          return *lb ? l : eval(*e.b);
+        }
+        PoisonGuard guard(*this);  // the rhs *may* run
+        eval(*e.b);
+        return AV::top();
+      }
+      case ExprKind::kConditional: {
+        const AV c = eval(*e.a);
+        const std::optional<bool> cb = to_boolean(c);
+        if (cb && poisoned_ == 0) {
+          const Expr& live = *cb ? *e.b : *e.c;
+          const Expr& dead = *cb ? *e.c : *e.b;
+          const AV result = eval(live);
+          {
+            PoisonGuard guard(*this);
+            eval(dead);
+          }
+          return result;
+        }
+        PoisonGuard guard(*this);
+        eval(*e.b);
+        eval(*e.c);
+        return AV::top();
+      }
+      case ExprKind::kAssign:
+        return eval_assign(e);
+      case ExprKind::kComma:
+        eval(*e.a);
+        return eval(*e.b);
+    }
+    return AV::top();
+  }
+
+  AV eval_unary(const Expr& e) {
+    if (e.op == "typeof") {
+      // typeof never throws; mirror eval_unary's special identifier case.
+      const AV v = e.a->kind == ExprKind::kIdentifier
+                       ? lookup(e.a->string_value)
+                       : eval(*e.a);
+      if (v.is_top()) {
+        // A miss for us is "unknown", not "undeclared": host globals exist
+        // at runtime, so the runtime answer is unknowable here.
+        return AV::top();
+      }
+      if (v.is_array()) return AV::of(Value("object"));
+      if (v.is_builtin()) return AV::of(Value("function"));
+      const Value& s = v.scalar;
+      if (s.is_undefined()) return AV::of(Value("undefined"));
+      if (s.is_null()) return AV::of(Value("object"));
+      if (s.is_bool()) return AV::of(Value("boolean"));
+      if (s.is_number()) return AV::of(Value("number"));
+      if (s.is_string()) return AV::of(Value("string"));
+      return AV::top();
+    }
+    const AV v = eval(*e.a);
+    if (e.op == "void") return AV::of(Value());
+    if (e.op == "delete") return AV::top();
+    if (e.op == "!") {
+      const std::optional<bool> b = to_boolean(v);
+      return b ? AV::of(Value(!*b)) : AV::top();
+    }
+    const std::optional<double> n = to_number(v);
+    if (!n) return AV::top();
+    if (e.op == "-") return AV::of(Value(-*n));
+    if (e.op == "+") return AV::of(Value(*n));
+    if (e.op == "~") {
+      return AV::of(Value(static_cast<double>(~to_int32(*n))));
+    }
+    return AV::top();
+  }
+
+  AV eval_update(const Expr& e) {
+    const Expr& target = *e.a;
+    if (target.kind == ExprKind::kIdentifier) {
+      const AV old = lookup(target.string_value);
+      const std::optional<double> n = to_number(old);
+      if (!n) {
+        bind(target.string_value, AV::top());
+        return AV::top();
+      }
+      const double next = e.op == "++" ? *n + 1 : *n - 1;
+      bind(target.string_value, AV::of(Value(next)));
+      return AV::of(Value(e.prefix ? next : *n));
+    }
+    if (target.kind == ExprKind::kMember) {
+      // Updates through members mutate the container: degrade it.
+      if (target.a) poison_if_array(eval(*target.a));
+      if (target.computed_member && target.b) eval(*target.b);
+    }
+    return AV::top();
+  }
+
+  void poison_if_array(const AV& v) {
+    if (v.is_array()) v.array->poisoned = true;
+  }
+
+  AV eval_binary(const std::string& op, const AV& l, const AV& r) {
+    if (op == "+") {
+      const bool string_concat = l.is_string() || r.is_string() ||
+                                 l.is_array() || r.is_array() ||
+                                 l.is_builtin() || r.is_builtin();
+      if (string_concat) {
+        const std::optional<std::string> ls = to_string(l);
+        const std::optional<std::string> rs = to_string(r);
+        if (!ls || !rs) return AV::top();
+        if (ls->size() + rs->size() > caps_.max_string_bytes) {
+          rep_.truncated = true;  // refuse to materialize oversize strings
+          return AV::top();
+        }
+        return fold_string(*ls + *rs);
+      }
+      if (l.is_top() || r.is_top()) return AV::top();
+      const std::optional<double> ln = to_number(l);
+      const std::optional<double> rn = to_number(r);
+      if (!ln || !rn) return AV::top();
+      return AV::of(Value(*ln + *rn));
+    }
+    if (op == "==" || op == "!=") {
+      const std::optional<bool> eq = loose_equals(l, r);
+      if (!eq) return AV::top();
+      return AV::of(Value(op == "==" ? *eq : !*eq));
+    }
+    if (op == "===" || op == "!==") {
+      const std::optional<bool> eq = strict_equals(l, r);
+      if (!eq) return AV::top();
+      return AV::of(Value(op == "===" ? *eq : !*eq));
+    }
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") {
+      if (l.is_string() && r.is_string()) {
+        const int c = l.scalar.as_string().compare(r.scalar.as_string());
+        if (op == "<") return AV::of(Value(c < 0));
+        if (op == ">") return AV::of(Value(c > 0));
+        if (op == "<=") return AV::of(Value(c <= 0));
+        return AV::of(Value(c >= 0));
+      }
+      if (l.is_top() || r.is_top()) return AV::top();
+      const std::optional<double> ln = to_number(l);
+      const std::optional<double> rn = to_number(r);
+      if (!ln || !rn) return AV::top();
+      // NaN comparisons are false, as in the runtime's double compares.
+      if (op == "<") return AV::of(Value(*ln < *rn));
+      if (op == ">") return AV::of(Value(*ln > *rn));
+      if (op == "<=") return AV::of(Value(*ln <= *rn));
+      return AV::of(Value(*ln >= *rn));
+    }
+    if (op == "in" || op == "instanceof") {
+      if (op == "in" && r.is_array() && !r.array->poisoned) {
+        const std::optional<std::string> key = to_string(l);
+        if (!key) return AV::top();
+        const std::optional<long> idx = numeric_key(*key);
+        const bool present = idx && *idx >= 0 &&
+                             static_cast<std::size_t>(*idx) <
+                                 r.array->elems.size();
+        return AV::of(Value(present));
+      }
+      if (r.is_scalar()) return AV::of(Value(false));  // non-object rhs
+      return AV::top();
+    }
+    const std::optional<double> ln = to_number(l);
+    const std::optional<double> rn = to_number(r);
+    if (!ln || !rn) return AV::top();
+    if (op == "-") return AV::of(Value(*ln - *rn));
+    if (op == "*") return AV::of(Value(*ln * *rn));
+    if (op == "/") return AV::of(Value(*ln / *rn));
+    if (op == "%") return AV::of(Value(std::fmod(*ln, *rn)));
+    if (op == "&") {
+      return AV::of(Value(static_cast<double>(to_int32(*ln) & to_int32(*rn))));
+    }
+    if (op == "|") {
+      return AV::of(Value(static_cast<double>(to_int32(*ln) | to_int32(*rn))));
+    }
+    if (op == "^") {
+      return AV::of(Value(static_cast<double>(to_int32(*ln) ^ to_int32(*rn))));
+    }
+    if (op == "<<") {
+      return AV::of(
+          Value(static_cast<double>(to_int32(*ln) << (to_int32(*rn) & 31))));
+    }
+    if (op == ">>") {
+      return AV::of(
+          Value(static_cast<double>(to_int32(*ln) >> (to_int32(*rn) & 31))));
+    }
+    if (op == ">>>") {
+      return AV::of(
+          Value(static_cast<double>(to_uint32(*ln) >> (to_int32(*rn) & 31))));
+    }
+    return AV::top();
+  }
+
+  AV eval_assign(const Expr& e) {
+    const AV rhs = eval(*e.b);
+    const Expr& target = *e.a;
+    AV result = rhs;
+    if (e.op != "=") {
+      const std::string op = e.op.substr(0, e.op.size() - 1);
+      AV old = AV::top();
+      if (target.kind == ExprKind::kIdentifier) {
+        old = lookup(target.string_value);
+      } else if (target.kind == ExprKind::kMember) {
+        old = eval_member(target);
+      }
+      result = eval_binary(op, old, rhs);
+    }
+    if (target.kind == ExprKind::kIdentifier) {
+      bind(target.string_value, result);
+      return result;
+    }
+    if (target.kind == ExprKind::kMember) {
+      assign_member(target, result);
+      return result;
+    }
+    return AV::top();
+  }
+
+  void assign_member(const Expr& target, const AV& v) {
+    if (!target.a) return;
+    const AV base = eval(*target.a);
+    std::optional<std::string> key;
+    if (target.computed_member) {
+      const AV k = target.b ? eval(*target.b) : AV::top();
+      key = to_string(k);
+    } else {
+      key = target.string_value;
+    }
+    if (!base.is_array()) return;  // primitive/unknown props: untracked
+    if (poisoned_ > 0 || !key || base.array->poisoned) {
+      base.array->poisoned = true;
+      return;
+    }
+    // Mirror Interpreter::assign_member's array path.
+    auto& elems = base.array->elems;
+    if (*key == "length") {
+      const std::optional<double> n = to_number(v);
+      if (!n || std::isnan(*n) || *n < 0 ||
+          *n > static_cast<double>(caps_.max_loop_iterations)) {
+        base.array->poisoned = true;  // resize we refuse to materialize
+        rep_.truncated = true;
+        return;
+      }
+      elems.resize(static_cast<std::size_t>(*n));
+      return;
+    }
+    const std::optional<long> idx = numeric_key(*key);
+    if (idx && *idx >= 0) {
+      if (static_cast<std::size_t>(*idx) > elems.size() &&
+          static_cast<std::size_t>(*idx) - elems.size() >
+              caps_.max_loop_iterations) {
+        base.array->poisoned = true;  // sparse blowup guard
+        rep_.truncated = true;
+        return;
+      }
+      if (static_cast<std::size_t>(*idx) >= elems.size()) {
+        elems.resize(static_cast<std::size_t>(*idx) + 1);
+      }
+      elems[static_cast<std::size_t>(*idx)] = v;
+      return;
+    }
+    base.array->poisoned = true;  // named property on an array
+  }
+
+  AV eval_member(const Expr& e) {
+    if (!e.a) return AV::top();
+    const AV base = eval(*e.a);
+    std::optional<std::string> key;
+    if (e.computed_member) {
+      const AV k = e.b ? eval(*e.b) : AV::top();
+      key = to_string(k);
+    } else {
+      key = e.string_value;
+    }
+    if (!key) return AV::top();
+    if (base.is_string()) {
+      const std::string& s = base.scalar.as_string();
+      if (*key == "length") {
+        return AV::of(Value(static_cast<double>(s.size())));
+      }
+      const std::optional<long> idx = numeric_key(*key);
+      if (idx) {
+        if (*idx >= 0 && static_cast<std::size_t>(*idx) < s.size()) {
+          return AV::of(
+              Value(std::string(1, s[static_cast<std::size_t>(*idx)])));
+        }
+        return AV::of(Value());
+      }
+      return AV::top();  // a method read as a value
+    }
+    if (base.is_array()) {
+      if (base.array->poisoned) return AV::top();
+      if (*key == "length") {
+        return AV::of(Value(static_cast<double>(base.array->elems.size())));
+      }
+      const std::optional<long> idx = numeric_key(*key);
+      if (idx) {
+        if (*idx >= 0 &&
+            static_cast<std::size_t>(*idx) < base.array->elems.size()) {
+          return base.array->elems[static_cast<std::size_t>(*idx)];
+        }
+        return AV::of(Value());
+      }
+      return AV::top();  // a method read as a value
+    }
+    if (base.is_builtin()) {
+      // Builtin namespaces: Math.floor / String.fromCharCode read as values.
+      return AV::of_builtin(base.builtin + "." + *key);
+    }
+    return AV::top();
+  }
+
+  // -- calls ----------------------------------------------------------------
+
+  AV eval_call(const Expr& e) {
+    const Expr& callee = *e.a;
+
+    // Member sinks and member method folds need the base value.
+    if (callee.kind == ExprKind::kMember && !callee.computed_member) {
+      const AV base = callee.a ? eval(*callee.a) : AV::top();
+      return dispatch_member_call(e, callee, base);
+    }
+
+    if (callee.kind == ExprKind::kIdentifier) {
+      const AV fn = lookup(callee.string_value);
+      if (fn.is_builtin()) {
+        return dispatch_builtin_call(e, fn.builtin);
+      }
+      return unknown_call(e);
+    }
+
+    if (callee.kind == ExprKind::kMember && callee.computed_member) {
+      const AV fn = eval_member(callee);
+      if (fn.is_builtin()) return dispatch_builtin_call(e, fn.builtin);
+      return unknown_call(e);
+    }
+
+    const AV fn = eval(callee);
+    if (fn.is_builtin()) return dispatch_builtin_call(e, fn.builtin);
+    return unknown_call(e);
+  }
+
+  std::vector<AV> eval_args(const Expr& e) {
+    std::vector<AV> args;
+    args.reserve(e.args.size());
+    for (const js::ExprPtr& a : e.args) {
+      args.push_back(a ? eval(*a) : AV::of(Value()));
+    }
+    return args;
+  }
+
+  /// A call whose target we cannot model: the result is unknown, array
+  /// arguments may be mutated, and any user function may run (poisoning
+  /// everything functions write).
+  AV unknown_call(const Expr& e) {
+    for (const js::ExprPtr& a : e.args) {
+      if (a) poison_if_array(eval(*a));
+    }
+    poison_function_effects();
+    return AV::top();
+  }
+
+  AV dispatch_member_call(const Expr& e, const Expr& callee, const AV& base) {
+    const std::string& method = callee.string_value;
+
+    // Delayed-execution sinks keyed on the method name: app.setTimeOut,
+    // app.setInterval (payload = arg 0), Doc.addScript (payload = arg 1).
+    // The receivers are host objects (Top for us), so match by name.
+    if (base.is_top() &&
+        (method == "setTimeOut" || method == "setInterval" ||
+         method == "addScript")) {
+      const std::vector<AV> args = eval_args(e);
+      const std::size_t payload_index = method == "addScript" ? 1 : 0;
+      const AV payload = payload_index < args.size() ? args[payload_index]
+                                                     : AV::of(Value());
+      for (const AV& a : args) poison_if_array(a);
+      return sink_delayed(method.c_str(), e.offset, payload);
+    }
+
+    if (base.is_string()) return string_method_call(e, base, method);
+    if (base.is_array()) return array_method_call(e, base, method);
+    if (base.is_builtin()) {
+      return dispatch_builtin_call(e, base.builtin + "." + method);
+    }
+    return unknown_call(e);
+  }
+
+  AV dispatch_builtin_call(const Expr& e, const std::string& name) {
+    if (name == "eval") {
+      const std::vector<AV> args = eval_args(e);
+      const AV arg = args.empty() ? AV::of(Value()) : args[0];
+      for (const AV& a : args) poison_if_array(a);
+      return sink_eval(e.offset, arg);
+    }
+
+    const std::vector<AV> args = eval_args(e);
+    auto arg = [&](std::size_t i) {
+      return i < args.size() ? args[i] : AV::of(Value());
+    };
+    auto arg_str = [&](std::size_t i) { return to_string(arg(i)); };
+    auto arg_num = [&](std::size_t i) { return to_number(arg(i)); };
+
+    if (name == "unescape") {
+      const std::optional<std::string> s = arg_str(0);
+      return s ? fold_string(js::unescape_string(*s)) : AV::top();
+    }
+    if (name == "escape") {
+      const std::optional<std::string> s = arg_str(0);
+      if (!s) return AV::top();
+      if (s->size() * 3 > caps_.max_string_bytes) {
+        rep_.truncated = true;
+        return AV::top();
+      }
+      return fold_string(js::escape_string(*s));
+    }
+    if (name == "String") {
+      if (args.empty()) return fold_string("");
+      const std::optional<std::string> s = arg_str(0);
+      return s ? fold_string(*s) : AV::top();
+    }
+    if (name == "String.fromCharCode") {
+      std::string out;
+      out.reserve(args.size());
+      for (const AV& a : args) {
+        const std::optional<double> n = to_number(a);
+        if (!n) return AV::top();
+        js::append_char_code(out, static_cast<int>(*n));
+      }
+      return fold_string(std::move(out));
+    }
+    if (name == "Number") {
+      if (args.empty()) return AV::of(Value(0.0));
+      const std::optional<double> n = arg_num(0);
+      return n ? AV::of(Value(*n)) : AV::top();
+    }
+    if (name == "Boolean") {
+      if (args.empty()) return AV::of(Value(false));
+      const std::optional<bool> b = to_boolean(arg(0));
+      return b ? AV::of(Value(*b)) : AV::top();
+    }
+    if (name == "isNaN") {
+      const std::optional<double> n = arg_num(0);
+      return n ? AV::of(Value(std::isnan(*n))) : AV::top();
+    }
+    if (name == "parseInt") {
+      const std::optional<std::string> s = arg_str(0);
+      if (!s) return AV::top();
+      // Mirror the builtin: explicit numeric radix wins, else 0x sniffing.
+      int base = 10;
+      if (args.size() > 1) {
+        if (!arg(1).is_scalar()) return AV::top();
+        if (arg(1).scalar.is_number()) {
+          base = static_cast<int>(arg(1).scalar.as_number());
+        } else if (s->size() > 2 && (*s)[0] == '0' &&
+                   ((*s)[1] == 'x' || (*s)[1] == 'X')) {
+          base = 16;
+        }
+      } else if (s->size() > 2 && (*s)[0] == '0' &&
+                 ((*s)[1] == 'x' || (*s)[1] == 'X')) {
+        base = 16;
+      }
+      char* end = nullptr;
+      const long long v = std::strtoll(s->c_str(), &end, base);
+      if (end == s->c_str()) return AV::of(Value(std::nan("")));
+      return AV::of(Value(static_cast<double>(v)));
+    }
+    if (name == "parseFloat") {
+      const std::optional<std::string> s = arg_str(0);
+      if (!s) return AV::top();
+      char* end = nullptr;
+      const double v = std::strtod(s->c_str(), &end);
+      if (end == s->c_str()) return AV::of(Value(std::nan("")));
+      return AV::of(Value(v));
+    }
+    if (name == "Array") {
+      if (args.size() == 1 && args[0].is_scalar() &&
+          args[0].scalar.is_number()) {
+        const double n = args[0].scalar.as_number();
+        if (!(n >= 0) || n > static_cast<double>(caps_.max_loop_iterations)) {
+          rep_.truncated = true;
+          return AV::top();
+        }
+        auto arr = std::make_shared<ArrayState>();
+        arr->elems.assign(static_cast<std::size_t>(n), AV::of(Value()));
+        return AV::of_array(std::move(arr));
+      }
+      auto arr = std::make_shared<ArrayState>();
+      arr->elems = args;
+      return AV::of_array(std::move(arr));
+    }
+    if (name.rfind("Math.", 0) == 0) {
+      return math_call(name.substr(5), args);
+    }
+
+    // An unrecognized builtin member (e.g. Math.tan): unknown but pure.
+    for (const AV& a : args) poison_if_array(a);
+    return AV::top();
+  }
+
+  AV math_call(const std::string& fn, const std::vector<AV>& args) {
+    auto num = [&](std::size_t i) -> std::optional<double> {
+      return i < args.size() ? to_number(args[i])
+                             : std::optional<double>(std::nan(""));
+    };
+    if (fn == "random") return AV::top();  // seeded per-engine RNG
+    if (fn == "floor" || fn == "ceil" || fn == "sqrt" || fn == "abs" ||
+        fn == "round") {
+      const std::optional<double> x = num(0);
+      if (!x) return AV::top();
+      if (fn == "floor") return AV::of(Value(std::floor(*x)));
+      if (fn == "ceil") return AV::of(Value(std::ceil(*x)));
+      if (fn == "sqrt") return AV::of(Value(std::sqrt(*x)));
+      if (fn == "abs") return AV::of(Value(std::fabs(*x)));
+      return AV::of(Value(std::floor(*x + 0.5)));
+    }
+    if (fn == "pow") {
+      const std::optional<double> x = num(0);
+      const std::optional<double> y = num(1);
+      if (!x || !y) return AV::top();
+      return AV::of(Value(std::pow(*x, *y)));
+    }
+    if (fn == "min" || fn == "max") {
+      double best = fn == "min" ? HUGE_VAL : -HUGE_VAL;
+      for (const AV& a : args) {
+        const std::optional<double> n = to_number(a);
+        if (!n) return AV::top();
+        best = fn == "min" ? std::min(best, *n) : std::max(best, *n);
+      }
+      return AV::of(Value(best));
+    }
+    return AV::top();
+  }
+
+  AV string_method_call(const Expr& e, const AV& base,
+                        const std::string& method) {
+    const std::string& s = base.scalar.as_string();
+    const std::vector<AV> args = eval_args(e);
+    auto arg = [&](std::size_t i) {
+      return i < args.size() ? args[i] : AV::of(Value());
+    };
+    auto arg_num = [&](std::size_t i) { return to_number(arg(i)); };
+    auto arg_str = [&](std::size_t i) { return to_string(arg(i)); };
+
+    if (method == "charAt") {
+      const std::optional<double> n = arg_num(0);
+      if (!n) return AV::top();
+      const auto i = static_cast<std::int64_t>(*n);
+      if (i < 0 || static_cast<std::size_t>(i) >= s.size()) {
+        return fold_string("");
+      }
+      return fold_string(std::string(1, s[static_cast<std::size_t>(i)]));
+    }
+    if (method == "charCodeAt") {
+      std::optional<double> n = arg_num(0);
+      if (!n) return AV::top();
+      double d = *n;
+      if (std::isnan(d)) d = 0;
+      const auto i = static_cast<std::int64_t>(d);
+      if (i < 0 || static_cast<std::size_t>(i) >= s.size()) {
+        return AV::of(Value(std::nan("")));
+      }
+      return AV::of(Value(static_cast<double>(
+          static_cast<unsigned char>(s[static_cast<std::size_t>(i)]))));
+    }
+    if (method == "indexOf") {
+      const std::optional<std::string> needle = arg_str(0);
+      if (!needle) return AV::top();
+      std::size_t from = 0;
+      if (args.size() > 1) {
+        const std::optional<double> f = to_number(args[1]);
+        if (!f) return AV::top();
+        from = static_cast<std::size_t>(std::max(0.0, *f));
+      }
+      const std::size_t pos = s.find(*needle, from);
+      return AV::of(Value(pos == std::string::npos
+                              ? -1.0
+                              : static_cast<double>(pos)));
+    }
+    if (method == "lastIndexOf") {
+      const std::optional<std::string> needle = arg_str(0);
+      if (!needle) return AV::top();
+      const std::size_t pos = s.rfind(*needle);
+      return AV::of(Value(pos == std::string::npos
+                              ? -1.0
+                              : static_cast<double>(pos)));
+    }
+    if (method == "substring") {
+      const std::optional<double> raw_a = arg_num(0);
+      if (!raw_a) return AV::top();
+      std::int64_t a = clamp_index(*raw_a, s.size());
+      std::int64_t b = static_cast<std::int64_t>(s.size());
+      if (args.size() > 1) {
+        const std::optional<double> raw_b = to_number(args[1]);
+        if (!raw_b) return AV::top();
+        b = clamp_index(*raw_b, s.size());
+        if (*raw_b < 0) b = 0;
+      }
+      if (*raw_a < 0) a = 0;
+      if (a > b) std::swap(a, b);
+      return fold_string(s.substr(static_cast<std::size_t>(a),
+                                  static_cast<std::size_t>(b - a)));
+    }
+    if (method == "substr") {
+      const std::optional<double> raw_a = arg_num(0);
+      if (!raw_a) return AV::top();
+      const std::int64_t a = clamp_index(*raw_a, s.size());
+      std::size_t len = s.size() - static_cast<std::size_t>(a);
+      if (args.size() > 1) {
+        const std::optional<double> want = to_number(args[1]);
+        if (!want) return AV::top();
+        if (*want < 0) {
+          len = 0;
+        } else {
+          len = std::min<std::size_t>(len, static_cast<std::size_t>(*want));
+        }
+      }
+      return fold_string(s.substr(static_cast<std::size_t>(a), len));
+    }
+    if (method == "slice") {
+      const std::optional<double> raw_a = arg_num(0);
+      if (!raw_a) return AV::top();
+      const std::int64_t a = clamp_index(*raw_a, s.size());
+      std::int64_t b = static_cast<std::int64_t>(s.size());
+      if (args.size() > 1) {
+        const std::optional<double> raw_b = to_number(args[1]);
+        if (!raw_b) return AV::top();
+        b = clamp_index(*raw_b, s.size());
+      }
+      if (a >= b) return fold_string("");
+      return fold_string(s.substr(static_cast<std::size_t>(a),
+                                  static_cast<std::size_t>(b - a)));
+    }
+    if (method == "split") {
+      auto arr = std::make_shared<ArrayState>();
+      if (args.empty() ||
+          (args[0].is_scalar() && args[0].scalar.is_undefined())) {
+        arr->elems.push_back(AV::of(Value(s)));
+        return AV::of_array(std::move(arr));
+      }
+      const std::optional<std::string> sep = arg_str(0);
+      if (!sep) return AV::top();
+      if (sep->empty()) {
+        if (s.size() > caps_.max_loop_iterations) {
+          rep_.truncated = true;
+          return AV::top();
+        }
+        for (const char c : s) {
+          arr->elems.push_back(AV::of(Value(std::string(1, c))));
+        }
+        return AV::of_array(std::move(arr));
+      }
+      std::size_t start = 0;
+      while (true) {
+        const std::size_t pos = s.find(*sep, start);
+        if (pos == std::string::npos) {
+          arr->elems.push_back(AV::of(Value(s.substr(start))));
+          break;
+        }
+        arr->elems.push_back(AV::of(Value(s.substr(start, pos - start))));
+        start = pos + sep->size();
+      }
+      return AV::of_array(std::move(arr));
+    }
+    if (method == "replace") {
+      const std::optional<std::string> from = arg_str(0);
+      const std::optional<std::string> to = arg_str(1);
+      if (!from || !to) return AV::top();
+      const std::size_t pos = s.find(*from);
+      if (pos == std::string::npos || from->empty()) {
+        return fold_string(std::string(s));
+      }
+      if (s.size() - from->size() + to->size() > caps_.max_string_bytes) {
+        rep_.truncated = true;
+        return AV::top();
+      }
+      std::string out = s;
+      out.replace(pos, from->size(), *to);
+      return fold_string(std::move(out));
+    }
+    if (method == "toUpperCase" || method == "toLowerCase") {
+      const bool upper = method == "toUpperCase";
+      std::string out = s;
+      for (char& c : out) {
+        c = upper
+                ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                : static_cast<char>(
+                      std::tolower(static_cast<unsigned char>(c)));
+      }
+      return fold_string(std::move(out));
+    }
+    if (method == "concat") {
+      std::string out = s;
+      for (const AV& a : args) {
+        const std::optional<std::string> as = to_string(a);
+        if (!as) return AV::top();
+        if (out.size() + as->size() > caps_.max_string_bytes) {
+          rep_.truncated = true;
+          return AV::top();
+        }
+        out += *as;
+      }
+      return fold_string(std::move(out));
+    }
+    if (method == "toString" || method == "valueOf") {
+      return fold_string(std::string(s));
+    }
+    // Unknown method on a string: calling `undefined` throws at runtime.
+    return AV::top();
+  }
+
+  AV array_method_call(const Expr& e, const AV& base,
+                       const std::string& method) {
+    const ArrayPtr& arr = base.array;
+    const std::vector<AV> args = eval_args(e);
+
+    if (arr->poisoned) {
+      if (is_array_mutator(method)) arr->poisoned = true;
+      return AV::top();
+    }
+    if (method == "push") {
+      for (const AV& a : args) arr->elems.push_back(a);
+      return AV::of(Value(static_cast<double>(arr->elems.size())));
+    }
+    if (method == "pop") {
+      if (arr->elems.empty()) return AV::of(Value());
+      AV v = arr->elems.back();
+      arr->elems.pop_back();
+      return v;
+    }
+    if (method == "shift") {
+      if (arr->elems.empty()) return AV::of(Value());
+      AV v = arr->elems.front();
+      arr->elems.erase(arr->elems.begin());
+      return v;
+    }
+    if (method == "join") {
+      std::string sep = ",";
+      if (!args.empty() &&
+          !(args[0].is_scalar() && args[0].scalar.is_undefined())) {
+        const std::optional<std::string> ss = to_string(args[0]);
+        if (!ss) return AV::top();
+        sep = *ss;
+      }
+      std::string out;
+      for (std::size_t i = 0; i < arr->elems.size(); ++i) {
+        if (i) out += sep;
+        const AV& el = arr->elems[i];
+        if (el.is_scalar() && el.scalar.is_nullish()) continue;
+        const std::optional<std::string> es = to_string(el);
+        if (!es) return AV::top();
+        if (out.size() + es->size() > caps_.max_string_bytes) {
+          rep_.truncated = true;
+          return AV::top();
+        }
+        out += *es;
+      }
+      return fold_string(std::move(out));
+    }
+    if (method == "concat") {
+      auto out = std::make_shared<ArrayState>();
+      out->elems = arr->elems;
+      for (const AV& a : args) {
+        if (a.is_array()) {
+          if (a.array->poisoned) return AV::top();
+          out->elems.insert(out->elems.end(), a.array->elems.begin(),
+                            a.array->elems.end());
+        } else {
+          out->elems.push_back(a);
+        }
+      }
+      return AV::of_array(std::move(out));
+    }
+    if (method == "slice") {
+      const std::size_t n = arr->elems.size();
+      const std::optional<double> raw_a =
+          args.empty() ? std::optional<double>(std::nan(""))
+                       : to_number(args[0]);
+      if (!raw_a) return AV::top();
+      const std::int64_t a = clamp_index(*raw_a, n);
+      std::int64_t b = static_cast<std::int64_t>(n);
+      if (args.size() > 1) {
+        const std::optional<double> raw_b = to_number(args[1]);
+        if (!raw_b) return AV::top();
+        b = clamp_index(*raw_b, n);
+      }
+      auto out = std::make_shared<ArrayState>();
+      for (std::int64_t i = a; i < b; ++i) {
+        out->elems.push_back(arr->elems[static_cast<std::size_t>(i)]);
+      }
+      return AV::of_array(std::move(out));
+    }
+    if (method == "indexOf") {
+      const AV target = args.empty() ? AV::of(Value()) : args[0];
+      for (std::size_t i = 0; i < arr->elems.size(); ++i) {
+        const std::optional<bool> eq = strict_equals(arr->elems[i], target);
+        if (!eq) return AV::top();
+        if (*eq) return AV::of(Value(static_cast<double>(i)));
+      }
+      return AV::of(Value(-1.0));
+    }
+    if (method == "reverse") {
+      std::reverse(arr->elems.begin(), arr->elems.end());
+      return base;
+    }
+    if (method == "toString") {
+      const std::optional<std::string> s = to_string(base);
+      return s ? fold_string(*s) : AV::top();
+    }
+    // sort (comparator callbacks), unshift/splice, unknown methods:
+    // degrade the array rather than model them.
+    arr->poisoned = true;
+    for (const AV& a : args) poison_if_array(a);
+    poison_function_effects();  // sort's comparator may be a user function
+    return AV::top();
+  }
+
+  const Caps& caps_;
+  Report& rep_;
+  std::map<std::string, AV> env_;
+  std::set<std::string> function_assigned_names_;
+  std::set<std::string> function_mutated_arrays_;
+  int poisoned_ = 0;   ///< >0: writes degrade to Top, flow is unordered
+  int opaque_ = 0;     ///< >0: reads are Top too (unknown execution time)
+  int loop_depth_ = 0;
+  std::size_t eval_depth_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace
+
+Report analyze_script(std::string_view source, const Caps& caps) {
+  Report rep;
+  Analyzer analyzer(caps, rep);
+  analyzer.run(source);
+  return rep;
+}
+
+Report analyze_scripts(const std::vector<std::string>& sources,
+                       const Caps& caps) {
+  Report merged = empty_document_report();
+  for (const std::string& src : sources) {
+    merged.merge(analyze_script(src, caps));
+  }
+  return merged;
+}
+
+}  // namespace pdfshield::jsstatic

@@ -1,0 +1,31 @@
+// Flow-insensitive-in-name, execution-ordered-in-practice abstract
+// interpretation over the js:: AST. The abstract domain is a constant
+// lattice (Top / known scalar / known array) whose Known elements are
+// real js::Value scalars, so every fold reuses the interpreter's own
+// conversion routines and agrees with runtime evaluation byte-for-byte.
+//
+// The analyzer statically resolves the arguments reaching the code
+// sinks (eval, app.setTimeOut/setInterval, Doc.addScript), re-parses
+// resolved eval payloads up to Caps::max_eval_depth, and computes the
+// per-script indicator facts described in report.hpp. It never executes
+// host APIs and is deterministic and allocation-bounded (see Caps).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jsstatic/report.hpp"
+
+namespace pdfshield::jsstatic {
+
+/// Analyzes one script in a fresh abstract environment.
+Report analyze_script(std::string_view source, const Caps& caps = {});
+
+/// Analyzes each script independently (fresh environment per script —
+/// cross-script execution order is not statically known) and merges the
+/// per-script reports into a document-level view.
+Report analyze_scripts(const std::vector<std::string>& sources,
+                       const Caps& caps = {});
+
+}  // namespace pdfshield::jsstatic

@@ -1,0 +1,80 @@
+#include "jsstatic/indicators.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace pdfshield::jsstatic {
+
+bool has_nop_sled(std::string_view bytes, std::size_t min_run) {
+  std::size_t run = 0;
+  for (const char c : bytes) {
+    if (static_cast<unsigned char>(c) == 0x90) {
+      if (++run >= min_run) return true;
+    } else {
+      run = 0;
+    }
+  }
+  return bytes.find("%u9090%u9090") != std::string_view::npos;
+}
+
+double shannon_entropy(std::string_view text) {
+  if (text.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (const char c : text) ++counts[static_cast<unsigned char>(c)];
+  double entropy = 0.0;
+  const double n = static_cast<double>(text.size());
+  for (const std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double escape_sequence_density(std::string_view source) {
+  if (source.empty()) return 0.0;
+  auto is_hex = [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  };
+  std::size_t escaped = 0;
+  std::size_t i = 0;
+  while (i < source.size()) {
+    if (source[i] == '%' && i + 5 < source.size() &&
+        (source[i + 1] == 'u' || source[i + 1] == 'U') && is_hex(source[i + 2]) &&
+        is_hex(source[i + 3]) && is_hex(source[i + 4]) && is_hex(source[i + 5])) {
+      escaped += 6;
+      i += 6;
+      continue;
+    }
+    if (source[i] == '\\' && i + 3 < source.size() && source[i + 1] == 'x' &&
+        is_hex(source[i + 2]) && is_hex(source[i + 3])) {
+      escaped += 4;
+      i += 4;
+      continue;
+    }
+    if (source[i] == '\\' && i + 5 < source.size() && source[i + 1] == 'u' &&
+        is_hex(source[i + 2]) && is_hex(source[i + 3]) && is_hex(source[i + 4]) &&
+        is_hex(source[i + 5])) {
+      escaped += 6;
+      i += 6;
+      continue;
+    }
+    ++i;
+  }
+  return static_cast<double>(escaped) / static_cast<double>(source.size());
+}
+
+bool is_suspicious_api(std::string_view name) {
+  static constexpr std::array<std::string_view, 10> kNames = {
+      "getIcon",     "newPlayer",        "getAnnots", "xfa",
+      "exportDataObject", "addScript",   "setTimeOut", "setInterval",
+      "launchURL",   "getURL",
+  };
+  for (const std::string_view candidate : kNames) {
+    if (candidate == name) return true;
+  }
+  return false;
+}
+
+}  // namespace pdfshield::jsstatic

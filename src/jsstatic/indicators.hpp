@@ -1,0 +1,34 @@
+// Pure helpers behind the per-script indicator facts: byte-pattern scans
+// over folded strings (NOP sled, shellcode) and obfuscation metrics over
+// the raw source. Kept separate from the analyzer so tests can probe the
+// thresholds directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pdfshield::jsstatic {
+
+/// True when `bytes` contains a run of at least `min_run` 0x90 bytes, or
+/// the textual escape chain "%u9090%u9090" (the un-folded spelling of the
+/// same sled). The corpus sled decodes to 8 consecutive 0x90 bytes, so
+/// the default run length matches it without firing on lone 0x90 bytes
+/// inside ordinary text.
+bool has_nop_sled(std::string_view bytes, std::size_t min_run = 8);
+
+/// Shannon entropy in bits per byte of `text`; 0 for empty input.
+double shannon_entropy(std::string_view text);
+
+/// Fraction of source characters that sit inside %uXXXX / \xNN / \uNNNN
+/// escape sequences. Obfuscated payload carriers score high; hand-written
+/// form scripts score ~0.
+double escape_sequence_density(std::string_view source);
+
+/// True for Acrobat API member names whose presence is suspicious in
+/// benign documents (exploit triggers and staging surfaces: getIcon,
+/// media.newPlayer, getAnnots, xfa, exportDataObject, addScript,
+/// setTimeOut, setInterval, launchURL, getURL). Benign-corpus surfaces
+/// (getField, alert, printf, printd, SOAP.request, ...) are excluded.
+bool is_suspicious_api(std::string_view name);
+
+}  // namespace pdfshield::jsstatic

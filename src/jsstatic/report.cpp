@@ -1,0 +1,94 @@
+#include "jsstatic/report.hpp"
+
+#include <algorithm>
+
+#include "js/stringops.hpp"
+
+namespace pdfshield::jsstatic {
+
+std::size_t Report::suspicious_api_count() const {
+  std::size_t total = 0;
+  for (const auto& entry : suspicious_apis) total += entry.second;
+  return total;
+}
+
+bool Report::proven_clean() const {
+  return parse_ok && !truncated && sinks.empty() && !shellcode && !nop_sled &&
+         !heap_spray_loop && suspicious_api_count() == 0;
+}
+
+void Report::merge(const Report& other) {
+  parse_ok = parse_ok && other.parse_ok;
+  if (parse_error.empty()) parse_error = other.parse_error;
+  truncated = truncated || other.truncated;
+  scripts += other.scripts;
+  node_visits += other.node_visits;
+  max_eval_depth_seen = std::max(max_eval_depth_seen, other.max_eval_depth_seen);
+  sinks.insert(sinks.end(), other.sinks.begin(), other.sinks.end());
+  longest_string = std::max(longest_string, other.longest_string);
+  shellcode = shellcode || other.shellcode;
+  nop_sled = nop_sled || other.nop_sled;
+  heap_spray_loop = heap_spray_loop || other.heap_spray_loop;
+  spray_target_bytes = std::max(spray_target_bytes, other.spray_target_bytes);
+  for (const auto& entry : other.suspicious_apis) {
+    suspicious_apis[entry.first] += entry.second;
+  }
+  identifier_entropy = std::max(identifier_entropy, other.identifier_entropy);
+  escape_density = std::max(escape_density, other.escape_density);
+  obfuscation_score = std::max(obfuscation_score, other.obfuscation_score);
+}
+
+support::Json Report::to_json() const {
+  support::Json j = support::Json::object();
+  j["parse_ok"] = parse_ok;
+  if (!parse_error.empty()) j["parse_error"] = parse_error;
+  j["truncated"] = truncated;
+  j["scripts"] = static_cast<std::uint64_t>(scripts);
+  j["node_visits"] = static_cast<std::uint64_t>(node_visits);
+  j["max_eval_depth"] = static_cast<std::uint64_t>(max_eval_depth_seen);
+
+  support::Json sink_list = support::Json::array();
+  for (const SinkSite& s : sinks) {
+    support::Json entry = support::Json::object();
+    entry["kind"] = s.kind;
+    entry["offset"] = static_cast<std::uint64_t>(s.offset);
+    entry["eval_depth"] = static_cast<std::uint64_t>(s.eval_depth);
+    entry["non_constant"] = s.non_constant;
+    support::Json resolved = support::Json::array();
+    for (const std::string& payload : s.resolved) {
+      // Payloads can carry raw shellcode bytes; %-escape them so the JSON
+      // report stays printable ASCII.
+      resolved.push_back(js::escape_string(payload));
+    }
+    entry["resolved"] = std::move(resolved);
+    sink_list.push_back(std::move(entry));
+  }
+  j["sinks"] = std::move(sink_list);
+
+  support::Json ind = support::Json::object();
+  ind["longest_string"] = static_cast<std::uint64_t>(longest_string);
+  ind["shellcode"] = shellcode;
+  ind["nop_sled"] = nop_sled;
+  ind["heap_spray_loop"] = heap_spray_loop;
+  ind["spray_target_bytes"] = static_cast<std::uint64_t>(spray_target_bytes);
+  support::Json apis = support::Json::object();
+  for (const auto& entry : suspicious_apis) {
+    apis[entry.first] = static_cast<std::uint64_t>(entry.second);
+  }
+  ind["suspicious_apis"] = std::move(apis);
+  ind["identifier_entropy"] = identifier_entropy;
+  ind["escape_density"] = escape_density;
+  ind["obfuscation_score"] = obfuscation_score;
+  j["indicators"] = std::move(ind);
+
+  j["proven_clean"] = proven_clean();
+  return j;
+}
+
+Report empty_document_report() {
+  Report rep;
+  rep.parse_ok = true;
+  return rep;
+}
+
+}  // namespace pdfshield::jsstatic

@@ -1,0 +1,94 @@
+// Typed result of the static Javascript analysis pass. One Report per
+// analyzed script; document-level consumers merge the per-script reports
+// with Report::merge. The prefilter contract lives in proven_clean():
+// a document may skip detonation ONLY when every script's report proves
+// the absence of code sinks and behavioural indicators — any cap firing
+// (truncated) or parse failure disqualifies the document.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace pdfshield::jsstatic {
+
+/// Hard resource caps. The analyzer is allocation-bounded: no single
+/// folded string exceeds max_string_bytes, the per-script folding total
+/// is bounded by max_total_bytes, and traversal work is bounded by
+/// max_node_visits. Whenever a cap fires the report's `truncated` flag is
+/// set and the affected value degrades to non-constant (never silently
+/// wrong).
+struct Caps {
+  std::size_t max_eval_depth = 4;          ///< nested eval re-parse depth
+  std::size_t max_node_visits = 500'000;   ///< AST node evaluations
+  std::size_t max_string_bytes = std::size_t{1} << 20;   ///< per folded string
+  // Cumulative fold budget. Additive string-growth loops cost O(n^2)
+  // copying up to this cap, so it directly prices analysis of spray-style
+  // scripts; 4 MiB keeps that bounded at milliseconds while staying far
+  // above anything a benign script folds (which is what proven_clean()
+  // needs — capped scripts are never proven clean, they just detonate).
+  std::size_t max_total_bytes = std::size_t{4} << 20;    ///< per-script folds
+  std::size_t max_loop_iterations = 65'536;  ///< bounded concrete loops
+  std::size_t max_resolved_per_sink = 16;    ///< distinct payloads recorded
+  std::size_t spray_bytes = 256 * 1024;  ///< growth-loop bound flagged as spray
+};
+
+/// One call site whose argument reaches a code sink (eval / setTimeOut /
+/// setInterval / addScript). `resolved` holds the exact strings the
+/// analyzer proved can reach the sink; `non_constant` is set when at least
+/// one reaching value could not be proven (Top lattice element, poisoned
+/// control flow, or the resolved-set cap fired).
+struct SinkSite {
+  std::string kind;
+  std::size_t offset = 0;      ///< source byte offset of the call
+  std::size_t eval_depth = 0;  ///< 0 = document script, 1+ = inside eval payload
+  std::vector<std::string> resolved;
+  bool non_constant = false;
+};
+
+struct Report {
+  bool parse_ok = false;
+  std::string parse_error;
+  bool truncated = false;  ///< some cap fired; results are a lower bound
+
+  std::size_t scripts = 0;  ///< programs analyzed incl. re-parsed eval payloads
+  std::size_t node_visits = 0;
+  std::size_t max_eval_depth_seen = 0;
+
+  std::vector<SinkSite> sinks;
+
+  // Indicator facts (paper-style behavioural hints, computed statically).
+  std::size_t longest_string = 0;  ///< longest folded/literal string in bytes
+  bool shellcode = false;          ///< reader/shellcode.hpp signature matched
+  bool nop_sled = false;           ///< 0x90 run or %u9090 escape chain
+  bool heap_spray_loop = false;    ///< growth loop with a large constant bound
+  std::size_t spray_target_bytes = 0;  ///< largest growth-loop bound observed
+  std::map<std::string, std::size_t> suspicious_apis;  ///< name -> ref count
+  double identifier_entropy = 0.0;  ///< bits/char over identifier spellings
+  double escape_density = 0.0;      ///< escape-sequence chars / source chars
+  double obfuscation_score = 0.0;   ///< [0,1] blend of the two above
+
+  std::size_t suspicious_api_count() const;
+  bool sink_free() const { return parse_ok && !truncated && sinks.empty(); }
+
+  /// The prefilter's soundness contract: true only when the script parsed,
+  /// no cap fired, no sink exists at any eval depth, and none of the
+  /// behavioural indicators (shellcode, NOP sled, spray loop, suspicious
+  /// API references) is present. Documents failing ANY clause keep full
+  /// detonation.
+  bool proven_clean() const;
+
+  /// Folds another script's report into this one (document-level view).
+  void merge(const Report& other);
+
+  support::Json to_json() const;
+};
+
+/// A document-level starting point for merge(): "no scripts seen yet" is
+/// trivially clean, and merge() degrades it as script reports arrive.
+Report empty_document_report();
+
+}  // namespace pdfshield::jsstatic

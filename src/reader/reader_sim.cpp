@@ -199,6 +199,7 @@ OpenResult ReaderSim::open_document(BytesView file, const std::string& name) {
   doc->interp = std::make_unique<js::Interpreter>();
   doc->interp->set_step_limit(config_.js_step_limit);
   doc->interp->rng() = support::Rng(next_js_seed_++);
+  doc->interp->on_eval = on_eval;
   doc->host = std::make_unique<DocHost>(*this, *doc);
 
   jsapi::DocFacts facts;

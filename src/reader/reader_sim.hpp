@@ -107,6 +107,11 @@ class ReaderSim {
   /// observes the disconnect and finalizes in-flight JS-context state).
   std::function<void()> on_crash;
 
+  /// Forwarded into each document's JS interpreter: fires with the source
+  /// string of every `eval(string)` the engine evaluates. Set before
+  /// open_document; used by the jsstatic differential test.
+  std::function<void(const std::string&)> on_eval;
+
   const ReaderConfig& config() const { return config_; }
 
  private:

@@ -289,6 +289,55 @@ TEST(BatchScanner, DetonationVerdictsAreThreadCountIndependent) {
   for (std::size_t i = 0; i < 2; ++i) EXPECT_FALSE(serial.docs[i].malicious);
 }
 
+// The static prefilter may only skip detonation for documents the jsstatic
+// pass *proves* clean, so (a) a healthy share of the benign bulk skips,
+// (b) no malicious document skips, and (c) every verdict and malscore that
+// is still computed matches the unfiltered run exactly.
+TEST(BatchScanner, StaticPrefilterSkipsBenignOnlyAndPreservesVerdicts) {
+  const std::vector<BatchItem> items = make_corpus(12, 8);
+
+  BatchOptions options;
+  options.jobs = 4;
+  options.detonate = true;
+  BatchReport base = BatchScanner(options).scan(items);
+  options.static_prefilter = true;
+  BatchReport pref = BatchScanner(options).scan(items);
+
+  ASSERT_EQ(base.docs.size(), pref.docs.size());
+  EXPECT_TRUE(pref.static_prefilter);
+  EXPECT_FALSE(base.static_prefilter);
+  EXPECT_EQ(base.static_skipped_count, 0u);
+  // At least 30% of the benign population (first 12 items) must skip.
+  EXPECT_GE(pref.static_skipped_count, 4u);
+  EXPECT_EQ(base.malicious_count, pref.malicious_count);
+
+  for (std::size_t i = 0; i < base.docs.size(); ++i) {
+    SCOPED_TRACE(base.docs[i].name);
+    const auto& b = base.docs[i];
+    const auto& p = pref.docs[i];
+    EXPECT_FALSE(b.static_skipped);
+    if (p.static_skipped) {
+      // Skips are backed by a proof: the unfiltered run must agree the
+      // document is benign, and the skipped document never detonated.
+      EXPECT_FALSE(b.malicious);
+      EXPECT_FALSE(p.detonated);
+      EXPECT_FALSE(p.malicious);
+    } else {
+      EXPECT_EQ(b.detonated, p.detonated);
+      EXPECT_EQ(b.malicious, p.malicious);
+      EXPECT_DOUBLE_EQ(b.malscore, p.malscore);
+    }
+    // Instrumented outputs are unaffected by the extra analysis pass.
+    EXPECT_EQ(b.output_crc32, p.output_crc32);
+  }
+
+  // Report JSON: the skip counter appears only when the prefilter ran.
+  EXPECT_EQ(base.to_json().dump(2).find("\"static_skipped\""),
+            std::string::npos);
+  EXPECT_NE(pref.to_json().dump(2).find("\"static_skipped\""),
+            std::string::npos);
+}
+
 TEST(BatchScanner, TraceCountsAreDeterministicAndMatchTheJsonlFile) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "pdfshield_batch_trace";

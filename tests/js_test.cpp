@@ -85,6 +85,36 @@ TEST(JsLexer, ThrowsOnUnterminatedString) {
   EXPECT_THROW(js::tokenize_js("\"abc\ndef\""), sp::ParseError);
 }
 
+TEST(JsLexer, ErrorsCarrySourceOffset) {
+  try {
+    js::tokenize_js("var ok = 1; 'abc");
+    FAIL() << "expected ParseError";
+  } catch (const sp::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 12"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsParser, ErrorsCarryLineAndOffset) {
+  // The offending token is the ';' at byte 8.
+  try {
+    js::parse_js("var x = ;");
+    FAIL() << "expected ParseError";
+  } catch (const sp::ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offset 8"), std::string::npos) << msg;
+  }
+  // Line numbers advance with the source.
+  try {
+    js::parse_js("var a = 1;\nvar b = ;");
+    FAIL() << "expected ParseError";
+  } catch (const sp::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Core semantics
 // ---------------------------------------------------------------------------

@@ -1,0 +1,385 @@
+// Static JS abstract-interpretation pass: constant-lattice folding of the
+// deobfuscation idioms (unescape / fromCharCode / replace / join / concat
+// loops), sink resolution with recursive eval re-parsing, indicator facts,
+// allocation caps, and — the load-bearing property — a differential check
+// that every eval payload the runtime engine actually evaluates is either
+// statically resolved to the identical string or flagged non-constant.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/jschain.hpp"
+#include "corpus/generator.hpp"
+#include "jsstatic/analyzer.hpp"
+#include "jsstatic/indicators.hpp"
+#include "pdf/parser.hpp"
+#include "reader/reader_sim.hpp"
+#include "sys/kernel.hpp"
+
+namespace pdfshield {
+namespace {
+
+using jsstatic::Caps;
+using jsstatic::Report;
+using jsstatic::SinkSite;
+
+Report analyze(const std::string& src, const Caps& caps = {}) {
+  return jsstatic::analyze_script(src, caps);
+}
+
+/// The single eval sink of a report that must have exactly one resolved
+/// payload; fails the test otherwise.
+std::string only_eval_payload(const Report& rep) {
+  EXPECT_EQ(rep.sinks.size(), 1u);
+  if (rep.sinks.size() != 1) return "";
+  const SinkSite& s = rep.sinks[0];
+  EXPECT_EQ(s.kind, "eval");
+  EXPECT_FALSE(s.non_constant);
+  EXPECT_EQ(s.resolved.size(), 1u);
+  return s.resolved.empty() ? "" : s.resolved[0];
+}
+
+TEST(JsStatic, ResolvesPlainEvalLiteral) {
+  const Report rep = analyze("eval('app.alert(1)');");
+  EXPECT_TRUE(rep.parse_ok);
+  EXPECT_FALSE(rep.truncated);
+  EXPECT_EQ(only_eval_payload(rep), "app.alert(1)");
+}
+
+TEST(JsStatic, FoldsUnescapeChains) {
+  // %XX and %uXXXX forms, concatenated through a variable.
+  const Report rep = analyze(
+      "var a = unescape('%61%70%70');"
+      "var b = '.alert(' + (1 + 1) + ')';"
+      "eval(a + b);");
+  EXPECT_EQ(only_eval_payload(rep), "app.alert(2)");
+}
+
+TEST(JsStatic, FoldsFromCharCodeAndJoin) {
+  const Report rep = analyze(
+      "var parts = [String.fromCharCode(97, 112, 112), '.alert', '(3)'];"
+      "eval(parts.join(''));");
+  EXPECT_EQ(only_eval_payload(rep), "app.alert(3)");
+}
+
+TEST(JsStatic, FoldsReplaceChains) {
+  const Report rep = analyze(
+      "var s = 'aXpXpX.alert(4)';"
+      "while (s.indexOf('X') >= 0) { s = s.replace('X', ''); }"
+      "eval(s);");
+  EXPECT_EQ(only_eval_payload(rep), "app.alert(4)");
+}
+
+TEST(JsStatic, FoldsConcatLoops) {
+  const Report rep = analyze(
+      "var s = '';"
+      "for (var i = 0; i < 3; i++) { s += 'ab'; }"
+      "eval('\"' + s + '\"');");
+  EXPECT_EQ(only_eval_payload(rep), "\"ababab\"");
+}
+
+TEST(JsStatic, RecursesIntoResolvedEvalPayloads) {
+  // The outer payload is itself a program whose eval must be resolved at
+  // depth 1 (nested payload assembled from char codes).
+  const Report rep = analyze(
+      "eval(\"eval(String.fromCharCode(97) + 'pp.beep()')\");");
+  EXPECT_TRUE(rep.parse_ok);
+  ASSERT_EQ(rep.sinks.size(), 2u);
+  // Depth 1 = the outer payload's program; its own resolved eval payload
+  // is re-parsed and analyzed at depth 2.
+  EXPECT_EQ(rep.max_eval_depth_seen, 2u);
+  std::set<std::string> payloads;
+  for (const SinkSite& s : rep.sinks) {
+    EXPECT_FALSE(s.non_constant);
+    for (const std::string& p : s.resolved) payloads.insert(p);
+  }
+  EXPECT_TRUE(payloads.count("eval(String.fromCharCode(97) + 'pp.beep()')"));
+  EXPECT_TRUE(payloads.count("app.beep()"));
+}
+
+TEST(JsStatic, TracksAliasedEval) {
+  const Report rep = analyze("var e = eval; var s = 'x = 1'; e(s);");
+  EXPECT_EQ(only_eval_payload(rep), "x = 1");
+}
+
+TEST(JsStatic, ResolvesDelayedSinks) {
+  const Report rep = analyze(
+      "app.setTimeOut('app.alert(9)', 100);"
+      "app.setInterval('tick()', 50);"
+      "this.addScript('later', 'app.beep()');");
+  ASSERT_EQ(rep.sinks.size(), 3u);
+  std::set<std::string> kinds;
+  for (const SinkSite& s : rep.sinks) {
+    kinds.insert(s.kind);
+    ASSERT_EQ(s.resolved.size(), 1u);
+    EXPECT_FALSE(s.non_constant);
+  }
+  EXPECT_EQ(kinds, (std::set<std::string>{"setTimeOut", "setInterval",
+                                          "addScript"}));
+}
+
+TEST(JsStatic, UnknownValuesFlagNonConstant) {
+  // Document metadata is runtime input: the argument must be flagged, not
+  // guessed.
+  const Report rep = analyze("eval(this.info.Title);");
+  ASSERT_EQ(rep.sinks.size(), 1u);
+  EXPECT_TRUE(rep.sinks[0].non_constant);
+  EXPECT_TRUE(rep.sinks[0].resolved.empty());
+}
+
+TEST(JsStatic, BranchDependentPayloadIsNonConstant) {
+  // Both arms record, but the unknown condition poisons the merged value.
+  const Report rep = analyze(
+      "var s = 'a()'; if (app.viewerVersion > 8) { s = 'b()'; } eval(s);");
+  ASSERT_EQ(rep.sinks.size(), 1u);
+  EXPECT_TRUE(rep.sinks[0].non_constant);
+}
+
+TEST(JsStatic, FunctionSideEffectsPoisonGlobals) {
+  // Calling an unknown function may run f, which rebinds x: resolving the
+  // pre-call constant would be unsound.
+  const Report rep = analyze(
+      "function f() { x = 'evil()'; }"
+      "var x = 'benign()';"
+      "app.doc.unknownKick(f);"
+      "eval(x);");
+  ASSERT_EQ(rep.sinks.size(), 1u);
+  EXPECT_TRUE(rep.sinks[0].non_constant);
+}
+
+TEST(JsStatic, EvalDepthBombTruncates) {
+  // eval("eval(\"eval(...)\")") nested past the depth cap: analysis stops
+  // at the cap, keeps the already-resolved sinks, and marks truncation.
+  std::string inner = "app.alert(1)";
+  for (int i = 0; i < 8; ++i) {
+    std::string quoted = "'";
+    for (char c : inner) {
+      if (c == '\'' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('\'');
+    inner = "eval(" + quoted + ")";
+  }
+  Caps caps;
+  caps.max_eval_depth = 3;
+  const Report rep = analyze(inner + ";", caps);
+  EXPECT_TRUE(rep.parse_ok);
+  EXPECT_TRUE(rep.truncated);
+  EXPECT_LE(rep.max_eval_depth_seen, 3u);
+  // The depth-capped payload is reported as unresolved, never dropped.
+  bool capped = false;
+  for (const SinkSite& s : rep.sinks) capped = capped || s.non_constant;
+  EXPECT_TRUE(capped);
+}
+
+TEST(JsStatic, GigabyteConcatLoopStaysBounded) {
+  // 2^30 bytes requested; folding must cap at max_string_bytes and flag
+  // truncation instead of materializing the string.
+  const Report rep = analyze(
+      "var s = 'AAAAAAAAAAAAAAAA';"
+      "for (var i = 0; i < 26; i++) { s = s + s; }"
+      "eval(s);");
+  EXPECT_TRUE(rep.truncated);
+  EXPECT_LE(rep.longest_string, Caps{}.max_string_bytes);
+  ASSERT_EQ(rep.sinks.size(), 1u);
+  EXPECT_TRUE(rep.sinks[0].non_constant);
+}
+
+TEST(JsStatic, NodeVisitBudgetTruncates) {
+  Caps caps;
+  caps.max_node_visits = 200;
+  const Report rep = analyze(
+      "var n = 0; for (var i = 0; i < 1000; i++) { n = n + 1; }", caps);
+  EXPECT_TRUE(rep.parse_ok);
+  EXPECT_TRUE(rep.truncated);
+  EXPECT_LE(rep.node_visits, caps.max_node_visits + 1);
+}
+
+TEST(JsStatic, DetectsNopSledAndShellcode) {
+  const Report rep = analyze(
+      "var sled = unescape('%u9090%u9090%u9090%u9090%u9090%u9090');"
+      "var payload = sled + 'SC{EXEC:c:/x.exe;HUNT:4}';"
+      "eval(payload);");
+  EXPECT_TRUE(rep.nop_sled);
+  EXPECT_TRUE(rep.shellcode);
+  EXPECT_GE(rep.longest_string, 12u);
+}
+
+TEST(JsStatic, DetectsHeapSprayLoopShape) {
+  const Report rep = analyze(
+      "var chunk = unescape('%u9090%u9090');"
+      "var block = '';"
+      "while (block.length < 1048576) { block = block + chunk; }"
+      "var spray = [];"
+      "for (var i = 0; i < 100; i++) { spray[i] = block + 'SC{HUNT:2}'; }");
+  EXPECT_TRUE(rep.heap_spray_loop);
+  EXPECT_GE(rep.spray_target_bytes, 1048576u);
+}
+
+TEST(JsStatic, CountsSuspiciousApis) {
+  const Report rep = analyze(
+      "this.exportDataObject({cName: 'payload'});"
+      "var icon = this.getIcon('x');"
+      "app.media.newPlayer(null);");
+  EXPECT_EQ(rep.suspicious_apis.count("exportDataObject"), 1u);
+  EXPECT_EQ(rep.suspicious_apis.count("getIcon"), 1u);
+  EXPECT_EQ(rep.suspicious_apis.count("newPlayer"), 1u);
+  EXPECT_GE(rep.suspicious_api_count(), 3u);
+}
+
+TEST(JsStatic, ObfuscationScoreSeparatesEscapeHeavyCode) {
+  const Report plain = analyze(
+      "var total = this.getField('price').value * 1.08;"
+      "this.getField('total').value = total;");
+  const Report obf = analyze(
+      "var _0xf3a = unescape('%u4141%u4141%u4242%u4242%u4343%u4343');"
+      "var _0x9bc = unescape('%41%42%43%44%45%46%47%48');");
+  EXPECT_GT(obf.escape_density, plain.escape_density);
+  EXPECT_GT(obf.obfuscation_score, plain.obfuscation_score);
+}
+
+TEST(JsStatic, BenignFormScriptIsProvenClean) {
+  const Report rep = analyze(
+      "var price = this.getField('price').value;"
+      "var qty = this.getField('qty').value;"
+      "this.getField('total').value = price * qty;");
+  EXPECT_TRUE(rep.parse_ok);
+  EXPECT_TRUE(rep.sink_free());
+  EXPECT_TRUE(rep.proven_clean());
+}
+
+TEST(JsStatic, AnythingShortOfProofDisqualifiesPrefilter) {
+  // Parse failure, truncation, a sink, or an indicator each break the
+  // prefilter contract on their own.
+  EXPECT_FALSE(analyze("var x = ;").proven_clean());
+  EXPECT_FALSE(analyze("eval('x = 1');").proven_clean());
+  EXPECT_FALSE(analyze("app.setTimeOut('f()', 9);").proven_clean());
+  EXPECT_FALSE(
+      analyze("this.exportDataObject({cName: 'a'});").proven_clean());
+  Caps tiny;
+  tiny.max_node_visits = 4;
+  EXPECT_FALSE(
+      analyze("var a = 1; var b = 2; var c = a + b;", tiny).proven_clean());
+}
+
+TEST(JsStatic, DocumentReportMergesScripts) {
+  const std::vector<std::string> sources = {
+      "var x = 1;",
+      "eval('app.alert(1)');",
+      "this.getIcon('i');",
+  };
+  const Report rep = jsstatic::analyze_scripts(sources);
+  EXPECT_TRUE(rep.parse_ok);
+  EXPECT_EQ(rep.scripts, 4u);  // 3 document scripts + 1 eval payload
+  EXPECT_EQ(rep.sinks.size(), 1u);
+  EXPECT_EQ(rep.suspicious_apis.count("getIcon"), 1u);
+  EXPECT_FALSE(rep.proven_clean());
+
+  const Report empty = jsstatic::analyze_scripts({});
+  EXPECT_TRUE(empty.proven_clean());
+}
+
+TEST(JsStatic, ReportJsonShape) {
+  const Report rep = analyze("eval('app.alert(1)');");
+  const std::string json = rep.to_json().dump(2);
+  for (const char* key :
+       {"\"parse_ok\"", "\"truncated\"", "\"scripts\"", "\"sinks\"",
+        "\"resolved\"", "\"indicators\"", "\"obfuscation_score\"",
+        "\"proven_clean\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(JsStaticIndicators, NopSledForms) {
+  EXPECT_TRUE(jsstatic::has_nop_sled(std::string(8, '\x90')));
+  EXPECT_FALSE(jsstatic::has_nop_sled(std::string(7, '\x90')));
+  EXPECT_TRUE(jsstatic::has_nop_sled("prefix %u9090%u9090 suffix"));
+  EXPECT_FALSE(jsstatic::has_nop_sled("%u9090 alone"));
+}
+
+// ---------------------------------------------------------------------------
+// Differential check against the runtime engine
+// ---------------------------------------------------------------------------
+
+/// True when the statically computed report explains `payload` reaching an
+/// eval: some sink resolved exactly that string, or some sink admits it
+/// could not prove its argument, or a cap fired (results are a lower
+/// bound by contract).
+bool statically_explained(const Report& rep, const std::string& payload) {
+  if (rep.truncated || !rep.parse_ok) return true;
+  for (const SinkSite& s : rep.sinks) {
+    if (s.non_constant) return true;
+    if (std::find(s.resolved.begin(), s.resolved.end(), payload) !=
+        s.resolved.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Every eval payload the runtime engine evaluates on the synthetic corpus
+// must be statically explained. This is the soundness property the batch
+// prefilter leans on: a sink the static pass misses entirely would let a
+// malicious document skip detonation.
+TEST(JsStaticDifferential, RuntimeEvalsAreStaticallyExplained) {
+  corpus::CorpusConfig cfg;
+  cfg.seed = 0xD1FF;
+  corpus::CorpusGenerator gen(cfg);
+  std::vector<corpus::Sample> samples = gen.generate_malicious(24);
+  for (auto& s : gen.generate_benign_with_js(8)) {
+    samples.push_back(std::move(s));
+  }
+
+  std::size_t runtime_evals = 0, resolved_exactly = 0;
+  for (const corpus::Sample& sample : samples) {
+    SCOPED_TRACE(sample.name);
+
+    // Static side: the same reconstructed sources the front-end feeds the
+    // analyzer.
+    pdf::Document doc = pdf::parse_document(sample.data);
+    doc.decompress_all();
+    std::vector<std::string> sources;
+    for (const auto& site : core::analyze_js_chains(doc).sites) {
+      sources.push_back(site.source);
+    }
+    const Report rep = jsstatic::analyze_scripts(sources);
+
+    // Runtime side: open the original document in the simulated reader and
+    // collect every string the engine's eval builtin actually evaluates.
+    // Crash-family samples abort mid-script; the evals collected up to the
+    // abort still count.
+    std::vector<std::string> evals;
+    sys::Kernel kernel;
+    reader::ReaderSim reader(kernel);
+    reader.on_eval = [&](const std::string& src) { evals.push_back(src); };
+    try {
+      reader.open_document(sample.data, sample.name);
+    } catch (const std::exception&) {
+    }
+
+    for (const std::string& payload : evals) {
+      ++runtime_evals;
+      EXPECT_TRUE(statically_explained(rep, payload))
+          << "runtime eval not statically explained: "
+          << payload.substr(0, 200);
+      for (const SinkSite& s : rep.sinks) {
+        if (std::find(s.resolved.begin(), s.resolved.end(), payload) !=
+            s.resolved.end()) {
+          ++resolved_exactly;
+          break;
+        }
+      }
+    }
+  }
+  // The corpus must actually exercise the property, and the analyzer must
+  // resolve a sizable share of payloads exactly (not just flag everything
+  // non-constant).
+  EXPECT_GT(runtime_evals, 10u);
+  EXPECT_GT(resolved_exactly, runtime_evals / 4);
+}
+
+}  // namespace
+}  // namespace pdfshield

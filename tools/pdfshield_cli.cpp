@@ -21,6 +21,11 @@
 //   scan/detonate/batch all accept --trace <out.jsonl>: every layer's
 //   observable events (phase spans, feature fires, API calls, SOAP
 //   traffic, verdicts) land in one stream correlated by document id.
+//   pdfshield jsstatic <file>
+//       static JS abstract interpretation: reconstructs every script chain
+//       (or takes the file verbatim when it is not a PDF) and prints the
+//       merged jsstatic::Report — resolved sink payloads, indicators,
+//       obfuscation score, prefilter verdict — as JSON.
 //   pdfshield corpus <out-dir> [benign N] [malicious M]
 //       writes a synthetic labelled corpus to disk.
 #include <algorithm>
@@ -38,6 +43,7 @@
 #include "core/report.hpp"
 #include "core/trace_replay.hpp"
 #include "corpus/generator.hpp"
+#include "jsstatic/analyzer.hpp"
 #include "pdf/parser.hpp"
 #include "reader/reader_sim.hpp"
 #include "support/checksum.hpp"
@@ -275,6 +281,7 @@ int cmd_batch(const std::vector<std::string>& args) {
   options.frontend.incremental_update = has_flag(args, "--incremental");
   options.trace_path = flag_value(args, "--trace", "");
   options.detonate = has_flag(args, "--detonate");
+  options.static_prefilter = has_flag(args, "--static-prefilter");
 
   core::BatchScanner scanner(options);
   core::BatchReport report = scanner.scan_directory(dir);
@@ -304,6 +311,10 @@ int cmd_batch(const std::vector<std::string>& args) {
   if (report.detonated) {
     std::cout << ", " << report.malicious_count << " malicious";
   }
+  if (report.static_prefilter) {
+    std::cout << ", " << report.static_skipped_count
+              << " statically prefiltered";
+  }
   std::cout << "\n";
   for (const auto& doc : report.docs) {
     if (!doc.ok) std::cout << "  FAILED " << doc.name << ": " << doc.error << "\n";
@@ -314,6 +325,35 @@ int cmd_batch(const std::vector<std::string>& args) {
   }
   if (!report_path.empty()) std::cout << "wrote " << report_path << "\n";
   return (report.error_count + report.timeout_count) == 0 ? 0 : 3;
+}
+
+int cmd_jsstatic(const std::vector<std::string>& args) {
+  const support::Bytes input = read_file(args.at(0));
+
+  // PDFs go through chain reconstruction so the analyzer sees the same
+  // sources the instrumenter would; anything unparseable is treated as a
+  // bare script, which makes the command handy on extracted payloads too.
+  std::vector<std::string> sources;
+  bool is_pdf = true;
+  try {
+    pdf::Document doc = pdf::parse_document(input);
+    doc.decompress_all();
+    const core::JsChainAnalysis chains = core::analyze_js_chains(doc);
+    sources.reserve(chains.sites.size());
+    for (const auto& site : chains.sites) sources.push_back(site.source);
+  } catch (const support::Error&) {
+    is_pdf = false;
+    sources.emplace_back(input.begin(), input.end());
+  }
+
+  const jsstatic::Report rep = jsstatic::analyze_scripts(sources);
+  support::Json j = support::Json::object();
+  j["file"] = args.at(0);
+  j["pdf"] = is_pdf;
+  j["javascript_sites"] = static_cast<std::uint64_t>(sources.size());
+  j["report"] = rep.to_json();
+  std::cout << j.dump(2) << "\n";
+  return 0;
 }
 
 int cmd_corpus(const std::vector<std::string>& args) {
@@ -353,6 +393,8 @@ int usage() {
          "                  [--timeout S] [--detector-id HEX16]\n"
          "                  [--write-outputs <dir>] [--incremental]\n"
          "                  [--trace out.jsonl] [--detonate]\n"
+         "                  [--static-prefilter]\n"
+         "  pdfshield jsstatic <file>\n"
          "  pdfshield corpus <out-dir> [benign N] [malicious M]\n";
   return 64;
 }
@@ -369,6 +411,7 @@ int main(int argc, char** argv) {
     if (command == "deinstrument" && args.size() >= 3) return cmd_deinstrument(args);
     if (command == "detonate" && args.size() >= 1) return cmd_detonate(args);
     if (command == "batch" && args.size() >= 1) return cmd_batch(args);
+    if (command == "jsstatic" && args.size() >= 1) return cmd_jsstatic(args);
     if (command == "corpus" && args.size() >= 1) return cmd_corpus(args);
     return usage();
   } catch (const std::exception& e) {
