@@ -3,6 +3,9 @@
 // the table/figure benches above own those.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <new>
+
 #include "bench_util.hpp"
 #include "core/jschain.hpp"
 #include "core/monitor_codegen.hpp"
@@ -12,6 +15,42 @@
 #include "js/interp.hpp"
 #include "pdf/parser.hpp"
 #include "pdf/writer.hpp"
+#include "support/arena.hpp"
+
+// Heap-allocation counter for the parse trajectory: every global operator
+// new bumps one relaxed atomic, so allocs-per-document can be gated in CI
+// alongside throughput (a copy regression shows up here long before it
+// moves the wall clock on a fast machine).
+//
+// GCC pairs delete calls in this TU against the (not replaced here but
+// replaced program-wide) default operator new and warns; the pairing is
+// malloc/free on both sides, so the warning is spurious.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace pdfshield;
 
@@ -199,9 +238,129 @@ std::vector<bench::BenchResult> run_flate_json_suite() {
   return results;
 }
 
+/// Parse/front-end trajectory suite for BENCH_parse.json: document parse
+/// throughput plus heap allocations per document. Hand-timed like the
+/// flate suite so the checked-in baseline format stays under our control.
+std::vector<bench::BenchResult> run_parse_json_suite() {
+  constexpr std::size_t kPages[] = {10, 100};
+  constexpr double kMinSeconds = 0.2;
+
+  std::vector<bench::BenchResult> results;
+  auto push = [&](std::string name, double value, const char* unit) {
+    results.push_back({std::move(name), value, unit});
+    std::cout << results.back().name << ": " << bench::fmt(value, 4) << " "
+              << unit << "\n";
+  };
+
+  for (std::size_t pages : kPages) {
+    const support::Bytes file = sample_pdf(pages);
+    const std::string tag =
+        "/pages:" + std::to_string(pages);
+
+    // Parse-only path.
+    {
+      auto run_once = [&] { benchmark::DoNotOptimize(pdf::parse_document(file)); };
+      run_once();  // warm-up (touches pages, fills name interner)
+      std::size_t iterations = 0;
+      const std::uint64_t allocs0 = g_heap_allocs.load();
+      bench::Timer timer;
+      double elapsed = 0;
+      while (elapsed < kMinSeconds || iterations < 3) {
+        run_once();
+        ++iterations;
+        elapsed = timer.seconds();
+      }
+      const std::uint64_t allocs =
+          g_heap_allocs.load() - allocs0;
+      push("BM_ParseDocument" + tag + "/bytes_per_s",
+           static_cast<double>(file.size()) *
+               static_cast<double>(iterations) / elapsed,
+           "bytes_per_second");
+      push("BM_ParseDocument" + tag + "/allocs_per_doc",
+           static_cast<double>(allocs) / static_cast<double>(iterations),
+           "allocs_per_doc");
+    }
+
+    // Arena-reuse path: the batch scanner's steady state — one retained
+    // arena, reset between documents, so chunk allocations amortize to
+    // zero and arena bytes-per-doc measures true per-document footprint.
+    {
+      auto arena = std::make_shared<pdfshield::support::Arena>();
+      double arena_bytes = 0;
+      auto run_once = [&] {
+        {
+          pdf::ParseStats stats;
+          benchmark::DoNotOptimize(pdf::parse_document(file, &stats, arena));
+        }
+        arena_bytes = static_cast<double>(arena->bytes_used());
+        arena->reset();
+      };
+      run_once();  // warm-up: grows the arena to its high-water mark
+      std::size_t iterations = 0;
+      const std::uint64_t allocs0 = g_heap_allocs.load();
+      bench::Timer timer;
+      double elapsed = 0;
+      while (elapsed < kMinSeconds || iterations < 3) {
+        run_once();
+        ++iterations;
+        elapsed = timer.seconds();
+      }
+      const std::uint64_t allocs = g_heap_allocs.load() - allocs0;
+      push("BM_ParseDocumentReuse" + tag + "/bytes_per_s",
+           static_cast<double>(file.size()) *
+               static_cast<double>(iterations) / elapsed,
+           "bytes_per_second");
+      push("BM_ParseDocumentReuse" + tag + "/allocs_per_doc",
+           static_cast<double>(allocs) / static_cast<double>(iterations),
+           "allocs_per_doc");
+      push("BM_ParseDocumentReuse" + tag + "/arena_bytes_per_doc",
+           arena_bytes, "arena_bytes_per_doc");
+    }
+
+    // Full front-end (parse + features + instrumentation + serialize),
+    // self-seeding mode — the batch scanner's per-document unit of work.
+    {
+      core::FrontEnd frontend("bench-parse-fixed-id");
+      auto run_once = [&] { benchmark::DoNotOptimize(frontend.process(file)); };
+      run_once();
+      std::size_t iterations = 0;
+      const std::uint64_t allocs0 = g_heap_allocs.load();
+      bench::Timer timer;
+      double elapsed = 0;
+      while (elapsed < kMinSeconds || iterations < 3) {
+        run_once();
+        ++iterations;
+        elapsed = timer.seconds();
+      }
+      const std::uint64_t allocs = g_heap_allocs.load() - allocs0;
+      push("BM_FrontEnd" + tag + "/bytes_per_s",
+           static_cast<double>(file.size()) *
+               static_cast<double>(iterations) / elapsed,
+           "bytes_per_second");
+      push("BM_FrontEnd" + tag + "/allocs_per_doc",
+           static_cast<double>(allocs) / static_cast<double>(iterations),
+           "allocs_per_doc");
+    }
+  }
+  return results;
+}
+
+/// Scans argv for `--json-parse PATH` (the parse-suite trajectory output).
+std::string json_parse_output_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json-parse") return argv[i + 1];
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_parse_path = json_parse_output_path(argc, argv);
+  if (!json_parse_path.empty()) {
+    bench::bench_to_json(json_parse_path, "parse", run_parse_json_suite());
+    return 0;
+  }
   const std::string json_path = bench::json_output_path(argc, argv);
   if (!json_path.empty()) {
     bench::bench_to_json(json_path, "flate_micro", run_flate_json_suite());

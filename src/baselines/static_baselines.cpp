@@ -175,7 +175,7 @@ void collect_paths(const pdf::Document& doc, const pdf::Object& obj,
     }
   } else if (r.is_dict() || r.is_stream()) {
     for (const auto& e : r.dict_or_stream_dict().entries()) {
-      collect_paths(doc, e.value, prefix + "/" + e.key, depth + 1,
+      collect_paths(doc, e.value, prefix + "/" + std::string(e.key), depth + 1,
                     visited_objects, paths);
     }
   }
@@ -262,7 +262,7 @@ ml::FeatureVector PdfrateBaseline::features(BytesView file) {
     if (!obj.is_dict() && !obj.is_stream()) continue;
     const pdf::Dict& d = obj.dict_or_stream_dict();
     if (const pdf::Object* t = d.find("Type"); t && t->is_name()) {
-      const std::string& type = t->as_name().value;
+      const std::string_view type = t->as_name().value;
       if (type == "Page") ++pages;
       if (type == "Font") ++fonts;
       if (type == "EmbeddedFile") ++embedded;

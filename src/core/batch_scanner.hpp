@@ -12,6 +12,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/static_features.hpp"
+#include "support/arena.hpp"
 #include "support/bytes.hpp"
 #include "support/json.hpp"
 #include "trace/recorder.hpp"
@@ -150,9 +151,14 @@ class BatchScanner {
   const std::string& detector_id() const { return options_.detector_id; }
 
  private:
+  /// `arena` is this worker's reusable parse arena; it is used (and then
+  /// reset) only on the no-watchdog path, where the document provably dies
+  /// inside the call. Watchdog runners may outlive the batch, so they
+  /// always parse into private per-call arenas instead.
   BatchDocResult scan_one(const FrontEnd& frontend, const BatchItem& item,
                           const BatchRunContext& ctx,
-                          AbandonedRunners& abandoned) const;
+                          AbandonedRunners& abandoned,
+                          const support::ArenaHandle& arena) const;
 
   BatchOptions options_;
 };

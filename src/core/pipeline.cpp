@@ -91,14 +91,22 @@ FrontEndResult FrontEnd::process(support::BytesView input) const {
 
 FrontEndResult FrontEnd::process(support::BytesView input,
                                  trace::Recorder* trace) const {
-  if (external_rng_) return process_impl(input, 0, *external_rng_, trace);
-  support::Rng rng(document_seed(detector_id_, input));
-  return process_impl(input, 0, rng, trace);
+  return process(input, trace, nullptr);
 }
 
-FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
-                                      support::Rng& rng,
-                                      trace::Recorder* trace) const {
+FrontEndResult FrontEnd::process(support::BytesView input,
+                                 trace::Recorder* trace,
+                                 support::ArenaHandle arena) const {
+  if (external_rng_) {
+    return process_impl(input, 0, *external_rng_, trace, arena);
+  }
+  support::Rng rng(document_seed(detector_id_, input));
+  return process_impl(input, 0, rng, trace, arena);
+}
+
+FrontEndResult FrontEnd::process_impl(
+    support::BytesView input, int depth, support::Rng& rng,
+    trace::Recorder* trace, const support::ArenaHandle& arena) const {
   FrontEndResult result;
 
   // Phase 1: parse + decompress. Span end events are emitted explicitly at
@@ -109,7 +117,7 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
   span_begin(trace, trace_replay::kPhaseParseDecompress);
   EncodingLevels levels;
   try {
-    result.document = pdf::parse_document(input, &result.parse_stats);
+    result.document = pdf::parse_document(input, &result.parse_stats, arena);
     // Owner-password protection (§III-A): the document opens with an empty
     // user password but refuses modification — remove it so instrumentation
     // can proceed.
@@ -136,6 +144,15 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
   result.timings.parse_decompress_s = seconds_since(t0);
   span_end(trace, trace_replay::kPhaseParseDecompress,
            result.timings.parse_decompress_s);
+  if (options_.trace_arena_counters && trace && result.document.arena()) {
+    const support::Arena& doc_arena = *result.document.arena();
+    auto counter = [&](const char* name, std::uint64_t value) {
+      trace->record(trace::CounterSample{name, value});
+    };
+    counter("arena.bytes_used", doc_arena.bytes_used());
+    counter("arena.high_water", doc_arena.high_water());
+    counter("arena.chunks", doc_arena.chunk_count());
+  }
 
   // Phase 2: static feature extraction.
   t0 = std::chrono::steady_clock::now();
@@ -179,7 +196,7 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
   span_begin(trace, trace_replay::kPhaseInstrumentation);
   Instrumenter instrumenter(rng, detector_id_, options_.instrumenter);
   result.record = instrumenter.instrument(result.document);
-  if (depth < 2) process_embedded_documents(result, depth, rng);
+  if (depth < 2) process_embedded_documents(result, depth, rng, arena);
   if (options_.write_output) {
     // Incremental mode appends only the instrumented objects to the
     // original bytes — the paper's fast path for large documents.
@@ -210,8 +227,9 @@ FrontEndResult FrontEnd::process_impl(support::BytesView input, int depth,
   return result;
 }
 
-void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth,
-                                          support::Rng& rng) const {
+void FrontEnd::process_embedded_documents(
+    FrontEndResult& result, int depth, support::Rng& rng,
+    const support::ArenaHandle& arena) const {
   for (auto& [num, obj] : result.document.objects()) {
     if (!obj.is_stream()) continue;
     pdf::Stream& stream = obj.as_stream();
@@ -226,7 +244,10 @@ void FrontEnd::process_embedded_documents(FrontEndResult& result, int depth,
     // Embedded documents run untraced: their phase times are already part
     // of the host's instrumentation span, and double-emitting would skew
     // the replayed Table-X sums.
-    FrontEndResult sub = process_impl(stream.data, depth + 1, rng, nullptr);
+    // Embedded documents parse into the same arena as the host: their
+    // Document dies inside this loop iteration, well before any reset.
+    FrontEndResult sub =
+        process_impl(stream.data, depth + 1, rng, nullptr, arena);
     if (!sub.ok) continue;
     FrontEndResult::EmbeddedResult embedded;
     embedded.name = "embedded-" + std::to_string(num);

@@ -14,6 +14,7 @@
 #include "core/static_features.hpp"
 #include "jsstatic/report.hpp"
 #include "pdf/parser.hpp"
+#include "support/arena.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
 #include "trace/recorder.hpp"
@@ -87,6 +88,10 @@ struct FrontEndOptions {
   /// default reports and traces stay byte-identical.
   bool analyze_js = false;
   jsstatic::Caps jsstatic_caps{};
+  /// Emit arena memory counters (bytes used, high water, chunk count) as
+  /// trace counter events after the parse phase. Default off so default
+  /// trace streams stay byte-identical release to release.
+  bool trace_arena_counters = false;
   /// When set (requires analyze_js), FrontEnd computes a static
   /// pre-verdict under this config's w1/threshold and records it as a
   /// DocVerdict trace event ("suspicious-static" / "clean-static").
@@ -125,6 +130,14 @@ class FrontEnd {
   FrontEndResult process(support::BytesView input,
                          trace::Recorder* trace) const;
 
+  /// Same, parsing into a caller-supplied arena. The returned result's
+  /// document co-owns the arena; callers that reuse one across documents
+  /// (the batch scanner's per-worker arenas) must destroy the previous
+  /// result before reset(). A null handle behaves like process(): each
+  /// call gets a private arena that dies with its document.
+  FrontEndResult process(support::BytesView input, trace::Recorder* trace,
+                         support::ArenaHandle arena) const;
+
   /// The per-document Rng seed used in self-seeding mode: a mix of the
   /// detector id and the input bytes, so two installations never share a
   /// key stream but re-scans of the same file are reproducible.
@@ -135,10 +148,11 @@ class FrontEnd {
 
  private:
   FrontEndResult process_impl(support::BytesView input, int depth,
-                              support::Rng& rng,
-                              trace::Recorder* trace) const;
+                              support::Rng& rng, trace::Recorder* trace,
+                              const support::ArenaHandle& arena) const;
   void process_embedded_documents(FrontEndResult& result, int depth,
-                                  support::Rng& rng) const;
+                                  support::Rng& rng,
+                                  const support::ArenaHandle& arena) const;
 
   support::Rng* external_rng_ = nullptr;  ///< null in self-seeding mode
   std::string detector_id_;

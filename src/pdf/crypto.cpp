@@ -196,15 +196,15 @@ std::optional<EncryptionParams> params_from_document(const Document& doc) {
     params.permissions = static_cast<std::int32_t>(p->as_int());
   }
   if (const Object* o = d.find("O"); o && o->is_string()) {
-    params.o_entry = o->as_string().data;
+    params.o_entry = o->as_string().data.copy();
   }
   if (const Object* u = d.find("U"); u && u->is_string()) {
-    params.u_entry = u->as_string().data;
+    params.u_entry = u->as_string().data.copy();
   }
   if (const Object* id = doc.trailer().find("ID");
       id && id->is_array() && !id->as_array().empty() &&
       id->as_array()[0].is_string()) {
-    params.file_id = id->as_array()[0].as_string().data;
+    params.file_id = id->as_array()[0].as_string().data.copy();
   }
   if (params.o_entry.size() != 32 || params.u_entry.size() != 32) {
     return std::nullopt;

@@ -20,24 +20,73 @@ bool is_known_pdf_version(std::string_view version) {
   return false;
 }
 
+void Document::MapDeleter::operator()(ObjectMap* m) const {
+  if (m == nullptr) return;
+  if (arena_backed) {
+    m->~ObjectMap();  // node storage is reclaimed wholesale by the arena
+  } else {
+    delete m;
+  }
+}
+
+Document::MapPtr Document::make_map(const support::ArenaHandle& arena) {
+  if (!arena) return MapPtr(new ObjectMap(), MapDeleter{false});
+  void* mem = arena->allocate(sizeof(ObjectMap), alignof(ObjectMap));
+  return MapPtr(new (mem) ObjectMap(arena.get()), MapDeleter{true});
+}
+
+Document::Document() : objects_(make_map(nullptr)) {}
+
+Document::Document(support::ArenaHandle arena)
+    : arena_(std::move(arena)),
+      objects_(make_map(arena_)),
+      trailer_(arena_ ? Dict(arena_.get()) : Dict()) {}
+
+Document::Document(const Document& other)
+    : objects_(MapPtr(new ObjectMap(*other.objects_), MapDeleter{false})),
+      trailer_(other.trailer_),
+      header_(other.header_) {}
+
+Document& Document::operator=(Document&& other) noexcept {
+  if (this != &other) {
+    // Destroy graph-before-arena (the destructor's member order already
+    // guarantees that), then move-construct in place. Plain member-wise
+    // assignment would replace arena_ first and leave the old map and
+    // trailer deallocating into a possibly-dead resource.
+    this->~Document();
+    new (this) Document(std::move(other));
+  }
+  return *this;
+}
+
+Document& Document::operator=(const Document& other) {
+  if (this != &other) *this = Document(other);  // copy, then move-assign
+  return *this;
+}
+
+const support::ArenaHandle& Document::ensure_arena() {
+  if (!arena_) arena_ = std::make_shared<support::Arena>();
+  return arena_;
+}
+
 Ref Document::add_object(Object obj) {
   const int num = max_object_number() + 1;
-  objects_.emplace(num, std::move(obj));
+  objects_->emplace(num, std::move(obj));
   return Ref{num, 0};
 }
 
 void Document::set_object(Ref ref, Object obj) {
-  objects_[ref.num] = std::move(obj);
+  (*objects_)[ref.num] = std::move(obj);
 }
 
 const Object* Document::object(Ref ref) const {
-  auto it = objects_.find(ref.num);
-  return it == objects_.end() ? nullptr : &it->second;
+  auto it = objects_->find(ref.num);
+  return it == objects_->end() ? nullptr : &it->second;
 }
 
 Object* Document::object(Ref ref) {
-  auto it = objects_.find(ref.num);
-  return it == objects_.end() ? nullptr : &it->second;
+  auto it = objects_->find(ref.num);
+  return it == objects_->end() ? nullptr : &it->second;
 }
 
 const Object& Document::resolve(const Object& obj) const {
@@ -61,7 +110,7 @@ const Object* Document::resolved_find(const Dict& dict,
 }
 
 int Document::max_object_number() const {
-  return objects_.empty() ? 0 : objects_.rbegin()->first;
+  return objects_->empty() ? 0 : objects_->rbegin()->first;
 }
 
 const Object* Document::catalog() const {
@@ -73,7 +122,7 @@ const Object* Document::catalog() const {
 
 std::size_t Document::decompress_all() {
   std::size_t decoded = 0;
-  for (auto& [num, obj] : objects_) {
+  for (auto& [num, obj] : *objects_) {
     if (!obj.is_stream()) continue;
     Stream& s = obj.as_stream();
     if (filter_chain(s.dict).empty()) continue;

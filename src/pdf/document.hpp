@@ -1,11 +1,21 @@
 // In-memory PDF document: indirect object store + trailer + header info.
+//
+// A parsed document owns (a handle to) the arena its object graph borrows
+// from: the once-copied input buffer, decoded token storage and container
+// nodes all live there, so dropping the last handle frees the whole graph
+// in O(1). Builder-constructed documents (no arena) keep plain heap
+// semantics. Copying a Document always detaches: the copy is fully
+// owning and independent of any arena.
 #pragma once
 
 #include <map>
+#include <memory>
+#include <memory_resource>
 #include <optional>
 #include <string>
 
 #include "pdf/object.hpp"
+#include "support/arena.hpp"
 
 namespace pdfshield::pdf {
 
@@ -19,6 +29,25 @@ struct HeaderInfo {
 
 class Document {
  public:
+  /// Ordered by object number: the writer's output layout and
+  /// max_object_number() depend on in-order iteration.
+  using ObjectMap = std::pmr::map<int, Object>;
+
+  Document();
+  /// Builds the object store inside `arena` and keeps the handle alive.
+  explicit Document(support::ArenaHandle arena);
+
+  Document(Document&&) noexcept = default;
+  /// Member-wise move assignment would drop the old arena handle before
+  /// destroying the old object map that deallocates into it, so assignment
+  /// tears the old document down (graph first, arena last) and rebuilds.
+  Document& operator=(Document&& other) noexcept;
+  /// Deep, detaching copy: the result owns all its storage and carries no
+  /// arena handle.
+  Document(const Document& other);
+  Document& operator=(const Document& other);
+  ~Document() = default;
+
   /// Adds an object under the next free number; returns its reference.
   Ref add_object(Object obj);
 
@@ -39,10 +68,17 @@ class Document {
   /// when the key is absent.
   const Object* resolved_find(const Dict& dict, std::string_view key) const;
 
-  std::size_t object_count() const { return objects_.size(); }
+  std::size_t object_count() const { return objects_->size(); }
   int max_object_number() const;
-  const std::map<int, Object>& objects() const { return objects_; }
-  std::map<int, Object>& objects() { return objects_; }
+  const ObjectMap& objects() const { return *objects_; }
+  ObjectMap& objects() { return *objects_; }
+
+  /// The arena this document's graph borrows from; null for builder-made
+  /// documents.
+  const support::ArenaHandle& arena() const { return arena_; }
+  /// Returns the document's arena, creating (and adopting) one if absent,
+  /// so borrowed payloads can be given a lifetime tied to this document.
+  const support::ArenaHandle& ensure_arena();
 
   /// The document catalog (trailer /Root, resolved), or nullptr.
   const Object* catalog() const;
@@ -60,10 +96,20 @@ class Document {
   std::size_t decompress_all();
 
  private:
-  std::map<int, Object> objects_;
+  struct MapDeleter {
+    bool arena_backed = false;
+    void operator()(ObjectMap* m) const;
+  };
+  using MapPtr = std::unique_ptr<ObjectMap, MapDeleter>;
+
+  static MapPtr make_map(const support::ArenaHandle& arena);
+
+  // Declaration order matters: the arena handle must outlive the object
+  // map that borrows from it (members destroy in reverse order).
+  support::ArenaHandle arena_;
+  MapPtr objects_;
   Dict trailer_;
   HeaderInfo header_;
-  mutable const Object* null_singleton_ = nullptr;
 };
 
 /// The published PDF versions; used to validate headers.

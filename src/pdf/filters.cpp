@@ -399,10 +399,10 @@ std::vector<std::string> filter_chain(const Dict& stream_dict) {
   const Object* f = stream_dict.find("Filter");
   if (!f) return chain;
   if (f->is_name()) {
-    chain.push_back(f->as_name().value);
+    chain.emplace_back(f->as_name().value);
   } else if (f->is_array()) {
     for (const Object& item : f->as_array()) {
-      if (item.is_name()) chain.push_back(item.as_name().value);
+      if (item.is_name()) chain.emplace_back(item.as_name().value);
     }
   }
   return chain;
@@ -410,7 +410,7 @@ std::vector<std::string> filter_chain(const Dict& stream_dict) {
 
 Bytes decode_stream(const Stream& stream) {
   std::vector<std::string> chain = filter_chain(stream.dict);
-  Bytes data(stream.data);
+  Bytes data = stream.data.copy();
   const Object* parms = stream.dict.find("DecodeParms");
   if (!parms) parms = stream.dict.find("DP");
   for (std::size_t i = 0; i < chain.size(); ++i) {

@@ -4,8 +4,8 @@
 // built on these primitives.
 #pragma once
 
-#include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "pdf/document.hpp"
@@ -38,8 +38,11 @@ class ObjectGraph {
   const std::vector<int>& all_objects() const { return all_; }
 
  private:
-  std::map<int, std::vector<int>> children_;
-  std::map<int, std::vector<int>> parents_;
+  // Hash maps: adjacency is looked up per node during chain reconstruction
+  // and never iterated, so ordering buys nothing. all_ carries the
+  // deterministic (document) order for anyone who needs to walk every node.
+  std::unordered_map<int, std::vector<int>> children_;
+  std::unordered_map<int, std::vector<int>> parents_;
   std::vector<int> all_;
   std::vector<int> empty_;
 };

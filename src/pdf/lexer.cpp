@@ -84,14 +84,13 @@ void Lexer::skip_eol() {
   if (!eof() && at(pos_) == '\n') ++pos_;
 }
 
-support::Bytes Lexer::read_raw(std::size_t n) {
+support::BytesView Lexer::read_raw(std::size_t n) {
   if (peeked_) {
     pos_ = peek_.offset;
     peeked_ = false;
   }
   if (n > data_.size() - pos_) throw ParseError("raw read past end of data");
-  support::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                     data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const support::BytesView out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }
@@ -106,7 +105,7 @@ std::size_t Lexer::find_forward(std::string_view needle) const {
 Token Lexer::next() {
   if (peeked_) {
     peeked_ = false;
-    return std::move(peek_);
+    return peek_;
   }
   skip_whitespace_and_comments();
   Token t;
@@ -140,9 +139,9 @@ Token Lexer::next() {
   if (c == '{' || c == '}') {
     // Postscript-calculator braces only appear in function streams; treat
     // them as keywords so tolerant parsing can skip them.
-    ++pos_;
     t.kind = TokenKind::kKeyword;
-    t.text = static_cast<char>(c);
+    t.text = support::as_view(data_).substr(pos_, 1);
+    ++pos_;
     return t;
   }
   if (c == '+' || c == '-' || c == '.' || std::isdigit(c)) return lex_number();
@@ -160,17 +159,30 @@ Token Lexer::lex_number() {
     if (at(pos_) == '.') is_real = true;
     ++pos_;
   }
-  const std::string text(
-      support::as_view(data_).substr(start, pos_ - start));
+  const std::string_view text =
+      support::as_view(data_).substr(start, pos_ - start);
   if (text.empty() || text == "+" || text == "-" || text == ".") {
     throw ParseError("malformed number at offset " + std::to_string(start));
   }
+  // strtod/strtoll need NUL termination; PDF numbers are short, so a
+  // stack buffer covers every realistic token (longer ones still parse,
+  // saturating exactly as before, via a one-off heap copy).
+  char buf[64];
+  const char* cstr = buf;
+  std::string long_text;
+  if (text.size() < sizeof(buf)) {
+    text.copy(buf, text.size());
+    buf[text.size()] = '\0';
+  } else {
+    long_text.assign(text);
+    cstr = long_text.c_str();
+  }
   if (is_real) {
     t.kind = TokenKind::kReal;
-    t.real_value = std::strtod(text.c_str(), nullptr);
+    t.real_value = std::strtod(cstr, nullptr);
   } else {
     t.kind = TokenKind::kInteger;
-    t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    t.int_value = std::strtoll(cstr, nullptr, 10);
   }
   return t;
 }
@@ -179,30 +191,47 @@ Token Lexer::lex_name() {
   Token t;
   t.offset = pos_;
   t.kind = TokenKind::kName;
+  const std::size_t slash = pos_;
   ++pos_;  // skip '/'
-  std::string decoded;
-  std::string raw;
+  const std::size_t start = pos_;
+  // First pass: find the extent and whether any #xx escape occurs. The
+  // common case (no escapes) borrows the input bytes directly.
   bool escaped = false;
   while (!eof() && is_regular(at(pos_))) {
-    const std::uint8_t c = at(pos_);
-    if (c == '#' && pos_ + 2 < data_.size()) {
-      const int hi = hex_value(at(pos_ + 1));
-      const int lo = hex_value(at(pos_ + 2));
+    if (at(pos_) == '#' && pos_ + 2 < data_.size() &&
+        hex_value(at(pos_ + 1)) >= 0 && hex_value(at(pos_ + 2)) >= 0) {
+      escaped = true;
+      pos_ += 3;
+    } else {
+      ++pos_;
+    }
+  }
+  const std::string_view span =
+      support::as_view(data_).substr(start, pos_ - start);
+  if (!escaped) {
+    t.text = span;
+    return t;
+  }
+  // Decode #xx escapes into the arena; the raw spelling (with leading '/')
+  // is the input bytes themselves.
+  auto* buf = static_cast<char*>(arena().allocate(span.size(), 1));
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < span.size();) {
+    const auto c = static_cast<std::uint8_t>(span[i]);
+    if (c == '#' && i + 2 < span.size()) {
+      const int hi = hex_value(static_cast<std::uint8_t>(span[i + 1]));
+      const int lo = hex_value(static_cast<std::uint8_t>(span[i + 2]));
       if (hi >= 0 && lo >= 0) {
-        decoded.push_back(static_cast<char>((hi << 4) | lo));
-        raw.append({static_cast<char>(c), static_cast<char>(at(pos_ + 1)),
-                    static_cast<char>(at(pos_ + 2))});
-        pos_ += 3;
-        escaped = true;
+        buf[n++] = static_cast<char>((hi << 4) | lo);
+        i += 3;
         continue;
       }
     }
-    decoded.push_back(static_cast<char>(c));
-    raw.push_back(static_cast<char>(c));
-    ++pos_;
+    buf[n++] = static_cast<char>(c);
+    ++i;
   }
-  t.text = std::move(decoded);
-  if (escaped) t.raw = "/" + raw;
+  t.text = {buf, n};
+  t.raw = support::as_view(data_).substr(slash, pos_ - slash);
   return t;
 }
 
@@ -211,22 +240,55 @@ Token Lexer::lex_literal_string() {
   t.offset = pos_;
   t.kind = TokenKind::kString;
   ++pos_;  // skip '('
+  const std::size_t content = pos_;
+  // First pass: find the matching ')' and whether any escape occurs; an
+  // escape-free string (the overwhelmingly common case) is borrowed
+  // verbatim, nested parens included.
+  {
+    int depth = 1;
+    bool has_escape = false;
+    std::size_t i = content;
+    while (i < data_.size()) {
+      const std::uint8_t c = data_[i++];
+      if (c == '\\') {
+        has_escape = true;
+        if (i < data_.size()) ++i;
+        continue;
+      }
+      if (c == '(') {
+        ++depth;
+      } else if (c == ')' && --depth == 0) {
+        if (!has_escape) {
+          t.bytes = data_.subspan(content, i - 1 - content);
+          pos_ = i;
+          return t;
+        }
+        break;
+      }
+    }
+    if (depth != 0 && !has_escape) throw ParseError("unterminated literal string");
+  }
+  // Escaped path: decode into the arena (decoded length never exceeds the
+  // encoded extent). The loop below is the error-reporting authority for
+  // malformed escapes, matching the pre-refactor diagnostics exactly.
+  auto* out =
+      static_cast<std::uint8_t*>(arena().allocate(data_.size() - content, 1));
+  std::size_t n = 0;
   int depth = 1;
-  support::Bytes out;
   while (!eof()) {
     std::uint8_t c = at(pos_++);
     if (c == '\\') {
       if (eof()) throw ParseError("string ends in backslash");
       const std::uint8_t e = at(pos_++);
       switch (e) {
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case '(': out.push_back('('); break;
-        case ')': out.push_back(')'); break;
-        case '\\': out.push_back('\\'); break;
+        case 'n': out[n++] = '\n'; break;
+        case 'r': out[n++] = '\r'; break;
+        case 't': out[n++] = '\t'; break;
+        case 'b': out[n++] = '\b'; break;
+        case 'f': out[n++] = '\f'; break;
+        case '(': out[n++] = '('; break;
+        case ')': out[n++] = ')'; break;
+        case '\\': out[n++] = '\\'; break;
         case '\r':
           // Line continuation; swallow optional LF.
           if (!eof() && at(pos_) == '\n') ++pos_;
@@ -240,25 +302,25 @@ Token Lexer::lex_literal_string() {
             for (int k = 0; k < 2 && !eof() && at(pos_) >= '0' && at(pos_) <= '7'; ++k) {
               v = v * 8 + (at(pos_++) - '0');
             }
-            out.push_back(static_cast<std::uint8_t>(v & 0xff));
+            out[n++] = static_cast<std::uint8_t>(v & 0xff);
           } else {
             // Unknown escape: PDF says drop the backslash.
-            out.push_back(e);
+            out[n++] = e;
           }
       }
       continue;
     }
     if (c == '(') {
       ++depth;
-      out.push_back(c);
+      out[n++] = c;
     } else if (c == ')') {
       if (--depth == 0) {
-        t.bytes = std::move(out);
+        t.bytes = {out, n};
         return t;
       }
-      out.push_back(c);
+      out[n++] = c;
     } else {
-      out.push_back(c);
+      out[n++] = c;
     }
   }
   throw ParseError("unterminated literal string");
@@ -275,13 +337,17 @@ Token Lexer::lex_hex_string_or_dict_open() {
   ++pos_;  // skip '<'
   t.kind = TokenKind::kString;
   t.hex_string = true;
-  support::Bytes out;
+  // Hex strings always transform, so they always decode into the arena;
+  // the decoded form is at most half the encoded extent (plus odd pad).
+  auto* out = static_cast<std::uint8_t*>(
+      arena().allocate((data_.size() - pos_) / 2 + 1, 1));
+  std::size_t n = 0;
   int hi = -1;
   while (!eof()) {
     const std::uint8_t c = at(pos_++);
     if (c == '>') {
-      if (hi >= 0) out.push_back(static_cast<std::uint8_t>(hi << 4));  // odd digit: pad 0
-      t.bytes = std::move(out);
+      if (hi >= 0) out[n++] = static_cast<std::uint8_t>(hi << 4);  // odd digit: pad 0
+      t.bytes = {out, n};
       return t;
     }
     if (is_pdf_whitespace(c)) continue;
@@ -290,7 +356,7 @@ Token Lexer::lex_hex_string_or_dict_open() {
     if (hi < 0) {
       hi = v;
     } else {
-      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      out[n++] = static_cast<std::uint8_t>((hi << 4) | v);
       hi = -1;
     }
   }
@@ -303,7 +369,7 @@ Token Lexer::lex_keyword() {
   t.kind = TokenKind::kKeyword;
   const std::size_t start = pos_;
   while (!eof() && is_regular(at(pos_))) ++pos_;
-  t.text = std::string(support::as_view(data_).substr(start, pos_ - start));
+  t.text = support::as_view(data_).substr(start, pos_ - start);
   return t;
 }
 

@@ -1,10 +1,19 @@
 // Tokenizer for PDF syntax (PDF Reference §3.1): numbers, names with #xx
 // escapes, literal and hex strings, delimiters, keywords, comments.
+//
+// Zero-copy: tokens are views. Undecorated names, keywords and
+// escape-free literal strings borrow straight from the input buffer;
+// only constructs that need transformation (#xx names, escaped literal
+// strings, hex strings) are decoded — into the arena, never the heap.
+// Token views are valid as long as the input buffer and the arena live.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 
+#include "support/arena.hpp"
 #include "support/bytes.hpp"
 #include "support/error.hpp"
 
@@ -25,20 +34,25 @@ enum class TokenKind {
 
 struct Token {
   TokenKind kind = TokenKind::kEof;
-  std::string text;       ///< keyword text or decoded name value
-  std::string raw;        ///< original spelling for names with #xx escapes
-  support::Bytes bytes;   ///< decoded string contents
+  std::string_view text;    ///< keyword text or decoded name value
+  std::string_view raw;     ///< original spelling for names with #xx escapes
+  support::BytesView bytes; ///< decoded string contents
   bool hex_string = false;
   std::int64_t int_value = 0;
   double real_value = 0.0;
   std::size_t offset = 0;  ///< byte offset of the token start
 };
 
-/// One-token-lookahead lexer over an in-memory document.
+/// One-token-lookahead lexer over an in-memory document. Pass an arena to
+/// co-locate decoded token storage with the document being built; without
+/// one the lexer lazily creates a private arena for its own decodes.
 class Lexer {
  public:
   explicit Lexer(support::BytesView data, std::size_t start = 0)
       : data_(data), pos_(start) {}
+  Lexer(support::BytesView data, support::Arena& arena,
+        std::size_t start = 0)
+      : data_(data), pos_(start), arena_(&arena) {}
 
   /// Reads the next token. Throws ParseError on malformed constructs.
   Token next();
@@ -52,9 +66,9 @@ class Lexer {
   /// Repositions the lexer (drops any lookahead).
   void seek(std::size_t pos);
 
-  /// Reads `n` raw bytes from the current position (used for stream data).
-  /// Drops lookahead first. Throws ParseError past end.
-  support::Bytes read_raw(std::size_t n);
+  /// Views `n` raw bytes from the current position (used for stream data)
+  /// without copying. Drops lookahead first. Throws ParseError past end.
+  support::BytesView read_raw(std::size_t n);
 
   /// Skips an end-of-line sequence (CR, LF, or CRLF) if present.
   void skip_eol();
@@ -73,11 +87,21 @@ class Lexer {
   Token lex_hex_string_or_dict_open();
   Token lex_keyword();
 
+  support::Arena& arena() {
+    if (arena_ == nullptr) {
+      own_arena_ = std::make_unique<support::Arena>();
+      arena_ = own_arena_.get();
+    }
+    return *arena_;
+  }
+
   std::uint8_t at(std::size_t i) const { return data_[i]; }
   bool eof() const { return pos_ >= data_.size(); }
 
   support::BytesView data_;
   std::size_t pos_ = 0;
+  support::Arena* arena_ = nullptr;
+  std::unique_ptr<support::Arena> own_arena_;
   bool peeked_ = false;
   Token peek_;
 };

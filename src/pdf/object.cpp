@@ -1,6 +1,14 @@
 #include "pdf/object.hpp"
 
+#include "support/interner.hpp"
+
 namespace pdfshield::pdf {
+
+Name::Name(std::string_view v) : value(support::name_table().intern(v)) {}
+
+Name::Name(std::string_view v, std::string_view r)
+    : value(support::name_table().intern(v)),
+      raw(support::name_table().intern(r)) {}
 
 bool Dict::contains(std::string_view key) const {
   return find(key) != nullptr;
@@ -26,25 +34,28 @@ const Object& Dict::at(std::string_view key) const {
   return *p;
 }
 
-void Dict::set(std::string key, Object value) {
+void Dict::set(std::string_view key, Object value) {
   for (auto& e : entries_) {
     if (e.key == key) {
       e.value = std::move(value);
       return;
     }
   }
-  entries_.push_back({std::move(key), std::move(value), {}});
+  entries_.push_back(
+      {support::name_table().intern(key), std::move(value), {}});
 }
 
-void Dict::set_with_raw(std::string key, std::string raw_key, Object value) {
+void Dict::set_with_raw(std::string_view key, std::string_view raw_key,
+                        Object value) {
   for (auto& e : entries_) {
     if (e.key == key) {
       e.value = std::move(value);
-      e.raw_key = std::move(raw_key);
+      e.raw_key = support::name_table().intern(raw_key);
       return;
     }
   }
-  entries_.push_back({std::move(key), std::move(value), std::move(raw_key)});
+  entries_.push_back({support::name_table().intern(key), std::move(value),
+                      support::name_table().intern(raw_key)});
 }
 
 bool Dict::has_hex_escaped_key() const {

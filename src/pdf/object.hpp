@@ -1,8 +1,19 @@
 // PDF object model (PDF Reference, 6th ed. §3.2): the eight basic types
-// plus streams and indirect references, with value semantics throughout.
+// plus streams and indirect references.
+//
+// Memory architecture (DESIGN.md §3f): the model is *borrowed by default*.
+// Names are interned views into the process-wide name table; string and
+// stream payloads are CowBytes views into the document's arena; container
+// nodes (arrays, dict entries) are std::pmr and draw from the same arena.
+// Moves preserve borrowing (the zero-copy parse path is all moves), while
+// copies always detach to owning heap storage — so a copied Object or
+// Document is safe to keep after its source arena dies, and an Object
+// *moved* out of a document is valid only while the document's arena lives.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory_resource>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,6 +22,7 @@
 #include <vector>
 
 #include "support/bytes.hpp"
+#include "support/cow_bytes.hpp"
 #include "support/error.hpp"
 
 namespace pdfshield::pdf {
@@ -27,9 +39,10 @@ struct Ref {
 };
 
 /// PDF string object. `hex` records the written form (literal vs <...>)
-/// so round-trips keep the author's spelling.
+/// so round-trips keep the author's spelling. `data` borrows from the
+/// document arena until something mutates it.
 struct String {
-  support::Bytes data;
+  support::CowBytes data;
   bool hex = false;
 
   friend bool operator==(const String& a, const String& b) {
@@ -38,16 +51,19 @@ struct String {
 };
 
 /// PDF name object. `value` is the decoded name (no leading '/', #xx
-/// escapes resolved). `raw` preserves the exact spelling as written when it
-/// differs from the canonical form — malicious documents hide keywords as
-/// e.g. /JavaScr#69pt, and both features and corpus generation need that.
+/// escapes resolved), interned in the process-wide name table so every
+/// Name is two views and equality is cheap. `raw` preserves the exact
+/// spelling as written when it differs from the canonical form — malicious
+/// documents hide keywords as e.g. /JavaScr#69pt, and both features and
+/// corpus generation need that. Canonically spelled names carry a null
+/// `raw` view: no second storage.
 struct Name {
-  std::string value;
-  std::string raw;  ///< Empty when the canonical spelling was used.
+  std::string_view value;
+  std::string_view raw;  ///< Null/empty when the canonical spelling was used.
 
   Name() = default;
-  explicit Name(std::string v) : value(std::move(v)) {}
-  Name(std::string v, std::string r) : value(std::move(v)), raw(std::move(r)) {}
+  explicit Name(std::string_view v);
+  Name(std::string_view v, std::string_view r);
 
   bool has_hex_escape() const { return !raw.empty(); }
 
@@ -61,13 +77,19 @@ struct Name {
 
 /// Insertion-ordered dictionary. PDF dictionaries have unique keys; order
 /// is not semantically meaningful but keeping it makes written documents
-/// stable and diffable.
+/// stable and diffable. Entry storage is pmr: a dict built by the parser
+/// draws its nodes from the document arena, a default-constructed dict
+/// from the heap.
 struct DictEntry;
 
 class Dict {
  public:
   /// Alias for the entry type (defined after Object, which it contains).
   using Entry = DictEntry;
+  using Entries = std::pmr::vector<Entry>;
+
+  Dict() = default;
+  explicit Dict(std::pmr::memory_resource* mem) : entries_(mem) {}
 
   bool contains(std::string_view key) const;
   /// Returns the value or nullptr.
@@ -75,11 +97,13 @@ class Dict {
   Object* find(std::string_view key);
   /// Returns the value; throws LogicError if absent.
   const Object& at(std::string_view key) const;
-  /// Inserts or overwrites.
-  void set(std::string key, Object value);
+  /// Inserts or overwrites. The key is interned, so any caller-owned
+  /// storage may die immediately after the call.
+  void set(std::string_view key, Object value);
   /// Inserts or overwrites, recording an obfuscated raw spelling for the
   /// key (e.g. "/JavaScr#69pt"); the writer emits it verbatim.
-  void set_with_raw(std::string key, std::string raw_key, Object value);
+  void set_with_raw(std::string_view key, std::string_view raw_key,
+                    Object value);
   /// True if any key was written with a #xx hex escape.
   bool has_hex_escaped_key() const;
   /// Removes a key if present; returns true if it was removed.
@@ -87,24 +111,26 @@ class Dict {
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
-  const std::vector<Entry>& entries() const { return entries_; }
-  std::vector<Entry>& entries() { return entries_; }
+  const Entries& entries() const { return entries_; }
+  Entries& entries() { return entries_; }
 
   friend bool operator==(const Dict&, const Dict&);
 
  private:
-  std::vector<Entry> entries_;
+  Entries entries_;
 };
 
-/// Stream object: a dictionary plus raw (still encoded) data.
+/// Stream object: a dictionary plus raw (still encoded) data. A parsed
+/// stream's body borrows the input bytes; decompression and
+/// instrumentation replace it with owning data.
 struct Stream {
   Dict dict;
-  support::Bytes data;
+  support::CowBytes data;
 
   friend bool operator==(const Stream&, const Stream&);
 };
 
-using Array = std::vector<Object>;
+using Array = std::pmr::vector<Object>;
 
 /// A PDF object: tagged union over the spec's types.
 class Object {
@@ -118,7 +144,7 @@ class Object {
   Object(std::int64_t i) : v_(i) {}
   Object(double d) : v_(d) {}
   Object(String s) : v_(std::move(s)) {}
-  Object(Name n) : v_(std::move(n)) {}
+  Object(Name n) : v_(n) {}
   Object(Array a) : v_(std::move(a)) {}
   Object(Dict d) : v_(std::move(d)) {}
   Object(Stream s) : v_(std::move(s)) {}
@@ -126,7 +152,7 @@ class Object {
 
   /// Convenience factories.
   static Object null() { return Object(); }
-  static Object name(std::string v) { return Object(Name(std::move(v))); }
+  static Object name(std::string_view v) { return Object(Name(v)); }
   static Object string(std::string_view text) {
     return Object(String{support::to_bytes(text), false});
   }
@@ -186,15 +212,26 @@ class Object {
   Value v_;
 };
 
-/// One dictionary entry. `raw_key` preserves an obfuscated spelling (e.g.
-/// "/JavaScr#69pt") when the document used #xx escapes; empty otherwise.
+/// One dictionary entry. The key views are interned (stable for the life
+/// of the process); `raw_key` preserves an obfuscated spelling (e.g.
+/// "/JavaScr#69pt") when the document used #xx escapes, null otherwise.
 struct DictEntry {
-  std::string key;
+  std::string_view key;
   Object value;
-  std::string raw_key;
+  std::string_view raw_key;
 };
 
 /// A human-readable type tag ("null", "int", "stream", ...) for diagnostics.
 std::string_view type_name(const Object& obj);
 
 }  // namespace pdfshield::pdf
+
+/// Hash support so graph/xref tables can use unordered maps keyed on Ref.
+template <>
+struct std::hash<pdfshield::pdf::Ref> {
+  std::size_t operator()(const pdfshield::pdf::Ref& r) const noexcept {
+    const auto num = static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.num));
+    const auto gen = static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.gen));
+    return std::hash<std::uint64_t>{}((num << 32) | gen);
+  }
+};

@@ -1,6 +1,7 @@
 #include "pdf/parser.hpp"
 
 #include <string>
+#include <utility>
 
 #include "pdf/filters.hpp"
 #include "pdf/lexer.hpp"
@@ -11,13 +12,16 @@ namespace pdfshield::pdf {
 
 using support::Bytes;
 using support::BytesView;
+using support::CowBytes;
 using support::ParseError;
 
 namespace {
 
 class ObjectParser {
  public:
-  ObjectParser(Lexer& lexer, ParseStats& stats) : lex_(lexer), stats_(stats) {}
+  ObjectParser(Lexer& lexer, ParseStats& stats,
+               std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : lex_(lexer), stats_(stats), mem_(mem) {}
 
   /// Parses one object expression starting at the current token.
   Object parse_value() {
@@ -29,9 +33,9 @@ class ObjectParser {
       case TokenKind::kReal:
         return Object(t.real_value);
       case TokenKind::kName:
-        return Object(Name(std::move(t.text), std::move(t.raw)));
+        return Object(Name(t.text, t.raw));
       case TokenKind::kString:
-        return Object(String{std::move(t.bytes), t.hex_string});
+        return Object(String{CowBytes::borrow(t.bytes), t.hex_string});
       case TokenKind::kArrayOpen:
         return parse_array();
       case TokenKind::kDictOpen:
@@ -40,7 +44,8 @@ class ObjectParser {
         if (t.text == "true") return Object(true);
         if (t.text == "false") return Object(false);
         if (t.text == "null") return Object::null();
-        throw ParseError("unexpected keyword '" + t.text + "' in object");
+        throw ParseError("unexpected keyword '" + std::string(t.text) +
+                         "' in object");
       default:
         throw ParseError("unexpected token in object at offset " +
                          std::to_string(t.offset));
@@ -87,7 +92,7 @@ class ObjectParser {
   }
 
   Object parse_array() {
-    Array arr;
+    Array arr(mem_);
     while (true) {
       const Token& t = lex_.peek();
       if (t.kind == TokenKind::kArrayClose) {
@@ -100,7 +105,7 @@ class ObjectParser {
   }
 
   Object parse_dict_or_stream() {
-    Dict dict;
+    Dict dict(mem_);
     while (true) {
       Token t = take();
       if (t.kind == TokenKind::kDictClose) break;
@@ -109,9 +114,9 @@ class ObjectParser {
         throw ParseError("dictionary key is not a name at offset " +
                          std::to_string(t.offset));
       }
-      std::string key = std::move(t.text);
-      std::string raw = std::move(t.raw);
-      dict.set_with_raw(std::move(key), std::move(raw), parse_value());
+      const std::string_view key = t.text;
+      const std::string_view raw = t.raw;
+      dict.set_with_raw(key, raw, parse_value());
     }
     // A stream keyword directly after the dict turns it into a stream object.
     const Token& after = lex_.peek();
@@ -130,11 +135,11 @@ class ObjectParser {
       const auto n = static_cast<std::size_t>(len->as_int());
       const std::size_t mark = lex_.position();
       try {
-        Bytes data = lex_.read_raw(n);
+        const BytesView data = lex_.read_raw(n);
         // The spec requires "endstream" (after optional EOL) next; verify.
         Token t = lex_.next();
         if (t.kind == TokenKind::kKeyword && t.text == "endstream") {
-          return Object(Stream{std::move(dict), std::move(data)});
+          return Object(Stream{std::move(dict), CowBytes::borrow(data)});
         }
       } catch (const support::Error&) {
         // fall through to the scan below
@@ -151,16 +156,17 @@ class ObjectParser {
     if (data_end > start && all[data_end - 1] == '\n') --data_end;
     if (data_end > start && all[data_end - 1] == '\r') --data_end;
     lex_.seek(start);
-    Bytes data = lex_.read_raw(data_end - start);
+    const BytesView data = lex_.read_raw(data_end - start);
     lex_.seek(end);
     Token t = lex_.next();  // consume "endstream"
     (void)t;
     dict.set("Length", Object(static_cast<std::int64_t>(data.size())));
-    return Object(Stream{std::move(dict), std::move(data)});
+    return Object(Stream{std::move(dict), CowBytes::borrow(data)});
   }
 
   Lexer& lex_;
   ParseStats& stats_;
+  std::pmr::memory_resource* mem_;
   int depth_ = 0;
 };
 
@@ -188,19 +194,33 @@ void expand_object_streams(Document& doc, ParseStats& stats);
 
 Object parse_object_text(std::string_view text) {
   const Bytes data = support::to_bytes(text);
-  Lexer lex(data);
+  support::Arena arena;  // scratch: dies with this call
+  Lexer lex(data, arena);
   ParseStats stats;
-  ObjectParser parser(lex, stats);
-  return parser.parse_value();
+  ObjectParser parser(lex, stats, &arena);
+  const Object parsed = parser.parse_value();
+  // Copying detaches: the returned object owns all its storage and is
+  // independent of the scratch arena above. Spelled as an explicit copy
+  // because `return parsed;` is NRVO-eligible — elision would skip the
+  // detach and hand the caller dangling borrows.
+  return Object(parsed);
 }
 
-Document parse_document(BytesView data, ParseStats* stats_out) {
-  Document doc;
+Document parse_document(BytesView input, ParseStats* stats_out,
+                        support::ArenaHandle arena) {
+  if (!arena) arena = std::make_shared<support::Arena>();
+  Document doc(arena);
   ParseStats stats;
+
+  // The input is copied exactly once — into the document's arena. Every
+  // borrowed token, name spelling, string and stream body below points
+  // into this stable buffer (or into arena-decoded storage beside it), so
+  // the graph and its backing bytes share one lifetime.
+  const BytesView data = arena->copy_bytes(input);
   doc.header() = scan_header(data);
 
-  Lexer lex(data);
-  ObjectParser parser(lex, stats);
+  Lexer lex(data, *arena);
+  ObjectParser parser(lex, stats, arena.get());
 
   // Sequential recovery scan: walk tokens; each "N G obj" begins an
   // indirect object, "trailer" a trailer dictionary. Junk is skipped.
@@ -279,7 +299,8 @@ Document parse_document(BytesView data, ParseStats* stats_out) {
 }
 
 void expand_object_streams(Document& doc, ParseStats& stats) {
-  // Collect first (expansion mutates the object table).
+  // Collect first (expansion mutates the object table). The Stream copies
+  // detach their bodies, so mutating the table is safe.
   std::vector<Stream> object_streams;
   for (const auto& [num, obj] : doc.objects()) {
     if (!obj.is_stream()) continue;
@@ -288,14 +309,20 @@ void expand_object_streams(Document& doc, ParseStats& stats) {
       object_streams.push_back(obj.as_stream());
     }
   }
+  if (object_streams.empty()) return;
+
+  // Sub-objects parsed out of a container borrow from the decoded bytes,
+  // so those bytes must live as long as the document: arena-copy them.
+  const support::ArenaHandle& arena = doc.ensure_arena();
 
   for (const Stream& stm : object_streams) {
-    support::Bytes plain;
+    support::Bytes decoded;
     try {
-      plain = decode_stream(stm);
+      decoded = decode_stream(stm);
     } catch (const support::Error&) {
       continue;  // undecodable container: skip
     }
+    const BytesView plain = arena->copy_bytes(decoded);
     const Object* n_obj = stm.dict.find("N");
     const Object* first_obj = stm.dict.find("First");
     if (!n_obj || !n_obj->is_int() || !first_obj || !first_obj->is_int()) continue;
@@ -305,7 +332,7 @@ void expand_object_streams(Document& doc, ParseStats& stats) {
     if (first > plain.size()) continue;
 
     // Header: N pairs of "objnum offset".
-    Lexer header(plain);
+    Lexer header(plain, *arena);
     std::vector<std::pair<int, std::size_t>> entries;
     try {
       for (std::size_t i = 0; i < n; ++i) {
@@ -329,9 +356,9 @@ void expand_object_streams(Document& doc, ParseStats& stats) {
       // the main scan has priority over the packed copy only if present).
       if (doc.object({obj_num, 0})) continue;
       try {
-        Lexer lex(plain, first + offset);
+        Lexer lex(plain, *arena, first + offset);
         ParseStats sub;
-        ObjectParser parser(lex, sub);
+        ObjectParser parser(lex, sub, arena.get());
         doc.set_object({obj_num, 0}, parser.parse_value());
         ++stats.indirect_objects;
         support::AllocStats::note_object();

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "pdf/document.hpp"
+#include "support/arena.hpp"
 #include "support/bytes.hpp"
 
 namespace pdfshield::pdf {
@@ -23,10 +24,16 @@ struct ParseStats {
 /// Parses `data` into a Document. Never throws on malformed regions — it
 /// skips them (counting in stats) — but does throw ParseError when no PDF
 /// structure at all can be found.
-Document parse_document(support::BytesView data, ParseStats* stats = nullptr);
+///
+/// The input is copied once into `arena` (a fresh one is created when none
+/// is given) and the returned Document's object graph borrows from it; the
+/// Document keeps the handle, so the graph is freed — or recycled via
+/// Arena::reset() by callers that own the handle — in O(1).
+Document parse_document(support::BytesView data, ParseStats* stats = nullptr,
+                        support::ArenaHandle arena = nullptr);
 
 /// Parses a single object expression (no "N G obj" wrapper) from text.
-/// Used by tests and by the corpus builder.
+/// Used by tests and by the corpus builder. The result is fully owning.
 Object parse_object_text(std::string_view text);
 
 }  // namespace pdfshield::pdf

@@ -52,7 +52,11 @@ void write_value(std::string& out, const Object& obj);
 void write_dict(std::string& out, const Dict& dict) {
   out += "<< ";
   for (const auto& e : dict.entries()) {
-    out += e.raw_key.empty() ? encode_name(e.key) : e.raw_key;
+    if (e.raw_key.empty()) {
+      out += encode_name(e.key);
+    } else {
+      out += e.raw_key;
+    }
     out.push_back(' ');
     write_value(out, e.value);
     out.push_back(' ');
@@ -86,7 +90,11 @@ void write_value(std::string& out, const Object& obj) {
       return;
     case 5: {
       const Name& n = obj.as_name();
-      out += n.raw.empty() ? encode_name(n.value) : n.raw;
+      if (n.raw.empty()) {
+        out += encode_name(n.value);
+      } else {
+        out += n.raw;
+      }
       return;
     }
     case 6: {

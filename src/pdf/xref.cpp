@@ -1,6 +1,8 @@
 #include "pdf/xref.hpp"
 
+#include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "pdf/lexer.hpp"
 #include "pdf/parser.hpp"
@@ -97,8 +99,9 @@ std::vector<XrefSection> read_xref_chain(BytesView file) {
 
 std::vector<int> verify_xref_offsets(BytesView file) {
   std::vector<int> bad;
-  // Newest definition wins across the chain.
-  std::map<int, XrefEntry> effective;
+  // Newest definition wins across the chain. Hash map + a final sort of
+  // the verdict list: same deterministic output, no ordered-map nodes.
+  std::unordered_map<int, XrefEntry> effective;
   const std::vector<XrefSection> chain = read_xref_chain(file);
   // Chain is newest-first; fill oldest-first so newer overwrites.
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
@@ -119,6 +122,7 @@ std::vector<int> verify_xref_offsets(BytesView file) {
       bad.push_back(num);
     }
   }
+  std::sort(bad.begin(), bad.end());
   return bad;
 }
 

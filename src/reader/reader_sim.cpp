@@ -210,7 +210,7 @@ OpenResult ReaderSim::open_document(BytesView file, const std::string& name) {
     for (const auto& e : info->as_dict().entries()) {
       const pdf::Object& v = doc->document.resolve(e.value);
       if (v.is_string()) {
-        facts.info[e.key] = support::to_string(v.as_string().data);
+        facts.info[std::string(e.key)] = support::to_string(v.as_string().data);
       }
     }
   }
@@ -263,7 +263,7 @@ OpenResult ReaderSim::open_document(BytesView file, const std::string& name) {
             try {
               data = pdf::decode_stream(f->as_stream());
             } catch (const support::Error&) {
-              data = f->as_stream().data;
+              data = f->as_stream().data.copy();
             }
             facts.attachments[support::to_string(key.as_string().data)] =
                 std::move(data);

@@ -1,0 +1,104 @@
+#include "support/arena.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "support/alloc_stats.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PDFSHIELD_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PDFSHIELD_ASAN 1
+#endif
+#endif
+
+#ifdef PDFSHIELD_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace pdfshield::support {
+
+Arena::~Arena() {
+#ifdef PDFSHIELD_ASAN
+  // Chunks are about to be freed for real; lift the reset() poison so the
+  // allocator's own bookkeeping is not flagged.
+  for (const Chunk& chunk : chunks_) {
+    ASAN_UNPOISON_MEMORY_REGION(chunk.data.get(), chunk.size);
+  }
+#endif
+  AllocStats::note_release(reserved_);
+}
+
+void* Arena::unpoison(void* p, std::size_t bytes) {
+#ifdef PDFSHIELD_ASAN
+  ASAN_UNPOISON_MEMORY_REGION(p, bytes);
+#else
+  (void)bytes;
+#endif
+  return p;
+}
+
+void Arena::poison_chunk(const Chunk& chunk) {
+#ifdef PDFSHIELD_ASAN
+  ASAN_POISON_MEMORY_REGION(chunk.data.get(), chunk.size);
+#elif !defined(NDEBUG)
+  // Deterministic garbage: a use-after-reset read surfaces as 0xDD bytes
+  // instead of silently seeing the previous document's data.
+  std::memset(chunk.data.get(), 0xDD, chunk.size);
+#else
+  (void)chunk;
+#endif
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Account the tail of the chunk we are abandoning.
+  used_ += static_cast<std::size_t>(limit_ - cursor_);
+
+  // Prefer a retained chunk from an earlier pass; they are visited in
+  // order, so steady-state reuse replays the same chunk sequence.
+  std::size_t next = chunks_.empty() ? 0 : active_ + 1;
+  while (next < chunks_.size() && chunks_[next].size < bytes + align) {
+    used_ += chunks_[next].size;  // skipped: too small for this request
+    ++next;
+  }
+  if (next >= chunks_.size()) {
+    std::size_t size = next_chunk_;
+    if (size < bytes + align) size = bytes + align;
+    Chunk chunk;
+    chunk.data = std::make_unique_for_overwrite<std::uint8_t[]>(size);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+    reserved_ += size;
+    ++chunk_allocations_;
+    AllocStats::note_object(size);
+    if (next_chunk_ < kMaxChunk) next_chunk_ *= 2;
+    poison_chunk(chunks_.back());
+  }
+  active_ = next;
+  cursor_ = chunks_[active_].data.get();
+  limit_ = cursor_ + chunks_[active_].size;
+
+  const auto misalign = reinterpret_cast<std::uintptr_t>(cursor_) & (align - 1);
+  const std::size_t pad = misalign != 0 ? align - misalign : 0;
+  std::uint8_t* p = cursor_ + pad;
+  cursor_ = p + bytes;
+  used_ += bytes + pad;
+  return unpoison(p, bytes);
+}
+
+void Arena::reset() {
+  if (used_ > high_water_) high_water_ = used_;
+  used_ = 0;
+  ++resets_;
+  for (const Chunk& chunk : chunks_) poison_chunk(chunk);
+  if (chunks_.empty()) {
+    cursor_ = limit_ = nullptr;
+  } else {
+    active_ = 0;
+    cursor_ = chunks_[0].data.get();
+    limit_ = cursor_ + chunks_[0].size;
+  }
+}
+
+}  // namespace pdfshield::support

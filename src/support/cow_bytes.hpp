@@ -1,0 +1,98 @@
+// Copy-on-write byte buffer for string and stream payloads. In the
+// borrowed object model a freshly parsed document's payloads are views
+// into the arena-held input buffer; they only become owning vectors when
+// something actually mutates them (decompression, instrumentation,
+// deinstrumentation). Reads are allocation-free either way.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::support {
+
+/// Either a borrowed view or an owning buffer, presenting a uniform
+/// read-only container face. Copying always materializes an owning deep
+/// copy — a CowBytes copy never extends a borrow's lifetime requirements,
+/// which is what makes plain `Object`/`Document` copies safely outlive the
+/// arena they were parsed into. Moves preserve the mode.
+class CowBytes {
+ public:
+  CowBytes() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): Bytes is the owning form.
+  CowBytes(Bytes owned) : owned_(std::move(owned)) {}
+
+  /// Wraps `view` without copying. The caller guarantees the underlying
+  /// storage (arena chunk or input buffer) outlives every borrowing read.
+  static CowBytes borrow(BytesView view) {
+    CowBytes b;
+    b.borrowed_ = view;
+    b.is_borrowed_ = true;
+    return b;
+  }
+
+  CowBytes(const CowBytes& other)
+      : owned_(other.begin(), other.end()) {}
+  CowBytes& operator=(const CowBytes& other) {
+    if (this != &other) {
+      owned_.assign(other.begin(), other.end());
+      borrowed_ = {};
+      is_borrowed_ = false;
+    }
+    return *this;
+  }
+  CowBytes(CowBytes&&) noexcept = default;
+  CowBytes& operator=(CowBytes&&) noexcept = default;
+  ~CowBytes() = default;
+
+  /// The read face: container-ish const access over either mode.
+  BytesView view() const { return is_borrowed_ ? borrowed_ : BytesView(owned_); }
+  // NOLINTNEXTLINE(google-explicit-constructor): reads flow through views.
+  operator BytesView() const { return view(); }
+  std::size_t size() const { return view().size(); }
+  bool empty() const { return view().empty(); }
+  const std::uint8_t* data() const { return view().data(); }
+  const std::uint8_t* begin() const { return view().data(); }
+  const std::uint8_t* end() const { return view().data() + view().size(); }
+  std::uint8_t operator[](std::size_t i) const { return view()[i]; }
+
+  bool borrowed() const { return is_borrowed_; }
+
+  /// An owning snapshot of the current contents (the receiver keeps its
+  /// mode; use owned() to materialize in place instead).
+  Bytes copy() const { return Bytes(begin(), end()); }
+
+  /// The write hook: materializes a private owning copy on first use and
+  /// returns it for mutation. This is the single COW trigger point.
+  Bytes& owned() {
+    if (is_borrowed_) {
+      owned_.assign(borrowed_.begin(), borrowed_.end());
+      borrowed_ = {};
+      is_borrowed_ = false;
+    }
+    return owned_;
+  }
+
+  /// Content equality regardless of mode.
+  friend bool operator==(const CowBytes& a, const CowBytes& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const CowBytes& a, BytesView b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  // Exact match for owning buffers; without it, Bytes is convertible to
+  // both BytesView and CowBytes and the comparison would be ambiguous.
+  friend bool operator==(const CowBytes& a, const Bytes& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  Bytes owned_;
+  BytesView borrowed_{};
+  bool is_borrowed_ = false;
+};
+
+}  // namespace pdfshield::support

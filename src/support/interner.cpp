@@ -1,0 +1,40 @@
+#include "support/interner.hpp"
+
+#include <mutex>
+
+#include "support/alloc_stats.hpp"
+
+namespace pdfshield::support {
+
+std::string_view StringInterner::intern(std::string_view s) {
+  if (s.empty()) return {};
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = table_.find(s);
+    if (it != table_.end()) return {it->data(), it->size()};
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto [it, inserted] = table_.emplace(s);
+  if (inserted) {
+    bytes_ += s.size();
+    AllocStats::note_object(s.size());
+  }
+  return {it->data(), it->size()};
+}
+
+std::size_t StringInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return table_.size();
+}
+
+std::size_t StringInterner::bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return bytes_;
+}
+
+StringInterner& name_table() {
+  static StringInterner table;
+  return table;
+}
+
+}  // namespace pdfshield::support

@@ -1,0 +1,53 @@
+// Process-wide string interning for PDF name spellings. Names repeat
+// massively across documents (/Type, /Length, /JavaScript, ...), so the
+// borrowed object model stores every pdf::Name as a string_view into this
+// table: one stable copy per distinct spelling, equality on view contents,
+// zero per-document allocation once the vocabulary is warm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace pdfshield::support {
+
+/// Thread-safe append-only intern table. Lookups take a shared lock and,
+/// thanks to C++20 heterogeneous lookup, allocate nothing on a hit.
+/// std::unordered_set is node-based, so stored strings never move and the
+/// returned views stay valid for the life of the process.
+class StringInterner {
+ public:
+  /// Returns a stable view whose contents equal `s`; interning the same
+  /// spelling twice returns a view of the same storage.
+  std::string_view intern(std::string_view s);
+
+  std::size_t size() const;
+  /// Total characters held, a coarse memory gauge for diagnostics.
+  std::size_t bytes() const;
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_set<std::string, Hash, Eq> table_;
+  std::size_t bytes_ = 0;
+};
+
+/// The table backing every pdf::Name in the process.
+StringInterner& name_table();
+
+}  // namespace pdfshield::support

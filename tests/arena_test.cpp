@@ -1,0 +1,284 @@
+// Arena / interner / CowBytes unit tests: the memory-architecture
+// contracts everything in the borrowed object model leans on — chunked
+// growth, reset-and-reuse, stable interned names, and the copy-detaches
+// rule that lets plain Object/Document copies outlive their arena.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pdf/document.hpp"
+#include "pdf/object.hpp"
+#include "pdf/parser.hpp"
+#include "support/arena.hpp"
+#include "support/cow_bytes.hpp"
+#include "support/interner.hpp"
+
+namespace sp = pdfshield::support;
+namespace pd = pdfshield::pdf;
+
+// Mirror the arena's own ASan detection: the use-after-reset fill pattern
+// check below only applies to non-sanitized debug builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define ARENA_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ARENA_TEST_ASAN 1
+#endif
+#endif
+
+TEST(Arena, BumpAllocatesDistinctWritableRegions) {
+  sp::Arena arena;
+  auto* a = static_cast<char*>(arena.allocate(16, 1));
+  auto* b = static_cast<char*>(arena.allocate(16, 1));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::memset(a, 'a', 16);
+  std::memset(b, 'b', 16);
+  EXPECT_EQ(a[15], 'a');  // b's fill must not bleed into a
+  EXPECT_GE(arena.bytes_used(), 32u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  sp::Arena arena;
+  arena.allocate(1, 1);  // knock the cursor off natural alignment
+  void* p = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+  void* q = arena.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 64, 0u);
+}
+
+TEST(Arena, GrowsByDoublingChunks) {
+  sp::Arena arena(/*first_chunk=*/64);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  arena.allocate(32, 1);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  // Overflow the 64-byte chunk: a second (128-byte) chunk appears.
+  arena.allocate(64, 1);
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  EXPECT_EQ(arena.bytes_reserved(), 64u + 128u);
+  EXPECT_EQ(arena.chunk_allocations(), 2u);
+}
+
+TEST(Arena, OversizeRequestGetsDedicatedChunk) {
+  sp::Arena arena(/*first_chunk=*/64);
+  auto* p = static_cast<char*>(arena.allocate(10'000, 1));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 'x', 10'000);
+  EXPECT_GE(arena.bytes_reserved(), 10'000u);
+}
+
+TEST(Arena, ResetRetainsChunksAndReplaysThem) {
+  sp::Arena arena(/*first_chunk=*/64);
+  std::vector<void*> first_pass;
+  for (int i = 0; i < 8; ++i) first_pass.push_back(arena.allocate(48, 8));
+  const std::uint64_t chunk_allocs = arena.chunk_allocations();
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t used = arena.bytes_used();
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.high_water(), used);
+  EXPECT_EQ(arena.resets(), 1u);
+  // Retained capacity: nothing was released...
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+
+  // ...and the identical allocation pattern replays the identical chunk
+  // sequence without a single new chunk allocation.
+  std::vector<void*> second_pass;
+  for (int i = 0; i < 8; ++i) second_pass.push_back(arena.allocate(48, 8));
+  EXPECT_EQ(arena.chunk_allocations(), chunk_allocs);
+  EXPECT_EQ(first_pass, second_pass);
+  EXPECT_EQ(arena.bytes_used(), used);
+}
+
+TEST(Arena, HighWaterTracksLargestPass) {
+  sp::Arena arena;
+  arena.allocate(100, 1);
+  arena.reset();
+  arena.allocate(5'000, 1);
+  const std::size_t big = arena.bytes_used();
+  arena.reset();
+  arena.allocate(10, 1);
+  EXPECT_GE(arena.high_water(), big);
+  EXPECT_LT(arena.bytes_used(), big);
+}
+
+TEST(Arena, CopyStringAndBytesMakeStableCopies) {
+  sp::Arena arena;
+  std::string source = "JavaScript";
+  const std::string_view copy = arena.copy_string(source);
+  sp::Bytes bytes_source = {1, 2, 3, 4};
+  const sp::BytesView bytes_copy = arena.copy_bytes(bytes_source);
+  // Mutating the originals must not affect the arena copies.
+  source.assign("clobbered!");
+  bytes_source.assign({9, 9, 9, 9});
+  EXPECT_EQ(copy, "JavaScript");
+  EXPECT_EQ(bytes_copy[0], 1);
+  EXPECT_EQ(bytes_copy[3], 4);
+  EXPECT_TRUE(arena.copy_string("").empty());
+  EXPECT_TRUE(arena.copy_bytes({}).empty());
+}
+
+#if !defined(ARENA_TEST_ASAN) && !defined(NDEBUG)
+TEST(Arena, UseAfterResetReadsDeterministicFillPattern) {
+  sp::Arena arena;
+  auto* p = static_cast<unsigned char*>(arena.allocate(16, 1));
+  std::memset(p, 0x42, 16);
+  arena.reset();
+  // By contract this read is a bug in the caller; the debug fill makes it
+  // a deterministic 0xDD instead of the previous document's bytes.
+  EXPECT_EQ(p[0], 0xDD);
+  EXPECT_EQ(p[15], 0xDD);
+}
+#endif
+
+TEST(Interner, ReturnsStableDeduplicatedViews) {
+  sp::StringInterner interner;
+  const std::string_view a = interner.intern("OpenAction");
+  const std::string_view b = interner.intern(std::string("OpenAction"));
+  EXPECT_EQ(a.data(), b.data());  // same storage, not just equal content
+  EXPECT_EQ(a, "OpenAction");
+  EXPECT_EQ(interner.size(), 1u);
+  const std::string_view c = interner.intern("AA");
+  EXPECT_NE(c.data(), a.data());
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_TRUE(interner.intern("").empty());
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Interner, IsThreadSafeUnderContention) {
+  sp::StringInterner interner;
+  constexpr int kThreads = 4;
+  constexpr int kNames = 64;
+  std::vector<std::vector<std::string_view>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < kNames; ++i) {
+          const std::string name = "Name" + std::to_string(i);
+          const std::string_view v = interner.intern(name);
+          if (round == 0) seen[t].push_back(v);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
+  // Every thread resolved every name to the same storage.
+  for (int t = 1; t < kThreads; ++t) {
+    for (int i = 0; i < kNames; ++i) {
+      EXPECT_EQ(seen[t][i].data(), seen[0][i].data());
+    }
+  }
+}
+
+TEST(CowBytes, BorrowSharesStorageAndCopyDetaches) {
+  const sp::Bytes backing = {10, 20, 30};
+  const sp::CowBytes borrowed = sp::CowBytes::borrow(backing);
+  EXPECT_TRUE(borrowed.borrowed());
+  EXPECT_EQ(borrowed.data(), backing.data());
+
+  const sp::CowBytes copy = borrowed;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_FALSE(copy.borrowed());
+  EXPECT_NE(copy.data(), backing.data());
+  EXPECT_EQ(copy, backing);
+
+  sp::CowBytes moved = std::move(const_cast<sp::CowBytes&>(borrowed));
+  EXPECT_TRUE(moved.borrowed());  // moves preserve the borrow
+  EXPECT_EQ(moved.data(), backing.data());
+}
+
+TEST(CowBytes, OwnedMaterializesOnFirstWrite) {
+  const sp::Bytes backing = {1, 2, 3};
+  sp::CowBytes cow = sp::CowBytes::borrow(backing);
+  sp::Bytes& mine = cow.owned();
+  EXPECT_FALSE(cow.borrowed());
+  EXPECT_NE(mine.data(), backing.data());
+  mine[0] = 99;
+  EXPECT_EQ(cow[0], 99);
+  EXPECT_EQ(backing[0], 1);  // the original is untouched
+}
+
+TEST(RefHash, UnorderedMapsWorkAndDistinguishNumFromGen) {
+  const pd::Ref a{3, 0};
+  const pd::Ref b{0, 3};  // swapped fields must not collide by construction
+  EXPECT_NE(std::hash<pd::Ref>{}(a), std::hash<pd::Ref>{}(b));
+  std::unordered_map<pd::Ref, int> map;
+  map[a] = 1;
+  map[b] = 2;
+  map[pd::Ref{3, 0}] = 3;  // same key as `a`
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[a], 3);
+  EXPECT_EQ(map[b], 2);
+}
+
+namespace {
+
+std::string minimal_pdf() {
+  return "%PDF-1.7\n"
+         "1 0 obj\n<< /Type /Catalog /Pages 2 0 R >>\nendobj\n"
+         "2 0 obj\n<< /Type /Pages /Kids [] /Count 0 >>\nendobj\n"
+         "3 0 obj\n<< /S /JavaScr#69pt /JS (app.alert\\(1\\)) >>\nendobj\n"
+         "4 0 obj\n<< /Length 11 >>\nstream\nhello world\nendstream\nendobj\n"
+         "trailer\n<< /Root 1 0 R /Size 5 >>\n"
+         "startxref\n0\n%%EOF\n";
+}
+
+}  // namespace
+
+TEST(DocumentArena, CopyDetachesAndOutlivesTheArena) {
+  const sp::Bytes data = sp::to_bytes(minimal_pdf());
+  auto arena = std::make_shared<sp::Arena>();
+  std::optional<pd::Document> parsed(pd::parse_document(data, nullptr, arena));
+  ASSERT_EQ(parsed->arena(), arena);
+  EXPECT_GT(arena->bytes_used(), 0u);
+
+  pd::Document detached = *parsed;  // plain copy: owns everything
+  EXPECT_EQ(detached.arena(), nullptr);
+
+  // Destroy the parsed document and wipe the arena; the copy must still
+  // read correctly — names, hex-escaped raw spellings, string and stream
+  // payloads included.
+  parsed.reset();
+  arena->reset();
+  const pd::Object* js = detached.object(pd::Ref{3, 0});
+  ASSERT_NE(js, nullptr);
+  const pd::Object* s = js->as_dict().find("S");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->as_name().value, "JavaScript");
+  EXPECT_TRUE(s->as_name().has_hex_escape());
+  const pd::Object* payload = js->as_dict().find("JS");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(sp::as_view(payload->as_string().data.view()), "app.alert(1)");
+  const pd::Object* stream = detached.object(pd::Ref{4, 0});
+  ASSERT_NE(stream, nullptr);
+  EXPECT_EQ(sp::as_view(stream->as_stream().data.view()), "hello world");
+}
+
+TEST(DocumentArena, ReuseAcrossDocumentsAddsNoChunksAfterWarmup) {
+  const sp::Bytes data = sp::to_bytes(minimal_pdf());
+  auto arena = std::make_shared<sp::Arena>();
+  { pd::Document doc = pd::parse_document(data, nullptr, arena); }
+  arena->reset();
+  const std::uint64_t warm_chunks = arena->chunk_allocations();
+  std::size_t pass_bytes = 0;
+  for (int i = 0; i < 3; ++i) {
+    { pd::Document doc = pd::parse_document(data, nullptr, arena); }
+    if (i == 0) {
+      pass_bytes = arena->bytes_used();
+    } else {
+      EXPECT_EQ(arena->bytes_used(), pass_bytes);  // deterministic footprint
+    }
+    arena->reset();
+  }
+  EXPECT_EQ(arena->chunk_allocations(), warm_chunks);
+}

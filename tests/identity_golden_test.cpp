@@ -1,0 +1,154 @@
+// Byte-identity pin for the arena/zero-copy memory refactor. The golden
+// CRCs below were captured from the pre-refactor (owning object model)
+// build over the full deterministic example corpus: instrumented output
+// bytes, static feature vectors, detonation malscores and the JSONL trace
+// stream must all stay exactly identical, at every --jobs width. Any drift
+// here means the memory architecture changed observable behaviour.
+//
+// Regenerate (only for an intentional behaviour change, never for a memory
+// refactor): PDFSHIELD_PRINT_GOLDEN=1 ./identity_golden_test
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_scanner.hpp"
+#include "corpus/generator.hpp"
+#include "support/checksum.hpp"
+#include "support/strings.hpp"
+
+namespace pdfshield {
+namespace {
+
+using core::BatchItem;
+using core::BatchOptions;
+using core::BatchReport;
+using core::BatchScanner;
+
+// Captured from the seed (pre-refactor) build; identical at jobs 1/2/8.
+constexpr std::uint32_t kGoldenOutputCrc = 0x42cca6d3u;
+constexpr std::uint32_t kGoldenFeatureCrc = 0x623c96dbu;
+constexpr std::uint32_t kGoldenVerdictCrc = 0xd87f2e3cu;
+constexpr std::uint32_t kGoldenTraceCrc = 0xe3518046u;
+
+std::vector<BatchItem> golden_corpus() {
+  corpus::CorpusGenerator gen;  // fixed default seed
+  std::vector<BatchItem> items;
+  for (auto& s : gen.generate_benign(10)) {
+    items.push_back({s.name, std::move(s.data)});
+  }
+  for (auto& s : gen.generate_malicious(10)) {
+    items.push_back({s.name, std::move(s.data)});
+  }
+  return items;
+}
+
+std::uint32_t crc_of(const std::string& text) {
+  return support::crc32(support::to_bytes(text));
+}
+
+/// Drops the two wall-clock fields (`t_ns`, `elapsed_s`) from one JSONL
+/// trace line; everything else in the stream is deterministic.
+std::string strip_time_fields(const std::string& line) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line.compare(i, 8, ",\"t_ns\":") == 0 ||
+        line.compare(i, 13, ",\"elapsed_s\":") == 0) {
+      i = line.find_first_of(",}", line.find(':', i) + 1);
+      continue;
+    }
+    out.push_back(line[i++]);
+  }
+  return out;
+}
+
+/// Canonical trace digest: timestamps stripped, lines sorted (worker
+/// interleaving differs by jobs width; the set of lines must not).
+std::uint32_t trace_digest(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(strip_time_fields(line));
+  std::sort(lines.begin(), lines.end());
+  std::string all;
+  for (const std::string& l : lines) {
+    all += l;
+    all.push_back('\n');
+  }
+  return crc_of(all);
+}
+
+struct Digests {
+  std::uint32_t output = 0;
+  std::uint32_t features = 0;
+  std::uint32_t verdicts = 0;
+  std::uint32_t trace = 0;
+};
+
+Digests run_batch(const std::vector<BatchItem>& items, std::size_t jobs) {
+  const std::filesystem::path trace_path =
+      std::filesystem::temp_directory_path() /
+      ("pdfshield_golden_" + std::to_string(jobs) + ".jsonl");
+
+  BatchOptions options;
+  options.jobs = jobs;
+  options.keep_outputs = true;
+  options.detonate = true;
+  options.trace_path = trace_path.string();
+  const BatchReport report = BatchScanner(options).scan(items);
+
+  Digests d;
+  std::string features;
+  std::string verdicts;
+  std::uint32_t out_crc = 0;
+  for (const auto& doc : report.docs) {
+    out_crc = support::crc32(doc.output, out_crc);
+    features += doc.name + " " +
+                support::format_double(doc.features.js_chain_ratio, 9) + " " +
+                std::to_string(doc.features.header_obfuscated) + " " +
+                std::to_string(doc.features.hex_code_in_keyword) + " " +
+                std::to_string(doc.features.empty_object_count) + " " +
+                std::to_string(doc.features.max_encoding_levels) + "\n";
+    verdicts += doc.name + " " + std::to_string(doc.ok) + " " +
+                std::to_string(doc.malicious) + " " +
+                support::format_double(doc.malscore, 9) + "\n";
+  }
+  d.output = out_crc;
+  d.features = crc_of(features);
+  d.verdicts = crc_of(verdicts);
+  d.trace = trace_digest(trace_path.string());
+  std::filesystem::remove(trace_path);
+  return d;
+}
+
+TEST(IdentityGolden, OutputsFeaturesVerdictsAndTracesMatchSeedAtEveryWidth) {
+  const std::vector<BatchItem> items = golden_corpus();
+  const bool print = std::getenv("PDFSHIELD_PRINT_GOLDEN") != nullptr;
+
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    const Digests d = run_batch(items, jobs);
+    if (print) {
+      std::printf(
+          "jobs=%zu output=0x%08xu features=0x%08xu verdicts=0x%08xu "
+          "trace=0x%08xu\n",
+          jobs, d.output, d.features, d.verdicts, d.trace);
+      continue;
+    }
+    EXPECT_EQ(d.output, kGoldenOutputCrc);
+    EXPECT_EQ(d.features, kGoldenFeatureCrc);
+    EXPECT_EQ(d.verdicts, kGoldenVerdictCrc);
+    EXPECT_EQ(d.trace, kGoldenTraceCrc);
+  }
+}
+
+}  // namespace
+}  // namespace pdfshield

@@ -26,10 +26,20 @@ import sys
 SUITE_GATES = {
     "flate": ["BM_FlateDecompress/1048576"],
     "batch_throughput": ["BatchScan/jobs:1/docs_per_s"],
+    # Parse suite gates both directions: throughput must not fall, and the
+    # arena-reuse path must stay frugal (allocations and arena footprint
+    # per document must not grow).
+    "parse": [
+        "BM_ParseDocument/pages:100/bytes_per_s",
+        "BM_ParseDocumentReuse/pages:100/allocs_per_doc",
+        "BM_ParseDocumentReuse/pages:100/arena_bytes_per_doc",
+    ],
 }
 FALLBACK_GATES = ["BM_FlateDecompress/1048576"]
 # Units where a smaller current value means a regression.
 HIGHER_IS_BETTER = {"bytes_per_second", "docs_per_second", "x_vs_serial"}
+# Units where a larger current value means a regression (cost metrics).
+LOWER_IS_BETTER = {"allocs_per_doc", "arena_bytes_per_doc"}
 
 
 def load(path):
@@ -73,12 +83,16 @@ def main():
         base_value, unit = baseline[name]
         cur_value, _ = current[name]
         if base_value == 0:
-            delta_pct = 0.0
+            # A zero baseline is meaningful for cost metrics (steady-state
+            # allocs); any growth from zero is infinite regression.
+            delta_pct = 0.0 if cur_value == 0 else float("inf")
         else:
             delta_pct = (cur_value - base_value) / base_value * 100.0
         gated = name in gates
-        regressed = (unit in HIGHER_IS_BETTER
-                     and delta_pct < -args.max_regression)
+        regressed = ((unit in HIGHER_IS_BETTER
+                      and delta_pct < -args.max_regression)
+                     or (unit in LOWER_IS_BETTER
+                         and delta_pct > args.max_regression))
         marker = ""
         if gated and regressed:
             marker = "  FAIL (> %.0f%% below baseline)" % args.max_regression
