@@ -243,36 +243,53 @@ Token Lexer::lex_literal_string() {
   const std::size_t content = pos_;
   // First pass: find the matching ')' and whether any escape occurs; an
   // escape-free string (the overwhelmingly common case) is borrowed
-  // verbatim, nested parens included.
+  // verbatim, nested parens included. The close index also bounds the
+  // escaped path's arena buffer: sizing it by the remaining document
+  // instead would let k crafted strings cost O(k·filesize) arena memory.
+  std::size_t close = std::string_view::npos;  // index one past the ')'
   {
     int depth = 1;
     bool has_escape = false;
+    bool ends_in_backslash = false;
     std::size_t i = content;
     while (i < data_.size()) {
       const std::uint8_t c = data_[i++];
       if (c == '\\') {
         has_escape = true;
-        if (i < data_.size()) ++i;
+        if (i < data_.size()) {
+          ++i;
+        } else {
+          ends_in_backslash = true;
+        }
         continue;
       }
       if (c == '(') {
         ++depth;
       } else if (c == ')' && --depth == 0) {
-        if (!has_escape) {
-          t.bytes = data_.subspan(content, i - 1 - content);
-          pos_ = i;
-          return t;
-        }
+        close = i;
         break;
       }
     }
-    if (depth != 0 && !has_escape) throw ParseError("unterminated literal string");
+    if (close == std::string_view::npos) {
+      if (!has_escape) throw ParseError("unterminated literal string");
+      // The decode pass would consume to end-of-data and then report one
+      // of these; diagnose here instead so no arena buffer is allocated.
+      pos_ = data_.size();
+      throw ParseError(ends_in_backslash ? "string ends in backslash"
+                                         : "unterminated literal string");
+    }
+    if (!has_escape) {
+      t.bytes = data_.subspan(content, close - 1 - content);
+      pos_ = close;
+      return t;
+    }
   }
-  // Escaped path: decode into the arena (decoded length never exceeds the
-  // encoded extent). The loop below is the error-reporting authority for
-  // malformed escapes, matching the pre-refactor diagnostics exactly.
+  // Escaped path: decode into the arena. Escapes only shrink, so the
+  // encoded extent bounds the decoded length. The loop below is the
+  // error-reporting authority for malformed escapes, matching the
+  // pre-refactor diagnostics exactly.
   auto* out =
-      static_cast<std::uint8_t*>(arena().allocate(data_.size() - content, 1));
+      static_cast<std::uint8_t*>(arena().allocate(close - 1 - content, 1));
   std::size_t n = 0;
   int depth = 1;
   while (!eof()) {
@@ -337,10 +354,28 @@ Token Lexer::lex_hex_string_or_dict_open() {
   ++pos_;  // skip '<'
   t.kind = TokenKind::kString;
   t.hex_string = true;
-  // Hex strings always transform, so they always decode into the arena;
-  // the decoded form is at most half the encoded extent (plus odd pad).
-  auto* out = static_cast<std::uint8_t*>(
-      arena().allocate((data_.size() - pos_) / 2 + 1, 1));
+  // Hex strings always transform, so they always decode into the arena.
+  // Pre-scan to the closing '>' first: the buffer must be sized by the
+  // string's own digit count, never by the remaining document, or k
+  // crafted strings would cost O(k·filesize) arena memory. The pre-scan
+  // also fronts the decode loop's diagnostics (same errors, same order,
+  // same final position) so a malformed string allocates nothing.
+  std::size_t digits = 0;
+  for (std::size_t i = pos_;; ++i) {
+    if (i >= data_.size()) {
+      pos_ = i;
+      throw ParseError("unterminated hex string");
+    }
+    const std::uint8_t c = at(i);
+    if (c == '>') break;
+    if (is_pdf_whitespace(c)) continue;
+    if (hex_value(c) < 0) {
+      pos_ = i + 1;
+      throw ParseError("invalid character in hex string");
+    }
+    ++digits;
+  }
+  auto* out = static_cast<std::uint8_t*>(arena().allocate(digits / 2 + 1, 1));
   std::size_t n = 0;
   int hi = -1;
   while (!eof()) {

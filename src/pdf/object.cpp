@@ -10,6 +10,13 @@ Name::Name(std::string_view v, std::string_view r)
     : value(support::name_table().intern(v)),
       raw(support::name_table().intern(r)) {}
 
+Name Name::stable(std::string_view v, std::string_view r) {
+  Name n;
+  n.value = support::name_table().intern_stable(v);
+  n.raw = support::name_table().intern_stable(r);
+  return n;
+}
+
 bool Dict::contains(std::string_view key) const {
   return find(key) != nullptr;
 }
@@ -56,6 +63,20 @@ void Dict::set_with_raw(std::string_view key, std::string_view raw_key,
   }
   entries_.push_back({support::name_table().intern(key), std::move(value),
                       support::name_table().intern(raw_key)});
+}
+
+void Dict::set_stable(std::string_view key, std::string_view raw_key,
+                      Object value) {
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.value = std::move(value);
+      e.raw_key = support::name_table().intern_stable(raw_key);
+      return;
+    }
+  }
+  entries_.push_back({support::name_table().intern_stable(key),
+                      std::move(value),
+                      support::name_table().intern_stable(raw_key)});
 }
 
 bool Dict::has_hex_escaped_key() const {

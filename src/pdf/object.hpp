@@ -57,6 +57,13 @@ struct String {
 /// documents hide keywords as e.g. /JavaScr#69pt, and both features and
 /// corpus generation need that. Canonically spelled names carry a null
 /// `raw` view: no second storage.
+///
+/// Two construction paths: the constructors intern unconditionally and are
+/// for program-defined vocabulary (the name table is process-lifetime, so
+/// its growth is capped); stable() is the parse-path factory for
+/// attacker-derived spellings whose storage already lives as long as the
+/// document — it dedupes through the bounded table without ever growing it
+/// past its cap.
 struct Name {
   std::string_view value;
   std::string_view raw;  ///< Null/empty when the canonical spelling was used.
@@ -64,6 +71,12 @@ struct Name {
   Name() = default;
   explicit Name(std::string_view v);
   Name(std::string_view v, std::string_view r);
+
+  /// Builds a name from views that are themselves stable for the intended
+  /// lifetime (input buffer or arena storage). Spellings beyond the name
+  /// table's cap keep borrowing the caller's storage, so such a Name — and
+  /// any copy of it — must not outlive its document's arena.
+  static Name stable(std::string_view v, std::string_view r = {});
 
   bool has_hex_escape() const { return !raw.empty(); }
 
@@ -104,6 +117,11 @@ class Dict {
   /// key (e.g. "/JavaScr#69pt"); the writer emits it verbatim.
   void set_with_raw(std::string_view key, std::string_view raw_key,
                     Object value);
+  /// Parse-path insert: like set_with_raw, but the key views must already
+  /// be stable for the document's lifetime and are deduped through the
+  /// bounded name table instead of growing it (see Name::stable).
+  void set_stable(std::string_view key, std::string_view raw_key,
+                  Object value);
   /// True if any key was written with a #xx hex escape.
   bool has_hex_escaped_key() const;
   /// Removes a key if present; returns true if it was removed.
@@ -212,9 +230,12 @@ class Object {
   Value v_;
 };
 
-/// One dictionary entry. The key views are interned (stable for the life
-/// of the process); `raw_key` preserves an obfuscated spelling (e.g.
-/// "/JavaScr#69pt") when the document used #xx escapes, null otherwise.
+/// One dictionary entry. The key views are interned — stable for the life
+/// of the process for program-set keys and for the common parse-path
+/// vocabulary, stable for the owning document's lifetime for parsed
+/// spellings beyond the name-table cap; `raw_key` preserves an obfuscated
+/// spelling (e.g. "/JavaScr#69pt") when the document used #xx escapes,
+/// null otherwise.
 struct DictEntry {
   std::string_view key;
   Object value;

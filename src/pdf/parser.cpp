@@ -7,6 +7,7 @@
 #include "pdf/lexer.hpp"
 #include "support/alloc_stats.hpp"
 #include "support/error.hpp"
+#include "support/interner.hpp"
 
 namespace pdfshield::pdf {
 
@@ -33,7 +34,10 @@ class ObjectParser {
       case TokenKind::kReal:
         return Object(t.real_value);
       case TokenKind::kName:
-        return Object(Name(t.text, t.raw));
+        // Token views live in the input buffer / arena, so the bounded
+        // stable() path applies: attacker-minted spellings must not grow
+        // the process-lifetime name table without bound.
+        return Object(Name::stable(t.text, t.raw));
       case TokenKind::kString:
         return Object(String{CowBytes::borrow(t.bytes), t.hex_string});
       case TokenKind::kArrayOpen:
@@ -116,7 +120,7 @@ class ObjectParser {
       }
       const std::string_view key = t.text;
       const std::string_view raw = t.raw;
-      dict.set_with_raw(key, raw, parse_value());
+      dict.set_stable(key, raw, parse_value());
     }
     // A stream keyword directly after the dict turns it into a stream object.
     const Token& after = lex_.peek();
@@ -188,6 +192,32 @@ HeaderInfo scan_header(BytesView data) {
   return info;
 }
 
+// Re-interns every name and dict key through the unbounded (trusted) path.
+// The parse path dedupes through the bounded table, which beyond its cap
+// hands back views into parse-time storage; callers that outlive that
+// storage (parse_object_text's scratch arena) re-anchor here. Recursion is
+// safe: parsing already capped nesting at kMaxDepth.
+void reintern_names(Object& obj) {
+  if (auto* n = std::get_if<Name>(&obj.value())) {
+    *n = Name(n->value, n->raw);
+    return;
+  }
+  if (auto* arr = std::get_if<Array>(&obj.value())) {
+    for (Object& item : *arr) reintern_names(item);
+    return;
+  }
+  Dict* dict = nullptr;
+  if (auto* d = std::get_if<Dict>(&obj.value())) dict = d;
+  if (auto* s = std::get_if<Stream>(&obj.value())) dict = &s->dict;
+  if (dict) {
+    for (auto& e : dict->entries()) {
+      e.key = support::name_table().intern(e.key);
+      e.raw_key = support::name_table().intern(e.raw_key);
+      reintern_names(e.value);
+    }
+  }
+}
+
 }  // namespace
 
 void expand_object_streams(Document& doc, ParseStats& stats);
@@ -202,8 +232,13 @@ Object parse_object_text(std::string_view text) {
   // Copying detaches: the returned object owns all its storage and is
   // independent of the scratch arena above. Spelled as an explicit copy
   // because `return parsed;` is NRVO-eligible — elision would skip the
-  // detach and hand the caller dangling borrows.
-  return Object(parsed);
+  // detach and hand the caller dangling borrows. Names additionally
+  // re-intern through the trusted table: this entry point only sees
+  // program-defined text, and its result must stay valid even when the
+  // bounded table is at capacity.
+  Object detached(parsed);
+  reintern_names(detached);
+  return detached;
 }
 
 Document parse_document(BytesView input, ParseStats* stats_out,
@@ -272,8 +307,9 @@ Document parse_document(BytesView input, ParseStats* stats_out,
         Object tr = parser.parse_value();
         if (tr.is_dict()) {
           // Merge in file order: later trailers overwrite earlier keys.
+          // Keys are parse-derived views, so stay on the bounded path.
           for (auto& e : tr.as_dict().entries()) {
-            doc.trailer().set(e.key, e.value);
+            doc.trailer().set_stable(e.key, {}, e.value);
           }
         }
       } catch (const support::Error&) {

@@ -91,6 +91,29 @@ void Arena::reset() {
   if (used_ > high_water_) high_water_ = used_;
   used_ = 0;
   ++resets_;
+  // Retain chunks in allocation order until the capacity budget is spent,
+  // release the rest. Steady-state workloads stay below the budget and
+  // keep the replay guarantee (chunk_allocations() flat across passes); a
+  // pathological document's excess capacity is handed back instead of
+  // being carried by the worker for the rest of the process.
+  std::size_t kept_bytes = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    if (kept_bytes + chunks_[i].size <= kMaxRetainedBytes) {
+      kept_bytes += chunks_[i].size;
+      if (keep != i) chunks_[keep] = std::move(chunks_[i]);
+      ++keep;
+    } else {
+#ifdef PDFSHIELD_ASAN
+      // The chunk is about to be freed for real; lift any poison first.
+      ASAN_UNPOISON_MEMORY_REGION(chunks_[i].data.get(), chunks_[i].size);
+#endif
+      reserved_ -= chunks_[i].size;
+      AllocStats::note_release(chunks_[i].size);
+      chunks_[i] = Chunk{};
+    }
+  }
+  chunks_.resize(keep);
   for (const Chunk& chunk : chunks_) poison_chunk(chunk);
   if (chunks_.empty()) {
     cursor_ = limit_ = nullptr;

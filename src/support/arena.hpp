@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <memory_resource>
+#include <new>
 #include <string_view>
 #include <vector>
 
@@ -29,6 +30,11 @@ class Arena final : public std::pmr::memory_resource {
   /// First chunk size; each subsequent chunk doubles up to kMaxChunk.
   static constexpr std::size_t kFirstChunk = 16 * 1024;
   static constexpr std::size_t kMaxChunk = 4 * 1024 * 1024;
+  /// reset() retains at most this much chunk capacity for reuse; anything
+  /// beyond it is released. Keeps one pathological document (huge decoded
+  /// payloads, oversized one-off mints) from bloating a reusable worker
+  /// arena for the rest of the process lifetime.
+  static constexpr std::size_t kMaxRetainedBytes = 64 * 1024 * 1024;
 
   Arena() = default;
   explicit Arena(std::size_t first_chunk) : next_chunk_(first_chunk) {}
@@ -41,6 +47,10 @@ class Arena final : public std::pmr::memory_resource {
   /// throws std::bad_alloc only if the underlying chunk allocation fails.
   void* allocate(std::size_t bytes,
                  std::size_t align = alignof(std::max_align_t)) {
+    // Sizes can be attacker-derived; a near-SIZE_MAX request must not wrap
+    // the `bytes + pad` / `bytes + align` arithmetic here or in
+    // allocate_slow and sneak past the bounds checks.
+    if (bytes > SIZE_MAX - align) throw std::bad_alloc();
     std::uint8_t* p = cursor_;
     const auto misalign =
         reinterpret_cast<std::uintptr_t>(p) & (align - 1);
@@ -72,10 +82,13 @@ class Arena final : public std::pmr::memory_resource {
     return {p, b.size()};
   }
 
-  /// Rewinds to empty while *retaining* every chunk for reuse. All memory
-  /// previously handed out becomes invalid: under ASan the chunks are
-  /// poisoned so any stale view traps immediately; in other debug builds
-  /// they are filled with 0xDD so stale reads yield deterministic garbage.
+  /// Rewinds to empty while retaining chunks for reuse, up to
+  /// kMaxRetainedBytes of capacity (excess chunks are released, so a
+  /// pathological document cannot permanently bloat a reusable arena).
+  /// All memory previously handed out becomes invalid: under ASan the
+  /// chunks are poisoned so any stale view traps immediately; in other
+  /// debug builds they are filled with 0xDD so stale reads yield
+  /// deterministic garbage.
   void reset();
 
   /// Bytes handed out since construction or the last reset() (padding

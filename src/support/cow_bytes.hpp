@@ -38,7 +38,11 @@ class CowBytes {
       : owned_(other.begin(), other.end()) {}
   CowBytes& operator=(const CowBytes& other) {
     if (this != &other) {
-      owned_.assign(other.begin(), other.end());
+      // Materialize through a temporary: `other` may be a borrow aliasing
+      // this object's own owned_ buffer, and assign() into a reallocating
+      // vector would read from freed storage.
+      Bytes tmp(other.begin(), other.end());
+      owned_ = std::move(tmp);
       borrowed_ = {};
       is_borrowed_ = false;
     }

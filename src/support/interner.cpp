@@ -7,6 +7,15 @@
 namespace pdfshield::support {
 
 std::string_view StringInterner::intern(std::string_view s) {
+  return intern_impl(s, /*bounded=*/false);
+}
+
+std::string_view StringInterner::intern_stable(std::string_view s) {
+  return intern_impl(s, /*bounded=*/true);
+}
+
+std::string_view StringInterner::intern_impl(std::string_view s,
+                                             bool bounded) {
   if (s.empty()) return {};
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
@@ -14,6 +23,15 @@ std::string_view StringInterner::intern(std::string_view s) {
     if (it != table_.end()) return {it->data(), it->size()};
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (bounded &&
+      (table_.size() >= kMaxEntries || bytes_ + s.size() > kMaxBytes)) {
+    // Full. Another thread may still have inserted this spelling between
+    // the two lock scopes, so prefer the table's copy when it exists;
+    // otherwise hand back the caller's own (stable) storage.
+    auto it = table_.find(s);
+    if (it != table_.end()) return {it->data(), it->size()};
+    return s;
+  }
   auto [it, inserted] = table_.emplace(s);
   if (inserted) {
     bytes_ += s.size();

@@ -3,6 +3,14 @@
 // borrowed object model stores every pdf::Name as a string_view into this
 // table: one stable copy per distinct spelling, equality on view contents,
 // zero per-document allocation once the vocabulary is warm.
+//
+// The table is append-only for the life of the process, so its growth is
+// capped: attacker-controlled input can mint unboundedly many distinct
+// spellings (/JavaScr#69pt alone has combinatorially many hex-escape
+// variants), and a long-running batch scanner must not leak memory across
+// documents. Parse paths intern through intern_stable(), which stops
+// inserting at the cap and hands the caller's (document-stable) view back;
+// intern() is reserved for the program's own finite vocabulary.
 #pragma once
 
 #include <cstddef>
@@ -14,21 +22,40 @@
 
 namespace pdfshield::support {
 
-/// Thread-safe append-only intern table. Lookups take a shared lock and,
-/// thanks to C++20 heterogeneous lookup, allocate nothing on a hit.
-/// std::unordered_set is node-based, so stored strings never move and the
-/// returned views stay valid for the life of the process.
+/// Thread-safe append-only intern table with capped growth. Lookups take a
+/// shared lock and, thanks to C++20 heterogeneous lookup, allocate nothing
+/// on a hit. std::unordered_set is node-based, so stored strings never
+/// move and the returned views stay valid for the life of the process.
 class StringInterner {
  public:
+  /// Growth caps. Generous for any legitimate vocabulary (real corpora use
+  /// a few thousand distinct name spellings), tight enough that
+  /// adversarial documents cannot grow process-lifetime memory without
+  /// bound through intern_stable().
+  static constexpr std::size_t kMaxEntries = 1U << 15;
+  static constexpr std::size_t kMaxBytes = 4 * 1024 * 1024;
+
   /// Returns a stable view whose contents equal `s`; interning the same
-  /// spelling twice returns a view of the same storage.
+  /// spelling twice returns a view of the same storage. Unbounded: callers
+  /// must only feed program-defined vocabulary (literals, fixed keys),
+  /// never attacker-derived spellings — those go through intern_stable().
   std::string_view intern(std::string_view s);
+
+  /// Bounded variant for attacker-derived spellings whose storage is
+  /// already stable for the caller's required lifetime (the parse path:
+  /// views into the document buffer or its arena). Returns the table's
+  /// copy on a hit, inserts while under the caps, and once full returns
+  /// `s` itself — so process memory stays bounded and only overflow
+  /// spellings fall back to document-scoped storage.
+  std::string_view intern_stable(std::string_view s);
 
   std::size_t size() const;
   /// Total characters held, a coarse memory gauge for diagnostics.
   std::size_t bytes() const;
 
  private:
+  std::string_view intern_impl(std::string_view s, bool bounded);
+
   struct Hash {
     using is_transparent = void;
     std::size_t operator()(std::string_view s) const noexcept {

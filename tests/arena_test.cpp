@@ -4,8 +4,10 @@
 // rule that lets plain Object/Document copies outlive their arena.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <optional>
 #include <string>
 #include <thread>
@@ -98,6 +100,32 @@ TEST(Arena, ResetRetainsChunksAndReplaysThem) {
   EXPECT_EQ(arena.bytes_used(), used);
 }
 
+TEST(Arena, RejectsOverflowingRequests) {
+  // A near-SIZE_MAX request must not wrap the bounds arithmetic and hand
+  // back a pointer claiming gigabytes; the allocator sees attacker-derived
+  // sizes, so this fails loudly instead.
+  sp::Arena arena;
+  EXPECT_THROW(arena.allocate(SIZE_MAX, 1), std::bad_alloc);
+  EXPECT_THROW(arena.allocate(SIZE_MAX - 4, 8), std::bad_alloc);
+}
+
+TEST(Arena, ResetReleasesCapacityBeyondRetentionBudget) {
+  sp::Arena arena(/*first_chunk=*/64);
+  arena.allocate(32, 1);  // ordinary chunk, well within the budget
+  // One pathological document mints an oversized dedicated chunk...
+  arena.allocate(sp::Arena::kMaxRetainedBytes + 1, 1);
+  EXPECT_GT(arena.bytes_reserved(), sp::Arena::kMaxRetainedBytes);
+  // ...which reset() must hand back instead of bloating the reusable
+  // worker arena for the rest of the process lifetime.
+  arena.reset();
+  EXPECT_LE(arena.bytes_reserved(), sp::Arena::kMaxRetainedBytes);
+  EXPECT_EQ(arena.chunk_count(), 1u);  // the ordinary chunk is retained
+  // The retained chunk still serves the next document.
+  auto* p = static_cast<char*>(arena.allocate(32, 1));
+  std::memset(p, 'x', 32);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
 TEST(Arena, HighWaterTracksLargestPass) {
   sp::Arena arena;
   arena.allocate(100, 1);
@@ -153,6 +181,33 @@ TEST(Interner, ReturnsStableDeduplicatedViews) {
   EXPECT_EQ(interner.size(), 2u);
 }
 
+TEST(Interner, StableInternStopsGrowingAtCap) {
+  // The table is process-lifetime and fed attacker-chosen spellings, so
+  // intern_stable must stop inserting at the cap and hand the caller's own
+  // (document-stable) storage back instead of growing without bound.
+  sp::StringInterner interner;
+  for (std::size_t i = 0; i < sp::StringInterner::kMaxEntries; ++i) {
+    interner.intern_stable("name-" + std::to_string(i));
+  }
+  ASSERT_EQ(interner.size(), sp::StringInterner::kMaxEntries);
+
+  const std::string novel = "novel-spelling-beyond-the-cap";
+  const std::string_view overflow = interner.intern_stable(novel);
+  EXPECT_EQ(overflow.data(), novel.data());  // pass-through, not a copy
+  EXPECT_EQ(interner.size(), sp::StringInterner::kMaxEntries);
+
+  // Hits keep resolving to the table's storage even at capacity.
+  const std::string lookup = "name-0";
+  const std::string_view hit = interner.intern_stable(lookup);
+  EXPECT_EQ(hit, "name-0");
+  EXPECT_NE(hit.data(), lookup.data());
+
+  // The trusted path still serves the program's own finite vocabulary.
+  const std::string_view trusted = interner.intern("ProgramVocabulary");
+  EXPECT_EQ(trusted, "ProgramVocabulary");
+  EXPECT_EQ(interner.size(), sp::StringInterner::kMaxEntries + 1);
+}
+
 TEST(Interner, IsThreadSafeUnderContention) {
   sp::StringInterner interner;
   constexpr int kThreads = 4;
@@ -195,6 +250,17 @@ TEST(CowBytes, BorrowSharesStorageAndCopyDetaches) {
   sp::CowBytes moved = std::move(const_cast<sp::CowBytes&>(borrowed));
   EXPECT_TRUE(moved.borrowed());  // moves preserve the borrow
   EXPECT_EQ(moved.data(), backing.data());
+}
+
+TEST(CowBytes, AssignFromBorrowAliasingOwnStorageIsSafe) {
+  // `alias` borrows cow's own owned buffer; assigning it back must
+  // materialize through a temporary rather than read the vector being
+  // overwritten.
+  sp::CowBytes cow{sp::Bytes{1, 2, 3, 4, 5}};
+  const sp::CowBytes alias = sp::CowBytes::borrow(cow.view());
+  cow = alias;
+  EXPECT_FALSE(cow.borrowed());
+  EXPECT_EQ(cow, sp::Bytes({1, 2, 3, 4, 5}));
 }
 
 TEST(CowBytes, OwnedMaterializesOnFirstWrite) {

@@ -76,6 +76,42 @@ TEST(Lexer, DictDelimiters) {
   EXPECT_EQ(lex.next().kind, pd::TokenKind::kArrayClose);
 }
 
+TEST(Lexer, StringDecodeAllocationsBoundedByStringExtent) {
+  // Every transforming string used to size its arena decode buffer by the
+  // REMAINING DOCUMENT length; k tiny strings in front of a large document
+  // then cost O(k·filesize) — a trivially crafted memory bomb for a
+  // scanner of adversarial input. The buffers must scale with the
+  // strings' own extents.
+  std::string text;
+  for (int i = 0; i < 1000; ++i) text += "<4a53> (a\\)b) ";
+  text += std::string(100'000, ' ');  // the "rest of the document"
+  const sp::Bytes data = sp::to_bytes(text);
+  sp::Arena arena;
+  pd::Lexer lex(data, arena);
+  int strings = 0;
+  for (pd::Token t = lex.next(); t.kind != pd::TokenKind::kEof;
+       t = lex.next()) {
+    if (t.kind == pd::TokenKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 2000);
+  // Old sizing: ≥ 1000 × ~50KB ≈ 50MB. New: a few bytes per string.
+  EXPECT_LT(arena.bytes_used(), 64u * 1024);
+}
+
+TEST(Lexer, MalformedStringsAllocateNothingAndKeepDiagnostics) {
+  const auto lex_one = [](std::string_view text, sp::Arena& arena) {
+    const sp::Bytes data = sp::to_bytes(text);
+    pd::Lexer lex(data, arena);
+    return lex.next();  // throws
+  };
+  sp::Arena arena;
+  EXPECT_THROW(lex_one("(open \\( forever", arena), sp::ParseError);
+  EXPECT_THROW(lex_one("(trailing\\", arena), sp::ParseError);
+  EXPECT_THROW(lex_one("<4a5", arena), sp::ParseError);
+  EXPECT_THROW(lex_one("<4aZ3>", arena), sp::ParseError);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
 TEST(Lexer, EncodeNameEscapesSpecials) {
   EXPECT_EQ(pd::encode_name("Simple"), "/Simple");
   EXPECT_EQ(pd::encode_name("A B"), "/A#20B");
