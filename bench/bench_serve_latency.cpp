@@ -1,0 +1,247 @@
+// Serve-mode latency under open-loop Poisson load. A closed-loop burst
+// first calibrates the service's capacity (docs/s with every worker
+// saturated); the harness then replays two open-loop phases against a
+// fresh service:
+//
+//   steady:   ~60% of capacity — the provisioned regime. Reported p50/p99
+//             response latency and the calibrated capacity are the CI-gated
+//             metrics (BENCH_serve.json).
+//   overload: ~250% of capacity — the regime admission control exists for.
+//             The harness asserts the service answers every request
+//             (accepted + rejected == submitted), sheds load explicitly
+//             (rejections > 0) and keeps the in-flight bound; rejected and
+//             degraded counts are reported as informational metrics.
+//
+// Open-loop means arrivals do NOT wait for responses — inter-arrival gaps
+// are exponential (Poisson process) from a seeded Rng, so a slow service
+// faces a growing backlog exactly as it would behind a real spool.
+// `--duration S` stretches the steady phase (the nightly TSan soak runs
+// minutes, the CI smoke seconds); `--trace PATH` wires the service's trace
+// spine up for the soak artifact.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "core/scan_service.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+struct LoadResult {
+  std::vector<double> latencies_s;  ///< completed requests only
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t responses = 0;  ///< completions + rejections (must == submitted)
+};
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+std::vector<corpus::Sample> make_corpus(const bench::Scale& scale) {
+  corpus::CorpusGenerator gen;
+  std::vector<corpus::Sample> samples = gen.generate_benign(scale.benign_with_js);
+  for (auto& s : gen.generate_malicious(scale.malicious)) {
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+// Closed-loop capacity: submit the whole corpus, drain, best docs/s of
+// `reps`. This is the denominator the open-loop rates are derived from.
+double calibrate_capacity(const core::ServeOptions& options,
+                          const std::vector<corpus::Sample>& samples,
+                          int reps) {
+  // Lift the admission bound so the whole burst is admitted — capacity is
+  // what the workers can scan, and a rejection is not a scanned document.
+  core::ServeOptions wide = options;
+  wide.max_inflight_docs = samples.size() + options.jobs;
+  wide.max_inflight_bytes = std::numeric_limits<std::size_t>::max();
+  wide.degrade_depth = samples.size() + options.jobs;  // never degrade
+  wide.trace_path.clear();  // the trace belongs to the steady phase only
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    core::ScanService service(wide);
+    std::atomic<std::uint64_t> scanned{0};
+    const bench::Timer timer;
+    for (const auto& s : samples) {
+      service.submit(s.name,
+                     support::BytesView(s.data.data(), s.data.size()),
+                     nullptr, [&scanned](const core::ScanResponse& response) {
+                       if (response.accepted) {
+                         scanned.fetch_add(1, std::memory_order_relaxed);
+                       }
+                     });
+    }
+    service.drain();
+    const double wall = timer.seconds();
+    if (wall > 0) {
+      best = std::max(best,
+                      static_cast<double>(scanned.load()) / wall);
+    }
+  }
+  return best;
+}
+
+// One open-loop phase: Poisson arrivals at `rate` docs/s for `duration_s`,
+// cycling through the corpus. Every submit gets exactly one response
+// (scan or rejection); the phase drains before returning.
+LoadResult run_open_loop(core::ScanService& service,
+                         const std::vector<corpus::Sample>& samples,
+                         double rate, double duration_s,
+                         std::uint64_t seed) {
+  LoadResult result;
+  std::mutex mutex;  // guards latencies + response counters
+  support::Rng rng(seed);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration_s));
+  auto next_arrival = start;
+  std::size_t cursor = 0;
+  while (next_arrival < deadline) {
+    std::this_thread::sleep_until(next_arrival);
+    const corpus::Sample& s = samples[cursor++ % samples.size()];
+    ++result.submitted;
+    service.submit(s.name,
+                   support::BytesView(s.data.data(), s.data.size()), nullptr,
+                   [&mutex, &result](const core::ScanResponse& response) {
+                     std::lock_guard<std::mutex> lock(mutex);
+                     ++result.responses;
+                     if (!response.accepted) {
+                       ++result.rejected;
+                     } else {
+                       result.latencies_s.push_back(response.latency_s);
+                     }
+                   });
+    // Exponential inter-arrival gap — the defining property of a Poisson
+    // process. 1 - u keeps log() away from 0.
+    const double gap_s = -std::log(1.0 - rng.uniform01()) / rate;
+    next_arrival += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap_s));
+  }
+  service.drain();
+  return result;
+}
+
+double flag_double(int argc, char** argv, const std::string& name,
+                   double fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == name && i + 1 < argc) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const std::string& name,
+                        const std::string& fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == name && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_output_path(argc, argv);
+  const double steady_duration =
+      flag_double(argc, argv, "--duration", 3.0);
+  const auto jobs = static_cast<std::size_t>(
+      flag_double(argc, argv, "--jobs", 4.0));
+  const std::string trace_path = flag_string(argc, argv, "--trace", "");
+  bench::print_header("Serve", "open-loop latency under Poisson load");
+
+  const std::vector<corpus::Sample> samples = make_corpus(bench::bench_scale());
+  std::size_t corpus_bytes = 0;
+  for (const auto& s : samples) corpus_bytes += s.data.size();
+  std::cout << "corpus: " << samples.size() << " documents, "
+            << bench::mb(static_cast<double>(corpus_bytes)) << ", jobs "
+            << jobs << "\n\n";
+
+  core::ServeOptions options;
+  options.jobs = jobs;
+  options.trace_path = trace_path;
+
+  const double capacity = calibrate_capacity(options, samples, 2);
+  if (capacity <= 0) {
+    std::cout << "FAIL: capacity calibration produced no throughput\n";
+    return 1;
+  }
+  std::cout << "calibrated capacity: " << bench::fmt(capacity, 1)
+            << " docs/s (closed loop, best of 2)\n";
+
+  // Steady phase: the provisioned regime the latency gate watches.
+  const double steady_rate = 0.60 * capacity;
+  core::ScanService steady_service(options);
+  const LoadResult steady = run_open_loop(steady_service, samples,
+                                          steady_rate, steady_duration,
+                                          /*seed=*/0xbe9c5e12);
+  const double p50 = percentile(steady.latencies_s, 50.0);
+  const double p99 = percentile(steady.latencies_s, 99.0);
+  const core::ServeStats steady_stats = steady_service.stats();
+  std::cout << "steady  (" << bench::fmt(steady_rate, 1) << " docs/s, "
+            << bench::fmt(steady_duration, 1) << "s): " << steady.submitted
+            << " submitted, " << steady.rejected << " rejected, p50 "
+            << bench::fmt(p50 * 1000.0, 2) << " ms, p99 "
+            << bench::fmt(p99 * 1000.0, 2) << " ms, "
+            << steady_stats.steals << " steal(s)\n";
+
+  // Overload phase: 2.5x capacity against a fresh service — admission
+  // control must shed the excess explicitly and degradation may engage.
+  const double overload_rate = 2.5 * capacity;
+  const double overload_duration = std::min(steady_duration, 3.0);
+  core::ServeOptions overload_options = options;
+  overload_options.trace_path.clear();  // one writer per trace file
+  core::ScanService overload_service(overload_options);
+  const LoadResult overload = run_open_loop(overload_service, samples,
+                                            overload_rate, overload_duration,
+                                            /*seed=*/0x51c7a4d9);
+  const core::ServeStats overload_stats = overload_service.stats();
+  std::cout << "overload (" << bench::fmt(overload_rate, 1) << " docs/s, "
+            << bench::fmt(overload_duration, 1) << "s): "
+            << overload.submitted << " submitted, " << overload.rejected
+            << " rejected, " << overload_stats.degraded_docs
+            << " degraded (" << overload_stats.degrade_enters
+            << " degradation(s))\n";
+
+  bool ok = true;
+  if (steady.responses != steady.submitted ||
+      overload.responses != overload.submitted) {
+    std::cout << "FAIL: lost responses (steady " << steady.responses << "/"
+              << steady.submitted << ", overload " << overload.responses
+              << "/" << overload.submitted << ")\n";
+    ok = false;
+  }
+  if (overload.rejected == 0) {
+    std::cout << "FAIL: 2.5x overload produced no rejections — admission "
+                 "control is not bounding in-flight work\n";
+    ok = false;
+  }
+
+  if (!json_path.empty()) {
+    const std::string key = "Serve/jobs:" + std::to_string(jobs);
+    std::vector<bench::BenchResult> results;
+    results.push_back({key + "/docs_per_s", capacity, "docs_per_second"});
+    results.push_back({key + "/p50_latency_s", p50, "latency_seconds"});
+    results.push_back({key + "/p99_latency_s", p99, "latency_seconds"});
+    results.push_back({"Serve/overload/rejected",
+                       static_cast<double>(overload.rejected), "count"});
+    results.push_back({"Serve/overload/degraded",
+                       static_cast<double>(overload_stats.degraded_docs),
+                       "count"});
+    bench::bench_to_json(json_path, "serve", results);
+  }
+  return ok ? 0 : 1;
+}

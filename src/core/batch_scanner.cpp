@@ -13,22 +13,11 @@
 #include "reader/reader_sim.hpp"
 #include "support/checksum.hpp"
 #include "support/strings.hpp"
-#include "support/thread_pool.hpp"
+#include "support/work_stealing_pool.hpp"
 #include "sys/kernel.hpp"
 #include "trace/recorder.hpp"
 
 namespace pdfshield::core {
-
-/// Per-run plumbing shared by every worker (and by abandoned watchdog
-/// runners, which may outlive the batch — hence the shared_ptr sink).
-struct BatchRunContext {
-  bool keep_output = false;
-  bool detonate = false;
-  bool static_prefilter = false;
-  std::string session;  ///< detector id, stamped on every event
-  std::shared_ptr<trace::Sink> trace_sink;  ///< null when not traced
-  std::shared_ptr<trace::CounterSink> counters;  ///< run-level per-kind totals
-};
 
 /// Watchdog threads whose document overran its budget. They keep running
 /// after the batch moves on; reap() joins the ones that wind down within
@@ -97,14 +86,15 @@ void detonate_one(sys::Kernel& kernel, const FrontEnd& frontend,
                                   verdict.malscore, verdict.malicious});
 }
 
-/// Runs the front-end over one item with exception isolation: a throwing
-/// parser/instrumenter yields a per-document error, never a dead batch.
-BatchDocResult run_one(const FrontEnd& frontend, const BatchItem& item,
-                       const BatchRunContext& ctx,
-                       const support::ArenaHandle& arena = nullptr) {
+}  // namespace
+
+BatchDocResult run_document(const FrontEnd& frontend, std::string_view name,
+                            support::BytesView data,
+                            const BatchRunContext& ctx,
+                            const support::ArenaHandle& arena) {
   BatchDocResult doc;
-  doc.name = item.name;
-  doc.input_bytes = item.data.size();
+  doc.name = std::string(name);
+  doc.input_bytes = data.size();
 
   // Per-document recorder (detonation brings its own kernel, whose
   // recorder doubles as the document's). Ring capacity 0: nothing is
@@ -123,11 +113,11 @@ BatchDocResult run_one(const FrontEnd& frontend, const BatchItem& item,
     recorder->set_session(ctx.session);
     if (ctx.trace_sink) recorder->add_sink(ctx.trace_sink);
     if (ctx.counters) recorder->add_sink(ctx.counters);
-    recorder->set_doc(item.name);
+    recorder->set_doc(doc.name);
   }
 
   try {
-    FrontEndResult result = frontend.process(item.data, recorder, arena);
+    FrontEndResult result = frontend.process(data, recorder, arena);
     doc.timings = result.timings;
     if (!result.ok) {
       doc.error = result.error.empty() ? "front-end failed" : result.error;
@@ -169,6 +159,8 @@ BatchDocResult run_one(const FrontEnd& frontend, const BatchItem& item,
   return doc;
 }
 
+namespace {
+
 support::Bytes read_file(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw support::Error("cannot open " + path.string());
@@ -197,7 +189,7 @@ BatchDocResult BatchScanner::scan_one(const FrontEnd& frontend,
                                       AbandonedRunners& abandoned,
                                       const support::ArenaHandle& arena) const {
   if (options_.timeout_s <= 0) {
-    BatchDocResult doc = run_one(frontend, item, ctx, arena);
+    BatchDocResult doc = run_document(frontend, item.name, item.data, ctx, arena);
     // The FrontEndResult (and with it the Document, the only other arena
     // owner) died inside run_one; the sole-owner check makes the rewind
     // provably safe even if a future refactor leaks a handle. Retained
@@ -221,7 +213,7 @@ BatchDocResult BatchScanner::scan_one(const FrontEnd& frontend,
       [state, promise, item, ctx,  // ctx by value: the sink must outlive us
        detector_id = options_.detector_id, fe_options = options_.frontend] {
         FrontEnd frontend_copy(detector_id, fe_options);
-        state->doc = run_one(frontend_copy, item, ctx);
+        state->doc = run_document(frontend_copy, item.name, item.data, ctx);
         promise->set_value();
       });
   const auto budget = std::chrono::duration<double>(options_.timeout_s);
@@ -261,7 +253,7 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
   const auto t0 = std::chrono::steady_clock::now();
   AbandonedRunners abandoned;
   {
-    support::ThreadPool pool(options_.jobs, options_.queue_capacity);
+    support::WorkStealingPool pool(options_.jobs, options_.queue_capacity);
     // One self-seeding FrontEnd per worker: immutable, so per-document
     // output depends only on (detector id, input bytes) — never on which
     // worker ran it or in what order.
@@ -282,7 +274,7 @@ BatchReport BatchScanner::scan(const std::vector<BatchItem>& items) {
       pool.submit([this, &frontends, &arenas, &items, &report, &ctx,
                    &abandoned, i] {
         const auto worker = static_cast<std::size_t>(
-            support::ThreadPool::current_worker());
+            support::WorkStealingPool::current_worker());
         report.docs[i] = scan_one(frontends[worker], items[i], ctx, abandoned,
                                   arenas[worker]);
       });

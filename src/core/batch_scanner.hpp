@@ -1,13 +1,17 @@
-// Multi-threaded batch front-end (Fig. 1 at triage scale): a bounded
-// work queue feeds N workers, each owning a self-seeding FrontEnd, so a
-// directory of candidate documents is scanned with per-document fault
-// isolation and byte-identical output at any thread count (same detector
-// id + same input => same instrumented bytes, regardless of scheduling).
+// Multi-threaded batch front-end (Fig. 1 at triage scale): a
+// work-stealing scheduler feeds N workers, each owning a self-seeding
+// FrontEnd, so a directory of candidate documents is scanned with
+// per-document fault isolation and byte-identical output at any thread
+// count (same detector id + same input => same instrumented bytes,
+// regardless of scheduling — and regardless of which worker stole the
+// document).
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -20,7 +24,17 @@
 namespace pdfshield::core {
 
 class AbandonedRunners;  // internal: watchdog threads awaiting reclamation
-struct BatchRunContext;  // internal: per-run tracing/detonation plumbing
+
+/// Per-run plumbing shared by every worker of a batch run or serve
+/// session: what to do with each document and where its events go.
+struct BatchRunContext {
+  bool keep_output = false;
+  bool detonate = false;
+  bool static_prefilter = false;
+  std::string session;  ///< detector id, stamped on every event
+  std::shared_ptr<trace::Sink> trace_sink;  ///< null when not traced
+  std::shared_ptr<trace::CounterSink> counters;  ///< run-level per-kind totals
+};
 
 /// One unit of batch work: a named byte buffer (usually a file).
 struct BatchItem {
@@ -136,6 +150,19 @@ struct BatchOptions {
   /// traces stay byte-identical.
   bool static_prefilter = false;
 };
+
+/// Runs the front-end (and, per `ctx`, detonation / the static prefilter)
+/// over one named document with exception isolation: a throwing
+/// parser/instrumenter yields a per-document error, never a dead run.
+/// This is THE per-document execution path — the batch scanner and the
+/// serve-mode ScanService both call it, so one-shot and service verdicts
+/// agree byte for byte by construction. `arena` is an optional reusable
+/// parse arena (reset by the caller between documents); null parses into
+/// a private arena that dies with the document.
+BatchDocResult run_document(const FrontEnd& frontend, std::string_view name,
+                            support::BytesView data,
+                            const BatchRunContext& ctx,
+                            const support::ArenaHandle& arena = nullptr);
 
 class BatchScanner {
  public:

@@ -1,0 +1,276 @@
+#include "core/scan_service.hpp"
+
+#include <utility>
+
+#include "core/keys.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "trace/trace.hpp"
+
+namespace pdfshield::core {
+
+namespace {
+
+constexpr std::size_t kDefaultInflightBytes = 256 * 1024 * 1024;
+
+}  // namespace
+
+ScanService::ScanService(ServeOptions options) : options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = 1;
+  if (options_.max_inflight_docs == 0) {
+    options_.max_inflight_docs = 8 * options_.jobs;
+  }
+  if (options_.max_inflight_bytes == 0) {
+    options_.max_inflight_bytes = kDefaultInflightBytes;
+  }
+  if (options_.max_doc_bytes == 0) {
+    options_.max_doc_bytes = options_.max_inflight_bytes;
+  }
+  if (options_.degrade_depth == 0) options_.degrade_depth = 4 * options_.jobs;
+  if (options_.restore_depth == 0) {
+    options_.restore_depth = options_.degrade_depth / 2;
+  }
+  if (options_.detector_id.empty()) {
+    // Same fixed seed as the batch scanner: a default serve deployment and
+    // a default batch run produce directly comparable verdicts.
+    support::Rng rng(0x7000df5e1dbafc00ULL);
+    options_.detector_id = generate_detector_id(rng);
+  }
+
+  ctx_.keep_output = false;
+  ctx_.detonate = options_.detonate;
+  ctx_.session = options_.detector_id;
+  if (!options_.trace_path.empty()) {
+    ctx_.trace_sink = trace::JsonlSink::open(options_.trace_path);
+    ctx_.counters = std::make_shared<trace::CounterSink>();
+    recorder_ = std::make_unique<trace::Recorder>(options_.detector_id, 0);
+    recorder_->add_sink(ctx_.trace_sink);
+    recorder_->add_sink(ctx_.counters);
+  }
+
+  FrontEndOptions analyzing = options_.frontend;
+  analyzing.analyze_js = true;
+  frontends_.reserve(options_.jobs);
+  frontends_analyzing_.reserve(options_.jobs);
+  arenas_.reserve(options_.jobs);
+  for (std::size_t i = 0; i < options_.jobs; ++i) {
+    frontends_.emplace_back(options_.detector_id, options_.frontend);
+    frontends_analyzing_.emplace_back(options_.detector_id, analyzing);
+    arenas_.push_back(std::make_shared<support::Arena>());
+  }
+
+  if (options_.force_degraded) degraded_.store(true);
+
+  // The pool's own backpressure must never engage: admission control is
+  // the bound, and an open-loop submitter that got past admission must
+  // not block. Capacity strictly above max in-flight guarantees it.
+  pool_ = std::make_unique<support::WorkStealingPool>(
+      options_.jobs, options_.max_inflight_docs + options_.jobs + 1);
+}
+
+ScanService::~ScanService() {
+  // Joining the pool drains every admitted document; after this, worker
+  // callbacks can no longer touch the members destroyed below.
+  pool_.reset();
+}
+
+bool ScanService::submit(std::string name, support::BytesView data,
+                         std::shared_ptr<const void> pin, Callback done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const auto submitted_at = std::chrono::steady_clock::now();
+
+  std::string reject_reason;
+  std::size_t inflight_docs = 0;
+  std::size_t inflight_bytes = 0;
+  if (data.size() > options_.max_doc_bytes) {
+    reject_reason = "oversized";
+  } else {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    if (inflight_docs_ >= options_.max_inflight_docs ||
+        inflight_bytes_ + data.size() > options_.max_inflight_bytes) {
+      reject_reason = "overloaded";
+      inflight_docs = inflight_docs_;
+      inflight_bytes = inflight_bytes_;
+    } else {
+      ++inflight_docs_;
+      inflight_bytes_ += data.size();
+      inflight_docs = inflight_docs_;
+      inflight_bytes = inflight_bytes_;
+    }
+  }
+
+  if (recorder_) {
+    recorder_->record_for(
+        name, trace::Admission{reject_reason.empty(), reject_reason,
+                               inflight_docs, inflight_bytes});
+  }
+  if (!reject_reason.empty()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ScanResponse response;
+    response.name = std::move(name);
+    response.accepted = false;
+    response.reject_reason = std::move(reject_reason);
+    response.latency_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      submitted_at)
+            .count();
+    done(response);
+    return false;
+  }
+
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t backlog =
+      backlog_.fetch_add(1, std::memory_order_relaxed) + 1;
+  update_degradation(backlog);
+
+  pool_->submit([this, name = std::move(name), data, pin = std::move(pin),
+                 done = std::move(done), submitted_at]() mutable {
+    const auto worker = static_cast<std::size_t>(
+        support::WorkStealingPool::current_worker());
+    note_started();
+    run_request(worker, name, data, submitted_at, done);
+    pin.reset();
+  });
+  return true;
+}
+
+bool ScanService::submit(std::string name, support::Bytes data,
+                         Callback done) {
+  auto owned = std::make_shared<support::Bytes>(std::move(data));
+  const support::BytesView view(owned->data(), owned->size());
+  return submit(std::move(name), view, std::move(owned), std::move(done));
+}
+
+void ScanService::note_started() {
+  const std::size_t backlog =
+      backlog_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  update_degradation(backlog);
+}
+
+void ScanService::update_degradation(std::size_t backlog) {
+  if (options_.force_degraded) return;  // pinned by configuration
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  const bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (!degraded && backlog >= options_.degrade_depth) {
+    degraded_.store(true, std::memory_order_relaxed);
+    degrade_enters_.fetch_add(1, std::memory_order_relaxed);
+    if (recorder_) {
+      recorder_->record(trace::Degradation{true, backlog});
+    }
+  } else if (degraded && backlog <= options_.restore_depth) {
+    degraded_.store(false, std::memory_order_relaxed);
+    if (recorder_) {
+      recorder_->record(trace::Degradation{false, backlog});
+    }
+  }
+}
+
+void ScanService::run_request(
+    std::size_t worker, const std::string& name, support::BytesView data,
+    std::chrono::steady_clock::time_point submitted_at, const Callback& done) {
+  const bool degraded_now = degraded_.load(std::memory_order_relaxed);
+  const bool prefilter = degraded_now || options_.static_prefilter;
+
+  BatchRunContext ctx = ctx_;
+  ctx.static_prefilter = prefilter;
+  const FrontEnd& frontend =
+      prefilter ? frontends_analyzing_[worker] : frontends_[worker];
+  const support::ArenaHandle& arena = arenas_[worker];
+
+  ScanResponse response;
+  response.degraded = degraded_now;
+  response.doc = run_document(frontend, name, data, ctx, arena);
+  response.name = name;
+  response.accepted = true;
+  // The FrontEndResult (the only other arena owner) died inside
+  // run_document; retained chunks make the next document on this worker
+  // allocation-free up to the high-water mark — the serve steady state.
+  if (arena && arena.use_count() == 1) arena->reset();
+
+  // A statically skipped document never detonated, so nothing emitted a
+  // closing verdict for it; put its static-clean verdict on the spine so
+  // a trace replay accounts for every admitted document.
+  if (recorder_ && response.doc.static_skipped) {
+    recorder_->record_for(name, trace::DocVerdict{"clean-static", 0.0,
+                                                  /*alerted=*/false});
+  }
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!response.doc.ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  if (response.doc.malicious) {
+    malicious_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (response.doc.static_skipped) {
+    static_skipped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (degraded_now) degraded_docs_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --inflight_docs_;
+    inflight_bytes_ -= data.size();
+  }
+
+  response.latency_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submitted_at)
+          .count();
+  done(response);
+}
+
+void ScanService::drain() { pool_->wait_idle(); }
+
+ServeStats ScanService::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.malicious = malicious_.load(std::memory_order_relaxed);
+  s.static_skipped = static_skipped_.load(std::memory_order_relaxed);
+  s.degraded_docs = degraded_docs_.load(std::memory_order_relaxed);
+  s.degrade_enters = degrade_enters_.load(std::memory_order_relaxed);
+  s.steals = pool_->steals();
+  s.degraded_now = degraded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string ScanResponse::to_jsonl() const {
+  std::string out;
+  out.reserve(192);
+  out += "{\"name\":";
+  trace::append_json_string(out, name);
+  out += ",\"accepted\":";
+  out += accepted ? "true" : "false";
+  if (!accepted) {
+    out += ",\"rejected\":";
+    trace::append_json_string(out, reject_reason);
+    out += '}';
+    return out;
+  }
+  out += ",\"ok\":";
+  out += doc.ok ? "true" : "false";
+  if (!doc.error.empty()) {
+    out += ",\"error\":";
+    trace::append_json_string(out, doc.error);
+  }
+  out += ",\"input_bytes\":" + std::to_string(doc.input_bytes);
+  if (doc.ok) {
+    out += ",\"output_crc32\":" + std::to_string(doc.output_crc32);
+    out += ",\"suspicious\":";
+    out += doc.suspicious ? "true" : "false";
+    if (doc.detonated) {
+      out += ",\"malicious\":";
+      out += doc.malicious ? "true" : "false";
+      out += ",\"malscore\":" + support::format_double(doc.malscore, 6);
+    }
+    if (doc.static_skipped) out += ",\"static_skipped\":true";
+  }
+  if (degraded) out += ",\"degraded\":true";
+  out += ",\"latency_s\":" + support::format_double(latency_s, 6);
+  out += '}';
+  return out;
+}
+
+}  // namespace pdfshield::core

@@ -1,0 +1,183 @@
+// Serve-mode scan service (long-lived daemon core). Where the batch
+// scanner walks a directory once and exits, a ScanService accepts an
+// unbounded *stream* of scan requests — from the spool watcher, the
+// local-socket endpoint, or an in-process caller — and keeps the
+// per-worker FrontEnd + arena-reuse steady state of the batch path warm
+// across the whole process lifetime.
+//
+// Three mechanisms turn the one-shot scanner into something that survives
+// production traffic:
+//
+//  1. Work-stealing scheduling: each worker owns a deque of admitted
+//     documents; an idle worker steals one document from a loaded
+//     sibling, so a burst of decompression bombs landing on one deque
+//     delays that deque's documents, not the whole service.
+//  2. Admission control: the service bounds admitted-but-unfinished work
+//     in documents AND bytes. Anything beyond the bound is rejected
+//     immediately with `rejected: overloaded` — a bounded, explicit
+//     answer instead of an unbounded queue and a timeout.
+//  3. Graceful degradation: when the scheduler backlog crosses
+//     `degrade_depth`, the service enters static-only degradation — the
+//     jsstatic prefilter runs on every admitted document and statically
+//     proven-clean ones skip detonation (exactly the --static-prefilter
+//     contract, so degraded verdicts are verdict-preserving by
+//     construction). The backlog draining below `restore_depth` restores
+//     full detonation. Every transition and every admission decision is
+//     a typed event on the trace spine.
+//
+// Verdicts are byte-identical to a one-shot `batch` over the same inputs
+// at any worker count: both paths funnel through core::run_document and
+// the self-seeding FrontEnd.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch_scanner.hpp"
+#include "support/arena.hpp"
+#include "support/bytes.hpp"
+#include "support/work_stealing_pool.hpp"
+#include "trace/recorder.hpp"
+
+namespace pdfshield::core {
+
+struct ServeOptions {
+  std::size_t jobs = 1;
+  /// Admission bounds on admitted-but-unfinished work; a request that
+  /// would exceed either is rejected with reason "overloaded".
+  /// 0 => 8 * jobs documents / 256 MiB.
+  std::size_t max_inflight_docs = 0;
+  std::size_t max_inflight_bytes = 0;
+  /// A single document larger than this is rejected with reason
+  /// "oversized" (it could never be admitted); 0 => max_inflight_bytes.
+  std::size_t max_doc_bytes = 0;
+  /// Degradation ladder: enter static-only degradation when the scheduler
+  /// backlog (admitted, not yet started) reaches `degrade_depth`; restore
+  /// full detonation when it falls back to `restore_depth`. 0 =>
+  /// 4 * jobs and 2 * jobs respectively.
+  std::size_t degrade_depth = 0;
+  std::size_t restore_depth = 0;
+  /// Pin the service in static-only degradation (tests, and deployments
+  /// that want the prefilter unconditionally).
+  bool force_degraded = false;
+  /// Per-installation detector id; empty derives the same fixed default
+  /// as the batch scanner, so serve and batch verdicts are comparable.
+  std::string detector_id;
+  FrontEndOptions frontend;
+  /// Detonate each document for a runtime verdict (the serve default —
+  /// a verdict service that never detonates is just `scan`).
+  bool detonate = true;
+  /// Run the jsstatic prefilter on every document even when not degraded.
+  bool static_prefilter = false;
+  /// JSONL trace output path; empty disables tracing. Admission and
+  /// degradation events land on the same stream as every document's
+  /// front-end/detonation events.
+  std::string trace_path;
+};
+
+/// One response per submitted request — exactly one, whether the request
+/// was scanned, errored, or rejected at admission.
+struct ScanResponse {
+  std::string name;
+  bool accepted = false;
+  std::string reject_reason;  ///< "overloaded" / "oversized" when rejected
+  /// Scan outcome (meaningful only when accepted).
+  BatchDocResult doc;
+  /// The document was handled under static-only degradation.
+  bool degraded = false;
+  double latency_s = 0;  ///< submit-to-response wall time
+
+  /// One-line JSON — the wire answer of the socket and spool endpoints.
+  std::string to_jsonl() const;
+};
+
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t malicious = 0;
+  std::uint64_t static_skipped = 0;
+  std::uint64_t degraded_docs = 0;   ///< documents handled while degraded
+  std::uint64_t degrade_enters = 0;  ///< ladder transitions into degraded
+  std::uint64_t steals = 0;          ///< scheduler tasks that migrated
+  bool degraded_now = false;
+};
+
+class ScanService {
+ public:
+  using Callback = std::function<void(const ScanResponse&)>;
+
+  explicit ScanService(ServeOptions options = {});
+  /// Drains: blocks until every admitted document has completed.
+  ~ScanService();
+
+  ScanService(const ScanService&) = delete;
+  ScanService& operator=(const ScanService&) = delete;
+
+  /// Admission-controlled asynchronous submit. `data` must stay valid
+  /// until the callback runs; `pin` (may be null) is released with the
+  /// request and is how mmap'd spool files stay alive exactly as long as
+  /// a worker can still touch them. The callback runs exactly once: on a
+  /// worker thread after the scan, or synchronously right here when the
+  /// request is rejected (returns false) — so every request gets exactly
+  /// one answer through one channel.
+  bool submit(std::string name, support::BytesView data,
+              std::shared_ptr<const void> pin, Callback done);
+
+  /// Convenience for owning submissions (copies nothing; moves the buffer
+  /// into the pin).
+  bool submit(std::string name, support::Bytes data, Callback done);
+
+  /// Blocks until all admitted documents have completed. The service
+  /// stays usable afterwards (a drain is not a shutdown).
+  void drain();
+
+  ServeStats stats() const;
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  const std::string& detector_id() const { return options_.detector_id; }
+
+ private:
+  void run_request(std::size_t worker, const std::string& name,
+                   support::BytesView data,
+                   std::chrono::steady_clock::time_point submitted_at,
+                   const Callback& done);
+  void note_started();  ///< backlog bookkeeping + degradation ladder
+  void update_degradation(std::size_t backlog);
+
+  ServeOptions options_;
+  BatchRunContext ctx_;  ///< sinks + session shared by all workers
+  /// Per-worker front-ends: the configured one, and one with the jsstatic
+  /// pass forced on for documents handled under the prefilter/degraded
+  /// path. Both are immutable and self-seeding, so which one runs never
+  /// changes instrumented bytes — only whether a clean proof is attempted.
+  std::vector<FrontEnd> frontends_;
+  std::vector<FrontEnd> frontends_analyzing_;
+  std::vector<support::ArenaHandle> arenas_;
+  std::unique_ptr<trace::Recorder> recorder_;  ///< service-level events
+  std::unique_ptr<support::WorkStealingPool> pool_;
+
+  mutable std::mutex admission_mutex_;  ///< guards the two inflight counts
+  std::size_t inflight_docs_ = 0;
+  std::size_t inflight_bytes_ = 0;
+  std::atomic<std::size_t> backlog_{0};  ///< admitted, not yet started
+  std::atomic<bool> degraded_{false};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> malicious_{0};
+  std::atomic<std::uint64_t> static_skipped_{0};
+  std::atomic<std::uint64_t> degraded_docs_{0};
+  std::atomic<std::uint64_t> degrade_enters_{0};
+};
+
+}  // namespace pdfshield::core

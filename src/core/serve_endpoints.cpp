@@ -1,0 +1,322 @@
+#include "core/serve_endpoints.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <system_error>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/mmap_file.hpp"
+
+namespace pdfshield::core::serve {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// SpoolWatcher
+
+SpoolWatcher::SpoolWatcher(ScanService& service, fs::path spool_dir,
+                           SpoolOptions options)
+    : service_(service),
+      dir_(std::move(spool_dir)),
+      done_dir_(dir_ / ".done"),
+      failed_dir_(dir_ / ".failed"),
+      options_(std::move(options)) {}
+
+SpoolWatcher::~SpoolWatcher() { stop(); }
+
+void SpoolWatcher::start() {
+  if (running_.exchange(true)) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (!options_.delete_processed) fs::create_directories(done_dir_, ec);
+  fs::create_directories(failed_dir_, ec);
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      poll_once();
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
+    }
+  });
+}
+
+void SpoolWatcher::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void SpoolWatcher::dispose(const fs::path& file, bool failed) {
+  // Worker threads race the poll loop and each other here; every filesystem
+  // miss (producer already moved it, duplicate rename) is benign, so all
+  // operations go through the non-throwing overloads.
+  std::error_code ec;
+  if (failed) {
+    fs::rename(file, failed_dir_ / file.filename(), ec);
+    if (ec) fs::remove(file, ec);
+    return;
+  }
+  if (options_.delete_processed) {
+    fs::remove(file, ec);
+  } else {
+    fs::rename(file, done_dir_ / file.filename(), ec);
+    if (ec) fs::remove(file, ec);
+  }
+}
+
+std::size_t SpoolWatcher::poll_once() {
+  // Snapshot + sort so a steady producer sees deterministic intake order.
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& p = it->path();
+    const std::string fname = p.filename().string();
+    if (fname.empty() || fname.front() == '.') continue;  // .done/.failed
+    if (!it->is_regular_file(ec)) continue;
+    files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t submitted = 0;
+  for (const fs::path& file : files) {
+    const std::string name = file.filename().string();
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      if (!inflight_.insert(name).second) continue;  // already submitted
+    }
+
+    std::shared_ptr<support::MappedFile> mapped;
+    try {
+      mapped = support::MappedFile::map(file);
+    } catch (const support::Error&) {
+      // Vanished between listing and mapping (producer withdrew it) —
+      // forget it and let the next poll see whatever replaced it.
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(name);
+      continue;
+    }
+
+    const support::BytesView data = mapped->view();
+    ++submitted;
+    files_submitted_.fetch_add(1, std::memory_order_relaxed);
+    service_.submit(
+        name, data, std::move(mapped),
+        [this, file, name](const ScanResponse& response) {
+          if (!response.accepted && response.reject_reason == "overloaded") {
+            // Transient: leave the file in place — the spool directory is
+            // the retry queue, the next poll resubmits it.
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            inflight_.erase(name);
+            return;
+          }
+          if (options_.on_response) options_.on_response(response);
+          dispose(file, /*failed=*/!response.accepted);
+          std::lock_guard<std::mutex> lock(inflight_mutex_);
+          inflight_.erase(name);
+        });
+  }
+  return submitted;
+}
+
+// ---------------------------------------------------------------------------
+// Socket framing helpers
+
+namespace {
+
+bool read_full(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::write(fd, p + sent, len - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw support::Error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw support::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw support::Error("cannot connect to " + path + ": " +
+                         std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketServer
+
+SocketServer::SocketServer(ScanService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  if (running_.exchange(true)) return;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    running_.store(false);
+    throw support::Error("socket path too long: " + path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    running_.store(false);
+    throw support::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw support::Error("cannot listen on " + path_ + ": " +
+                         std::strerror(err));
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock connection threads parked in read(); they close their own
+    // fds on the way out.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  conn_fds_.clear();
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::accept_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    const std::size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd, slot] {
+      serve_connection(fd);
+      std::lock_guard<std::mutex> guard(conn_mutex_);
+      ::close(fd);
+      conn_fds_[slot] = -1;
+    });
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  while (running_.load(std::memory_order_relaxed)) {
+    std::uint32_t name_len = 0;
+    std::uint64_t data_len = 0;
+    if (!read_full(fd, &name_len, sizeof(name_len))) return;
+    if (!read_full(fd, &data_len, sizeof(data_len))) return;
+    if (name_len == 0 || name_len > kMaxNameLen || data_len > kMaxDataLen) {
+      return;  // protocol violation: drop the connection
+    }
+    std::string name(name_len, '\0');
+    if (!read_full(fd, name.data(), name_len)) return;
+    support::Bytes data(static_cast<std::size_t>(data_len));
+    if (data_len > 0 && !read_full(fd, data.data(), data.size())) return;
+
+    // The connection is synchronous: one outstanding request, answered in
+    // order. Parallelism comes from concurrent connections, and the wait
+    // here is exactly the client's wait.
+    auto answered = std::make_shared<std::promise<std::string>>();
+    std::future<std::string> line = answered->get_future();
+    service_.submit(std::move(name), std::move(data),
+                    [answered](const ScanResponse& response) {
+                      answered->set_value(response.to_jsonl());
+                    });
+    const std::string json = line.get();
+    const auto json_len = static_cast<std::uint32_t>(json.size());
+    if (!write_full(fd, &json_len, sizeof(json_len))) return;
+    if (!write_full(fd, json.data(), json.size())) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+std::string socket_scan(const std::string& socket_path, std::string_view name,
+                        support::BytesView data) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    throw support::Error("invalid document name for socket scan");
+  }
+  if (data.size() > kMaxDataLen) {
+    throw support::Error("document too large for socket scan");
+  }
+  const int fd = connect_unix(socket_path);
+  const auto name_len = static_cast<std::uint32_t>(name.size());
+  const auto data_len = static_cast<std::uint64_t>(data.size());
+  bool ok = write_full(fd, &name_len, sizeof(name_len)) &&
+            write_full(fd, &data_len, sizeof(data_len)) &&
+            write_full(fd, name.data(), name.size()) &&
+            (data.empty() || write_full(fd, data.data(), data.size()));
+  std::uint32_t json_len = 0;
+  ok = ok && read_full(fd, &json_len, sizeof(json_len));
+  std::string json(json_len, '\0');
+  ok = ok && (json_len == 0 || read_full(fd, json.data(), json.size()));
+  ::close(fd);
+  if (!ok) {
+    throw support::Error("socket scan failed: server closed the connection");
+  }
+  return json;
+}
+
+}  // namespace pdfshield::core::serve

@@ -1,0 +1,125 @@
+// Ingest endpoints for the serve daemon: a watched spool directory and a
+// length-prefixed local-socket (AF_UNIX) protocol. Both are thin shims —
+// every admission, scheduling and verdict decision lives in ScanService;
+// the endpoints only move bytes in and JSONL answers out.
+//
+// Spool contract: producers write-then-rename documents into the spool
+// root. The watcher maps each file (zero-copy — workers parse straight
+// out of the page cache), submits it, and disposes of it by the outcome:
+// completed scans move to `<spool>/.done` (or are deleted), permanent
+// rejections ("oversized") move to `<spool>/.failed`, and "overloaded"
+// rejections stay in place — the directory itself is the retry queue, so
+// overload sheds work without losing it.
+//
+// Socket protocol (little-endian), one request per round-trip:
+//   request:  u32 name_len | u64 data_len | name bytes | document bytes
+//   response: u32 json_len | one ScanResponse JSON line
+// A connection handles requests sequentially; concurrency comes from
+// opening more connections. Malformed frames (name_len > 4096,
+// data_len > 1 GiB) terminate the connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scan_service.hpp"
+#include "support/bytes.hpp"
+
+namespace pdfshield::core::serve {
+
+inline constexpr std::uint32_t kMaxNameLen = 4096;
+inline constexpr std::uint64_t kMaxDataLen = 1ULL << 30;
+
+struct SpoolOptions {
+  int poll_ms = 50;
+  /// Delete processed files instead of moving them to `<spool>/.done`.
+  bool delete_processed = false;
+  /// Called with every response (completed or permanently rejected) —
+  /// the CLI appends these to its responses JSONL. May be null. Runs on
+  /// worker threads; the watcher serializes nothing here.
+  std::function<void(const ScanResponse&)> on_response;
+};
+
+/// Polls a spool directory and feeds every regular file through the
+/// service via mmap. One background thread; start() begins watching,
+/// stop() halts the poll loop (in-flight documents drain with the
+/// service, not the watcher).
+class SpoolWatcher {
+ public:
+  SpoolWatcher(ScanService& service, std::filesystem::path spool_dir,
+               SpoolOptions options = {});
+  ~SpoolWatcher();
+
+  SpoolWatcher(const SpoolWatcher&) = delete;
+  SpoolWatcher& operator=(const SpoolWatcher&) = delete;
+
+  void start();
+  void stop();
+
+  /// One synchronous pass over the spool (also called by the poll loop);
+  /// returns how many files were submitted. Exposed so tests and
+  /// drain-once CLI modes can pump the spool without the thread.
+  std::size_t poll_once();
+
+  std::uint64_t files_submitted() const {
+    return files_submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void dispose(const std::filesystem::path& file, bool failed);
+
+  ScanService& service_;
+  std::filesystem::path dir_;
+  std::filesystem::path done_dir_;
+  std::filesystem::path failed_dir_;
+  SpoolOptions options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::mutex inflight_mutex_;
+  std::unordered_set<std::string> inflight_;  ///< names submitted, unanswered
+  std::atomic<std::uint64_t> files_submitted_{0};
+};
+
+/// AF_UNIX stream server speaking the length-prefixed protocol above.
+class SocketServer {
+ public:
+  SocketServer(ScanService& service, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds + listens + starts the accept loop; throws support::Error on
+  /// bind failure (stale sockets are unlinked first).
+  void start();
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ScanService& service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Client side of the socket protocol: sends one document, returns the
+/// response JSON line. Throws support::Error on connect/protocol failure.
+std::string socket_scan(const std::string& socket_path,
+                        std::string_view name, support::BytesView data);
+
+}  // namespace pdfshield::core::serve

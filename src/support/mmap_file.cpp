@@ -1,0 +1,51 @@
+#include "support/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace pdfshield::support {
+
+std::shared_ptr<MappedFile> MappedFile::map(
+    const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw Error("cannot open " + path.string() + ": " +
+                std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("cannot stat " + path.string() + ": " + std::strerror(err));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* data = nullptr;
+  if (size > 0) {
+    // MAP_PRIVATE: a concurrent writer truncating the spool file cannot
+    // corrupt pages we already faulted in (new faults may still SIGBUS —
+    // the spool contract is write-then-rename, so files are immutable
+    // once visible).
+    data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw Error("cannot mmap " + path.string() + ": " +
+                  std::strerror(err));
+    }
+  }
+  ::close(fd);  // the mapping keeps the pages alive
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace pdfshield::support

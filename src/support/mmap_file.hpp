@@ -1,0 +1,40 @@
+// Read-only memory-mapped file: the serve-mode spool ingest path. A
+// spooled document is mapped, not read — the kernel pages it in lazily
+// and the parse path borrows directly from the mapping (the PR 5 borrowed
+// object model never copies undecoded bytes), so ingest is zero-copy end
+// to end. The mapping is shared_ptr-owned and pinned by the in-flight
+// scan request; it unmaps when the last owner (request or watcher) drops
+// it, which makes hand-off to a work-stealing worker safe without any
+// lifetime choreography.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+
+#include "support/bytes.hpp"
+
+namespace pdfshield::support {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only; throws support::Error when the file cannot be
+  /// opened, stat'd, or mapped. An empty file maps to an empty view.
+  static std::shared_ptr<MappedFile> map(const std::filesystem::path& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  BytesView view() const {
+    return {static_cast<const std::uint8_t*>(data_), size_};
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* data, std::size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;  ///< null for empty files (nothing mapped)
+  std::size_t size_ = 0;
+};
+
+}  // namespace pdfshield::support

@@ -1,0 +1,208 @@
+// Work-stealing worker pool: each worker owns a deque of tasks and pops
+// from its own bottom (LIFO, cache-warm); a worker whose deque runs dry
+// steals one task from the top of a sibling's deque (FIFO — the oldest,
+// coldest work moves). Steal granularity is one task (one document), so a
+// skewed workload — one worker's deque stacked with decompression bombs
+// while its siblings idle — rebalances at document boundaries instead of
+// serializing behind the unlucky worker.
+//
+// This replaces the bounded-queue ThreadPool: a single shared queue is a
+// contention point every task acquisition must cross, and it cannot
+// express locality (serve-mode endpoints pin related work to one worker's
+// deque and let stealing handle imbalance). submit() still applies
+// backpressure — it blocks while `queue_capacity` tasks are queued but
+// unstarted — so batch producers keep their bounded-memory guarantee.
+// Serve mode sizes the capacity above its admission-control bound instead,
+// so its open-loop submitters never block here.
+//
+// Header-only so benches and tools can reuse it; used by
+// core::BatchScanner and core::ScanService.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pdfshield::support {
+
+class WorkStealingPool {
+ public:
+  /// Spawns `workers` threads (at least 1). `queue_capacity` bounds the
+  /// number of queued-but-unstarted tasks across all deques; 0 means
+  /// 2 * workers.
+  explicit WorkStealingPool(std::size_t workers,
+                            std::size_t queue_capacity = 0)
+      : capacity_(queue_capacity ? queue_capacity
+                                 : 2 * (workers ? workers : 1)) {
+    if (workers == 0) workers = 1;
+    deques_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      deques_.push_back(std::make_unique<Deque>());
+    }
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  ~WorkStealingPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Index of the calling pool worker in [0, worker_count()), or -1 when
+  /// called from outside the pool. Lets tasks reach per-worker state
+  /// (e.g. one FrontEnd + one reusable arena per worker) without locking.
+  static int current_worker() { return tl_worker_index_; }
+
+  /// Enqueues a task on the next deque round-robin; blocks while
+  /// `queue_capacity` tasks are queued but unstarted. Must not be called
+  /// from a worker thread (a full queue would deadlock).
+  void submit(std::function<void()> task) {
+    submit_to(next_.fetch_add(1, std::memory_order_relaxed) % deques_.size(),
+              std::move(task));
+  }
+
+  /// Enqueues a task on a specific worker's deque (same backpressure).
+  /// The pin is a placement hint, not an affinity guarantee: any idle
+  /// sibling may steal the task. Tests use this to build maximally skewed
+  /// backlogs; endpoints may use it for locality.
+  void submit_to(std::size_t worker, std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stop_) throw LogicError("WorkStealingPool::submit after shutdown");
+      not_full_.wait(lock,
+                     [this] { return queued_ < capacity_ || stop_; });
+      if (stop_) throw LogicError("WorkStealingPool::submit after shutdown");
+      ++queued_;
+      ++unfinished_;
+    }
+    {
+      Deque& dq = *deques_[worker % deques_.size()];
+      std::lock_guard<std::mutex> lock(dq.mutex);
+      dq.tasks.push_back(std::move(task));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+  /// Tasks executed by a worker other than the one they were submitted to.
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks queued but not yet started (the scheduler backlog). Serve-mode
+  /// degradation keys off this depth.
+  std::size_t queued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+  }
+
+ private:
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index) {
+    tl_worker_index_ = static_cast<int>(index);
+    for (;;) {
+      std::function<void()> task;
+      if (!acquire(index, task)) return;
+      task();
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--unfinished_ == 0) idle_.notify_all();
+    }
+  }
+
+  /// Pops from the own deque's bottom, else steals from a sibling's top,
+  /// else sleeps. Returns false when the pool is stopping and fully
+  /// drained.
+  bool acquire(std::size_t me, std::function<void()>& task) {
+    for (;;) {
+      if (pop_bottom(me, task)) {
+        took_one();
+        return true;
+      }
+      for (std::size_t off = 1; off < deques_.size(); ++off) {
+        if (pop_top((me + off) % deques_.size(), task)) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          took_one();
+          return true;
+        }
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queued_ > 0) continue;  // raced a submit mid-push; rescan
+      if (stop_) return false;
+      not_empty_.wait(lock, [this] { return queued_ > 0 || stop_; });
+      if (queued_ == 0 && stop_) return false;
+    }
+  }
+
+  bool pop_bottom(std::size_t worker, std::function<void()>& task) {
+    Deque& dq = *deques_[worker];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.tasks.empty()) return false;
+    task = std::move(dq.tasks.back());
+    dq.tasks.pop_back();
+    return true;
+  }
+
+  bool pop_top(std::size_t worker, std::function<void()>& task) {
+    Deque& dq = *deques_[worker];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.tasks.empty()) return false;
+    task = std::move(dq.tasks.front());
+    dq.tasks.pop_front();
+    return true;
+  }
+
+  void took_one() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+    not_full_.notify_one();
+  }
+
+  static thread_local int tl_worker_index_;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;  ///< guards queued_/unfinished_/stop_
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::size_t queued_ = 0;      ///< submitted but not yet started
+  std::size_t unfinished_ = 0;  ///< submitted but not yet completed
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+inline thread_local int WorkStealingPool::tl_worker_index_ = -1;
+
+}  // namespace pdfshield::support

@@ -15,6 +15,8 @@ std::string_view kind_name(Kind kind) {
     case Kind::kConfinement: return "confinement";
     case Kind::kDocVerdict: return "doc-verdict";
     case Kind::kCounter: return "counter";
+    case Kind::kAdmission: return "admission";
+    case Kind::kDegradation: return "degradation";
   }
   return "unknown";
 }
@@ -128,6 +130,16 @@ struct PayloadWriter {
   void operator()(const CounterSample& p) const {
     append_field(out, "counter", p.counter);
     append_field(out, "value", p.value);
+  }
+  void operator()(const Admission& p) const {
+    append_field(out, "accepted", p.accepted);
+    if (!p.reason.empty()) append_field(out, "reason", p.reason);
+    append_field(out, "inflight_docs", p.inflight_docs);
+    append_field(out, "inflight_bytes", p.inflight_bytes);
+  }
+  void operator()(const Degradation& p) const {
+    append_field(out, "entered", p.entered);
+    append_field(out, "queue_depth", p.queue_depth);
   }
 };
 

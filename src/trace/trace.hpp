@@ -29,8 +29,10 @@ enum class Kind : std::size_t {
   kConfinement,    ///< Table-III action (quarantine / sandbox / veto / kill)
   kDocVerdict,     ///< per-document verdict snapshot (alert or final score)
   kCounter,        ///< free-form counter sample
+  kAdmission,      ///< serve-mode admission decision (accept / reject)
+  kDegradation,    ///< serve-mode degradation ladder transition
 };
-inline constexpr std::size_t kKindCount = 9;
+inline constexpr std::size_t kKindCount = 11;
 
 /// One intercepted API call (pre-call view, same data the hooks see).
 struct ApiCall {
@@ -94,9 +96,31 @@ struct CounterSample {
   std::uint64_t value = 0;
 };
 
+/// Serve-mode admission decision for the correlated document. Rejections
+/// carry the reason the client saw ("overloaded", "oversized"), so the
+/// trace accounts for every request the service shed, not just the ones
+/// it scanned.
+struct Admission {
+  bool accepted = false;
+  std::string reason;  ///< empty when accepted
+  std::uint64_t inflight_docs = 0;   ///< admitted-but-unfinished documents
+  std::uint64_t inflight_bytes = 0;  ///< admitted-but-unfinished payload
+};
+
+/// Serve-mode degradation ladder transition: the service entered (or left)
+/// static-only degradation because the detonation backlog crossed a
+/// threshold. Verdict-neutral by construction — degradation only lets
+/// statically *proven-clean* documents skip detonation — but every
+/// transition is on the record so a replayed trace explains why a given
+/// document carries a static-skip instead of runtime events.
+struct Degradation {
+  bool entered = false;  ///< true = entering degraded mode, false = restored
+  std::uint64_t queue_depth = 0;  ///< scheduler backlog at the transition
+};
+
 using Payload = std::variant<ApiCall, HookVerdict, SoapMessage, JsContext,
                              PhaseSpan, FeatureFire, Confinement, DocVerdict,
-                             CounterSample>;
+                             CounterSample, Admission, Degradation>;
 
 static_assert(std::variant_size_v<Payload> == kKindCount);
 static_assert(std::is_same_v<std::variant_alternative_t<

@@ -2,16 +2,18 @@
 // determinism (same detector id + same input => byte-identical output at
 // any thread count), per-document fault isolation, and report JSON shape.
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "core/batch_scanner.hpp"
 #include "corpus/generator.hpp"
-#include "support/thread_pool.hpp"
+#include "support/work_stealing_pool.hpp"
 
 namespace pdfshield {
 namespace {
@@ -33,11 +35,11 @@ std::vector<BatchItem> make_corpus(std::size_t benign, std::size_t malicious) {
   return items;
 }
 
-TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce) {
   std::atomic<int> counter{0};
   std::vector<std::atomic<int>> per_task(200);
   {
-    support::ThreadPool pool(4, /*queue_capacity=*/3);  // forces backpressure
+    support::WorkStealingPool pool(4, /*queue_capacity=*/3);  // backpressure
     for (int i = 0; i < 200; ++i) {
       pool.submit([&, i] {
         per_task[static_cast<std::size_t>(i)]++;
@@ -50,14 +52,14 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
   for (const auto& n : per_task) EXPECT_EQ(n.load(), 1);
 }
 
-TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
-  support::ThreadPool pool(3);
-  EXPECT_EQ(support::ThreadPool::current_worker(), -1);  // caller thread
+TEST(WorkStealingPool, WorkerIndexIsStableAndInRange) {
+  support::WorkStealingPool pool(3);
+  EXPECT_EQ(support::WorkStealingPool::current_worker(), -1);  // caller
   std::mutex mu;
   std::set<int> seen;
   for (int i = 0; i < 50; ++i) {
     pool.submit([&] {
-      const int w = support::ThreadPool::current_worker();
+      const int w = support::WorkStealingPool::current_worker();
       std::lock_guard<std::mutex> lock(mu);
       seen.insert(w);
     });
@@ -69,8 +71,8 @@ TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
   }
 }
 
-TEST(ThreadPool, WaitIdleThenReuse) {
-  support::ThreadPool pool(2);
+TEST(WorkStealingPool, WaitIdleThenReuse) {
+  support::WorkStealingPool pool(2);
   std::atomic<int> counter{0};
   pool.submit([&] { counter++; });
   pool.wait_idle();
@@ -79,6 +81,33 @@ TEST(ThreadPool, WaitIdleThenReuse) {
   pool.submit([&] { counter++; });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 3);
+}
+
+// Every task is pinned to worker 0's deque, so with 4 workers the only way
+// the backlog drains in parallel — indeed, the only way workers 1..3 ever
+// run anything — is by stealing one task at a time from worker 0's top.
+TEST(WorkStealingPool, SkewedBacklogRebalancesByStealing) {
+  std::atomic<int> counter{0};
+  std::mutex mu;
+  std::set<int> ran_on;
+  {
+    support::WorkStealingPool pool(4, /*queue_capacity=*/256);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit_to(0, [&] {
+        // Hold the task long enough that worker 0 cannot drain the deque
+        // alone before the siblings wake up and steal.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        const int w = support::WorkStealingPool::current_worker();
+        std::lock_guard<std::mutex> lock(mu);
+        ran_on.insert(w);
+        counter++;
+      });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 200);
+    EXPECT_GT(pool.steals(), 0u);
+  }
+  EXPECT_GT(ran_on.size(), 1u);  // siblings participated
 }
 
 // The acceptance property: instrumented bytes and feature vectors are a

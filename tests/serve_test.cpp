@@ -1,0 +1,318 @@
+// Serve-mode contracts: admission control answers every request exactly
+// once and bounds in-flight work; degraded verdicts are byte-identical to
+// a --static-prefilter batch; shutdown drains; verdicts are identical at
+// any worker width; the socket endpoint round-trips; and admission +
+// degradation land on the trace spine next to every document's verdict.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/batch_scanner.hpp"
+#include "core/scan_service.hpp"
+#include "core/serve_endpoints.hpp"
+#include "corpus/generator.hpp"
+
+using namespace pdfshield;
+
+namespace {
+
+std::vector<corpus::Sample> make_corpus(std::size_t benign,
+                                        std::size_t malicious) {
+  corpus::CorpusGenerator gen;
+  std::vector<corpus::Sample> samples = gen.generate_benign(benign);
+  for (auto& s : gen.generate_malicious(malicious)) {
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+support::BytesView view_of(const corpus::Sample& s) {
+  return {s.data.data(), s.data.size()};
+}
+
+/// Collects one response per submit and can block until all have arrived.
+class ResponseCollector {
+ public:
+  core::ScanService::Callback callback() {
+    return [this](const core::ScanResponse& response) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      responses_.push_back(response);
+      cv_.notify_all();
+    };
+  }
+
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return responses_.size() >= n; });
+  }
+
+  std::vector<core::ScanResponse> responses() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return responses_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<core::ScanResponse> responses_;
+};
+
+TEST(ScanServiceTest, OverloadRejectsExplicitlyAndAnswersEveryRequest) {
+  const std::vector<corpus::Sample> samples = make_corpus(8, 0);
+  core::ServeOptions options;
+  options.jobs = 1;
+  options.max_inflight_docs = 1;  // one document in flight, ever
+  core::ScanService service(options);
+
+  ResponseCollector collector;
+  std::size_t submitted = 0;
+  // Burst far faster than one worker can scan: everything beyond the
+  // in-flight bound must come back as an explicit rejection, immediately.
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& s : samples) {
+      service.submit(s.name, view_of(s), nullptr, collector.callback());
+      ++submitted;
+    }
+  }
+  collector.wait_for(submitted);
+  service.drain();
+
+  const std::vector<core::ScanResponse> responses = collector.responses();
+  ASSERT_EQ(responses.size(), submitted);  // exactly one answer each
+  std::size_t rejected = 0;
+  for (const auto& r : responses) {
+    if (!r.accepted) {
+      ++rejected;
+      EXPECT_EQ(r.reject_reason, "overloaded");
+      EXPECT_NE(r.to_jsonl().find("\"rejected\":\"overloaded\""),
+                std::string::npos);
+    }
+  }
+  EXPECT_GT(rejected, 0u);  // the burst had to shed load
+  const core::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, submitted);
+  EXPECT_EQ(stats.accepted + stats.rejected, submitted);
+  EXPECT_EQ(stats.completed, stats.accepted);  // nothing queued unbounded
+}
+
+TEST(ScanServiceTest, OversizedDocumentRejectedBeforeAdmission) {
+  core::ServeOptions options;
+  options.jobs = 1;
+  options.max_doc_bytes = 64;
+  core::ScanService service(options);
+
+  const support::Bytes big(1024, 0x41);
+  ResponseCollector collector;
+  EXPECT_FALSE(service.submit("big.pdf", big, collector.callback()));
+  collector.wait_for(1);
+  const auto responses = collector.responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].accepted);
+  EXPECT_EQ(responses[0].reject_reason, "oversized");
+}
+
+// The degradation ladder's core guarantee: a degraded verdict is exactly
+// the --static-prefilter verdict — same crc, same conviction, same score,
+// same skip set — because degradation *is* the prefilter contract.
+TEST(ScanServiceTest, DegradedVerdictsMatchStaticPrefilterByteForByte) {
+  const std::vector<corpus::Sample> samples = make_corpus(6, 6);
+
+  core::ServeOptions options;
+  options.jobs = 2;
+  options.force_degraded = true;
+  options.detonate = true;
+  core::ScanService service(options);
+  ResponseCollector collector;
+  for (const auto& s : samples) {
+    service.submit(s.name, view_of(s), nullptr, collector.callback());
+  }
+  collector.wait_for(samples.size());
+  service.drain();
+
+  core::BatchOptions batch_options;
+  batch_options.jobs = 1;
+  batch_options.detonate = true;
+  batch_options.static_prefilter = true;
+  batch_options.detector_id = service.detector_id();
+  std::vector<core::BatchItem> items;
+  for (const auto& s : samples) items.push_back({s.name, s.data});
+  const core::BatchReport batch = core::BatchScanner(batch_options).scan(items);
+
+  std::map<std::string, const core::BatchDocResult*> by_name;
+  for (const auto& doc : batch.docs) by_name[doc.name] = &doc;
+  std::size_t skipped = 0;
+  for (const auto& r : collector.responses()) {
+    ASSERT_TRUE(r.accepted);
+    EXPECT_TRUE(r.degraded);
+    ASSERT_NE(by_name.count(r.name), 0u) << r.name;
+    const core::BatchDocResult& b = *by_name[r.name];
+    EXPECT_EQ(r.doc.ok, b.ok) << r.name;
+    EXPECT_EQ(r.doc.output_crc32, b.output_crc32) << r.name;
+    EXPECT_EQ(r.doc.suspicious, b.suspicious) << r.name;
+    EXPECT_EQ(r.doc.static_skipped, b.static_skipped) << r.name;
+    EXPECT_EQ(r.doc.detonated, b.detonated) << r.name;
+    EXPECT_EQ(r.doc.malicious, b.malicious) << r.name;
+    EXPECT_DOUBLE_EQ(r.doc.malscore, b.malscore) << r.name;
+    if (r.doc.static_skipped) ++skipped;
+  }
+  EXPECT_GT(skipped, 0u);  // benign docs actually skipped detonation
+  const core::ServeStats stats = service.stats();
+  EXPECT_EQ(stats.degraded_docs, samples.size());
+  EXPECT_EQ(stats.malicious,
+            static_cast<std::uint64_t>(batch.malicious_count));
+}
+
+TEST(ScanServiceTest, DestructionDrainsEveryAdmittedDocument) {
+  const std::vector<corpus::Sample> samples = make_corpus(10, 2);
+  std::atomic<std::size_t> answered{0};
+  std::atomic<std::size_t> admitted{0};
+  {
+    core::ServeOptions options;
+    options.jobs = 2;
+    core::ScanService service(options);
+    for (const auto& s : samples) {
+      if (service.submit(s.name, view_of(s), nullptr,
+                         [&answered](const core::ScanResponse&) {
+                           answered.fetch_add(1);
+                         })) {
+        admitted.fetch_add(1);
+      }
+    }
+    // No drain: the destructor itself must not strand admitted documents.
+  }
+  EXPECT_GT(admitted.load(), 0u);
+  EXPECT_EQ(answered.load(), samples.size());  // rejects answered too
+}
+
+// Steal-heavy skew: every worker width must produce the same verdicts.
+// Submissions land via round-robin placement and migrate by stealing, so
+// wide runs exercise genuinely different schedules than --jobs 1.
+TEST(ScanServiceTest, VerdictsIdenticalAcrossWorkerWidths) {
+  const std::vector<corpus::Sample> samples = make_corpus(8, 8);
+  using DocKey = std::tuple<bool, std::uint32_t, bool, double>;
+  std::map<std::string, DocKey> reference;
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    core::ServeOptions options;
+    options.jobs = jobs;
+    options.detonate = true;
+    // Whole burst admitted, never degraded: this test isolates scheduling
+    // (placement + stealing) as the only variable across widths.
+    options.max_inflight_docs = samples.size() + 1;
+    options.degrade_depth = samples.size() + 1;
+    core::ScanService service(options);
+    ResponseCollector collector;
+    for (const auto& s : samples) {
+      service.submit(s.name, view_of(s), nullptr, collector.callback());
+    }
+    collector.wait_for(samples.size());
+    service.drain();
+    std::map<std::string, DocKey> verdicts;
+    for (const auto& r : collector.responses()) {
+      ASSERT_TRUE(r.accepted);
+      verdicts[r.name] =
+          DocKey{r.doc.ok, r.doc.output_crc32, r.doc.malicious,
+                 r.doc.malscore};
+    }
+    ASSERT_EQ(verdicts.size(), samples.size());
+    if (jobs == 1) {
+      reference = verdicts;
+    } else {
+      EXPECT_EQ(verdicts, reference) << "verdicts diverged at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ScanServiceTest, SocketEndpointRoundTrips) {
+  const std::vector<corpus::Sample> samples = make_corpus(1, 1);
+  core::ServeOptions options;
+  options.jobs = 2;
+  core::ScanService service(options);
+  const std::string sock =
+      (std::filesystem::temp_directory_path() / "pdfshield-serve-test.sock")
+          .string();
+  core::serve::SocketServer server(service, sock);
+  server.start();
+
+  const std::string benign_line =
+      core::serve::socket_scan(sock, samples[0].name, view_of(samples[0]));
+  const std::string mal_line =
+      core::serve::socket_scan(sock, samples[1].name, view_of(samples[1]));
+  server.stop();
+
+  EXPECT_NE(benign_line.find("\"accepted\":true"), std::string::npos);
+  EXPECT_NE(benign_line.find("\"malicious\":false"), std::string::npos);
+  EXPECT_NE(mal_line.find("\"malicious\":true"), std::string::npos);
+  // The wire verdict is the in-process verdict: same service, same
+  // run_document, so the crc over the socket matches a direct submit.
+  ResponseCollector collector;
+  service.submit(samples[0].name, view_of(samples[0]), nullptr,
+                 collector.callback());
+  collector.wait_for(1);
+  const auto direct = collector.responses();
+  EXPECT_NE(benign_line.find("\"output_crc32\":" +
+                             std::to_string(direct[0].doc.output_crc32)),
+            std::string::npos);
+}
+
+TEST(ScanServiceTest, TraceSpineCarriesAdmissionAndDegradation) {
+  const std::vector<corpus::Sample> samples = make_corpus(10, 2);
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "pdfshield-serve-trace.jsonl")
+          .string();
+  std::filesystem::remove(trace_path);
+
+  std::vector<core::ScanResponse> responses;
+  {
+    core::ServeOptions options;
+    options.jobs = 1;
+    options.max_inflight_docs = 64;
+    options.degrade_depth = 3;  // the burst below must trip the ladder
+    options.restore_depth = 1;
+    options.static_prefilter = false;
+    options.trace_path = trace_path;
+    core::ScanService service(options);
+    ResponseCollector collector;
+    for (const auto& s : samples) {
+      service.submit(s.name, view_of(s), nullptr, collector.callback());
+    }
+    collector.wait_for(samples.size());
+    service.drain();
+    responses = collector.responses();
+    EXPECT_GT(service.stats().degrade_enters, 0u);
+  }  // destruction flushes the JSONL sink
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"kind\":\"admission\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"degradation\""), std::string::npos);
+  EXPECT_NE(text.find("\"entered\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"entered\":false"), std::string::npos);  // restored
+  // Every admitted document is accounted for on the spine: an admission
+  // event and a closing doc-verdict, including statically skipped ones
+  // (their clean-static verdict is what keeps replay complete under
+  // degradation).
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.accepted);
+    EXPECT_NE(text.find("\"doc\":\"" + r.name + "\""), std::string::npos)
+        << r.name;
+  }
+  std::size_t verdicts = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("\"kind\":\"doc-verdict\"", pos)) != std::string::npos;
+       ++pos) {
+    ++verdicts;
+  }
+  EXPECT_GE(verdicts, responses.size());
+  std::filesystem::remove(trace_path);
+}
+
+}  // namespace

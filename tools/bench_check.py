@@ -34,41 +34,94 @@ SUITE_GATES = {
         "BM_ParseDocumentReuse/pages:100/allocs_per_doc",
         "BM_ParseDocumentReuse/pages:100/arena_bytes_per_doc",
     ],
+    # Serve gates both directions: sustained capacity must not fall, and
+    # steady-state tail latency must not blow up.
+    "serve": [
+        "Serve/jobs:4/docs_per_s",
+        "Serve/jobs:4/p99_latency_s",
+    ],
 }
 FALLBACK_GATES = ["BM_FlateDecompress/1048576"]
 # Units where a smaller current value means a regression.
 HIGHER_IS_BETTER = {"bytes_per_second", "docs_per_second", "x_vs_serial"}
 # Units where a larger current value means a regression (cost metrics).
-LOWER_IS_BETTER = {"allocs_per_doc", "arena_bytes_per_doc"}
+LOWER_IS_BETTER = {"allocs_per_doc", "arena_bytes_per_doc",
+                   "latency_seconds"}
+
+
+class BenchFormatError(Exception):
+    """A trajectory file that cannot be compared (readable, not a traceback)."""
 
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise BenchFormatError("%s: cannot read: %s" % (path, exc)) from exc
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError("%s: not valid JSON: %s" % (path, exc)) from exc
+    if not isinstance(doc, dict):
+        raise BenchFormatError("%s: expected a JSON object at top level"
+                               % path)
     out = {}
-    for entry in doc.get("benchmarks", []):
-        out[entry["name"]] = (float(entry["value"]), entry.get("unit", ""))
+    for i, entry in enumerate(doc.get("benchmarks", [])):
+        for key in ("name", "value"):
+            if not isinstance(entry, dict) or key not in entry:
+                raise BenchFormatError(
+                    "%s: benchmarks[%d] has no \"%s\" field (got: %r)"
+                    % (path, i, key, entry))
+        try:
+            value = float(entry["value"])
+        except (TypeError, ValueError) as exc:
+            raise BenchFormatError(
+                "%s: benchmarks[%d] (%s): non-numeric value %r"
+                % (path, i, entry["name"], entry["value"])) from exc
+        out[entry["name"]] = (value, entry.get("unit", ""))
     return out, doc.get("suite", "")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--gate", action="append", default=None,
                         help="benchmark name that may fail the check "
                              "(repeatable; default chosen per suite)")
     parser.add_argument("--max-regression", type=float, default=30.0,
                         help="allowed drop in percent for gated benchmarks")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
     args = parser.parse_args()
 
-    baseline, _ = load(args.baseline)
-    current, suite = load(args.current)
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current files are required")
+
+    try:
+        baseline, _ = load(args.baseline)
+        current, suite = load(args.current)
+    except BenchFormatError as exc:
+        print("bench_check: FAIL\n  %s" % exc)
+        return 1
     if args.gate is not None:
         gates = args.gate
     else:
         gates = SUITE_GATES.get(suite, FALLBACK_GATES)
+    failures = compare(baseline, current, gates, args.max_regression)
 
+    if failures:
+        print("\nbench_check: FAIL")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nbench_check: OK (gates: %s)" % ", ".join(gates))
+    return 0
+
+
+def compare(baseline, current, gates, max_regression):
+    """Prints the per-benchmark report; returns the list of gate failures."""
     failures = []
     width = max((len(n) for n in current), default=10)
     for name in sorted(set(baseline) | set(current)):
@@ -90,12 +143,12 @@ def main():
             delta_pct = (cur_value - base_value) / base_value * 100.0
         gated = name in gates
         regressed = ((unit in HIGHER_IS_BETTER
-                      and delta_pct < -args.max_regression)
+                      and delta_pct < -max_regression)
                      or (unit in LOWER_IS_BETTER
-                         and delta_pct > args.max_regression))
+                         and delta_pct > max_regression))
         marker = ""
         if gated and regressed:
-            marker = "  FAIL (> %.0f%% below baseline)" % args.max_regression
+            marker = "  FAIL (> %.0f%% below baseline)" % max_regression
             failures.append("%s: %.5g -> %.5g (%+.1f%%)"
                             % (name, base_value, cur_value, delta_pct))
         elif regressed:
@@ -107,13 +160,85 @@ def main():
         if name not in baseline and name not in current:
             failures.append("%s: gated benchmark absent from both files"
                             % name)
+    return failures
 
-    if failures:
-        print("\nbench_check: FAIL")
-        for f in failures:
-            print("  " + f)
+
+def self_test():
+    """Unit checks for the loader and the gate logic (CI hygiene job)."""
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    checks = []
+
+    def check(name, condition):
+        checks.append((name, condition))
+        print("%s %s" % ("ok  " if condition else "FAIL", name))
+
+    def quiet_compare(baseline, current, gates, max_regression=30.0):
+        with contextlib.redirect_stdout(io.StringIO()):
+            return compare(baseline, current, gates, max_regression)
+
+    # A gated metric present in the baseline but missing from the current
+    # run must fail readably, not crash.
+    failures = quiet_compare({"a/docs_per_s": (10.0, "docs_per_second")},
+                             {}, ["a/docs_per_s"])
+    check("gated metric gone from current fails",
+          any("missing from current" in f for f in failures))
+    failures = quiet_compare({"a": (10.0, "docs_per_second"),
+                              "b": (1.0, "count")},
+                             {"b": (1.0, "count")}, ["b"])
+    check("ungated gone metric only reports", failures == [])
+
+    # Direction: throughput drops fail, latency growth fails, improvements
+    # in either direction pass.
+    failures = quiet_compare({"a": (100.0, "docs_per_second")},
+                             {"a": (50.0, "docs_per_second")}, ["a"])
+    check("throughput drop beyond threshold fails", len(failures) == 1)
+    failures = quiet_compare({"a": (1.0, "latency_seconds")},
+                             {"a": (2.0, "latency_seconds")}, ["a"])
+    check("latency growth beyond threshold fails", len(failures) == 1)
+    failures = quiet_compare({"a": (1.0, "latency_seconds")},
+                             {"a": (0.5, "latency_seconds")}, ["a"])
+    check("latency improvement passes", failures == [])
+    failures = quiet_compare({"a": (100.0, "docs_per_second")},
+                             {"a": (90.0, "docs_per_second")}, ["a"])
+    check("drop within threshold passes", failures == [])
+
+    # Malformed trajectory files must raise a readable BenchFormatError
+    # (this was a bare KeyError traceback before).
+    cases = [
+        ('{"benchmarks": [{"value": 1.0}]}', "no \"name\""),
+        ('{"benchmarks": [{"name": "a"}]}', "no \"value\""),
+        ('{"benchmarks": [{"name": "a", "value": "fast"}]}', "non-numeric"),
+        ("not json", "not valid JSON"),
+        ("[1, 2]", "JSON object"),
+    ]
+    for text, expect in cases:
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        try:
+            load(path)
+            check("load rejects %r" % expect, False)
+        except BenchFormatError as exc:
+            check("load rejects %r" % expect, expect in str(exc))
+        finally:
+            os.unlink(path)
+    try:
+        load(os.path.join(tempfile.gettempdir(),
+                          "bench-check-self-test-missing.json"))
+        check("load rejects a missing file", False)
+    except BenchFormatError as exc:
+        check("load rejects a missing file", "cannot read" in str(exc))
+
+    failed = [name for name, condition in checks if not condition]
+    if failed:
+        print("\nbench_check --self-test: FAIL (%d/%d)"
+              % (len(failed), len(checks)))
         return 1
-    print("\nbench_check: OK (gates: %s)" % ", ".join(gates))
+    print("\nbench_check --self-test: OK (%d checks)" % len(checks))
     return 0
 
 

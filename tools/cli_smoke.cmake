@@ -105,6 +105,37 @@ if(NOT traced_report MATCHES "\"trace_events\": [1-9]")
   message(FATAL_ERROR "batch --trace: report carries no trace_events summary")
 endif()
 
+# --- serve ------------------------------------------------------------------
+# Spool-fed daemon run: every corpus document gets exactly one JSONL
+# response, responses are admission/degradation-traced, and the daemon
+# exits on its own once the spool drains (--max-docs + --idle-exit).
+file(MAKE_DIRECTORY ${WORK}/spool)
+file(GLOB spool_src ${WORK}/batch-corpus/benign/*.pdf
+                    ${WORK}/batch-corpus/malicious/*.pdf)
+list(LENGTH spool_src spool_n)
+file(COPY ${spool_src} DESTINATION ${WORK}/spool)
+run_checked(${CLI} serve --spool ${WORK}/spool --jobs 2
+            --out ${WORK}/serve-responses.jsonl
+            --trace ${WORK}/serve-trace.jsonl
+            --max-docs ${spool_n} --idle-exit 30)
+file(READ ${WORK}/serve-responses.jsonl serve_responses)
+string(REGEX MATCHALL "\"accepted\":true" serve_ok "${serve_responses}")
+list(LENGTH serve_ok serve_ok_n)
+if(NOT serve_ok_n EQUAL spool_n)
+  message(FATAL_ERROR "serve: expected ${spool_n} responses, got ${serve_ok_n}")
+endif()
+if(NOT serve_responses MATCHES "\"malicious\":true")
+  message(FATAL_ERROR "serve: no malicious verdict over a malicious corpus")
+endif()
+file(READ ${WORK}/serve-trace.jsonl serve_trace)
+if(NOT serve_trace MATCHES "\"kind\":\"admission\"")
+  message(FATAL_ERROR "serve --trace: no admission events in serve-trace.jsonl")
+endif()
+file(GLOB spool_leftover ${WORK}/spool/*.pdf)
+if(spool_leftover)
+  message(FATAL_ERROR "serve: spool not drained: ${spool_leftover}")
+endif()
+
 # Every line must parse as a JSON object (string(JSON) needs CMake >= 3.19;
 # older configurations fall back to the regex checks above).
 if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)

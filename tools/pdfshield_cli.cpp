@@ -21,6 +21,17 @@
 //   scan/detonate/batch all accept --trace <out.jsonl>: every layer's
 //   observable events (phase spans, feature fires, API calls, SOAP
 //   traffic, verdicts) land in one stream correlated by document id.
+//   pdfshield serve [--spool dir] [--socket path] [--jobs N] [...]
+//       long-lived scan daemon: documents arrive through a watched spool
+//       directory (write-then-rename) and/or a length-prefixed AF_UNIX
+//       socket; admission-controlled work-stealing workers answer one
+//       JSON line per document (to --out or stdout). Overload returns
+//       `rejected: overloaded` instead of queueing; a saturated backlog
+//       degrades to static-prefilter-only verdicts until it drains.
+//       SIGINT/SIGTERM stop intake and drain every admitted document.
+//   pdfshield serve-send <socket> <file>...
+//       client: sends each file to a serve socket, prints the responses;
+//       exit code 2 when any response is malicious.
 //   pdfshield jsstatic <file>
 //       static JS abstract interpretation: reconstructs every script chain
 //       (or takes the file verbatim when it is not a PDF) and prints the
@@ -29,14 +40,19 @@
 //   pdfshield corpus <out-dir> [benign N] [malicious M]
 //       writes a synthetic labelled corpus to disk.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/batch_scanner.hpp"
+#include "core/scan_service.hpp"
+#include "core/serve_endpoints.hpp"
 #include "core/deinstrumentation.hpp"
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
@@ -327,6 +343,125 @@ int cmd_batch(const std::vector<std::string>& args) {
   return (report.error_count + report.timeout_count) == 0 ? 0 : 3;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal(int) { g_serve_stop = 1; }
+
+int cmd_serve(const std::vector<std::string>& args) {
+  const std::string spool = flag_value(args, "--spool", "");
+  const std::string socket = flag_value(args, "--socket", "");
+  if (spool.empty() && socket.empty()) {
+    std::cerr << "error: serve needs --spool <dir> and/or --socket <path>\n";
+    return 64;
+  }
+
+  core::ServeOptions options;
+  const std::string jobs = flag_value(args, "--jobs", "");
+  options.jobs = jobs.empty()
+                     ? std::max(1u, std::thread::hardware_concurrency())
+                     : static_cast<std::size_t>(
+                           std::max(1, std::atoi(jobs.c_str())));
+  options.max_inflight_docs = static_cast<std::size_t>(
+      std::atoll(flag_value(args, "--max-inflight-docs", "0").c_str()));
+  options.max_inflight_bytes = static_cast<std::size_t>(
+      std::atoll(flag_value(args, "--max-inflight-bytes", "0").c_str()));
+  options.degrade_depth = static_cast<std::size_t>(
+      std::atoll(flag_value(args, "--degrade-depth", "0").c_str()));
+  options.detector_id = flag_value(args, "--detector-id", "");
+  options.detonate = !has_flag(args, "--no-detonate");
+  options.static_prefilter = has_flag(args, "--static-prefilter");
+  options.trace_path = flag_value(args, "--trace", "");
+  // Exit conditions for smoke tests and bounded runs; 0 = run forever.
+  const auto max_docs = static_cast<std::uint64_t>(
+      std::atoll(flag_value(args, "--max-docs", "0").c_str()));
+  const double idle_exit_s =
+      std::atof(flag_value(args, "--idle-exit", "0").c_str());
+
+  core::ScanService service(options);
+
+  // Responses stream to --out (JSONL) or stdout, one line per document.
+  const std::string out_path = flag_value(args, "--out", "");
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::app);
+    if (!out_file) throw support::Error("cannot write " + out_path);
+  }
+  std::mutex out_mutex;
+  auto emit_response = [&](const core::ScanResponse& response) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    if (out_file.is_open()) {
+      out_file << response.to_jsonl() << "\n" << std::flush;
+    } else {
+      std::cout << response.to_jsonl() << "\n" << std::flush;
+    }
+  };
+
+  std::unique_ptr<core::serve::SpoolWatcher> watcher;
+  if (!spool.empty()) {
+    core::serve::SpoolOptions spool_options;
+    spool_options.delete_processed = has_flag(args, "--delete-processed");
+    spool_options.on_response = emit_response;
+    watcher = std::make_unique<core::serve::SpoolWatcher>(
+        service, spool, std::move(spool_options));
+    watcher->start();
+  }
+  std::unique_ptr<core::serve::SocketServer> server;
+  if (!socket.empty()) {
+    server = std::make_unique<core::serve::SocketServer>(service, socket);
+    server->start();
+  }
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal);
+  std::signal(SIGTERM, serve_signal);
+  std::cerr << "serve: detector " << service.detector_id() << ", "
+            << options.jobs << " worker(s)"
+            << (spool.empty() ? "" : ", spool " + spool)
+            << (socket.empty() ? "" : ", socket " + socket) << "\n";
+
+  std::uint64_t last_completed = 0;
+  auto last_activity = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const core::ServeStats stats = service.stats();
+    if (max_docs > 0 && stats.completed >= max_docs) break;
+    if (stats.completed != last_completed) {
+      last_completed = stats.completed;
+      last_activity = std::chrono::steady_clock::now();
+    }
+    if (idle_exit_s > 0 && seconds_since(last_activity) >= idle_exit_s) break;
+  }
+
+  // Graceful shutdown: stop taking new work, then drain what was admitted —
+  // every accepted document still gets its response.
+  if (watcher) watcher->stop();
+  if (server) server->stop();
+  service.drain();
+
+  const core::ServeStats stats = service.stats();
+  std::cerr << "serve: " << stats.completed << " scanned ("
+            << stats.malicious << " malicious, " << stats.static_skipped
+            << " statically prefiltered), " << stats.rejected
+            << " rejected, " << stats.degraded_docs << " degraded ("
+            << stats.degrade_enters << " degradation(s)), " << stats.steals
+            << " steal(s)\n";
+  return 0;
+}
+
+int cmd_serve_send(const std::vector<std::string>& args) {
+  const std::string socket = args.at(0);
+  bool malicious = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const support::Bytes data = read_file(args[i]);
+    const std::string line = core::serve::socket_scan(
+        socket, std::filesystem::path(args[i]).filename().string(),
+        support::BytesView(data.data(), data.size()));
+    std::cout << line << "\n";
+    malicious = malicious || line.find("\"malicious\":true") != std::string::npos;
+  }
+  return malicious ? 2 : 0;
+}
+
 int cmd_jsstatic(const std::vector<std::string>& args) {
   const support::Bytes input = read_file(args.at(0));
 
@@ -394,6 +529,14 @@ int usage() {
          "                  [--write-outputs <dir>] [--incremental]\n"
          "                  [--trace out.jsonl] [--detonate]\n"
          "                  [--static-prefilter]\n"
+         "  pdfshield serve [--spool <dir>] [--socket <path>] [--jobs N]\n"
+         "                  [--out responses.jsonl] [--max-inflight-docs N]\n"
+         "                  [--max-inflight-bytes N] [--degrade-depth N]\n"
+         "                  [--static-prefilter] [--no-detonate]\n"
+         "                  [--trace out.jsonl] [--detector-id HEX16]\n"
+         "                  [--max-docs N] [--idle-exit S]\n"
+         "                  [--delete-processed]\n"
+         "  pdfshield serve-send <socket> <file>...\n"
          "  pdfshield jsstatic <file>\n"
          "  pdfshield corpus <out-dir> [benign N] [malicious M]\n";
   return 64;
@@ -411,6 +554,8 @@ int main(int argc, char** argv) {
     if (command == "deinstrument" && args.size() >= 3) return cmd_deinstrument(args);
     if (command == "detonate" && args.size() >= 1) return cmd_detonate(args);
     if (command == "batch" && args.size() >= 1) return cmd_batch(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "serve-send" && args.size() >= 2) return cmd_serve_send(args);
     if (command == "jsstatic" && args.size() >= 1) return cmd_jsstatic(args);
     if (command == "corpus" && args.size() >= 1) return cmd_corpus(args);
     return usage();
