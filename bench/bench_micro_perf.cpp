@@ -15,7 +15,9 @@
 #include "js/interp.hpp"
 #include "pdf/parser.hpp"
 #include "pdf/writer.hpp"
+#include "pdf/xref.hpp"
 #include "support/arena.hpp"
+#include "support/checksum.hpp"
 
 // Heap-allocation counter for the parse trajectory: every global operator
 // new bumps one relaxed atomic, so allocs-per-document can be gated in CI
@@ -235,6 +237,47 @@ std::vector<bench::BenchResult> run_flate_json_suite() {
       results.push_back(std::move(r));
     }
   }
+
+  // Checksum kernels: the SIMD-dispatched Adler-32 bounds the zlib verify
+  // step of every FlateDecode, and slice-by-8 CRC-32 the identity goldens.
+  // Gated separately so a kernel regression surfaces before it drowns in
+  // whole-stream numbers.
+  {
+    constexpr std::size_t kSize = 1 << 20;
+    const support::Bytes data = noise_input(kSize);
+    struct Kernel {
+      const char* name;
+      std::uint32_t (*run)(const support::Bytes&);
+    };
+    const Kernel kernels[] = {
+        {"BM_Adler32", [](const support::Bytes& d) {
+           return pdfshield::support::adler32(d);
+         }},
+        {"BM_Crc32", [](const support::Bytes& d) {
+           return pdfshield::support::crc32(d);
+         }},
+    };
+    for (const Kernel& k : kernels) {
+      benchmark::DoNotOptimize(k.run(data));  // warm-up (tables, pages)
+      std::size_t iterations = 0;
+      bench::Timer timer;
+      double elapsed = 0;
+      while (elapsed < kMinSeconds || iterations < 3) {
+        benchmark::DoNotOptimize(k.run(data));
+        ++iterations;
+        elapsed = timer.seconds();
+      }
+      bench::BenchResult r;
+      r.name = std::string(k.name) + "/" + std::to_string(kSize);
+      r.value = static_cast<double>(kSize) * static_cast<double>(iterations) /
+                elapsed;
+      r.unit = "bytes_per_second";
+      std::cout << r.name << ": "
+                << bench::fmt(r.value / (1024.0 * 1024.0), 1) << " MB/s ("
+                << iterations << " iters)\n";
+      results.push_back(std::move(r));
+    }
+  }
   return results;
 }
 
@@ -341,6 +384,40 @@ std::vector<bench::BenchResult> run_parse_json_suite() {
            static_cast<double>(allocs) / static_cast<double>(iterations),
            "allocs_per_doc");
     }
+  }
+
+  // Classic xref-table reader: a synthetic spec-exact table isolates the
+  // batched 20-byte record parse from document structure, so the fixed-
+  // width fast path is gated directly.
+  {
+    constexpr int kEntries = 20000;
+    std::string table = "xref\n0 " + std::to_string(kEntries) + "\n";
+    table.reserve(table.size() + static_cast<std::size_t>(kEntries) * 20 + 64);
+    char rec[24];
+    for (int i = 0; i < kEntries; ++i) {
+      std::snprintf(rec, sizeof(rec), "%010d %05d %c\r\n", i * 37 + 15,
+                    i % 3, i % 7 == 0 ? 'f' : 'n');
+      table.append(rec, 20);
+    }
+    table += "trailer\n<< /Size " + std::to_string(kEntries) + " >>\n";
+    const support::BytesView view(
+        reinterpret_cast<const std::uint8_t*>(table.data()), table.size());
+    auto run_once = [&] {
+      benchmark::DoNotOptimize(pdf::read_xref_section(view, 0));
+    };
+    run_once();  // warm-up
+    std::size_t iterations = 0;
+    bench::Timer timer;
+    double elapsed = 0;
+    while (elapsed < kMinSeconds || iterations < 3) {
+      run_once();
+      ++iterations;
+      elapsed = timer.seconds();
+    }
+    push("BM_XrefParse/entries:" + std::to_string(kEntries) + "/bytes_per_s",
+         static_cast<double>(table.size()) * static_cast<double>(iterations) /
+             elapsed,
+         "bytes_per_second");
   }
   return results;
 }

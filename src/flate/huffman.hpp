@@ -32,6 +32,15 @@ class HuffmanDecoder {
   /// rejected by the buffered-bits check before any bit is consumed.
   int decode(BitReader& in) const {
     in.refill();
+    return decode_buffered(in);
+  }
+
+  /// `decode` minus the refill: callers that just refilled may decode up to
+  /// three codes (3 x 15 bits <= the 57 buffered) before refilling again.
+  /// Identical error behavior — after a refill that leaves < 57 bits the
+  /// input is exhausted, so no later refill could have supplied the
+  /// missing bits anyway.
+  int decode_buffered(BitReader& in) const {
     std::uint32_t e = root_[in.peek() & (kRootSize - 1)];
     if (e & kSubFlag) {
       const int sub_bits = static_cast<int>(e & 31);

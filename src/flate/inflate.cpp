@@ -67,6 +67,13 @@ class OutputSink {
     buf_[len_++] = b;
   }
 
+  // Raw-pointer window for the literal hot loop: the caller writes through
+  // head() for at most slack() bytes, then reports how many with advance().
+  // Pointers are invalidated by any growing call (put/append/copy_match).
+  std::uint8_t* head() { return buf_.data() + len_; }
+  std::size_t slack() const { return limit_ - len_; }
+  void advance(std::size_t n) { len_ += n; }
+
   void append(const std::uint8_t* p, std::size_t n) {
     if (n == 0) return;  // empty stored block; p may be null
     if (len_ + n > limit_) grow(n);
@@ -81,7 +88,46 @@ class OutputSink {
     std::uint8_t* dst = buf_.data() + len_;
     const std::uint8_t* src = dst - dist;
     len_ += len;
-    if (dist >= len) {
+    // Fast path: with >= 32 bytes of slack beyond the match, copy in wide
+    // fixed-size chunks that overshoot `len`. The logical length still
+    // advances by exactly `len`; overshoot bytes land beyond the write
+    // head, inside the buffer, and are overwritten by later output or
+    // trimmed by take(). Each chunk reads data at least one full chunk
+    // behind the write point, so overlapping back-references replicate
+    // correctly. memcpy of a constant 16/32 compiles to unaligned vector
+    // moves — this is where LZ77 copy bandwidth comes from.
+    if (limit_ - len_ >= 32) {
+      if (dist >= 32) {
+        std::size_t n = 0;
+        do {
+          std::memcpy(dst + n, src + n, 32);
+          n += 32;
+        } while (n < len);
+        return;
+      }
+      if (dist >= 16) {
+        std::size_t n = 0;
+        do {
+          std::memcpy(dst + n, src + n, 16);
+          n += 16;
+        } while (n < len);
+        return;
+      }
+      if (dist >= 8) {
+        std::size_t n = 0;
+        do {
+          std::memcpy(dst + n, src + n, 8);
+          n += 8;
+        } while (n < len);
+        return;
+      }
+      if (dist == 1) {
+        std::memset(dst, *src, len);  // RLE run, the common short-dist case
+        return;
+      }
+      // dist 2..7: fall through to the exact periodic copy below.
+    } else if (dist >= len) {
+      // Careful path (within 32 bytes of the output cap): exact sizes only.
       std::memcpy(dst, src, len);
       return;
     }
@@ -122,11 +168,35 @@ class OutputSink {
 void inflate_block(BitReader& in, const HuffmanDecoder& lit,
                    const HuffmanDecoder* dist, OutputSink& out) {
   while (true) {
-    // One refill buffers >= 57 bits mid-stream — enough for the longest
-    // literal/length code + extra bits + distance code + extra bits
-    // (15 + 5 + 15 + 13 = 48), so the whole group decodes from one word.
-    const int sym = lit.decode(in);
+    // Literal burst: write decoded literals straight through a raw pointer
+    // into the sink's spare capacity, re-synchronizing only at a match,
+    // end-of-block, or window exhaustion. This drops the per-byte bounds
+    // check and length bookkeeping from the dominant literal path.
+    std::uint8_t* const start = out.head();
+    std::uint8_t* const end = start + out.slack();
+    std::uint8_t* dst = start;
+    int sym;
+    for (;;) {
+      // One refill buffers >= 57 bits mid-stream — enough for the longest
+      // literal/length code + extra bits + distance code + extra bits
+      // (15 + 5 + 15 + 13 = 48) of the match path, and for three
+      // max-length (15-bit) literal codes. Decoding literals in bursts of
+      // three amortizes the refill's unaligned load to once per burst.
+      in.refill();
+      sym = lit.decode_buffered(in);
+      if (sym >= 256 || dst >= end) break;
+      *dst++ = static_cast<std::uint8_t>(sym);
+      sym = lit.decode_buffered(in);
+      if (sym >= 256 || dst >= end) break;
+      *dst++ = static_cast<std::uint8_t>(sym);
+      sym = lit.decode_buffered(in);
+      if (sym >= 256 || dst >= end) break;
+      *dst++ = static_cast<std::uint8_t>(sym);
+    }
+    out.advance(static_cast<std::size_t>(dst - start));
     if (sym < 256) {
+      // Window filled mid-burst: the slow put grows (or reports the output
+      // cap) and the outer loop re-opens a fresh window.
       out.put(static_cast<std::uint8_t>(sym));
       continue;
     }
@@ -135,11 +205,15 @@ void inflate_block(BitReader& in, const HuffmanDecoder& lit,
     if (li >= static_cast<int>(kLengthBase.size())) {
       throw DecodeError("invalid length symbol");
     }
+    // One refill covers the whole rest of the match group — length extra +
+    // distance code + distance extra is at most 5 + 15 + 13 = 33 bits — so
+    // the take_bits/decode calls below resolve from the buffered word.
+    in.refill();
     const std::size_t length = static_cast<std::size_t>(
         kLengthBase[static_cast<std::size_t>(li)] +
         static_cast<int>(in.take_bits(kLengthExtra[static_cast<std::size_t>(li)])));
     if (dist == nullptr) throw DecodeError("length code without distance table");
-    const int dsym = dist->decode(in);
+    const int dsym = dist->decode_buffered(in);
     if (dsym >= static_cast<int>(kDistBase.size())) {
       throw DecodeError("invalid distance symbol");
     }

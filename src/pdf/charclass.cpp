@@ -1,0 +1,278 @@
+#include "pdf/charclass.hpp"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PDFSHIELD_X86 1
+#endif
+
+namespace pdfshield::pdf {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> make_char_class() {
+  std::array<std::uint8_t, 256> t{};
+  constexpr unsigned char ws[] = {0x00, 0x09, 0x0a, 0x0c, 0x0d, 0x20};
+  for (const unsigned char c : ws) t[c] |= kCcWhitespace;
+  constexpr unsigned char delim[] = {'(', ')', '<', '>', '[',
+                                     ']', '{', '}', '/', '%'};
+  for (const unsigned char c : delim) t[c] |= kCcDelimiter;
+  for (unsigned c = '0'; c <= '9'; ++c) {
+    t[c] |= kCcDigit | kCcHexDigit | kCcNumberStart;
+  }
+  for (unsigned c = 'a'; c <= 'f'; ++c) t[c] |= kCcHexDigit;
+  for (unsigned c = 'A'; c <= 'F'; ++c) t[c] |= kCcHexDigit;
+  t[static_cast<unsigned char>('+')] |= kCcNumberStart;
+  t[static_cast<unsigned char>('-')] |= kCcNumberStart;
+  t[static_cast<unsigned char>('.')] |= kCcNumberStart;
+  return t;
+}
+
+constexpr std::array<std::int8_t, 256> make_hex_value() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (unsigned c = '0'; c <= '9'; ++c) t[c] = static_cast<std::int8_t>(c - '0');
+  for (unsigned c = 'a'; c <= 'f'; ++c) {
+    t[c] = static_cast<std::int8_t>(c - 'a' + 10);
+  }
+  for (unsigned c = 'A'; c <= 'F'; ++c) {
+    t[c] = static_cast<std::int8_t>(c - 'A' + 10);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// SWAR primitives (the always-compiled fallback tier). The classic
+// "determine if a word has a zero byte" bit trick finds a target byte in 8
+// input bytes with four ALU ops; the resulting nonzero marker sits in the
+// matching byte's sign bit.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+constexpr std::uint64_t kHighs = 0x8080808080808080ull;
+
+constexpr std::uint64_t swar_broadcast(std::uint8_t c) { return kOnes * c; }
+
+constexpr std::uint64_t swar_match(std::uint64_t word, std::uint64_t needle) {
+  const std::uint64_t x = word ^ needle;
+  return (x - kOnes) & ~x & kHighs;
+}
+
+inline std::uint64_t load_word(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, 8);
+  return w;
+}
+
+/// Index of the lowest-addressed marked byte in a swar_match result.
+inline std::size_t swar_first(std::uint64_t marks) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return static_cast<std::size_t>(__builtin_clzll(marks)) >> 3;
+#else
+  return static_cast<std::size_t>(__builtin_ctzll(marks)) >> 3;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// SSSE3/AVX2 nibble classification: two pshufb lookups (one on the low
+// nibble, one on the high nibble) AND together to a nonzero byte exactly
+// for the 16 token-stopping characters (6 whitespace + 10 delimiters).
+// Each stop character is assigned a bit by high-nibble group; bytes >= 0x80
+// classify as regular automatically because their high-nibble rows are 0.
+// ---------------------------------------------------------------------------
+
+#if PDFSHIELD_X86
+
+// Low-nibble rows: OR of group bits for every stop char with that low
+// nibble. Groups: bit0 = 0x0X {00 09 0A 0C 0D}, bit1 = 0x2X {20 25 28 29
+// 2F}, bit2 = 0x3X {3C 3E}, bit3 = 0x5X/0x7X {5B 5D 7B 7D}.
+alignas(16) constexpr std::uint8_t kStopLo[16] = {
+    3, 0, 0, 0, 0, 2, 0, 0, 2, 3, 1, 8, 5, 9, 4, 2};
+alignas(16) constexpr std::uint8_t kStopHi[16] = {
+    1, 0, 2, 4, 0, 8, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0};
+
+__attribute__((target("ssse3"))) std::size_t scan_regular_ssse3(
+    const std::uint8_t* p, std::size_t n, std::size_t i) {
+  const __m128i lo_tbl =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kStopLo));
+  const __m128i hi_tbl =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kStopHi));
+  const __m128i nib = _mm_set1_epi8(0x0f);
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i lo = _mm_shuffle_epi8(lo_tbl, _mm_and_si128(x, nib));
+    const __m128i hi = _mm_shuffle_epi8(
+        hi_tbl, _mm_and_si128(_mm_srli_epi16(x, 4), nib));
+    const __m128i stop = _mm_and_si128(lo, hi);
+    const int regular_mask =
+        _mm_movemask_epi8(_mm_cmpeq_epi8(stop, zero));
+    if (regular_mask != 0xffff) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(~static_cast<unsigned>(regular_mask)));
+    }
+  }
+  while (i < n && cc_regular(p[i])) ++i;
+  return i;
+}
+
+__attribute__((target("avx2"))) std::size_t scan_regular_avx2(
+    const std::uint8_t* p, std::size_t n, std::size_t i) {
+  const __m256i lo_tbl = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kStopLo)));
+  const __m256i hi_tbl = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kStopHi)));
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i lo = _mm256_shuffle_epi8(lo_tbl, _mm256_and_si256(x, nib));
+    const __m256i hi = _mm256_shuffle_epi8(
+        hi_tbl, _mm256_and_si256(_mm256_srli_epi16(x, 4), nib));
+    const __m256i stop = _mm256_and_si256(lo, hi);
+    const unsigned regular_mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(stop, zero)));
+    if (regular_mask != 0xffffffffu) {
+      return i + static_cast<std::size_t>(__builtin_ctz(~regular_mask));
+    }
+  }
+  while (i < n && cc_regular(p[i])) ++i;
+  return i;
+}
+
+__attribute__((target("sse2"))) std::size_t scan_string_special_sse2(
+    const std::uint8_t* p, std::size_t n) {
+  const __m128i bs = _mm_set1_epi8('\\');
+  const __m128i op = _mm_set1_epi8('(');
+  const __m128i cp = _mm_set1_epi8(')');
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i hit = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(x, bs), _mm_cmpeq_epi8(x, op)),
+        _mm_cmpeq_epi8(x, cp));
+    const int mask = _mm_movemask_epi8(hit);
+    if (mask != 0) {
+      return i +
+             static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t c = p[i];
+    if (c == '\\' || c == '(' || c == ')') return i;
+  }
+  return n;
+}
+
+__attribute__((target("sse2"))) std::size_t scan_to_eol_sse2(
+    const std::uint8_t* p, std::size_t n) {
+  const __m128i cr = _mm_set1_epi8('\r');
+  const __m128i lf = _mm_set1_epi8('\n');
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i hit =
+        _mm_or_si128(_mm_cmpeq_epi8(x, cr), _mm_cmpeq_epi8(x, lf));
+    const int mask = _mm_movemask_epi8(hit);
+    if (mask != 0) {
+      return i +
+             static_cast<std::size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] == '\r' || p[i] == '\n') return i;
+  }
+  return n;
+}
+
+#endif  // PDFSHIELD_X86
+
+std::size_t scan_regular_swar(const std::uint8_t* p, std::size_t n,
+                              std::size_t i) {
+  // Membership in a 16-character set does not SWAR directly; an unrolled
+  // table walk (4 independent loads per step) is the portable fallback.
+  for (; i + 4 <= n; i += 4) {
+    if (!cc_regular(p[i])) return i;
+    if (!cc_regular(p[i + 1])) return i + 1;
+    if (!cc_regular(p[i + 2])) return i + 2;
+    if (!cc_regular(p[i + 3])) return i + 3;
+  }
+  while (i < n && cc_regular(p[i])) ++i;
+  return i;
+}
+
+std::size_t scan_string_special_swar(const std::uint8_t* p, std::size_t n) {
+  constexpr std::uint64_t kBs = swar_broadcast('\\');
+  constexpr std::uint64_t kOp = swar_broadcast('(');
+  constexpr std::uint64_t kCp = swar_broadcast(')');
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t w = load_word(p + i);
+    const std::uint64_t marks =
+        swar_match(w, kBs) | swar_match(w, kOp) | swar_match(w, kCp);
+    if (marks != 0) return i + swar_first(marks);
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t c = p[i];
+    if (c == '\\' || c == '(' || c == ')') return i;
+  }
+  return n;
+}
+
+std::size_t scan_to_eol_swar(const std::uint8_t* p, std::size_t n) {
+  constexpr std::uint64_t kCr = swar_broadcast('\r');
+  constexpr std::uint64_t kLf = swar_broadcast('\n');
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t w = load_word(p + i);
+    const std::uint64_t marks = swar_match(w, kCr) | swar_match(w, kLf);
+    if (marks != 0) return i + swar_first(marks);
+  }
+  for (; i < n; ++i) {
+    if (p[i] == '\r' || p[i] == '\n') return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256> kCharClass = make_char_class();
+const std::array<std::int8_t, 256> kHexValue = make_hex_value();
+
+std::size_t scan_regular_run_long(const std::uint8_t* p, std::size_t n,
+                                  std::size_t from) {
+  using support::simd::Level;
+#if PDFSHIELD_X86
+  if (support::simd::have(Level::kAVX2)) {
+    return scan_regular_avx2(p, n, from);
+  }
+  if (support::simd::have(Level::kSSSE3)) {
+    return scan_regular_ssse3(p, n, from);
+  }
+#endif
+  return scan_regular_swar(p, n, from);
+}
+
+std::size_t scan_string_special(const std::uint8_t* p, std::size_t n) {
+  using support::simd::Level;
+#if PDFSHIELD_X86
+  if (support::simd::have(Level::kSSSE3)) {
+    return scan_string_special_sse2(p, n);
+  }
+#endif
+  return scan_string_special_swar(p, n);
+}
+
+std::size_t scan_to_eol(const std::uint8_t* p, std::size_t n) {
+  using support::simd::Level;
+#if PDFSHIELD_X86
+  if (support::simd::have(Level::kSSSE3)) {
+    return scan_to_eol_sse2(p, n);
+  }
+#endif
+  return scan_to_eol_swar(p, n);
+}
+
+}  // namespace pdfshield::pdf

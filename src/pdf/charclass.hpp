@@ -1,0 +1,69 @@
+// 256-entry character classification for PDF syntax (§3.1): one table
+// lookup answers whitespace / delimiter / regular / digit / hex-digit /
+// number-start in a single load, replacing the per-byte predicate calls the
+// lexer token loops used to make.
+//
+// On top of the table sit three block-at-a-time span scanners used by the
+// token hot paths (name/keyword extents, literal-string specials, comment
+// EOLs). Each has a vectorized body (SSSE3 nibble-classification via
+// pshufb, or SSE2 compare-and-movemask) selected through
+// `support::simd::active_level()`, and a SWAR/scalar fallback that is
+// always compiled — `PDFSHIELD_DISABLE_SIMD=1` pins every scan to it.
+// All variants return identical results by construction; the lexer
+// differential test and the charclass agreement test pin that.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/simd.hpp"
+
+namespace pdfshield::pdf {
+
+inline constexpr std::uint8_t kCcWhitespace = 0x01;   ///< NUL TAB LF FF CR SP
+inline constexpr std::uint8_t kCcDelimiter = 0x02;    ///< ( ) < > [ ] { } / %
+inline constexpr std::uint8_t kCcDigit = 0x04;        ///< 0-9
+inline constexpr std::uint8_t kCcHexDigit = 0x08;     ///< 0-9 a-f A-F
+inline constexpr std::uint8_t kCcNumberStart = 0x10;  ///< 0-9 + - .
+
+/// Flags per byte value; see the kCc* bits.
+extern const std::array<std::uint8_t, 256> kCharClass;
+
+/// Hex digit value per byte, -1 for non-hex.
+extern const std::array<std::int8_t, 256> kHexValue;
+
+inline std::uint8_t char_class(std::uint8_t c) { return kCharClass[c]; }
+
+inline bool cc_has(std::uint8_t c, std::uint8_t flags) {
+  return (kCharClass[c] & flags) != 0;
+}
+
+/// Regular = neither whitespace nor delimiter (name/keyword body bytes).
+inline bool cc_regular(std::uint8_t c) {
+  return (kCharClass[c] & (kCcWhitespace | kCcDelimiter)) == 0;
+}
+
+/// Length of the longest all-regular prefix of [p, p+n) starting at `from`
+/// (vector/SWAR body for long runs; callers use scan_regular_run below).
+std::size_t scan_regular_run_long(const std::uint8_t* p, std::size_t n,
+                                  std::size_t from);
+
+/// Length of the longest all-regular prefix of [p, p+n). Short tokens (the
+/// overwhelmingly common case: /Type, obj, 65535) resolve in the inline
+/// head loop without a call; longer runs continue block-at-a-time.
+inline std::size_t scan_regular_run(const std::uint8_t* p, std::size_t n) {
+  const std::size_t head = n < 16 ? n : 16;
+  std::size_t i = 0;
+  while (i < head && cc_regular(p[i])) ++i;
+  if (i == 16 && i < n) return scan_regular_run_long(p, n, 16);
+  return i;
+}
+
+/// Index of the first backslash, '(' or ')' in [p, p+n); n if none.
+/// Drives the literal-string structure scan.
+std::size_t scan_string_special(const std::uint8_t* p, std::size_t n);
+
+/// Index of the first CR or LF in [p, p+n); n if none (comment skipping).
+std::size_t scan_to_eol(const std::uint8_t* p, std::size_t n);
+
+}  // namespace pdfshield::pdf

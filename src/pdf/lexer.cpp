@@ -1,36 +1,21 @@
 #include "pdf/lexer.hpp"
 
-#include <cctype>
 #include <cstdlib>
+#include <cstring>
+
+#include "pdf/charclass.hpp"
 
 namespace pdfshield::pdf {
 
 using support::ParseError;
 
 bool is_pdf_whitespace(std::uint8_t c) {
-  return c == 0x00 || c == 0x09 || c == 0x0a || c == 0x0c || c == 0x0d ||
-         c == 0x20;
+  return cc_has(c, kCcWhitespace);
 }
 
 bool is_pdf_delimiter(std::uint8_t c) {
-  return c == '(' || c == ')' || c == '<' || c == '>' || c == '[' ||
-         c == ']' || c == '{' || c == '}' || c == '/' || c == '%';
+  return cc_has(c, kCcDelimiter);
 }
-
-namespace {
-
-bool is_regular(std::uint8_t c) {
-  return !is_pdf_whitespace(c) && !is_pdf_delimiter(c);
-}
-
-int hex_value(std::uint8_t c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
-}
-
-}  // namespace
 
 std::string encode_name(std::string_view value) {
   std::string out = "/";
@@ -49,17 +34,21 @@ std::string encode_name(std::string_view value) {
 }
 
 void Lexer::skip_whitespace_and_comments() {
-  while (!eof()) {
-    const std::uint8_t c = at(pos_);
-    if (is_pdf_whitespace(c)) {
-      ++pos_;
-    } else if (c == '%') {
-      // Comment runs to end of line.
-      while (!eof() && at(pos_) != '\n' && at(pos_) != '\r') ++pos_;
+  const std::uint8_t* base = data_.data();
+  const std::size_t size = data_.size();
+  std::size_t i = pos_;
+  while (i < size) {
+    const std::uint8_t cls = char_class(base[i]);
+    if (cls & kCcWhitespace) {
+      ++i;
+    } else if (base[i] == '%') {
+      // Comment runs to end of line: block-scan for the first CR/LF.
+      i += scan_to_eol(base + i, size - i);
     } else {
-      return;
+      break;
     }
   }
+  pos_ = i;
 }
 
 const Token& Lexer::peek() {
@@ -114,59 +103,105 @@ Token Lexer::next() {
     t.kind = TokenKind::kEof;
     return t;
   }
+  // Single-byte dispatch: the switch compiles to one jump table indexed by
+  // the lead byte, replacing the old predicate-call chain.
   const std::uint8_t c = at(pos_);
-  if (c == '/') return lex_name();
-  if (c == '(') return lex_literal_string();
-  if (c == '<') return lex_hex_string_or_dict_open();
-  if (c == '>') {
-    if (pos_ + 1 < data_.size() && at(pos_ + 1) == '>') {
-      pos_ += 2;
-      t.kind = TokenKind::kDictClose;
+  switch (c) {
+    case '/':
+      return lex_name();
+    case '(':
+      return lex_literal_string();
+    case '<':
+      return lex_hex_string_or_dict_open();
+    case '>':
+      if (pos_ + 1 < data_.size() && at(pos_ + 1) == '>') {
+        pos_ += 2;
+        t.kind = TokenKind::kDictClose;
+        return t;
+      }
+      throw ParseError("stray '>' in input");
+    case '[':
+      ++pos_;
+      t.kind = TokenKind::kArrayOpen;
       return t;
-    }
-    throw ParseError("stray '>' in input");
+    case ']':
+      ++pos_;
+      t.kind = TokenKind::kArrayClose;
+      return t;
+    case '{':
+    case '}':
+      // Postscript-calculator braces only appear in function streams; treat
+      // them as keywords so tolerant parsing can skip them.
+      t.kind = TokenKind::kKeyword;
+      t.text = support::as_view(data_).substr(pos_, 1);
+      ++pos_;
+      return t;
+    case '+':
+    case '-':
+    case '.':
+    case '0':
+    case '1':
+    case '2':
+    case '3':
+    case '4':
+    case '5':
+    case '6':
+    case '7':
+    case '8':
+    case '9':
+      return lex_number();
+    default:
+      if (cc_regular(c)) return lex_keyword();
+      throw ParseError("unexpected byte 0x" + std::to_string(c));
   }
-  if (c == '[') {
-    ++pos_;
-    t.kind = TokenKind::kArrayOpen;
-    return t;
-  }
-  if (c == ']') {
-    ++pos_;
-    t.kind = TokenKind::kArrayClose;
-    return t;
-  }
-  if (c == '{' || c == '}') {
-    // Postscript-calculator braces only appear in function streams; treat
-    // them as keywords so tolerant parsing can skip them.
-    t.kind = TokenKind::kKeyword;
-    t.text = support::as_view(data_).substr(pos_, 1);
-    ++pos_;
-    return t;
-  }
-  if (c == '+' || c == '-' || c == '.' || std::isdigit(c)) return lex_number();
-  if (is_regular(c)) return lex_keyword();
-  throw ParseError("unexpected byte 0x" + std::to_string(c));
 }
 
 Token Lexer::lex_number() {
   Token t;
   t.offset = pos_;
   const std::size_t start = pos_;
+  const std::uint8_t* base = data_.data();
+  const std::size_t size = data_.size();
+  std::size_t i = pos_;
+  bool negative = false;
+  if (base[i] == '+' || base[i] == '-') {
+    negative = base[i] == '-';
+    ++i;
+  }
+  // One pass accumulates the integer value while finding the extent; the
+  // value is only trusted when the token turns out to be a plain integer
+  // short enough (<= 18 digits) that the fold is exactly strtoll.
+  std::uint64_t value = 0;
+  std::size_t digits = 0;
   bool is_real = false;
-  if (at(pos_) == '+' || at(pos_) == '-') ++pos_;
-  while (!eof() && (std::isdigit(at(pos_)) || at(pos_) == '.')) {
-    if (at(pos_) == '.') is_real = true;
-    ++pos_;
+  while (i < size) {
+    const std::uint8_t c = base[i];
+    if (cc_has(c, kCcDigit)) {
+      value = value * 10 + (c - '0');
+      ++digits;
+    } else if (c == '.') {
+      is_real = true;
+    } else {
+      break;
+    }
+    ++i;
+  }
+  pos_ = i;
+  if (!is_real && digits > 0 && digits <= 18) {
+    t.kind = TokenKind::kInteger;
+    t.int_value = negative ? -static_cast<std::int64_t>(value)
+                           : static_cast<std::int64_t>(value);
+    return t;
   }
   const std::string_view text =
       support::as_view(data_).substr(start, pos_ - start);
   if (text.empty() || text == "+" || text == "-" || text == ".") {
     throw ParseError("malformed number at offset " + std::to_string(start));
   }
-  // strtod/strtoll need NUL termination; PDF numbers are short, so a
-  // stack buffer covers every realistic token (longer ones still parse,
-  // saturating exactly as before, via a one-off heap copy).
+  // Slow path — reals and >18-digit integers. strtod/strtoll need NUL
+  // termination and carry the exact conversion semantics (real rounding,
+  // integer saturation); PDF numbers are short, so a stack buffer covers
+  // every realistic token (longer ones still parse via a one-off copy).
   char buf[64];
   const char* cstr = buf;
   std::string long_text;
@@ -194,12 +229,24 @@ Token Lexer::lex_name() {
   const std::size_t slash = pos_;
   ++pos_;  // skip '/'
   const std::size_t start = pos_;
-  // First pass: find the extent and whether any #xx escape occurs. The
-  // common case (no escapes) borrows the input bytes directly.
+  const std::uint8_t* base = data_.data();
+  // Fast path: block-scan the regular-byte extent, then one memchr decides
+  // whether any '#' needs the escape logic at all. Hex digits are regular,
+  // so a valid #xx escape never extends the extent past what the plain
+  // scan finds — the extents agree by construction.
+  const std::size_t run =
+      scan_regular_run(base + start, data_.size() - start);
+  if (std::memchr(base + start, '#', run) == nullptr) {
+    pos_ = start + run;
+    t.text = support::as_view(data_).substr(start, run);
+    return t;
+  }
+  // '#'-bearing name (rare): replay the original per-byte scan so the
+  // `escaped` determination and decode match the reference exactly.
   bool escaped = false;
-  while (!eof() && is_regular(at(pos_))) {
+  while (!eof() && cc_regular(at(pos_))) {
     if (at(pos_) == '#' && pos_ + 2 < data_.size() &&
-        hex_value(at(pos_ + 1)) >= 0 && hex_value(at(pos_ + 2)) >= 0) {
+        kHexValue[at(pos_ + 1)] >= 0 && kHexValue[at(pos_ + 2)] >= 0) {
       escaped = true;
       pos_ += 3;
     } else {
@@ -219,8 +266,8 @@ Token Lexer::lex_name() {
   for (std::size_t i = 0; i < span.size();) {
     const auto c = static_cast<std::uint8_t>(span[i]);
     if (c == '#' && i + 2 < span.size()) {
-      const int hi = hex_value(static_cast<std::uint8_t>(span[i + 1]));
-      const int lo = hex_value(static_cast<std::uint8_t>(span[i + 2]));
+      const int hi = kHexValue[static_cast<std::uint8_t>(span[i + 1])];
+      const int lo = kHexValue[static_cast<std::uint8_t>(span[i + 2])];
       if (hi >= 0 && lo >= 0) {
         buf[n++] = static_cast<char>((hi << 4) | lo);
         i += 3;
@@ -243,32 +290,43 @@ Token Lexer::lex_literal_string() {
   const std::size_t content = pos_;
   // First pass: find the matching ')' and whether any escape occurs; an
   // escape-free string (the overwhelmingly common case) is borrowed
-  // verbatim, nested parens included. The close index also bounds the
+  // verbatim, nested parens included. Only backslashes and parens matter
+  // to the structure, so the scan jumps special-to-special in blocks
+  // instead of visiting every byte. The close index also bounds the
   // escaped path's arena buffer: sizing it by the remaining document
   // instead would let k crafted strings cost O(k·filesize) arena memory.
   std::size_t close = std::string_view::npos;  // index one past the ')'
   {
+    const std::uint8_t* base = data_.data();
+    const std::size_t size = data_.size();
     int depth = 1;
     bool has_escape = false;
     bool ends_in_backslash = false;
     std::size_t i = content;
-    while (i < data_.size()) {
-      const std::uint8_t c = data_[i++];
+    while (i < size) {
+      const std::size_t j = i + scan_string_special(base + i, size - i);
+      if (j >= size) break;  // no structural byte left: unterminated
+      const std::uint8_t c = base[j];
       if (c == '\\') {
         has_escape = true;
-        if (i < data_.size()) {
-          ++i;
+        if (j + 1 < size) {
+          i = j + 2;  // skip the escaped byte, special or not
         } else {
           ends_in_backslash = true;
+          i = size;
         }
         continue;
       }
       if (c == '(') {
         ++depth;
-      } else if (c == ')' && --depth == 0) {
-        close = i;
+        i = j + 1;
+        continue;
+      }
+      if (--depth == 0) {  // c == ')'
+        close = j + 1;
         break;
       }
+      i = j + 1;
     }
     if (close == std::string_view::npos) {
       if (!has_escape) throw ParseError("unterminated literal string");
@@ -368,8 +426,9 @@ Token Lexer::lex_hex_string_or_dict_open() {
     }
     const std::uint8_t c = at(i);
     if (c == '>') break;
-    if (is_pdf_whitespace(c)) continue;
-    if (hex_value(c) < 0) {
+    const std::uint8_t cls = char_class(c);
+    if (cls & kCcWhitespace) continue;
+    if (!(cls & kCcHexDigit)) {
       pos_ = i + 1;
       throw ParseError("invalid character in hex string");
     }
@@ -385,8 +444,8 @@ Token Lexer::lex_hex_string_or_dict_open() {
       t.bytes = {out, n};
       return t;
     }
-    if (is_pdf_whitespace(c)) continue;
-    const int v = hex_value(c);
+    if (cc_has(c, kCcWhitespace)) continue;
+    const int v = kHexValue[c];
     if (v < 0) throw ParseError("invalid character in hex string");
     if (hi < 0) {
       hi = v;
@@ -403,7 +462,7 @@ Token Lexer::lex_keyword() {
   t.offset = pos_;
   t.kind = TokenKind::kKeyword;
   const std::size_t start = pos_;
-  while (!eof() && is_regular(at(pos_))) ++pos_;
+  pos_ = start + scan_regular_run(data_.data() + start, data_.size() - start);
   t.text = support::as_view(data_).substr(start, pos_ - start);
   return t;
 }

@@ -5,6 +5,7 @@
 
 #include "pdf/filters.hpp"
 #include "pdf/lexer.hpp"
+#include "pdf/xref.hpp"
 #include "support/alloc_stats.hpp"
 #include "support/error.hpp"
 #include "support/interner.hpp"
@@ -318,7 +319,40 @@ Document parse_document(BytesView input, ParseStats* stats_out,
       continue;
     }
 
-    // xref sections, startxref offsets, %%EOF and anything else: skip.
+    if (t.kind == TokenKind::kKeyword && t.text == "xref") {
+      // Classic xref tables are integer/`n`/`f` token soup the scan would
+      // walk — and re-walk through the candidate logic — without ever
+      // acting on: no window inside a strict fixed-width table can form
+      // "N G obj" or "trailer". Batch-validate each subsection and jump
+      // over it wholesale; a deviating table resumes token-at-a-time from
+      // the last strict point, which reproduces the old behavior exactly.
+      for (;;) {
+        const std::size_t sub_mark = lex.position();
+        try {
+          if (lex.peek().kind != TokenKind::kInteger) break;
+          lex.next();
+          const Token count = lex.peek();
+          if (count.kind != TokenKind::kInteger || count.int_value <= 0) {
+            lex.seek(sub_mark);
+            break;
+          }
+          lex.next();
+          const auto end =
+              match_xref_records(data, lex.position(), count.int_value);
+          if (!end) {
+            lex.seek(sub_mark);
+            break;
+          }
+          lex.seek(*end);
+        } catch (const support::Error&) {
+          lex.seek(sub_mark);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // startxref offsets, %%EOF and anything else: skip.
   }
 
   if (stats.indirect_objects == 0) {

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "pdf/charclass.hpp"
 #include "pdf/lexer.hpp"
 #include "pdf/parser.hpp"
 #include "support/error.hpp"
@@ -12,6 +13,56 @@ namespace pdfshield::pdf {
 
 using support::BytesView;
 using support::ParseError;
+
+namespace {
+
+/// SP, CR or LF — the record terminators §7.5.4 allows.
+bool is_entry_eol_byte(std::uint8_t c) {
+  return c == ' ' || c == '\r' || c == '\n';
+}
+
+/// Commits `count` already-validated strict records starting at `pos` into
+/// `section.entries`. The digit folds are exact: 10- and 5-digit fields
+/// never overflow, and leading zeros fold to the same value the token
+/// lexer produces.
+void commit_xref_records(BytesView file, std::size_t pos, std::int64_t first,
+                         std::int64_t count, XrefSection& section) {
+  const std::uint8_t* rec = file.data() + pos;
+  for (std::int64_t i = 0; i < count; ++i, rec += 20) {
+    std::uint64_t off = 0;
+    for (int j = 0; j < 10; ++j) off = off * 10 + (rec[j] - '0');
+    std::uint32_t gen = 0;
+    for (int j = 11; j < 16; ++j) gen = gen * 10 + (rec[j] - '0');
+    XrefEntry entry;
+    entry.offset = static_cast<std::size_t>(off);
+    entry.generation = static_cast<int>(gen);
+    entry.in_use = rec[17] == 'n';
+    section.entries[static_cast<int>(first + i)] = entry;
+  }
+}
+
+}  // namespace
+
+std::optional<std::size_t> match_xref_records(BytesView file, std::size_t pos,
+                                              std::int64_t count) {
+  while (pos < file.size() && cc_has(file[pos], kCcWhitespace)) ++pos;
+  if (count < 0) return std::nullopt;
+  const std::size_t n = static_cast<std::size_t>(count);
+  if (n > (file.size() - pos) / 20) return std::nullopt;
+  const std::uint8_t* rec = file.data() + pos;
+  for (std::size_t i = 0; i < n; ++i, rec += 20) {
+    std::uint32_t digit_flags = kCcDigit;
+    for (int j = 0; j < 10; ++j) digit_flags &= char_class(rec[j]);
+    for (int j = 11; j < 16; ++j) digit_flags &= char_class(rec[j]);
+    const std::uint8_t type = rec[17];
+    if (digit_flags == 0 || rec[10] != ' ' || rec[16] != ' ' ||
+        (type != 'n' && type != 'f') || !is_entry_eol_byte(rec[18]) ||
+        !is_entry_eol_byte(rec[19])) {
+      return std::nullopt;
+    }
+  }
+  return pos + n * 20;
+}
 
 std::optional<std::size_t> read_startxref(BytesView file) {
   const std::string_view text = support::as_view(file);
@@ -43,6 +94,23 @@ XrefSection read_xref_section(BytesView file, std::size_t offset) {
     const Token count = lex.next();
     if (count.kind != TokenKind::kInteger) {
       throw ParseError("xref subsection count missing");
+    }
+    // Fast path: almost every real table is spec-exact fixed-width records;
+    // parse the whole subsection as one batch without tokenizing. Any
+    // deviation (short records, comments, odd spacing) falls back to the
+    // tolerant token loop below, which also owns the error reporting.
+    if (count.int_value > 0) {
+      std::size_t start = lex.position();
+      while (start < file.size() && cc_has(file[start], kCcWhitespace)) {
+        ++start;
+      }
+      if (const auto end =
+              match_xref_records(file, start, count.int_value)) {
+        commit_xref_records(file, start, first.int_value, count.int_value,
+                            section);
+        lex.seek(*end);
+        continue;
+      }
     }
     for (std::int64_t i = 0; i < count.int_value; ++i) {
       const Token off = lex.next();

@@ -6,6 +6,7 @@
 // updates chain through /Prev).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -28,6 +29,16 @@ struct XrefSection {
 
 /// Reads the startxref value at the end of the file; nullopt if absent.
 std::optional<std::size_t> read_startxref(support::BytesView file);
+
+/// Matches `count` spec-exact 20-byte xref records ("nnnnnnnnnn ggggg t??"
+/// with t in [nf] and two SP/CR/LF trailer bytes) at `pos` (leading
+/// whitespace is skipped first). Returns the end offset of the block, or
+/// nullopt the moment any record deviates. Pure validation — shared by the
+/// batched table reader here and the recovery scan's table skip, both of
+/// which fall back to token-at-a-time lexing when it declines.
+std::optional<std::size_t> match_xref_records(support::BytesView file,
+                                              std::size_t pos,
+                                              std::int64_t count);
 
 /// Parses the xref section at `offset` (must point at the "xref" keyword).
 /// Throws ParseError on malformed tables.

@@ -1,47 +1,212 @@
 #include "support/checksum.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
+
+#include "support/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PDFSHIELD_X86 1
+#endif
 
 namespace pdfshield::support {
 
 namespace {
 
-std::array<std::uint32_t, 256> build_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+// ---------------------------------------------------------------------------
+// CRC-32: slice-by-8. Eight derived tables let the loop fold 8 input bytes
+// per iteration with 8 independent table loads instead of an 8-iteration
+// byte/shift chain — the classic Intel "slicing" construction. Pure scalar
+// (no dispatch): this IS the fallback path, and it is already ~5x the
+// one-table loop.
+// ---------------------------------------------------------------------------
+
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+CrcTables build_crc_tables() {
+  CrcTables t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = t[k - 1][i];
+      t[k][i] = (prev >> 8) ^ t[0][prev & 0xff];
+    }
+  }
+  return t;
 }
+
+const CrcTables& crc_tables() {
+  static const CrcTables tables = build_crc_tables();
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// Adler-32. The scalar path defers the modulo over 5552-byte blocks (the
+// largest count that cannot overflow 32-bit accumulators); the vector paths
+// keep the same block structure but accumulate byte sums with psadbw and
+// position-weighted sums with pmaddubsw, reducing per block in 64-bit.
+// All paths compute the identical RFC 1950 value.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kAdlerMod = 65521;
+
+std::uint32_t adler32_scalar(const std::uint8_t* p, std::size_t n,
+                             std::uint32_t seed) {
+  std::uint32_t a = seed & 0xffff;
+  std::uint32_t b = (seed >> 16) & 0xffff;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t block = std::min<std::size_t>(5552, n - i);
+    for (std::size_t j = 0; j < block; ++j) {
+      a += p[i + j];
+      b += a;
+    }
+    a %= kAdlerMod;
+    b %= kAdlerMod;
+    i += block;
+  }
+  return (b << 16) | a;
+}
+
+#if PDFSHIELD_X86
+
+__attribute__((target("ssse3"))) std::uint32_t adler32_ssse3(
+    const std::uint8_t* p, std::size_t n, std::uint32_t seed) {
+  std::uint64_t a = seed & 0xffff;
+  std::uint64_t b = (seed >> 16) & 0xffff;
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i weights =
+      _mm_setr_epi8(16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1);
+  const __m128i ones16 = _mm_set1_epi16(1);
+  while (n >= 16) {
+    // Block of whole 16-byte chunks; 5552 rounded down keeps every lane
+    // accumulator far from overflow.
+    std::size_t k = std::min<std::size_t>(n & ~std::size_t{15}, 5536);
+    n -= k;
+    const std::uint64_t klen = k;
+    __m128i vs1 = zero;        // running byte sum (2 x u64 lanes via psadbw)
+    __m128i vs1_prior = zero;  // sum of vs1 values before each chunk
+    __m128i vs2 = zero;        // within-chunk weighted sums (4 x u32 lanes)
+    for (; k >= 16; k -= 16) {
+      const __m128i chunk =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      p += 16;
+      vs1_prior = _mm_add_epi64(vs1_prior, vs1);
+      vs1 = _mm_add_epi64(vs1, _mm_sad_epu8(chunk, zero));
+      const __m128i mad = _mm_maddubs_epi16(chunk, weights);
+      vs2 = _mm_add_epi32(vs2, _mm_madd_epi16(mad, ones16));
+    }
+    alignas(16) std::uint64_t s1[2];
+    alignas(16) std::uint64_t sp[2];
+    alignas(16) std::uint32_t s2[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(s1), vs1);
+    _mm_store_si128(reinterpret_cast<__m128i*>(sp), vs1_prior);
+    _mm_store_si128(reinterpret_cast<__m128i*>(s2), vs2);
+    const std::uint64_t sum1 = s1[0] + s1[1];
+    const std::uint64_t prior = sp[0] + sp[1];
+    const std::uint64_t sum2 =
+        static_cast<std::uint64_t>(s2[0]) + s2[1] + s2[2] + s2[3];
+    b = (b + klen * a + 16 * prior + sum2) % kAdlerMod;
+    a = (a + sum1) % kAdlerMod;
+  }
+  // Tail (< 16 bytes): scalar, seeded with the vector state.
+  return adler32_scalar(p, n,
+                        static_cast<std::uint32_t>((b << 16) | a));
+}
+
+__attribute__((target("avx2"))) std::uint32_t adler32_avx2(
+    const std::uint8_t* p, std::size_t n, std::uint32_t seed) {
+  std::uint64_t a = seed & 0xffff;
+  std::uint64_t b = (seed >> 16) & 0xffff;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i weights = _mm256_setr_epi8(
+      32, 31, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 19, 18, 17, 16, 15,
+      14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1);
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  while (n >= 32) {
+    std::size_t k = std::min<std::size_t>(n & ~std::size_t{31}, 5536);
+    n -= k;
+    const std::uint64_t klen = k;
+    __m256i vs1 = zero;
+    __m256i vs1_prior = zero;
+    __m256i vs2 = zero;
+    for (; k >= 32; k -= 32) {
+      const __m256i chunk =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+      p += 32;
+      vs1_prior = _mm256_add_epi64(vs1_prior, vs1);
+      vs1 = _mm256_add_epi64(vs1, _mm256_sad_epu8(chunk, zero));
+      const __m256i mad = _mm256_maddubs_epi16(chunk, weights);
+      vs2 = _mm256_add_epi32(vs2, _mm256_madd_epi16(mad, ones16));
+    }
+    alignas(32) std::uint64_t s1[4];
+    alignas(32) std::uint64_t sp[4];
+    alignas(32) std::uint32_t s2[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(s1), vs1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sp), vs1_prior);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(s2), vs2);
+    const std::uint64_t sum1 = s1[0] + s1[1] + s1[2] + s1[3];
+    const std::uint64_t prior = sp[0] + sp[1] + sp[2] + sp[3];
+    std::uint64_t sum2 = 0;
+    for (const std::uint32_t v : s2) sum2 += v;
+    b = (b + klen * a + 32 * prior + sum2) % kAdlerMod;
+    a = (a + sum1) % kAdlerMod;
+  }
+  return adler32_scalar(p, n,
+                        static_cast<std::uint32_t>((b << 16) | a));
+}
+
+#endif  // PDFSHIELD_X86
 
 }  // namespace
 
 std::uint32_t crc32(BytesView data, std::uint32_t seed) {
-  static const std::array<std::uint32_t, 256> kTable = build_crc_table();
+  const CrcTables& t = crc_tables();
   std::uint32_t c = seed ^ 0xffffffffu;
-  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    // Endian-independent composition; compiles to two 32-bit loads on
+    // little-endian targets.
+    const std::uint32_t lo =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t hi =
+        static_cast<std::uint32_t>(p[4]) |
+        (static_cast<std::uint32_t>(p[5]) << 8) |
+        (static_cast<std::uint32_t>(p[6]) << 16) |
+        (static_cast<std::uint32_t>(p[7]) << 24);
+    c ^= lo;
+    c = t[7][c & 0xff] ^ t[6][(c >> 8) & 0xff] ^ t[5][(c >> 16) & 0xff] ^
+        t[4][c >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+        t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    c = t[0][(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
   return c ^ 0xffffffffu;
 }
 
 std::uint32_t adler32(BytesView data, std::uint32_t seed) {
-  constexpr std::uint32_t kMod = 65521;
-  std::uint32_t a = seed & 0xffff;
-  std::uint32_t b = (seed >> 16) & 0xffff;
-  std::size_t i = 0;
-  while (i < data.size()) {
-    // Process in blocks of 5552 (largest n with no 32-bit overflow).
-    std::size_t block = std::min<std::size_t>(5552, data.size() - i);
-    for (std::size_t j = 0; j < block; ++j) {
-      a += data[i + j];
-      b += a;
-    }
-    a %= kMod;
-    b %= kMod;
-    i += block;
+#if PDFSHIELD_X86
+  if (simd::have(simd::Level::kAVX2)) {
+    return adler32_avx2(data.data(), data.size(), seed);
   }
-  return (b << 16) | a;
+  if (simd::have(simd::Level::kSSSE3)) {
+    return adler32_ssse3(data.data(), data.size(), seed);
+  }
+#endif
+  return adler32_scalar(data.data(), data.size(), seed);
 }
 
 std::uint64_t fnv1a64(BytesView data) {

@@ -1,0 +1,53 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace pdfshield::support::simd {
+
+namespace {
+
+Level probe_cpu() {
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/clang builtin CPU feature probe; initializes the feature words on
+  // first use. AVX2 implies SSSE3 on every shipping CPU, but probe both.
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Level::kAVX2;
+  if (__builtin_cpu_supports("ssse3")) return Level::kSSSE3;
+#endif
+  return Level::kScalar;
+}
+
+Level initial_level() {
+  const char* disable = std::getenv("PDFSHIELD_DISABLE_SIMD");
+  if (disable != nullptr && disable[0] != '\0' && disable[0] != '0') {
+    return Level::kScalar;
+  }
+  return probe_cpu();
+}
+
+std::atomic<Level>& level_slot() {
+  static std::atomic<Level> slot{initial_level()};
+  return slot;
+}
+
+}  // namespace
+
+Level active_level() {
+  return level_slot().load(std::memory_order_relaxed);
+}
+
+Level override_level(Level level) {
+  const Level cap = detected_level();
+  if (static_cast<std::uint8_t>(level) > static_cast<std::uint8_t>(cap)) {
+    level = cap;
+  }
+  return level_slot().exchange(level, std::memory_order_relaxed);
+}
+
+Level detected_level() {
+  static const Level detected = probe_cpu();
+  return detected;
+}
+
+}  // namespace pdfshield::support::simd

@@ -1,0 +1,51 @@
+// Runtime SIMD dispatch policy for the byte-level hot paths (lexer token
+// scanning, flate LZ77 copies, checksums).
+//
+// Policy: every vectorized routine in the tree has a scalar/SWAR fallback
+// that is always compiled and always correct; the vector path is an
+// opportunistic accelerator selected once per process. Dispatch sites read
+// `active_level()` (a cached CPUID probe) and branch — no function-pointer
+// tables, so the branch predicts perfectly and the fallback stays a live,
+// testable code path rather than dead weight.
+//
+// `PDFSHIELD_DISABLE_SIMD=1` in the environment pins the process to the
+// scalar fallback (CI runs the whole tier-1 suite once this way, so both
+// legs of every dispatch stay green). Tests that want to compare the two
+// legs in-process use `override_level()` instead of the environment, which
+// is only sampled once.
+#pragma once
+
+#include <cstdint>
+
+namespace pdfshield::support::simd {
+
+/// Instruction-set tiers the dispatch sites distinguish. Levels are
+/// ordered: a level implies every level below it.
+enum class Level : std::uint8_t {
+  kScalar = 0,  ///< portable scalar/SWAR fallback, always available
+  kSSSE3 = 1,   ///< 16-byte pshufb classification + SSE2 loads/stores
+  kAVX2 = 2,    ///< 32-byte integer SIMD
+};
+
+/// The level selected for this process: the highest tier the CPU supports,
+/// or kScalar when PDFSHIELD_DISABLE_SIMD=1 (sampled on first call and
+/// cached). Cheap enough to call per scan: one relaxed atomic load.
+Level active_level();
+
+/// True when `active_level() >= wanted` — the idiom dispatch sites use.
+inline bool have(Level wanted) {
+  return static_cast<std::uint8_t>(active_level()) >=
+         static_cast<std::uint8_t>(wanted);
+}
+
+/// Test hook: pins `active_level()` to `level` (clamped to what the CPU
+/// actually supports — requesting AVX2 on a non-AVX2 host yields the best
+/// available tier instead). Returns the previously active level so tests
+/// can restore it.
+Level override_level(Level level);
+
+/// The highest tier this CPU supports, ignoring the environment toggle and
+/// any test override.
+Level detected_level();
+
+}  // namespace pdfshield::support::simd

@@ -1,0 +1,220 @@
+// Differential test: the table-driven PDF lexer in src/pdf must produce a
+// token stream identical to the retained byte-at-a-time reference lexer
+// (tests/reference_lexer.hpp) on every input — same kinds, offsets, decoded
+// bytes, numeric values, and the same ParseError diagnostics at the same
+// positions. Mirrors the inflate oracle pattern in reference_inflate.hpp /
+// flate_differential_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "pdf/lexer.hpp"
+#include "reference_lexer.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdfshield {
+namespace {
+
+using support::Bytes;
+using support::BytesView;
+
+/// Walks both lexers from `start`, comparing token for token. Returns the
+/// position to resynchronize from after an error (one byte past the
+/// failure, the recovery parser's skip policy), or npos when the walk
+/// reached EOF cleanly.
+std::size_t cross_check_from(BytesView data, std::size_t start,
+                             const std::string& context) {
+  pdf::Lexer fast(data, start);
+  reference::Lexer ref(data, start);
+  int tokens = 0;
+  while (true) {
+    pdf::Token ft;
+    pdf::Token rt;
+    bool fast_ok = true;
+    bool ref_ok = true;
+    std::string fast_err;
+    std::string ref_err;
+    try {
+      ft = fast.next();
+    } catch (const support::ParseError& e) {
+      fast_ok = false;
+      fast_err = e.what();
+    }
+    try {
+      rt = ref.next();
+    } catch (const support::ParseError& e) {
+      ref_ok = false;
+      ref_err = e.what();
+    }
+    const std::string at = context + " token #" + std::to_string(tokens);
+    EXPECT_EQ(fast_ok, ref_ok)
+        << at << ": lexers disagree on validity (fast: "
+        << (fast_ok ? "ok" : fast_err)
+        << ", reference: " << (ref_ok ? "ok" : ref_err) << ")";
+    if (!fast_ok || !ref_ok) {
+      EXPECT_EQ(fast_err, ref_err) << at;
+      EXPECT_EQ(fast.position(), ref.position()) << at << ": error positions";
+      return std::max(fast.position(), ref.position()) + 1;
+    }
+    EXPECT_EQ(static_cast<int>(ft.kind), static_cast<int>(rt.kind)) << at;
+    EXPECT_EQ(ft.offset, rt.offset) << at;
+    EXPECT_EQ(ft.text, rt.text) << at;
+    EXPECT_EQ(ft.raw, rt.raw) << at;
+    EXPECT_EQ(ft.hex_string, rt.hex_string) << at;
+    EXPECT_EQ(ft.int_value, rt.int_value) << at;
+    EXPECT_EQ(ft.real_value, rt.real_value) << at;
+    EXPECT_EQ(ft.bytes.size(), rt.bytes.size()) << at;
+    if (ft.bytes.size() == rt.bytes.size()) {
+      EXPECT_TRUE(
+          std::equal(ft.bytes.begin(), ft.bytes.end(), rt.bytes.begin()))
+          << at << ": decoded string bytes differ";
+    }
+    EXPECT_EQ(fast.position(), ref.position()) << at;
+    if (ft.kind == pdf::TokenKind::kEof) return std::string_view::npos;
+    ++tokens;
+    if (tokens >= (1 << 22)) {
+      ADD_FAILURE() << at << ": runaway token stream";
+      return std::string_view::npos;
+    }
+  }
+}
+
+/// Full differential walk with error resynchronization, so one bad
+/// construct does not hide later divergence.
+void cross_check(BytesView data, const std::string& context) {
+  std::size_t start = 0;
+  while (start <= data.size()) {
+    const std::size_t next = cross_check_from(data, start, context);
+    if (next == std::string_view::npos || next <= start) break;
+    start = next;
+  }
+}
+
+void cross_check_str(const std::string& text, const std::string& context) {
+  cross_check(BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                        text.size()),
+              context);
+}
+
+TEST(LexerDifferentialTest, CorpusDocumentsTokenizeIdentically) {
+  corpus::CorpusConfig config;
+  config.seed = 0x5EED0007;
+  config.spray_min_bytes = 16u << 10;
+  config.spray_max_bytes = 64u << 10;
+  corpus::CorpusGenerator gen(config);
+  for (const corpus::Sample& sample : gen.generate_benign(12)) {
+    cross_check(sample.data, sample.name);
+  }
+  for (const corpus::Sample& sample : gen.generate_malicious(12)) {
+    cross_check(sample.data, sample.name);
+  }
+}
+
+TEST(LexerDifferentialTest, AdversarialConstructs) {
+  std::vector<std::string> cases = {
+      // Names: escapes, bad escapes, escape at end, long runs.
+      "/Name /A#42C /#41 /bad#zz /trail# /#",
+      "/a#4 /a#4q /hash#23#23end",
+      "/" + std::string(100, 'n') + " /" + std::string(17, 'm') + "#6a",
+      "/x" + std::string(40, 'y') + "#41z",
+      "/UPPER#6a#6B#6C /0 //double /()",
+      // Numbers: signs, dots, widths around the 18-digit exact window.
+      "0 -0 +0 007 -17 .5 -.5 4. 1.2.3 999999999999999999 "
+      "9999999999999999999 -999999999999999999 -9999999999999999999 "
+      "123456789012345678901234567890 + - . +. -. 00000000000000000005",
+      // Literal strings: nesting, escapes, continuations, octal, edge EOLs.
+      "(plain) (nested (deep (er))) (esc \\n\\r\\t\\b\\f\\(\\)\\\\ done)",
+      "(octal \\0 \\53 \\053 \\533 \\7777) (q\\z) (\\()",
+      "(unterminated", "(unterminated (nested)", "(ends in backslash\\",
+      "(esc then unterminated \\n", "()", "(())", "(\\))",
+      // Hex strings: odd digits, whitespace, invalid chars, truncation.
+      "<48656C6C6F> <48 65 6c> <5> <> <ABCDEF0123456789>",
+      "<4G> <", "<48656", "<48 \t\r\n 65>",
+      // Dicts, arrays, stray delimiters, braces.
+      "<< /K [1 2 R] >> >> > ] [ { } {}",
+      "[/N 5 0 R (s) <AB> << /D 1 >>]",
+      // Comments and EOL edge cases.
+      "% comment\n1", "% comment\r2", "% comment\r\n3", "%no newline",
+      "1 % mid\n 2", "%\n%\r%%EOF\n9",
+      // Keywords incl. long ones crossing the 16-byte inline head.
+      "obj endobj stream endstream xref trailer startxref true false null R " +
+          std::string(64, 'k'),
+      // Unexpected bytes.
+      "\x7f", "\"quoted\"", "#41",
+      // Empty input.
+      "",
+  };
+  {
+    // Names carrying high bytes (regular characters per §3.1) and a NUL.
+    std::string high = "/hi";
+    high.push_back('\x80');
+    high.push_back('\xff');
+    high.push_back('\xfe');
+    high += "bytes /tail";
+    cases.push_back(high);
+    // String continuations with every EOL flavor after the backslash.
+    std::string cont = "(cont\\";
+    cont += "\r\nnext) (c2\\";
+    cont += "\rnext) (c3\\";
+    cont += "\nnext)";
+    cases.push_back(cont);
+    // Whitespace soup including NUL and FF, with tokens between.
+    std::string soup;
+    for (char c : {'\x00', '\x09', '\x0a', '\x0c', '\x0d', '\x20'}) {
+      soup.push_back(c);
+    }
+    soup += "7";
+    soup.push_back('\x00');
+    soup += "8";
+    cases.push_back(soup);
+    // Raw control bytes that are neither whitespace nor regular starts.
+    std::string ctl;
+    ctl.push_back('\x01');
+    ctl.push_back('\x02');
+    ctl.push_back('\x03');
+    cases.push_back(ctl);
+    // NUL inside a literal string and a hex string.
+    std::string nul = "(a";
+    nul.push_back('\x00');
+    nul += "b) <41";
+    nul.push_back('\x00');
+    nul += "42>";
+    cases.push_back(nul);
+  }
+  int i = 0;
+  for (const std::string& c : cases) {
+    cross_check_str(c, "adversarial case #" + std::to_string(i++));
+  }
+}
+
+TEST(LexerDifferentialTest, SeededRandomFuzz) {
+  // Random byte soup biased toward PDF structural characters so token
+  // boundaries, not just junk-byte errors, get exercised.
+  support::Rng rng(0x1E8E5);
+  std::string alphabet = "()<>[]{}/%#\\ \t\r\n0123456789+-.aAfFnRz";
+  alphabet.push_back('\x00');
+  alphabet.push_back('\x80');
+  alphabet.push_back('\xff');
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(300));
+    std::string s;
+    s.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (rng.below(8) == 0) {
+        s.push_back(static_cast<char>(rng.below(256)));
+      } else {
+        s.push_back(alphabet[static_cast<std::size_t>(
+            rng.below(alphabet.size()))]);
+      }
+    }
+    cross_check_str(s, "fuzz round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace pdfshield

@@ -1,0 +1,349 @@
+// Reference scalar PDF lexer, retained for differential testing only.
+//
+// This is the pre-table-driven implementation the production lexer grew out
+// of: per-character predicate calls (`is_pdf_whitespace`/`is_regular` on
+// every byte), strtoll/strtod number conversion, and byte-at-a-time string
+// scans. It is slow and simple — exactly what a differential oracle should
+// be. The production lexer in src/pdf must produce an identical token
+// stream (kind, offset, decoded bytes, numeric values) and identical
+// ParseError diagnostics on every input, mirroring the inflate oracle in
+// tests/reference_inflate.hpp.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "pdf/lexer.hpp"
+#include "support/arena.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace pdfshield::reference {
+
+using pdf::Token;
+using pdf::TokenKind;
+using support::ParseError;
+
+inline bool ref_is_whitespace(std::uint8_t c) {
+  return c == 0x00 || c == 0x09 || c == 0x0a || c == 0x0c || c == 0x0d ||
+         c == 0x20;
+}
+
+inline bool ref_is_delimiter(std::uint8_t c) {
+  return c == '(' || c == ')' || c == '<' || c == '>' || c == '[' ||
+         c == ']' || c == '{' || c == '}' || c == '/' || c == '%';
+}
+
+inline bool ref_is_regular(std::uint8_t c) {
+  return !ref_is_whitespace(c) && !ref_is_delimiter(c);
+}
+
+inline int ref_hex_value(std::uint8_t c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Byte-at-a-time lexer with the exact pre-rewrite semantics. Decoded
+/// token storage lives in a private arena owned by the lexer.
+class Lexer {
+ public:
+  explicit Lexer(support::BytesView data, std::size_t start = 0)
+      : data_(data), pos_(start) {}
+
+  Token next() {
+    skip_whitespace_and_comments();
+    Token t;
+    t.offset = pos_;
+    if (eof()) {
+      t.kind = TokenKind::kEof;
+      return t;
+    }
+    const std::uint8_t c = at(pos_);
+    if (c == '/') return lex_name();
+    if (c == '(') return lex_literal_string();
+    if (c == '<') return lex_hex_string_or_dict_open();
+    if (c == '>') {
+      if (pos_ + 1 < data_.size() && at(pos_ + 1) == '>') {
+        pos_ += 2;
+        t.kind = TokenKind::kDictClose;
+        return t;
+      }
+      throw ParseError("stray '>' in input");
+    }
+    if (c == '[') {
+      ++pos_;
+      t.kind = TokenKind::kArrayOpen;
+      return t;
+    }
+    if (c == ']') {
+      ++pos_;
+      t.kind = TokenKind::kArrayClose;
+      return t;
+    }
+    if (c == '{' || c == '}') {
+      t.kind = TokenKind::kKeyword;
+      t.text = support::as_view(data_).substr(pos_, 1);
+      ++pos_;
+      return t;
+    }
+    if (c == '+' || c == '-' || c == '.' || (c >= '0' && c <= '9')) {
+      return lex_number();
+    }
+    if (ref_is_regular(c)) return lex_keyword();
+    throw ParseError("unexpected byte 0x" + std::to_string(c));
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  void skip_whitespace_and_comments() {
+    while (!eof()) {
+      const std::uint8_t c = at(pos_);
+      if (ref_is_whitespace(c)) {
+        ++pos_;
+      } else if (c == '%') {
+        while (!eof() && at(pos_) != '\n' && at(pos_) != '\r') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token lex_number() {
+    Token t;
+    t.offset = pos_;
+    const std::size_t start = pos_;
+    bool is_real = false;
+    if (at(pos_) == '+' || at(pos_) == '-') ++pos_;
+    while (!eof() && ((at(pos_) >= '0' && at(pos_) <= '9') || at(pos_) == '.')) {
+      if (at(pos_) == '.') is_real = true;
+      ++pos_;
+    }
+    const std::string_view text =
+        support::as_view(data_).substr(start, pos_ - start);
+    if (text.empty() || text == "+" || text == "-" || text == ".") {
+      throw ParseError("malformed number at offset " + std::to_string(start));
+    }
+    const std::string copy(text);  // NUL termination for strtod/strtoll
+    if (is_real) {
+      t.kind = TokenKind::kReal;
+      t.real_value = std::strtod(copy.c_str(), nullptr);
+    } else {
+      t.kind = TokenKind::kInteger;
+      t.int_value = std::strtoll(copy.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  Token lex_name() {
+    Token t;
+    t.offset = pos_;
+    t.kind = TokenKind::kName;
+    const std::size_t slash = pos_;
+    ++pos_;  // skip '/'
+    const std::size_t start = pos_;
+    bool escaped = false;
+    while (!eof() && ref_is_regular(at(pos_))) {
+      if (at(pos_) == '#' && pos_ + 2 < data_.size() &&
+          ref_hex_value(at(pos_ + 1)) >= 0 && ref_hex_value(at(pos_ + 2)) >= 0) {
+        escaped = true;
+        pos_ += 3;
+      } else {
+        ++pos_;
+      }
+    }
+    const std::string_view span =
+        support::as_view(data_).substr(start, pos_ - start);
+    if (!escaped) {
+      t.text = span;
+      return t;
+    }
+    auto* buf = static_cast<char*>(arena_.allocate(span.size(), 1));
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < span.size();) {
+      const auto c = static_cast<std::uint8_t>(span[i]);
+      if (c == '#' && i + 2 < span.size()) {
+        const int hi = ref_hex_value(static_cast<std::uint8_t>(span[i + 1]));
+        const int lo = ref_hex_value(static_cast<std::uint8_t>(span[i + 2]));
+        if (hi >= 0 && lo >= 0) {
+          buf[n++] = static_cast<char>((hi << 4) | lo);
+          i += 3;
+          continue;
+        }
+      }
+      buf[n++] = static_cast<char>(c);
+      ++i;
+    }
+    t.text = {buf, n};
+    t.raw = support::as_view(data_).substr(slash, pos_ - slash);
+    return t;
+  }
+
+  Token lex_literal_string() {
+    Token t;
+    t.offset = pos_;
+    t.kind = TokenKind::kString;
+    ++pos_;  // skip '('
+    const std::size_t content = pos_;
+    std::size_t close = std::string_view::npos;
+    {
+      int depth = 1;
+      bool has_escape = false;
+      bool ends_in_backslash = false;
+      std::size_t i = content;
+      while (i < data_.size()) {
+        const std::uint8_t c = data_[i++];
+        if (c == '\\') {
+          has_escape = true;
+          if (i < data_.size()) {
+            ++i;
+          } else {
+            ends_in_backslash = true;
+          }
+          continue;
+        }
+        if (c == '(') {
+          ++depth;
+        } else if (c == ')' && --depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (close == std::string_view::npos) {
+        if (!has_escape) throw ParseError("unterminated literal string");
+        pos_ = data_.size();
+        throw ParseError(ends_in_backslash ? "string ends in backslash"
+                                           : "unterminated literal string");
+      }
+      if (!has_escape) {
+        t.bytes = data_.subspan(content, close - 1 - content);
+        pos_ = close;
+        return t;
+      }
+    }
+    auto* out =
+        static_cast<std::uint8_t*>(arena_.allocate(close - 1 - content, 1));
+    std::size_t n = 0;
+    int depth = 1;
+    while (!eof()) {
+      std::uint8_t c = at(pos_++);
+      if (c == '\\') {
+        if (eof()) throw ParseError("string ends in backslash");
+        const std::uint8_t e = at(pos_++);
+        switch (e) {
+          case 'n': out[n++] = '\n'; break;
+          case 'r': out[n++] = '\r'; break;
+          case 't': out[n++] = '\t'; break;
+          case 'b': out[n++] = '\b'; break;
+          case 'f': out[n++] = '\f'; break;
+          case '(': out[n++] = '('; break;
+          case ')': out[n++] = ')'; break;
+          case '\\': out[n++] = '\\'; break;
+          case '\r':
+            if (!eof() && at(pos_) == '\n') ++pos_;
+            break;
+          case '\n':
+            break;
+          default:
+            if (e >= '0' && e <= '7') {
+              int v = e - '0';
+              for (int k = 0;
+                   k < 2 && !eof() && at(pos_) >= '0' && at(pos_) <= '7'; ++k) {
+                v = v * 8 + (at(pos_++) - '0');
+              }
+              out[n++] = static_cast<std::uint8_t>(v & 0xff);
+            } else {
+              out[n++] = e;
+            }
+        }
+        continue;
+      }
+      if (c == '(') {
+        ++depth;
+        out[n++] = c;
+      } else if (c == ')') {
+        if (--depth == 0) {
+          t.bytes = {out, n};
+          return t;
+        }
+        out[n++] = c;
+      } else {
+        out[n++] = c;
+      }
+    }
+    throw ParseError("unterminated literal string");
+  }
+
+  Token lex_hex_string_or_dict_open() {
+    Token t;
+    t.offset = pos_;
+    if (pos_ + 1 < data_.size() && at(pos_ + 1) == '<') {
+      pos_ += 2;
+      t.kind = TokenKind::kDictOpen;
+      return t;
+    }
+    ++pos_;  // skip '<'
+    t.kind = TokenKind::kString;
+    t.hex_string = true;
+    std::size_t digits = 0;
+    for (std::size_t i = pos_;; ++i) {
+      if (i >= data_.size()) {
+        pos_ = i;
+        throw ParseError("unterminated hex string");
+      }
+      const std::uint8_t c = at(i);
+      if (c == '>') break;
+      if (ref_is_whitespace(c)) continue;
+      if (ref_hex_value(c) < 0) {
+        pos_ = i + 1;
+        throw ParseError("invalid character in hex string");
+      }
+      ++digits;
+    }
+    auto* out = static_cast<std::uint8_t*>(arena_.allocate(digits / 2 + 1, 1));
+    std::size_t n = 0;
+    int hi = -1;
+    while (!eof()) {
+      const std::uint8_t c = at(pos_++);
+      if (c == '>') {
+        if (hi >= 0) out[n++] = static_cast<std::uint8_t>(hi << 4);
+        t.bytes = {out, n};
+        return t;
+      }
+      if (ref_is_whitespace(c)) continue;
+      const int v = ref_hex_value(c);
+      if (v < 0) throw ParseError("invalid character in hex string");
+      if (hi < 0) {
+        hi = v;
+      } else {
+        out[n++] = static_cast<std::uint8_t>((hi << 4) | v);
+        hi = -1;
+      }
+    }
+    throw ParseError("unterminated hex string");
+  }
+
+  Token lex_keyword() {
+    Token t;
+    t.offset = pos_;
+    t.kind = TokenKind::kKeyword;
+    const std::size_t start = pos_;
+    while (!eof() && ref_is_regular(at(pos_))) ++pos_;
+    t.text = support::as_view(data_).substr(start, pos_ - start);
+    return t;
+  }
+
+  std::uint8_t at(std::size_t i) const { return data_[i]; }
+  bool eof() const { return pos_ >= data_.size(); }
+
+  support::BytesView data_;
+  std::size_t pos_ = 0;
+  support::Arena arena_;
+};
+
+}  // namespace pdfshield::reference

@@ -1,0 +1,191 @@
+// Agreement tests for the runtime-dispatched kernels: every SIMD variant
+// must produce bit-identical results to the always-compiled scalar
+// fallback on random buffers, at every size and alignment that crosses a
+// block or vector-width boundary. `simd::override_level` pins the dispatch
+// per check, so one binary exercises scalar, SSSE3 and AVX2 paths on a
+// capable machine (and degrades to whatever the CPU offers elsewhere).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pdf/charclass.hpp"
+#include "pdf/lexer.hpp"
+#include "support/bytes.hpp"
+#include "support/checksum.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace pdfshield {
+namespace {
+
+using support::Bytes;
+using support::BytesView;
+namespace simd = support::simd;
+
+/// Levels available on this machine, scalar first.
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kSSSE3) {
+    levels.push_back(simd::Level::kSSSE3);
+  }
+  if (simd::detected_level() >= simd::Level::kAVX2) {
+    levels.push_back(simd::Level::kAVX2);
+  }
+  return levels;
+}
+
+/// Restores the pre-test dispatch level even if an assertion fails.
+class LevelGuard {
+ public:
+  LevelGuard() : prev_(simd::active_level()) {}
+  ~LevelGuard() { simd::override_level(prev_); }
+
+ private:
+  simd::Level prev_;
+};
+
+// Textbook bit-at-a-time models, used as ground truth for the scalar
+// implementations (which in turn anchor the SIMD agreement checks).
+std::uint32_t adler32_model(BytesView data, std::uint32_t seed) {
+  std::uint32_t a = seed & 0xffff;
+  std::uint32_t b = (seed >> 16) & 0xffff;
+  for (std::uint8_t byte : data) {
+    a = (a + byte) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | a;
+}
+
+std::uint32_t crc32_model(BytesView data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::uint8_t byte : data) {
+    c ^= byte;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+  }
+  return c ^ 0xffffffffu;
+}
+
+// Sizes straddling vector widths (16/32), the Adler block (5536/5552), and
+// larger multi-block buffers.
+const std::size_t kSizes[] = {0,    1,    2,    7,    8,     15,   16,
+                              17,   31,   32,   33,   63,    64,   255,
+                              5535, 5536, 5537, 5551, 5552,  5553, 11071,
+                              11072, 16384, 65537};
+
+TEST(SimdAgreementTest, Adler32AllLevelsAgree) {
+  LevelGuard guard;
+  support::Rng rng(0xADE1);
+  Bytes buf(70000 + 3);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+  const std::uint32_t seeds[] = {1u, 0u, 0xffffffffu, 0x12345678u};
+  for (std::size_t n : kSizes) {
+    for (std::size_t align : {0u, 1u, 3u}) {
+      const BytesView view(buf.data() + align, n);
+      for (std::uint32_t seed : seeds) {
+        simd::override_level(simd::Level::kScalar);
+        const std::uint32_t scalar = support::adler32(view, seed);
+        EXPECT_EQ(scalar, adler32_model(view, seed))
+            << "scalar adler32 vs model, n=" << n;
+        for (simd::Level level : available_levels()) {
+          simd::override_level(level);
+          EXPECT_EQ(support::adler32(view, seed), scalar)
+              << "adler32 level " << static_cast<int>(level) << " n=" << n
+              << " align=" << align << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdAgreementTest, Crc32MatchesBitwiseModel) {
+  // CRC32 is pure scalar slice-by-8 (no dispatch); pin it to the
+  // bit-at-a-time model across sizes, alignments and seeds.
+  support::Rng rng(0xC4C);
+  Bytes buf(70000 + 3);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+  for (std::size_t n : kSizes) {
+    for (std::size_t align : {0u, 1u, 3u}) {
+      const BytesView view(buf.data() + align, n);
+      EXPECT_EQ(support::crc32(view), crc32_model(view, 0)) << "n=" << n;
+    }
+  }
+  EXPECT_EQ(support::crc32(BytesView(buf.data(), 100), 0xdeadbeefu),
+            crc32_model(BytesView(buf.data(), 100), 0xdeadbeefu));
+}
+
+TEST(SimdAgreementTest, CharclassScannersAllLevelsAgree) {
+  LevelGuard guard;
+  support::Rng rng(0x5CA7);
+  // Buffers biased toward long regular runs with occasional stop bytes, so
+  // scans cross vector boundaries before hitting a terminator.
+  std::string stops = "()<>[]{}/%\\";
+  for (char c : {'\x00', '\x09', '\x0a', '\x0c', '\x0d', '\x20'}) {
+    stops.push_back(c);
+  }
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(200));
+    Bytes buf(n);
+    for (auto& b : buf) {
+      if (rng.below(24) == 0) {
+        b = static_cast<std::uint8_t>(
+            stops[static_cast<std::size_t>(rng.below(stops.size()))]);
+      } else if (rng.below(6) == 0) {
+        b = static_cast<std::uint8_t>(0x80 + rng.below(128));  // high bytes
+      } else {
+        b = static_cast<std::uint8_t>('A' + rng.below(26));
+      }
+    }
+    for (std::size_t from : {std::size_t{0}, std::size_t{16}}) {
+      if (from > n) continue;
+      simd::override_level(simd::Level::kScalar);
+      const std::size_t run_s = pdf::scan_regular_run_long(buf.data(), n, from);
+      const std::size_t str_s = pdf::scan_string_special(buf.data(), n);
+      const std::size_t eol_s = pdf::scan_to_eol(buf.data(), n);
+      for (simd::Level level : available_levels()) {
+        simd::override_level(level);
+        EXPECT_EQ(pdf::scan_regular_run_long(buf.data(), n, from), run_s)
+            << "round " << round << " level " << static_cast<int>(level);
+        EXPECT_EQ(pdf::scan_string_special(buf.data(), n), str_s)
+            << "round " << round << " level " << static_cast<int>(level);
+        EXPECT_EQ(pdf::scan_to_eol(buf.data(), n), eol_s)
+            << "round " << round << " level " << static_cast<int>(level);
+      }
+    }
+  }
+}
+
+TEST(SimdAgreementTest, CharClassTableMatchesPredicates) {
+  // The table is the single source of truth for the lexer; pin every entry
+  // against first-principles definitions of the PDF character classes.
+  for (int i = 0; i < 256; ++i) {
+    const auto c = static_cast<std::uint8_t>(i);
+    const bool ws = c == 0x00 || c == 0x09 || c == 0x0a || c == 0x0c ||
+                    c == 0x0d || c == 0x20;
+    const bool delim = c == '(' || c == ')' || c == '<' || c == '>' ||
+                       c == '[' || c == ']' || c == '{' || c == '}' ||
+                       c == '/' || c == '%';
+    const bool digit = c >= '0' && c <= '9';
+    const bool hex = digit || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+    EXPECT_EQ(pdf::cc_has(c, pdf::kCcWhitespace), ws) << i;
+    EXPECT_EQ(pdf::cc_has(c, pdf::kCcDelimiter), delim) << i;
+    EXPECT_EQ(pdf::cc_has(c, pdf::kCcDigit), digit) << i;
+    EXPECT_EQ(pdf::cc_has(c, pdf::kCcHexDigit), hex) << i;
+    EXPECT_EQ(pdf::cc_has(c, pdf::kCcNumberStart),
+              digit || c == '+' || c == '-' || c == '.')
+        << i;
+    EXPECT_EQ(pdf::cc_regular(c), !ws && !delim) << i;
+    const int hv = digit ? c - '0'
+                 : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+                 : (c >= 'A' && c <= 'F') ? c - 'A' + 10
+                                          : -1;
+    EXPECT_EQ(pdf::kHexValue[c], hv) << i;
+    EXPECT_EQ(pdf::is_pdf_whitespace(c), ws) << i;
+    EXPECT_EQ(pdf::is_pdf_delimiter(c), delim) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pdfshield

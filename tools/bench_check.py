@@ -24,15 +24,24 @@ import json
 import sys
 
 SUITE_GATES = {
-    "flate": ["BM_FlateDecompress/1048576"],
+    # Flate gates the whole-stream fast path plus the checksum kernels
+    # behind it: a lost SIMD dispatch (adler) or slicing table (crc) shows
+    # up in the kernel lines long before the stream number moves.
+    "flate": [
+        "BM_FlateDecompress/1048576",
+        "BM_Adler32/1048576",
+        "BM_Crc32/1048576",
+    ],
     "batch_throughput": ["BatchScan/jobs:1/docs_per_s"],
     # Parse suite gates both directions: throughput must not fall, and the
     # arena-reuse path must stay frugal (allocations and arena footprint
-    # per document must not grow).
+    # per document must not grow). The xref line guards the batched
+    # fixed-width record parse.
     "parse": [
         "BM_ParseDocument/pages:100/bytes_per_s",
         "BM_ParseDocumentReuse/pages:100/allocs_per_doc",
         "BM_ParseDocumentReuse/pages:100/arena_bytes_per_doc",
+        "BM_XrefParse/entries:20000/bytes_per_s",
     ],
     # Serve gates both directions: sustained capacity must not fall, and
     # steady-state tail latency must not blow up.
